@@ -1,0 +1,40 @@
+//===- bench/BenchUtil.h - Shared table-printing helpers --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small printf-based helpers shared by the experiment benches, which print
+/// paper-style tables/series to stdout (one binary per experiment, see
+/// DESIGN.md's per-experiment index).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_BENCH_BENCHUTIL_H
+#define CLIFFEDGE_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <string>
+
+namespace cliffedge {
+namespace bench {
+
+/// Prints the experiment banner: id, paper artefact, what the bench shows.
+inline void banner(const char *Id, const char *Artefact,
+                   const char *Claim) {
+  std::printf("==============================================================="
+              "=================\n");
+  std::printf("%s — %s\n", Id, Artefact);
+  std::printf("%s\n", Claim);
+  std::printf("==============================================================="
+              "=================\n");
+}
+
+inline void sectionEnd() { std::printf("\n"); }
+
+} // namespace bench
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_BENCH_BENCHUTIL_H

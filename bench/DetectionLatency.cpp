@@ -1,0 +1,71 @@
+//===- bench/DetectionLatency.cpp - E8: detector delay sensitivity -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E8 (DESIGN.md): the protocol assumes a perfect failure
+/// detector but not a fast one (§2.2/§3.1). During cascades, slow
+/// detection makes stale views survive longer: more failed attempts and
+/// rejections before convergence. This bench sweeps the detection delay
+/// under a Fig 1b-style cascade and reports the arbitration work and
+/// end-to-end settling time.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include <cstdio>
+
+using namespace cliffedge;
+
+int main() {
+  bench::banner(
+      "E8 bench_detection_latency", "§2.2 model sensitivity",
+      "Growing-region cascade with slower and slower failure detection: "
+      "correctness never budges, convergence work and time grow.");
+
+  std::printf("%-10s | %10s %10s %10s %10s %10s %7s\n", "fd_delay",
+              "msgs", "proposals", "rejects", "failed", "settle_t",
+              "CD1-7");
+
+  const SimTime Delays[] = {1, 5, 10, 20, 40, 80, 160};
+  for (SimTime Delay : Delays) {
+    graph::Graph G = graph::makeGrid(10, 10);
+    trace::RunnerOptions Opts;
+    Opts.DetectionDelay = detector::fixedDetectionDelay(Delay);
+    trace::ScenarioRunner Runner(G, std::move(Opts));
+    // A 3x2 patch crashing one node every 30 ticks.
+    workload::cascade(graph::gridPatch(10, 3, 3, 2)
+                          .unionWith(graph::gridPatch(10, 3, 5, 2)),
+                      100, 30)
+        .apply(Runner);
+    Runner.run();
+
+    trace::CheckResult Res = trace::checkAll(trace::makeCheckInput(Runner));
+    core::CliffEdgeNode::Counters Total = Runner.totalCounters();
+    std::printf("%-10llu | %10llu %10llu %10llu %10llu %10llu %7s\n",
+                (unsigned long long)Delay,
+                (unsigned long long)Runner.netStats().MessagesSent,
+                (unsigned long long)Total.Proposals,
+                (unsigned long long)Total.Rejections,
+                (unsigned long long)Total.InstancesFailed,
+                (unsigned long long)(Runner.lastDecisionTime() - 100),
+                Res.Ok ? "hold" : "FAIL");
+  }
+
+  std::printf("\nExpected shape: all rows hold CD1..CD7 (safety is "
+              "detector-speed independent); settle time grows roughly "
+              "linearly with the detection delay, and stale-view attempts "
+              "(failed/rejects) vary with how detection interleaves with "
+              "the cascade.\n");
+  bench::sectionEnd();
+  return 0;
+}

@@ -1,0 +1,119 @@
+//===- bench/FigThreeConvergence.cpp - E4: overlapping-view convergence --------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E4 (DESIGN.md): Figure 3 illustrates the proof that two
+/// correct nodes can never decide overlapping, different views (CD6,
+/// Theorem 3). We stress randomised growing-region cascades over many
+/// seeds: the cliff-edge protocol must show *zero* CD6 violations, while
+/// the arbitration-free naive baseline (same flooding, no ranking-based
+/// rejection) violates CD6 on a measurable fraction of runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baseline/Runners.h"
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include <cstdio>
+
+using namespace cliffedge;
+
+namespace {
+
+struct Outcome {
+  bool Cd6Violated = false;
+  size_t Decisions = 0;
+};
+
+workload::CrashPlan makePlan(const graph::Graph &G, Rng &Rand) {
+  // A connected region crashing node-by-node with large gaps: maximal
+  // opportunity for stale views to complete before the region grows.
+  NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+  graph::Region R = graph::growRegionFrom(G, Seed, 4);
+  return workload::connectedCascade(G, R, 100, 160, Rand);
+}
+
+Outcome runCliffEdge(const graph::Graph &G, const workload::CrashPlan &Plan) {
+  trace::ScenarioRunner Runner(G);
+  Plan.apply(Runner);
+  Runner.run();
+  trace::CheckResult Res;
+  trace::CheckInput In = trace::makeCheckInput(Runner);
+  trace::checkViewConvergenceCD6(In, Res);
+  return Outcome{!Res.Ok, Runner.decisions().size()};
+}
+
+Outcome runNaive(const graph::Graph &G, const workload::CrashPlan &Plan) {
+  baseline::NaiveScenarioRunner Runner(G);
+  for (const workload::TimedCrash &C : Plan.Crashes)
+    Runner.scheduleCrash(C.Node, C.When);
+  Runner.run();
+  trace::CheckInput In;
+  In.G = &G;
+  In.Faulty = Runner.faultySet();
+  In.CrashTimes = Runner.crashTimes();
+  In.Decisions = Runner.decisions();
+  trace::CheckResult Res;
+  trace::checkViewConvergenceCD6(In, Res);
+  return Outcome{!Res.Ok, Runner.decisions().size()};
+}
+
+} // namespace
+
+int main() {
+  bench::banner(
+      "E4 bench_fig3_convergence", "Figure 3 / Theorem 3 (CD6)",
+      "Growing-region cascades over many seeds: cliff-edge has zero "
+      "overlapping-view violations; the no-arbitration baseline does not.");
+
+  const int SeedsPerRow = 60;
+  std::printf("%-10s %-7s | %14s %16s | %14s %16s\n", "topology", "seeds",
+              "ce_violations", "ce_decisions", "nv_violations",
+              "nv_decisions");
+
+  struct Row {
+    const char *Name;
+    graph::Graph G;
+  };
+  Rng TopoRand(9);
+  Row Rows[] = {
+      {"grid8x8", graph::makeGrid(8, 8)},
+      {"torus8x8", graph::makeTorus(8, 8)},
+      {"er48", graph::makeErdosRenyi(48, 0.08, TopoRand)},
+      {"geo48", graph::makeRandomGeometric(48, 0.25, TopoRand)},
+  };
+
+  for (Row &R : Rows) {
+    uint64_t CeViol = 0, NvViol = 0, CeDec = 0, NvDec = 0;
+    for (int Seed = 0; Seed < SeedsPerRow; ++Seed) {
+      Rng Rand(1000 + Seed);
+      workload::CrashPlan Plan = makePlan(R.G, Rand);
+      Outcome CE = runCliffEdge(R.G, Plan);
+      Outcome NV = runNaive(R.G, Plan);
+      CeViol += CE.Cd6Violated;
+      NvViol += NV.Cd6Violated;
+      CeDec += CE.Decisions;
+      NvDec += NV.Decisions;
+    }
+    std::printf("%-10s %-7d | %8llu/%-5d %16llu | %8llu/%-5d %16llu\n",
+                R.Name, SeedsPerRow, (unsigned long long)CeViol,
+                SeedsPerRow, (unsigned long long)CeDec,
+                (unsigned long long)NvViol, SeedsPerRow,
+                (unsigned long long)NvDec);
+  }
+
+  std::printf("\nExpected shape (paper): ce_violations identically 0 on "
+              "every row (Theorem 3); nv_violations > 0 — overlapping "
+              "stale views do complete without rank-based rejection.\n");
+  bench::sectionEnd();
+  return 0;
+}

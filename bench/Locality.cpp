@@ -1,0 +1,92 @@
+//===- bench/Locality.cpp - E5: cost vs system size ---------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E5 (DESIGN.md): the paper's headline claim — "its cost is
+/// independent of the size of the complete system, and only depends on the
+/// shape and extent of the crashed region" (abstract, §1). We crash the
+/// same 3x3 patch on growing grids and measure messages/bytes/latency for
+/// the cliff-edge protocol versus the whole-system flooding consensus the
+/// paper's locality property explicitly excludes (§2.1).
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "baseline/Runners.h"
+#include "graph/Builders.h"
+#include "trace/Runner.h"
+
+#include <cstdio>
+
+using namespace cliffedge;
+
+namespace {
+
+struct Cost {
+  uint64_t Messages;
+  uint64_t Bytes;
+  SimTime Latency; // Crash-to-last-decision.
+};
+
+Cost runCliffEdge(uint32_t Side) {
+  graph::Graph G = graph::makeGrid(Side, Side);
+  trace::RunnerOptions Opts;
+  Opts.RecordSends = false;
+  trace::ScenarioRunner Runner(G, std::move(Opts));
+  Runner.scheduleCrashAll(graph::gridPatch(Side, 2, 2, 3), 100);
+  Runner.run();
+  return Cost{Runner.netStats().MessagesSent, Runner.netStats().BytesSent,
+              Runner.lastDecisionTime() - 100};
+}
+
+Cost runGlobal(uint32_t Side) {
+  graph::Graph G = graph::makeGrid(Side, Side);
+  baseline::GlobalScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(Side, 2, 2, 3), 100);
+  Runner.run();
+  return Cost{Runner.netStats().MessagesSent, Runner.netStats().BytesSent,
+              0};
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bool Full = argc > 1 && std::string(argv[1]) == "--full";
+
+  bench::banner(
+      "E5 bench_locality", "abstract / §1 (local complexity claim)",
+      "Fixed 3x3 crashed patch, growing grid: cliff-edge cost is flat in N;"
+      " global flooding consensus grows ~N^2 per round.");
+
+  std::printf("%-8s %-8s | %12s %14s %10s | %14s %16s\n", "grid", "N",
+              "ce_msgs", "ce_bytes", "ce_lat", "global_msgs",
+              "global_bytes");
+
+  const uint32_t Sides[] = {8, 12, 16, 24, 32, 48, 64};
+  for (uint32_t Side : Sides) {
+    Cost CE = runCliffEdge(Side);
+    std::printf("%2ux%-5u %-8u | %12llu %14llu %10llu |", Side, Side,
+                Side * Side, (unsigned long long)CE.Messages,
+                (unsigned long long)CE.Bytes,
+                (unsigned long long)CE.Latency);
+    // The global baseline is Theta(N^2) messages per round: cap it so the
+    // bench stays fast by default (run with --full for the big points).
+    if (Side <= 32 || Full) {
+      Cost GL = runGlobal(Side);
+      std::printf(" %14llu %16llu\n", (unsigned long long)GL.Messages,
+                  (unsigned long long)GL.Bytes);
+    } else {
+      std::printf(" %14s %16s\n", "(skipped)", "(--full)");
+    }
+  }
+
+  std::printf("\nExpected shape (paper): cliff-edge columns constant across "
+              "rows; global columns grow quadratically with N.\n");
+  bench::sectionEnd();
+  return 0;
+}

@@ -1,0 +1,123 @@
+//===- bench/Micro.cpp - google-benchmark microbenchmarks ----------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Microbenchmarks of the hot paths under the protocol: region set
+/// algebra, border computation, connected components, ranking comparisons
+/// and wire encode/decode. These are the per-event costs that make the
+/// simulator (and a real deployment) fast.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/Wire.h"
+#include "graph/Builders.h"
+#include "graph/Ranking.h"
+#include "support/Random.h"
+
+#include "benchmark/benchmark.h"
+
+using namespace cliffedge;
+
+namespace {
+
+graph::Region randomRegion(Rng &Rand, uint32_t Universe, size_t Size) {
+  std::vector<NodeId> Ids;
+  Ids.reserve(Size);
+  for (size_t I = 0; I < Size; ++I)
+    Ids.push_back(static_cast<NodeId>(Rand.nextBelow(Universe)));
+  return graph::Region(std::move(Ids));
+}
+
+void BM_RegionUnion(benchmark::State &State) {
+  Rng Rand(1);
+  graph::Region A = randomRegion(Rand, 10000, State.range(0));
+  graph::Region B = randomRegion(Rand, 10000, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.unionWith(B));
+}
+BENCHMARK(BM_RegionUnion)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RegionIntersects(benchmark::State &State) {
+  Rng Rand(2);
+  graph::Region A = randomRegion(Rand, 10000, State.range(0));
+  graph::Region B = randomRegion(Rand, 10000, State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.intersects(B));
+}
+BENCHMARK(BM_RegionIntersects)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RegionContains(benchmark::State &State) {
+  Rng Rand(3);
+  graph::Region A = randomRegion(Rand, 100000, State.range(0));
+  NodeId Probe = 4242;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.contains(Probe));
+}
+BENCHMARK(BM_RegionContains)->Arg(64)->Arg(4096);
+
+void BM_BorderOfPatch(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(64, 64);
+  graph::Region Patch =
+      graph::gridPatch(64, 4, 4, static_cast<uint32_t>(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.border(Patch));
+}
+BENCHMARK(BM_BorderOfPatch)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_ConnectedComponents(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(64, 64);
+  // Two disjoint patches plus a singleton: three components.
+  graph::Region S = graph::gridPatch(64, 2, 2, 4)
+                        .unionWith(graph::gridPatch(64, 20, 20, 4))
+                        .unionWith(graph::Region{NodeId(40 * 64 + 40)});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(G.connectedComponents(S));
+}
+BENCHMARK(BM_ConnectedComponents);
+
+void BM_RankingCompare(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(32, 32);
+  graph::Region A = graph::gridPatch(32, 2, 2, 3);
+  graph::Region B = graph::gridPatch(32, 10, 10, 3);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(graph::rankedLess(G, A, B));
+}
+BENCHMARK(BM_RankingCompare);
+
+core::Message sampleMessage(size_t BorderSize) {
+  core::Message M;
+  std::vector<NodeId> View, Border;
+  for (size_t I = 0; I < BorderSize; ++I) {
+    View.push_back(static_cast<NodeId>(2 * I));
+    Border.push_back(static_cast<NodeId>(2 * I + 1));
+  }
+  M.Round = 3;
+  M.View = graph::Region(std::move(View));
+  M.Border = graph::Region(std::move(Border));
+  M.Opinions = core::OpinionVec(BorderSize);
+  for (size_t I = 0; I < BorderSize; ++I)
+    M.Opinions[I] = core::OpinionEntry{core::Opinion::Accept, I};
+  return M;
+}
+
+void BM_WireEncode(benchmark::State &State) {
+  core::Message M = sampleMessage(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::encodeMessage(M));
+}
+BENCHMARK(BM_WireEncode)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WireDecode(benchmark::State &State) {
+  auto Bytes = core::encodeMessage(sampleMessage(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::decodeMessage(Bytes));
+}
+BENCHMARK(BM_WireDecode)->Arg(4)->Arg(32)->Arg(256);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+//===- bench/RegionScaling.cpp - E6: cost vs region extent --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E6 (DESIGN.md): the flip side of CD3 (Locality) — cost *does*
+/// grow with the crashed region's extent (the protocol floods among the
+/// region's border, with |B|-1 rounds). Fixed 48x48 grid, crashed square
+/// patches of growing side.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "graph/Builders.h"
+#include "support/StrUtil.h"
+#include "trace/Report.h"
+#include "trace/Runner.h"
+
+#include <cstdio>
+#include <string>
+
+using namespace cliffedge;
+
+int main(int argc, char **argv) {
+  bool Csv = argc > 1 && std::string(argv[1]) == "--csv";
+  if (!Csv)
+    bench::banner(
+        "E6 bench_region_scaling", "§2.3 CD3 (Locality), cost model",
+        "Fixed 48x48 grid (N=2304): protocol cost scales with the "
+        "crashed region's border, not with N.");
+
+  graph::Graph G = graph::makeGrid(48, 48);
+  trace::ReportTable Table("patch");
+  for (uint32_t Side = 1; Side <= 8; ++Side) {
+    graph::Region Patch = graph::gridPatch(48, 4, 4, Side);
+    trace::RunnerOptions Opts;
+    trace::ScenarioRunner Runner(G, std::move(Opts));
+    Runner.scheduleCrashAll(Patch, 100);
+    Runner.run();
+    Table.addRow(formatStr("%ux%u(|B|=%zu)", Side, Side,
+                           G.border(Patch).size()),
+                 trace::summarizeRun(Runner));
+  }
+
+  std::printf("%s", Csv ? Table.toCsv().c_str() : Table.toText().c_str());
+  if (!Csv) {
+    std::printf(
+        "\nExpected shape: messages ~ |B|^2 x rounds (flooding among the "
+        "border), last_dec - 100 ~ |B| RTTs; both independent of N "
+        "(compare bench_locality). Run with --csv for machine-readable "
+        "output.\n");
+    bench::sectionEnd();
+  }
+  return 0;
+}

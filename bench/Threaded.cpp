@@ -1,0 +1,65 @@
+//===- bench/Threaded.cpp - E11: real-thread deployment cost -------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Experiment E11 (supplementary): the identical protocol objects over
+/// one OS thread per node, measuring wall-clock settle time and frames
+/// delivered as the fleet and crashed-region sizes grow. This is not a
+/// paper experiment — it demonstrates the reproduction runs on a real
+/// asynchronous substrate, and that the locality property caps the work
+/// regardless of fleet size there too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+
+#include "graph/Builders.h"
+#include "runtime/ThreadedCluster.h"
+
+#include <chrono>
+#include <cstdio>
+
+using namespace cliffedge;
+using namespace std::chrono;
+
+int main() {
+  bench::banner(
+      "E11 bench_threaded", "supplementary (real threads)",
+      "One OS thread per node: wall-clock settle time and frames for a "
+      "2x2 crashed block, fleet size swept.");
+
+  std::printf("%-8s %-8s | %10s %12s %12s\n", "grid", "threads",
+              "settle_ms", "frames", "decisions");
+
+  for (uint32_t Side : {4u, 6u, 8u, 10u, 12u}) {
+    graph::Graph G = graph::makeGrid(Side, Side);
+    runtime::ThreadedCluster Cluster(G);
+    Cluster.start();
+
+    auto Start = steady_clock::now();
+    for (NodeId N : graph::gridPatch(Side, 1, 1, 2))
+      Cluster.crash(N);
+    bool Settled = Cluster.awaitQuiescence(milliseconds(20000));
+    auto End = steady_clock::now();
+    double Ms =
+        duration_cast<duration<double, std::milli>>(End - Start).count();
+
+    std::printf("%2ux%-5u %-8u | %10.2f %12llu %12zu%s\n", Side, Side,
+                Side * Side, Ms,
+                (unsigned long long)Cluster.framesDelivered(),
+                Cluster.decisions().size(),
+                Settled ? "" : "  (TIMED OUT)");
+    Cluster.shutdown();
+  }
+
+  std::printf("\nExpected shape: frames stay bounded by the region's "
+              "border (locality), independent of the thread count; "
+              "settle time is dominated by scheduler wakeups, not fleet "
+              "size.\n");
+  bench::sectionEnd();
+  return 0;
+}

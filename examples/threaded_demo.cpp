@@ -1,0 +1,80 @@
+//===- examples/threaded_demo.cpp - Protocol over real threads -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The same protocol objects that run in the deterministic simulator, now
+/// deployed with one OS thread per node and real mailboxes — genuinely
+/// asynchronous interleavings decided by the scheduler. Demonstrates that
+/// core::CliffEdgeNode is transport-agnostic and that agreement holds
+/// outside the simulator too.
+///
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadedCluster.h"
+
+#include "graph/Builders.h"
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+using namespace cliffedge;
+using namespace std::chrono_literals;
+
+int main() {
+  const uint32_t Side = 6;
+  std::printf("threaded_demo: %ux%u grid, one OS thread per node\n\n", Side,
+              Side);
+  graph::Graph G = graph::makeGrid(Side, Side);
+  runtime::ThreadedCluster Cluster(G);
+  Cluster.start();
+
+  // Kill a 2x2 block one machine at a time with real-time gaps, so the
+  // crashed region grows while border threads are mid-agreement.
+  graph::Region Patch = graph::gridPatch(Side, 2, 2, 2);
+  std::printf("crashing %s one node at a time (2ms apart)...\n",
+              Patch.str().c_str());
+  for (NodeId N : Patch) {
+    Cluster.crash(N);
+    std::this_thread::sleep_for(2ms);
+  }
+
+  if (!Cluster.awaitQuiescence(10000ms)) {
+    std::printf("cluster did not quiesce in time\n");
+    return 1;
+  }
+
+  auto Decisions = Cluster.decisions();
+  std::printf("\n%zu decisions after quiescence "
+              "(%llu frames delivered):\n",
+              Decisions.size(),
+              (unsigned long long)Cluster.framesDelivered());
+  for (const runtime::ThreadedDecision &D : Decisions)
+    std::printf("  node %-2u decides view=%s value=%llu\n", D.Node,
+                D.View.str().c_str(), (unsigned long long)D.Chosen);
+
+  // Agreement sanity (full CD checking needs the simulator's send log):
+  // overlapping views decided by *correct* nodes must be identical —
+  // crashed patch members may have decided an early sub-region first.
+  bool Converged = true;
+  for (size_t I = 0; I < Decisions.size(); ++I) {
+    if (Patch.contains(Decisions[I].Node))
+      continue;
+    for (size_t J = I + 1; J < Decisions.size(); ++J) {
+      if (Patch.contains(Decisions[J].Node))
+        continue;
+      if (Decisions[I].View.intersects(Decisions[J].View) &&
+          Decisions[I].View != Decisions[J].View)
+        Converged = false;
+    }
+  }
+  std::printf("\noverlapping views converged: %s\n",
+              Converged ? "yes" : "NO — bug!");
+
+  Cluster.shutdown();
+  return Converged ? 0 : 1;
+}

@@ -1,0 +1,215 @@
+//===- baseline/GlobalConsensus.cpp - Whole-system flooding ----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GlobalConsensus.h"
+
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::baseline;
+
+namespace {
+
+constexpr uint32_t GlobalMagic = 0x43454C47; // "GLEC"
+
+void putU32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+}
+
+bool getU32(const std::vector<uint8_t> &In, size_t &Pos, uint32_t &V) {
+  if (Pos + 4 > In.size())
+    return false;
+  V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(In[Pos++]) << (8 * I);
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> baseline::encodeGlobalMessage(const GlobalMessage &M) {
+  std::vector<uint8_t> Out;
+  putU32(Out, GlobalMagic);
+  Out.push_back(M.Final ? 1 : 0);
+  putU32(Out, M.Round);
+  putU32(Out, static_cast<uint32_t>(M.Entries.size()));
+  for (const auto &[Owner, Proposal] : M.Entries) {
+    putU32(Out, Owner);
+    putU32(Out, static_cast<uint32_t>(Proposal.size()));
+    for (NodeId N : Proposal)
+      putU32(Out, N);
+  }
+  return Out;
+}
+
+std::optional<GlobalMessage>
+baseline::decodeGlobalMessage(const std::vector<uint8_t> &Bytes) {
+  size_t Pos = 0;
+  uint32_t Magic = 0;
+  if (!getU32(Bytes, Pos, Magic) || Magic != GlobalMagic)
+    return std::nullopt;
+  if (Pos >= Bytes.size())
+    return std::nullopt;
+  GlobalMessage M;
+  M.Final = Bytes[Pos++] != 0;
+  uint32_t Count = 0;
+  if (!getU32(Bytes, Pos, M.Round) || !getU32(Bytes, Pos, Count))
+    return std::nullopt;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Owner = 0, Size = 0;
+    if (!getU32(Bytes, Pos, Owner) || !getU32(Bytes, Pos, Size))
+      return std::nullopt;
+    std::vector<NodeId> Ids(Size);
+    for (uint32_t J = 0; J < Size; ++J)
+      if (!getU32(Bytes, Pos, Ids[J]))
+        return std::nullopt;
+    M.Entries.emplace_back(Owner, graph::Region(std::move(Ids)));
+  }
+  if (Pos != Bytes.size())
+    return std::nullopt;
+  return M;
+}
+
+GlobalFloodingNode::GlobalFloodingNode(NodeId InSelf, uint32_t InNumNodes,
+                                       Callbacks InCBs)
+    : Self(InSelf), NumNodes(InNumNodes), CBs(std::move(InCBs)),
+      Known(InNumNodes) {
+  assert(CBs.Broadcast && CBs.MonitorCrash && CBs.Decide &&
+         "all callbacks must be provided");
+}
+
+void GlobalFloodingNode::start() {
+  assert(!Started && "start() called twice");
+  Started = true;
+  // Global knowledge: monitor every other node in the system. This is the
+  // very thing the paper's protocol avoids.
+  std::vector<NodeId> Everyone;
+  Everyone.reserve(NumNodes - 1);
+  for (NodeId N = 0; N < NumNodes; ++N)
+    if (N != Self)
+      Everyone.push_back(N);
+  CBs.MonitorCrash(graph::Region(std::move(Everyone)));
+}
+
+void GlobalFloodingNode::onCrash(NodeId Q) {
+  assert(Started && "event before start()");
+  if (LocallyCrashed.contains(Q))
+    return;
+  LocallyCrashed.insert(Q);
+  if (Decided)
+    return;
+  if (!Joined) {
+    join();
+  } else {
+    // Fold fresh knowledge into our own entry so it floods onwards.
+    if (!Known[Self]->contains(Q)) {
+      Known[Self]->insert(Q);
+      ++KnownVersion;
+    }
+  }
+  checkRound();
+}
+
+void GlobalFloodingNode::onDeliver(NodeId From, const GlobalMessage &M) {
+  assert(Started && "event before start()");
+  if (Decided)
+    return;
+  if (!Joined)
+    join();
+
+  for (const auto &[Owner, Proposal] : M.Entries) {
+    assert(Owner < NumNodes && "entry owner out of range");
+    if (!Known[Owner]) {
+      Known[Owner] = Proposal;
+      ++KnownVersion;
+    } else if (!Proposal.isSubsetOf(*Known[Owner])) {
+      // Subset check first: the steady state is "nothing new", and the
+      // check avoids an allocation per entry on the N^2-message hot path.
+      Known[Owner] = Known[Owner]->unionWith(Proposal);
+      ++KnownVersion;
+    }
+  }
+
+  if (M.Final)
+    DoneForGood.insert(From);
+  else
+    ReceivedPerRound[M.Round].insert(From);
+  checkRound();
+}
+
+void GlobalFloodingNode::join() {
+  assert(!Joined && "joined twice");
+  Joined = true;
+  Known[Self] = LocallyCrashed;
+  ++KnownVersion;
+  Round = 1;
+  broadcastRound();
+}
+
+void GlobalFloodingNode::broadcastRound() {
+  GlobalMessage M;
+  M.Round = Round;
+  for (NodeId N = 0; N < NumNodes; ++N)
+    if (Known[N])
+      M.Entries.emplace_back(N, *Known[N]);
+  CBs.Broadcast(M);
+}
+
+void GlobalFloodingNode::checkRound() {
+  if (!Joined || Decided)
+    return;
+  for (;;) {
+    // The round is complete when every participant either sent this round,
+    // finished for good, or is known crashed. Cheap cardinality pre-check
+    // first (the sets may overlap, so it can over-count; the full scan
+    // below is authoritative) — this keeps the per-delivery cost O(log N)
+    // instead of O(N) on the N^2-message hot path.
+    const std::set<NodeId> &Got = ReceivedPerRound[Round];
+    if (Got.size() + DoneForGood.size() + LocallyCrashed.size() < NumNodes)
+      return;
+    bool Complete = true;
+    for (NodeId N = 0; N < NumNodes && Complete; ++N)
+      if (!Got.count(N) && !DoneForGood.count(N) &&
+          !LocallyCrashed.contains(N))
+        Complete = false;
+    if (!Complete)
+      return;
+
+    bool Stable = Round >= 2 && KnownVersion == VersionAtPrevRound &&
+                  LocallyCrashed.size() == CrashesAtPrevRound;
+    VersionAtPrevRound = KnownVersion;
+    CrashesAtPrevRound = LocallyCrashed.size();
+    ReceivedPerRound.erase(Round);
+
+    // N-1 rounds is the classic flooding bound; stability normally fires
+    // far earlier.
+    if (Stable || Round >= NumNodes - 1) {
+      finish();
+      return;
+    }
+    ++Round;
+    broadcastRound();
+  }
+}
+
+void GlobalFloodingNode::finish() {
+  Decided = true;
+  DecidedSet = LocallyCrashed;
+  for (NodeId N = 0; N < NumNodes; ++N)
+    if (Known[N])
+      DecidedSet = DecidedSet.unionWith(*Known[N]);
+
+  GlobalMessage M;
+  M.Round = Round + 1;
+  M.Final = true;
+  for (NodeId N = 0; N < NumNodes; ++N)
+    if (Known[N])
+      M.Entries.emplace_back(N, *Known[N]);
+  CBs.Broadcast(M);
+  CBs.Decide(DecidedSet);
+}

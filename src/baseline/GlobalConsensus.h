@@ -1,0 +1,114 @@
+//===- baseline/GlobalConsensus.h - Whole-system flooding -------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strawman the paper's Locality property rules out (§2.1: "this
+/// excludes traditional consensus approaches that would involve the entire
+/// network in a protocol run"): a Chandra–Toueg-style flooding uniform
+/// consensus among *all* nodes of the system, agreeing on the global
+/// crashed set. Every participant broadcasts its knowledge each round;
+/// rounds repeat until a stable round (no new knowledge, no new crash)
+/// lets everyone decide.
+///
+/// This is the baseline of bench_locality: its cost grows with the system
+/// size N (Theta(N^2) messages per round) regardless of how small the
+/// crashed region is, whereas cliff-edge consensus only involves the
+/// region's border.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_BASELINE_GLOBALCONSENSUS_H
+#define CLIFFEDGE_BASELINE_GLOBALCONSENSUS_H
+
+#include "graph/Region.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace cliffedge {
+namespace baseline {
+
+/// One flooding-consensus message: the sender's current knowledge map.
+struct GlobalMessage {
+  uint32_t Round = 1;
+  /// When set, the sender has decided and this message stands in for all
+  /// of its future rounds.
+  bool Final = false;
+  /// Known proposals: participant -> the crashed set it proposed.
+  std::vector<std::pair<NodeId, graph::Region>> Entries;
+};
+
+/// Little-endian wire format for GlobalMessage (see core/Wire.h for the
+/// rationale of serialising for real).
+std::vector<uint8_t> encodeGlobalMessage(const GlobalMessage &M);
+std::optional<GlobalMessage>
+decodeGlobalMessage(const std::vector<uint8_t> &Bytes);
+
+/// One participant of the global flooding consensus.
+class GlobalFloodingNode {
+public:
+  struct Callbacks {
+    /// Broadcast to every node in the system (including self).
+    std::function<void(const GlobalMessage &M)> Broadcast;
+    /// Monitor the given nodes for crashes.
+    std::function<void(const graph::Region &Targets)> MonitorCrash;
+    /// Final decision: the agreed global crashed set.
+    std::function<void(const graph::Region &CrashedSet)> Decide;
+  };
+
+  GlobalFloodingNode(NodeId Self, uint32_t NumNodes, Callbacks CBs);
+
+  /// Subscribes to the crashes of every other node — the global knowledge
+  /// this baseline needs and the paper's protocol avoids.
+  void start();
+
+  void onCrash(NodeId Q);
+  void onDeliver(NodeId From, const GlobalMessage &M);
+
+  bool hasDecided() const { return Decided; }
+  const graph::Region &decidedSet() const { return DecidedSet; }
+  uint32_t roundsRun() const { return Round; }
+
+private:
+  void join();
+  void broadcastRound();
+  void checkRound();
+  void finish();
+
+  NodeId Self;
+  uint32_t NumNodes;
+  Callbacks CBs;
+
+  bool Started = false;
+  bool Joined = false;
+  bool Decided = false;
+  graph::Region DecidedSet;
+
+  graph::Region LocallyCrashed;
+  std::vector<std::optional<graph::Region>> Known;
+  uint64_t KnownVersion = 0;
+
+  uint32_t Round = 1;
+  /// Per-round set of senders heard from (senders run at most one round
+  /// ahead, but Final messages cover all future rounds via DoneForGood).
+  std::map<uint32_t, std::set<NodeId>> ReceivedPerRound;
+  std::set<NodeId> DoneForGood;
+
+  // Stability detection: state snapshot at the previous round completion.
+  uint64_t VersionAtPrevRound = 0;
+  size_t CrashesAtPrevRound = 0;
+};
+
+} // namespace baseline
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_BASELINE_GLOBALCONSENSUS_H

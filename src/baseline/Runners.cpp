@@ -1,0 +1,165 @@
+//===- baseline/Runners.cpp - Simulated harnesses for baselines ------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Runners.h"
+
+#include "core/Wire.h"
+
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::baseline;
+
+GlobalScenarioRunner::GlobalScenarioRunner(
+    const graph::Graph &InG, sim::LatencyModel Latency,
+    detector::DetectionDelayModel Delay)
+    : G(InG),
+      Net(Sim, G.numNodes(),
+          Latency ? std::move(Latency) : sim::fixedLatency(10)),
+      Detector(Sim, G.numNodes(),
+               Delay ? std::move(Delay) : detector::fixedDetectionDelay(5),
+               [this](NodeId Watcher, NodeId Target) {
+                 Nodes[Watcher]->onCrash(Target);
+               }) {
+  // Broadcast frames reach N recipients; decoding once per frame instead
+  // of once per delivery keeps the harness linear where the protocol is
+  // quadratic. Holding the shared_ptr in the cache pins the address, so
+  // the pointer-identity check cannot alias a recycled allocation.
+  auto CachedFrame = std::make_shared<sim::Network::Frame>();
+  auto CachedMsg = std::make_shared<GlobalMessage>();
+  Net.setDeliver([this, CachedFrame, CachedMsg](
+                     NodeId From, NodeId To,
+                     const sim::Network::Frame &Bytes) {
+    if (CachedFrame->get() != Bytes.get()) {
+      std::optional<GlobalMessage> M = decodeGlobalMessage(*Bytes);
+      assert(M && "transport delivered a corrupt frame");
+      if (!M)
+        return;
+      *CachedFrame = Bytes;
+      *CachedMsg = std::move(*M);
+    }
+    Nodes[To]->onDeliver(From, *CachedMsg);
+  });
+  Nodes.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    GlobalFloodingNode::Callbacks CBs;
+    CBs.Broadcast = [this, N](const GlobalMessage &M) {
+      auto Frame = std::make_shared<const std::vector<uint8_t>>(
+          encodeGlobalMessage(M));
+      for (NodeId To = 0; To < this->G.numNodes(); ++To)
+        Net.send(N, To, Frame);
+    };
+    CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
+      Detector.monitor(N, Targets);
+    };
+    CBs.Decide = [](const graph::Region &) {};
+    Nodes.push_back(
+        std::make_unique<GlobalFloodingNode>(N, G.numNodes(), CBs));
+  }
+  for (auto &Node : Nodes)
+    Node->start();
+}
+
+void GlobalScenarioRunner::scheduleCrash(NodeId Node, SimTime When) {
+  assert(!Faulty.contains(Node) && "node scheduled to crash twice");
+  Faulty.insert(Node);
+  Sim.at(When, [this, Node]() {
+    Net.crash(Node);
+    Detector.nodeCrashed(Node);
+  });
+}
+
+void GlobalScenarioRunner::scheduleCrashAll(const graph::Region &Nodes_,
+                                            SimTime When) {
+  for (NodeId N : Nodes_)
+    scheduleCrash(N, When);
+}
+
+uint64_t GlobalScenarioRunner::run() { return Sim.run(); }
+
+size_t GlobalScenarioRunner::decidersCount() const {
+  size_t Count = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (!Faulty.contains(N) && Nodes[N]->hasDecided())
+      ++Count;
+  return Count;
+}
+
+bool GlobalScenarioRunner::allAgree() const {
+  const graph::Region *First = nullptr;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    if (Faulty.contains(N) || !Nodes[N]->hasDecided())
+      continue;
+    if (!First)
+      First = &Nodes[N]->decidedSet();
+    else if (Nodes[N]->decidedSet() != *First)
+      return false;
+  }
+  return true;
+}
+
+NaiveScenarioRunner::NaiveScenarioRunner(const graph::Graph &InG,
+                                         sim::LatencyModel Latency,
+                                         detector::DetectionDelayModel Delay)
+    : G(InG),
+      Net(Sim, G.numNodes(),
+          Latency ? std::move(Latency) : sim::fixedLatency(10)),
+      Detector(Sim, G.numNodes(),
+               Delay ? std::move(Delay) : detector::fixedDetectionDelay(5),
+               [this](NodeId Watcher, NodeId Target) {
+                 Nodes[Watcher]->onCrash(Target);
+               }),
+      CrashTimes(G.numNodes(), TimeNever) {
+  Net.setDeliver(
+      [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
+        std::optional<core::Message> M = core::decodeMessage(*Bytes);
+        assert(M && "transport delivered a corrupt frame");
+        if (M)
+          Nodes[To]->onDeliver(From, *M);
+      });
+  Nodes.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    core::Callbacks CBs;
+    CBs.Multicast = [this, N](const graph::Region &To,
+                              const core::Message &M) {
+      auto Frame = std::make_shared<const std::vector<uint8_t>>(
+          core::encodeMessage(M));
+      for (NodeId Recipient : To)
+        Net.send(N, Recipient, Frame);
+    };
+    CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
+      Detector.monitor(N, Targets);
+    };
+    CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
+      Decisions.push_back(trace::DecisionRecord{N, View, Chosen, Sim.now()});
+    };
+    CBs.SelectValue = [N](const graph::Region &) {
+      return static_cast<core::Value>(N);
+    };
+    Nodes.push_back(std::make_unique<NaiveLocalNode>(N, G, std::move(CBs)));
+  }
+  for (auto &Node : Nodes)
+    Node->start();
+}
+
+void NaiveScenarioRunner::scheduleCrash(NodeId Node, SimTime When) {
+  assert(!Faulty.contains(Node) && "node scheduled to crash twice");
+  Faulty.insert(Node);
+  CrashTimes[Node] = When;
+  Sim.at(When, [this, Node]() {
+    Net.crash(Node);
+    Detector.nodeCrashed(Node);
+  });
+}
+
+void NaiveScenarioRunner::scheduleCrashAll(const graph::Region &Nodes_,
+                                           SimTime When) {
+  for (NodeId N : Nodes_)
+    scheduleCrash(N, When);
+}
+
+uint64_t NaiveScenarioRunner::run() { return Sim.run(); }

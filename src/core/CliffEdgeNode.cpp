@@ -1,0 +1,300 @@
+//===- core/CliffEdgeNode.cpp - Algorithm 1: cliff-edge consensus -----------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/CliffEdgeNode.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::core;
+
+CliffEdgeNode::CliffEdgeNode(NodeId InSelf, const graph::Graph &InG,
+                             Config InCfg, Callbacks InCBs)
+    : Self(InSelf), G(InG), Cfg(InCfg), CBs(std::move(InCBs)) {
+  assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
+         CBs.SelectValue && "all callbacks must be provided");
+}
+
+void CliffEdgeNode::start() {
+  assert(!Started && "start() called twice");
+  Started = true;
+  // Line 4: monitor our own neighbours.
+  CBs.MonitorCrash(G.border(Self));
+}
+
+void CliffEdgeNode::onCrash(NodeId Q) {
+  assert(Started && "event before start()");
+  assert(Q != Self && "a node cannot observe its own crash");
+  if (LocallyCrashed.contains(Q))
+    return; // The detector notifies at most once, but stay defensive.
+  ++Stats.CrashesObserved;
+
+  // Lines 6-7: record the crash and extend monitoring to the crashed
+  // node's own neighbourhood, so a growing region keeps being tracked.
+  LocallyCrashed.insert(Q);
+  CBs.MonitorCrash(G.border(Q).differenceWith(LocallyCrashed));
+
+  // Lines 8-11: recompute the highest-ranked crashed region we know of;
+  // adopt it as the next candidate view if it outranks the current one.
+  std::vector<graph::Region> Components =
+      G.connectedComponents(LocallyCrashed);
+  const graph::Region &Best =
+      graph::maxRankedRegion(G, Components, Cfg.Ranking);
+  if (graph::rankedLess(G, MaxView, Best, Cfg.Ranking)) {
+    MaxView = Best;
+    CandidateView = Best;
+  }
+
+  dispatch();
+}
+
+void CliffEdgeNode::onDeliver(NodeId From, const Message &M) {
+  assert(Started && "event before start()");
+  // Line 18 guard: messages about views we rejected are ignored for good.
+  if (RejectedViews.count(M.View)) {
+    ++Stats.MessagesIgnored;
+    return;
+  }
+  assert(M.Border.contains(Self) &&
+         "received a message for a view we do not border");
+
+  Instance &I = ensureInstance(M.View, M.Border);
+  if (M.Final) {
+    // A Final message stands in for every remaining round of its sender
+    // (footnote-6 optimisation): merge it into each round it covers.
+    for (uint32_t R = std::min(M.Round, I.NumRounds); R <= I.NumRounds; ++R)
+      mergeIntoRound(I, R, From, M.Opinions, M.Opinions.isComplete());
+  } else {
+    assert(M.Round >= 1 && M.Round <= I.NumRounds &&
+           "round outside instance bounds");
+    mergeIntoRound(I, M.Round, From, M.Opinions, M.Opinions.isComplete());
+  }
+
+  dispatch();
+}
+
+void CliffEdgeNode::dispatch() {
+  // Fixpoint evaluation of the guarded handlers (lines 12, 26, 32). Each
+  // helper returns true when it fired, which may enable the others.
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    if (tryStartInstance())
+      Progress = true;
+    if (tryRejectLower())
+      Progress = true;
+    if (tryCompleteRound())
+      Progress = true;
+  }
+}
+
+bool CliffEdgeNode::tryStartInstance() {
+  // Line 12 guard: proposed = bottom and candidateView != empty.
+  if (HasProposal || CandidateView.empty())
+    return false;
+
+  // Lines 13-17.
+  Vp = CandidateView;
+  CandidateView = graph::Region();
+  ProposedValue = CBs.SelectValue(Vp);
+  HasProposal = true;
+  Round = 1;
+  ++Stats.Proposals;
+  ++Stats.RoundsStarted;
+
+  graph::Region Border = G.border(Vp);
+  assert(Border.contains(Self) && "proposer must border its view (CD2)");
+  OpinionVec Op(Border.size());
+  Op[memberIndex(Border, Self)] = OpinionEntry{Opinion::Accept,
+                                               ProposedValue};
+  Message M;
+  M.Round = 1;
+  M.View = Vp;
+  M.Border = std::move(Border);
+  M.Opinions = std::move(Op);
+  multicast(M.Border, M);
+  emitEvent(EventKind::Propose, Vp, 1);
+  return true;
+}
+
+bool CliffEdgeNode::tryRejectLower() {
+  // Line 26 guard: some received view is ranked strictly below our
+  // (latest) proposal. Vp deliberately persists across instance failures —
+  // the views a node proposes grow monotonically (Lemma 2), so anything
+  // below an older proposal is also below any future one.
+  if (Vp.empty())
+    return false;
+
+  std::vector<graph::Region> Lower;
+  for (const auto &Entry : Received)
+    if (Entry.first != Vp &&
+        graph::rankedLess(G, Entry.first, Vp, Cfg.Ranking))
+      Lower.push_back(Entry.first);
+  if (Lower.empty())
+    return false;
+
+  // Deterministic rejection order regardless of hash-map iteration.
+  std::sort(Lower.begin(), Lower.end(),
+            [](const graph::Region &A, const graph::Region &B) {
+              return A.lexLess(B);
+            });
+  for (const graph::Region &L : Lower)
+    doReject(L);
+  return true;
+}
+
+void CliffEdgeNode::doReject(const graph::Region &L) {
+  // Lines 28-31.
+  auto It = Received.find(L);
+  assert(It != Received.end() && "rejecting a view we never received");
+  graph::Region Border = It->second.Border;
+
+  OpinionVec Op(Border.size());
+  Op[memberIndex(Border, Self)] = OpinionEntry{Opinion::Reject, 0};
+
+  Received.erase(It);
+  RejectedViews.insert(L);
+  ++Stats.Rejections;
+
+  Message M;
+  M.Round = 1;
+  M.View = L;
+  M.Border = std::move(Border);
+  M.Opinions = std::move(Op);
+  multicast(M.Border, M);
+  emitEvent(EventKind::Reject, L, 1);
+}
+
+bool CliffEdgeNode::tryCompleteRound() {
+  // Line 32 guard: an active own instance whose current-round waiting set
+  // contains only nodes we know to be crashed.
+  if (!HasProposal || Decided)
+    return false;
+  auto It = Received.find(Vp);
+  if (It == Received.end())
+    return false; // Our own round-1 self-delivery has not arrived yet.
+  Instance &I = It->second;
+  const graph::Region &Waiting = I.Waiting[Round - 1];
+  if (!Waiting.differenceWith(LocallyCrashed).empty())
+    return false;
+
+  // Footnote-6 early termination: if every border member relayed a
+  // complete vector this round, all members are known to know everything;
+  // finish now and cover our remaining rounds with one Final message.
+  if (Cfg.EarlyTermination && Round >= 2 && Round < I.NumRounds &&
+      I.CompleteRelays[Round - 1].size() == I.Border.size()) {
+    ++Stats.EarlyTerminations;
+    Message M;
+    M.Round = Round + 1;
+    M.View = Vp;
+    M.Border = I.Border;
+    M.Opinions = I.Opinions[Round - 1];
+    M.Final = true;
+    multicast(I.Border, M);
+    emitEvent(EventKind::EarlyTerminate, Vp, Round);
+    finishInstance(I, Round);
+    return true;
+  }
+
+  if (Round == I.NumRounds) {
+    // Lines 33-37: consensus instance completed.
+    finishInstance(I, Round);
+    return true;
+  }
+
+  // Lines 38-40: start the next round, relaying last round's vector.
+  ++Round;
+  ++Stats.RoundsStarted;
+  Message M;
+  M.Round = Round;
+  M.View = Vp;
+  M.Border = I.Border;
+  M.Opinions = I.Opinions[Round - 2];
+  multicast(I.Border, M);
+  emitEvent(EventKind::RoundAdvance, Vp, Round);
+  return true;
+}
+
+void CliffEdgeNode::finishInstance(Instance &I, uint32_t FinalRound) {
+  const OpinionVec &Vec = I.Opinions[FinalRound - 1];
+  if (Vec.allAccept()) {
+    // Lines 34-36. deterministicPick: every completer holds the identical
+    // vector (Lemma 3), so "value of the smallest border id" is a shared
+    // deterministic choice.
+    Decided = true;
+    DecidedV = Vp;
+    DecidedVal = Vec[0].Val;
+    emitEvent(EventKind::Decide, Vp, FinalRound);
+    CBs.Decide(DecidedV, DecidedVal);
+    return;
+  }
+  // Line 37: the attempt failed (a reject or a crash hole in the vector);
+  // reset and wait for the view construction to produce a better candidate.
+  HasProposal = false;
+  ++Stats.InstancesFailed;
+  emitEvent(EventKind::InstanceFailed, Vp, FinalRound);
+}
+
+CliffEdgeNode::Instance &
+CliffEdgeNode::ensureInstance(const graph::Region &V,
+                              const graph::Region &B) {
+  auto It = Received.find(V);
+  if (It != Received.end())
+    return It->second;
+
+  // Lines 19-22: first contact with this view — allocate every round's
+  // opinion vector and waiting set up front.
+  assert(B == G.border(V) && "border must match the topology");
+  Instance I;
+  I.Border = B;
+  I.NumRounds = std::max<uint32_t>(
+      1, static_cast<uint32_t>(B.size()) - 1);
+  I.Opinions.assign(I.NumRounds, OpinionVec(B.size()));
+  I.Waiting.assign(I.NumRounds, B);
+  I.CompleteRelays.assign(I.NumRounds, graph::Region());
+  return Received.emplace(V, std::move(I)).first->second;
+}
+
+void CliffEdgeNode::mergeIntoRound(Instance &I, uint32_t MsgRound,
+                                   NodeId From, const OpinionVec &Op,
+                                   bool RelayComplete) {
+  assert(MsgRound >= 1 && MsgRound <= I.NumRounds && "round out of bounds");
+  assert(Op.size() == I.Border.size() && "opinion vector size mismatch");
+
+  // Lines 23-24: first write wins — only bottom entries are filled. FIFO
+  // channels then guarantee an accept from a node that later rejected the
+  // same view is recorded, never overwritten (Lemma 3 relies on this).
+  OpinionVec &Dst = I.Opinions[MsgRound - 1];
+  for (size_t K = 0; K < Op.size(); ++K)
+    if (Dst[K].Kind == Opinion::None && Op[K].Kind != Opinion::None)
+      Dst[K] = Op[K];
+
+  // Line 25: stop waiting for the sender and for anyone the vector shows
+  // as a rejecter (rejecters send no further rounds).
+  graph::Region &Waiting = I.Waiting[MsgRound - 1];
+  Waiting.erase(From);
+  for (size_t K = 0; K < Op.size(); ++K)
+    if (Op[K].Kind == Opinion::Reject)
+      Waiting.erase(I.Border.ids()[K]);
+
+  if (RelayComplete)
+    I.CompleteRelays[MsgRound - 1].insert(From);
+}
+
+void CliffEdgeNode::multicast(const graph::Region &To, const Message &M) {
+  // The paper's best-effort multicast (§3.1): point-to-point sends to each
+  // recipient. The sender is in border(V), so this includes a self-send,
+  // which is what later makes "Vp in received" true.
+  CBs.Multicast(To, M);
+}
+
+void CliffEdgeNode::emitEvent(EventKind Kind, const graph::Region &View,
+                              uint32_t EventRound) {
+  if (CBs.OnEvent)
+    CBs.OnEvent(ProtocolEvent{Kind, View, EventRound});
+}

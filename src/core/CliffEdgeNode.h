@@ -1,0 +1,230 @@
+//===- core/CliffEdgeNode.h - Algorithm 1: cliff-edge consensus -*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-node state machine of the paper's Algorithm 1 ("Convergent
+/// detection of crashed regions executed by node p"). The class is
+/// transport-agnostic: inputs are the paper's events (<crash|q> from the
+/// failure detector, <mDeliver|p,[m]> from the network) and outputs flow
+/// through a Callbacks bundle (send, monitorCrash, decide, value
+/// selection). The event-handler guards of the pseudo-code (lines 12, 26
+/// and 32) are re-evaluated to fixpoint after every input, mirroring the
+/// paper's mono-threaded event model (§2.3).
+///
+/// Pseudo-code mapping (line numbers refer to Algorithm 1 in the paper):
+///   lines 1-4   -> start()
+///   lines 5-11  -> onCrash()            (view construction)
+///   lines 12-17 -> tryStartInstance()   (new consensus instance)
+///   lines 18-25 -> onDeliver()          (updating opinions)
+///   lines 26-31 -> tryRejectLower() / doReject()
+///   lines 32-40 -> tryCompleteRound()   (round completion / decision)
+///
+/// Deviations from the pseudo-code, all documented in DESIGN.md:
+///  * a view with a single border node runs max(1, |B|-1) = 1 round;
+///  * line 32 additionally requires an active proposal, so a failed
+///    instance does not re-fire its completion guard;
+///  * the footnote-6 early-termination optimisation is available behind
+///    Config::EarlyTermination (off by default), implemented with Final
+///    messages that stand in for all remaining rounds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_CORE_CLIFFEDGENODE_H
+#define CLIFFEDGE_CORE_CLIFFEDGENODE_H
+
+#include "core/Message.h"
+#include "core/Types.h"
+#include "graph/Graph.h"
+#include "graph/Ranking.h"
+#include "graph/Region.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace cliffedge {
+namespace core {
+
+/// Tunables for one protocol node.
+struct Config {
+  /// Ranking relation used for view arbitration (§3.1). The paper's
+  /// relation is SizeBorderLex; others are ablations.
+  graph::RankingKind Ranking = graph::RankingKind::SizeBorderLex;
+
+  /// Enables the footnote-6 optimisation: terminate an instance as soon as
+  /// every border member is known to hold a complete opinion vector.
+  bool EarlyTermination = false;
+};
+
+/// Protocol-internal transitions, exposed for observability. These are
+/// *not* part of the algorithm; harnesses use them for timelines, debug
+/// logs and white-box assertions.
+enum class EventKind : uint8_t {
+  Propose,        ///< Line 17: a new instance was started.
+  Reject,         ///< Line 31: a lower-ranked view was rejected.
+  RoundAdvance,   ///< Line 39: moved to the next round.
+  InstanceFailed, ///< Line 37: attempt failed, proposal reset.
+  EarlyTerminate, ///< Footnote 6: finished before the last round.
+  Decide,         ///< Line 36.
+};
+
+/// One observability event (see Callbacks::OnEvent).
+struct ProtocolEvent {
+  EventKind Kind;
+  graph::Region View;
+  uint32_t Round = 0;
+};
+
+/// Outgoing effects of a protocol node. All callbacks must be set except
+/// OnEvent, which is optional.
+struct Callbacks {
+  /// The paper's best-effort multicast (§3.1): delivers \p M to every node
+  /// of \p To over point-to-point channels, including the sender itself
+  /// (the sender is always in border(V)). Handing the whole recipient set
+  /// to the transport lets it encode the payload once.
+  std::function<void(const graph::Region &To, const Message &M)> Multicast;
+
+  /// The paper's <monitorCrash | S>: subscribe to crash notifications.
+  std::function<void(const graph::Region &Targets)> MonitorCrash;
+
+  /// The paper's <decide | S, d> output event.
+  std::function<void(const graph::Region &View, Value Chosen)> Decide;
+
+  /// The paper's selectValueForView(V) (line 14): the value this node
+  /// proposes for a view (e.g. a repair-plan id).
+  std::function<Value(const graph::Region &View)> SelectValue;
+
+  /// Optional observability hook; invoked synchronously on protocol
+  /// transitions. Must not re-enter the node.
+  std::function<void(const ProtocolEvent &E)> OnEvent;
+};
+
+/// One node's instance of the cliff-edge consensus protocol.
+class CliffEdgeNode {
+public:
+  /// Per-node protocol counters, consumed by benches and tests.
+  struct Counters {
+    uint64_t CrashesObserved = 0;
+    uint64_t Proposals = 0;
+    uint64_t Rejections = 0;
+    uint64_t RoundsStarted = 0;
+    uint64_t InstancesFailed = 0;
+    uint64_t EarlyTerminations = 0;
+    uint64_t MessagesIgnored = 0; ///< Deliveries for rejected views.
+  };
+
+  CliffEdgeNode(NodeId Self, const graph::Graph &G, Config Cfg,
+                Callbacks CBs);
+
+  /// The paper's <init> (lines 1-4): subscribes to the crashes of the
+  /// node's own neighbours. Must be called exactly once before any event.
+  void start();
+
+  /// The paper's <crash | q> handler (lines 5-11) plus guard dispatch.
+  void onCrash(NodeId Q);
+
+  /// The paper's <mDeliver | From, M> handler (lines 18-25) plus guard
+  /// dispatch.
+  void onDeliver(NodeId From, const Message &M);
+
+  // -- Introspection (checkers, tests, benches) ---------------------------
+
+  NodeId id() const { return Self; }
+  bool hasDecided() const { return Decided; }
+  const graph::Region &decidedView() const { return DecidedV; }
+  Value decidedValue() const { return DecidedVal; }
+
+  /// Nodes this node has detected as crashed so far.
+  const graph::Region &locallyCrashed() const { return LocallyCrashed; }
+
+  /// True while a proposal is live (the paper's proposed != bottom, until
+  /// instance failure).
+  bool hasActiveProposal() const { return HasProposal; }
+
+  /// The last proposed view Vp (empty if the node never proposed).
+  const graph::Region &lastProposedView() const { return Vp; }
+
+  /// Current round of the active instance.
+  uint32_t currentRound() const { return Round; }
+
+  /// Number of conflicting views this node currently tracks.
+  size_t trackedViews() const { return Received.size(); }
+
+  const Counters &counters() const { return Stats; }
+
+private:
+  /// Per-view consensus instance bookkeeping (the paper's opinions[V][.][.]
+  /// and waiting[V][.], lines 21-22).
+  struct Instance {
+    graph::Region Border;   ///< B = border(V), fixed by G.
+    uint32_t NumRounds = 1; ///< max(1, |B| - 1).
+    std::vector<OpinionVec> Opinions;   ///< [round-1] -> op vector.
+    std::vector<graph::Region> Waiting; ///< [round-1] -> members awaited.
+    /// Members whose message for a round carried a complete vector; when
+    /// all of B relayed complete vectors in some round, every member is
+    /// known to know everything (footnote-6 early-termination condition).
+    std::vector<graph::Region> CompleteRelays; ///< [round-1].
+  };
+
+  // -- Event-guard evaluation ---------------------------------------------
+
+  /// Re-evaluates the guarded handlers (lines 12, 26, 32) until none fires.
+  void dispatch();
+
+  /// Line 12: starts a new consensus instance when idle with a candidate.
+  bool tryStartInstance();
+
+  /// Line 26: rejects any received view ranked below our proposal.
+  bool tryRejectLower();
+
+  /// Lines 28-31: emits the reject vector for view \p L.
+  void doReject(const graph::Region &L);
+
+  /// Line 32: round completion, decision (lines 33-36), failure (line 37)
+  /// or next round (lines 38-40).
+  bool tryCompleteRound();
+
+  /// Completes the active instance using the round-\p RoundIdx vector:
+  /// decide on all-accept, otherwise mark the attempt failed.
+  void finishInstance(Instance &I, uint32_t FinalRound);
+
+  // -- Helpers -------------------------------------------------------------
+
+  Instance &ensureInstance(const graph::Region &V, const graph::Region &B);
+  void mergeIntoRound(Instance &I, uint32_t MsgRound, NodeId From,
+                      const OpinionVec &Op, bool RelayComplete);
+  void multicast(const graph::Region &To, const Message &M);
+  void emitEvent(EventKind Kind, const graph::Region &View,
+                 uint32_t EventRound);
+
+  NodeId Self;
+  const graph::Graph &G;
+  Config Cfg;
+  Callbacks CBs;
+
+  // Protocol state (names follow Algorithm 1, line 2-3).
+  bool Started = false;
+  bool Decided = false;
+  graph::Region DecidedV;
+  Value DecidedVal = 0;
+  bool HasProposal = false; ///< proposed != bottom.
+  Value ProposedValue = 0;
+  graph::Region LocallyCrashed;
+  graph::Region MaxView;
+  graph::Region CandidateView;
+  graph::Region Vp;
+  uint32_t Round = 1;
+  std::unordered_map<graph::Region, Instance, graph::RegionHash> Received;
+  std::unordered_set<graph::Region, graph::RegionHash> RejectedViews;
+
+  Counters Stats;
+};
+
+} // namespace core
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_CORE_CLIFFEDGENODE_H

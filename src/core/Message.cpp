@@ -1,0 +1,19 @@
+//===- core/Message.cpp - Protocol wire messages ----------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Message.h"
+
+#include "support/StrUtil.h"
+
+using namespace cliffedge;
+using namespace cliffedge::core;
+
+std::string Message::str() const {
+  return formatStr("r%u V=%s B=%s %s%s", Round, View.str().c_str(),
+                   Border.str().c_str(), Opinions.str().c_str(),
+                   Final ? " final" : "");
+}

@@ -1,0 +1,48 @@
+//===- core/Message.h - Protocol wire messages ------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single message kind of Algorithm 1: [r, V, B, op] — a round number,
+/// the proposed view V, its border B = border(V), and an opinion vector
+/// aligned with B. Proposals (line 17), rejections (line 31) and round
+/// relays (line 40) are all instances of this shape.
+///
+/// The `Final` flag implements the paper's footnote-6 optimisation: a node
+/// that can terminate early sends one final message standing for all of its
+/// remaining rounds (see CliffEdgeNode for the exact condition).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_CORE_MESSAGE_H
+#define CLIFFEDGE_CORE_MESSAGE_H
+
+#include "core/Types.h"
+#include "graph/Region.h"
+
+#include <string>
+
+namespace cliffedge {
+namespace core {
+
+/// One protocol message.
+struct Message {
+  uint32_t Round = 1;
+  graph::Region View;
+  graph::Region Border;
+  OpinionVec Opinions;
+  /// When set, this message stands in for every round >= Round (early
+  /// termination; the sender stops participating in this instance).
+  bool Final = false;
+
+  /// Renders e.g. "r2 V={1,2} B={0,3} [A:5,_] final" for logs.
+  std::string str() const;
+};
+
+} // namespace core
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_CORE_MESSAGE_H

@@ -1,0 +1,149 @@
+//===- core/Wire.cpp - Message (de)serialisation -----------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Wire.h"
+
+#include <cstring>
+
+using namespace cliffedge;
+using namespace cliffedge::core;
+
+namespace {
+
+constexpr uint32_t WireMagic = 0x43454C43; // "CLEC"
+constexpr uint8_t WireVersion = 1;
+
+class Writer {
+public:
+  void u8(uint8_t V) { Out.push_back(V); }
+  void u32(uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  void u64(uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  }
+  std::vector<uint8_t> take() { return std::move(Out); }
+
+private:
+  std::vector<uint8_t> Out;
+};
+
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &Bytes) : Data(Bytes) {}
+
+  bool u8(uint8_t &V) {
+    if (Pos + 1 > Data.size())
+      return false;
+    V = Data[Pos++];
+    return true;
+  }
+  bool u32(uint32_t &V) {
+    if (Pos + 4 > Data.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 4; ++I)
+      V |= static_cast<uint32_t>(Data[Pos++]) << (8 * I);
+    return true;
+  }
+  bool u64(uint64_t &V) {
+    if (Pos + 8 > Data.size())
+      return false;
+    V = 0;
+    for (int I = 0; I < 8; ++I)
+      V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
+    return true;
+  }
+  bool atEnd() const { return Pos == Data.size(); }
+
+private:
+  const std::vector<uint8_t> &Data;
+  size_t Pos = 0;
+};
+
+void writeRegion(Writer &W, const graph::Region &R) {
+  W.u32(static_cast<uint32_t>(R.size()));
+  for (NodeId N : R)
+    W.u32(N);
+}
+
+bool readRegion(Reader &R, graph::Region &Out) {
+  uint32_t Count = 0;
+  if (!R.u32(Count))
+    return false;
+  std::vector<NodeId> Ids;
+  Ids.reserve(Count);
+  NodeId Prev = 0;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint32_t Id = 0;
+    if (!R.u32(Id))
+      return false;
+    // Enforce strictly increasing ids: rejects duplicates and unsorted
+    // input so Region invariants hold without re-sorting attacker bytes.
+    if (I > 0 && Id <= Prev)
+      return false;
+    Prev = Id;
+    Ids.push_back(Id);
+  }
+  Out = graph::Region(std::move(Ids));
+  return true;
+}
+
+} // namespace
+
+std::vector<uint8_t> core::encodeMessage(const Message &M) {
+  Writer W;
+  W.u32(WireMagic);
+  W.u8(WireVersion);
+  W.u8(M.Final ? 1 : 0);
+  W.u32(M.Round);
+  writeRegion(W, M.View);
+  writeRegion(W, M.Border);
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    const OpinionEntry &E = M.Opinions[I];
+    W.u8(static_cast<uint8_t>(E.Kind));
+    if (E.Kind == Opinion::Accept)
+      W.u64(E.Val);
+  }
+  return W.take();
+}
+
+std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes) {
+  Reader R(Bytes);
+  uint32_t Magic = 0;
+  uint8_t Version = 0, Flags = 0;
+  if (!R.u32(Magic) || Magic != WireMagic)
+    return std::nullopt;
+  if (!R.u8(Version) || Version != WireVersion)
+    return std::nullopt;
+  if (!R.u8(Flags) || (Flags & ~1u))
+    return std::nullopt;
+
+  Message M;
+  M.Final = (Flags & 1u) != 0;
+  if (!R.u32(M.Round) || M.Round == 0)
+    return std::nullopt;
+  if (!readRegion(R, M.View) || !readRegion(R, M.Border))
+    return std::nullopt;
+  if (M.View.empty() || M.Border.empty())
+    return std::nullopt;
+
+  M.Opinions = OpinionVec(M.Border.size());
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    uint8_t Kind = 0;
+    if (!R.u8(Kind) || Kind > static_cast<uint8_t>(Opinion::Reject))
+      return std::nullopt;
+    M.Opinions[I].Kind = static_cast<Opinion>(Kind);
+    if (M.Opinions[I].Kind == Opinion::Accept && !R.u64(M.Opinions[I].Val))
+      return std::nullopt;
+  }
+  if (!R.atEnd())
+    return std::nullopt;
+  return M;
+}

@@ -1,0 +1,47 @@
+//===- core/Wire.h - Message (de)serialisation ------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compact little-endian binary wire format for protocol messages, shared
+/// by the simulated network and the threaded runtime. Serialising for real
+/// keeps the byte accounting of the locality benches honest and lets both
+/// transports carry the same frames.
+///
+/// Layout (all integers little-endian):
+///   u32 magic 'CLEC'   u8 version   u8 flags(bit0 = Final)
+///   u32 round
+///   u32 |V|   u32 V ids...
+///   u32 |B|   u32 B ids...
+///   per B member: u8 opinion kind, u64 value (Accept only)
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_CORE_WIRE_H
+#define CLIFFEDGE_CORE_WIRE_H
+
+#include "core/Message.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace cliffedge {
+namespace core {
+
+/// Serialises \p M into a fresh byte buffer.
+std::vector<uint8_t> encodeMessage(const Message &M);
+
+/// Parses a buffer produced by encodeMessage. Returns std::nullopt on any
+/// malformed input (wrong magic/version, truncation, unsorted sets, bad
+/// opinion kinds) — the transport is trusted, but the decoder still refuses
+/// garbage rather than asserting, so fuzz-style tests can probe it.
+std::optional<Message> decodeMessage(const std::vector<uint8_t> &Bytes);
+
+} // namespace core
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_CORE_WIRE_H

@@ -1,0 +1,68 @@
+//===- detector/FailureDetector.cpp - Perfect failure detector -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "detector/FailureDetector.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::detector;
+
+PerfectFailureDetector::PerfectFailureDetector(sim::Simulator &InSim,
+                                               uint32_t NumNodes,
+                                               DetectionDelayModel InDelay,
+                                               NotifyFn InOnCrash)
+    : Sim(InSim), Delay(std::move(InDelay)), OnCrash(std::move(InOnCrash)),
+      Crashed(NumNodes, false), Watchers(NumNodes), Subscribed(NumNodes) {}
+
+bool PerfectFailureDetector::insertSorted(std::vector<NodeId> &List,
+                                          NodeId Value) {
+  auto It = std::lower_bound(List.begin(), List.end(), Value);
+  if (It != List.end() && *It == Value)
+    return false;
+  List.insert(It, Value);
+  return true;
+}
+
+void PerfectFailureDetector::monitor(NodeId Watcher,
+                                     const graph::Region &Targets) {
+  assert(Watcher < Crashed.size() && "watcher out of range");
+  for (NodeId Target : Targets) {
+    assert(Target < Crashed.size() && "target out of range");
+    if (Target == Watcher)
+      continue; // A node does not monitor itself.
+    if (!insertSorted(Subscribed[Watcher], Target))
+      continue; // Already subscribed: at-most-once semantics.
+    insertSorted(Watchers[Target], Watcher);
+    // Strong completeness for late subscriptions: the target may already be
+    // down; notify after the usual detection delay.
+    if (Crashed[Target])
+      scheduleNotification(Watcher, Target);
+  }
+}
+
+void PerfectFailureDetector::nodeCrashed(NodeId Node) {
+  assert(Node < Crashed.size() && "node out of range");
+  assert(!Crashed[Node] && "node crashed twice");
+  Crashed[Node] = true;
+  for (NodeId Watcher : Watchers[Node])
+    scheduleNotification(Watcher, Node);
+}
+
+void PerfectFailureDetector::scheduleNotification(NodeId Watcher,
+                                                  NodeId Target) {
+  SimTime When = Sim.now() + Delay(Watcher, Target);
+  Sim.at(When, [this, Watcher, Target]() {
+    // Crashed watchers receive nothing; strong accuracy is immediate since
+    // notifications are only ever scheduled for real crashes.
+    if (Crashed[Watcher])
+      return;
+    ++Delivered;
+    OnCrash(Watcher, Target);
+  });
+}

@@ -1,0 +1,108 @@
+//===- graph/Algorithms.cpp - Traversal and metric helpers ----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Algorithms.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+std::vector<uint32_t> graph::bfsDistances(const Graph &G, NodeId Source) {
+  assert(Source < G.numNodes() && "source out of range");
+  std::vector<uint32_t> Dist(G.numNodes(), DistUnreachable);
+  std::deque<NodeId> Queue;
+  Dist[Source] = 0;
+  Queue.push_back(Source);
+  while (!Queue.empty()) {
+    NodeId Current = Queue.front();
+    Queue.pop_front();
+    for (NodeId Neighbor : G.neighbors(Current)) {
+      if (Dist[Neighbor] != DistUnreachable)
+        continue;
+      Dist[Neighbor] = Dist[Current] + 1;
+      Queue.push_back(Neighbor);
+    }
+  }
+  return Dist;
+}
+
+std::vector<uint32_t> graph::bfsDistancesWithin(const Graph &G, NodeId Source,
+                                                const Region &Allowed) {
+  assert(Allowed.contains(Source) && "source must be inside Allowed");
+  std::vector<uint32_t> Dist(G.numNodes(), DistUnreachable);
+  std::deque<NodeId> Queue;
+  Dist[Source] = 0;
+  Queue.push_back(Source);
+  while (!Queue.empty()) {
+    NodeId Current = Queue.front();
+    Queue.pop_front();
+    for (NodeId Neighbor : G.neighbors(Current)) {
+      if (!Allowed.contains(Neighbor) || Dist[Neighbor] != DistUnreachable)
+        continue;
+      Dist[Neighbor] = Dist[Current] + 1;
+      Queue.push_back(Neighbor);
+    }
+  }
+  return Dist;
+}
+
+bool graph::isConnected(const Graph &G) {
+  if (G.numNodes() == 0)
+    return true;
+  std::vector<uint32_t> Dist = bfsDistances(G, 0);
+  return std::none_of(Dist.begin(), Dist.end(), [](uint32_t D) {
+    return D == DistUnreachable;
+  });
+}
+
+Region graph::ballAround(const Graph &G, NodeId Center, uint32_t Radius) {
+  std::vector<uint32_t> Dist = bfsDistances(G, Center);
+  std::vector<NodeId> Members;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (Dist[N] != DistUnreachable && Dist[N] <= Radius)
+      Members.push_back(N);
+  return Region(std::move(Members));
+}
+
+Region graph::growRegionFrom(const Graph &G, NodeId Seed, size_t TargetSize) {
+  assert(Seed < G.numNodes() && "seed out of range");
+  Region Members;
+  if (TargetSize == 0)
+    return Members;
+  std::deque<NodeId> Queue;
+  Members.insert(Seed);
+  Queue.push_back(Seed);
+  while (!Queue.empty() && Members.size() < TargetSize) {
+    NodeId Current = Queue.front();
+    Queue.pop_front();
+    for (NodeId Neighbor : G.neighbors(Current)) {
+      if (Members.contains(Neighbor))
+        continue;
+      Members.insert(Neighbor);
+      Queue.push_back(Neighbor);
+      if (Members.size() >= TargetSize)
+        break;
+    }
+  }
+  return Members;
+}
+
+uint32_t graph::diameter(const Graph &G) {
+  uint32_t Best = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    std::vector<uint32_t> Dist = bfsDistances(G, N);
+    for (uint32_t D : Dist) {
+      if (D == DistUnreachable)
+        return DistUnreachable;
+      Best = std::max(Best, D);
+    }
+  }
+  return Best;
+}

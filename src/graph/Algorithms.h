@@ -1,0 +1,58 @@
+//===- graph/Algorithms.h - Traversal and metric helpers --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph traversal utilities used by workload generators (growing a crashed
+/// ball around an epicentre), by the locality checker (is a message endpoint
+/// within some faulty domain's border?) and by tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_ALGORITHMS_H
+#define CLIFFEDGE_GRAPH_ALGORITHMS_H
+
+#include "graph/Graph.h"
+#include "graph/Region.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// Distance value meaning "unreachable".
+inline constexpr uint32_t DistUnreachable = UINT32_MAX;
+
+/// BFS hop distances from \p Source to every node. Unreachable nodes get
+/// DistUnreachable.
+std::vector<uint32_t> bfsDistances(const Graph &G, NodeId Source);
+
+/// BFS distances from \p Source where the walk may only traverse nodes in
+/// \p Allowed (the source must be in \p Allowed).
+std::vector<uint32_t> bfsDistancesWithin(const Graph &G, NodeId Source,
+                                         const Region &Allowed);
+
+/// True if the whole graph is connected (vacuously true when empty).
+bool isConnected(const Graph &G);
+
+/// The ball of radius \p Radius around \p Center (hop metric), i.e. all
+/// nodes at BFS distance <= Radius. Always contains \p Center.
+Region ballAround(const Graph &G, NodeId Center, uint32_t Radius);
+
+/// Grows a connected region of exactly \p TargetSize nodes from \p Seed by
+/// breadth-first accretion (deterministic: neighbours in sorted order).
+/// Returns fewer nodes if the component of Seed is smaller.
+Region growRegionFrom(const Graph &G, NodeId Seed, size_t TargetSize);
+
+/// Longest shortest-path distance in the graph; DistUnreachable when the
+/// graph is disconnected. Intended for tests on small graphs (O(V*E)).
+uint32_t diameter(const Graph &G);
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_ALGORITHMS_H

@@ -1,0 +1,278 @@
+//===- graph/Builders.cpp - Topology generators ----------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builders.h"
+
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+Graph graph::makeLine(uint32_t N) {
+  Graph G(N);
+  for (uint32_t I = 0; I + 1 < N; ++I)
+    G.addEdge(I, I + 1);
+  return G;
+}
+
+Graph graph::makeRing(uint32_t N) {
+  assert(N >= 3 && "a ring needs at least three nodes");
+  Graph G(N);
+  for (uint32_t I = 0; I < N; ++I)
+    G.addEdge(I, (I + 1) % N);
+  return G;
+}
+
+Graph graph::makeGrid(uint32_t Width, uint32_t Height) {
+  Graph G(Width * Height);
+  for (uint32_t Y = 0; Y < Height; ++Y) {
+    for (uint32_t X = 0; X < Width; ++X) {
+      NodeId Here = gridId(Width, X, Y);
+      if (X + 1 < Width)
+        G.addEdge(Here, gridId(Width, X + 1, Y));
+      if (Y + 1 < Height)
+        G.addEdge(Here, gridId(Width, X, Y + 1));
+    }
+  }
+  return G;
+}
+
+Graph graph::makeTorus(uint32_t Width, uint32_t Height) {
+  assert(Width >= 3 && Height >= 3 && "torus needs 3x3 minimum");
+  Graph G(Width * Height);
+  for (uint32_t Y = 0; Y < Height; ++Y) {
+    for (uint32_t X = 0; X < Width; ++X) {
+      NodeId Here = gridId(Width, X, Y);
+      G.addEdge(Here, gridId(Width, (X + 1) % Width, Y));
+      G.addEdge(Here, gridId(Width, X, (Y + 1) % Height));
+    }
+  }
+  return G;
+}
+
+Graph graph::makeComplete(uint32_t N) {
+  Graph G(N);
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t J = I + 1; J < N; ++J)
+      G.addEdge(I, J);
+  return G;
+}
+
+Graph graph::makeStar(uint32_t N) {
+  assert(N >= 2 && "a star needs a hub and at least one leaf");
+  Graph G(N);
+  for (uint32_t I = 1; I < N; ++I)
+    G.addEdge(0, I);
+  return G;
+}
+
+Graph graph::makeTree(uint32_t N, uint32_t Arity) {
+  assert(Arity >= 1 && "tree arity must be positive");
+  Graph G(N);
+  for (uint32_t I = 1; I < N; ++I)
+    G.addEdge(I, (I - 1) / Arity);
+  return G;
+}
+
+Graph graph::makeErdosRenyi(uint32_t N, double P, Rng &Rand,
+                            bool EnsureConnected) {
+  Graph G(N);
+  if (EnsureConnected && N > 1) {
+    // Random permutation chain guarantees connectivity without biasing any
+    // particular node.
+    std::vector<NodeId> Order(N);
+    for (uint32_t I = 0; I < N; ++I)
+      Order[I] = I;
+    Rand.shuffle(Order);
+    for (uint32_t I = 0; I + 1 < N; ++I)
+      G.addEdge(Order[I], Order[I + 1]);
+  }
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t J = I + 1; J < N; ++J)
+      if (Rand.nextBool(P))
+        G.addEdge(I, J);
+  return G;
+}
+
+Graph graph::makeWattsStrogatz(uint32_t N, uint32_t K, double Beta,
+                               Rng &Rand) {
+  assert(N > 2 * K && "Watts-Strogatz needs N > 2K");
+  Graph G(N);
+  // Ring lattice.
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t Step = 1; Step <= K; ++Step)
+      G.addEdge(I, (I + Step) % N);
+  // Rewire: since Graph has no edge removal (it is immutable by design once
+  // built), emulate rewiring by building an edge list first.
+  Graph Rewired(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    for (NodeId J : G.neighbors(I)) {
+      if (J < I)
+        continue; // Visit each undirected edge once.
+      NodeId Target = J;
+      if (Rand.nextBool(Beta)) {
+        // Pick a random non-self target; duplicate edges collapse silently.
+        NodeId Candidate = static_cast<NodeId>(Rand.nextBelow(N));
+        if (Candidate != I)
+          Target = Candidate;
+      }
+      Rewired.addEdge(I, Target);
+    }
+  }
+  return Rewired;
+}
+
+Graph graph::makeRandomGeometric(uint32_t N, double Radius, Rng &Rand,
+                                 bool EnsureConnected) {
+  std::vector<double> Xs(N), Ys(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    Xs[I] = Rand.nextDouble();
+    Ys[I] = Rand.nextDouble();
+  }
+  Graph G(N);
+  double R2 = Radius * Radius;
+  for (uint32_t I = 0; I < N; ++I) {
+    for (uint32_t J = I + 1; J < N; ++J) {
+      double DX = Xs[I] - Xs[J], DY = Ys[I] - Ys[J];
+      if (DX * DX + DY * DY <= R2)
+        G.addEdge(I, J);
+    }
+  }
+  if (EnsureConnected && N > 1)
+    for (uint32_t I = 0; I + 1 < N; ++I)
+      G.addEdge(I, I + 1);
+  return G;
+}
+
+Graph graph::makeHypercube(uint32_t Dim) {
+  assert(Dim >= 1 && Dim < 31 && "hypercube dimension out of range");
+  uint32_t N = 1u << Dim;
+  Graph G(N);
+  for (uint32_t I = 0; I < N; ++I)
+    for (uint32_t Bit = 0; Bit < Dim; ++Bit)
+      if (I < (I ^ (1u << Bit)))
+        G.addEdge(I, I ^ (1u << Bit));
+  return G;
+}
+
+Graph graph::makeBarabasiAlbert(uint32_t N, uint32_t M, Rng &Rand) {
+  assert(M >= 1 && N > M && "need N > M >= 1");
+  Graph G(N);
+  // Seed clique of M+1 nodes.
+  for (uint32_t I = 0; I <= M; ++I)
+    for (uint32_t J = I + 1; J <= M; ++J)
+      G.addEdge(I, J);
+  // Endpoint pool: each node appears once per incident edge, so a uniform
+  // draw from the pool is degree-proportional.
+  std::vector<NodeId> Pool;
+  for (uint32_t I = 0; I <= M; ++I)
+    for (uint32_t J = 0; J < M; ++J)
+      Pool.push_back(I);
+  for (uint32_t New = M + 1; New < N; ++New) {
+    std::vector<NodeId> Chosen;
+    while (Chosen.size() < M) {
+      NodeId Pick = Pool[Rand.nextBelow(Pool.size())];
+      bool Dup = false;
+      for (NodeId C : Chosen)
+        Dup |= C == Pick;
+      if (!Dup)
+        Chosen.push_back(Pick);
+    }
+    for (NodeId Target : Chosen) {
+      G.addEdge(New, Target);
+      Pool.push_back(New);
+      Pool.push_back(Target);
+    }
+  }
+  return G;
+}
+
+Graph graph::makeChordRing(uint32_t N, uint32_t Fingers) {
+  assert(N >= 3 && "chord ring needs at least three nodes");
+  Graph G(N);
+  for (uint32_t I = 0; I < N; ++I) {
+    G.addEdge(I, (I + 1) % N); // Successor links.
+    for (uint32_t K = 1; K <= Fingers; ++K) {
+      uint32_t Jump = 1u << K;
+      if (Jump >= N)
+        break;
+      G.addEdge(I, (I + Jump) % N);
+    }
+  }
+  return G;
+}
+
+Fig1World graph::makeFig1World() {
+  Fig1World W;
+  Graph &G = W.G;
+  // Live cities.
+  W.Paris = G.addNode("paris");
+  W.London = G.addNode("london");
+  W.Madrid = G.addNode("madrid");
+  W.Roma = G.addNode("roma");
+  W.Berlin = G.addNode("berlin");
+  W.Tokyo = G.addNode("tokyo");
+  W.Vancouver = G.addNode("vancouver");
+  W.Portland = G.addNode("portland");
+  W.Sydney = G.addNode("sydney");
+  W.Beijing = G.addNode("beijing");
+  // Crashed region F1: two relay nodes in western Europe.
+  NodeId F1a = G.addNode("f1a");
+  NodeId F1b = G.addNode("f1b");
+  // Crashed region F2: three relay nodes around the Pacific.
+  NodeId F2a = G.addNode("f2a");
+  NodeId F2b = G.addNode("f2b");
+  NodeId F2c = G.addNode("f2c");
+
+  // F1 is a connected region whose border is exactly
+  // {paris, london, madrid, roma} (Fig. 1a).
+  G.addEdge(F1a, F1b);
+  G.addEdge(F1a, W.Paris);
+  G.addEdge(F1a, W.London);
+  G.addEdge(F1b, W.Madrid);
+  G.addEdge(F1b, W.Roma);
+
+  // F2 is a connected region whose border is exactly
+  // {tokyo, vancouver, portland, sydney, beijing}.
+  G.addEdge(F2a, F2b);
+  G.addEdge(F2b, F2c);
+  G.addEdge(F2a, W.Tokyo);
+  G.addEdge(F2a, W.Vancouver);
+  G.addEdge(F2b, W.Portland);
+  G.addEdge(F2c, W.Sydney);
+  G.addEdge(F2c, W.Beijing);
+
+  // paris's only still-live neighbour is berlin, so that when paris crashes
+  // (Fig. 1b) the region F3 = F1 + {paris} gains berlin as a border node.
+  G.addEdge(W.Paris, W.Berlin);
+
+  // Live mesh keeping the whole graph connected.
+  G.addEdge(W.London, W.Berlin);
+  G.addEdge(W.Madrid, W.Roma);
+  G.addEdge(W.Roma, W.Berlin);
+  G.addEdge(W.Berlin, W.Beijing);
+  G.addEdge(W.London, W.Vancouver);
+  G.addEdge(W.Tokyo, W.Beijing);
+  G.addEdge(W.Tokyo, W.Sydney);
+  G.addEdge(W.Vancouver, W.Portland);
+
+  W.F1 = Region{F1a, F1b};
+  W.F2 = Region{F2a, F2b, F2c};
+  return W;
+}
+
+Region graph::gridPatch(uint32_t Width, uint32_t X0, uint32_t Y0,
+                        uint32_t Side) {
+  std::vector<NodeId> Members;
+  Members.reserve(static_cast<size_t>(Side) * Side);
+  for (uint32_t DY = 0; DY < Side; ++DY)
+    for (uint32_t DX = 0; DX < Side; ++DX)
+      Members.push_back(gridId(Width, X0 + DX, Y0 + DY));
+  return Region(std::move(Members));
+}

@@ -1,0 +1,104 @@
+//===- graph/Builders.h - Topology generators -------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the topology families used across tests and benches:
+/// regular lattices (the paper's motivating DHT-like "topology mirrors
+/// physical proximity" setting, §2.1), random graphs, small worlds, and the
+/// named world-city topology of the paper's Figure 1.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_BUILDERS_H
+#define CLIFFEDGE_GRAPH_BUILDERS_H
+
+#include "graph/Graph.h"
+#include "graph/Region.h"
+#include "support/Random.h"
+
+namespace cliffedge {
+namespace graph {
+
+/// Path 0-1-...-(n-1).
+Graph makeLine(uint32_t N);
+
+/// Cycle of \p N nodes.
+Graph makeRing(uint32_t N);
+
+/// Width x Height 4-neighbour grid. Node (x, y) has id y*Width + x.
+Graph makeGrid(uint32_t Width, uint32_t Height);
+
+/// Grid with wrap-around edges (every node has degree 4).
+Graph makeTorus(uint32_t Width, uint32_t Height);
+
+/// Complete graph on \p N nodes.
+Graph makeComplete(uint32_t N);
+
+/// Star: node 0 is the hub, nodes 1..N-1 are leaves.
+Graph makeStar(uint32_t N);
+
+/// Complete \p Arity-ary tree with \p N nodes (node k's parent is
+/// (k-1)/Arity).
+Graph makeTree(uint32_t N, uint32_t Arity);
+
+/// Erdős–Rényi G(n, p). When \p EnsureConnected, a random spanning chain is
+/// added first so the result is always connected.
+Graph makeErdosRenyi(uint32_t N, double P, Rng &Rand,
+                     bool EnsureConnected = true);
+
+/// Watts–Strogatz small world: ring lattice with \p K nearest neighbours on
+/// each side, each edge rewired with probability \p Beta.
+Graph makeWattsStrogatz(uint32_t N, uint32_t K, double Beta, Rng &Rand);
+
+/// Random geometric graph on the unit square: nodes connect when closer
+/// than \p Radius. Extra chain edges keep it connected when
+/// \p EnsureConnected.
+Graph makeRandomGeometric(uint32_t N, double Radius, Rng &Rand,
+                          bool EnsureConnected = true);
+
+/// Boolean hypercube of dimension \p Dim (2^Dim nodes, ids differ in one
+/// bit per edge).
+Graph makeHypercube(uint32_t Dim);
+
+/// Barabási–Albert preferential attachment: starts from a small clique,
+/// each new node attaches to \p M existing nodes with probability
+/// proportional to their degree. Produces the hub-heavy degree
+/// distributions of real overlays.
+Graph makeBarabasiAlbert(uint32_t N, uint32_t M, Rng &Rand);
+
+/// Chord-style overlay: a ring of \p N nodes where node i also links to
+/// i + 2^k (mod N) for k = 1..Fingers — the DHT setting the paper's
+/// introduction motivates (correlated failures of nearby nodes).
+Graph makeChordRing(uint32_t N, uint32_t Fingers);
+
+/// The world-city topology of the paper's Figure 1, with the crashed
+/// regions as named nodes. Returned regions: F1 (bordered by paris, london,
+/// madrid, roma), F2 (bordered by tokyo, vancouver, portland, sydney,
+/// beijing). After additionally crashing paris, F1 grows into F3 and berlin
+/// joins the border — exactly the Fig. 1(b) conflict scenario.
+struct Fig1World {
+  Graph G;
+  Region F1; ///< Two-node crashed region of Fig. 1(a).
+  Region F2; ///< Three-node crashed region of Fig. 1(a).
+  NodeId Paris, London, Madrid, Roma, Berlin;
+  NodeId Tokyo, Vancouver, Portland, Sydney, Beijing;
+};
+Fig1World makeFig1World();
+
+/// Helper for grid topologies: the id of the node at (x, y).
+inline NodeId gridId(uint32_t Width, uint32_t X, uint32_t Y) {
+  return Y * Width + X;
+}
+
+/// A Side x Side square patch of a Width-wide grid whose top-left corner is
+/// (X0, Y0). Used by the locality and region-scaling benches.
+Region gridPatch(uint32_t Width, uint32_t X0, uint32_t Y0, uint32_t Side);
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_BUILDERS_H

@@ -1,0 +1,37 @@
+//===- graph/Dot.cpp - Graphviz export --------------------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Dot.h"
+
+#include "support/StrUtil.h"
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+std::string graph::toDot(const Graph &G,
+                         const std::vector<DotRegionStyle> &Styles) {
+  std::string Out = "graph topology {\n  node [shape=circle];\n";
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    const DotRegionStyle *Style = nullptr;
+    for (const DotRegionStyle &S : Styles)
+      if (S.Nodes.contains(N)) {
+        Style = &S;
+        break;
+      }
+    if (Style)
+      Out += formatStr("  n%u [label=\"%s\", style=filled, fillcolor=%s];\n",
+                       N, G.label(N).c_str(), Style->FillColor.c_str());
+    else
+      Out += formatStr("  n%u [label=\"%s\"];\n", N, G.label(N).c_str());
+  }
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    for (NodeId M : G.neighbors(N))
+      if (N < M)
+        Out += formatStr("  n%u -- n%u;\n", N, M);
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,42 @@
+//===- graph/Dot.h - Graphviz export ----------------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a topology (optionally with a crashed region and its border
+/// highlighted) as Graphviz DOT, so examples can emit figures comparable to
+/// the paper's Figure 1 and Figure 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_DOT_H
+#define CLIFFEDGE_GRAPH_DOT_H
+
+#include "graph/Graph.h"
+#include "graph/Region.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// A named, highlighted node set for DOT rendering.
+struct DotRegionStyle {
+  Region Nodes;
+  std::string FillColor; ///< e.g. "lightcoral" for crashed regions.
+  std::string Label;     ///< e.g. "F1".
+};
+
+/// Renders \p G in DOT format. Nodes in styled regions get the region's
+/// fill colour; every other node is drawn plain.
+std::string toDot(const Graph &G, const std::vector<DotRegionStyle> &Styles =
+                                      std::vector<DotRegionStyle>());
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_DOT_H

@@ -1,0 +1,117 @@
+//===- graph/Graph.cpp - Undirected topology graph -------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+Graph::Graph(uint32_t NumNodes) : Adj(NumNodes), Names(NumNodes) {}
+
+NodeId Graph::addNode(std::string Name) {
+  Adj.emplace_back();
+  Names.push_back(std::move(Name));
+  return static_cast<NodeId>(Adj.size() - 1);
+}
+
+void Graph::addEdge(NodeId A, NodeId B) {
+  assert(A < Adj.size() && B < Adj.size() && "edge endpoint out of range");
+  assert(A != B && "self-loops are not part of the system model");
+  auto InsertSorted = [](std::vector<NodeId> &List, NodeId Value) {
+    auto It = std::lower_bound(List.begin(), List.end(), Value);
+    if (It != List.end() && *It == Value)
+      return false;
+    List.insert(It, Value);
+    return true;
+  };
+  if (InsertSorted(Adj[A], B)) {
+    InsertSorted(Adj[B], A);
+    ++EdgeCount;
+  }
+}
+
+bool Graph::hasEdge(NodeId A, NodeId B) const {
+  assert(A < Adj.size() && B < Adj.size() && "edge endpoint out of range");
+  const std::vector<NodeId> &List = Adj[A];
+  return std::binary_search(List.begin(), List.end(), B);
+}
+
+const std::vector<NodeId> &Graph::neighbors(NodeId Node) const {
+  assert(Node < Adj.size() && "node out of range");
+  return Adj[Node];
+}
+
+const std::string &Graph::name(NodeId Node) const {
+  assert(Node < Names.size() && "node out of range");
+  return Names[Node];
+}
+
+NodeId Graph::findByName(const std::string &Name) const {
+  for (NodeId I = 0; I < Names.size(); ++I)
+    if (Names[I] == Name)
+      return I;
+  return InvalidNode;
+}
+
+std::string Graph::label(NodeId Node) const {
+  const std::string &N = name(Node);
+  if (!N.empty())
+    return N;
+  return formatStr("n%u", Node);
+}
+
+Region Graph::border(NodeId Node) const {
+  return Region(neighbors(Node));
+}
+
+Region Graph::border(const Region &S) const {
+  std::vector<NodeId> Out;
+  for (NodeId Member : S)
+    for (NodeId Neighbor : neighbors(Member))
+      if (!S.contains(Neighbor))
+        Out.push_back(Neighbor);
+  return Region(std::move(Out));
+}
+
+std::vector<Region> Graph::connectedComponents(const Region &S) const {
+  std::vector<Region> Components;
+  Region Visited;
+  for (NodeId Seed : S) {
+    if (Visited.contains(Seed))
+      continue;
+    // BFS within S from Seed.
+    std::vector<NodeId> Frontier = {Seed};
+    std::vector<NodeId> Members;
+    Visited.insert(Seed);
+    while (!Frontier.empty()) {
+      NodeId Current = Frontier.back();
+      Frontier.pop_back();
+      Members.push_back(Current);
+      for (NodeId Neighbor : neighbors(Current)) {
+        if (!S.contains(Neighbor) || Visited.contains(Neighbor))
+          continue;
+        Visited.insert(Neighbor);
+        Frontier.push_back(Neighbor);
+      }
+    }
+    Components.push_back(Region(std::move(Members)));
+  }
+  // Seeds are visited in sorted order, so components are already ordered by
+  // their smallest member; no extra sort needed.
+  return Components;
+}
+
+bool Graph::isConnectedRegion(const Region &S) const {
+  if (S.empty())
+    return false;
+  return connectedComponents(S).size() == 1;
+}

@@ -1,0 +1,89 @@
+//===- graph/Graph.h - Undirected topology graph ----------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The system model of the paper (§2.2): a finite undirected graph
+/// G = (Pi, E) capturing which nodes know each other. The graph is built
+/// once and then shared read-only by every simulated node — the paper
+/// assumes "each node can query G on demand, either by directly contacting
+/// live nodes, or using some underlying topology service for crashed nodes".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_GRAPH_H
+#define CLIFFEDGE_GRAPH_GRAPH_H
+
+#include "graph/Region.h"
+#include "support/Ids.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// Immutable-after-construction undirected graph with optional node names.
+class Graph {
+public:
+  Graph() = default;
+
+  /// Creates \p NumNodes unnamed nodes and no edges.
+  explicit Graph(uint32_t NumNodes);
+
+  /// Appends a node; returns its id. \p Name may be empty.
+  NodeId addNode(std::string Name = std::string());
+
+  /// Adds the undirected edge {A, B}. Self-loops are forbidden; duplicate
+  /// edges are ignored.
+  void addEdge(NodeId A, NodeId B);
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Adj.size()); }
+  size_t numEdges() const { return EdgeCount; }
+
+  /// True if the undirected edge {A, B} exists.
+  bool hasEdge(NodeId A, NodeId B) const;
+
+  /// Sorted neighbour list of \p Node.
+  const std::vector<NodeId> &neighbors(NodeId Node) const;
+
+  /// Degree of \p Node.
+  size_t degree(NodeId Node) const { return neighbors(Node).size(); }
+
+  /// Name of \p Node; empty if unnamed.
+  const std::string &name(NodeId Node) const;
+
+  /// Returns the id of the node named \p Name, or InvalidNode.
+  NodeId findByName(const std::string &Name) const;
+
+  /// Returns a readable label: the name when present, else "nK".
+  std::string label(NodeId Node) const;
+
+  /// border({Node}) — the neighbours of a single node.
+  Region border(NodeId Node) const;
+
+  /// border(S) = { q not in S | exists p in S : {p,q} in E } (§2.2).
+  Region border(const Region &S) const;
+
+  /// Vertex sets of the connected components of the subgraph G[S] induced
+  /// by \p S — the paper's connectedComponents(S) (§3.1). Components are
+  /// returned in deterministic order (sorted by smallest member).
+  std::vector<Region> connectedComponents(const Region &S) const;
+
+  /// True if \p S is non-empty and G[S] is connected — i.e. \p S is a
+  /// *region* in the paper's sense (§2.2).
+  bool isConnectedRegion(const Region &S) const;
+
+private:
+  std::vector<std::vector<NodeId>> Adj;
+  std::vector<std::string> Names;
+  size_t EdgeCount = 0;
+};
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_GRAPH_H

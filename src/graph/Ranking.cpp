@@ -1,0 +1,54 @@
+//===- graph/Ranking.cpp - The paper's region ranking relation ------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Ranking.h"
+
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+static int compareLex(const Region &R, const Region &S) {
+  if (R.lexLess(S))
+    return -1;
+  if (S.lexLess(R))
+    return 1;
+  return 0;
+}
+
+int graph::compareRegions(const Graph &G, const Region &R, const Region &S,
+                          RankingKind Kind) {
+  if (Kind == RankingKind::PureLex)
+    return compareLex(R, S);
+
+  if (R.size() != S.size())
+    return R.size() < S.size() ? -1 : 1;
+
+  if (Kind == RankingKind::SizeBorderLex) {
+    size_t BorderR = G.border(R).size();
+    size_t BorderS = G.border(S).size();
+    if (BorderR != BorderS)
+      return BorderR < BorderS ? -1 : 1;
+  }
+  return compareLex(R, S);
+}
+
+bool graph::rankedLess(const Graph &G, const Region &R, const Region &S,
+                       RankingKind Kind) {
+  return compareRegions(G, R, S, Kind) < 0;
+}
+
+const Region &graph::maxRankedRegion(const Graph &G,
+                                     const std::vector<Region> &Candidates,
+                                     RankingKind Kind) {
+  assert(!Candidates.empty() && "maxRankedRegion() of an empty set");
+  const Region *Best = &Candidates.front();
+  for (size_t I = 1; I < Candidates.size(); ++I)
+    if (rankedLess(G, *Best, Candidates[I], Kind))
+      Best = &Candidates[I];
+  return *Best;
+}

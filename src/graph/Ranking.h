@@ -1,0 +1,60 @@
+//===- graph/Ranking.h - The paper's region ranking relation ----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strict total order on regions from §3.1: R ≻ S iff
+///   (i)   R contains more nodes than S, or
+///   (ii)  same node count but R's border contains more nodes, or
+///   (iii) same sizes but R is greater by a strict total order on node sets
+///         (we use the lexicographic order on sorted node ids, as the paper
+///         suggests).
+///
+/// The arbitration mechanism of the protocol (line 26 of Algorithm 1) and
+/// the progress proof (Theorem 4) rely on two properties encoded here:
+/// the order is total, and it *subsumes strict set inclusion* (a strict
+/// superset is always ranked higher, because it has more nodes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_RANKING_H
+#define CLIFFEDGE_GRAPH_RANKING_H
+
+#include "graph/Graph.h"
+#include "graph/Region.h"
+
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// Which tie-breaking chain the ranking uses. The paper's relation is
+/// SizeBorderLex; PureLex is an ablation that drops clauses (i)/(ii) and is
+/// *not* inclusion-subsuming (bench_rank_ablation measures the effect).
+enum class RankingKind {
+  SizeBorderLex, ///< Paper's ranking: |R|, then |border(R)|, then lex.
+  SizeLex,       ///< |R| then lex: still subsumes inclusion.
+  PureLex,       ///< Lexicographic only: total, but not inclusion-subsuming.
+};
+
+/// Compares two regions under the given ranking. Returns negative if
+/// R ≺ S, zero if R == S, positive if R ≻ S.
+int compareRegions(const Graph &G, const Region &R, const Region &S,
+                   RankingKind Kind = RankingKind::SizeBorderLex);
+
+/// R ≺ S under \p Kind.
+bool rankedLess(const Graph &G, const Region &R, const Region &S,
+                RankingKind Kind = RankingKind::SizeBorderLex);
+
+/// The paper's maxRankedRegion(C): highest-ranked region of a non-empty set.
+const Region &maxRankedRegion(const Graph &G,
+                              const std::vector<Region> &Candidates,
+                              RankingKind Kind = RankingKind::SizeBorderLex);
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_RANKING_H

@@ -1,0 +1,105 @@
+//===- graph/Region.cpp - Sorted node-set value type ----------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Region.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+Region::Region(std::vector<NodeId> InIds) : Ids(std::move(InIds)) {
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+}
+
+Region::Region(std::initializer_list<NodeId> InIds)
+    : Region(std::vector<NodeId>(InIds)) {}
+
+bool Region::contains(NodeId Node) const {
+  return std::binary_search(Ids.begin(), Ids.end(), Node);
+}
+
+void Region::insert(NodeId Node) {
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
+  if (It != Ids.end() && *It == Node)
+    return;
+  Ids.insert(It, Node);
+}
+
+void Region::erase(NodeId Node) {
+  auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
+  if (It != Ids.end() && *It == Node)
+    Ids.erase(It);
+}
+
+Region Region::unionWith(const Region &Other) const {
+  std::vector<NodeId> Out;
+  Out.reserve(Ids.size() + Other.Ids.size());
+  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
+                 std::back_inserter(Out));
+  Region Result;
+  Result.Ids = std::move(Out);
+  return Result;
+}
+
+Region Region::intersectWith(const Region &Other) const {
+  std::vector<NodeId> Out;
+  std::set_intersection(Ids.begin(), Ids.end(), Other.Ids.begin(),
+                        Other.Ids.end(), std::back_inserter(Out));
+  Region Result;
+  Result.Ids = std::move(Out);
+  return Result;
+}
+
+Region Region::differenceWith(const Region &Other) const {
+  std::vector<NodeId> Out;
+  std::set_difference(Ids.begin(), Ids.end(), Other.Ids.begin(),
+                      Other.Ids.end(), std::back_inserter(Out));
+  Region Result;
+  Result.Ids = std::move(Out);
+  return Result;
+}
+
+bool Region::intersects(const Region &Other) const {
+  auto I = Ids.begin(), J = Other.Ids.begin();
+  while (I != Ids.end() && J != Other.Ids.end()) {
+    if (*I == *J)
+      return true;
+    if (*I < *J)
+      ++I;
+    else
+      ++J;
+  }
+  return false;
+}
+
+bool Region::isSubsetOf(const Region &Other) const {
+  return std::includes(Other.Ids.begin(), Other.Ids.end(), Ids.begin(),
+                       Ids.end());
+}
+
+std::string Region::str() const {
+  return "{" +
+         joinMapped(Ids, ",",
+                    [](NodeId N) { return std::to_string(N); }) +
+         "}";
+}
+
+size_t Region::hash() const {
+  // FNV-1a over the id bytes; stable across runs for identical contents.
+  size_t H = 1469598103934665603ULL;
+  for (NodeId N : Ids) {
+    for (int Byte = 0; Byte < 4; ++Byte) {
+      H ^= (N >> (8 * Byte)) & 0xffU;
+      H *= 1099511628211ULL;
+    }
+  }
+  return H;
+}

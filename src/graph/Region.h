@@ -1,0 +1,101 @@
+//===- graph/Region.h - Sorted node-set value type --------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Region is a set of node ids, stored as a sorted unique vector. The paper
+/// uses regions both for crashed regions (connected subgraphs, §2.2) and for
+/// borders; connectivity is a property checked against a Graph, not enforced
+/// by this type. Sorted storage gives deterministic iteration, O(log n)
+/// membership and linear-time set algebra, and makes the lexicographic order
+/// required by the ranking relation (§3.1) trivial.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_REGION_H
+#define CLIFFEDGE_GRAPH_REGION_H
+
+#include "support/Ids.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// An immutable-by-convention set of nodes with deterministic order.
+class Region {
+public:
+  Region() = default;
+
+  /// Builds a region from any list of ids; sorts and de-duplicates.
+  explicit Region(std::vector<NodeId> Ids);
+
+  /// Builds a region from an initializer list (test convenience).
+  Region(std::initializer_list<NodeId> Ids);
+
+  bool empty() const { return Ids.empty(); }
+  size_t size() const { return Ids.size(); }
+
+  /// O(log n) membership test.
+  bool contains(NodeId Node) const;
+
+  /// Inserts \p Node, keeping the storage sorted. No-op if present.
+  void insert(NodeId Node);
+
+  /// Removes \p Node if present.
+  void erase(NodeId Node);
+
+  std::vector<NodeId>::const_iterator begin() const { return Ids.begin(); }
+  std::vector<NodeId>::const_iterator end() const { return Ids.end(); }
+
+  /// Direct access to the sorted id vector.
+  const std::vector<NodeId> &ids() const { return Ids; }
+
+  /// Set union.
+  Region unionWith(const Region &Other) const;
+
+  /// Set intersection.
+  Region intersectWith(const Region &Other) const;
+
+  /// Set difference (this \ Other).
+  Region differenceWith(const Region &Other) const;
+
+  /// True if the two regions share at least one node.
+  bool intersects(const Region &Other) const;
+
+  /// True if every node of this region belongs to \p Other.
+  bool isSubsetOf(const Region &Other) const;
+
+  bool operator==(const Region &Other) const { return Ids == Other.Ids; }
+  bool operator!=(const Region &Other) const { return Ids != Other.Ids; }
+
+  /// Lexicographic order on the sorted id sequences. This is the strict
+  /// total order the paper plugs into the ranking relation as the final
+  /// tie-break ("one possibility is to use a lexicographic order on node
+  /// IDs", §3.1).
+  bool lexLess(const Region &Other) const { return Ids < Other.Ids; }
+
+  /// Renders as "{a,b,c}" for logs and test failure messages.
+  std::string str() const;
+
+  /// FNV-1a hash of the id sequence, for use as an unordered_map key.
+  size_t hash() const;
+
+private:
+  std::vector<NodeId> Ids;
+};
+
+/// Hash functor so Region can key std::unordered_map.
+struct RegionHash {
+  size_t operator()(const Region &R) const { return R.hash(); }
+};
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_REGION_H

@@ -1,0 +1,154 @@
+//===- repair/Overlay.cpp - Mutable overlay over the base graph -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "repair/Overlay.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+
+using namespace cliffedge;
+using namespace cliffedge::repair;
+
+Overlay::Overlay(const graph::Graph &Base)
+    : Adj(Base.numNodes()), Live(Base.numNodes(), true),
+      EdgeCount(Base.numEdges()) {
+  for (NodeId N = 0; N < Base.numNodes(); ++N)
+    Adj[N] = Base.neighbors(N);
+}
+
+graph::Region Overlay::liveNodes() const {
+  std::vector<NodeId> Out;
+  for (NodeId N = 0; N < Live.size(); ++N)
+    if (Live[N])
+      Out.push_back(N);
+  return graph::Region(std::move(Out));
+}
+
+void Overlay::removeNode(NodeId Node) {
+  assert(Node < Live.size() && "node out of range");
+  if (!Live[Node])
+    return;
+  Live[Node] = false;
+  for (NodeId Neighbor : Adj[Node]) {
+    auto &List = Adj[Neighbor];
+    auto It = std::lower_bound(List.begin(), List.end(), Node);
+    if (It != List.end() && *It == Node) {
+      List.erase(It);
+      --EdgeCount;
+    }
+  }
+  Adj[Node].clear();
+}
+
+void Overlay::addEdge(NodeId A, NodeId B) {
+  assert(A < Live.size() && B < Live.size() && "node out of range");
+  assert(A != B && "no self-loops");
+  assert(Live[A] && Live[B] && "cannot link removed nodes");
+  auto InsertSorted = [](std::vector<NodeId> &List, NodeId Value) {
+    auto It = std::lower_bound(List.begin(), List.end(), Value);
+    if (It != List.end() && *It == Value)
+      return false;
+    List.insert(It, Value);
+    return true;
+  };
+  if (InsertSorted(Adj[A], B)) {
+    InsertSorted(Adj[B], A);
+    ++EdgeCount;
+  }
+}
+
+bool Overlay::hasEdge(NodeId A, NodeId B) const {
+  assert(A < Live.size() && B < Live.size() && "node out of range");
+  return std::binary_search(Adj[A].begin(), Adj[A].end(), B);
+}
+
+const std::vector<NodeId> &Overlay::neighbors(NodeId Node) const {
+  assert(Node < Live.size() && "node out of range");
+  return Adj[Node];
+}
+
+bool Overlay::isConnectedAmongLive() const {
+  graph::Region Alive = liveNodes();
+  if (Alive.size() < 2)
+    return true;
+  // BFS from the smallest live node.
+  std::vector<bool> Seen(Live.size(), false);
+  std::deque<NodeId> Queue;
+  NodeId Start = *Alive.begin();
+  Seen[Start] = true;
+  Queue.push_back(Start);
+  size_t Visited = 1;
+  while (!Queue.empty()) {
+    NodeId Current = Queue.front();
+    Queue.pop_front();
+    for (NodeId Neighbor : Adj[Current]) {
+      if (Seen[Neighbor])
+        continue;
+      Seen[Neighbor] = true;
+      ++Visited;
+      Queue.push_back(Neighbor);
+    }
+  }
+  return Visited == Alive.size();
+}
+
+/// The border nodes that are still live in \p O — a decided view's border
+/// (computed on the knowledge graph) may contain nodes that died in an
+/// earlier, already-repaired incident.
+static std::vector<NodeId> liveMembers(const Overlay &O,
+                                       const graph::Region &Border) {
+  std::vector<NodeId> Out;
+  for (NodeId N : Border)
+    if (O.isLive(N))
+      Out.push_back(N);
+  return Out;
+}
+
+RepairPlan repair::planBorderRing(const Overlay &O, const graph::Region &View,
+                                  const graph::Region &Border) {
+  RepairPlan Plan;
+  Plan.Removed = View;
+  std::vector<NodeId> Ids = liveMembers(O, Border);
+  if (Ids.size() < 2)
+    return Plan;
+  for (size_t I = 0; I < Ids.size(); ++I) {
+    NodeId A = Ids[I];
+    NodeId B = Ids[(I + 1) % Ids.size()];
+    if (A == B || O.hasEdge(A, B))
+      continue;
+    // Two-node borders would otherwise emit the edge twice.
+    if (Ids.size() == 2 && I == 1)
+      break;
+    Plan.NewEdges.emplace_back(A, B);
+  }
+  return Plan;
+}
+
+RepairPlan repair::planCoordinatorStar(const Overlay &O,
+                                       const graph::Region &View,
+                                       const graph::Region &Border,
+                                       NodeId Coordinator) {
+  assert(Border.contains(Coordinator) &&
+         "coordinator must be a border node");
+  assert(O.isLive(Coordinator) && "coordinator must be live");
+  RepairPlan Plan;
+  Plan.Removed = View;
+  for (NodeId N : liveMembers(O, Border)) {
+    if (N == Coordinator || O.hasEdge(N, Coordinator))
+      continue;
+    Plan.NewEdges.emplace_back(Coordinator, N);
+  }
+  return Plan;
+}
+
+void repair::applyPlan(Overlay &O, const RepairPlan &Plan) {
+  for (NodeId N : Plan.Removed)
+    O.removeNode(N);
+  for (const auto &[A, B] : Plan.NewEdges)
+    O.addEdge(A, B);
+}

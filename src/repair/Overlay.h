@@ -1,0 +1,93 @@
+//===- repair/Overlay.h - Mutable overlay over the base graph ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's motivating action (§1/§2.1) is that border nodes "decide
+/// on some unified recovery action", e.g. a repair plan for an overlay —
+/// the authors' earlier work on generalised overlay repair (SRDS'06) is
+/// the lineage. The topology graph G of the system model is immutable
+/// (it is *knowledge*); what repair mutates is the overlay built on top
+/// of it. Overlay is that mutable layer: it starts as a copy of the base
+/// adjacency and supports removing dead nodes and splicing in new links.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPAIR_OVERLAY_H
+#define CLIFFEDGE_REPAIR_OVERLAY_H
+
+#include "graph/Graph.h"
+#include "graph/Region.h"
+
+#include <vector>
+
+namespace cliffedge {
+namespace repair {
+
+/// Mutable adjacency with node removal, layered over a base topology.
+class Overlay {
+public:
+  explicit Overlay(const graph::Graph &Base);
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Adj.size()); }
+
+  /// True if \p Node has not been removed.
+  bool isLive(NodeId Node) const { return Live[Node]; }
+
+  /// All live nodes.
+  graph::Region liveNodes() const;
+
+  /// Removes \p Node and every incident edge (a crashed/retired node).
+  void removeNode(NodeId Node);
+
+  /// Adds an undirected edge between two live nodes; duplicate-safe.
+  void addEdge(NodeId A, NodeId B);
+
+  bool hasEdge(NodeId A, NodeId B) const;
+
+  /// Sorted live neighbours of \p Node.
+  const std::vector<NodeId> &neighbors(NodeId Node) const;
+
+  size_t numEdges() const { return EdgeCount; }
+
+  /// True if the live part of the overlay is connected (vacuously true
+  /// when fewer than two nodes are live).
+  bool isConnectedAmongLive() const;
+
+private:
+  std::vector<std::vector<NodeId>> Adj;
+  std::vector<bool> Live;
+  size_t EdgeCount = 0;
+};
+
+/// A repair plan as decided by a border: remove the dead region, splice
+/// the listed edges among the survivors.
+struct RepairPlan {
+  graph::Region Removed;
+  std::vector<std::pair<NodeId, NodeId>> NewEdges;
+};
+
+/// Plans the simplest generalised repair: a ring over the decided view's
+/// border (in sorted id order), which restores any connectivity that
+/// flowed through the dead region. Already-present edges are skipped.
+RepairPlan planBorderRing(const Overlay &O, const graph::Region &View,
+                          const graph::Region &Border);
+
+/// Plans a star centred on the elected coordinator (typically the
+/// decision value of the agreement): every other border node links to
+/// it. Cheaper than the ring for large borders (|B|-1 edges, none
+/// redundant), at the cost of a hub.
+RepairPlan planCoordinatorStar(const Overlay &O, const graph::Region &View,
+                               const graph::Region &Border,
+                               NodeId Coordinator);
+
+/// Executes a plan: removes the region, adds the new edges.
+void applyPlan(Overlay &O, const RepairPlan &Plan);
+
+} // namespace repair
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPAIR_OVERLAY_H

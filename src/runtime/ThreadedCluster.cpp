@@ -1,0 +1,254 @@
+//===- runtime/ThreadedCluster.cpp - Real-thread deployment ----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ThreadedCluster.h"
+
+#include "core/Wire.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::runtime;
+
+/// One unit of work in a node's mailbox.
+struct ThreadedCluster::Mail {
+  enum class Kind { Frame, CrashNotice, Stop };
+  Kind K = Kind::Stop;
+  NodeId From = InvalidNode; ///< Frame sender or crashed node.
+  std::shared_ptr<const std::vector<uint8_t>> Bytes; ///< Frame payload.
+};
+
+/// Per-node thread, mailbox and protocol instance.
+struct ThreadedCluster::NodeSlot {
+  std::mutex Mu;
+  std::condition_variable Cv;
+  std::deque<Mail> Queue;
+  bool Stopped = false;
+  std::thread Worker;
+  std::unique_ptr<core::CliffEdgeNode> Node;
+};
+
+ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
+    : G(InG), Cfg(InCfg), Watchers(G.numNodes()), Subscribed(G.numNodes()),
+      CrashedFlag(G.numNodes(), false) {
+  Slots.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Slots.push_back(std::make_unique<NodeSlot>());
+
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    core::Callbacks CBs;
+    CBs.Multicast = [this, N](const graph::Region &To,
+                              const core::Message &M) {
+      auto Frame = std::make_shared<const std::vector<uint8_t>>(
+          core::encodeMessage(M));
+      for (NodeId Recipient : To) {
+        Mail Item;
+        Item.K = Mail::Kind::Frame;
+        Item.From = N;
+        Item.Bytes = Frame;
+        enqueue(Recipient, std::move(Item));
+      }
+    };
+    CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
+      std::vector<NodeId> AlreadyDown;
+      {
+        std::lock_guard<std::mutex> Lock(RegistryMu);
+        for (NodeId Target : Targets) {
+          if (Target == N)
+            continue;
+          auto &Subs = Subscribed[N];
+          auto It = std::lower_bound(Subs.begin(), Subs.end(), Target);
+          if (It != Subs.end() && *It == Target)
+            continue;
+          Subs.insert(It, Target);
+          Watchers[Target].push_back(N);
+          if (CrashedFlag[Target])
+            AlreadyDown.push_back(Target);
+        }
+      }
+      // Strong completeness for late subscriptions.
+      for (NodeId Target : AlreadyDown) {
+        Mail Item;
+        Item.K = Mail::Kind::CrashNotice;
+        Item.From = Target;
+        enqueue(N, std::move(Item));
+      }
+    };
+    CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
+      std::lock_guard<std::mutex> Lock(DecisionsMu);
+      Decisions.push_back(ThreadedDecision{N, View, Chosen});
+    };
+    CBs.SelectValue = [N](const graph::Region &) {
+      return static_cast<core::Value>(N);
+    };
+    Slots[N]->Node =
+        std::make_unique<core::CliffEdgeNode>(N, G, Cfg, std::move(CBs));
+  }
+}
+
+ThreadedCluster::~ThreadedCluster() { shutdown(); }
+
+void ThreadedCluster::start() {
+  assert(!Running.load() && "start() called twice");
+  Running.store(true);
+  // Run every node's <init> before any worker exists: no mail can be in
+  // flight yet, so touching the protocol objects from this thread is safe.
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Slots[N]->Node->start();
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Slots[N]->Worker = std::thread([this, N] { workerLoop(N); });
+}
+
+void ThreadedCluster::enqueue(NodeId To, Mail M) {
+  {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    ++Pending;
+  }
+  NodeSlot &Slot = *Slots[To];
+  bool Dropped = false;
+  {
+    std::lock_guard<std::mutex> Lock(Slot.Mu);
+    if (Slot.Stopped)
+      Dropped = true;
+    else {
+      Slot.Queue.push_back(std::move(M));
+      Slot.Cv.notify_one();
+    }
+  }
+  if (Dropped) {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    if (--Pending == 0)
+      PendingCv.notify_all();
+  }
+}
+
+void ThreadedCluster::workerLoop(NodeId Self) {
+  NodeSlot &Slot = *Slots[Self];
+  for (;;) {
+    Mail Item;
+    {
+      std::unique_lock<std::mutex> Lock(Slot.Mu);
+      Slot.Cv.wait(Lock, [&] { return !Slot.Queue.empty(); });
+      Item = std::move(Slot.Queue.front());
+      Slot.Queue.pop_front();
+    }
+    if (Item.K == Mail::Kind::Stop)
+      return;
+
+    switch (Item.K) {
+    case Mail::Kind::Frame: {
+      std::optional<core::Message> M = core::decodeMessage(*Item.Bytes);
+      assert(M && "corrupt frame in mailbox");
+      if (M) {
+        Delivered.fetch_add(1);
+        Slot.Node->onDeliver(Item.From, *M);
+      }
+      break;
+    }
+    case Mail::Kind::CrashNotice:
+      Slot.Node->onCrash(Item.From);
+      break;
+    case Mail::Kind::Stop:
+      break; // Handled above.
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(PendingMu);
+      if (--Pending == 0)
+        PendingCv.notify_all();
+    }
+  }
+}
+
+void ThreadedCluster::crash(NodeId Node) {
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    assert(!CrashedFlag[Node] && "node crashed twice");
+    CrashedFlag[Node] = true;
+  }
+
+  NodeSlot &Slot = *Slots[Node];
+  size_t Discarded = 0;
+  {
+    std::lock_guard<std::mutex> Lock(Slot.Mu);
+    if (!Slot.Stopped) {
+      Slot.Stopped = true;
+      Discarded = Slot.Queue.size();
+      Slot.Queue.clear();
+      Slot.Queue.push_back(Mail{}); // Stop sentinel.
+      Slot.Cv.notify_one();
+    }
+  }
+  if (Discarded > 0) {
+    std::lock_guard<std::mutex> Lock(PendingMu);
+    Pending -= Discarded;
+    if (Pending == 0)
+      PendingCv.notify_all();
+  }
+
+  notifyWatchersOf(Node);
+}
+
+void ThreadedCluster::notifyWatchersOf(NodeId Target) {
+  std::vector<NodeId> ToNotify;
+  {
+    std::lock_guard<std::mutex> Lock(RegistryMu);
+    for (NodeId W : Watchers[Target])
+      if (!CrashedFlag[W])
+        ToNotify.push_back(W);
+  }
+  for (NodeId W : ToNotify) {
+    Mail Item;
+    Item.K = Mail::Kind::CrashNotice;
+    Item.From = Target;
+    enqueue(W, std::move(Item));
+  }
+}
+
+bool ThreadedCluster::awaitQuiescence(std::chrono::milliseconds Timeout) {
+  std::unique_lock<std::mutex> Lock(PendingMu);
+  return PendingCv.wait_for(Lock, Timeout, [&] { return Pending == 0; });
+}
+
+void ThreadedCluster::shutdown() {
+  if (!Running.exchange(false))
+    return;
+  for (auto &SlotPtr : Slots) {
+    NodeSlot &Slot = *SlotPtr;
+    {
+      std::lock_guard<std::mutex> Lock(Slot.Mu);
+      if (!Slot.Stopped) {
+        Slot.Stopped = true;
+        size_t Discarded = Slot.Queue.size();
+        Slot.Queue.clear();
+        Slot.Queue.push_back(Mail{}); // Stop sentinel.
+        Slot.Cv.notify_one();
+        if (Discarded > 0) {
+          std::lock_guard<std::mutex> PLock(PendingMu);
+          Pending -= Discarded;
+        }
+      } else {
+        // Crashed earlier: its Stop sentinel may already be consumed; push
+        // another to be safe (workers exit on the first one they see).
+        Slot.Queue.push_back(Mail{});
+        Slot.Cv.notify_one();
+      }
+    }
+    if (Slot.Worker.joinable())
+      Slot.Worker.join();
+  }
+}
+
+std::vector<ThreadedDecision> ThreadedCluster::decisions() const {
+  std::lock_guard<std::mutex> Lock(DecisionsMu);
+  return Decisions;
+}
+
+uint64_t ThreadedCluster::framesDelivered() const {
+  return Delivered.load();
+}

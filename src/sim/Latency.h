@@ -1,0 +1,57 @@
+//===- sim/Latency.h - Channel latency models -------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Pluggable per-message latency. The paper's model is fully asynchronous
+/// (no bound on delivery time); the simulator realises asynchrony as
+/// arbitrary finite latencies, and the protocol must stay correct under any
+/// model plugged in here — property tests sweep several.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SIM_LATENCY_H
+#define CLIFFEDGE_SIM_LATENCY_H
+
+#include "support/Ids.h"
+#include "support/Random.h"
+
+#include <functional>
+
+namespace cliffedge {
+namespace sim {
+
+/// Computes the network latency for one message From -> To. Implementations
+/// may be stateful (e.g. consume randomness); they are invoked once per
+/// send, in deterministic order.
+using LatencyModel = std::function<SimTime(NodeId From, NodeId To)>;
+
+/// Every message takes exactly \p Ticks.
+inline LatencyModel fixedLatency(SimTime Ticks) {
+  return [Ticks](NodeId, NodeId) { return Ticks; };
+}
+
+/// Latency uniform in [Lo, Hi]; draws from \p Rand (kept alive by caller).
+inline LatencyModel uniformLatency(SimTime Lo, SimTime Hi, Rng &Rand) {
+  return [Lo, Hi, &Rand](NodeId, NodeId) -> SimTime {
+    return Rand.nextInRange(Lo, Hi);
+  };
+}
+
+/// Heavy-tailed latency: mostly \p Base, but with probability \p SpikeP the
+/// message straggles for Base * SpikeFactor. Stresses the asynchrony
+/// assumptions (slow detectors vs. fast messages and vice versa).
+inline LatencyModel spikyLatency(SimTime Base, double SpikeP,
+                                 SimTime SpikeFactor, Rng &Rand) {
+  return [=, &Rand](NodeId, NodeId) -> SimTime {
+    return Rand.nextBool(SpikeP) ? Base * SpikeFactor : Base;
+  };
+}
+
+} // namespace sim
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SIM_LATENCY_H

@@ -1,0 +1,56 @@
+//===- sim/Network.cpp - Reliable FIFO message transport -------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace cliffedge;
+using namespace cliffedge::sim;
+
+Network::Network(Simulator &InSim, uint32_t NumNodes, LatencyModel InLatency)
+    : Sim(InSim), Latency(std::move(InLatency)), Crashed(NumNodes, false) {
+  Stats.SentByNode.assign(NumNodes, 0);
+}
+
+void Network::send(NodeId From, NodeId To, Frame Bytes) {
+  assert(From < Crashed.size() && To < Crashed.size() &&
+         "message endpoint out of range");
+  assert(Bytes && "null frame");
+  if (Crashed[From])
+    return; // A crashed node sends nothing.
+
+  ++Stats.MessagesSent;
+  ++Stats.SentByNode[From];
+  Stats.BytesSent += Bytes->size();
+  if (Recording)
+    SendLog.push_back(SendRecord{Sim.now(), From, To,
+                                 static_cast<uint32_t>(Bytes->size())});
+
+  SimTime When = Sim.now() + Latency(From, To);
+  // FIFO: never deliver before an earlier message on the same channel.
+  SimTime &Last = LastDelivery[channelKey(From, To)];
+  if (When < Last)
+    When = Last;
+  Last = When;
+
+  Sim.at(When, [this, From, To, Payload = std::move(Bytes)]() {
+    if (Crashed[To]) {
+      ++Stats.MessagesDroppedAtCrashed;
+      return;
+    }
+    ++Stats.MessagesDelivered;
+    if (Deliver)
+      Deliver(From, To, Payload);
+  });
+}
+
+void Network::crash(NodeId Node) {
+  assert(Node < Crashed.size() && "node out of range");
+  Crashed[Node] = true;
+}

@@ -1,0 +1,115 @@
+//===- sim/Network.h - Reliable FIFO message transport ----------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's communication model (§2.2): "any two nodes might exchange
+/// messages through asynchronous, reliable, and ordered (fifo) channels".
+/// Note that communication is *not* restricted to graph edges — the graph
+/// models knowledge, not links; border nodes of a region talk to each other
+/// directly. The Locality property (CD3) is a property of the protocol, not
+/// of the transport, and is checked by trace::Checker.
+///
+/// Per ordered pair (from, to) the network guarantees FIFO delivery even
+/// when the latency model draws a smaller latency for a later message: the
+/// delivery time is clamped to be >= the previous delivery on the channel.
+/// Messages addressed to a crashed node are silently dropped (counted);
+/// messages already in flight from a node that subsequently crashes are
+/// still delivered, as in the standard asynchronous crash-stop model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SIM_NETWORK_H
+#define CLIFFEDGE_SIM_NETWORK_H
+
+#include "sim/Latency.h"
+#include "sim/Simulator.h"
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace cliffedge {
+namespace sim {
+
+/// Per-run transport statistics, the raw material of the locality benches.
+struct NetworkStats {
+  uint64_t MessagesSent = 0;
+  uint64_t MessagesDelivered = 0;
+  uint64_t MessagesDroppedAtCrashed = 0;
+  uint64_t BytesSent = 0;
+  /// Per-node sent counters, indexed by NodeId.
+  std::vector<uint64_t> SentByNode;
+};
+
+/// One record per send, consumed by trace::Checker for CD3 (Locality).
+struct SendRecord {
+  SimTime When;
+  NodeId From;
+  NodeId To;
+  uint32_t Bytes;
+};
+
+/// Reliable FIFO any-to-any transport over the event simulator.
+class Network {
+public:
+  /// Frames are shared so a multicast encodes its payload exactly once;
+  /// receivers must treat the bytes as immutable.
+  using Frame = std::shared_ptr<const std::vector<uint8_t>>;
+  using DeliverFn =
+      std::function<void(NodeId From, NodeId To, const Frame &Bytes)>;
+
+  Network(Simulator &Sim, uint32_t NumNodes, LatencyModel Latency);
+
+  /// Installs the upcall invoked on each delivery to a live node.
+  void setDeliver(DeliverFn Fn) { Deliver = std::move(Fn); }
+
+  /// Enables per-send recording (for locality checking).
+  void setRecording(bool Enabled) { Recording = Enabled; }
+
+  /// Sends \p Bytes from \p From to \p To (self-sends allowed — the
+  /// protocol's multicast includes the sender). No-op if From has crashed.
+  void send(NodeId From, NodeId To, Frame Bytes);
+
+  /// Convenience overload for unicast callers.
+  void send(NodeId From, NodeId To, std::vector<uint8_t> Bytes) {
+    send(From, To, std::make_shared<const std::vector<uint8_t>>(
+                       std::move(Bytes)));
+  }
+
+  /// Marks \p Node crashed: it stops sending and all future deliveries to
+  /// it are dropped.
+  void crash(NodeId Node);
+
+  bool isCrashed(NodeId Node) const { return Crashed[Node]; }
+
+  const NetworkStats &stats() const { return Stats; }
+  const std::vector<SendRecord> &sendLog() const { return SendLog; }
+  uint32_t numNodes() const { return static_cast<uint32_t>(Crashed.size()); }
+
+private:
+  Simulator &Sim;
+  LatencyModel Latency;
+  DeliverFn Deliver;
+  std::vector<bool> Crashed;
+  /// Last scheduled delivery time per directed channel, for FIFO clamping.
+  std::unordered_map<uint64_t, SimTime> LastDelivery;
+  NetworkStats Stats;
+  std::vector<SendRecord> SendLog;
+  bool Recording = false;
+
+  static uint64_t channelKey(NodeId From, NodeId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+};
+
+} // namespace sim
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SIM_NETWORK_H

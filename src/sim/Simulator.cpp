@@ -1,0 +1,42 @@
+//===- sim/Simulator.cpp - Deterministic discrete-event engine -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace cliffedge;
+using namespace cliffedge::sim;
+
+void Simulator::at(SimTime When, Handler Fn) {
+  assert(When >= Now && "cannot schedule an event in the past");
+  Queue.push(Entry{When, NextSeq++, std::move(Fn)});
+}
+
+bool Simulator::step() {
+  if (Queue.empty())
+    return false;
+  // priority_queue::top() is const; the handler must be moved out before
+  // pop, so copy the entry (handlers are cheap shared callables).
+  Entry Next = Queue.top();
+  Queue.pop();
+  Now = Next.When;
+  ++Processed;
+  Next.Fn();
+  return true;
+}
+
+uint64_t Simulator::run(uint64_t MaxEvents) {
+  uint64_t Count = 0;
+  while (step()) {
+    ++Count;
+    if (MaxEvents != 0 && Count >= MaxEvents)
+      break;
+  }
+  return Count;
+}

@@ -1,0 +1,56 @@
+//===- stable/PredicateService.cpp - Stable-predicate detection -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stable/PredicateService.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::stable;
+
+PredicateService::PredicateService(sim::Simulator &InSim, uint32_t NumNodes,
+                                   NoticeDelayModel InDelay,
+                                   NotifyFn InOnMarked)
+    : Sim(InSim), Delay(std::move(InDelay)), OnMarked(std::move(InOnMarked)),
+      Marked(NumNodes, false), Watchers(NumNodes), Subscribed(NumNodes) {}
+
+void PredicateService::monitor(NodeId Watcher,
+                               const graph::Region &Targets) {
+  assert(Watcher < Marked.size() && "watcher out of range");
+  for (NodeId Target : Targets) {
+    assert(Target < Marked.size() && "target out of range");
+    if (Target == Watcher)
+      continue;
+    auto &Subs = Subscribed[Watcher];
+    auto It = std::lower_bound(Subs.begin(), Subs.end(), Target);
+    if (It != Subs.end() && *It == Target)
+      continue;
+    Subs.insert(It, Target);
+    Watchers[Target].push_back(Watcher);
+    if (Marked[Target])
+      scheduleNotification(Watcher, Target);
+  }
+}
+
+void PredicateService::nodeMarked(NodeId Node) {
+  assert(Node < Marked.size() && "node out of range");
+  assert(!Marked[Node] && "predicate marked twice (it is stable)");
+  Marked[Node] = true;
+  for (NodeId Watcher : Watchers[Node])
+    scheduleNotification(Watcher, Node);
+}
+
+void PredicateService::scheduleNotification(NodeId Watcher, NodeId Target) {
+  SimTime When = Sim.now() + Delay(Watcher, Target);
+  Sim.at(When, [this, Watcher, Target]() {
+    // Marked watchers are still alive and are notified; whether they act
+    // on the notification is the agreement layer's business.
+    ++Delivered;
+    OnMarked(Watcher, Target);
+  });
+}

@@ -1,0 +1,91 @@
+//===- stable/PredicateService.h - Stable-predicate detection ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's conclusion (§5) proposes extending convergent detection
+/// from crashes to *stable properties*: "Being crashed can also be seen
+/// as a particular case of stable property, and it could be interesting
+/// to see how this work could be extended to the detection of connected
+/// regions of nodes that share a given stable predicate (say a particular
+/// stable state)."
+///
+/// This module implements that extension. A stable predicate is one that,
+/// once true at a node, stays true (quarantined, decommissioned,
+/// bankrupt, saturated-beyond-recovery...). The detection service mirrors
+/// the perfect failure detector's interface and guarantees:
+///
+///  * Accuracy — a <marked|q> event is only raised if the predicate
+///    really holds at q and the watcher subscribed to q; and
+///  * Completeness — if the predicate holds at q and p subscribed
+///    (before or after it started holding), p eventually learns.
+///
+/// Unlike a crashed node, a marked node is still *running*: it keeps
+/// serving its application and the transport keeps delivering to it. It
+/// merely withdraws from the agreement (it is the subject of the
+/// agreement, not a participant) — see stable/StableRunner.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_STABLE_PREDICATESERVICE_H
+#define CLIFFEDGE_STABLE_PREDICATESERVICE_H
+
+#include "graph/Region.h"
+#include "sim/Simulator.h"
+#include "support/Ids.h"
+
+#include <functional>
+#include <vector>
+
+namespace cliffedge {
+namespace stable {
+
+/// Propagation delay for (watcher, target) predicate notifications.
+using NoticeDelayModel = std::function<SimTime(NodeId Watcher,
+                                               NodeId Target)>;
+
+inline NoticeDelayModel fixedNoticeDelay(SimTime Ticks) {
+  return [Ticks](NodeId, NodeId) { return Ticks; };
+}
+
+/// Simulated detection service for one stable predicate.
+class PredicateService {
+public:
+  using NotifyFn = std::function<void(NodeId Watcher, NodeId Target)>;
+
+  PredicateService(sim::Simulator &Sim, uint32_t NumNodes,
+                   NoticeDelayModel Delay, NotifyFn OnMarked);
+
+  /// Subscribe \p Watcher to predicate transitions of \p Targets.
+  /// Idempotent per pair; already-marked targets notify after the delay.
+  void monitor(NodeId Watcher, const graph::Region &Targets);
+
+  /// Declares that the predicate now holds at \p Node (and forever will:
+  /// stability). Must be called at most once per node.
+  void nodeMarked(NodeId Node);
+
+  bool isMarked(NodeId Node) const { return Marked[Node]; }
+
+  /// Marked *watchers* still receive notifications — unlike crashed ones
+  /// in the failure-detector case — but the agreement layer ignores them.
+  uint64_t notificationsDelivered() const { return Delivered; }
+
+private:
+  sim::Simulator &Sim;
+  NoticeDelayModel Delay;
+  NotifyFn OnMarked;
+  std::vector<bool> Marked;
+  std::vector<std::vector<NodeId>> Watchers;
+  std::vector<std::vector<NodeId>> Subscribed;
+  uint64_t Delivered = 0;
+
+  void scheduleNotification(NodeId Watcher, NodeId Target);
+};
+
+} // namespace stable
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_STABLE_PREDICATESERVICE_H

@@ -1,0 +1,38 @@
+//===- support/Ids.h - Node identifiers and id-set helpers ------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Basic identifier types shared by every subsystem. Nodes are identified by
+/// dense 32-bit indices into the topology graph, which keeps every per-node
+/// table a flat vector and makes runs deterministic (no pointer ordering).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_IDS_H
+#define CLIFFEDGE_SUPPORT_IDS_H
+
+#include <cstdint>
+#include <limits>
+
+namespace cliffedge {
+
+/// Dense index of a node in the topology graph.
+using NodeId = uint32_t;
+
+/// Sentinel value meaning "no node".
+inline constexpr NodeId InvalidNode = std::numeric_limits<NodeId>::max();
+
+/// Simulated time, in abstract "ticks". The simulator never interprets the
+/// unit; latency models decide what a tick means.
+using SimTime = uint64_t;
+
+/// Sentinel value meaning "never".
+inline constexpr SimTime TimeNever = std::numeric_limits<SimTime>::max();
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_IDS_H

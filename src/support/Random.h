@@ -1,0 +1,114 @@
+//===- support/Random.h - Deterministic pseudo-random sources ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded, reproducible random number generation. All stochastic choices in
+/// the project (topology generation, latency jitter, crash scheduling) flow
+/// through these generators so that any run can be replayed from its seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_RANDOM_H
+#define CLIFFEDGE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace cliffedge {
+
+/// SplitMix64: tiny, fast, full-period 64-bit generator. Used directly for
+/// cheap decisions and to seed Xoshiro256StarStar.
+class SplitMix64 {
+public:
+  explicit SplitMix64(uint64_t Seed) : State(Seed) {}
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9e3779b97f4a7c15ULL;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+    return Z ^ (Z >> 31);
+  }
+
+private:
+  uint64_t State;
+};
+
+/// Xoshiro256**: the project's work-horse generator. Deterministic across
+/// platforms, 2^256-1 period, passes BigCrush.
+class Rng {
+public:
+  /// Seeds the four 64-bit words of state from \p Seed via SplitMix64.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL) {
+    SplitMix64 SM(Seed);
+    for (auto &Word : State)
+      Word = SM.next();
+  }
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next() {
+    uint64_t Result = rotl(State[1] * 5, 7) * 9;
+    uint64_t T = State[1] << 17;
+    State[2] ^= State[0];
+    State[3] ^= State[1];
+    State[1] ^= State[2];
+    State[0] ^= State[3];
+    State[2] ^= T;
+    State[3] = rotl(State[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must be
+  /// positive. Uses Lemire's nearly-divisionless rejection method.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound > 0 && "nextBelow() requires a positive bound");
+    // Rejection sampling on the top bits avoids modulo bias.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t R = next();
+      if (R >= Threshold)
+        return R % Bound;
+    }
+  }
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] (inclusive).
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    assert(Lo <= Hi && "nextInRange() requires Lo <= Hi");
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+  /// Fisher-Yates shuffles \p Container in place.
+  template <typename ContainerT> void shuffle(ContainerT &Container) {
+    for (size_t I = Container.size(); I > 1; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I));
+      using std::swap;
+      swap(Container[I - 1], Container[J]);
+    }
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_RANDOM_H

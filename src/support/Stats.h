@@ -1,0 +1,107 @@
+//===- support/Stats.h - Streaming statistics accumulators -----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Streaming accumulators used by the benchmark harness to report message
+/// counts, round counts and latencies. Welford's algorithm keeps the variance
+/// numerically stable without storing samples.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_STATS_H
+#define CLIFFEDGE_SUPPORT_STATS_H
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+
+/// Single-pass mean/min/max/stddev accumulator (Welford).
+class RunningStat {
+public:
+  /// Folds one sample into the accumulator.
+  void add(double Sample) {
+    ++N;
+    double Delta = Sample - Mean;
+    Mean += Delta / static_cast<double>(N);
+    M2 += Delta * (Sample - Mean);
+    MinV = std::min(MinV, Sample);
+    MaxV = std::max(MaxV, Sample);
+  }
+
+  uint64_t count() const { return N; }
+  double mean() const { return N ? Mean : 0.0; }
+  double min() const { return N ? MinV : 0.0; }
+  double max() const { return N ? MaxV : 0.0; }
+
+  /// Sample variance (unbiased). Zero with fewer than two samples.
+  double variance() const {
+    return N > 1 ? M2 / static_cast<double>(N - 1) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat &Other) {
+    if (Other.N == 0)
+      return;
+    if (N == 0) {
+      *this = Other;
+      return;
+    }
+    uint64_t Total = N + Other.N;
+    double Delta = Other.Mean - Mean;
+    double TotalD = static_cast<double>(Total);
+    Mean += Delta * static_cast<double>(Other.N) / TotalD;
+    M2 += Other.M2 + Delta * Delta * static_cast<double>(N) *
+                         static_cast<double>(Other.N) / TotalD;
+    N = Total;
+    MinV = std::min(MinV, Other.MinV);
+    MaxV = std::max(MaxV, Other.MaxV);
+  }
+
+private:
+  uint64_t N = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+  double MinV = std::numeric_limits<double>::infinity();
+  double MaxV = -std::numeric_limits<double>::infinity();
+};
+
+/// Stores samples to answer percentile queries; used for latency tails.
+class Percentiles {
+public:
+  void add(double Sample) { Samples.push_back(Sample); }
+
+  uint64_t count() const { return Samples.size(); }
+
+  /// Returns the \p P-th percentile (P in [0,100]) by nearest-rank on the
+  /// sorted samples. Zero when empty.
+  double percentile(double P) const {
+    if (Samples.empty())
+      return 0.0;
+    assert(P >= 0.0 && P <= 100.0 && "percentile out of range");
+    std::vector<double> Sorted(Samples);
+    std::sort(Sorted.begin(), Sorted.end());
+    double Rank = P / 100.0 * static_cast<double>(Sorted.size() - 1);
+    size_t Lo = static_cast<size_t>(Rank);
+    size_t Hi = std::min(Lo + 1, Sorted.size() - 1);
+    double Frac = Rank - static_cast<double>(Lo);
+    return Sorted[Lo] * (1.0 - Frac) + Sorted[Hi] * Frac;
+  }
+
+private:
+  std::vector<double> Samples;
+};
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_STATS_H

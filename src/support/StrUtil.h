@@ -1,0 +1,47 @@
+//===- support/StrUtil.h - Small string formatting helpers -----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string and container joining, so that
+/// library code never touches <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_STRUTIL_H
+#define CLIFFEDGE_SUPPORT_STRUTIL_H
+
+#include <cstdarg>
+#include <string>
+
+namespace cliffedge {
+
+/// Formats printf-style into a std::string.
+std::string formatStr(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// va_list flavour of formatStr.
+std::string formatStrV(const char *Fmt, va_list Args);
+
+/// Joins the elements of \p Container with \p Sep, converting each element
+/// with \p ToString.
+template <typename ContainerT, typename FnT>
+std::string joinMapped(const ContainerT &Container, const char *Sep,
+                       FnT ToString) {
+  std::string Result;
+  bool First = true;
+  for (const auto &Element : Container) {
+    if (!First)
+      Result += Sep;
+    First = false;
+    Result += ToString(Element);
+  }
+  return Result;
+}
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_STRUTIL_H

@@ -1,0 +1,122 @@
+//===- trace/Report.cpp - Structured run reports -----------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Report.h"
+
+#include "support/StrUtil.h"
+#include "trace/Checker.h"
+
+#include <algorithm>
+
+using namespace cliffedge;
+using namespace cliffedge::trace;
+
+RunReport trace::summarizeRun(const ScenarioRunner &Runner) {
+  RunReport R;
+  R.NumNodes = Runner.topology().numNodes();
+  R.FaultyNodes = Runner.faultySet().size();
+  R.Decisions = Runner.decisions().size();
+
+  std::vector<graph::Region> Views;
+  for (const DecisionRecord &D : Runner.decisions()) {
+    if (std::find(Views.begin(), Views.end(), D.View) == Views.end())
+      Views.push_back(D.View);
+    if (R.FirstDecision == 0 || D.When < R.FirstDecision)
+      R.FirstDecision = D.When;
+    R.LastDecision = std::max(R.LastDecision, D.When);
+  }
+  R.DistinctViews = Views.size();
+
+  R.Messages = Runner.netStats().MessagesSent;
+  R.Bytes = Runner.netStats().BytesSent;
+  core::CliffEdgeNode::Counters Total = Runner.totalCounters();
+  R.Proposals = Total.Proposals;
+  R.Rejections = Total.Rejections;
+  R.FailedAttempts = Total.InstancesFailed;
+  R.RoundsStarted = Total.RoundsStarted;
+  R.SpecOk = checkAll(makeCheckInput(Runner)).Ok;
+  return R;
+}
+
+ReportTable::ReportTable(std::string InKeyHeader)
+    : KeyHeader(std::move(InKeyHeader)) {}
+
+void ReportTable::addRow(std::string Key, const RunReport &Report) {
+  Rows.emplace_back(std::move(Key), Report);
+}
+
+namespace {
+
+const char *const ColumnNames[] = {
+    "nodes",   "faulty",  "decisions", "views",  "msgs",     "bytes",
+    "props",   "rejects", "failed",    "rounds", "first_dec", "last_dec",
+    "spec"};
+
+std::vector<std::string> rowValues(const RunReport &R) {
+  return {std::to_string(R.NumNodes),
+          std::to_string(R.FaultyNodes),
+          std::to_string(R.Decisions),
+          std::to_string(R.DistinctViews),
+          std::to_string(R.Messages),
+          std::to_string(R.Bytes),
+          std::to_string(R.Proposals),
+          std::to_string(R.Rejections),
+          std::to_string(R.FailedAttempts),
+          std::to_string(R.RoundsStarted),
+          std::to_string(R.FirstDecision),
+          std::to_string(R.LastDecision),
+          R.SpecOk ? "ok" : "FAIL"};
+}
+
+} // namespace
+
+std::string ReportTable::toText() const {
+  constexpr size_t NumCols = sizeof(ColumnNames) / sizeof(ColumnNames[0]);
+  // Compute column widths.
+  size_t KeyWidth = KeyHeader.size();
+  for (const auto &[Key, Report] : Rows)
+    KeyWidth = std::max(KeyWidth, Key.size());
+  size_t Widths[NumCols];
+  for (size_t C = 0; C < NumCols; ++C)
+    Widths[C] = std::string(ColumnNames[C]).size();
+  std::vector<std::vector<std::string>> Cells;
+  for (const auto &[Key, Report] : Rows) {
+    Cells.push_back(rowValues(Report));
+    for (size_t C = 0; C < NumCols; ++C)
+      Widths[C] = std::max(Widths[C], Cells.back()[C].size());
+  }
+
+  std::string Out = formatStr("%-*s", (int)KeyWidth, KeyHeader.c_str());
+  for (size_t C = 0; C < NumCols; ++C)
+    Out += formatStr("  %*s", (int)Widths[C], ColumnNames[C]);
+  Out += '\n';
+  for (size_t RowI = 0; RowI < Rows.size(); ++RowI) {
+    Out += formatStr("%-*s", (int)KeyWidth, Rows[RowI].first.c_str());
+    for (size_t C = 0; C < NumCols; ++C)
+      Out += formatStr("  %*s", (int)Widths[C], Cells[RowI][C].c_str());
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::string ReportTable::toCsv() const {
+  std::string Out = KeyHeader;
+  for (const char *Name : ColumnNames) {
+    Out += ',';
+    Out += Name;
+  }
+  Out += '\n';
+  for (const auto &[Key, Report] : Rows) {
+    Out += Key;
+    for (const std::string &Cell : rowValues(Report)) {
+      Out += ',';
+      Out += Cell;
+    }
+    Out += '\n';
+  }
+  return Out;
+}

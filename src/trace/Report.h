@@ -1,0 +1,72 @@
+//===- trace/Report.h - Structured run reports ------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a finished run into a structured report: per-run scalar metrics
+/// plus renderers to aligned text tables and CSV, so benches and tools
+/// share one formatting path and their output can be post-processed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_TRACE_REPORT_H
+#define CLIFFEDGE_TRACE_REPORT_H
+
+#include "trace/Runner.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace trace {
+
+/// Scalar metrics of one finished run.
+struct RunReport {
+  uint32_t NumNodes = 0;
+  size_t FaultyNodes = 0;
+  size_t Decisions = 0;
+  size_t DistinctViews = 0;
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+  uint64_t Proposals = 0;
+  uint64_t Rejections = 0;
+  uint64_t FailedAttempts = 0;
+  uint64_t RoundsStarted = 0;
+  SimTime FirstDecision = 0; ///< 0 when nobody decided.
+  SimTime LastDecision = 0;
+  bool SpecOk = false;
+};
+
+/// Extracts a report (and runs the CD1..CD7 checkers) from a finished
+/// ScenarioRunner.
+RunReport summarizeRun(const ScenarioRunner &Runner);
+
+/// A named series of reports (e.g. one per parameter value), renderable
+/// as a table.
+class ReportTable {
+public:
+  /// \p KeyHeader names the first column (the swept parameter).
+  explicit ReportTable(std::string KeyHeader);
+
+  void addRow(std::string Key, const RunReport &Report);
+
+  size_t rows() const { return Rows.size(); }
+
+  /// Aligned, human-readable table.
+  std::string toText() const;
+
+  /// RFC-4180-ish CSV with a header row.
+  std::string toCsv() const;
+
+private:
+  std::string KeyHeader;
+  std::vector<std::pair<std::string, RunReport>> Rows;
+};
+
+} // namespace trace
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_TRACE_REPORT_H

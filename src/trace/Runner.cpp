@@ -1,0 +1,123 @@
+//===- trace/Runner.cpp - One-stop simulated scenario harness --------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Runner.h"
+
+#include "core/Wire.h"
+
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::trace;
+
+static RunnerOptions withDefaults(RunnerOptions Opts) {
+  if (!Opts.Latency)
+    Opts.Latency = sim::fixedLatency(10);
+  if (!Opts.DetectionDelay)
+    Opts.DetectionDelay = detector::fixedDetectionDelay(5);
+  if (!Opts.SelectValue)
+    Opts.SelectValue = [](NodeId Node, const graph::Region &) {
+      return static_cast<core::Value>(Node);
+    };
+  return Opts;
+}
+
+ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
+    : G(InG), Opts(withDefaults(std::move(InOpts))),
+      Net(Sim, G.numNodes(), Opts.Latency),
+      Detector(Sim, G.numNodes(), Opts.DetectionDelay,
+               [this](NodeId Watcher, NodeId Target) {
+                 Nodes[Watcher]->onCrash(Target);
+               }),
+      CrashTimes(G.numNodes(), TimeNever) {
+  Net.setRecording(Opts.RecordSends);
+  Net.setDeliver(
+      [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
+        std::optional<core::Message> M = core::decodeMessage(*Bytes);
+        assert(M && "transport delivered a corrupt frame");
+        if (M)
+          Nodes[To]->onDeliver(From, *M);
+      });
+
+  Nodes.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    core::Callbacks CBs;
+    CBs.Multicast = [this, N](const graph::Region &To,
+                              const core::Message &M) {
+      // Encode once; every recipient shares the same immutable frame.
+      auto Frame = std::make_shared<const std::vector<uint8_t>>(
+          core::encodeMessage(M));
+      for (NodeId Recipient : To)
+        Net.send(N, Recipient, Frame);
+    };
+    CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
+      Detector.monitor(N, Targets);
+    };
+    CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
+      Decisions.push_back(DecisionRecord{N, View, Chosen, Sim.now()});
+    };
+    CBs.SelectValue = [this, N](const graph::Region &View) {
+      return Opts.SelectValue(N, View);
+    };
+    if (Opts.RecordProtocolEvents)
+      CBs.OnEvent = [this, N](const core::ProtocolEvent &E) {
+        ProtoEvents.push_back(TimedProtocolEvent{N, E, Sim.now()});
+      };
+    Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
+        N, G, Opts.NodeConfig, std::move(CBs)));
+  }
+  for (auto &Node : Nodes)
+    Node->start();
+}
+
+void ScenarioRunner::scheduleCrash(NodeId Node, SimTime When) {
+  assert(Node < G.numNodes() && "node out of range");
+  assert(!Faulty.contains(Node) && "node scheduled to crash twice");
+  Faulty.insert(Node);
+  CrashTimes[Node] = When;
+  Sim.at(When, [this, Node]() {
+    Net.crash(Node);
+    Detector.nodeCrashed(Node);
+  });
+}
+
+void ScenarioRunner::scheduleCrashAll(const graph::Region &Nodes_,
+                                      SimTime When) {
+  for (NodeId N : Nodes_)
+    scheduleCrash(N, When);
+}
+
+uint64_t ScenarioRunner::run() { return Sim.run(Opts.MaxEvents); }
+
+std::optional<SimTime> ScenarioRunner::crashTime(NodeId Node) const {
+  assert(Node < CrashTimes.size() && "node out of range");
+  if (CrashTimes[Node] == TimeNever)
+    return std::nullopt;
+  return CrashTimes[Node];
+}
+
+core::CliffEdgeNode::Counters ScenarioRunner::totalCounters() const {
+  core::CliffEdgeNode::Counters Total;
+  for (const auto &Node : Nodes) {
+    const core::CliffEdgeNode::Counters &C = Node->counters();
+    Total.CrashesObserved += C.CrashesObserved;
+    Total.Proposals += C.Proposals;
+    Total.Rejections += C.Rejections;
+    Total.RoundsStarted += C.RoundsStarted;
+    Total.InstancesFailed += C.InstancesFailed;
+    Total.EarlyTerminations += C.EarlyTerminations;
+    Total.MessagesIgnored += C.MessagesIgnored;
+  }
+  return Total;
+}
+
+SimTime ScenarioRunner::lastDecisionTime() const {
+  SimTime Last = 0;
+  for (const DecisionRecord &D : Decisions)
+    Last = std::max(Last, D.When);
+  return Last;
+}

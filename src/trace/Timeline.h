@@ -1,0 +1,55 @@
+//===- trace/Timeline.h - ASCII run timelines -------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders a finished run as a per-node ASCII timeline — the fastest way
+/// to see a scenario's causality at a glance (who crashed when, who
+/// decided what, how long arbitration churned). Used by examples and by
+/// humans debugging failing property-sweep seeds.
+///
+/// Sample output (line 0-1-2-3-4, node 2 crashes):
+///
+///   t:        100       125       150
+///   n1   .....|D{2}
+///   n2   ..X
+///   n3   .....|D{2}
+///
+//======----------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_TRACE_TIMELINE_H
+#define CLIFFEDGE_TRACE_TIMELINE_H
+
+#include "graph/Graph.h"
+#include "trace/Checker.h"
+
+#include <string>
+
+namespace cliffedge {
+namespace trace {
+
+/// Rendering options.
+struct TimelineOptions {
+  /// Number of character columns for the time axis.
+  uint32_t Columns = 64;
+  /// Include only nodes that crashed or decided (default) or all nodes.
+  bool OnlyInvolved = true;
+};
+
+/// Renders the run described by \p In as a multi-line ASCII chart.
+/// Symbols: 'X' crash, 'D' decision (annotated with the decided view),
+/// '.' idle time before an event, '|' event tick.
+std::string renderTimeline(const CheckInput &In,
+                           TimelineOptions Opts = TimelineOptions());
+
+/// One-line-per-event textual log, sorted by time: crashes and decisions
+/// with node labels from the graph.
+std::string renderEventLog(const CheckInput &In);
+
+} // namespace trace
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_TRACE_TIMELINE_H

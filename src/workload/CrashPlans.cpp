@@ -1,0 +1,150 @@
+//===- workload/CrashPlans.cpp - Crash scenario generators -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/CrashPlans.h"
+
+#include "graph/Builders.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::workload;
+
+graph::Region CrashPlan::faultySet() const {
+  std::vector<NodeId> Ids;
+  Ids.reserve(Crashes.size());
+  for (const TimedCrash &C : Crashes)
+    Ids.push_back(C.Node);
+  return graph::Region(std::move(Ids));
+}
+
+void CrashPlan::apply(trace::ScenarioRunner &Runner) const {
+  for (const TimedCrash &C : Crashes)
+    Runner.scheduleCrash(C.Node, C.When);
+}
+
+CrashPlan workload::simultaneous(const graph::Region &Nodes, SimTime When) {
+  CrashPlan Plan;
+  for (NodeId N : Nodes)
+    Plan.Crashes.push_back(TimedCrash{N, When});
+  return Plan;
+}
+
+CrashPlan workload::cascade(const graph::Region &Nodes, SimTime Start,
+                            SimTime Gap) {
+  CrashPlan Plan;
+  SimTime When = Start;
+  for (NodeId N : Nodes) {
+    Plan.Crashes.push_back(TimedCrash{N, When});
+    When += Gap;
+  }
+  return Plan;
+}
+
+CrashPlan workload::connectedCascade(const graph::Graph &G,
+                                     const graph::Region &Nodes,
+                                     SimTime Start, SimTime Gap, Rng &Rand) {
+  CrashPlan Plan;
+  if (Nodes.empty())
+    return Plan;
+
+  graph::Region Remaining = Nodes;
+  graph::Region Done;
+  SimTime When = Start;
+
+  // Seed: random member.
+  std::vector<NodeId> Pool(Remaining.ids());
+  NodeId Seed = Pool[Rand.nextBelow(Pool.size())];
+  Plan.Crashes.push_back(TimedCrash{Seed, When});
+  Done.insert(Seed);
+  Remaining.erase(Seed);
+
+  while (!Remaining.empty()) {
+    When += Gap;
+    // Prefer a remaining node adjacent to the crashed set.
+    std::vector<NodeId> Frontier;
+    for (NodeId N : Remaining)
+      for (NodeId Neighbor : G.neighbors(N))
+        if (Done.contains(Neighbor)) {
+          Frontier.push_back(N);
+          break;
+        }
+    const std::vector<NodeId> &Choices =
+        Frontier.empty() ? Remaining.ids() : Frontier;
+    NodeId Next = Choices[Rand.nextBelow(Choices.size())];
+    Plan.Crashes.push_back(TimedCrash{Next, When});
+    Done.insert(Next);
+    Remaining.erase(Next);
+  }
+  return Plan;
+}
+
+CrashPlan workload::radialWave(const graph::Graph &G, NodeId Epicenter,
+                               uint32_t Radius, SimTime Start,
+                               SimTime WaveGap) {
+  CrashPlan Plan;
+  std::vector<uint32_t> Dist = graph::bfsDistances(G, Epicenter);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (Dist[N] != graph::DistUnreachable && Dist[N] <= Radius)
+      Plan.Crashes.push_back(
+          TimedCrash{N, Start + static_cast<SimTime>(Dist[N]) * WaveGap});
+  // Deterministic order: by time, then id.
+  std::sort(Plan.Crashes.begin(), Plan.Crashes.end(),
+            [](const TimedCrash &A, const TimedCrash &B) {
+              if (A.When != B.When)
+                return A.When < B.When;
+              return A.Node < B.Node;
+            });
+  return Plan;
+}
+
+CrashPlan workload::adjacentDomainChain(uint32_t GridWidth,
+                                        uint32_t GridHeight, uint32_t Side,
+                                        uint32_t Count, SimTime When) {
+  CrashPlan Plan;
+  // Patches at x = 1, 1 + (Side+1), ...: one live column between patches,
+  // whose nodes border both, making consecutive domains adjacent (F || H).
+  // One live row above (y=0) keeps the live part connected.
+  uint32_t Stride = Side + 1;
+  if (GridHeight < Side + 2 || Count == 0)
+    return Plan;
+  if (1 + Count * Stride - 1 > GridWidth)
+    return Plan; // Does not fit.
+  for (uint32_t D = 0; D < Count; ++D) {
+    uint32_t X0 = 1 + D * Stride;
+    graph::Region Patch = graph::gridPatch(GridWidth, X0, 1, Side);
+    for (NodeId N : Patch)
+      Plan.Crashes.push_back(TimedCrash{N, When});
+  }
+  return Plan;
+}
+
+CrashPlan workload::randomRegions(const graph::Graph &G, uint32_t Count,
+                                  size_t RegionSize, SimTime Start,
+                                  SimTime Spread, Rng &Rand) {
+  CrashPlan Plan;
+  graph::Region AllFaulty;
+  for (uint32_t I = 0; I < Count; ++I) {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    graph::Region R = graph::growRegionFrom(G, Seed, RegionSize);
+    for (NodeId N : R) {
+      if (AllFaulty.contains(N))
+        continue; // Regions may overlap; crash each node once.
+      AllFaulty.insert(N);
+      SimTime When = Start + (Spread ? Rand.nextBelow(Spread + 1) : 0);
+      Plan.Crashes.push_back(TimedCrash{N, When});
+    }
+  }
+  std::sort(Plan.Crashes.begin(), Plan.Crashes.end(),
+            [](const TimedCrash &A, const TimedCrash &B) {
+              if (A.When != B.When)
+                return A.When < B.When;
+              return A.Node < B.Node;
+            });
+  return Plan;
+}

@@ -1,0 +1,89 @@
+//===- workload/CrashPlans.h - Crash scenario generators --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Generators for the failure scenarios the paper motivates (§2.1):
+/// correlated regional crashes, regions that keep growing while agreement
+/// runs (Fig. 1b), and clusters of adjacent faulty domains (Fig. 2).
+/// A CrashPlan is simply a timed list of crashes a ScenarioRunner applies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_WORKLOAD_CRASHPLANS_H
+#define CLIFFEDGE_WORKLOAD_CRASHPLANS_H
+
+#include "graph/Algorithms.h"
+#include "graph/Graph.h"
+#include "graph/Region.h"
+#include "support/Random.h"
+#include "trace/Runner.h"
+
+#include <vector>
+
+namespace cliffedge {
+namespace workload {
+
+/// One timed crash.
+struct TimedCrash {
+  NodeId Node = InvalidNode;
+  SimTime When = 0;
+};
+
+/// A full failure scenario.
+struct CrashPlan {
+  std::vector<TimedCrash> Crashes;
+
+  /// All nodes that crash in this plan.
+  graph::Region faultySet() const;
+
+  /// Schedules every crash on \p Runner.
+  void apply(trace::ScenarioRunner &Runner) const;
+};
+
+/// Every node of \p Nodes crashes simultaneously at \p When — the clean
+/// Fig. 1(a) setting.
+CrashPlan simultaneous(const graph::Region &Nodes, SimTime When);
+
+/// The nodes of \p Nodes crash one by one (in sorted id order), \p Gap
+/// ticks apart starting at \p Start — a region that grows while border
+/// nodes are already trying to agree (the Fig. 1(b) cascade, generalised).
+CrashPlan cascade(const graph::Region &Nodes, SimTime Start, SimTime Gap);
+
+/// Like cascade but in a deterministic random connected order: the first
+/// crash is a random member and each subsequent crash is adjacent to an
+/// already-crashed node when possible, so the crashed set stays connected
+/// the way a spreading outage would.
+CrashPlan connectedCascade(const graph::Graph &G, const graph::Region &Nodes,
+                           SimTime Start, SimTime Gap, Rng &Rand);
+
+/// A hop-radius ball around \p Epicenter crashing outward: nodes at BFS
+/// distance d from the epicentre crash at Start + d*WaveGap. Models a
+/// failure spreading from a point (power/cooling domino).
+CrashPlan radialWave(const graph::Graph &G, NodeId Epicenter,
+                     uint32_t Radius, SimTime Start, SimTime WaveGap);
+
+/// Builds \p Count disjoint faulty domains that are pairwise *adjacent in
+/// a chain* (domain i and i+1 share at least one border node), recreating
+/// the Fig. 2 cluster structure on a grid of the given width/height. Every
+/// domain is a Side x Side patch; patches are separated by exactly one
+/// live column so consecutive borders intersect. All crash at \p When.
+/// Returns an empty plan if the grid is too small.
+CrashPlan adjacentDomainChain(uint32_t GridWidth, uint32_t GridHeight,
+                              uint32_t Side, uint32_t Count, SimTime When);
+
+/// Picks \p Count random epicentres and crashes a connected region of
+/// \p RegionSize nodes around each (regions may merge into larger faulty
+/// domains; that is part of the workload). Crash times are uniform in
+/// [Start, Start + Spread].
+CrashPlan randomRegions(const graph::Graph &G, uint32_t Count,
+                        size_t RegionSize, SimTime Start, SimTime Spread,
+                        Rng &Rand);
+
+} // namespace workload
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_WORKLOAD_CRASHPLANS_H

@@ -1,0 +1,53 @@
+//===- workload/EpochRunner.cpp - Multi-epoch operation with repair ---------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/EpochRunner.h"
+
+#include <algorithm>
+
+using namespace cliffedge;
+using namespace cliffedge::workload;
+
+EpochRunner::EpochRunner(const graph::Graph &InG, trace::RunnerOptions InOpts)
+    : G(InG), Opts(std::move(InOpts)) {}
+
+EpochResult EpochRunner::runEpoch(const CrashPlan &Plan) {
+  EpochResult Result;
+  Result.Epoch = History.size();
+  Result.Faulty = Plan.faultySet();
+
+  // Fresh protocol incarnation: repaired/replaced nodes boot with clean
+  // state, like the original nodes did.
+  trace::RunnerOptions EpochOpts = Opts;
+  trace::ScenarioRunner Runner(G, std::move(EpochOpts));
+  Plan.apply(Runner);
+  Runner.run();
+
+  Result.Decisions = Runner.decisions().size();
+  SimTime FirstCrash = TimeNever, LastDecision = 0;
+  for (const TimedCrash &C : Plan.Crashes)
+    FirstCrash = std::min(FirstCrash, C.When);
+  for (const trace::DecisionRecord &D : Runner.decisions()) {
+    LastDecision = std::max(LastDecision, D.When);
+    if (std::find(Result.DecidedViews.begin(), Result.DecidedViews.end(),
+                  D.View) == Result.DecidedViews.end())
+      Result.DecidedViews.push_back(D.View);
+  }
+  Result.Messages = Runner.netStats().MessagesSent;
+  Result.Bytes = Runner.netStats().BytesSent;
+  Result.SettleTime =
+      LastDecision > FirstCrash ? LastDecision - FirstCrash : 0;
+  Result.Check = trace::checkAll(trace::makeCheckInput(Runner));
+
+  ++Fleet.Epochs;
+  Fleet.EpochsAllHolding += Result.Check.Ok ? 1 : 0;
+  Fleet.TotalMessages += Result.Messages;
+  Fleet.TotalDecisions += Result.Decisions;
+  Fleet.TotalRepairedNodes += Result.Faulty.size();
+  History.push_back(Result);
+  return History.back();
+}

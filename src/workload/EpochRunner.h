@@ -1,0 +1,78 @@
+//===- workload/EpochRunner.h - Multi-epoch operation with repair -*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's protocol decides once per node per region — in a deployed
+/// system the decision *is* the recovery action (§1: "decide on some
+/// unified recovery action"), after which the region is repaired (nodes
+/// replaced or restarted) and the system must be ready for the next
+/// failure. EpochRunner models this lifecycle: each epoch runs one crash
+/// plan to quiescence on a fresh protocol incarnation over the same
+/// topology (repaired nodes come back with clean protocol state, exactly
+/// like replacement hardware), verifies the CD1..CD7 specification, and
+/// accumulates fleet-level statistics across epochs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_WORKLOAD_EPOCHRUNNER_H
+#define CLIFFEDGE_WORKLOAD_EPOCHRUNNER_H
+
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include <vector>
+
+namespace cliffedge {
+namespace workload {
+
+/// Outcome of one epoch (one failure event + agreement + repair).
+struct EpochResult {
+  size_t Epoch = 0;
+  graph::Region Faulty;
+  size_t Decisions = 0;
+  /// Regions actually decided (deduplicated).
+  std::vector<graph::Region> DecidedViews;
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+  SimTime SettleTime = 0; ///< Last decision minus first crash.
+  trace::CheckResult Check;
+};
+
+/// Aggregates across epochs.
+struct FleetStats {
+  size_t Epochs = 0;
+  size_t EpochsAllHolding = 0;
+  uint64_t TotalMessages = 0;
+  uint64_t TotalDecisions = 0;
+  uint64_t TotalRepairedNodes = 0;
+};
+
+/// Runs successive failure/agree/repair cycles over one topology.
+class EpochRunner {
+public:
+  explicit EpochRunner(const graph::Graph &G,
+                       trace::RunnerOptions Opts = trace::RunnerOptions());
+
+  /// Runs one epoch with the given crash plan; repaired state is implicit
+  /// (the next epoch starts from a fully healthy fleet).
+  EpochResult runEpoch(const CrashPlan &Plan);
+
+  const FleetStats &fleet() const { return Fleet; }
+  const std::vector<EpochResult> &history() const { return History; }
+
+private:
+  const graph::Graph &G;
+  trace::RunnerOptions Opts;
+  FleetStats Fleet;
+  std::vector<EpochResult> History;
+};
+
+} // namespace workload
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_WORKLOAD_EPOCHRUNNER_H

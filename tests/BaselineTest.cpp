@@ -1,0 +1,156 @@
+//===- tests/BaselineTest.cpp - Baseline protocol tests -----------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "baseline/Runners.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using baseline::GlobalMessage;
+using baseline::GlobalScenarioRunner;
+using baseline::NaiveScenarioRunner;
+using graph::Region;
+
+TEST(GlobalWireTest, RoundTrip) {
+  GlobalMessage M;
+  M.Round = 4;
+  M.Final = true;
+  M.Entries.emplace_back(2, Region{7, 8});
+  M.Entries.emplace_back(5, Region());
+  auto Decoded = baseline::decodeGlobalMessage(
+      baseline::encodeGlobalMessage(M));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Round, 4u);
+  EXPECT_TRUE(Decoded->Final);
+  ASSERT_EQ(Decoded->Entries.size(), 2u);
+  EXPECT_EQ(Decoded->Entries[0].first, 2u);
+  EXPECT_EQ(Decoded->Entries[0].second, (Region{7, 8}));
+  EXPECT_TRUE(Decoded->Entries[1].second.empty());
+}
+
+TEST(GlobalWireTest, RejectsGarbage) {
+  EXPECT_FALSE(baseline::decodeGlobalMessage({}).has_value());
+  EXPECT_FALSE(
+      baseline::decodeGlobalMessage({1, 2, 3, 4, 5}).has_value());
+}
+
+TEST(GlobalConsensusTest, AllLiveNodesDecideTheFaultySet) {
+  graph::Graph G = graph::makeGrid(4, 4);
+  GlobalScenarioRunner Runner(G);
+  Region Faulty = graph::gridPatch(4, 1, 1, 2);
+  Runner.scheduleCrashAll(Faulty, 100);
+  Runner.run();
+  EXPECT_EQ(Runner.decidersCount(), G.numNodes() - Faulty.size());
+  EXPECT_TRUE(Runner.allAgree());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (!Faulty.contains(N)) {
+      EXPECT_EQ(Runner.node(N).decidedSet(), Faulty);
+    }
+}
+
+TEST(GlobalConsensusTest, InvolvesEveryNodeUnlikeCliffEdge) {
+  // The point of the baseline: everyone talks, even far from the fault.
+  graph::Graph G = graph::makeGrid(6, 6);
+  Region Faulty{graph::gridId(6, 1, 1)};
+
+  GlobalScenarioRunner Global(G);
+  Global.scheduleCrashAll(Faulty, 100);
+  Global.run();
+
+  trace::ScenarioRunner Local(G);
+  Local.scheduleCrashAll(Faulty, 100);
+  Local.run();
+
+  // Every live node sent messages in the global protocol.
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    if (!Faulty.contains(N)) {
+      EXPECT_GT(Global.netStats().SentByNode[N], 0u) << "node " << N;
+    }
+  // And it costs far more than the cliff-edge protocol.
+  EXPECT_GT(Global.netStats().MessagesSent,
+            10 * Local.netStats().MessagesSent);
+}
+
+TEST(GlobalConsensusTest, CascadingCrashesStillTerminate) {
+  graph::Graph G = graph::makeGrid(5, 5);
+  GlobalScenarioRunner Runner(G);
+  Region Patch = graph::gridPatch(5, 1, 1, 2);
+  SimTime T = 100;
+  for (NodeId N : Patch) {
+    Runner.scheduleCrash(N, T);
+    T += 15;
+  }
+  Runner.run();
+  EXPECT_EQ(Runner.decidersCount(), G.numNodes() - Patch.size());
+  EXPECT_TRUE(Runner.allAgree());
+}
+
+TEST(NaiveLocalTest, CleanSingleRegionWorks) {
+  // Without growth the naive protocol looks fine — that is what makes the
+  // flaw pernicious.
+  graph::Graph G = graph::makeLine(5);
+  NaiveScenarioRunner Runner(G);
+  Runner.scheduleCrash(2, 100);
+  Runner.run();
+  ASSERT_EQ(Runner.decisions().size(), 2u);
+  for (const trace::DecisionRecord &D : Runner.decisions())
+    EXPECT_EQ(D.View, (Region{2}));
+}
+
+TEST(NaiveLocalTest, GrowthProducesConvergenceViolation) {
+  // a-b chain with private witnesses: p,q next to a; r next to b.
+  //   p - a - b - r      (plus q - a)
+  // a crashes first; p,q,(b) decide {a}. Later b crashes; r proposes and
+  // completes {a,b} with p,q's naive co-signatures => overlapping decided
+  // views {a} vs {a,b}: a CD6 violation the real protocol prevents.
+  graph::Graph G(5);
+  NodeId P = 0, Q = 1, A = 2, B = 3, R = 4;
+  G.addEdge(P, A);
+  G.addEdge(Q, A);
+  G.addEdge(A, B);
+  G.addEdge(B, R);
+  // Keep the survivors connected for realism.
+  G.addEdge(P, Q);
+  G.addEdge(Q, R);
+
+  NaiveScenarioRunner Runner(G);
+  Runner.scheduleCrash(A, 100);
+  Runner.scheduleCrash(B, 400); // Long after {a} is decided.
+  Runner.run();
+
+  trace::CheckInput In;
+  In.G = &G;
+  In.Faulty = Runner.faultySet();
+  In.CrashTimes = Runner.crashTimes();
+  In.Decisions = Runner.decisions();
+  trace::CheckResult Res;
+  trace::checkViewConvergenceCD6(In, Res);
+  EXPECT_FALSE(Res.Ok)
+      << "expected the naive baseline to violate CD6 under growth";
+}
+
+TEST(NaiveLocalTest, CliffEdgePreventsThatExactViolation) {
+  // Identical topology and schedule, real protocol: CD6 must hold.
+  graph::Graph G(5);
+  G.addEdge(0, 2);
+  G.addEdge(1, 2);
+  G.addEdge(2, 3);
+  G.addEdge(3, 4);
+  G.addEdge(0, 1);
+  G.addEdge(1, 4);
+
+  trace::ScenarioRunner Runner(G);
+  Runner.scheduleCrash(2, 100);
+  Runner.scheduleCrash(3, 400);
+  Runner.run();
+  trace::CheckResult Res = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Res.Ok) << Res.summary();
+}

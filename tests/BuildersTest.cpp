@@ -1,0 +1,213 @@
+//===- tests/BuildersTest.cpp - Topology generator tests --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builders.h"
+
+#include "graph/Algorithms.h"
+#include "graph/Dot.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+
+using namespace cliffedge;
+using graph::Graph;
+using graph::Region;
+
+TEST(BuildersTest, LineShape) {
+  Graph G = graph::makeLine(6);
+  EXPECT_EQ(G.numNodes(), 6u);
+  EXPECT_EQ(G.numEdges(), 5u);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_EQ(G.degree(3), 2u);
+  EXPECT_TRUE(graph::isConnected(G));
+}
+
+TEST(BuildersTest, RingShape) {
+  Graph G = graph::makeRing(7);
+  EXPECT_EQ(G.numEdges(), 7u);
+  for (NodeId N = 0; N < 7; ++N)
+    EXPECT_EQ(G.degree(N), 2u);
+  EXPECT_TRUE(graph::isConnected(G));
+}
+
+TEST(BuildersTest, GridShapeAndDegrees) {
+  Graph G = graph::makeGrid(4, 3);
+  EXPECT_EQ(G.numNodes(), 12u);
+  // Edges: horizontal 3*3 + vertical 4*2 = 17.
+  EXPECT_EQ(G.numEdges(), 17u);
+  EXPECT_EQ(G.degree(graph::gridId(4, 0, 0)), 2u); // Corner.
+  EXPECT_EQ(G.degree(graph::gridId(4, 1, 0)), 3u); // Edge.
+  EXPECT_EQ(G.degree(graph::gridId(4, 1, 1)), 4u); // Interior.
+  EXPECT_TRUE(graph::isConnected(G));
+}
+
+TEST(BuildersTest, TorusAllDegreeFour) {
+  Graph G = graph::makeTorus(4, 5);
+  EXPECT_EQ(G.numNodes(), 20u);
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    EXPECT_EQ(G.degree(N), 4u);
+  EXPECT_EQ(G.numEdges(), 40u);
+}
+
+TEST(BuildersTest, CompleteGraph) {
+  Graph G = graph::makeComplete(5);
+  EXPECT_EQ(G.numEdges(), 10u);
+  for (NodeId N = 0; N < 5; ++N)
+    EXPECT_EQ(G.degree(N), 4u);
+}
+
+TEST(BuildersTest, StarShape) {
+  Graph G = graph::makeStar(6);
+  EXPECT_EQ(G.degree(0), 5u);
+  for (NodeId N = 1; N < 6; ++N)
+    EXPECT_EQ(G.degree(N), 1u);
+}
+
+TEST(BuildersTest, TreeIsConnectedAcyclic) {
+  Graph G = graph::makeTree(13, 3);
+  EXPECT_EQ(G.numEdges(), 12u); // n-1 edges: a tree.
+  EXPECT_TRUE(graph::isConnected(G));
+}
+
+TEST(BuildersTest, ErdosRenyiConnectedWhenRequested) {
+  Rng Rand(42);
+  for (int Trial = 0; Trial < 5; ++Trial) {
+    Graph G = graph::makeErdosRenyi(40, 0.02, Rand, /*EnsureConnected=*/true);
+    EXPECT_TRUE(graph::isConnected(G));
+  }
+}
+
+TEST(BuildersTest, ErdosRenyiDeterministicPerSeed) {
+  Rng A(7), B(7);
+  Graph GA = graph::makeErdosRenyi(30, 0.1, A);
+  Graph GB = graph::makeErdosRenyi(30, 0.1, B);
+  ASSERT_EQ(GA.numNodes(), GB.numNodes());
+  EXPECT_EQ(GA.numEdges(), GB.numEdges());
+  for (NodeId N = 0; N < GA.numNodes(); ++N)
+    EXPECT_EQ(GA.neighbors(N), GB.neighbors(N));
+}
+
+TEST(BuildersTest, WattsStrogatzNodeCountPreserved) {
+  Rng Rand(3);
+  Graph G = graph::makeWattsStrogatz(30, 2, 0.2, Rand);
+  EXPECT_EQ(G.numNodes(), 30u);
+  // Rewiring may merge duplicate edges but the graph stays near 2K-regular.
+  EXPECT_GE(G.numEdges(), 45u);
+  EXPECT_LE(G.numEdges(), 60u);
+}
+
+TEST(BuildersTest, RandomGeometricConnectedWhenRequested) {
+  Rng Rand(11);
+  Graph G = graph::makeRandomGeometric(50, 0.2, Rand, true);
+  EXPECT_TRUE(graph::isConnected(G));
+}
+
+TEST(BuildersTest, Fig1WorldBordersMatchPaper) {
+  graph::Fig1World W = graph::makeFig1World();
+  // F1's border is exactly {paris, london, madrid, roma} (Fig. 1a).
+  Region BorderF1 = W.G.border(W.F1);
+  EXPECT_EQ(BorderF1,
+            (Region{W.Paris, W.London, W.Madrid, W.Roma}));
+  // F2's border is exactly the five Pacific cities.
+  Region BorderF2 = W.G.border(W.F2);
+  EXPECT_EQ(BorderF2, (Region{W.Tokyo, W.Vancouver, W.Portland, W.Sydney,
+                              W.Beijing}));
+  // Both crashed regions are connected regions of the graph.
+  EXPECT_TRUE(W.G.isConnectedRegion(W.F1));
+  EXPECT_TRUE(W.G.isConnectedRegion(W.F2));
+  EXPECT_TRUE(graph::isConnected(W.G));
+}
+
+TEST(BuildersTest, Fig1WorldGrowthIntoF3AddsBerlin) {
+  graph::Fig1World W = graph::makeFig1World();
+  // Fig 1(b): paris crashes, F1 grows into F3 = F1 + {paris}; berlin joins
+  // the border, paris leaves it.
+  Region F3 = W.F1.unionWith(Region{W.Paris});
+  Region BorderF3 = W.G.border(F3);
+  EXPECT_TRUE(BorderF3.contains(W.Berlin));
+  EXPECT_FALSE(BorderF3.contains(W.Paris));
+  EXPECT_EQ(BorderF3,
+            (Region{W.London, W.Madrid, W.Roma, W.Berlin}));
+}
+
+TEST(BuildersTest, GridPatch) {
+  Region Patch = graph::gridPatch(8, 2, 3, 2);
+  EXPECT_EQ(Patch.size(), 4u);
+  EXPECT_TRUE(Patch.contains(graph::gridId(8, 2, 3)));
+  EXPECT_TRUE(Patch.contains(graph::gridId(8, 3, 4)));
+  EXPECT_FALSE(Patch.contains(graph::gridId(8, 4, 3)));
+}
+
+TEST(BuildersTest, HypercubeShape) {
+  graph::Graph G = graph::makeHypercube(4);
+  EXPECT_EQ(G.numNodes(), 16u);
+  EXPECT_EQ(G.numEdges(), 32u); // n * d / 2.
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    EXPECT_EQ(G.degree(N), 4u);
+    for (NodeId M : G.neighbors(N)) {
+      uint32_t Diff = N ^ M;
+      EXPECT_EQ(Diff & (Diff - 1), 0u) << "edge differs in >1 bit";
+    }
+  }
+  EXPECT_TRUE(graph::isConnected(G));
+  EXPECT_EQ(graph::diameter(G), 4u);
+}
+
+TEST(BuildersTest, BarabasiAlbertShape) {
+  Rng Rand(17);
+  graph::Graph G = graph::makeBarabasiAlbert(100, 2, Rand);
+  EXPECT_EQ(G.numNodes(), 100u);
+  EXPECT_TRUE(graph::isConnected(G));
+  // Hub-heavy: the max degree should far exceed the attachment count.
+  size_t MaxDegree = 0;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    MaxDegree = std::max(MaxDegree, G.degree(N));
+  EXPECT_GE(MaxDegree, 10u);
+  // Every non-seed node has degree >= M.
+  for (NodeId N = 3; N < G.numNodes(); ++N)
+    EXPECT_GE(G.degree(N), 2u);
+}
+
+TEST(BuildersTest, BarabasiAlbertDeterministic) {
+  Rng A(5), B(5);
+  graph::Graph GA = graph::makeBarabasiAlbert(50, 2, A);
+  graph::Graph GB = graph::makeBarabasiAlbert(50, 2, B);
+  for (NodeId N = 0; N < 50; ++N)
+    EXPECT_EQ(GA.neighbors(N), GB.neighbors(N));
+}
+
+TEST(BuildersTest, ChordRingShape) {
+  graph::Graph G = graph::makeChordRing(32, 4);
+  EXPECT_EQ(G.numNodes(), 32u);
+  EXPECT_TRUE(graph::isConnected(G));
+  // Node 0 links to 1 (successor) and 2, 4, 8, 16 (fingers), plus
+  // incoming links from 31, 30, 28, 24, 16.
+  const std::vector<NodeId> &N0 = G.neighbors(0);
+  for (NodeId Expected : {1u, 2u, 4u, 8u, 16u, 24u, 28u, 30u, 31u})
+    EXPECT_TRUE(std::find(N0.begin(), N0.end(), Expected) != N0.end())
+        << "missing neighbour " << Expected;
+  // Fingers shrink the diameter well below N/2.
+  EXPECT_LE(graph::diameter(G), 6u);
+}
+
+TEST(BuildersTest, ChordRingFingersCappedByN) {
+  graph::Graph G = graph::makeChordRing(6, 10); // 2^k >= 6 ignored.
+  EXPECT_TRUE(graph::isConnected(G));
+  for (NodeId N = 0; N < 6; ++N)
+    EXPECT_LE(G.degree(N), 5u);
+}
+
+TEST(BuildersTest, DotOutputContainsNodesAndHighlights) {
+  graph::Fig1World W = graph::makeFig1World();
+  std::string Dot =
+      graph::toDot(W.G, {{W.F1, "lightcoral", "F1"}});
+  EXPECT_NE(Dot.find("graph topology"), std::string::npos);
+  EXPECT_NE(Dot.find("paris"), std::string::npos);
+  EXPECT_NE(Dot.find("lightcoral"), std::string::npos);
+  EXPECT_NE(Dot.find(" -- "), std::string::npos);
+}

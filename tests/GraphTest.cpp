@@ -1,0 +1,185 @@
+//===- tests/GraphTest.cpp - graph::Graph unit tests ------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Graph.h"
+
+#include "graph/Algorithms.h"
+#include "graph/Builders.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Graph;
+using graph::Region;
+
+TEST(GraphTest, AddNodesAndEdges) {
+  Graph G;
+  NodeId A = G.addNode("a");
+  NodeId B = G.addNode("b");
+  NodeId C = G.addNode();
+  EXPECT_EQ(G.numNodes(), 3u);
+  G.addEdge(A, B);
+  G.addEdge(B, C);
+  EXPECT_EQ(G.numEdges(), 2u);
+  EXPECT_TRUE(G.hasEdge(A, B));
+  EXPECT_TRUE(G.hasEdge(B, A));
+  EXPECT_FALSE(G.hasEdge(A, C));
+}
+
+TEST(GraphTest, DuplicateEdgesIgnored) {
+  Graph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 0);
+  G.addEdge(0, 1);
+  EXPECT_EQ(G.numEdges(), 1u);
+  EXPECT_EQ(G.degree(0), 1u);
+  EXPECT_EQ(G.degree(1), 1u);
+}
+
+TEST(GraphTest, NeighborsAreSorted) {
+  Graph G(5);
+  G.addEdge(2, 4);
+  G.addEdge(2, 0);
+  G.addEdge(2, 3);
+  std::vector<NodeId> Expected = {0, 3, 4};
+  EXPECT_EQ(G.neighbors(2), Expected);
+}
+
+TEST(GraphTest, NamesAndLookup) {
+  Graph G;
+  NodeId Paris = G.addNode("paris");
+  NodeId Anon = G.addNode();
+  EXPECT_EQ(G.name(Paris), "paris");
+  EXPECT_EQ(G.findByName("paris"), Paris);
+  EXPECT_EQ(G.findByName("nope"), InvalidNode);
+  EXPECT_EQ(G.label(Paris), "paris");
+  EXPECT_EQ(G.label(Anon), "n1");
+}
+
+TEST(GraphTest, BorderOfSingleNode) {
+  Graph G = graph::makeLine(4); // 0-1-2-3
+  EXPECT_EQ(G.border(NodeId(0)), (Region{1}));
+  EXPECT_EQ(G.border(NodeId(1)), (Region{0, 2}));
+}
+
+TEST(GraphTest, BorderOfRegionExcludesRegion) {
+  Graph G = graph::makeLine(5); // 0-1-2-3-4
+  Region S{1, 2};
+  EXPECT_EQ(G.border(S), (Region{0, 3}));
+  // Border of everything is empty.
+  EXPECT_TRUE(G.border(Region{0, 1, 2, 3, 4}).empty());
+}
+
+TEST(GraphTest, BorderMatchesPaperDefinition) {
+  // border(S) = {q not in S | exists p in S : {p,q} in E}.
+  Graph G = graph::makeGrid(4, 4);
+  Region S{graph::gridId(4, 1, 1), graph::gridId(4, 2, 1)};
+  Region B = G.border(S);
+  for (NodeId Q : B) {
+    EXPECT_FALSE(S.contains(Q));
+    bool Adjacent = false;
+    for (NodeId P : S)
+      Adjacent |= G.hasEdge(P, Q);
+    EXPECT_TRUE(Adjacent);
+  }
+  // And completeness: any node adjacent to S and outside S is in B.
+  for (NodeId Q = 0; Q < G.numNodes(); ++Q) {
+    if (S.contains(Q))
+      continue;
+    bool Adjacent = false;
+    for (NodeId P : S)
+      Adjacent |= G.hasEdge(P, Q);
+    EXPECT_EQ(B.contains(Q), Adjacent);
+  }
+}
+
+TEST(GraphTest, ConnectedComponentsOfSubset) {
+  Graph G = graph::makeLine(7); // 0-1-2-3-4-5-6
+  Region S{0, 1, 3, 5, 6};
+  std::vector<Region> Cs = G.connectedComponents(S);
+  ASSERT_EQ(Cs.size(), 3u);
+  EXPECT_EQ(Cs[0], (Region{0, 1}));
+  EXPECT_EQ(Cs[1], (Region{3}));
+  EXPECT_EQ(Cs[2], (Region{5, 6}));
+}
+
+TEST(GraphTest, ConnectedComponentsEmptySubset) {
+  Graph G = graph::makeRing(5);
+  EXPECT_TRUE(G.connectedComponents(Region()).empty());
+}
+
+TEST(GraphTest, IsConnectedRegion) {
+  Graph G = graph::makeGrid(3, 3);
+  EXPECT_TRUE(G.isConnectedRegion(Region{0, 1, 2}));
+  EXPECT_FALSE(G.isConnectedRegion(Region{0, 2}));
+  EXPECT_FALSE(G.isConnectedRegion(Region()));
+  EXPECT_TRUE(G.isConnectedRegion(Region{4}));
+}
+
+TEST(GraphAlgorithmsTest, BfsDistancesOnLine) {
+  Graph G = graph::makeLine(5);
+  std::vector<uint32_t> D = graph::bfsDistances(G, 0);
+  std::vector<uint32_t> Expected = {0, 1, 2, 3, 4};
+  EXPECT_EQ(D, Expected);
+}
+
+TEST(GraphAlgorithmsTest, BfsUnreachable) {
+  Graph G(4);
+  G.addEdge(0, 1);
+  G.addEdge(2, 3);
+  std::vector<uint32_t> D = graph::bfsDistances(G, 0);
+  EXPECT_EQ(D[1], 1u);
+  EXPECT_EQ(D[2], graph::DistUnreachable);
+  EXPECT_EQ(D[3], graph::DistUnreachable);
+}
+
+TEST(GraphAlgorithmsTest, BfsWithinRestrictsWalk) {
+  Graph G = graph::makeRing(6);
+  // Allow only half the ring: the walk cannot wrap around.
+  Region Allowed{0, 1, 2, 3};
+  std::vector<uint32_t> D = graph::bfsDistancesWithin(G, 0, Allowed);
+  EXPECT_EQ(D[3], 3u); // Must go 0-1-2-3, not 0-5-4-3.
+  EXPECT_EQ(D[5], graph::DistUnreachable);
+}
+
+TEST(GraphAlgorithmsTest, IsConnected) {
+  EXPECT_TRUE(graph::isConnected(graph::makeRing(8)));
+  Graph G(3);
+  G.addEdge(0, 1);
+  EXPECT_FALSE(graph::isConnected(G));
+  EXPECT_TRUE(graph::isConnected(Graph()));
+}
+
+TEST(GraphAlgorithmsTest, BallAround) {
+  Graph G = graph::makeGrid(5, 5);
+  Region Ball = graph::ballAround(G, graph::gridId(5, 2, 2), 1);
+  EXPECT_EQ(Ball.size(), 5u); // Centre plus 4-neighbourhood.
+  EXPECT_TRUE(Ball.contains(graph::gridId(5, 2, 2)));
+  EXPECT_TRUE(Ball.contains(graph::gridId(5, 1, 2)));
+  EXPECT_FALSE(Ball.contains(graph::gridId(5, 0, 0)));
+}
+
+TEST(GraphAlgorithmsTest, GrowRegionFromIsConnectedAndSized) {
+  Graph G = graph::makeGrid(6, 6);
+  Region R = graph::growRegionFrom(G, 0, 7);
+  EXPECT_EQ(R.size(), 7u);
+  EXPECT_TRUE(G.isConnectedRegion(R));
+}
+
+TEST(GraphAlgorithmsTest, GrowRegionCappedByComponent) {
+  Graph G(5);
+  G.addEdge(0, 1); // Component {0,1}; 2,3,4 isolated.
+  Region R = graph::growRegionFrom(G, 0, 10);
+  EXPECT_EQ(R, (Region{0, 1}));
+}
+
+TEST(GraphAlgorithmsTest, Diameter) {
+  EXPECT_EQ(graph::diameter(graph::makeLine(5)), 4u);
+  EXPECT_EQ(graph::diameter(graph::makeComplete(6)), 1u);
+  Graph Disconnected(2);
+  EXPECT_EQ(graph::diameter(Disconnected), graph::DistUnreachable);
+}

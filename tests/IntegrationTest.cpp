@@ -1,0 +1,266 @@
+//===- tests/IntegrationTest.cpp - Full simulated protocol runs ---------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Runner.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using trace::ScenarioRunner;
+
+namespace {
+
+/// Runs the scenario and asserts all seven CD properties hold.
+void expectSpecHolds(ScenarioRunner &Runner) {
+  Runner.run();
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+}
+
+} // namespace
+
+TEST(IntegrationTest, SingleNodeRegionOnLine) {
+  graph::Graph G = graph::makeLine(5); // 0-1-2-3-4
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrash(2, 100);
+  Runner.run();
+
+  // Both border nodes decide on exactly {2}.
+  ASSERT_EQ(Runner.decisions().size(), 2u);
+  for (const trace::DecisionRecord &D : Runner.decisions()) {
+    EXPECT_EQ(D.View, (Region{2}));
+    EXPECT_TRUE(D.Node == 1 || D.Node == 3);
+  }
+  // Same decision value everywhere (CD5).
+  EXPECT_EQ(Runner.decisions()[0].Chosen, Runner.decisions()[1].Chosen);
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+}
+
+TEST(IntegrationTest, EndOfLineRegionHasSingleDecider) {
+  graph::Graph G = graph::makeLine(4); // 0-1-2-3; crash {3}: border {2}.
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrash(3, 50);
+  Runner.run();
+  ASSERT_EQ(Runner.decisions().size(), 1u);
+  EXPECT_EQ(Runner.decisions()[0].Node, 2u);
+  EXPECT_EQ(Runner.decisions()[0].View, (Region{3}));
+}
+
+TEST(IntegrationTest, Fig1aTwoDisjointRegions) {
+  graph::Fig1World W = graph::makeFig1World();
+  ScenarioRunner Runner(W.G);
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.scheduleCrashAll(W.F2, 100);
+  Runner.run();
+
+  // All four F1 border cities decide (F1, .), all five F2 border cities
+  // decide (F2, .).
+  Region F1Deciders, F2Deciders;
+  for (const trace::DecisionRecord &D : Runner.decisions()) {
+    if (D.View == W.F1)
+      F1Deciders.insert(D.Node);
+    else if (D.View == W.F2)
+      F2Deciders.insert(D.Node);
+    else
+      ADD_FAILURE() << "unexpected decided view " << D.View.str();
+  }
+  EXPECT_EQ(F1Deciders, W.G.border(W.F1));
+  EXPECT_EQ(F2Deciders, W.G.border(W.F2));
+
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+}
+
+TEST(IntegrationTest, Fig1aLocalityNoCrossRegionTraffic) {
+  // "vancouver should not have to communicate with madrid" (§2.1).
+  graph::Fig1World W = graph::makeFig1World();
+  ScenarioRunner Runner(W.G);
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.scheduleCrashAll(W.F2, 100);
+  Runner.run();
+
+  Region ScopeF1 = W.F1.unionWith(W.G.border(W.F1));
+  Region ScopeF2 = W.F2.unionWith(W.G.border(W.F2));
+  for (const sim::SendRecord &S : Runner.sendLog()) {
+    bool InF1 = ScopeF1.contains(S.From) && ScopeF1.contains(S.To);
+    bool InF2 = ScopeF2.contains(S.From) && ScopeF2.contains(S.To);
+    EXPECT_TRUE(InF1 || InF2)
+        << "message " << S.From << "->" << S.To << " crosses regions";
+  }
+  // And nodes away from both regions never speak at all.
+  const sim::NetworkStats &Stats = Runner.netStats();
+  for (NodeId N = 0; N < W.G.numNodes(); ++N)
+    if (!ScopeF1.contains(N) && !ScopeF2.contains(N)) {
+      EXPECT_EQ(Stats.SentByNode[N], 0u);
+    }
+}
+
+TEST(IntegrationTest, Fig1bParisCrashMidAgreementConverges) {
+  // Fig. 1(b): paris fails after F1 is detected but before agreement is
+  // reached; F1 grows into F3 and berlin joins. All correct deciders of
+  // overlapping views must agree on the same view (CD6).
+  graph::Fig1World W = graph::makeFig1World();
+  ScenarioRunner Runner(W.G);
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.scheduleCrash(W.Paris, 118); // Mid-instance for F1.
+  Runner.run();
+
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+
+  // The correct border of F3 = F1 + {paris} must all have decided F3.
+  Region F3 = W.F1.unionWith(Region{W.Paris});
+  Region BorderF3 = W.G.border(F3); // london, madrid, roma, berlin.
+  for (NodeId N : BorderF3) {
+    EXPECT_TRUE(Runner.node(N).hasDecided())
+        << W.G.label(N) << " never decided";
+    if (Runner.node(N).hasDecided()) {
+      EXPECT_EQ(Runner.node(N).decidedView(), F3) << W.G.label(N);
+    }
+  }
+}
+
+TEST(IntegrationTest, Fig1bSlowMadridStillConverges) {
+  // madrid's detector is very slow: it tries to agree on stale F1 while
+  // berlin pushes F3. The arbitration must still converge.
+  graph::Fig1World W = graph::makeFig1World();
+  trace::RunnerOptions Opts;
+  Opts.DetectionDelay = [&W](NodeId Watcher, NodeId) -> SimTime {
+    return Watcher == W.Madrid ? 120 : 5;
+  };
+  ScenarioRunner Runner(W.G, std::move(Opts));
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.scheduleCrash(W.Paris, 130);
+  Runner.run();
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+}
+
+TEST(IntegrationTest, GrowingRegionCascadeOnGrid) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  Region Patch = graph::gridPatch(8, 2, 2, 3);
+  ScenarioRunner Runner(G);
+  // One node crashes every 7 ticks: agreement keeps being invalidated.
+  workload::cascade(Patch, 100, 7).apply(Runner);
+  expectSpecHolds(Runner);
+}
+
+TEST(IntegrationTest, AdjacentDomainChainSatisfiesProgress) {
+  graph::Graph G = graph::makeGrid(16, 6);
+  workload::CrashPlan Plan =
+      workload::adjacentDomainChain(16, 6, 2, 4, 100);
+  ASSERT_FALSE(Plan.Crashes.empty());
+  ScenarioRunner Runner(G);
+  Plan.apply(Runner);
+  expectSpecHolds(Runner);
+}
+
+TEST(IntegrationTest, SimultaneousDisjointRegionsOnTorus) {
+  graph::Graph G = graph::makeTorus(10, 10);
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(10, 1, 1, 2), 100);
+  Runner.scheduleCrashAll(graph::gridPatch(10, 6, 6, 2), 100);
+  expectSpecHolds(Runner);
+}
+
+TEST(IntegrationTest, QuiescenceNoPendingEventsAfterRun) {
+  graph::Graph G = graph::makeGrid(6, 6);
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(6, 1, 1, 2), 100);
+  Runner.run();
+  EXPECT_TRUE(Runner.simulator().idle());
+}
+
+TEST(IntegrationTest, NoCrashNoTraffic) {
+  graph::Graph G = graph::makeGrid(6, 6);
+  ScenarioRunner Runner(G);
+  Runner.run();
+  EXPECT_EQ(Runner.netStats().MessagesSent, 0u);
+  EXPECT_TRUE(Runner.decisions().empty());
+}
+
+TEST(IntegrationTest, DecidedValueComesFromSmallestBorderId) {
+  graph::Graph G = graph::makeLine(5);
+  trace::RunnerOptions Opts;
+  Opts.SelectValue = [](NodeId N, const Region &) {
+    return static_cast<core::Value>(100 + N);
+  };
+  ScenarioRunner Runner(G, std::move(Opts));
+  Runner.scheduleCrash(2, 10);
+  Runner.run();
+  ASSERT_EQ(Runner.decisions().size(), 2u);
+  for (const trace::DecisionRecord &D : Runner.decisions())
+    EXPECT_EQ(D.Chosen, 101u); // border({2}) = {1,3}: node 1's value.
+}
+
+TEST(IntegrationTest, EarlyTerminationPreservesDecisions) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  Region Patch = graph::gridPatch(8, 3, 3, 2);
+
+  trace::RunnerOptions Plain;
+  ScenarioRunner RPlain(G, std::move(Plain));
+  RPlain.scheduleCrashAll(Patch, 100);
+  RPlain.run();
+
+  trace::RunnerOptions Fast;
+  Fast.NodeConfig.EarlyTermination = true;
+  ScenarioRunner RFast(G, std::move(Fast));
+  RFast.scheduleCrashAll(Patch, 100);
+  RFast.run();
+
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(RFast));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+
+  // Same decisions, fewer messages and lower latency.
+  ASSERT_EQ(RPlain.decisions().size(), RFast.decisions().size());
+  EXPECT_GT(RFast.totalCounters().EarlyTerminations, 0u);
+  EXPECT_LT(RFast.netStats().MessagesSent, RPlain.netStats().MessagesSent);
+  EXPECT_LT(RFast.lastDecisionTime(), RPlain.lastDecisionTime());
+}
+
+TEST(IntegrationTest, LocalityCostIndependentOfSystemSize) {
+  // The headline claim: same crashed patch, bigger system, same cost.
+  auto runOn = [](uint32_t Side) {
+    graph::Graph G = graph::makeGrid(Side, Side);
+    ScenarioRunner Runner(G);
+    Runner.scheduleCrashAll(graph::gridPatch(Side, 2, 2, 2), 100);
+    Runner.run();
+    return Runner.netStats().MessagesSent;
+  };
+  uint64_t CostSmall = runOn(8);
+  uint64_t CostLarge = runOn(32);
+  EXPECT_EQ(CostSmall, CostLarge);
+}
+
+TEST(IntegrationTest, WholeNeighbourhoodOfNodeCrashes) {
+  // A node whose entire neighbourhood dies must still terminate: it is the
+  // sole border node of its local component until regions merge.
+  graph::Graph G = graph::makeStar(6); // Hub 0, leaves 1..5.
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrash(0, 100); // The hub dies.
+  Runner.run();
+  // Every leaf decides {0} on its own (border({0}) = all leaves).
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+  EXPECT_EQ(Runner.decisions().size(), 5u);
+}
+
+TEST(IntegrationTest, RandomLatencySpecStillHolds) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  static Rng Rand(77); // Outlives the runner's latency model.
+  trace::RunnerOptions Opts;
+  Opts.Latency = sim::uniformLatency(1, 40, Rand);
+  ScenarioRunner Runner(G, std::move(Opts));
+  workload::cascade(graph::gridPatch(8, 2, 2, 3), 100, 13).apply(Runner);
+  expectSpecHolds(Runner);
+}

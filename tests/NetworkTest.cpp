@@ -1,0 +1,150 @@
+//===- tests/NetworkTest.cpp - FIFO transport tests --------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Network.h"
+
+#include "sim/Simulator.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using sim::Network;
+using sim::Simulator;
+
+namespace {
+
+struct Delivery {
+  NodeId From, To;
+  std::vector<uint8_t> Bytes;
+  SimTime When;
+};
+
+struct NetFixture : ::testing::Test {
+  Simulator Sim;
+  Network Net{Sim, 4, sim::fixedLatency(10)};
+  std::vector<Delivery> Deliveries;
+
+  void SetUp() override {
+    Net.setDeliver([this](NodeId From, NodeId To,
+                          const Network::Frame &Bytes) {
+      Deliveries.push_back(Delivery{From, To, *Bytes, Sim.now()});
+    });
+  }
+
+  static std::vector<uint8_t> payload(uint8_t Tag) { return {Tag}; }
+};
+
+} // namespace
+
+TEST_F(NetFixture, DeliversWithModelLatency) {
+  Net.send(0, 1, payload(7));
+  Sim.run();
+  ASSERT_EQ(Deliveries.size(), 1u);
+  EXPECT_EQ(Deliveries[0].From, 0u);
+  EXPECT_EQ(Deliveries[0].To, 1u);
+  EXPECT_EQ(Deliveries[0].When, 10u);
+  EXPECT_EQ(Deliveries[0].Bytes, payload(7));
+}
+
+TEST_F(NetFixture, SelfSendAllowed) {
+  Net.send(2, 2, payload(1));
+  Sim.run();
+  ASSERT_EQ(Deliveries.size(), 1u);
+  EXPECT_EQ(Deliveries[0].From, 2u);
+  EXPECT_EQ(Deliveries[0].To, 2u);
+}
+
+TEST_F(NetFixture, CrashedSourceSendsNothing) {
+  Net.crash(0);
+  Net.send(0, 1, payload(1));
+  Sim.run();
+  EXPECT_TRUE(Deliveries.empty());
+  EXPECT_EQ(Net.stats().MessagesSent, 0u);
+}
+
+TEST_F(NetFixture, DeliveryToCrashedNodeDropped) {
+  Net.send(0, 1, payload(1));
+  Sim.at(5, [&] { Net.crash(1); });
+  Sim.run();
+  EXPECT_TRUE(Deliveries.empty());
+  EXPECT_EQ(Net.stats().MessagesDroppedAtCrashed, 1u);
+  EXPECT_EQ(Net.stats().MessagesSent, 1u);
+}
+
+TEST_F(NetFixture, InFlightFromCrashedSenderStillDelivered) {
+  // Crash-stop model: messages already sent survive the sender.
+  Net.send(0, 1, payload(9));
+  Sim.at(1, [&] { Net.crash(0); });
+  Sim.run();
+  ASSERT_EQ(Deliveries.size(), 1u);
+  EXPECT_EQ(Deliveries[0].Bytes, payload(9));
+}
+
+TEST(NetworkFifoTest, FifoHoldsUnderRandomLatency) {
+  // Even when a later message draws a smaller latency, per-channel order
+  // must be preserved.
+  Simulator Sim;
+  Rng Rand(123);
+  Network Net(Sim, 2, sim::uniformLatency(1, 50, Rand));
+  std::vector<uint8_t> Seen;
+  Net.setDeliver([&](NodeId, NodeId, const Network::Frame &Bytes) {
+    Seen.push_back(Bytes->front());
+  });
+  for (uint8_t I = 0; I < 30; ++I)
+    Net.send(0, 1, std::vector<uint8_t>{I});
+  Sim.run();
+  ASSERT_EQ(Seen.size(), 30u);
+  for (uint8_t I = 0; I < 30; ++I)
+    EXPECT_EQ(Seen[I], I);
+}
+
+TEST(NetworkFifoTest, IndependentChannelsMayReorder) {
+  // FIFO is per ordered pair; different senders are not ordered.
+  Simulator Sim;
+  // Sender 0 is slow, sender 1 fast.
+  Network Net(Sim, 3, [](NodeId From, NodeId) -> SimTime {
+    return From == 0 ? 100 : 1;
+  });
+  std::vector<NodeId> Senders;
+  Net.setDeliver([&](NodeId From, NodeId, const Network::Frame &) {
+    Senders.push_back(From);
+  });
+  Net.send(0, 2, std::vector<uint8_t>{0});
+  Net.send(1, 2, std::vector<uint8_t>{1});
+  Sim.run();
+  ASSERT_EQ(Senders.size(), 2u);
+  EXPECT_EQ(Senders[0], 1u);
+  EXPECT_EQ(Senders[1], 0u);
+}
+
+TEST_F(NetFixture, StatsAndRecording) {
+  Net.setRecording(true);
+  Net.send(0, 1, payload(1));
+  Net.send(1, 2, std::vector<uint8_t>{1, 2, 3});
+  Sim.run();
+  const sim::NetworkStats &S = Net.stats();
+  EXPECT_EQ(S.MessagesSent, 2u);
+  EXPECT_EQ(S.MessagesDelivered, 2u);
+  EXPECT_EQ(S.BytesSent, 4u);
+  EXPECT_EQ(S.SentByNode[0], 1u);
+  EXPECT_EQ(S.SentByNode[1], 1u);
+  ASSERT_EQ(Net.sendLog().size(), 2u);
+  EXPECT_EQ(Net.sendLog()[1].Bytes, 3u);
+}
+
+TEST_F(NetFixture, SharedFrameDeliveredToAllRecipients) {
+  auto Frame = std::make_shared<const std::vector<uint8_t>>(
+      std::vector<uint8_t>{42});
+  Net.send(0, 1, Frame);
+  Net.send(0, 2, Frame);
+  Net.send(0, 3, Frame);
+  Sim.run();
+  EXPECT_EQ(Deliveries.size(), 3u);
+  for (const Delivery &D : Deliveries)
+    EXPECT_EQ(D.Bytes, std::vector<uint8_t>{42});
+}

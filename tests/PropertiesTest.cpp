@@ -1,0 +1,244 @@
+//===- tests/PropertiesTest.cpp - Property sweeps over CD1..CD7 ---------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised property tests: the full specification (CD1..CD7) must
+/// hold on every run across topology families, failure patterns, timing
+/// models and seeds. These sweeps are the project's main correctness
+/// argument beyond the paper's proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+#include <tuple>
+
+using namespace cliffedge;
+using graph::Region;
+using trace::ScenarioRunner;
+
+namespace {
+
+enum class Topology {
+  Grid,
+  Torus,
+  Ring,
+  ErdosRenyi,
+  Geometric,
+  Tree,
+  Hypercube,
+  Chord,
+  BarabasiAlbert,
+};
+enum class Pattern { Simultaneous, Cascade, Wave, MultiRegion };
+
+const char *topologyName(Topology T) {
+  switch (T) {
+  case Topology::Grid:
+    return "Grid";
+  case Topology::Torus:
+    return "Torus";
+  case Topology::Ring:
+    return "Ring";
+  case Topology::ErdosRenyi:
+    return "ER";
+  case Topology::Geometric:
+    return "Geo";
+  case Topology::Tree:
+    return "Tree";
+  case Topology::Hypercube:
+    return "Hcube";
+  case Topology::Chord:
+    return "Chord";
+  case Topology::BarabasiAlbert:
+    return "BA";
+  }
+  return "?";
+}
+
+const char *patternName(Pattern P) {
+  switch (P) {
+  case Pattern::Simultaneous:
+    return "Simultaneous";
+  case Pattern::Cascade:
+    return "Cascade";
+  case Pattern::Wave:
+    return "Wave";
+  case Pattern::MultiRegion:
+    return "MultiRegion";
+  }
+  return "?";
+}
+
+graph::Graph buildTopology(Topology T, Rng &Rand) {
+  switch (T) {
+  case Topology::Grid:
+    return graph::makeGrid(8, 8);
+  case Topology::Torus:
+    return graph::makeTorus(8, 8);
+  case Topology::Ring:
+    return graph::makeRing(48);
+  case Topology::ErdosRenyi:
+    return graph::makeErdosRenyi(48, 0.08, Rand);
+  case Topology::Geometric:
+    return graph::makeRandomGeometric(48, 0.25, Rand);
+  case Topology::Tree:
+    return graph::makeTree(40, 3);
+  case Topology::Hypercube:
+    return graph::makeHypercube(6);
+  case Topology::Chord:
+    return graph::makeChordRing(48, 4);
+  case Topology::BarabasiAlbert:
+    return graph::makeBarabasiAlbert(48, 2, Rand);
+  }
+  return graph::Graph();
+}
+
+workload::CrashPlan buildPlan(Pattern P, const graph::Graph &G, Rng &Rand) {
+  switch (P) {
+  case Pattern::Simultaneous: {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    return workload::simultaneous(graph::growRegionFrom(G, Seed, 5), 100);
+  }
+  case Pattern::Cascade: {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    Region R = graph::growRegionFrom(G, Seed, 6);
+    return workload::connectedCascade(G, R, 100, 17, Rand);
+  }
+  case Pattern::Wave: {
+    NodeId Center = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    return workload::radialWave(G, Center, 2, 100, 25);
+  }
+  case Pattern::MultiRegion:
+    return workload::randomRegions(G, 3, 4, 100, 120, Rand);
+  }
+  return workload::CrashPlan();
+}
+
+struct SweepParam {
+  Topology Topo;
+  Pattern Pat;
+  uint64_t Seed;
+  bool EarlyTermination;
+};
+
+class SpecSweep : public ::testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+TEST_P(SpecSweep, AllPropertiesHold) {
+  const SweepParam &P = GetParam();
+  Rng Rand(P.Seed);
+  graph::Graph G = buildTopology(P.Topo, Rand);
+
+  // Never crash the whole graph: keep at least a quarter alive.
+  workload::CrashPlan Plan = buildPlan(P.Pat, G, Rand);
+  if (Plan.faultySet().size() > G.numNodes() * 3 / 4)
+    GTEST_SKIP() << "degenerate plan crashes almost everything";
+
+  trace::RunnerOptions Opts;
+  Opts.NodeConfig.EarlyTermination = P.EarlyTermination;
+  // Mix timing models per seed for adversarial interleavings.
+  static Rng LatencyRand(1234); // Shared across runs, deterministic suite.
+  switch (P.Seed % 3) {
+  case 0:
+    Opts.Latency = sim::fixedLatency(10);
+    break;
+  case 1:
+    Opts.Latency = sim::uniformLatency(1, 60, LatencyRand);
+    break;
+  default:
+    Opts.Latency = sim::spikyLatency(8, 0.1, 20, LatencyRand);
+    break;
+  }
+  Opts.DetectionDelay = detector::fixedDetectionDelay(3 + P.Seed % 40);
+
+  ScenarioRunner Runner(G, std::move(Opts));
+  Plan.apply(Runner);
+  Runner.run();
+  ASSERT_TRUE(Runner.simulator().idle());
+
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << "seed=" << P.Seed << "\n" << Result.summary();
+
+  // White-box per-node invariants on the same run.
+  trace::CheckResult Inv = trace::checkNodeInvariants(Runner);
+  EXPECT_TRUE(Inv.Ok) << "seed=" << P.Seed << "\n" << Inv.summary();
+}
+
+static std::vector<SweepParam> sweepParams() {
+  std::vector<SweepParam> Params;
+  const Topology Topos[] = {
+      Topology::Grid,      Topology::Torus,     Topology::Ring,
+      Topology::ErdosRenyi, Topology::Geometric, Topology::Tree,
+      Topology::Hypercube, Topology::Chord,     Topology::BarabasiAlbert};
+  const Pattern Pats[] = {Pattern::Simultaneous, Pattern::Cascade,
+                          Pattern::Wave, Pattern::MultiRegion};
+  uint64_t Seed = 1;
+  for (Topology T : Topos)
+    for (Pattern P : Pats)
+      for (int Rep = 0; Rep < 3; ++Rep)
+        Params.push_back(SweepParam{T, P, Seed++, Rep == 2});
+  return Params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SpecSweep, ::testing::ValuesIn(sweepParams()),
+    [](const ::testing::TestParamInfo<SweepParam> &Info) {
+      const SweepParam &P = Info.param;
+      return std::string(topologyName(P.Topo)) + "_" +
+             patternName(P.Pat) + "_s" + std::to_string(P.Seed) +
+             (P.EarlyTermination ? "_early" : "");
+    });
+
+namespace {
+
+/// Deterministic replay: identical seeds must give identical traces.
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  auto runOnce = [](uint64_t Seed) {
+    Rng Rand(Seed);
+    graph::Graph G = graph::makeErdosRenyi(40, 0.1, Rand);
+    workload::CrashPlan Plan = workload::randomRegions(G, 2, 5, 100, 80,
+                                                       Rand);
+    ScenarioRunner Runner(G);
+    Plan.apply(Runner);
+    Runner.run();
+    std::string Trace;
+    for (const trace::DecisionRecord &D : Runner.decisions())
+      Trace += std::to_string(D.Node) + ":" + D.View.str() + "@" +
+               std::to_string(D.When) + ";";
+    Trace += "msgs=" + std::to_string(Runner.netStats().MessagesSent);
+    return Trace;
+  };
+  EXPECT_EQ(runOnce(55), runOnce(55));
+  EXPECT_NE(runOnce(55), runOnce(56)); // Different seed, different world.
+}
+
+/// Rank-ablation: the paper's ranking keeps working when regions merge;
+/// this asserts the default configuration handles merging regions.
+TEST(MergingRegionsTest, TwoRegionsGrowTogether) {
+  // Two patches one column apart; the column between them crashes last,
+  // merging the two faulty domains into one.
+  graph::Graph G = graph::makeGrid(9, 5);
+  ScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(9, 1, 1, 2), 100);
+  Runner.scheduleCrashAll(graph::gridPatch(9, 4, 1, 2), 100);
+  // The separating column (x=3, y=1..2) crashes later.
+  Runner.scheduleCrash(graph::gridId(9, 3, 1), 300);
+  Runner.scheduleCrash(graph::gridId(9, 3, 2), 320);
+  Runner.run();
+  trace::CheckResult Result = trace::checkAll(trace::makeCheckInput(Runner));
+  EXPECT_TRUE(Result.Ok) << Result.summary();
+}
+
+} // namespace

@@ -1,0 +1,120 @@
+//===- tests/RankingTest.cpp - Region ranking relation tests ----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Ranking.h"
+
+#include "graph/Builders.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Graph;
+using graph::RankingKind;
+using graph::Region;
+
+namespace {
+
+class RankingTest : public ::testing::Test {
+protected:
+  Graph G = graph::makeGrid(6, 6);
+};
+
+} // namespace
+
+TEST_F(RankingTest, LargerRegionRanksHigher) {
+  Region Small{0, 1};
+  Region Big{10, 11, 12};
+  EXPECT_TRUE(graph::rankedLess(G, Small, Big));
+  EXPECT_FALSE(graph::rankedLess(G, Big, Small));
+}
+
+TEST_F(RankingTest, SameSizeBorderBreaksTie) {
+  // A corner pair has a smaller border than an interior pair.
+  Region Corner{graph::gridId(6, 0, 0), graph::gridId(6, 1, 0)};
+  Region Interior{graph::gridId(6, 2, 2), graph::gridId(6, 3, 2)};
+  ASSERT_EQ(Corner.size(), Interior.size());
+  ASSERT_LT(G.border(Corner).size(), G.border(Interior).size());
+  EXPECT_TRUE(graph::rankedLess(G, Corner, Interior));
+  EXPECT_FALSE(graph::rankedLess(G, Interior, Corner));
+}
+
+TEST_F(RankingTest, LexBreaksFinalTie) {
+  // Two interior horizontal dominoes: same size, same border size.
+  Region A{graph::gridId(6, 1, 1), graph::gridId(6, 2, 1)};
+  Region B{graph::gridId(6, 1, 3), graph::gridId(6, 2, 3)};
+  ASSERT_EQ(G.border(A).size(), G.border(B).size());
+  EXPECT_TRUE(graph::rankedLess(G, A, B)); // Smaller ids first.
+  EXPECT_FALSE(graph::rankedLess(G, B, A));
+}
+
+TEST_F(RankingTest, StrictTotalOrderProperties) {
+  std::vector<Region> Rs = {
+      Region{0},
+      Region{0, 1},
+      Region{6, 7},
+      Region{14, 15, 20},
+      Region{21, 22, 27, 28},
+  };
+  // Irreflexive; asymmetric; connected (total).
+  for (const Region &A : Rs) {
+    EXPECT_FALSE(graph::rankedLess(G, A, A));
+    for (const Region &B : Rs) {
+      if (A == B)
+        continue;
+      EXPECT_NE(graph::rankedLess(G, A, B), graph::rankedLess(G, B, A));
+    }
+  }
+  // Transitivity over the sample.
+  for (const Region &A : Rs)
+    for (const Region &B : Rs)
+      for (const Region &C : Rs)
+        if (graph::rankedLess(G, A, B) && graph::rankedLess(G, B, C)) {
+          EXPECT_TRUE(graph::rankedLess(G, A, C));
+        }
+}
+
+TEST_F(RankingTest, SubsumesStrictInclusion) {
+  // The progress proof needs R strictly included in S => R < S.
+  Region R{7, 8};
+  Region S{7, 8, 9};
+  EXPECT_TRUE(graph::rankedLess(G, R, S));
+  EXPECT_TRUE(graph::rankedLess(G, R, S, RankingKind::SizeLex));
+}
+
+TEST_F(RankingTest, PureLexDoesNotSubsumeInclusion) {
+  // The ablation ranking: {1,2} subset of {0,1,2} but lex-greater.
+  Region R{1, 2};
+  Region S{0, 1, 2};
+  EXPECT_TRUE(R.isSubsetOf(S));
+  EXPECT_FALSE(graph::rankedLess(G, R, S, RankingKind::PureLex));
+  EXPECT_TRUE(graph::rankedLess(G, S, R, RankingKind::PureLex));
+}
+
+TEST_F(RankingTest, EmptyRegionRanksBelowEverything) {
+  Region Empty;
+  Region Any{5};
+  EXPECT_TRUE(graph::rankedLess(G, Empty, Any));
+  EXPECT_FALSE(graph::rankedLess(G, Any, Empty));
+}
+
+TEST_F(RankingTest, MaxRankedRegionPicksMaximum) {
+  std::vector<Region> Cs = {Region{0, 1}, Region{10, 11, 12}, Region{30}};
+  EXPECT_EQ(graph::maxRankedRegion(G, Cs), (Region{10, 11, 12}));
+}
+
+TEST_F(RankingTest, MaxRankedRegionSingleCandidate) {
+  std::vector<Region> Cs = {Region{3}};
+  EXPECT_EQ(graph::maxRankedRegion(G, Cs), (Region{3}));
+}
+
+TEST_F(RankingTest, CompareRegionsSignConvention) {
+  Region Small{0};
+  Region Big{1, 2};
+  EXPECT_LT(graph::compareRegions(G, Small, Big), 0);
+  EXPECT_GT(graph::compareRegions(G, Big, Small), 0);
+  EXPECT_EQ(graph::compareRegions(G, Big, Big), 0);
+}

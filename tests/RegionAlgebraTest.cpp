@@ -1,0 +1,129 @@
+//===- tests/RegionAlgebraTest.cpp - Property-based set algebra tests ----------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterised property tests for graph::Region's set algebra: the laws
+/// every protocol invariant silently leans on (border computations, view
+/// arbitration, checker logic) verified over randomised inputs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Region.h"
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+
+namespace {
+
+Region randomRegion(Rng &Rand, uint32_t Universe, size_t MaxSize) {
+  size_t Size = Rand.nextBelow(MaxSize + 1);
+  std::vector<NodeId> Ids;
+  Ids.reserve(Size);
+  for (size_t I = 0; I < Size; ++I)
+    Ids.push_back(static_cast<NodeId>(Rand.nextBelow(Universe)));
+  return Region(std::move(Ids));
+}
+
+class RegionAlgebra : public ::testing::TestWithParam<uint64_t> {
+protected:
+  void SetUp() override {
+    Rng Rand(GetParam());
+    A = randomRegion(Rand, 64, 20);
+    B = randomRegion(Rand, 64, 20);
+    C = randomRegion(Rand, 64, 20);
+  }
+  Region A, B, C;
+};
+
+} // namespace
+
+TEST_P(RegionAlgebra, UnionCommutativeAssociativeIdempotent) {
+  EXPECT_EQ(A.unionWith(B), B.unionWith(A));
+  EXPECT_EQ(A.unionWith(B).unionWith(C), A.unionWith(B.unionWith(C)));
+  EXPECT_EQ(A.unionWith(A), A);
+}
+
+TEST_P(RegionAlgebra, IntersectionCommutativeAssociativeIdempotent) {
+  EXPECT_EQ(A.intersectWith(B), B.intersectWith(A));
+  EXPECT_EQ(A.intersectWith(B).intersectWith(C),
+            A.intersectWith(B.intersectWith(C)));
+  EXPECT_EQ(A.intersectWith(A), A);
+}
+
+TEST_P(RegionAlgebra, DistributivityLaws) {
+  EXPECT_EQ(A.intersectWith(B.unionWith(C)),
+            A.intersectWith(B).unionWith(A.intersectWith(C)));
+  EXPECT_EQ(A.unionWith(B.intersectWith(C)),
+            A.unionWith(B).intersectWith(A.unionWith(C)));
+}
+
+TEST_P(RegionAlgebra, DifferencePartitionsUnion) {
+  // A = (A \ B) ∪ (A ∩ B), disjointly.
+  Region Diff = A.differenceWith(B);
+  Region Inter = A.intersectWith(B);
+  EXPECT_EQ(Diff.unionWith(Inter), A);
+  EXPECT_FALSE(Diff.intersects(Inter));
+  EXPECT_FALSE(Diff.intersects(B));
+}
+
+TEST_P(RegionAlgebra, IntersectsAgreesWithIntersection) {
+  EXPECT_EQ(A.intersects(B), !A.intersectWith(B).empty());
+}
+
+TEST_P(RegionAlgebra, SubsetConsistency) {
+  EXPECT_TRUE(A.intersectWith(B).isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(A.unionWith(B)));
+  EXPECT_TRUE(A.differenceWith(B).isSubsetOf(A));
+  if (A.isSubsetOf(B) && B.isSubsetOf(A)) {
+    EXPECT_EQ(A, B);
+  }
+}
+
+TEST_P(RegionAlgebra, SizeArithmetic) {
+  // |A ∪ B| = |A| + |B| − |A ∩ B|.
+  EXPECT_EQ(A.unionWith(B).size(),
+            A.size() + B.size() - A.intersectWith(B).size());
+  // |A \ B| = |A| − |A ∩ B|.
+  EXPECT_EQ(A.differenceWith(B).size(),
+            A.size() - A.intersectWith(B).size());
+}
+
+TEST_P(RegionAlgebra, ContainsMatchesMembership) {
+  for (NodeId N = 0; N < 64; ++N) {
+    bool InUnion = A.contains(N) || B.contains(N);
+    EXPECT_EQ(A.unionWith(B).contains(N), InUnion);
+    bool InInter = A.contains(N) && B.contains(N);
+    EXPECT_EQ(A.intersectWith(B).contains(N), InInter);
+  }
+}
+
+TEST_P(RegionAlgebra, InsertEraseRoundTrip) {
+  Region R = A;
+  for (NodeId N : B) {
+    R.insert(N);
+    EXPECT_TRUE(R.contains(N));
+  }
+  EXPECT_EQ(R, A.unionWith(B));
+  for (NodeId N : B) {
+    R.erase(N);
+    EXPECT_FALSE(R.contains(N));
+  }
+  EXPECT_EQ(R, A.differenceWith(B));
+}
+
+TEST_P(RegionAlgebra, HashConsistentWithEquality) {
+  Region Copy(std::vector<NodeId>(A.ids()));
+  EXPECT_EQ(Copy, A);
+  EXPECT_EQ(Copy.hash(), A.hash());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionAlgebra,
+                         ::testing::Range<uint64_t>(1, 26));

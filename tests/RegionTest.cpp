@@ -1,0 +1,128 @@
+//===- tests/RegionTest.cpp - graph::Region unit tests ----------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/Region.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+
+TEST(RegionTest, DefaultIsEmpty) {
+  Region R;
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.size(), 0u);
+  EXPECT_FALSE(R.contains(0));
+}
+
+TEST(RegionTest, ConstructionSortsAndDeduplicates) {
+  Region R({5, 1, 3, 1, 5, 5});
+  EXPECT_EQ(R.size(), 3u);
+  std::vector<NodeId> Expected = {1, 3, 5};
+  EXPECT_EQ(R.ids(), Expected);
+}
+
+TEST(RegionTest, ContainsUsesBinarySearch) {
+  Region R{2, 4, 6, 8};
+  EXPECT_TRUE(R.contains(2));
+  EXPECT_TRUE(R.contains(8));
+  EXPECT_FALSE(R.contains(1));
+  EXPECT_FALSE(R.contains(5));
+  EXPECT_FALSE(R.contains(9));
+}
+
+TEST(RegionTest, InsertKeepsSortedAndIsIdempotent) {
+  Region R;
+  R.insert(4);
+  R.insert(1);
+  R.insert(9);
+  R.insert(4); // Duplicate.
+  std::vector<NodeId> Expected = {1, 4, 9};
+  EXPECT_EQ(R.ids(), Expected);
+}
+
+TEST(RegionTest, EraseRemovesOnlyPresentNode) {
+  Region R{1, 2, 3};
+  R.erase(2);
+  EXPECT_EQ(R, (Region{1, 3}));
+  R.erase(7); // Absent: no-op.
+  EXPECT_EQ(R, (Region{1, 3}));
+  R.erase(1);
+  R.erase(3);
+  EXPECT_TRUE(R.empty());
+}
+
+TEST(RegionTest, UnionWith) {
+  Region A{1, 3, 5};
+  Region B{2, 3, 6};
+  EXPECT_EQ(A.unionWith(B), (Region{1, 2, 3, 5, 6}));
+  EXPECT_EQ(A.unionWith(Region()), A);
+  EXPECT_EQ(Region().unionWith(B), B);
+}
+
+TEST(RegionTest, IntersectWith) {
+  Region A{1, 3, 5, 7};
+  Region B{3, 4, 7, 9};
+  EXPECT_EQ(A.intersectWith(B), (Region{3, 7}));
+  EXPECT_TRUE(A.intersectWith(Region()).empty());
+}
+
+TEST(RegionTest, DifferenceWith) {
+  Region A{1, 2, 3, 4};
+  Region B{2, 4, 6};
+  EXPECT_EQ(A.differenceWith(B), (Region{1, 3}));
+  EXPECT_EQ(A.differenceWith(Region()), A);
+  EXPECT_TRUE(A.differenceWith(A).empty());
+}
+
+TEST(RegionTest, IntersectsIsSymmetricAndCorrect) {
+  Region A{1, 5, 9};
+  Region B{2, 5, 8};
+  Region C{3, 4};
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_TRUE(B.intersects(A));
+  EXPECT_FALSE(A.intersects(C));
+  EXPECT_FALSE(C.intersects(A));
+  EXPECT_FALSE(A.intersects(Region()));
+}
+
+TEST(RegionTest, SubsetChecks) {
+  Region A{2, 4};
+  Region B{1, 2, 3, 4};
+  EXPECT_TRUE(A.isSubsetOf(B));
+  EXPECT_FALSE(B.isSubsetOf(A));
+  EXPECT_TRUE(Region().isSubsetOf(A));
+  EXPECT_TRUE(A.isSubsetOf(A));
+}
+
+TEST(RegionTest, LexOrderOnSortedIds) {
+  Region A{1, 2};
+  Region B{1, 3};
+  Region C{1, 2, 0}; // = {0,1,2}
+  EXPECT_TRUE(A.lexLess(B));
+  EXPECT_FALSE(B.lexLess(A));
+  EXPECT_TRUE(C.lexLess(A)); // {0,1,2} < {1,2}.
+}
+
+TEST(RegionTest, StrFormatsSortedSet) {
+  EXPECT_EQ(Region().str(), "{}");
+  EXPECT_EQ((Region{3, 1, 2}).str(), "{1,2,3}");
+}
+
+TEST(RegionTest, HashEqualRegionsEqualHashes) {
+  Region A{10, 20, 30};
+  Region B({30, 20, 10});
+  EXPECT_EQ(A.hash(), B.hash());
+  // Different contents should (almost surely) differ.
+  Region C{10, 20, 31};
+  EXPECT_NE(A.hash(), C.hash());
+}
+
+TEST(RegionTest, EqualityIgnoresConstructionOrder) {
+  EXPECT_EQ(Region({3, 1}), Region({1, 3}));
+  EXPECT_NE(Region({1}), Region({1, 3}));
+}

@@ -1,0 +1,105 @@
+//===- tests/ReportTest.cpp - Run report rendering tests -----------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Report.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using trace::ReportTable;
+using trace::RunReport;
+
+namespace {
+
+RunReport sampleRun() {
+  graph::Graph G = graph::makeGrid(6, 6);
+  trace::ScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(6, 2, 2, 2), 100);
+  Runner.run();
+  return trace::summarizeRun(Runner);
+}
+
+} // namespace
+
+TEST(ReportTest, SummarizeRunMetrics) {
+  RunReport R = sampleRun();
+  EXPECT_EQ(R.NumNodes, 36u);
+  EXPECT_EQ(R.FaultyNodes, 4u);
+  EXPECT_EQ(R.Decisions, 8u); // Border of the 2x2 patch.
+  EXPECT_EQ(R.DistinctViews, 1u);
+  EXPECT_GT(R.Messages, 0u);
+  EXPECT_GT(R.Bytes, R.Messages); // Frames are multi-byte.
+  // Each border node first proposes the singleton region of whichever
+  // crash notification landed first, which fails on a crash hole before
+  // the full 2x2 view goes through: 2 proposals and 1 failure per node.
+  EXPECT_EQ(R.Proposals, 16u);
+  EXPECT_EQ(R.FailedAttempts, 8u);
+  EXPECT_GT(R.LastDecision, 100u);
+  EXPECT_LE(R.FirstDecision, R.LastDecision);
+  EXPECT_TRUE(R.SpecOk);
+}
+
+TEST(ReportTest, TextTableAlignedWithHeaderAndRows) {
+  ReportTable Table("patch");
+  Table.addRow("2x2", sampleRun());
+  Table.addRow("another-long-key", sampleRun());
+  std::string Text = Table.toText();
+  // Header present.
+  EXPECT_NE(Text.find("patch"), std::string::npos);
+  EXPECT_NE(Text.find("msgs"), std::string::npos);
+  EXPECT_NE(Text.find("spec"), std::string::npos);
+  // Three lines: header + 2 rows.
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 3);
+  // Spec column rendered as ok.
+  EXPECT_NE(Text.find("ok"), std::string::npos);
+}
+
+TEST(ReportTest, CsvRoundStructure) {
+  ReportTable Table("k");
+  Table.addRow("row1", sampleRun());
+  std::string Csv = Table.toCsv();
+  // Header + one row.
+  EXPECT_EQ(std::count(Csv.begin(), Csv.end(), '\n'), 2);
+  // 13 metric columns + key => 13 commas per line.
+  size_t FirstLineEnd = Csv.find('\n');
+  EXPECT_EQ(std::count(Csv.begin(), Csv.begin() + FirstLineEnd, ','), 13);
+  EXPECT_EQ(Csv.rfind("k,", 0), 0u); // Starts with the key header.
+}
+
+TEST(ReportTest, EmptyTable) {
+  ReportTable Table("x");
+  EXPECT_EQ(Table.rows(), 0u);
+  std::string Text = Table.toText();
+  EXPECT_EQ(std::count(Text.begin(), Text.end(), '\n'), 1); // Header only.
+}
+
+TEST(NodeInvariantsTest, HoldOnHealthyRuns) {
+  graph::Graph G = graph::makeGrid(6, 6);
+  trace::ScenarioRunner Runner(G);
+  Runner.scheduleCrashAll(graph::gridPatch(6, 1, 1, 2), 100);
+  Runner.run();
+  trace::CheckResult Inv = trace::checkNodeInvariants(Runner);
+  EXPECT_TRUE(Inv.Ok) << Inv.summary();
+}
+
+TEST(NodeInvariantsTest, HoldUnderCascades) {
+  graph::Graph G = graph::makeGrid(8, 8);
+  trace::ScenarioRunner Runner(G);
+  graph::Region Patch = graph::gridPatch(8, 2, 2, 3);
+  SimTime T = 100;
+  for (NodeId N : Patch) {
+    Runner.scheduleCrash(N, T);
+    T += 13;
+  }
+  Runner.run();
+  trace::CheckResult Inv = trace::checkNodeInvariants(Runner);
+  EXPECT_TRUE(Inv.Ok) << Inv.summary();
+}

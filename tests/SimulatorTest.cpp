@@ -1,0 +1,97 @@
+//===- tests/SimulatorTest.cpp - Event engine tests --------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using sim::Simulator;
+
+TEST(SimulatorTest, StartsIdleAtTimeZero) {
+  Simulator Sim;
+  EXPECT_EQ(Sim.now(), 0u);
+  EXPECT_TRUE(Sim.idle());
+  EXPECT_FALSE(Sim.step());
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.at(30, [&] { Order.push_back(3); });
+  Sim.at(10, [&] { Order.push_back(1); });
+  Sim.at(20, [&] { Order.push_back(2); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(Sim.now(), 30u);
+}
+
+TEST(SimulatorTest, TiesBreakByScheduleOrder) {
+  Simulator Sim;
+  std::vector<int> Order;
+  Sim.at(5, [&] { Order.push_back(1); });
+  Sim.at(5, [&] { Order.push_back(2); });
+  Sim.at(5, [&] { Order.push_back(3); });
+  Sim.run();
+  EXPECT_EQ(Order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, HandlersMayScheduleMoreEvents) {
+  Simulator Sim;
+  std::vector<SimTime> Fired;
+  Sim.at(1, [&] {
+    Fired.push_back(Sim.now());
+    Sim.after(9, [&] { Fired.push_back(Sim.now()); });
+  });
+  Sim.run();
+  EXPECT_EQ(Fired, (std::vector<SimTime>{1, 10}));
+}
+
+TEST(SimulatorTest, AfterIsRelativeToNow) {
+  Simulator Sim;
+  SimTime SecondFireTime = 0;
+  Sim.at(100, [&] {
+    Sim.after(5, [&] { SecondFireTime = Sim.now(); });
+  });
+  Sim.run();
+  EXPECT_EQ(SecondFireTime, 105u);
+}
+
+TEST(SimulatorTest, RunHonoursMaxEvents) {
+  Simulator Sim;
+  int Count = 0;
+  // Self-perpetuating event chain.
+  std::function<void()> Tick = [&] {
+    ++Count;
+    Sim.after(1, Tick);
+  };
+  Sim.at(0, Tick);
+  uint64_t Processed = Sim.run(/*MaxEvents=*/25);
+  EXPECT_EQ(Processed, 25u);
+  EXPECT_EQ(Count, 25);
+  EXPECT_FALSE(Sim.idle());
+}
+
+TEST(SimulatorTest, EventsProcessedCounter) {
+  Simulator Sim;
+  for (int I = 0; I < 7; ++I)
+    Sim.at(I, [] {});
+  Sim.run();
+  EXPECT_EQ(Sim.eventsProcessed(), 7u);
+}
+
+TEST(SimulatorTest, StepProcessesExactlyOne) {
+  Simulator Sim;
+  int Count = 0;
+  Sim.at(1, [&] { ++Count; });
+  Sim.at(2, [&] { ++Count; });
+  EXPECT_TRUE(Sim.step());
+  EXPECT_EQ(Count, 1);
+  EXPECT_EQ(Sim.now(), 1u);
+  EXPECT_TRUE(Sim.step());
+  EXPECT_FALSE(Sim.step());
+}

@@ -1,0 +1,112 @@
+//===- tests/StableSweepTest.cpp - Property sweep for §5 extension -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The stable-predicate reading of the specification must hold across the
+/// same topology/pattern/seed grid as the crash reading: parameterised
+/// sweep over StableScenarioRunner with CD1..CD7 checked against the
+/// marked set.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Algorithms.h"
+#include "graph/Builders.h"
+#include "stable/StableRunner.h"
+#include "trace/Checker.h"
+
+#include "gtest/gtest.h"
+
+#include <string>
+
+using namespace cliffedge;
+using graph::Region;
+using stable::StableScenarioRunner;
+
+namespace {
+
+struct StableParam {
+  int Topology; // 0 grid, 1 torus, 2 chord, 3 ER.
+  int Pattern;  // 0 simultaneous, 1 staggered, 2 two regions.
+  uint64_t Seed;
+};
+
+graph::Graph buildTopology(int Kind, Rng &Rand) {
+  switch (Kind) {
+  case 0:
+    return graph::makeGrid(8, 8);
+  case 1:
+    return graph::makeTorus(8, 8);
+  case 2:
+    return graph::makeChordRing(48, 4);
+  default:
+    return graph::makeErdosRenyi(48, 0.08, Rand);
+  }
+}
+
+class StableSweep : public ::testing::TestWithParam<StableParam> {};
+
+} // namespace
+
+TEST_P(StableSweep, MarkedRegionSpecHolds) {
+  const StableParam &P = GetParam();
+  Rng Rand(P.Seed);
+  graph::Graph G = buildTopology(P.Topology, Rand);
+
+  StableScenarioRunner Runner(G);
+  switch (P.Pattern) {
+  case 0: {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    Runner.scheduleMarkAll(graph::growRegionFrom(G, Seed, 5), 100);
+    break;
+  }
+  case 1: {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    Region R = graph::growRegionFrom(G, Seed, 5);
+    SimTime T = 100;
+    for (NodeId N : R) {
+      Runner.scheduleMark(N, T);
+      T += 5 + Rand.nextBelow(40);
+    }
+    break;
+  }
+  default: {
+    NodeId A = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    NodeId B = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    Region RA = graph::growRegionFrom(G, A, 3);
+    Region RB = graph::growRegionFrom(G, B, 3).differenceWith(RA);
+    Runner.scheduleMarkAll(RA, 100);
+    for (NodeId N : RB)
+      Runner.scheduleMark(N, 150);
+    break;
+  }
+  }
+  Runner.run();
+  trace::CheckResult Result = trace::checkAll(Runner.makeCheckInput());
+  EXPECT_TRUE(Result.Ok) << "seed=" << P.Seed << "\n" << Result.summary();
+}
+
+static std::vector<StableParam> stableParams() {
+  std::vector<StableParam> Params;
+  uint64_t Seed = 500;
+  for (int Topo = 0; Topo < 4; ++Topo)
+    for (int Pattern = 0; Pattern < 3; ++Pattern)
+      for (int Rep = 0; Rep < 2; ++Rep)
+        Params.push_back(StableParam{Topo, Pattern, Seed++});
+  return Params;
+}
+
+static std::string
+stableParamName(const ::testing::TestParamInfo<StableParam> &Info) {
+  static const char *const Topos[] = {"Grid", "Torus", "Chord", "ER"};
+  static const char *const Pats[] = {"AtOnce", "Staggered", "TwoRegions"};
+  return std::string(Topos[Info.param.Topology]) + "_" +
+         Pats[Info.param.Pattern] + "_s" + std::to_string(Info.param.Seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StableSweep,
+                         ::testing::ValuesIn(stableParams()),
+                         stableParamName);

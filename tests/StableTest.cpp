@@ -1,0 +1,130 @@
+//===- tests/StableTest.cpp - Stable-predicate extension tests ----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "stable/StableRunner.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+using stable::StableScenarioRunner;
+
+TEST(PredicateServiceTest, NotifiesAfterDelay) {
+  sim::Simulator Sim;
+  std::vector<std::pair<NodeId, NodeId>> Notices;
+  stable::PredicateService Svc(
+      Sim, 4, stable::fixedNoticeDelay(7),
+      [&](NodeId W, NodeId T) { Notices.emplace_back(W, T); });
+  Svc.monitor(0, Region{2});
+  Sim.at(10, [&] { Svc.nodeMarked(2); });
+  Sim.run();
+  ASSERT_EQ(Notices.size(), 1u);
+  EXPECT_EQ(Notices[0], std::make_pair(NodeId(0), NodeId(2)));
+  EXPECT_EQ(Sim.now(), 17u);
+}
+
+TEST(PredicateServiceTest, LateSubscriptionCompleteness) {
+  sim::Simulator Sim;
+  int Count = 0;
+  stable::PredicateService Svc(Sim, 4, stable::fixedNoticeDelay(1),
+                               [&](NodeId, NodeId) { ++Count; });
+  Sim.at(5, [&] { Svc.nodeMarked(1); });
+  Sim.at(20, [&] { Svc.monitor(3, Region{1}); });
+  Sim.run();
+  EXPECT_EQ(Count, 1);
+}
+
+TEST(PredicateServiceTest, MarkedWatchersStillNotified) {
+  // Difference from the failure detector: a marked node is alive and may
+  // still observe notifications (the agreement layer ignores them).
+  sim::Simulator Sim;
+  int Count = 0;
+  stable::PredicateService Svc(Sim, 4, stable::fixedNoticeDelay(1),
+                               [&](NodeId, NodeId) { ++Count; });
+  Svc.monitor(0, Region{1, 2});
+  Sim.at(1, [&] { Svc.nodeMarked(0); }); // Watcher itself marked.
+  Sim.at(2, [&] { Svc.nodeMarked(1); });
+  Sim.run();
+  EXPECT_EQ(Count, 1); // Delivered; the StableRunner layer filters it.
+}
+
+TEST(StableRegionsTest, QuarantinedRegionAgreedLikeCrashedOne) {
+  // §5 extension: same line topology as the crash test; now the middle
+  // node is quarantined, not dead.
+  graph::Graph G = graph::makeLine(5);
+  StableScenarioRunner Runner(G);
+  Runner.scheduleMark(2, 100);
+  Runner.run();
+  ASSERT_EQ(Runner.decisions().size(), 2u);
+  for (const trace::DecisionRecord &D : Runner.decisions()) {
+    EXPECT_EQ(D.View, (Region{2}));
+    EXPECT_TRUE(D.Node == 1 || D.Node == 3);
+  }
+  trace::CheckResult Res = trace::checkAll(Runner.makeCheckInput());
+  EXPECT_TRUE(Res.Ok) << Res.summary();
+}
+
+TEST(StableRegionsTest, MarkedNodesKeepServingTheApplication) {
+  graph::Graph G = graph::makeGrid(5, 5);
+  stable::StableRunnerOptions Opts;
+  Opts.AppTickPeriod = 50;
+  Opts.AppTicksEnd = 1000;
+  StableScenarioRunner Runner(G, std::move(Opts));
+  Region Patch = graph::gridPatch(5, 1, 1, 2);
+  Runner.scheduleMarkAll(Patch, 100);
+  Runner.run();
+
+  // Marked nodes stayed alive: their app counters kept increasing long
+  // after t=100 (unlike a crash, which would freeze them).
+  for (NodeId N : Patch)
+    EXPECT_GE(Runner.appTicks(N), 19u) << "node " << N;
+  // Agreement still reached by the border.
+  trace::CheckResult Res = trace::checkAll(Runner.makeCheckInput());
+  EXPECT_TRUE(Res.Ok) << Res.summary();
+  EXPECT_EQ(Runner.decisions().size(), G.border(Patch).size());
+}
+
+TEST(StableRegionsTest, GrowingQuarantineConverges) {
+  // The Fig 1b dynamic transposed to predicates: the quarantined region
+  // grows while the border is agreeing.
+  graph::Graph G = graph::makeGrid(6, 6);
+  StableScenarioRunner Runner(G);
+  Region Patch = graph::gridPatch(6, 2, 2, 2);
+  SimTime T = 100;
+  for (NodeId N : Patch) {
+    Runner.scheduleMark(N, T);
+    T += 7;
+  }
+  Runner.run();
+  trace::CheckResult Res = trace::checkAll(Runner.makeCheckInput());
+  EXPECT_TRUE(Res.Ok) << Res.summary();
+}
+
+TEST(StableRegionsTest, TwoDisjointQuarantines) {
+  graph::Graph G = graph::makeTorus(8, 8);
+  StableScenarioRunner Runner(G);
+  Runner.scheduleMarkAll(graph::gridPatch(8, 1, 1, 2), 100);
+  Runner.scheduleMarkAll(graph::gridPatch(8, 5, 5, 2), 120);
+  Runner.run();
+  trace::CheckResult Res = trace::checkAll(Runner.makeCheckInput());
+  EXPECT_TRUE(Res.Ok) << Res.summary();
+  EXPECT_GE(Runner.decisions().size(), 2u);
+}
+
+TEST(StableRegionsTest, MarkedNodeSendsNoProtocolTraffic) {
+  graph::Graph G = graph::makeLine(5);
+  StableScenarioRunner Runner(G);
+  Runner.scheduleMark(2, 100);
+  Runner.run();
+  // Node 2 never contributes protocol frames after withdrawing; it also
+  // never had a reason to speak before (no marked neighbour of its own).
+  EXPECT_EQ(Runner.netStats().SentByNode[2], 0u);
+}

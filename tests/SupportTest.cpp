@@ -1,0 +1,154 @@
+//===- tests/SupportTest.cpp - Support utility tests --------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Random.h"
+#include "support/Stats.h"
+#include "support/StrUtil.h"
+
+#include "gtest/gtest.h"
+
+#include <vector>
+
+using namespace cliffedge;
+
+TEST(RandomTest, DeterministicPerSeed) {
+  Rng A(99), B(99), C(100);
+  for (int I = 0; I < 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    (void)C.next();
+  }
+  Rng D(99), E(100);
+  EXPECT_NE(D.next(), E.next());
+}
+
+TEST(RandomTest, NextBelowInRange) {
+  Rng Rand(1);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_LT(Rand.nextBelow(17), 17u);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(Rand.nextBelow(1), 0u);
+}
+
+TEST(RandomTest, NextBelowRoughlyUniform) {
+  Rng Rand(5);
+  std::vector<int> Buckets(10, 0);
+  const int Samples = 100000;
+  for (int I = 0; I < Samples; ++I)
+    ++Buckets[Rand.nextBelow(10)];
+  for (int Count : Buckets) {
+    EXPECT_GT(Count, Samples / 10 - Samples / 50);
+    EXPECT_LT(Count, Samples / 10 + Samples / 50);
+  }
+}
+
+TEST(RandomTest, NextInRangeInclusive) {
+  Rng Rand(2);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = Rand.nextInRange(3, 5);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 5u);
+    SawLo |= V == 3;
+    SawHi |= V == 5;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Rng Rand(3);
+  for (int I = 0; I < 1000; ++I) {
+    double D = Rand.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(RandomTest, ShufflePermutes) {
+  Rng Rand(4);
+  std::vector<int> V = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  std::vector<int> Original = V;
+  Rand.shuffle(V);
+  EXPECT_NE(V, Original); // Astronomically unlikely to be identity.
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Original);
+}
+
+TEST(StatsTest, RunningStatBasics) {
+  RunningStat S;
+  EXPECT_EQ(S.count(), 0u);
+  EXPECT_EQ(S.mean(), 0.0);
+  S.add(2);
+  S.add(4);
+  S.add(6);
+  EXPECT_EQ(S.count(), 3u);
+  EXPECT_DOUBLE_EQ(S.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(S.min(), 2.0);
+  EXPECT_DOUBLE_EQ(S.max(), 6.0);
+  EXPECT_DOUBLE_EQ(S.variance(), 4.0);
+}
+
+TEST(StatsTest, MergeMatchesSequential) {
+  RunningStat A, B, All;
+  for (int I = 0; I < 50; ++I) {
+    double V = I * 0.7 - 3;
+    (I % 2 ? A : B).add(V);
+    All.add(V);
+  }
+  A.merge(B);
+  EXPECT_EQ(A.count(), All.count());
+  EXPECT_NEAR(A.mean(), All.mean(), 1e-9);
+  EXPECT_NEAR(A.variance(), All.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(A.min(), All.min());
+  EXPECT_DOUBLE_EQ(A.max(), All.max());
+}
+
+TEST(StatsTest, MergeWithEmpty) {
+  RunningStat A, Empty;
+  A.add(1);
+  A.add(3);
+  RunningStat Copy = A;
+  A.merge(Empty);
+  EXPECT_EQ(A.count(), Copy.count());
+  EXPECT_DOUBLE_EQ(A.mean(), Copy.mean());
+  Empty.merge(A);
+  EXPECT_EQ(Empty.count(), 2u);
+}
+
+TEST(StatsTest, Percentiles) {
+  Percentiles P;
+  for (int I = 1; I <= 100; ++I)
+    P.add(I);
+  EXPECT_NEAR(P.percentile(0), 1.0, 1e-9);
+  EXPECT_NEAR(P.percentile(100), 100.0, 1e-9);
+  EXPECT_NEAR(P.percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(P.percentile(99), 99.01, 0.5);
+}
+
+TEST(StatsTest, PercentilesEmpty) {
+  Percentiles P;
+  EXPECT_EQ(P.percentile(50), 0.0);
+}
+
+TEST(StrUtilTest, FormatStr) {
+  EXPECT_EQ(formatStr("x=%d y=%s", 5, "ok"), "x=5 y=ok");
+  EXPECT_EQ(formatStr("%s", ""), "");
+  // Long output beyond any small static buffer.
+  std::string Long = formatStr("%0500d", 7);
+  EXPECT_EQ(Long.size(), 500u);
+}
+
+TEST(StrUtilTest, JoinMapped) {
+  std::vector<int> V = {1, 2, 3};
+  EXPECT_EQ(joinMapped(V, ",", [](int I) { return std::to_string(I); }),
+            "1,2,3");
+  std::vector<int> Empty;
+  EXPECT_EQ(joinMapped(Empty, ",",
+                       [](int I) { return std::to_string(I); }),
+            "");
+}

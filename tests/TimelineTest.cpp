@@ -1,0 +1,101 @@
+//===- tests/TimelineTest.cpp - ASCII timeline renderer tests -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "trace/Timeline.h"
+
+#include "graph/Builders.h"
+#include "trace/Runner.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Region;
+
+namespace {
+
+trace::CheckInput lineRunInput(trace::ScenarioRunner &Runner) {
+  Runner.scheduleCrash(2, 100);
+  Runner.run();
+  return trace::makeCheckInput(Runner);
+}
+
+} // namespace
+
+TEST(TimelineTest, RendersCrashAndDecisions) {
+  graph::Graph G = graph::makeLine(5);
+  trace::ScenarioRunner Runner(G);
+  trace::CheckInput In = lineRunInput(Runner);
+
+  std::string Chart = trace::renderTimeline(In);
+  // Involved nodes only: 1 (decider), 2 (crashed), 3 (decider).
+  EXPECT_NE(Chart.find("n1"), std::string::npos);
+  EXPECT_NE(Chart.find("n2"), std::string::npos);
+  EXPECT_NE(Chart.find("n3"), std::string::npos);
+  EXPECT_EQ(Chart.find("n0"), std::string::npos);
+  EXPECT_NE(Chart.find('X'), std::string::npos);
+  EXPECT_NE(Chart.find('D'), std::string::npos);
+  EXPECT_NE(Chart.find("{2}"), std::string::npos);
+}
+
+TEST(TimelineTest, AllNodesWhenRequested) {
+  graph::Graph G = graph::makeLine(5);
+  trace::ScenarioRunner Runner(G);
+  trace::CheckInput In = lineRunInput(Runner);
+  trace::TimelineOptions Opts;
+  Opts.OnlyInvolved = false;
+  std::string Chart = trace::renderTimeline(In, Opts);
+  EXPECT_NE(Chart.find("n0"), std::string::npos);
+  EXPECT_NE(Chart.find("n4"), std::string::npos);
+}
+
+TEST(TimelineTest, EmptyRun) {
+  graph::Graph G = graph::makeLine(3);
+  trace::CheckInput In;
+  In.G = &G;
+  In.CrashTimes.assign(3, TimeNever);
+  EXPECT_EQ(trace::renderTimeline(In), "(no events)\n");
+  EXPECT_EQ(trace::renderEventLog(In), "");
+}
+
+TEST(TimelineTest, EventLogSortedWithLabels) {
+  graph::Fig1World W = graph::makeFig1World();
+  trace::ScenarioRunner Runner(W.G);
+  Runner.scheduleCrashAll(W.F1, 100);
+  Runner.run();
+  std::string Log = trace::renderEventLog(trace::makeCheckInput(Runner));
+  // Crashes appear before decisions, with city labels.
+  size_t CrashPos = Log.find("CRASH  f1a");
+  size_t DecidePos = Log.find("DECIDE paris");
+  ASSERT_NE(CrashPos, std::string::npos);
+  ASSERT_NE(DecidePos, std::string::npos);
+  EXPECT_LT(CrashPos, DecidePos);
+  // Lines are time-sorted.
+  SimTime Prev = 0;
+  size_t Pos = 0;
+  while ((Pos = Log.find("t=", Pos)) != std::string::npos) {
+    SimTime T = std::strtoull(Log.c_str() + Pos + 2, nullptr, 10);
+    EXPECT_GE(T, Prev);
+    Prev = T;
+    ++Pos;
+  }
+}
+
+TEST(TimelineTest, CrashTruncatesRow) {
+  graph::Graph G = graph::makeLine(5);
+  trace::ScenarioRunner Runner(G);
+  trace::CheckInput In = lineRunInput(Runner);
+  std::string Chart = trace::renderTimeline(In);
+  // The crashed node's row has nothing after the X.
+  size_t RowStart = Chart.find("n2");
+  ASSERT_NE(RowStart, std::string::npos);
+  size_t RowEnd = Chart.find('\n', RowStart);
+  std::string Row = Chart.substr(RowStart, RowEnd - RowStart);
+  size_t XPos = Row.find('X');
+  ASSERT_NE(XPos, std::string::npos);
+  for (size_t I = XPos + 1; I < Row.size(); ++I)
+    EXPECT_EQ(Row[I], ' ');
+}

@@ -1,0 +1,84 @@
+//===- tests/TypesTest.cpp - core::Types unit tests ----------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Types.h"
+
+#include "core/Message.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using core::Opinion;
+using core::OpinionEntry;
+using core::OpinionVec;
+using graph::Region;
+
+TEST(OpinionVecTest, DefaultEntriesAreNone) {
+  OpinionVec V(3);
+  EXPECT_EQ(V.size(), 3u);
+  for (size_t I = 0; I < 3; ++I)
+    EXPECT_EQ(V[I].Kind, Opinion::None);
+  EXPECT_FALSE(V.isComplete());
+  EXPECT_FALSE(V.allAccept());
+}
+
+TEST(OpinionVecTest, CompleteVsAllAccept) {
+  OpinionVec V(2);
+  V[0] = OpinionEntry{Opinion::Accept, 1};
+  EXPECT_FALSE(V.isComplete());
+  V[1] = OpinionEntry{Opinion::Reject, 0};
+  EXPECT_TRUE(V.isComplete());
+  EXPECT_FALSE(V.allAccept());
+  V[1] = OpinionEntry{Opinion::Accept, 9};
+  EXPECT_TRUE(V.allAccept());
+}
+
+TEST(OpinionVecTest, EmptyVectorIsTriviallyCompleteAccept) {
+  OpinionVec V(0);
+  EXPECT_TRUE(V.isComplete());
+  EXPECT_TRUE(V.allAccept());
+}
+
+TEST(OpinionVecTest, EqualityComparesValuesOnlyForAccepts) {
+  OpinionEntry A{Opinion::Reject, 5};
+  OpinionEntry B{Opinion::Reject, 9};
+  EXPECT_TRUE(A == B); // Reject payloads are don't-care.
+  OpinionEntry C{Opinion::Accept, 5};
+  OpinionEntry D{Opinion::Accept, 9};
+  EXPECT_FALSE(C == D);
+}
+
+TEST(OpinionVecTest, StrRendering) {
+  OpinionVec V(3);
+  V[0] = OpinionEntry{Opinion::Accept, 7};
+  V[2] = OpinionEntry{Opinion::Reject, 0};
+  EXPECT_EQ(V.str(), "[A:7,_,R]");
+}
+
+TEST(MemberIndexTest, IndexesSortedMembers) {
+  Region B{3, 7, 12};
+  EXPECT_EQ(core::memberIndex(B, 3), 0u);
+  EXPECT_EQ(core::memberIndex(B, 7), 1u);
+  EXPECT_EQ(core::memberIndex(B, 12), 2u);
+}
+
+TEST(MessageTest, StrIncludesEverything) {
+  core::Message M;
+  M.Round = 2;
+  M.View = Region{4};
+  M.Border = Region{3, 5};
+  M.Opinions = OpinionVec(2);
+  M.Opinions[0] = OpinionEntry{Opinion::Accept, 1};
+  std::string S = M.str();
+  EXPECT_NE(S.find("r2"), std::string::npos);
+  EXPECT_NE(S.find("{4}"), std::string::npos);
+  EXPECT_NE(S.find("{3,5}"), std::string::npos);
+  EXPECT_NE(S.find("A:1"), std::string::npos);
+  EXPECT_EQ(S.find("final"), std::string::npos);
+  M.Final = true;
+  EXPECT_NE(M.str().find("final"), std::string::npos);
+}

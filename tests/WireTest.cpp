@@ -1,0 +1,137 @@
+//===- tests/WireTest.cpp - Wire format round-trip and fuzz tests -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Wire.h"
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using core::Message;
+using core::Opinion;
+using core::OpinionEntry;
+using core::OpinionVec;
+using graph::Region;
+
+namespace {
+
+Message sampleMessage() {
+  Message M;
+  M.Round = 3;
+  M.View = Region{4, 5, 6};
+  M.Border = Region{1, 3, 7, 9};
+  M.Opinions = OpinionVec(4);
+  M.Opinions[0] = OpinionEntry{Opinion::Accept, 42};
+  M.Opinions[1] = OpinionEntry{Opinion::None, 0};
+  M.Opinions[2] = OpinionEntry{Opinion::Reject, 0};
+  M.Opinions[3] = OpinionEntry{Opinion::Accept, 0xdeadbeefcafeULL};
+  return M;
+}
+
+} // namespace
+
+TEST(WireTest, RoundTripPreservesEverything) {
+  Message M = sampleMessage();
+  auto Decoded = core::decodeMessage(core::encodeMessage(M));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Round, M.Round);
+  EXPECT_EQ(Decoded->View, M.View);
+  EXPECT_EQ(Decoded->Border, M.Border);
+  EXPECT_EQ(Decoded->Opinions, M.Opinions);
+  EXPECT_EQ(Decoded->Final, false);
+}
+
+TEST(WireTest, RoundTripFinalFlag) {
+  Message M = sampleMessage();
+  M.Final = true;
+  auto Decoded = core::decodeMessage(core::encodeMessage(M));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_TRUE(Decoded->Final);
+}
+
+TEST(WireTest, RoundTripSingletonView) {
+  Message M;
+  M.Round = 1;
+  M.View = Region{0};
+  M.Border = Region{1};
+  M.Opinions = OpinionVec(1);
+  M.Opinions[0] = OpinionEntry{Opinion::Accept, 1};
+  auto Decoded = core::decodeMessage(core::encodeMessage(M));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->View, M.View);
+}
+
+TEST(WireTest, RejectsEmptyBuffer) {
+  EXPECT_FALSE(core::decodeMessage({}).has_value());
+}
+
+TEST(WireTest, RejectsBadMagic) {
+  auto Bytes = core::encodeMessage(sampleMessage());
+  Bytes[0] ^= 0xff;
+  EXPECT_FALSE(core::decodeMessage(Bytes).has_value());
+}
+
+TEST(WireTest, RejectsBadVersion) {
+  auto Bytes = core::encodeMessage(sampleMessage());
+  Bytes[4] = 99;
+  EXPECT_FALSE(core::decodeMessage(Bytes).has_value());
+}
+
+TEST(WireTest, RejectsTruncation) {
+  auto Bytes = core::encodeMessage(sampleMessage());
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(core::decodeMessage(Truncated).has_value())
+        << "truncation at " << Cut << " accepted";
+  }
+}
+
+TEST(WireTest, RejectsTrailingGarbage) {
+  auto Bytes = core::encodeMessage(sampleMessage());
+  Bytes.push_back(0);
+  EXPECT_FALSE(core::decodeMessage(Bytes).has_value());
+}
+
+TEST(WireTest, RejectsZeroRound) {
+  Message M = sampleMessage();
+  M.Round = 0;
+  // Encoder writes it; decoder must refuse.
+  EXPECT_FALSE(core::decodeMessage(core::encodeMessage(M)).has_value());
+}
+
+TEST(WireTest, FuzzRandomBuffersNeverCrash) {
+  Rng Rand(2024);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    size_t Len = Rand.nextBelow(64);
+    std::vector<uint8_t> Bytes(Len);
+    for (auto &B : Bytes)
+      B = static_cast<uint8_t>(Rand.next());
+    (void)core::decodeMessage(Bytes); // Must not crash or assert.
+  }
+}
+
+TEST(WireTest, FuzzBitflipsEitherFailOrStaySane) {
+  Rng Rand(7);
+  auto Bytes = core::encodeMessage(sampleMessage());
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    auto Copy = Bytes;
+    size_t Pos = Rand.nextBelow(Copy.size());
+    Copy[Pos] ^= static_cast<uint8_t>(1u << Rand.nextBelow(8));
+    auto Decoded = core::decodeMessage(Copy);
+    if (!Decoded)
+      continue;
+    // If the flip survived decoding, invariants must still hold.
+    EXPECT_EQ(Decoded->Opinions.size(), Decoded->Border.size());
+    EXPECT_GE(Decoded->Round, 1u);
+  }
+}
+
+TEST(WireTest, EncodingIsDeterministic) {
+  Message M = sampleMessage();
+  EXPECT_EQ(core::encodeMessage(M), core::encodeMessage(M));
+}

@@ -1,0 +1,115 @@
+//===- tests/WorkloadTest.cpp - Crash plan generator tests --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/CrashPlans.h"
+
+#include "graph/Builders.h"
+#include "trace/Checker.h"
+
+#include "gtest/gtest.h"
+
+#include <set>
+
+using namespace cliffedge;
+using graph::Region;
+using workload::CrashPlan;
+
+TEST(WorkloadTest, SimultaneousAllAtSameTime) {
+  CrashPlan Plan = workload::simultaneous(Region{3, 1, 5}, 42);
+  ASSERT_EQ(Plan.Crashes.size(), 3u);
+  for (const workload::TimedCrash &C : Plan.Crashes)
+    EXPECT_EQ(C.When, 42u);
+  EXPECT_EQ(Plan.faultySet(), (Region{1, 3, 5}));
+}
+
+TEST(WorkloadTest, CascadeSpacing) {
+  CrashPlan Plan = workload::cascade(Region{1, 2, 3}, 100, 10);
+  ASSERT_EQ(Plan.Crashes.size(), 3u);
+  EXPECT_EQ(Plan.Crashes[0].When, 100u);
+  EXPECT_EQ(Plan.Crashes[1].When, 110u);
+  EXPECT_EQ(Plan.Crashes[2].When, 120u);
+}
+
+TEST(WorkloadTest, ConnectedCascadePrefixesStayConnected) {
+  graph::Graph G = graph::makeGrid(6, 6);
+  Region Patch = graph::gridPatch(6, 1, 1, 3);
+  Rng Rand(5);
+  CrashPlan Plan = workload::connectedCascade(G, Patch, 100, 5, Rand);
+  ASSERT_EQ(Plan.Crashes.size(), Patch.size());
+  EXPECT_EQ(Plan.faultySet(), Patch);
+  Region Prefix;
+  for (const workload::TimedCrash &C : Plan.Crashes) {
+    Prefix.insert(C.Node);
+    EXPECT_TRUE(G.isConnectedRegion(Prefix))
+        << "prefix " << Prefix.str() << " disconnected";
+  }
+}
+
+TEST(WorkloadTest, ConnectedCascadeDeterministicPerSeed) {
+  graph::Graph G = graph::makeGrid(5, 5);
+  Region Patch = graph::gridPatch(5, 0, 0, 3);
+  Rng A(9), B(9);
+  CrashPlan PA = workload::connectedCascade(G, Patch, 0, 1, A);
+  CrashPlan PB = workload::connectedCascade(G, Patch, 0, 1, B);
+  ASSERT_EQ(PA.Crashes.size(), PB.Crashes.size());
+  for (size_t I = 0; I < PA.Crashes.size(); ++I)
+    EXPECT_EQ(PA.Crashes[I].Node, PB.Crashes[I].Node);
+}
+
+TEST(WorkloadTest, RadialWaveTimesFollowDistance) {
+  graph::Graph G = graph::makeGrid(7, 7);
+  NodeId Center = graph::gridId(7, 3, 3);
+  CrashPlan Plan = workload::radialWave(G, Center, 2, 100, 10);
+  std::vector<uint32_t> Dist = graph::bfsDistances(G, Center);
+  for (const workload::TimedCrash &C : Plan.Crashes) {
+    EXPECT_LE(Dist[C.Node], 2u);
+    EXPECT_EQ(C.When, 100u + Dist[C.Node] * 10u);
+  }
+  // Ball of radius 2 in the open grid interior: 1 + 4 + 8 = 13 nodes.
+  EXPECT_EQ(Plan.Crashes.size(), 13u);
+}
+
+TEST(WorkloadTest, AdjacentDomainChainIsAdjacentChain) {
+  const uint32_t W = 16, H = 6, Side = 2, Count = 4;
+  graph::Graph G = graph::makeGrid(W, H);
+  CrashPlan Plan = workload::adjacentDomainChain(W, H, Side, Count, 50);
+  ASSERT_EQ(Plan.Crashes.size(), size_t(Side) * Side * Count);
+
+  std::vector<Region> Domains =
+      trace::faultyDomains(G, Plan.faultySet());
+  ASSERT_EQ(Domains.size(), Count);
+  // Consecutive domains adjacent (borders intersect) — the Fig. 2 shape.
+  std::vector<size_t> Clusters = trace::clusterDomains(G, Domains);
+  for (size_t I = 1; I < Domains.size(); ++I)
+    EXPECT_EQ(Clusters[I], Clusters[0]);
+}
+
+TEST(WorkloadTest, AdjacentDomainChainRejectsOversize) {
+  CrashPlan Plan = workload::adjacentDomainChain(8, 6, 3, 5, 0);
+  EXPECT_TRUE(Plan.Crashes.empty()); // 5 domains of side 3 don't fit in 8.
+}
+
+TEST(WorkloadTest, RandomRegionsCrashEachNodeOnce) {
+  graph::Graph G = graph::makeGrid(10, 10);
+  Rng Rand(33);
+  CrashPlan Plan = workload::randomRegions(G, 5, 6, 100, 50, Rand);
+  std::set<NodeId> Seen;
+  for (const workload::TimedCrash &C : Plan.Crashes) {
+    EXPECT_TRUE(Seen.insert(C.Node).second)
+        << "node " << C.Node << " crashes twice";
+    EXPECT_GE(C.When, 100u);
+    EXPECT_LE(C.When, 150u);
+  }
+}
+
+TEST(WorkloadTest, CrashPlanSortedByTime) {
+  graph::Graph G = graph::makeGrid(10, 10);
+  Rng Rand(34);
+  CrashPlan Plan = workload::randomRegions(G, 4, 5, 0, 100, Rand);
+  for (size_t I = 1; I < Plan.Crashes.size(); ++I)
+    EXPECT_LE(Plan.Crashes[I - 1].When, Plan.Crashes[I].When);
+}

@@ -1,0 +1,337 @@
+//===- tools/cliffedge-sim.cpp - Command-line scenario driver ------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A command-line front end over the whole stack: pick a topology, inject
+/// failures, run to quiescence, and inspect the outcome as a summary, an
+/// event log, an ASCII timeline, or Graphviz DOT — with CD1..CD7 checking
+/// built in. Intended both as an exploration tool and as the simplest way
+/// to reproduce a failing property-sweep seed from the command line.
+///
+///   cliffedge-sim --topology grid:12x12 --crash patch:3,3,2@100 --check
+///   cliffedge-sim --topology fig1 --crash region:10,11@100
+///                 --crash region:0@118 --output timeline
+///   cliffedge-sim --topology chord:64:5 --crash ball:7,1@100
+///                 --early-termination --output all
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Algorithms.h"
+#include "graph/Builders.h"
+#include "graph/Dot.h"
+#include "trace/Checker.h"
+#include "trace/Runner.h"
+#include "trace/Timeline.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace cliffedge;
+
+namespace {
+
+void usage(const char *Prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "  --topology SPEC      grid:WxH | torus:WxH | ring:N | line:N |\n"
+      "                       er:N:P | geo:N:R | tree:N:ARITY |\n"
+      "                       hypercube:D | chord:N:FINGERS | ba:N:M |\n"
+      "                       fig1            (default grid:8x8)\n"
+      "  --crash SPEC@T[:GAP] patch:X,Y,SIDE   (grid patch)\n"
+      "                       region:ID,ID,... (explicit node list)\n"
+      "                       ball:CENTER,R    (BFS ball)\n"
+      "                       A GAP turns the crash into a cascade\n"
+      "                       (one node per GAP ticks). Repeatable.\n"
+      "  --seed S             RNG seed for random topologies (default 1)\n"
+      "  --latency L[:HI]     fixed, or uniform in [L,HI] (default 10)\n"
+      "  --detect D           detection delay in ticks (default 5)\n"
+      "  --ranking KIND       sizeborderlex | sizelex | purelex\n"
+      "  --early-termination  enable the footnote-6 optimisation\n"
+      "  --output KIND        summary | events | timeline | dot | all\n"
+      "  --check              verify CD1..CD7 (exit 1 on violation)\n",
+      Prog);
+}
+
+bool splitKeyRest(const std::string &Spec, std::string &Key,
+                  std::string &Rest) {
+  size_t Colon = Spec.find(':');
+  if (Colon == std::string::npos) {
+    Key = Spec;
+    Rest.clear();
+    return true;
+  }
+  Key = Spec.substr(0, Colon);
+  Rest = Spec.substr(Colon + 1);
+  return true;
+}
+
+std::vector<uint64_t> parseNumberList(const std::string &Text, char Sep) {
+  std::vector<uint64_t> Out;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Next = Text.find(Sep, Pos);
+    std::string Tok = Text.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
+    if (!Tok.empty())
+      Out.push_back(std::strtoull(Tok.c_str(), nullptr, 10));
+    if (Next == std::string::npos)
+      break;
+    Pos = Next + 1;
+  }
+  return Out;
+}
+
+struct TopologyChoice {
+  graph::Graph G;
+  uint32_t GridWidth = 0; // Non-zero when patch: specs make sense.
+  bool Ok = false;
+};
+
+TopologyChoice buildTopology(const std::string &Spec, Rng &Rand) {
+  TopologyChoice Out;
+  std::string Key, Rest;
+  splitKeyRest(Spec, Key, Rest);
+  if (Key == "fig1") {
+    Out.G = graph::makeFig1World().G;
+    Out.Ok = true;
+    return Out;
+  }
+  if (Key == "grid" || Key == "torus") {
+    size_t X = Rest.find('x');
+    if (X == std::string::npos)
+      return Out;
+    uint32_t W = std::atoi(Rest.substr(0, X).c_str());
+    uint32_t H = std::atoi(Rest.substr(X + 1).c_str());
+    if (W == 0 || H == 0)
+      return Out;
+    Out.G = Key == "grid" ? graph::makeGrid(W, H) : graph::makeTorus(W, H);
+    Out.GridWidth = W;
+    Out.Ok = true;
+    return Out;
+  }
+  std::vector<uint64_t> Args = parseNumberList(Rest, ':');
+  auto Arg = [&](size_t I, uint64_t Default) {
+    return I < Args.size() ? Args[I] : Default;
+  };
+  if (Key == "ring")
+    Out.G = graph::makeRing(static_cast<uint32_t>(Arg(0, 16)));
+  else if (Key == "line")
+    Out.G = graph::makeLine(static_cast<uint32_t>(Arg(0, 16)));
+  else if (Key == "tree")
+    Out.G = graph::makeTree(static_cast<uint32_t>(Arg(0, 31)),
+                            static_cast<uint32_t>(Arg(1, 2)));
+  else if (Key == "hypercube")
+    Out.G = graph::makeHypercube(static_cast<uint32_t>(Arg(0, 5)));
+  else if (Key == "chord")
+    Out.G = graph::makeChordRing(static_cast<uint32_t>(Arg(0, 32)),
+                                 static_cast<uint32_t>(Arg(1, 4)));
+  else if (Key == "ba")
+    Out.G = graph::makeBarabasiAlbert(static_cast<uint32_t>(Arg(0, 48)),
+                                      static_cast<uint32_t>(Arg(1, 2)),
+                                      Rand);
+  else if (Key == "er") {
+    // er:N:P with P in percent (er:48:8 => p = 0.08).
+    Out.G = graph::makeErdosRenyi(static_cast<uint32_t>(Arg(0, 48)),
+                                  static_cast<double>(Arg(1, 8)) / 100.0,
+                                  Rand);
+  } else if (Key == "geo") {
+    // geo:N:R with R in percent of the unit square.
+    Out.G = graph::makeRandomGeometric(
+        static_cast<uint32_t>(Arg(0, 48)),
+        static_cast<double>(Arg(1, 25)) / 100.0, Rand);
+  } else
+    return Out;
+  Out.Ok = true;
+  return Out;
+}
+
+struct CrashSpec {
+  graph::Region Nodes;
+  SimTime At = 100;
+  SimTime Gap = 0; // 0 = simultaneous; else cascade.
+  bool Ok = false;
+};
+
+CrashSpec parseCrash(const std::string &Spec, const TopologyChoice &Topo) {
+  CrashSpec Out;
+  // SPEC@T[:GAP]
+  size_t AtPos = Spec.find('@');
+  std::string Body = Spec.substr(0, AtPos);
+  if (AtPos != std::string::npos) {
+    std::vector<uint64_t> Times =
+        parseNumberList(Spec.substr(AtPos + 1), ':');
+    if (!Times.empty())
+      Out.At = Times[0];
+    if (Times.size() > 1)
+      Out.Gap = Times[1];
+  }
+  std::string Key, Rest;
+  splitKeyRest(Body, Key, Rest);
+  std::vector<uint64_t> Args = parseNumberList(Rest, ',');
+  if (Key == "patch") {
+    if (Topo.GridWidth == 0 || Args.size() != 3)
+      return Out;
+    Out.Nodes = graph::gridPatch(Topo.GridWidth,
+                                 static_cast<uint32_t>(Args[0]),
+                                 static_cast<uint32_t>(Args[1]),
+                                 static_cast<uint32_t>(Args[2]));
+  } else if (Key == "region") {
+    std::vector<NodeId> Ids;
+    for (uint64_t Id : Args)
+      Ids.push_back(static_cast<NodeId>(Id));
+    Out.Nodes = graph::Region(std::move(Ids));
+  } else if (Key == "ball") {
+    if (Args.size() != 2)
+      return Out;
+    Out.Nodes = graph::ballAround(Topo.G, static_cast<NodeId>(Args[0]),
+                                  static_cast<uint32_t>(Args[1]));
+  } else
+    return Out;
+  for (NodeId N : Out.Nodes)
+    if (N >= Topo.G.numNodes())
+      return Out;
+  Out.Ok = !Out.Nodes.empty();
+  return Out;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string TopoSpec = "grid:8x8";
+  std::vector<std::string> CrashSpecs;
+  uint64_t Seed = 1;
+  SimTime LatencyLo = 10, LatencyHi = 0;
+  SimTime Detect = 5;
+  std::string Output = "summary";
+  bool Check = false;
+  core::Config NodeCfg;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--topology")
+      TopoSpec = Next("--topology");
+    else if (Arg == "--crash")
+      CrashSpecs.push_back(Next("--crash"));
+    else if (Arg == "--seed")
+      Seed = std::strtoull(Next("--seed"), nullptr, 10);
+    else if (Arg == "--latency") {
+      std::vector<uint64_t> L = parseNumberList(Next("--latency"), ':');
+      LatencyLo = L.empty() ? 10 : L[0];
+      LatencyHi = L.size() > 1 ? L[1] : 0;
+    } else if (Arg == "--detect")
+      Detect = std::strtoull(Next("--detect"), nullptr, 10);
+    else if (Arg == "--ranking") {
+      std::string Kind = Next("--ranking");
+      if (Kind == "sizeborderlex")
+        NodeCfg.Ranking = graph::RankingKind::SizeBorderLex;
+      else if (Kind == "sizelex")
+        NodeCfg.Ranking = graph::RankingKind::SizeLex;
+      else if (Kind == "purelex")
+        NodeCfg.Ranking = graph::RankingKind::PureLex;
+      else {
+        std::fprintf(stderr, "error: unknown ranking '%s'\n",
+                     Kind.c_str());
+        return 2;
+      }
+    } else if (Arg == "--early-termination")
+      NodeCfg.EarlyTermination = true;
+    else if (Arg == "--output")
+      Output = Next("--output");
+    else if (Arg == "--check")
+      Check = true;
+    else if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      usage(argv[0]);
+      return 2;
+    }
+  }
+
+  Rng Rand(Seed);
+  TopologyChoice Topo = buildTopology(TopoSpec, Rand);
+  if (!Topo.Ok) {
+    std::fprintf(stderr, "error: bad topology spec '%s'\n",
+                 TopoSpec.c_str());
+    return 2;
+  }
+  if (CrashSpecs.empty())
+    CrashSpecs.push_back("patch:2,2,2@100"); // A sensible default demo.
+
+  trace::RunnerOptions Opts;
+  Opts.NodeConfig = NodeCfg;
+  static Rng LatRand(0x1234abcd);
+  Opts.Latency = LatencyHi > LatencyLo
+                     ? sim::uniformLatency(LatencyLo, LatencyHi, LatRand)
+                     : sim::fixedLatency(LatencyLo);
+  Opts.DetectionDelay = detector::fixedDetectionDelay(Detect);
+  trace::ScenarioRunner Runner(Topo.G, std::move(Opts));
+
+  graph::Region AllFaulty;
+  for (const std::string &Spec : CrashSpecs) {
+    CrashSpec Crash = parseCrash(Spec, Topo);
+    if (!Crash.Ok) {
+      std::fprintf(stderr, "error: bad crash spec '%s'\n", Spec.c_str());
+      return 2;
+    }
+    SimTime T = Crash.At;
+    for (NodeId N : Crash.Nodes) {
+      if (AllFaulty.contains(N))
+        continue;
+      AllFaulty.insert(N);
+      Runner.scheduleCrash(N, T);
+      T += Crash.Gap;
+    }
+  }
+
+  uint64_t Events = Runner.run();
+  trace::CheckInput In = trace::makeCheckInput(Runner);
+
+  bool WantAll = Output == "all";
+  if (Output == "summary" || WantAll) {
+    std::printf("topology: %s (%u nodes, %zu edges)\n", TopoSpec.c_str(),
+                Topo.G.numNodes(), Topo.G.numEdges());
+    std::printf("faulty:   %s\n", AllFaulty.str().c_str());
+    std::printf("events=%llu messages=%llu bytes=%llu decisions=%zu\n",
+                (unsigned long long)Events,
+                (unsigned long long)Runner.netStats().MessagesSent,
+                (unsigned long long)Runner.netStats().BytesSent,
+                Runner.decisions().size());
+    for (const trace::DecisionRecord &D : Runner.decisions())
+      std::printf("  t=%-8llu %-10s view=%s value=%llu\n",
+                  (unsigned long long)D.When,
+                  Topo.G.label(D.Node).c_str(), D.View.str().c_str(),
+                  (unsigned long long)D.Chosen);
+  }
+  if (Output == "events" || WantAll)
+    std::printf("%s", trace::renderEventLog(In).c_str());
+  if (Output == "timeline" || WantAll)
+    std::printf("%s", trace::renderTimeline(In).c_str());
+  if (Output == "dot" || WantAll)
+    std::printf("%s",
+                graph::toDot(Topo.G, {{AllFaulty, "lightcoral", "F"}})
+                    .c_str());
+
+  if (Check) {
+    trace::CheckResult Res = trace::checkAll(In);
+    std::printf("CD1..CD7: %s\n",
+                Res.Ok ? "all hold" : Res.summary().c_str());
+    return Res.Ok ? 0 : 1;
+  }
+  return 0;
+}
