@@ -7,16 +7,25 @@
 ///
 /// \file
 /// Microbenchmarks of the hot paths under the protocol: region set
-/// algebra, border computation, connected components, ranking comparisons
-/// and wire encode/decode. These are the per-event costs that make the
-/// simulator (and a real deployment) fast.
+/// algebra, border computation, connected components, ranking comparisons,
+/// wire encode/decode, the event engine, and — most importantly — the
+/// crash-burst view-construction kernel of Algorithm 1 in both its batch
+/// (pre-overhaul, full connectedComponents rescan per crash) and
+/// incremental (union-find) forms. The *_BatchRescan / *_Incremental pair
+/// is the before/after evidence tools/bench_compare.py turns into the
+/// crash_burst_speedup metric of BENCH_micro.json.
+///
+/// Run with --benchmark_format=json for machine-readable output.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "core/Wire.h"
 #include "graph/Builders.h"
+#include "graph/IncrementalComponents.h"
 #include "graph/Ranking.h"
+#include "sim/Simulator.h"
 #include "support/Random.h"
+#include "trace/Runner.h"
 
 #include "benchmark/benchmark.h"
 
@@ -40,6 +49,33 @@ void BM_RegionUnion(benchmark::State &State) {
     benchmark::DoNotOptimize(A.unionWith(B));
 }
 BENCHMARK(BM_RegionUnion)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RegionUnionInPlace(benchmark::State &State) {
+  Rng Rand(1);
+  graph::Region A = randomRegion(Rand, 10000, State.range(0));
+  graph::Region B = randomRegion(Rand, 10000, State.range(0));
+  std::vector<NodeId> Scratch;
+  graph::Region Acc;
+  for (auto _ : State) {
+    Acc = A; // Copy reuses Acc's capacity after the first iteration.
+    Acc.unionInPlace(B, Scratch);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_RegionUnionInPlace)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_RegionDifferenceInPlace(benchmark::State &State) {
+  Rng Rand(5);
+  graph::Region A = randomRegion(Rand, 10000, State.range(0));
+  graph::Region B = randomRegion(Rand, 10000, State.range(0));
+  graph::Region Acc;
+  for (auto _ : State) {
+    Acc = A;
+    Acc.differenceInPlace(B);
+    benchmark::DoNotOptimize(Acc);
+  }
+}
+BENCHMARK(BM_RegionDifferenceInPlace)->Arg(8)->Arg(64)->Arg(512);
 
 void BM_RegionIntersects(benchmark::State &State) {
   Rng Rand(2);
@@ -88,6 +124,107 @@ void BM_RankingCompare(benchmark::State &State) {
 }
 BENCHMARK(BM_RankingCompare);
 
+// -- Crash burst: the onCrash-heavy scenario ---------------------------------
+//
+// A Side x Side patch of a 64x64 grid crashes node by node in a shuffled
+// order (components form, merge, and finally fuse into one region — the
+// paper's Fig. 1b growth pattern at scale). Per crash the bench runs the
+// view-construction step of Algorithm 1 lines 8-11. The BatchRescan variant
+// is the seed implementation: a full connectedComponents(LocallyCrashed)
+// rescan plus maxRankedRegion per event. The Incremental variant is what
+// CliffEdgeNode::onCrash now does.
+
+std::vector<NodeId> burstOrder(uint32_t Side) {
+  graph::Region Patch = graph::gridPatch(64, 8, 8, Side);
+  std::vector<NodeId> Order(Patch.ids());
+  Rng Rand(2024);
+  Rand.shuffle(Order);
+  return Order;
+}
+
+void BM_CrashBurst_BatchRescan(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(64, 64);
+  std::vector<NodeId> Order = burstOrder(static_cast<uint32_t>(State.range(0)));
+  for (auto _ : State) {
+    graph::Region Crashed, MaxView;
+    for (NodeId Q : Order) {
+      Crashed.insert(Q);
+      std::vector<graph::Region> Components = G.connectedComponents(Crashed);
+      const graph::Region &Best = graph::maxRankedRegion(G, Components);
+      if (graph::rankedLess(G, MaxView, Best))
+        MaxView = Best;
+    }
+    benchmark::DoNotOptimize(MaxView);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Order.size()));
+}
+BENCHMARK(BM_CrashBurst_BatchRescan)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_CrashBurst_Incremental(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(64, 64);
+  std::vector<NodeId> Order = burstOrder(static_cast<uint32_t>(State.range(0)));
+  for (auto _ : State) {
+    graph::IncrementalComponents Tracker(G);
+    graph::Region MaxView;
+    size_t MaxViewBorder = graph::IncrementalComponents::UnknownBorder;
+    for (NodeId Q : Order) {
+      Tracker.addCrashed(Q);
+      if (Tracker.outranks(Q, MaxView, graph::RankingKind::SizeBorderLex,
+                           MaxViewBorder)) {
+        MaxView = Tracker.componentOf(Q);
+        MaxViewBorder = Tracker.componentBorderSize(Q);
+      }
+    }
+    benchmark::DoNotOptimize(MaxView);
+  }
+  State.SetItemsProcessed(State.iterations() *
+                          static_cast<int64_t>(Order.size()));
+}
+BENCHMARK(BM_CrashBurst_Incremental)->Arg(8)->Arg(16)->Arg(32);
+
+// End-to-end variant: a full simulated run (simulator + network + wire +
+// protocol) of a crash burst, the configuration of the Fig. 1-3 benches.
+void BM_ScenarioCrashBurst(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(24, 24);
+  graph::Region Patch =
+      graph::gridPatch(24, 4, 4, static_cast<uint32_t>(State.range(0)));
+  for (auto _ : State) {
+    trace::RunnerOptions Opts;
+    Opts.RecordSends = false;
+    Opts.RecordProtocolEvents = false;
+    trace::ScenarioRunner Runner(G, std::move(Opts));
+    Runner.scheduleCrashAll(Patch, 100);
+    Runner.run();
+    benchmark::DoNotOptimize(Runner.decisions().size());
+  }
+}
+BENCHMARK(BM_ScenarioCrashBurst)->Arg(4)->Arg(6);
+
+// -- Event engine ------------------------------------------------------------
+
+void BM_SimulatorChurn(benchmark::State &State) {
+  // Schedule/fire churn with a payload-carrying handler, the shape of every
+  // simulated message: measures the heap push/pop plus handler move cost.
+  const int Depth = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sim::Simulator Sim;
+    Sim.reserve(static_cast<size_t>(Depth));
+    auto Frame = std::make_shared<const std::vector<uint8_t>>(64, 0xab);
+    uint64_t Sink = 0;
+    for (int I = 0; I < Depth; ++I)
+      Sim.at(static_cast<SimTime>(I % 7), [Frame, &Sink] {
+        Sink += Frame->size();
+      });
+    Sim.run();
+    benchmark::DoNotOptimize(Sink);
+  }
+  State.SetItemsProcessed(State.iterations() * Depth);
+}
+BENCHMARK(BM_SimulatorChurn)->Arg(1024)->Arg(16384);
+
+// -- Wire format -------------------------------------------------------------
+
 core::Message sampleMessage(size_t BorderSize) {
   core::Message M;
   std::vector<NodeId> View, Border;
@@ -117,6 +254,20 @@ void BM_WireDecode(benchmark::State &State) {
     benchmark::DoNotOptimize(core::decodeMessage(Bytes));
 }
 BENCHMARK(BM_WireDecode)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WireEncodeV1(benchmark::State &State) {
+  core::Message M = sampleMessage(State.range(0));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::encodeMessageV1(M));
+}
+BENCHMARK(BM_WireEncodeV1)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WireDecodeV1(benchmark::State &State) {
+  auto Bytes = core::encodeMessageV1(sampleMessage(State.range(0)));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(core::decodeMessage(Bytes));
+}
+BENCHMARK(BM_WireDecodeV1)->Arg(4)->Arg(32)->Arg(256);
 
 } // namespace
 

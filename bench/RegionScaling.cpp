@@ -27,7 +27,8 @@ using namespace cliffedge;
 
 int main(int argc, char **argv) {
   bool Csv = argc > 1 && std::string(argv[1]) == "--csv";
-  if (!Csv)
+  bool Json = argc > 1 && std::string(argv[1]) == "--json";
+  if (!Csv && !Json)
     bench::banner(
         "E6 bench_region_scaling", "§2.3 CD3 (Locality), cost model",
         "Fixed 48x48 grid (N=2304): protocol cost scales with the "
@@ -46,13 +47,15 @@ int main(int argc, char **argv) {
                  trace::summarizeRun(Runner));
   }
 
-  std::printf("%s", Csv ? Table.toCsv().c_str() : Table.toText().c_str());
-  if (!Csv) {
+  std::printf("%s", Json  ? Table.toJson().c_str()
+                    : Csv ? Table.toCsv().c_str()
+                          : Table.toText().c_str());
+  if (!Csv && !Json) {
     std::printf(
         "\nExpected shape: messages ~ |B|^2 x rounds (flooding among the "
         "border), last_dec - 100 ~ |B| RTTs; both independent of N "
-        "(compare bench_locality). Run with --csv for machine-readable "
-        "output.\n");
+        "(compare bench_locality). Run with --csv or --json for "
+        "machine-readable output.\n");
     bench::sectionEnd();
   }
   return 0;

@@ -20,7 +20,7 @@ using core::OpinionVec;
 
 NaiveLocalNode::NaiveLocalNode(NodeId InSelf, const graph::Graph &InG,
                                core::Callbacks InCBs)
-    : Self(InSelf), G(InG), CBs(std::move(InCBs)) {
+    : Self(InSelf), G(InG), CBs(std::move(InCBs)), CrashedComponents(InG) {
   assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
          CBs.SelectValue && "all callbacks must be provided");
 }
@@ -36,15 +36,25 @@ void NaiveLocalNode::onCrash(NodeId Q) {
   if (LocallyCrashed.contains(Q))
     return;
   LocallyCrashed.insert(Q);
-  CBs.MonitorCrash(G.border(Q).differenceWith(LocallyCrashed));
+  CrashedComponents.addCrashed(Q);
+  G.borderInto(Q, MonitorScratch);
+  MonitorScratch.differenceInPlace(LocallyCrashed);
+  CBs.MonitorCrash(MonitorScratch);
 
   // The naive flaw: propose every region detected, *without* rejecting the
   // superseded smaller ones. Old instances keep running and may still
   // complete — which is exactly how overlapping decisions (CD6 violations)
   // happen when a region grows mid-agreement.
-  std::vector<graph::Region> Components =
-      G.connectedComponents(LocallyCrashed);
-  graph::Region V = graph::maxRankedRegion(G, Components);
+  //
+  // Only Q's component changed; the ranking subsumes strict inclusion, so
+  // the max-ranked component is either the one absorbing Q or the previous
+  // max — no full rescan needed.
+  if (MaxMember == InvalidNode ||
+      CrashedComponents.findRoot(MaxMember) == CrashedComponents.findRoot(Q) ||
+      CrashedComponents.outranksComponent(Q, MaxMember,
+                                          graph::RankingKind::SizeBorderLex))
+    MaxMember = Q;
+  graph::Region V = CrashedComponents.componentOf(MaxMember);
   if (!Instances.count(V)) {
     graph::Region B = G.border(V);
     auto &I = Instances.emplace(V, Instance{}).first->second;
@@ -105,7 +115,7 @@ void NaiveLocalNode::acceptAndJoin(const graph::Region &V, Instance &I) {
 
 void NaiveLocalNode::pump(const graph::Region &V, Instance &I) {
   while (!I.Done && I.Accepted &&
-         I.Waiting[I.Round - 1].differenceWith(LocallyCrashed).empty()) {
+         I.Waiting[I.Round - 1].isSubsetOf(LocallyCrashed)) {
     if (I.Round == I.NumRounds) {
       I.Done = true;
       const OpinionVec &Vec = I.Opinions[I.Round - 1];

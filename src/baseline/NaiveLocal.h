@@ -25,6 +25,7 @@
 #include "core/CliffEdgeNode.h"
 #include "core/Message.h"
 #include "graph/Graph.h"
+#include "graph/IncrementalComponents.h"
 
 #include <unordered_map>
 
@@ -70,6 +71,13 @@ private:
   graph::Region DecidedV;
   core::Value DecidedVal = 0;
   graph::Region LocallyCrashed;
+  /// Incremental connectedComponents(LocallyCrashed) (see CliffEdgeNode).
+  graph::IncrementalComponents CrashedComponents;
+  /// Any member of the current max-ranked component; InvalidNode before the
+  /// first crash. Tracking a member instead of the region survives merges.
+  NodeId MaxMember = InvalidNode;
+  /// Reused per-crash scratch for the monitor set.
+  graph::Region MonitorScratch;
   std::unordered_map<graph::Region, Instance, graph::RegionHash> Instances;
 };
 

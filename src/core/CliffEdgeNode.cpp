@@ -15,7 +15,8 @@ using namespace cliffedge::core;
 
 CliffEdgeNode::CliffEdgeNode(NodeId InSelf, const graph::Graph &InG,
                              Config InCfg, Callbacks InCBs)
-    : Self(InSelf), G(InG), Cfg(InCfg), CBs(std::move(InCBs)) {
+    : Self(InSelf), G(InG), Cfg(InCfg), CBs(std::move(InCBs)),
+      CrashedComponents(InG) {
   assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
          CBs.SelectValue && "all callbacks must be provided");
 }
@@ -37,17 +38,22 @@ void CliffEdgeNode::onCrash(NodeId Q) {
   // Lines 6-7: record the crash and extend monitoring to the crashed
   // node's own neighbourhood, so a growing region keeps being tracked.
   LocallyCrashed.insert(Q);
-  CBs.MonitorCrash(G.border(Q).differenceWith(LocallyCrashed));
+  CrashedComponents.addCrashed(Q);
+  G.borderInto(Q, MonitorScratch);
+  MonitorScratch.differenceInPlace(LocallyCrashed);
+  CBs.MonitorCrash(MonitorScratch);
 
-  // Lines 8-11: recompute the highest-ranked crashed region we know of;
-  // adopt it as the next candidate view if it outranks the current one.
-  std::vector<graph::Region> Components =
-      G.connectedComponents(LocallyCrashed);
-  const graph::Region &Best =
-      graph::maxRankedRegion(G, Components, Cfg.Ranking);
-  if (graph::rankedLess(G, MaxView, Best, Cfg.Ranking)) {
-    MaxView = Best;
-    CandidateView = Best;
+  // Lines 8-11: adopt the highest-ranked crashed region we know of as the
+  // next candidate view if it outranks the current one. Only Q's component
+  // changed, and MaxView is ranked >= every previously-seen component, so
+  // comparing Q's component against MaxView is equivalent to the paper's
+  // full maxRankedRegion(connectedComponents(...)) rescan.
+  if (CrashedComponents.outranks(Q, MaxView, Cfg.Ranking, MaxViewBorder)) {
+    MaxView = CrashedComponents.componentOf(Q);
+    MaxViewBorder = Cfg.Ranking == graph::RankingKind::SizeBorderLex
+                        ? CrashedComponents.componentBorderSize(Q)
+                        : graph::IncrementalComponents::UnknownBorder;
+    CandidateView = MaxView;
   }
 
   dispatch();
@@ -180,7 +186,7 @@ bool CliffEdgeNode::tryCompleteRound() {
     return false; // Our own round-1 self-delivery has not arrived yet.
   Instance &I = It->second;
   const graph::Region &Waiting = I.Waiting[Round - 1];
-  if (!Waiting.differenceWith(LocallyCrashed).empty())
+  if (!Waiting.isSubsetOf(LocallyCrashed))
     return false;
 
   // Footnote-6 early termination: if every border member relayed a

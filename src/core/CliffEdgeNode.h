@@ -39,6 +39,7 @@
 #include "core/Message.h"
 #include "core/Types.h"
 #include "graph/Graph.h"
+#include "graph/IncrementalComponents.h"
 #include "graph/Ranking.h"
 #include "graph/Region.h"
 
@@ -214,6 +215,14 @@ private:
   bool HasProposal = false; ///< proposed != bottom.
   Value ProposedValue = 0;
   graph::Region LocallyCrashed;
+  /// Incremental connectedComponents(LocallyCrashed): each crash merges
+  /// into its component in near-O(alpha) instead of a full graph rescan.
+  graph::IncrementalComponents CrashedComponents;
+  /// |border(MaxView)| at adoption time, so rank ties against the next
+  /// candidate need no border recomputation (SizeBorderLex only).
+  size_t MaxViewBorder = graph::IncrementalComponents::UnknownBorder;
+  /// Reused per-crash scratch for the monitor set (border(Q) \ crashed).
+  graph::Region MonitorScratch;
   graph::Region MaxView;
   graph::Region CandidateView;
   graph::Region Vp;

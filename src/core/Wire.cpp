@@ -7,6 +7,7 @@
 
 #include "core/Wire.h"
 
+#include <cassert>
 #include <cstring>
 
 using namespace cliffedge;
@@ -15,24 +16,69 @@ using namespace cliffedge::core;
 namespace {
 
 constexpr uint32_t WireMagic = 0x43454C43; // "CLEC"
-constexpr uint8_t WireVersion = 1;
+constexpr uint8_t WireVersionLegacy = 1;
+constexpr uint8_t WireVersion = 2;
+constexpr size_t HeaderSize = 4 + 1 + 1; // magic, version, flags
 
-class Writer {
-public:
-  void u8(uint8_t V) { Out.push_back(V); }
-  void u32(uint32_t V) {
-    for (int I = 0; I < 4; ++I)
-      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  void u64(uint64_t V) {
-    for (int I = 0; I < 8; ++I)
-      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
-  }
-  std::vector<uint8_t> take() { return std::move(Out); }
+/// Decoder reserve() clamp: prevents a hostile count field from demanding
+/// gigabytes before the per-element truncation checks reject the frame.
+constexpr uint32_t MaxPrealloc = 4096;
 
-private:
-  std::vector<uint8_t> Out;
-};
+size_t varintSize(uint64_t V) {
+  size_t N = 1;
+  while (V >= 0x80) {
+    V >>= 7;
+    ++N;
+  }
+  return N;
+}
+
+void putVarint(uint8_t *&P, uint64_t V) {
+  while (V >= 0x80) {
+    *P++ = static_cast<uint8_t>(V) | 0x80;
+    V >>= 7;
+  }
+  *P++ = static_cast<uint8_t>(V);
+}
+
+void putU32(uint8_t *&P, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    *P++ = static_cast<uint8_t>(V >> (8 * I));
+}
+
+/// Exact v2 frame size, computed in one pass so the encoder allocates once.
+/// Must iterate exactly what the write pass writes: one opinion per border
+/// member (the encoder asserts the vector is border-aligned).
+size_t encodedSizeV2(const Message &M) {
+  size_t S = HeaderSize + varintSize(M.Round);
+  for (const graph::Region *R : {&M.View, &M.Border}) {
+    S += varintSize(R->size());
+    NodeId Prev = 0;
+    bool First = true;
+    for (NodeId Id : *R) {
+      S += varintSize(First ? Id : Id - Prev);
+      Prev = Id;
+      First = false;
+    }
+  }
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    S += 1;
+    if (M.Opinions[I].Kind == Opinion::Accept)
+      S += varintSize(M.Opinions[I].Val);
+  }
+  return S;
+}
+
+void putRegionV2(uint8_t *&P, const graph::Region &R) {
+  putVarint(P, R.size());
+  NodeId Prev = 0;
+  bool First = true;
+  for (NodeId Id : R) {
+    putVarint(P, First ? Id : Id - Prev);
+    Prev = Id;
+    First = false;
+  }
+}
 
 class Reader {
 public:
@@ -60,6 +106,25 @@ public:
       V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
     return true;
   }
+  bool varint(uint64_t &V) {
+    V = 0;
+    for (int Shift = 0; Shift < 64; Shift += 7) {
+      if (Pos >= Data.size())
+        return false;
+      uint8_t Byte = Data[Pos++];
+      V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+      if (!(Byte & 0x80))
+        return true;
+    }
+    return false; // More than 10 continuation bytes: malformed.
+  }
+  bool varint32(uint32_t &V) {
+    uint64_t Wide = 0;
+    if (!varint(Wide) || Wide > UINT32_MAX)
+      return false;
+    V = static_cast<uint32_t>(Wide);
+    return true;
+  }
   bool atEnd() const { return Pos == Data.size(); }
 
 private:
@@ -67,18 +132,12 @@ private:
   size_t Pos = 0;
 };
 
-void writeRegion(Writer &W, const graph::Region &R) {
-  W.u32(static_cast<uint32_t>(R.size()));
-  for (NodeId N : R)
-    W.u32(N);
-}
-
-bool readRegion(Reader &R, graph::Region &Out) {
+bool readRegionV1(Reader &R, graph::Region &Out) {
   uint32_t Count = 0;
   if (!R.u32(Count))
     return false;
   std::vector<NodeId> Ids;
-  Ids.reserve(Count);
+  Ids.reserve(Count < MaxPrealloc ? Count : MaxPrealloc);
   NodeId Prev = 0;
   for (uint32_t I = 0; I < Count; ++I) {
     uint32_t Id = 0;
@@ -95,41 +154,39 @@ bool readRegion(Reader &R, graph::Region &Out) {
   return true;
 }
 
-} // namespace
-
-std::vector<uint8_t> core::encodeMessage(const Message &M) {
-  Writer W;
-  W.u32(WireMagic);
-  W.u8(WireVersion);
-  W.u8(M.Final ? 1 : 0);
-  W.u32(M.Round);
-  writeRegion(W, M.View);
-  writeRegion(W, M.Border);
-  for (size_t I = 0; I < M.Border.size(); ++I) {
-    const OpinionEntry &E = M.Opinions[I];
-    W.u8(static_cast<uint8_t>(E.Kind));
-    if (E.Kind == Opinion::Accept)
-      W.u64(E.Val);
+bool readRegionV2(Reader &R, graph::Region &Out) {
+  uint32_t Count = 0;
+  if (!R.varint32(Count))
+    return false;
+  std::vector<NodeId> Ids;
+  Ids.reserve(Count < MaxPrealloc ? Count : MaxPrealloc);
+  uint64_t Prev = 0;
+  for (uint32_t I = 0; I < Count; ++I) {
+    uint64_t Delta = 0;
+    if (!R.varint(Delta))
+      return false;
+    // Deltas after the first id must be positive — strictly increasing ids
+    // by construction, same invariant v1 checks explicitly. Bounding the
+    // delta itself keeps Prev + Delta from wrapping uint64 into an
+    // "increasing" id that never was.
+    if ((I > 0 && Delta == 0) || Delta > UINT32_MAX)
+      return false;
+    uint64_t Id = I == 0 ? Delta : Prev + Delta;
+    if (Id >= InvalidNode)
+      return false;
+    Prev = Id;
+    Ids.push_back(static_cast<NodeId>(Id));
   }
-  return W.take();
+  Out = graph::Region(std::move(Ids));
+  return true;
 }
 
-std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes) {
-  Reader R(Bytes);
-  uint32_t Magic = 0;
-  uint8_t Version = 0, Flags = 0;
-  if (!R.u32(Magic) || Magic != WireMagic)
-    return std::nullopt;
-  if (!R.u8(Version) || Version != WireVersion)
-    return std::nullopt;
-  if (!R.u8(Flags) || (Flags & ~1u))
-    return std::nullopt;
-
+std::optional<Message> decodeV1(Reader &R, uint8_t Flags) {
   Message M;
   M.Final = (Flags & 1u) != 0;
   if (!R.u32(M.Round) || M.Round == 0)
     return std::nullopt;
-  if (!readRegion(R, M.View) || !readRegion(R, M.Border))
+  if (!readRegionV1(R, M.View) || !readRegionV1(R, M.Border))
     return std::nullopt;
   if (M.View.empty() || M.Border.empty())
     return std::nullopt;
@@ -146,4 +203,100 @@ std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes) {
   if (!R.atEnd())
     return std::nullopt;
   return M;
+}
+
+std::optional<Message> decodeV2(Reader &R, uint8_t Flags) {
+  Message M;
+  M.Final = (Flags & 1u) != 0;
+  if (!R.varint32(M.Round) || M.Round == 0)
+    return std::nullopt;
+  if (!readRegionV2(R, M.View) || !readRegionV2(R, M.Border))
+    return std::nullopt;
+  if (M.View.empty() || M.Border.empty())
+    return std::nullopt;
+
+  M.Opinions = OpinionVec(M.Border.size());
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    uint8_t Kind = 0;
+    if (!R.u8(Kind) || Kind > static_cast<uint8_t>(Opinion::Reject))
+      return std::nullopt;
+    M.Opinions[I].Kind = static_cast<Opinion>(Kind);
+    if (M.Opinions[I].Kind == Opinion::Accept &&
+        !R.varint(M.Opinions[I].Val))
+      return std::nullopt;
+  }
+  if (!R.atEnd())
+    return std::nullopt;
+  return M;
+}
+
+} // namespace
+
+std::vector<uint8_t> core::encodeMessage(const Message &M) {
+  assert(M.Opinions.size() == M.Border.size() &&
+         "opinion vector must align with the border");
+  std::vector<uint8_t> Out(encodedSizeV2(M));
+  uint8_t *P = Out.data();
+  putU32(P, WireMagic);
+  *P++ = WireVersion;
+  *P++ = M.Final ? 1 : 0;
+  putVarint(P, M.Round);
+  putRegionV2(P, M.View);
+  putRegionV2(P, M.Border);
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    const OpinionEntry &E = M.Opinions[I];
+    *P++ = static_cast<uint8_t>(E.Kind);
+    if (E.Kind == Opinion::Accept)
+      putVarint(P, E.Val);
+  }
+  assert(P == Out.data() + Out.size() && "size precomputation out of sync");
+  return Out;
+}
+
+std::vector<uint8_t> core::encodeMessageV1(const Message &M) {
+  std::vector<uint8_t> Out;
+  Out.reserve(HeaderSize + 4 + 4 * (2 + M.View.size() + M.Border.size()) +
+              9 * M.Opinions.size());
+  auto U8 = [&Out](uint8_t V) { Out.push_back(V); };
+  auto U32 = [&Out](uint32_t V) {
+    for (int I = 0; I < 4; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  auto U64 = [&Out](uint64_t V) {
+    for (int I = 0; I < 8; ++I)
+      Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
+  };
+  U32(WireMagic);
+  U8(WireVersionLegacy);
+  U8(M.Final ? 1 : 0);
+  U32(M.Round);
+  for (const graph::Region *R : {&M.View, &M.Border}) {
+    U32(static_cast<uint32_t>(R->size()));
+    for (NodeId N : *R)
+      U32(N);
+  }
+  for (size_t I = 0; I < M.Border.size(); ++I) {
+    const OpinionEntry &E = M.Opinions[I];
+    U8(static_cast<uint8_t>(E.Kind));
+    if (E.Kind == Opinion::Accept)
+      U64(E.Val);
+  }
+  return Out;
+}
+
+std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes) {
+  Reader R(Bytes);
+  uint32_t Magic = 0;
+  uint8_t Version = 0, Flags = 0;
+  if (!R.u32(Magic) || Magic != WireMagic)
+    return std::nullopt;
+  if (!R.u8(Version))
+    return std::nullopt;
+  if (!R.u8(Flags) || (Flags & ~1u))
+    return std::nullopt;
+  if (Version == WireVersion)
+    return decodeV2(R, Flags);
+  if (Version == WireVersionLegacy)
+    return decodeV1(R, Flags);
+  return std::nullopt;
 }

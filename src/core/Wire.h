@@ -6,13 +6,24 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A compact little-endian binary wire format for protocol messages, shared
-/// by the simulated network and the threaded runtime. Serialising for real
-/// keeps the byte accounting of the locality benches honest and lets both
+/// A compact binary wire format for protocol messages, shared by the
+/// simulated network and the threaded runtime. Serialising for real keeps
+/// the byte accounting of the locality benches honest and lets both
 /// transports carry the same frames.
 ///
-/// Layout (all integers little-endian):
-///   u32 magic 'CLEC'   u8 version   u8 flags(bit0 = Final)
+/// Version 2 layout (current; "varint" is LEB128):
+///   u32 magic 'CLEC' (little-endian)   u8 version = 2   u8 flags(bit0 = Final)
+///   varint round
+///   varint |V|   varint V[0], varint V[i]-V[i-1]...   (sorted, so deltas > 0)
+///   varint |B|   varint B[0], varint B[i]-B[i-1]...
+///   per B member: u8 opinion kind, varint value (Accept only)
+///
+/// The encoder precomputes the exact frame size and fills a single
+/// allocation. Delta-varint coding shrinks a 64-node-border frame to a
+/// fraction of the fixed-width v1 layout (asserted in WireTest).
+///
+/// Version 1 layout (legacy, still decoded; all integers little-endian):
+///   u32 magic   u8 version = 1   u8 flags(bit0 = Final)
 ///   u32 round
 ///   u32 |V|   u32 V ids...
 ///   u32 |B|   u32 B ids...
@@ -32,8 +43,12 @@
 namespace cliffedge {
 namespace core {
 
-/// Serialises \p M into a fresh byte buffer.
+/// Serialises \p M into a fresh byte buffer (current wire version).
 std::vector<uint8_t> encodeMessage(const Message &M);
+
+/// Serialises \p M in the legacy v1 layout. Kept for backward-compat tests
+/// and for measuring the v2 size win; new code always encodes v2.
+std::vector<uint8_t> encodeMessageV1(const Message &M);
 
 /// Parses a buffer produced by encodeMessage. Returns std::nullopt on any
 /// malformed input (wrong magic/version, truncation, unsorted sets, bad

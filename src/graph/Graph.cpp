@@ -20,6 +20,7 @@ Graph::Graph(uint32_t NumNodes) : Adj(NumNodes), Names(NumNodes) {}
 NodeId Graph::addNode(std::string Name) {
   Adj.emplace_back();
   Names.push_back(std::move(Name));
+  NameIndexValid = false;
   return static_cast<NodeId>(Adj.size() - 1);
 }
 
@@ -56,10 +57,17 @@ const std::string &Graph::name(NodeId Node) const {
 }
 
 NodeId Graph::findByName(const std::string &Name) const {
-  for (NodeId I = 0; I < Names.size(); ++I)
-    if (Names[I] == Name)
-      return I;
-  return InvalidNode;
+  if (!NameIndexValid) {
+    NameIndex.clear();
+    NameIndex.reserve(Names.size());
+    // emplace keeps the first insertion, so duplicate names resolve to the
+    // smallest id, like the linear scan this index replaced.
+    for (NodeId I = 0; I < Names.size(); ++I)
+      NameIndex.emplace(Names[I], I);
+    NameIndexValid = true;
+  }
+  auto It = NameIndex.find(Name);
+  return It == NameIndex.end() ? InvalidNode : It->second;
 }
 
 std::string Graph::label(NodeId Node) const {
@@ -71,6 +79,12 @@ std::string Graph::label(NodeId Node) const {
 
 Region Graph::border(NodeId Node) const {
   return Region(neighbors(Node));
+}
+
+void Graph::borderInto(NodeId Node, Region &Out) const {
+  Out.clear();
+  for (NodeId Neighbor : neighbors(Node))
+    Out.appendAscending(Neighbor);
 }
 
 Region Graph::border(const Region &S) const {

@@ -21,6 +21,7 @@
 #include "support/Ids.h"
 
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace cliffedge {
@@ -56,7 +57,11 @@ public:
   /// Name of \p Node; empty if unnamed.
   const std::string &name(NodeId Node) const;
 
-  /// Returns the id of the node named \p Name, or InvalidNode.
+  /// Returns the id of the node named \p Name, or InvalidNode. Ties (two
+  /// nodes with the same name) resolve to the smallest id. Backed by a
+  /// lazily-built name index; the first call after construction builds it,
+  /// so that call must not race with others (the usual build-then-share
+  /// pattern is fine).
   NodeId findByName(const std::string &Name) const;
 
   /// Returns a readable label: the name when present, else "nK".
@@ -64,6 +69,10 @@ public:
 
   /// border({Node}) — the neighbours of a single node.
   Region border(NodeId Node) const;
+
+  /// border({Node}) written into \p Out, reusing its storage — the
+  /// allocation-free variant for per-crash hot paths.
+  void borderInto(NodeId Node, Region &Out) const;
 
   /// border(S) = { q not in S | exists p in S : {p,q} in E } (§2.2).
   Region border(const Region &S) const;
@@ -81,6 +90,10 @@ private:
   std::vector<std::vector<NodeId>> Adj;
   std::vector<std::string> Names;
   size_t EdgeCount = 0;
+
+  /// Lazy name -> smallest id index; rebuilt on demand after addNode().
+  mutable std::unordered_map<std::string, NodeId> NameIndex;
+  mutable bool NameIndexValid = false;
 };
 
 } // namespace graph

@@ -1,0 +1,159 @@
+//===- graph/IncrementalComponents.cpp - Incremental crashed regions --------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "graph/IncrementalComponents.h"
+
+#include <cassert>
+#include <utility>
+
+using namespace cliffedge;
+using namespace cliffedge::graph;
+
+IncrementalComponents::IncrementalComponents(const Graph &InG)
+    : G(InG), Parent(InG.numNodes(), InvalidNode), Size(InG.numNodes(), 0),
+      Members(InG.numNodes()), SortedCache(InG.numNodes()),
+      SortedValid(InG.numNodes(), 0), BorderCache(InG.numNodes(), 0),
+      BorderValid(InG.numNodes(), 0), Mark(InG.numNodes(), 0) {}
+
+NodeId IncrementalComponents::findRoot(NodeId Node) const {
+  assert(Node < Parent.size() && isCrashed(Node) &&
+         "findRoot() of a live node");
+  NodeId Root = Node;
+  while (Parent[Root] != Root)
+    Root = Parent[Root];
+  // Path compression: point the whole chain at the root.
+  while (Parent[Node] != Root) {
+    NodeId Next = Parent[Node];
+    Parent[Node] = Root;
+    Node = Next;
+  }
+  return Root;
+}
+
+bool IncrementalComponents::addCrashed(NodeId Node) {
+  assert(Node < Parent.size() && "node out of range");
+  if (isCrashed(Node))
+    return false;
+  Parent[Node] = Node;
+  Size[Node] = 1;
+  Members[Node].assign(1, Node);
+  invalidateCaches(Node);
+  ++NumCrashed;
+  ++NumComponents;
+  for (NodeId Neighbor : G.neighbors(Node))
+    if (isCrashed(Neighbor))
+      unite(Node, Neighbor);
+  return true;
+}
+
+void IncrementalComponents::unite(NodeId A, NodeId B) {
+  NodeId RootA = findRoot(A);
+  NodeId RootB = findRoot(B);
+  if (RootA == RootB)
+    return;
+  // Union by size: absorb the smaller member list into the larger.
+  if (Size[RootA] < Size[RootB])
+    std::swap(RootA, RootB);
+  Members[RootA].insert(Members[RootA].end(), Members[RootB].begin(),
+                        Members[RootB].end());
+  Members[RootB].clear();
+  Parent[RootB] = RootA;
+  Size[RootA] += Size[RootB];
+  invalidateCaches(RootA);
+  --NumComponents;
+}
+
+void IncrementalComponents::invalidateCaches(NodeId Root) {
+  SortedValid[Root] = 0;
+  BorderValid[Root] = 0;
+}
+
+const Region &IncrementalComponents::componentOf(NodeId Node) const {
+  NodeId Root = findRoot(Node);
+  if (!SortedValid[Root]) {
+    SortedCache[Root] = Region(Members[Root]);
+    SortedValid[Root] = 1;
+  }
+  return SortedCache[Root];
+}
+
+size_t IncrementalComponents::componentBorderSize(NodeId Node) const {
+  NodeId Root = findRoot(Node);
+  if (!BorderValid[Root]) {
+    // Count distinct live neighbours of the component. A crashed neighbour
+    // of a member is always in the same component (addCrashed unions
+    // adjacent crashes), so "live" is exactly "outside the component".
+    ++MarkEpoch;
+    uint32_t Count = 0;
+    for (NodeId Member : Members[Root])
+      for (NodeId Neighbor : G.neighbors(Member))
+        if (!isCrashed(Neighbor) && Mark[Neighbor] != MarkEpoch) {
+          Mark[Neighbor] = MarkEpoch;
+          ++Count;
+        }
+    BorderCache[Root] = Count;
+    BorderValid[Root] = 1;
+  }
+  return BorderCache[Root];
+}
+
+std::vector<Region> IncrementalComponents::components() const {
+  std::vector<Region> Out;
+  Out.reserve(NumComponents);
+  ++MarkEpoch;
+  // Scanning ids in order yields components sorted by smallest member,
+  // matching Graph::connectedComponents.
+  for (NodeId Node = 0; Node < Parent.size(); ++Node) {
+    if (!isCrashed(Node))
+      continue;
+    NodeId Root = findRoot(Node);
+    if (Mark[Root] == MarkEpoch)
+      continue;
+    Mark[Root] = MarkEpoch;
+    Out.push_back(componentOf(Node));
+  }
+  return Out;
+}
+
+bool IncrementalComponents::outranks(NodeId Member, const Region &R,
+                                     RankingKind Kind,
+                                     size_t BorderOfR) const {
+  if (R.empty())
+    return true; // Components are non-empty; anything outranks bottom.
+  if (Kind != RankingKind::PureLex) {
+    size_t CSize = componentSize(Member);
+    if (CSize != R.size())
+      return CSize > R.size();
+    if (Kind == RankingKind::SizeBorderLex) {
+      size_t CBorder = componentBorderSize(Member);
+      size_t RBorder =
+          BorderOfR != UnknownBorder ? BorderOfR : G.border(R).size();
+      if (CBorder != RBorder)
+        return CBorder > RBorder;
+    }
+  }
+  return R.lexLess(componentOf(Member));
+}
+
+bool IncrementalComponents::outranksComponent(NodeId A, NodeId B,
+                                              RankingKind Kind) const {
+  NodeId RootA = findRoot(A);
+  NodeId RootB = findRoot(B);
+  if (RootA == RootB)
+    return false;
+  if (Kind != RankingKind::PureLex) {
+    if (Size[RootA] != Size[RootB])
+      return Size[RootA] > Size[RootB];
+    if (Kind == RankingKind::SizeBorderLex) {
+      size_t BorderA = componentBorderSize(RootA);
+      size_t BorderB = componentBorderSize(RootB);
+      if (BorderA != BorderB)
+        return BorderA > BorderB;
+    }
+  }
+  return componentOf(RootB).lexLess(componentOf(RootA));
+}

@@ -1,0 +1,121 @@
+//===- graph/IncrementalComponents.h - Incremental crashed regions *- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental maintenance of connectedComponents(LocallyCrashed) for the
+/// paper's view construction (Algorithm 1, lines 8-11). The batch
+/// Graph::connectedComponents rescans the whole crashed set on every crash
+/// notification; this union-find (path compression + union by size) merges
+/// the new crash with its already-crashed neighbours in amortized
+/// near-O(alpha) and keeps per-component rank keys (size, border size,
+/// sorted member list) cached so the ranking comparison of line 10 rarely
+/// touches more than a few integers.
+///
+/// The structure relies on the crashed set only ever growing (crash-stop
+/// model, §2.2) — exactly the access pattern of onCrash. Batch consumers
+/// (trace::Checker, tests) keep using Graph::connectedComponents; the
+/// components() accessor here returns the identical decomposition and a
+/// property test asserts the equivalence on randomized crash sequences.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_GRAPH_INCREMENTALCOMPONENTS_H
+#define CLIFFEDGE_GRAPH_INCREMENTALCOMPONENTS_H
+
+#include "graph/Graph.h"
+#include "graph/Ranking.h"
+#include "graph/Region.h"
+#include "support/Ids.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace cliffedge {
+namespace graph {
+
+/// Union-find over the crashed subgraph, one set per connected component.
+class IncrementalComponents {
+public:
+  /// Sentinel for "border size not precomputed" in outranks().
+  static constexpr size_t UnknownBorder = static_cast<size_t>(-1);
+
+  explicit IncrementalComponents(const Graph &G);
+
+  /// Marks \p Node crashed and merges it with every already-crashed
+  /// neighbour. Returns false when the node was already crashed.
+  bool addCrashed(NodeId Node);
+
+  bool isCrashed(NodeId Node) const {
+    return Parent[Node] != InvalidNode;
+  }
+  size_t numCrashed() const { return NumCrashed; }
+  size_t numComponents() const { return NumComponents; }
+
+  /// Canonical representative of \p Node's component (\p Node must be
+  /// crashed). Amortized near-O(alpha) via path compression.
+  NodeId findRoot(NodeId Node) const;
+
+  /// |component(Node)| in O(alpha).
+  size_t componentSize(NodeId Node) const { return Size[findRoot(Node)]; }
+
+  /// The component containing crashed \p Node as a sorted Region. The
+  /// result is cached per component and invalidated when the component
+  /// changes; the reference stays valid until the next addCrashed().
+  const Region &componentOf(NodeId Node) const;
+
+  /// |border(component(Node))| — the rank tie-break key of §3.1, lazily
+  /// computed and cached per component.
+  size_t componentBorderSize(NodeId Node) const;
+
+  /// All current components, ordered by smallest member — bit-identical to
+  /// Graph::connectedComponents(crashed set). O(N); batch consumers only.
+  std::vector<Region> components() const;
+
+  /// True when the component containing crashed \p Member is ranked
+  /// strictly above \p R under \p Kind (§3.1). Matches
+  /// rankedLess(G, R, componentOf(Member), Kind) but short-circuits on the
+  /// cached size/border keys. \p BorderOfR may pass a precomputed
+  /// |border(R)| (pass UnknownBorder to let the graph compute it).
+  bool outranks(NodeId Member, const Region &R, RankingKind Kind,
+                size_t BorderOfR = UnknownBorder) const;
+
+  /// True when component(A) is ranked strictly above component(B). False
+  /// when A and B share a component.
+  bool outranksComponent(NodeId A, NodeId B, RankingKind Kind) const;
+
+private:
+  void unite(NodeId A, NodeId B);
+  void invalidateCaches(NodeId Root);
+
+  const Graph &G;
+  /// InvalidNode = not crashed; otherwise the union-find parent pointer
+  /// (mutable: findRoot compresses paths).
+  mutable std::vector<NodeId> Parent;
+  /// Component size, valid at roots.
+  std::vector<uint32_t> Size;
+  /// Unsorted member list, valid at roots; merged small-into-large.
+  std::vector<std::vector<NodeId>> Members;
+
+  // Per-root lazy caches (mutable: filled by const accessors).
+  mutable std::vector<Region> SortedCache;
+  mutable std::vector<char> SortedValid;
+  mutable std::vector<uint32_t> BorderCache;
+  mutable std::vector<char> BorderValid;
+
+  /// Epoch-marked scratch for counting distinct border nodes without
+  /// allocating per query.
+  mutable std::vector<uint32_t> Mark;
+  mutable uint32_t MarkEpoch = 0;
+
+  size_t NumCrashed = 0;
+  size_t NumComponents = 0;
+};
+
+} // namespace graph
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_GRAPH_INCREMENTALCOMPONENTS_H

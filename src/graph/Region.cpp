@@ -10,6 +10,8 @@
 #include "support/StrUtil.h"
 
 #include <algorithm>
+#include <cassert>
+#include <iterator>
 
 using namespace cliffedge;
 using namespace cliffedge::graph;
@@ -39,6 +41,12 @@ void Region::erase(NodeId Node) {
     Ids.erase(It);
 }
 
+void Region::appendAscending(NodeId Node) {
+  assert((Ids.empty() || Ids.back() < Node) &&
+         "appendAscending() requires strictly ascending ids");
+  Ids.push_back(Node);
+}
+
 Region Region::unionWith(const Region &Other) const {
   std::vector<NodeId> Out;
   Out.reserve(Ids.size() + Other.Ids.size());
@@ -65,6 +73,32 @@ Region Region::differenceWith(const Region &Other) const {
   Region Result;
   Result.Ids = std::move(Out);
   return Result;
+}
+
+void Region::unionInPlace(const Region &Other, std::vector<NodeId> &Scratch) {
+  if (Other.Ids.empty())
+    return;
+  Scratch.clear();
+  Scratch.reserve(Ids.size() + Other.Ids.size());
+  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
+                 std::back_inserter(Scratch));
+  Ids.swap(Scratch);
+}
+
+void Region::differenceInPlace(const Region &Other) {
+  if (Ids.empty() || Other.Ids.empty())
+    return;
+  size_t Write = 0;
+  auto It = Other.Ids.begin();
+  for (size_t Read = 0; Read < Ids.size(); ++Read) {
+    NodeId Value = Ids[Read];
+    while (It != Other.Ids.end() && *It < Value)
+      ++It;
+    if (It != Other.Ids.end() && *It == Value)
+      continue;
+    Ids[Write++] = Value;
+  }
+  Ids.resize(Write);
 }
 
 bool Region::intersects(const Region &Other) const {

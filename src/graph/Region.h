@@ -50,6 +50,14 @@ public:
   /// Removes \p Node if present.
   void erase(NodeId Node);
 
+  /// Removes every node, keeping the allocated storage for reuse.
+  void clear() { Ids.clear(); }
+
+  /// Appends \p Node, which must be strictly greater than every current
+  /// member — the allocation-free way to build a region in ascending order
+  /// (e.g. from an already-sorted neighbour list).
+  void appendAscending(NodeId Node);
+
   std::vector<NodeId>::const_iterator begin() const { return Ids.begin(); }
   std::vector<NodeId>::const_iterator end() const { return Ids.end(); }
 
@@ -64,6 +72,14 @@ public:
 
   /// Set difference (this \ Other).
   Region differenceWith(const Region &Other) const;
+
+  /// this = this ∪ Other. \p Scratch is swap space owned by the caller;
+  /// after warm-up neither the region nor the scratch allocates, which is
+  /// what the onCrash-path helpers rely on.
+  void unionInPlace(const Region &Other, std::vector<NodeId> &Scratch);
+
+  /// this = this \ Other, in place. Never allocates.
+  void differenceInPlace(const Region &Other);
 
   /// True if the two regions share at least one node.
   bool intersects(const Region &Other) const;

@@ -26,6 +26,7 @@
 #include "core/CliffEdgeNode.h"
 #include "graph/Graph.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>

@@ -33,11 +33,15 @@ void Network::send(NodeId From, NodeId To, Frame Bytes) {
                                  static_cast<uint32_t>(Bytes->size())});
 
   SimTime When = Sim.now() + Latency(From, To);
-  // FIFO: never deliver before an earlier message on the same channel.
-  SimTime &Last = LastDelivery[channelKey(From, To)];
-  if (When < Last)
-    When = Last;
-  Last = When;
+  if (!MonotoneLatency) {
+    // FIFO: never deliver before an earlier message on the same channel.
+    // A monotone model can never draw an earlier delivery, so the flag
+    // skips the per-channel table altogether.
+    SimTime &Last = LastDelivery[channelKey(From, To)];
+    if (When < Last)
+      When = Last;
+    Last = When;
+  }
 
   Sim.at(When, [this, From, To, Payload = std::move(Bytes)]() {
     if (Crashed[To]) {

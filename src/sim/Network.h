@@ -27,12 +27,12 @@
 
 #include "sim/Latency.h"
 #include "sim/Simulator.h"
+#include "support/FlatHash.h"
 #include "support/Ids.h"
 
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 namespace cliffedge {
@@ -73,6 +73,14 @@ public:
   /// Enables per-send recording (for locality checking).
   void setRecording(bool Enabled) { Recording = Enabled; }
 
+  /// Declares the latency model monotone: per channel, successive sends
+  /// never produce a smaller delivery time than an earlier one (true for
+  /// fixedLatency, since send times are non-decreasing). FIFO clamping then
+  /// needs no per-channel state and send() skips the hash entirely. Only
+  /// enable when the model guarantees it — with a non-monotone model this
+  /// would break the FIFO channel contract.
+  void setMonotoneLatency(bool Enabled) { MonotoneLatency = Enabled; }
+
   /// Sends \p Bytes from \p From to \p To (self-sends allowed — the
   /// protocol's multicast includes the sender). No-op if From has crashed.
   void send(NodeId From, NodeId To, Frame Bytes);
@@ -99,10 +107,12 @@ private:
   DeliverFn Deliver;
   std::vector<bool> Crashed;
   /// Last scheduled delivery time per directed channel, for FIFO clamping.
-  std::unordered_map<uint64_t, SimTime> LastDelivery;
+  /// Flat open-addressing table: one probe per send, no node allocations.
+  U64FlatMap<SimTime> LastDelivery;
   NetworkStats Stats;
   std::vector<SendRecord> SendLog;
   bool Recording = false;
+  bool MonotoneLatency = false;
 
   static uint64_t channelKey(NodeId From, NodeId To) {
     return (static_cast<uint64_t>(From) << 32) | To;

@@ -7,6 +7,7 @@
 
 #include "sim/Simulator.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
@@ -15,16 +16,19 @@ using namespace cliffedge::sim;
 
 void Simulator::at(SimTime When, Handler Fn) {
   assert(When >= Now && "cannot schedule an event in the past");
-  Queue.push(Entry{When, NextSeq++, std::move(Fn)});
+  Heap.push_back(Entry{When, NextSeq++, std::move(Fn)});
+  std::push_heap(Heap.begin(), Heap.end(), Later{});
 }
 
 bool Simulator::step() {
-  if (Queue.empty())
+  if (Heap.empty())
     return false;
-  // priority_queue::top() is const; the handler must be moved out before
-  // pop, so copy the entry (handlers are cheap shared callables).
-  Entry Next = Queue.top();
-  Queue.pop();
+  // pop_heap sifts the minimum entry to the back, from where it is moved
+  // out — the handler (and any captured frame) is never copied. The entry
+  // must leave the heap before it runs: handlers schedule new events.
+  std::pop_heap(Heap.begin(), Heap.end(), Later{});
+  Entry Next = std::move(Heap.back());
+  Heap.pop_back();
   Now = Next.When;
   ++Processed;
   Next.Fn();

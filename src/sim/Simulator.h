@@ -19,7 +19,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <queue>
 #include <vector>
 
 namespace cliffedge {
@@ -48,7 +47,14 @@ public:
   uint64_t run(uint64_t MaxEvents = 0);
 
   /// True when no event is pending.
-  bool idle() const { return Queue.empty(); }
+  bool idle() const { return Heap.empty(); }
+
+  /// Pre-allocates space for \p Events pending events, so steady-state
+  /// scheduling never reallocates the heap.
+  void reserve(size_t Events) { Heap.reserve(Events); }
+
+  /// Number of events currently pending.
+  size_t pending() const { return Heap.size(); }
 
   /// Total number of events processed so far.
   uint64_t eventsProcessed() const { return Processed; }
@@ -67,7 +73,10 @@ private:
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> Queue;
+  /// Intrusive binary heap (std::push_heap/pop_heap over a plain vector):
+  /// unlike std::priority_queue, whose const top() forces step() to *copy*
+  /// the handler out, pop_heap lets the entry be moved from the back slot.
+  std::vector<Entry> Heap;
   SimTime Now = 0;
   uint64_t NextSeq = 0;
   uint64_t Processed = 0;

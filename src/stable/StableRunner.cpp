@@ -15,8 +15,10 @@ using namespace cliffedge;
 using namespace cliffedge::stable;
 
 static StableRunnerOptions withDefaults(StableRunnerOptions Opts) {
-  if (!Opts.Latency)
+  if (!Opts.Latency) {
     Opts.Latency = sim::fixedLatency(10);
+    Opts.MonotoneLatency = true;
+  }
   if (!Opts.NoticeDelay)
     Opts.NoticeDelay = fixedNoticeDelay(5);
   return Opts;
@@ -35,6 +37,8 @@ StableScenarioRunner::StableScenarioRunner(const graph::Graph &InG,
       Withdrawn(G.numNodes(), false), AppTicks(G.numNodes(), 0),
       MarkTimes(G.numNodes(), TimeNever) {
   Net.setRecording(true);
+  Net.setMonotoneLatency(Opts.MonotoneLatency);
+  Sim.reserve(G.numNodes() * 4);
   Net.setDeliver(
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
         if (Withdrawn[To])

@@ -45,6 +45,9 @@ namespace stable {
 struct StableRunnerOptions {
   core::Config NodeConfig;
   sim::LatencyModel Latency;        ///< Default: fixed 10 ticks.
+  /// Latency is per-channel monotone; auto-set with the default latency
+  /// (see trace::RunnerOptions::MonotoneLatency).
+  bool MonotoneLatency = false;
   NoticeDelayModel NoticeDelay;     ///< Default: fixed 5 ticks.
   /// App-level heartbeat period; every node (marked or not) ticks its
   /// application counter until \p AppTicksEnd. 0 disables heartbeats.

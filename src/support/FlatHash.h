@@ -1,0 +1,120 @@
+//===- support/FlatHash.h - Open-addressing u64 hash map --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal open-addressing hash map from uint64_t keys, built for the
+/// simulator's per-channel tables: one flat slot array, power-of-two
+/// capacity, linear probing. Compared to std::unordered_map this removes
+/// the per-entry node allocation and pointer chase on the per-message send
+/// path. Keys equal to EmptyKey (~0) are reserved as the empty marker —
+/// packed (from, to) channel keys never collide with it because node ids
+/// are always below InvalidNode.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_FLATHASH_H
+#define CLIFFEDGE_SUPPORT_FLATHASH_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace cliffedge {
+
+/// Flat hash map uint64_t -> ValueT. ValueT must be default-constructible;
+/// operator[] default-constructs on first access, like std::map.
+template <typename ValueT> class U64FlatMap {
+public:
+  static constexpr uint64_t EmptyKey = ~0ULL;
+
+  U64FlatMap() = default;
+
+  size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  void clear() {
+    Slots.clear();
+    Count = 0;
+  }
+
+  /// Pre-sizes the table for \p Expected entries.
+  void reserve(size_t Expected) { grow(slotsFor(Expected)); }
+
+  /// Returns the value slot for \p Key, inserting a default-constructed
+  /// value on first access. \p Key must not be EmptyKey.
+  ValueT &operator[](uint64_t Key) {
+    assert(Key != EmptyKey && "EmptyKey is reserved as the empty marker");
+    if (Slots.empty() || (Count + 1) * 4 > Slots.size() * 3)
+      grow(Slots.empty() ? 16 : Slots.size() * 2);
+    size_t Index = probe(Key);
+    if (Slots[Index].Key == EmptyKey) {
+      Slots[Index].Key = Key;
+      ++Count;
+    }
+    return Slots[Index].Value;
+  }
+
+  /// Returns the value for \p Key, or nullptr when absent.
+  const ValueT *find(uint64_t Key) const {
+    if (Slots.empty())
+      return nullptr;
+    size_t Index = probe(Key);
+    return Slots[Index].Key == Key ? &Slots[Index].Value : nullptr;
+  }
+
+private:
+  struct Slot {
+    uint64_t Key = EmptyKey;
+    ValueT Value{};
+  };
+
+  static uint64_t mix(uint64_t X) {
+    // SplitMix64 finalizer: cheap and well-distributed for packed ids.
+    X ^= X >> 30;
+    X *= 0xbf58476d1ce4e5b9ULL;
+    X ^= X >> 27;
+    X *= 0x94d049bb133111ebULL;
+    return X ^ (X >> 31);
+  }
+
+  static size_t slotsFor(size_t Expected) {
+    size_t Needed = Expected * 4 / 3 + 1;
+    size_t Pow2 = 16;
+    while (Pow2 < Needed)
+      Pow2 *= 2;
+    return Pow2;
+  }
+
+  size_t probe(uint64_t Key) const {
+    size_t Mask = Slots.size() - 1;
+    size_t Index = static_cast<size_t>(mix(Key)) & Mask;
+    while (Slots[Index].Key != EmptyKey && Slots[Index].Key != Key)
+      Index = (Index + 1) & Mask;
+    return Index;
+  }
+
+  void grow(size_t NewSize) {
+    if (NewSize <= Slots.size())
+      return;
+    std::vector<Slot> Old = std::move(Slots);
+    Slots.assign(NewSize, Slot{});
+    for (Slot &S : Old)
+      if (S.Key != EmptyKey) {
+        size_t Index = probe(S.Key);
+        Slots[Index] = std::move(S);
+      }
+  }
+
+  std::vector<Slot> Slots;
+  size_t Count = 0;
+};
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_FLATHASH_H

@@ -208,6 +208,7 @@ void trace::checkProgressCD7(const CheckInput &In, CheckResult &Out) {
   for (const DecisionRecord &D : In.Decisions)
     Deciders.insert(D.Node);
 
+  std::vector<NodeId> UnionScratch;
   for (size_t Cluster = 0; Cluster < NumClusters; ++Cluster) {
     bool Satisfied = false;
     graph::Region ClusterBorder;
@@ -215,7 +216,7 @@ void trace::checkProgressCD7(const CheckInput &In, CheckResult &Out) {
       if (Clusters[I] != Cluster)
         continue;
       graph::Region Border = In.G->border(Domains[I]);
-      ClusterBorder = ClusterBorder.unionWith(Border);
+      ClusterBorder.unionInPlace(Border, UnionScratch);
       for (NodeId P : Border) {
         bool Correct = In.CrashTimes[P] == TimeNever;
         if (Correct && Deciders.count(P)) {

@@ -103,6 +103,27 @@ std::string ReportTable::toText() const {
   return Out;
 }
 
+std::string ReportTable::toJson() const {
+  constexpr size_t NumCols = sizeof(ColumnNames) / sizeof(ColumnNames[0]);
+  std::string Out = "[\n";
+  for (size_t RowI = 0; RowI < Rows.size(); ++RowI) {
+    const auto &[Key, Report] = Rows[RowI];
+    std::vector<std::string> Cells = rowValues(Report);
+    Out += formatStr("  {\"%s\": \"%s\"", KeyHeader.c_str(), Key.c_str());
+    for (size_t C = 0; C < NumCols; ++C) {
+      // Every column but the trailing spec flag is numeric.
+      if (ColumnNames[C] == std::string("spec"))
+        Out += formatStr(", \"%s\": %s", ColumnNames[C],
+                         Report.SpecOk ? "true" : "false");
+      else
+        Out += formatStr(", \"%s\": %s", ColumnNames[C], Cells[C].c_str());
+    }
+    Out += RowI + 1 < Rows.size() ? "},\n" : "}\n";
+  }
+  Out += "]\n";
+  return Out;
+}
+
 std::string ReportTable::toCsv() const {
   std::string Out = KeyHeader;
   for (const char *Name : ColumnNames) {

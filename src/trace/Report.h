@@ -61,6 +61,10 @@ public:
   /// RFC-4180-ish CSV with a header row.
   std::string toCsv() const;
 
+  /// JSON array of row objects, one key per column — the machine-readable
+  /// form bench tooling (tools/bench_compare.py) consumes.
+  std::string toJson() const;
+
 private:
   std::string KeyHeader;
   std::vector<std::pair<std::string, RunReport>> Rows;

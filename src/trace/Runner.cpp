@@ -15,8 +15,10 @@ using namespace cliffedge;
 using namespace cliffedge::trace;
 
 static RunnerOptions withDefaults(RunnerOptions Opts) {
-  if (!Opts.Latency)
+  if (!Opts.Latency) {
     Opts.Latency = sim::fixedLatency(10);
+    Opts.MonotoneLatency = true;
+  }
   if (!Opts.DetectionDelay)
     Opts.DetectionDelay = detector::fixedDetectionDelay(5);
   if (!Opts.SelectValue)
@@ -35,6 +37,10 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
                }),
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setRecording(Opts.RecordSends);
+  Net.setMonotoneLatency(Opts.MonotoneLatency);
+  // Steady state keeps roughly a border's worth of frames per node in
+  // flight; pre-sizing the event heap avoids reallocation churn early on.
+  Sim.reserve(G.numNodes() * 4);
   Net.setDeliver(
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
         std::optional<core::Message> M = core::decodeMessage(*Bytes);

@@ -55,6 +55,12 @@ struct RunnerOptions {
   /// Message latency; default: every message takes 10 ticks.
   sim::LatencyModel Latency;
 
+  /// Declares Latency per-channel monotone (a later send never yields an
+  /// earlier delivery), which lets the network skip its FIFO-clamp table.
+  /// Set automatically when the default fixed latency is used; set it
+  /// yourself only if your custom model guarantees monotonicity.
+  bool MonotoneLatency = false;
+
   /// Failure-detection delay; default: 5 ticks.
   detector::DetectionDelayModel DetectionDelay;
 

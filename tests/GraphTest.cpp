@@ -60,6 +60,33 @@ TEST(GraphTest, NamesAndLookup) {
   EXPECT_EQ(G.label(Anon), "n1");
 }
 
+TEST(GraphTest, NameIndexSurvivesLaterAddNode) {
+  Graph G;
+  NodeId Paris = G.addNode("paris");
+  // Trigger the lazy index build, then mutate the graph: the index must
+  // notice the invalidation and see the new node.
+  EXPECT_EQ(G.findByName("paris"), Paris);
+  NodeId Tokyo = G.addNode("tokyo");
+  EXPECT_EQ(G.findByName("tokyo"), Tokyo);
+  EXPECT_EQ(G.findByName("paris"), Paris);
+}
+
+TEST(GraphTest, DuplicateNamesResolveToSmallestId) {
+  Graph G;
+  NodeId First = G.addNode("twin");
+  G.addNode("twin");
+  EXPECT_EQ(G.findByName("twin"), First);
+}
+
+TEST(GraphTest, BorderIntoReusesStorage) {
+  Graph G = graph::makeLine(4); // 0-1-2-3
+  Region Out;
+  G.borderInto(1, Out);
+  EXPECT_EQ(Out, (Region{0, 2}));
+  G.borderInto(3, Out);
+  EXPECT_EQ(Out, (Region{2}));
+}
+
 TEST(GraphTest, BorderOfSingleNode) {
   Graph G = graph::makeLine(4); // 0-1-2-3
   EXPECT_EQ(G.border(NodeId(0)), (Region{1}));

@@ -1,0 +1,217 @@
+//===- tests/IncrementalComponentsTest.cpp - union-find equivalence ----------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property tests pinning graph::IncrementalComponents to the batch
+/// Graph::connectedComponents it replaces on the onCrash hot path: over
+/// randomized topologies and crash orders, after every single crash the
+/// incremental decomposition, the cached rank keys, and the outranks()
+/// shortcut must agree exactly with the batch computation.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/IncrementalComponents.h"
+
+#include "graph/Builders.h"
+#include "graph/Ranking.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using graph::Graph;
+using graph::IncrementalComponents;
+using graph::RankingKind;
+using graph::Region;
+
+namespace {
+
+Graph buildTopology(uint32_t Pick, Rng &Rand) {
+  switch (Pick % 4) {
+  case 0:
+    return graph::makeGrid(8, 8);
+  case 1:
+    return graph::makeErdosRenyi(48, 0.08, Rand);
+  case 2:
+    return graph::makeRing(40);
+  default:
+    return graph::makeTree(45, 3);
+  }
+}
+
+std::vector<NodeId> randomCrashOrder(const Graph &G, Rng &Rand) {
+  std::vector<NodeId> Order;
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Order.push_back(N);
+  Rand.shuffle(Order);
+  // Crash between a handful of nodes and most of the graph.
+  Order.resize(1 + Rand.nextBelow(G.numNodes() - 1));
+  return Order;
+}
+
+} // namespace
+
+TEST(IncrementalComponentsTest, SingleCrashIsItsOwnComponent) {
+  Graph G = graph::makeGrid(4, 4);
+  IncrementalComponents Tracker(G);
+  EXPECT_EQ(Tracker.numCrashed(), 0u);
+  EXPECT_TRUE(Tracker.addCrashed(5));
+  EXPECT_FALSE(Tracker.addCrashed(5)) << "second crash of a node is a no-op";
+  EXPECT_EQ(Tracker.numCrashed(), 1u);
+  EXPECT_EQ(Tracker.numComponents(), 1u);
+  EXPECT_EQ(Tracker.componentOf(5), Region{5});
+  EXPECT_EQ(Tracker.componentSize(5), 1u);
+  EXPECT_EQ(Tracker.componentBorderSize(5), G.border(NodeId(5)).size());
+}
+
+TEST(IncrementalComponentsTest, AdjacentCrashesMerge) {
+  Graph G = graph::makeLine(5); // 0-1-2-3-4
+  IncrementalComponents Tracker(G);
+  Tracker.addCrashed(0);
+  Tracker.addCrashed(2);
+  EXPECT_EQ(Tracker.numComponents(), 2u);
+  Tracker.addCrashed(1); // Bridges {0} and {2}.
+  EXPECT_EQ(Tracker.numComponents(), 1u);
+  Region Expected{0, 1, 2};
+  EXPECT_EQ(Tracker.componentOf(0), Expected);
+  EXPECT_EQ(Tracker.componentOf(2), Expected);
+  EXPECT_EQ(Tracker.findRoot(0), Tracker.findRoot(2));
+  // border({0,1,2}) in the line is {3}.
+  EXPECT_EQ(Tracker.componentBorderSize(1), 1u);
+}
+
+// The headline property: ≥1000 randomized crash sequences across mixed
+// topologies, checked for exact equivalence against the batch API *after
+// every individual crash* — components, sizes, border sizes, and ordering.
+TEST(IncrementalComponentsTest, MatchesBatchOnRandomCrashSequences) {
+  int Sequences = 0;
+  for (uint64_t Seed = 0; Sequences < 1000; ++Seed) {
+    Rng Rand(Seed * 7919 + 1);
+    Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
+    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+    ++Sequences;
+
+    IncrementalComponents Tracker(G);
+    Region Crashed;
+    for (NodeId Q : Order) {
+      Crashed.insert(Q);
+      ASSERT_TRUE(Tracker.addCrashed(Q));
+
+      std::vector<Region> Batch = G.connectedComponents(Crashed);
+      std::vector<Region> Incremental = Tracker.components();
+      ASSERT_EQ(Incremental.size(), Batch.size())
+          << "seed " << Seed << " after crashing " << Crashed.str();
+      for (size_t I = 0; I < Batch.size(); ++I) {
+        ASSERT_EQ(Incremental[I], Batch[I])
+            << "seed " << Seed << " component " << I;
+        NodeId Member = *Batch[I].begin();
+        ASSERT_EQ(Tracker.componentSize(Member), Batch[I].size());
+        ASSERT_EQ(Tracker.componentBorderSize(Member),
+                  G.border(Batch[I]).size());
+      }
+      ASSERT_EQ(Tracker.numCrashed(), Crashed.size());
+      ASSERT_EQ(Tracker.numComponents(), Batch.size());
+    }
+  }
+}
+
+// outranks() must agree with rankedLess(G, R, component, Kind) — including
+// the shortcut paths through the cached size and border keys — for every
+// ranking kind, against both empty and previously-seen views.
+TEST(IncrementalComponentsTest, OutranksMatchesRankedLess) {
+  const RankingKind Kinds[] = {RankingKind::SizeBorderLex,
+                               RankingKind::SizeLex, RankingKind::PureLex};
+  for (uint64_t Seed = 0; Seed < 60; ++Seed) {
+    Rng Rand(Seed * 104729 + 3);
+    Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
+    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+
+    for (RankingKind Kind : Kinds) {
+      IncrementalComponents Tracker(G);
+      Region Crashed;
+      std::vector<Region> SeenViews = {Region()};
+      for (NodeId Q : Order) {
+        Crashed.insert(Q);
+        Tracker.addCrashed(Q);
+        const Region &Component = Tracker.componentOf(Q);
+        for (const Region &R : SeenViews)
+          ASSERT_EQ(Tracker.outranks(Q, R, Kind),
+                    graph::rankedLess(G, R, Component, Kind))
+              << "seed " << Seed << " kind " << static_cast<int>(Kind)
+              << " R=" << R.str() << " C=" << Component.str();
+        SeenViews.push_back(Component);
+        if (SeenViews.size() > 6)
+          SeenViews.erase(SeenViews.begin() + 1);
+      }
+    }
+  }
+}
+
+// The MaxView trajectory of CliffEdgeNode::onCrash: the incremental
+// "compare only the changed component" update must produce the exact
+// MaxView sequence of the seed's full maxRankedRegion rescan.
+TEST(IncrementalComponentsTest, MaxViewTrajectoryMatchesBatch) {
+  const RankingKind Kinds[] = {RankingKind::SizeBorderLex,
+                               RankingKind::SizeLex, RankingKind::PureLex};
+  for (uint64_t Seed = 0; Seed < 80; ++Seed) {
+    Rng Rand(Seed * 31337 + 11);
+    Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
+    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+
+    for (RankingKind Kind : Kinds) {
+      IncrementalComponents Tracker(G);
+      Region Crashed, BatchMax, IncrementalMax;
+      size_t IncrementalMaxBorder = IncrementalComponents::UnknownBorder;
+      for (NodeId Q : Order) {
+        Crashed.insert(Q);
+        Tracker.addCrashed(Q);
+
+        std::vector<Region> Components = G.connectedComponents(Crashed);
+        const Region &Best = graph::maxRankedRegion(G, Components, Kind);
+        if (graph::rankedLess(G, BatchMax, Best, Kind))
+          BatchMax = Best;
+
+        if (Tracker.outranks(Q, IncrementalMax, Kind,
+                             IncrementalMaxBorder)) {
+          IncrementalMax = Tracker.componentOf(Q);
+          IncrementalMaxBorder =
+              Kind == RankingKind::SizeBorderLex
+                  ? Tracker.componentBorderSize(Q)
+                  : IncrementalComponents::UnknownBorder;
+        }
+
+        ASSERT_EQ(IncrementalMax, BatchMax)
+            << "seed " << Seed << " kind " << static_cast<int>(Kind)
+            << " after crashing " << Crashed.str();
+      }
+    }
+  }
+}
+
+// outranksComponent() (the NaiveLocal max-tracking primitive) must agree
+// with rankedLess between materialized components.
+TEST(IncrementalComponentsTest, OutranksComponentMatchesRankedLess) {
+  for (uint64_t Seed = 0; Seed < 40; ++Seed) {
+    Rng Rand(Seed * 271 + 5);
+    Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
+    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+
+    IncrementalComponents Tracker(G);
+    for (NodeId Q : Order)
+      Tracker.addCrashed(Q);
+    std::vector<Region> Components = Tracker.components();
+    for (const Region &A : Components)
+      for (const Region &B : Components) {
+        NodeId MemberA = *A.begin(), MemberB = *B.begin();
+        EXPECT_EQ(
+            Tracker.outranksComponent(MemberA, MemberB,
+                                      RankingKind::SizeBorderLex),
+            graph::rankedLess(G, B, A, RankingKind::SizeBorderLex) && A != B)
+            << "seed " << Seed << " A=" << A.str() << " B=" << B.str();
+      }
+  }
+}

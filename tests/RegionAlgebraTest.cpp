@@ -105,6 +105,37 @@ TEST_P(RegionAlgebra, ContainsMatchesMembership) {
   }
 }
 
+TEST_P(RegionAlgebra, InPlaceOpsMatchAllocatingOps) {
+  std::vector<NodeId> Scratch;
+  Region U = A;
+  U.unionInPlace(B, Scratch);
+  EXPECT_EQ(U, A.unionWith(B));
+  Region D = A;
+  D.differenceInPlace(B);
+  EXPECT_EQ(D, A.differenceWith(B));
+  // In-place ops against self-derived inputs and empty sets.
+  Region E = A;
+  E.differenceInPlace(A);
+  EXPECT_TRUE(E.empty());
+  Region F = A;
+  F.unionInPlace(Region(), Scratch);
+  EXPECT_EQ(F, A);
+  F.differenceInPlace(Region());
+  EXPECT_EQ(F, A);
+}
+
+TEST_P(RegionAlgebra, AppendAscendingRebuildsRegion) {
+  Region R;
+  for (NodeId N : A)
+    R.appendAscending(N);
+  EXPECT_EQ(R, A);
+  R.clear();
+  EXPECT_TRUE(R.empty());
+  for (NodeId N : B)
+    R.appendAscending(N);
+  EXPECT_EQ(R, B);
+}
+
 TEST_P(RegionAlgebra, InsertEraseRoundTrip) {
   Region R = A;
   for (NodeId N : B) {

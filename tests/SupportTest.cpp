@@ -5,15 +5,61 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/FlatHash.h"
 #include "support/Random.h"
 #include "support/Stats.h"
 #include "support/StrUtil.h"
 
 #include "gtest/gtest.h"
 
+#include <unordered_map>
 #include <vector>
 
 using namespace cliffedge;
+
+TEST(FlatHashTest, InsertFindAndDefaultConstruct) {
+  U64FlatMap<uint64_t> Map;
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(42), nullptr);
+  Map[42] = 7;
+  EXPECT_EQ(Map.size(), 1u);
+  ASSERT_NE(Map.find(42), nullptr);
+  EXPECT_EQ(*Map.find(42), 7u);
+  // operator[] default-constructs on first access, like std::map.
+  EXPECT_EQ(Map[99], 0u);
+  EXPECT_EQ(Map.size(), 2u);
+}
+
+TEST(FlatHashTest, MatchesUnorderedMapUnderChurn) {
+  U64FlatMap<uint64_t> Flat;
+  std::unordered_map<uint64_t, uint64_t> Reference;
+  Rng Rand(31);
+  for (int I = 0; I < 20000; ++I) {
+    // Keys shaped like packed (from, to) channel ids.
+    uint64_t Key = (Rand.nextBelow(128) << 32) | Rand.nextBelow(128);
+    uint64_t Value = Rand.next();
+    Flat[Key] = Value;
+    Reference[Key] = Value;
+  }
+  EXPECT_EQ(Flat.size(), Reference.size());
+  for (const auto &[Key, Value] : Reference) {
+    ASSERT_NE(Flat.find(Key), nullptr);
+    EXPECT_EQ(*Flat.find(Key), Value);
+  }
+}
+
+TEST(FlatHashTest, ReserveAndClear) {
+  U64FlatMap<int> Map;
+  Map.reserve(1000);
+  for (uint64_t I = 0; I < 1000; ++I)
+    Map[I] = static_cast<int>(I);
+  EXPECT_EQ(Map.size(), 1000u);
+  ASSERT_NE(Map.find(999), nullptr);
+  EXPECT_EQ(*Map.find(999), 999);
+  Map.clear();
+  EXPECT_TRUE(Map.empty());
+  EXPECT_EQ(Map.find(0), nullptr);
+}
 
 TEST(RandomTest, DeterministicPerSeed) {
   Rng A(99), B(99), C(100);

@@ -135,3 +135,123 @@ TEST(WireTest, EncodingIsDeterministic) {
   Message M = sampleMessage();
   EXPECT_EQ(core::encodeMessage(M), core::encodeMessage(M));
 }
+
+// -- Wire v2 / legacy v1 interop ---------------------------------------------
+
+namespace {
+
+/// A worst-case-realistic big frame: a 64-node border around a 64-node
+/// view, every member voting Accept.
+Message bigBorderMessage() {
+  Message M;
+  std::vector<NodeId> View, Border;
+  for (NodeId I = 0; I < 64; ++I) {
+    View.push_back(1000 + 2 * I);
+    Border.push_back(1001 + 2 * I);
+  }
+  M.Round = 7;
+  M.View = Region(std::move(View));
+  M.Border = Region(std::move(Border));
+  M.Opinions = OpinionVec(64);
+  for (size_t I = 0; I < 64; ++I)
+    M.Opinions[I] = OpinionEntry{Opinion::Accept, I};
+  return M;
+}
+
+} // namespace
+
+TEST(WireTest, EncodesCurrentVersion2) {
+  auto Bytes = core::encodeMessage(sampleMessage());
+  ASSERT_GT(Bytes.size(), 5u);
+  EXPECT_EQ(Bytes[4], 2) << "encoder must stamp wire version 2";
+}
+
+TEST(WireTest, LegacyV1FramesStillDecode) {
+  Message M = sampleMessage();
+  auto V1 = core::encodeMessageV1(M);
+  ASSERT_GT(V1.size(), 5u);
+  ASSERT_EQ(V1[4], 1) << "legacy encoder must stamp wire version 1";
+  auto Decoded = core::decodeMessage(V1);
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Round, M.Round);
+  EXPECT_EQ(Decoded->View, M.View);
+  EXPECT_EQ(Decoded->Border, M.Border);
+  EXPECT_EQ(Decoded->Opinions, M.Opinions);
+}
+
+TEST(WireTest, LegacyV1TruncationStillRejected) {
+  auto Bytes = core::encodeMessageV1(sampleMessage());
+  for (size_t Cut = 0; Cut < Bytes.size(); ++Cut) {
+    std::vector<uint8_t> Truncated(Bytes.begin(), Bytes.begin() + Cut);
+    EXPECT_FALSE(core::decodeMessage(Truncated).has_value())
+        << "v1 truncation at " << Cut << " accepted";
+  }
+}
+
+TEST(WireTest, V2SmallerThanV1On64NodeBorder) {
+  Message M = bigBorderMessage();
+  auto V2 = core::encodeMessage(M);
+  auto V1 = core::encodeMessageV1(M);
+  // Delta-varint ids (2 bytes for the first, 1 per delta) vs fixed u32,
+  // varint values vs fixed u64: the ISSUE demands "measurably smaller";
+  // assert a solid margin so the property cannot silently erode.
+  EXPECT_LT(V2.size(), V1.size() / 2)
+      << "v2=" << V2.size() << " bytes, v1=" << V1.size() << " bytes";
+  auto Decoded = core::decodeMessage(V2);
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->View, M.View);
+  EXPECT_EQ(Decoded->Border, M.Border);
+  EXPECT_EQ(Decoded->Opinions, M.Opinions);
+}
+
+TEST(WireTest, RoundTripLargeValuesAndSparseIds) {
+  Message M;
+  M.Round = 0x0fffffff;
+  M.View = Region{0, 1000000, 4294967293u};
+  M.Border = Region{7, 4294967294u};
+  M.Opinions = OpinionVec(2);
+  M.Opinions[0] = OpinionEntry{Opinion::Accept, ~0ULL};
+  M.Opinions[1] = OpinionEntry{Opinion::Reject, 0};
+  auto Decoded = core::decodeMessage(core::encodeMessage(M));
+  ASSERT_TRUE(Decoded.has_value());
+  EXPECT_EQ(Decoded->Round, M.Round);
+  EXPECT_EQ(Decoded->View, M.View);
+  EXPECT_EQ(Decoded->Border, M.Border);
+  EXPECT_EQ(Decoded->Opinions, M.Opinions);
+}
+
+TEST(WireTest, RejectsWrappingDeltaInV2Region) {
+  // Hand-build a v2 frame whose second view delta wraps uint64: id 100
+  // followed by delta 2^64-50 would compute "id" 50 < 100. The decoder
+  // must reject it rather than silently re-sort.
+  std::vector<uint8_t> Bytes = {0x43, 0x4C, 0x45, 0x43, 2, 0};
+  Bytes.push_back(1); // round = 1
+  Bytes.push_back(2); // |V| = 2
+  Bytes.push_back(100);
+  for (uint64_t Delta = ~uint64_t(49); Delta >= 0x80; Delta >>= 7)
+    Bytes.push_back(static_cast<uint8_t>(Delta) | 0x80);
+  Bytes.push_back(1); // final varint byte of the wrapping delta
+  Bytes.push_back(1); // |B| = 1
+  Bytes.push_back(7);
+  Bytes.push_back(2); // opinion kind Reject (no value follows)
+  EXPECT_FALSE(core::decodeMessage(Bytes).has_value());
+}
+
+TEST(WireTest, FuzzV1RandomBuffersNeverCrash) {
+  Rng Rand(4096);
+  // Random buffers stamped with a valid v1 header exercise the legacy
+  // decode path, which the all-random fuzz above almost never reaches.
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    size_t Len = 6 + Rand.nextBelow(64);
+    std::vector<uint8_t> Bytes(Len);
+    for (auto &B : Bytes)
+      B = static_cast<uint8_t>(Rand.next());
+    Bytes[0] = 0x43;
+    Bytes[1] = 0x4C;
+    Bytes[2] = 0x45;
+    Bytes[3] = 0x43;
+    Bytes[4] = 1;
+    Bytes[5] = static_cast<uint8_t>(Rand.nextBelow(2));
+    (void)core::decodeMessage(Bytes); // Must not crash or assert.
+  }
+}

@@ -1,0 +1,176 @@
+#!/usr/bin/env python3
+"""Run the micro benches, write BENCH_micro.json, and flag regressions.
+
+Usage:
+  tools/bench_compare.py [--build-dir build] [--out BENCH_micro.json]
+                         [--baseline BENCH_micro.json] [--threshold 5]
+                         [--update] [--input results.json]
+
+Runs ``<build-dir>/bench_micro --benchmark_format=json`` (or consumes a
+pre-recorded google-benchmark JSON file via --input), distills it into the
+repo's BENCH_micro.json schema (see bench/README.md):
+
+  {
+    "schema": 1,
+    "benchmarks": {"<name>": {"ns": <real_time ns per iteration>}, ...},
+    "derived": {"crash_burst_speedup_<arg>": <batch ns / incremental ns>,
+                "wire_v1_over_v2_encode_<arg>": ..., ...}
+  }
+
+When a baseline file exists, every benchmark present in both runs is
+compared and the script exits non-zero if any slows down by more than
+--threshold percent (derived speedups must not *drop* by more than the
+threshold). --update rewrites the baseline with the fresh numbers.
+"""
+
+import argparse
+import json
+import math
+import os
+import subprocess
+import sys
+
+
+def run_bench(build_dir):
+    exe = os.path.join(build_dir, "bench_micro")
+    if not os.path.exists(exe):
+        sys.exit(f"error: {exe} not found — build the 'bench_micro' target first")
+    out = subprocess.run(
+        [exe, "--benchmark_format=json"],
+        check=True,
+        capture_output=True,
+        text=True,
+    )
+    return json.loads(out.stdout)
+
+
+def to_ns(entry):
+    unit = entry.get("time_unit", "ns")
+    scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}[unit]
+    return entry["real_time"] * scale
+
+
+def distill(gbench):
+    benchmarks = {}
+    for entry in gbench.get("benchmarks", []):
+        if entry.get("run_type", "iteration") != "iteration":
+            continue
+        benchmarks[entry["name"]] = {"ns": round(to_ns(entry), 3)}
+
+    derived = {}
+
+    def ratio(num_name, den_name, out_name):
+        num = benchmarks.get(num_name)
+        den = benchmarks.get(den_name)
+        if num and den and den["ns"] > 0:
+            derived[out_name] = round(num["ns"] / den["ns"], 2)
+
+    for arg in (8, 16, 32):
+        ratio(
+            f"BM_CrashBurst_BatchRescan/{arg}",
+            f"BM_CrashBurst_Incremental/{arg}",
+            f"crash_burst_speedup_{arg}",
+        )
+    for arg in (4, 32, 256):
+        ratio(
+            f"BM_WireEncodeV1/{arg}",
+            f"BM_WireEncode/{arg}",
+            f"wire_v1_over_v2_encode_{arg}",
+        )
+    for arg in (8, 64, 512):
+        ratio(
+            f"BM_RegionUnion/{arg}",
+            f"BM_RegionUnionInPlace/{arg}",
+            f"region_union_alloc_over_inplace_{arg}",
+        )
+    return {"schema": 1, "benchmarks": benchmarks, "derived": derived}
+
+
+def compare(baseline, fresh, threshold):
+    """Returns a list of regression strings."""
+    regressions = []
+    for name, entry in sorted(fresh["benchmarks"].items()):
+        base = baseline.get("benchmarks", {}).get(name)
+        if not base:
+            continue
+        old, new = base["ns"], entry["ns"]
+        if old <= 0:
+            continue
+        delta = (new - old) / old * 100.0
+        marker = ""
+        if delta > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(f"{name}: {old:.1f} ns -> {new:.1f} ns (+{delta:.1f}%)")
+        print(f"  {name}: {old:.1f} ns -> {new:.1f} ns ({delta:+.1f}%){marker}")
+    for name, new in sorted(fresh["derived"].items()):
+        old = baseline.get("derived", {}).get(name)
+        if old is None or old <= 0:
+            continue
+        drop = (old - new) / old * 100.0
+        marker = ""
+        if drop > threshold:
+            marker = "  <-- REGRESSION"
+            regressions.append(f"{name}: {old:.2f}x -> {new:.2f}x (-{drop:.1f}%)")
+        print(f"  {name}: {old:.2f}x -> {new:.2f}x ({-drop:+.1f}%){marker}")
+    return regressions
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build")
+    parser.add_argument("--out", default="BENCH_micro.json")
+    parser.add_argument("--baseline", default="BENCH_micro.json")
+    parser.add_argument("--threshold", type=float, default=10.0,
+                        help="max tolerated slowdown in percent (default 10: "
+                             "sub-microsecond benches jitter several percent "
+                             "run to run on shared machines)")
+    parser.add_argument("--update", action="store_true",
+                        help="rewrite the baseline with this run")
+    parser.add_argument("--input", default=None,
+                        help="pre-recorded google-benchmark JSON instead of running")
+    args = parser.parse_args()
+
+    # Load the baseline before anything is written: --out and --baseline may
+    # be the same file.
+    baseline_path = args.baseline
+    baseline = None
+    if not args.update and os.path.exists(baseline_path) and \
+            os.path.getsize(baseline_path) > 0:
+        with open(baseline_path) as fh:
+            baseline = json.load(fh)
+
+    if args.input:
+        with open(args.input) as fh:
+            gbench = json.load(fh)
+    else:
+        gbench = run_bench(args.build_dir)
+    fresh = distill(gbench)
+
+    with open(args.out, "w") as fh:
+        json.dump(fresh, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {args.out} ({len(fresh['benchmarks'])} benchmarks)")
+
+    for name, value in sorted(fresh["derived"].items()):
+        print(f"  {name}: {value}x")
+
+    if baseline is None:
+        if os.path.abspath(baseline_path) != os.path.abspath(args.out):
+            with open(baseline_path, "w") as fh:
+                json.dump(fresh, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        print(f"baseline {baseline_path} updated")
+        return 0
+    print(f"comparing against {baseline_path} (threshold {args.threshold}%):")
+    regressions = compare(baseline, fresh, args.threshold)
+    if regressions:
+        print("\nREGRESSIONS:")
+        for r in regressions:
+            print(f"  {r}")
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
