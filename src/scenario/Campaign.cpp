@@ -1,0 +1,274 @@
+//===- scenario/Campaign.cpp - Parallel scenario campaigns -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenario/Campaign.h"
+
+#include "support/StrUtil.h"
+#include "trace/Checker.h"
+#include "workload/EpochRunner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+using namespace cliffedge;
+using namespace cliffedge::scenario;
+
+CampaignRunner::CampaignRunner(Spec S) : Base(std::move(S)) {
+  // Cartesian product of the sweep axes, later axes varying fastest, so
+  // variant order (and therefore job order and every summary) is a pure
+  // function of the spec.
+  Variants.push_back(Base);
+  Variants.back().Sweeps.clear();
+  Labels.push_back("");
+  for (const SweepAxis &Axis : Base.Sweeps) {
+    std::vector<Spec> Next;
+    std::vector<std::string> NextLabels;
+    for (size_t V = 0; V < Variants.size(); ++V)
+      for (const std::string &Value : Axis.Values) {
+        Spec Applied = Variants[V];
+        std::string Err;
+        // Values were validated at parse time; an applyOverride failure
+        // here would be a programming error, not user input.
+        applyOverride(Applied, Axis.Key, Value, Err);
+        Next.push_back(std::move(Applied));
+        std::string Label = Labels[V];
+        if (!Label.empty())
+          Label += " ";
+        Label += Axis.Key + "=" + Value;
+        NextLabels.push_back(std::move(Label));
+      }
+    Variants = std::move(Next);
+    Labels = std::move(NextLabels);
+  }
+}
+
+/// Distinct views among a run's decisions.
+static size_t countDistinctViews(const std::vector<trace::DecisionRecord> &Ds) {
+  std::vector<graph::Region> Views;
+  for (const trace::DecisionRecord &D : Ds)
+    if (std::find(Views.begin(), Views.end(), D.View) == Views.end())
+      Views.push_back(D.View);
+  return Views.size();
+}
+
+JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed) {
+  JobOutcome Out;
+  Out.Seed = Seed;
+  Out.Epochs = V.Epochs.size();
+
+  if (V.Epochs.size() == 1) {
+    MaterializedRun Run;
+    if (!materializeSingle(V, Seed, Run, Out.Error))
+      return Out;
+    trace::ScenarioRunner Runner(Run.Topo.G, std::move(Run.Options));
+    Run.Plan.apply(Runner);
+    Out.Events = Runner.run();
+    if (!Runner.simulator().idle()) {
+      Out.Error = formatStr("aborted: event budget of %llu exhausted",
+                            (unsigned long long)V.MaxEvents);
+      return Out;
+    }
+    Out.Ran = true;
+    Out.Decisions = Runner.decisions().size();
+    Out.DistinctViews = countDistinctViews(Runner.decisions());
+    Out.Messages = Runner.netStats().MessagesSent;
+    Out.Bytes = Runner.netStats().BytesSent;
+    Out.FirstDecision = TimeNever;
+    for (const trace::DecisionRecord &D : Runner.decisions()) {
+      Out.FirstDecision = std::min(Out.FirstDecision, D.When);
+      Out.LastDecision = std::max(Out.LastDecision, D.When);
+    }
+    if (Out.FirstDecision == TimeNever)
+      Out.FirstDecision = 0;
+    if (V.Check) {
+      trace::CheckResult Res = trace::checkAll(trace::makeCheckInput(Runner));
+      Out.SpecOk = Res.Ok;
+      Out.Violations = std::move(Res.Violations);
+    } else {
+      Out.SpecOk = true;
+    }
+    return Out;
+  }
+
+  // Multi-epoch: one EpochRunner over a shared topology; the plan RNG is
+  // consumed sequentially across epochs so the whole lifecycle replays
+  // from (spec, seed).
+  Rng TopoRand(Seed);
+  TopologyInfo Topo;
+  if (!buildTopology(V.Topology, TopoRand, Topo, Out.Error))
+    return Out;
+  SplitMix64 Sub(Seed);
+  Rng PlanRand(Sub.next());
+  Rng LatRand(Sub.next());
+  workload::EpochRunner Runner(Topo.G, makeRunnerOptions(V, LatRand));
+  Out.SpecOk = true;
+  for (size_t E = 0; E < V.Epochs.size(); ++E) {
+    workload::CrashPlan Plan;
+    if (!buildCrashPlan(V.Epochs[E], Topo, PlanRand, V.MaxFaulty, Plan,
+                        Out.Error)) {
+      Out.Error = formatStr("epoch %zu: %s", E + 1, Out.Error.c_str());
+      Out.SpecOk = false;
+      return Out;
+    }
+    const workload::EpochResult &Res = Runner.runEpoch(Plan);
+    Out.Decisions += Res.Decisions;
+    Out.DistinctViews += Res.DecidedViews.size();
+    Out.Events += Res.Events;
+    Out.Messages += Res.Messages;
+    Out.Bytes += Res.Bytes;
+    if (!Res.Quiesced) {
+      Out.Error = formatStr("epoch %zu aborted: event budget of %llu "
+                            "exhausted",
+                            E + 1, (unsigned long long)V.MaxEvents);
+      Out.SpecOk = false;
+      return Out;
+    }
+    if (V.Check && !Res.Check.Ok) {
+      Out.SpecOk = false;
+      for (const std::string &Why : Res.Check.Violations)
+        Out.Violations.push_back(formatStr("epoch %zu: %s", E + 1,
+                                           Why.c_str()));
+    }
+  }
+  Out.Ran = true;
+  return Out;
+}
+
+CampaignSummary CampaignRunner::run(const CampaignOptions &Opts) {
+  CampaignSummary Summary;
+  Summary.Scenario = Base.Name;
+  size_t Seeds = Base.seedCount();
+  size_t Jobs = Variants.size() * Seeds;
+  Summary.Jobs = Jobs;
+  Summary.Results.resize(Jobs);
+
+  // Static job list; outcomes land in per-job slots, so the summary is
+  // independent of worker count and scheduling.
+  std::atomic<size_t> NextJob{0};
+  auto Work = [&]() {
+    for (;;) {
+      size_t I = NextJob.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Jobs)
+        return;
+      size_t VariantIdx = I / Seeds;
+      uint64_t Seed = Base.SeedLo + (I % Seeds);
+      JobOutcome Out = runOneJob(Variants[VariantIdx], Seed);
+      Out.Index = I;
+      Out.Variant = Labels[VariantIdx];
+      Summary.Results[I] = std::move(Out);
+    }
+  };
+
+  unsigned Threads = std::max(1u, Opts.Threads);
+  if (Jobs > 0)
+    Threads = static_cast<unsigned>(
+        std::min<size_t>(Threads, Jobs));
+  std::vector<std::thread> Pool;
+  for (unsigned T = 1; T < Threads; ++T)
+    Pool.emplace_back(Work);
+  Work();
+  for (std::thread &T : Pool)
+    T.join();
+
+  for (const JobOutcome &Out : Summary.Results) {
+    if (!Out.Ran)
+      ++Summary.Errors;
+    else if (Out.SpecOk)
+      ++Summary.Passed;
+    else
+      ++Summary.Failed;
+    Summary.TotalDecisions += Out.Decisions;
+    Summary.TotalMessages += Out.Messages;
+    Summary.TotalBytes += Out.Bytes;
+    Summary.TotalEvents += Out.Events;
+  }
+  return Summary;
+}
+
+// --- Rendering --------------------------------------------------------------
+
+static std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20)
+        Out += formatStr("\\u%04x", C);
+      else
+        Out += C;
+    }
+  }
+  return Out;
+}
+
+std::string CampaignSummary::toJson() const {
+  std::string Out = "{\n";
+  Out += formatStr("  \"scenario\": \"%s\",\n", jsonEscape(Scenario).c_str());
+  Out += formatStr("  \"jobs\": %zu,\n  \"passed\": %zu,\n"
+                   "  \"failed\": %zu,\n  \"errors\": %zu,\n",
+                   Jobs, Passed, Failed, Errors);
+  Out += formatStr("  \"totals\": {\"decisions\": %llu, \"messages\": %llu, "
+                   "\"bytes\": %llu, \"events\": %llu},\n",
+                   (unsigned long long)TotalDecisions,
+                   (unsigned long long)TotalMessages,
+                   (unsigned long long)TotalBytes,
+                   (unsigned long long)TotalEvents);
+  Out += "  \"results\": [\n";
+  for (size_t I = 0; I < Results.size(); ++I) {
+    const JobOutcome &R = Results[I];
+    Out += formatStr(
+        "    {\"job\": %zu, \"seed\": %llu, \"variant\": \"%s\", "
+        "\"ran\": %s, \"spec_ok\": %s, \"epochs\": %zu, "
+        "\"decisions\": %zu, \"views\": %zu, \"events\": %llu, "
+        "\"messages\": %llu, \"bytes\": %llu, \"first_decision\": %llu, "
+        "\"last_decision\": %llu, \"error\": \"%s\", \"violations\": [",
+        R.Index, (unsigned long long)R.Seed, jsonEscape(R.Variant).c_str(),
+        R.Ran ? "true" : "false", R.SpecOk ? "true" : "false", R.Epochs,
+        R.Decisions, R.DistinctViews, (unsigned long long)R.Events,
+        (unsigned long long)R.Messages, (unsigned long long)R.Bytes,
+        (unsigned long long)R.FirstDecision,
+        (unsigned long long)R.LastDecision, jsonEscape(R.Error).c_str());
+    Out += joinMapped(R.Violations, ", ", [](const std::string &V) {
+      return "\"" + jsonEscape(V) + "\"";
+    });
+    Out += "]}";
+    Out += I + 1 < Results.size() ? ",\n" : "\n";
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+std::string CampaignSummary::toCsv() const {
+  std::string Out = "job,seed,variant,ran,spec_ok,epochs,decisions,views,"
+                    "events,messages,bytes,first_decision,last_decision,"
+                    "error\n";
+  for (const JobOutcome &R : Results)
+    Out += formatStr("%zu,%llu,\"%s\",%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
+                     "%llu,%llu,\"%s\"\n",
+                     R.Index, (unsigned long long)R.Seed, R.Variant.c_str(),
+                     R.Ran ? 1 : 0, R.SpecOk ? 1 : 0, R.Epochs, R.Decisions,
+                     R.DistinctViews, (unsigned long long)R.Events,
+                     (unsigned long long)R.Messages,
+                     (unsigned long long)R.Bytes,
+                     (unsigned long long)R.FirstDecision,
+                     (unsigned long long)R.LastDecision, R.Error.c_str());
+  return Out;
+}

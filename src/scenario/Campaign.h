@@ -1,0 +1,105 @@
+//===- scenario/Campaign.h - Parallel scenario campaigns --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CampaignRunner expands a Spec's sweep axes and seed range into a job
+/// matrix (cartesian product, jobs = seeds x prod(|axis|)) and executes the
+/// jobs on a std::thread pool. Each job materializes its own topology,
+/// crash plan and RNG streams from nothing but (variant, seed), runs
+/// through trace::ScenarioRunner — or workload::EpochRunner for multi-epoch
+/// specs — verifies CD1..CD7 when checking is on, and lands its outcome in
+/// a fixed slot, so the aggregated summary (and its JSON/CSV renderings)
+/// is bit-identical regardless of thread count or scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SCENARIO_CAMPAIGN_H
+#define CLIFFEDGE_SCENARIO_CAMPAIGN_H
+
+#include "scenario/Spec.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace scenario {
+
+/// Outcome of one job (one variant at one seed).
+struct JobOutcome {
+  size_t Index = 0;
+  uint64_t Seed = 0;
+  std::string Variant; ///< "key=value ..." of sweep overrides; empty if none.
+  bool Ran = false;    ///< False when materialization failed.
+  std::string Error;   ///< Why the job could not run (or aborted).
+  bool SpecOk = false; ///< CD1..CD7 held (vacuously true with check off).
+  std::vector<std::string> Violations;
+  size_t Epochs = 1;
+  size_t Decisions = 0;
+  size_t DistinctViews = 0;
+  uint64_t Events = 0; ///< Summed across epochs on the multi-epoch path.
+  uint64_t Messages = 0;
+  uint64_t Bytes = 0;
+  SimTime FirstDecision = 0;
+  SimTime LastDecision = 0;
+};
+
+/// Fleet-level aggregation over every job of a campaign.
+struct CampaignSummary {
+  std::string Scenario;
+  size_t Jobs = 0;
+  size_t Passed = 0; ///< Ran and SpecOk.
+  size_t Failed = 0; ///< Ran with violations.
+  size_t Errors = 0; ///< Did not run (bad materialization / event budget).
+  uint64_t TotalDecisions = 0;
+  uint64_t TotalMessages = 0;
+  uint64_t TotalBytes = 0;
+  uint64_t TotalEvents = 0;
+  std::vector<JobOutcome> Results; ///< Indexed by job, deterministic order.
+
+  /// Machine-readable summary; deterministic for a given (spec, seeds).
+  std::string toJson() const;
+
+  /// One CSV row per job with a header line.
+  std::string toCsv() const;
+};
+
+/// Execution options for a campaign.
+struct CampaignOptions {
+  unsigned Threads = 1; ///< Worker threads; clamped to the job count.
+};
+
+/// Runs every (variant, seed) job of one Spec.
+class CampaignRunner {
+public:
+  explicit CampaignRunner(Spec S);
+
+  /// The sweep-expanded variants, in deterministic order (later axes vary
+  /// fastest). Specs without sweeps have exactly one variant.
+  const std::vector<Spec> &variants() const { return Variants; }
+
+  /// Human-readable override string per variant, aligned with variants().
+  const std::vector<std::string> &variantLabels() const { return Labels; }
+
+  size_t jobCount() const { return Variants.size() * Base.seedCount(); }
+
+  /// Executes all jobs and aggregates. Safe to call once per runner.
+  CampaignSummary run(const CampaignOptions &Opts = CampaignOptions());
+
+  /// Runs one job in isolation — the unit the pool executes, exposed for
+  /// tests and for the CLI's single-run path.
+  static JobOutcome runOneJob(const Spec &Variant, uint64_t Seed);
+
+private:
+  Spec Base;
+  std::vector<Spec> Variants;
+  std::vector<std::string> Labels;
+};
+
+} // namespace scenario
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SCENARIO_CAMPAIGN_H

@@ -1,0 +1,55 @@
+//===- scenario/Parse.h - .scn scenario parser ------------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the line-oriented `.scn` scenario format (reference in
+/// docs/scenario-format.md). One directive per line, `#` starts a comment,
+/// blank lines are ignored. The parser reports *every* error it finds, each
+/// with an exact 1-based line:column position, and round-trips with
+/// writeSpec: parseSpec(writeSpec(S)).S == S for any valid S.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SCENARIO_PARSE_H
+#define CLIFFEDGE_SCENARIO_PARSE_H
+
+#include "scenario/Spec.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace scenario {
+
+/// One parse error, anchored to the offending token.
+struct Diag {
+  unsigned Line = 0; ///< 1-based line number.
+  unsigned Col = 0;  ///< 1-based column of the offending token.
+  std::string Message;
+
+  /// "line:col: message", prefixed with "file:" when \p File is non-empty.
+  std::string str(const std::string &File = std::string()) const;
+};
+
+/// Outcome of a parse. When Ok is false, S holds the partially parsed spec
+/// (useful for tooling) and Diags explains every problem found.
+struct ParseResult {
+  bool Ok = false;
+  Spec S;
+  std::vector<Diag> Diags;
+
+  /// All diagnostics joined with newlines.
+  std::string diagText(const std::string &File = std::string()) const;
+};
+
+/// Parses `.scn` text. Never throws; collects diagnostics instead.
+ParseResult parseSpec(const std::string &Text);
+
+} // namespace scenario
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SCENARIO_PARSE_H

@@ -1,0 +1,515 @@
+//===- scenario/Spec.cpp - Spec writer and materialization -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "scenario/Spec.h"
+
+#include "graph/Algorithms.h"
+#include "graph/Builders.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+using namespace cliffedge;
+using namespace cliffedge::scenario;
+
+bool Spec::operator==(const Spec &O) const {
+  return Name == O.Name && Topology == O.Topology && SeedLo == O.SeedLo &&
+         SeedHi == O.SeedHi && Latency == O.Latency && Detect == O.Detect &&
+         Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
+         Check == O.Check && MaxEvents == O.MaxEvents &&
+         MaxFaulty == O.MaxFaulty && Sweeps == O.Sweeps && Epochs == O.Epochs;
+}
+
+const char *scenario::rankingName(graph::RankingKind K) {
+  switch (K) {
+  case graph::RankingKind::SizeBorderLex:
+    return "sizeborderlex";
+  case graph::RankingKind::SizeLex:
+    return "sizelex";
+  case graph::RankingKind::PureLex:
+    return "purelex";
+  }
+  return "?";
+}
+
+const char *scenario::crashKindName(CrashDirective::Kind K) {
+  switch (K) {
+  case CrashDirective::Kind::Patch:
+    return "patch";
+  case CrashDirective::Kind::Nodes:
+    return "nodes";
+  case CrashDirective::Kind::Ball:
+    return "ball";
+  case CrashDirective::Kind::Wave:
+    return "wave";
+  case CrashDirective::Kind::Grow:
+    return "grow";
+  case CrashDirective::Kind::Random:
+    return "random";
+  case CrashDirective::Kind::Chain:
+    return "chain";
+  }
+  return "?";
+}
+
+std::string LatencySpec::compact() const {
+  switch (K) {
+  case Kind::Fixed:
+    return formatStr("fixed:%llu", (unsigned long long)A);
+  case Kind::Uniform:
+    return formatStr("uniform:%llu:%llu", (unsigned long long)A,
+                     (unsigned long long)B);
+  case Kind::Spiky:
+    return formatStr("spiky:%llu:%u:%llu", (unsigned long long)A,
+                     SpikePercent, (unsigned long long)B);
+  }
+  return "?";
+}
+
+// --- Writer -----------------------------------------------------------------
+
+static std::string writeLatency(const LatencySpec &L) {
+  switch (L.K) {
+  case LatencySpec::Kind::Fixed:
+    return formatStr("latency fixed %llu", (unsigned long long)L.A);
+  case LatencySpec::Kind::Uniform:
+    return formatStr("latency uniform %llu %llu", (unsigned long long)L.A,
+                     (unsigned long long)L.B);
+  case LatencySpec::Kind::Spiky:
+    return formatStr("latency spiky %llu %u %llu", (unsigned long long)L.A,
+                     L.SpikePercent, (unsigned long long)L.B);
+  }
+  return "";
+}
+
+static std::string writeCrash(const CrashDirective &C) {
+  std::string Line = "crash ";
+  Line += crashKindName(C.K);
+  if (C.K == CrashDirective::Kind::Nodes) {
+    Line += " " + joinMapped(C.Args, ",", [](uint64_t Id) {
+      return formatStr("%llu", (unsigned long long)Id);
+    });
+  } else {
+    for (uint64_t A : C.Args)
+      Line += formatStr(" %llu", (unsigned long long)A);
+  }
+  Line += formatStr(" at %llu", (unsigned long long)C.At);
+  if (C.Gap)
+    Line += formatStr(" gap %llu", (unsigned long long)C.Gap);
+  if (C.Spread)
+    Line += formatStr(" spread %llu", (unsigned long long)C.Spread);
+  return Line;
+}
+
+std::string scenario::writeSpec(const Spec &S) {
+  std::string Out;
+  auto Emit = [&Out](const std::string &Line) { Out += Line + "\n"; };
+  if (!S.Name.empty())
+    Emit("scenario " + S.Name);
+  Emit("topology " + S.Topology);
+  if (S.SeedLo == S.SeedHi)
+    Emit(formatStr("seeds %llu", (unsigned long long)S.SeedLo));
+  else
+    Emit(formatStr("seeds %llu..%llu", (unsigned long long)S.SeedLo,
+                   (unsigned long long)S.SeedHi));
+  Emit(writeLatency(S.Latency));
+  Emit(formatStr("detect %llu", (unsigned long long)S.Detect));
+  Emit(formatStr("ranking %s", rankingName(S.Ranking)));
+  Emit(formatStr("early-termination %s", S.EarlyTermination ? "on" : "off"));
+  Emit(formatStr("check %s", S.Check ? "on" : "off"));
+  if (S.MaxEvents)
+    Emit(formatStr("max-events %llu", (unsigned long long)S.MaxEvents));
+  if (S.MaxFaulty)
+    Emit(formatStr("max-faulty %llu", (unsigned long long)S.MaxFaulty));
+  for (const SweepAxis &Axis : S.Sweeps) {
+    std::string Line = "sweep " + Axis.Key;
+    for (const std::string &V : Axis.Values)
+      Line += " " + V;
+    Emit(Line);
+  }
+  for (size_t E = 0; E < S.Epochs.size(); ++E) {
+    if (E > 0)
+      Emit("epoch");
+    for (const CrashDirective &C : S.Epochs[E])
+      Emit(writeCrash(C));
+  }
+  return Out;
+}
+
+// --- Materialization --------------------------------------------------------
+
+bool scenario::buildTopology(const std::string &SpecTok, Rng &Rand,
+                             TopologyInfo &Out, std::string &Error) {
+  size_t Colon = SpecTok.find(':');
+  std::string Key =
+      Colon == std::string::npos ? SpecTok : SpecTok.substr(0, Colon);
+  std::string Rest =
+      Colon == std::string::npos ? std::string() : SpecTok.substr(Colon + 1);
+  Out = TopologyInfo();
+
+  if (Key == "fig1") {
+    Out.G = graph::makeFig1World().G;
+    return true;
+  }
+  if (Key == "grid" || Key == "torus") {
+    size_t X = Rest.find('x');
+    uint32_t W = 0, H = 0;
+    if (X != std::string::npos) {
+      W = static_cast<uint32_t>(std::atoi(Rest.substr(0, X).c_str()));
+      H = static_cast<uint32_t>(std::atoi(Rest.substr(X + 1).c_str()));
+    }
+    if (W == 0 || H == 0) {
+      Error = "bad " + Key + " size '" + Rest + "' (want WxH)";
+      return false;
+    }
+    Out.G = Key == "grid" ? graph::makeGrid(W, H) : graph::makeTorus(W, H);
+    Out.GridWidth = W;
+    Out.GridHeight = H;
+    return true;
+  }
+
+  std::vector<uint64_t> Args = splitUnsigned(Rest, ':');
+  auto Arg = [&Args](size_t I, uint64_t Default) {
+    return I < Args.size() ? Args[I] : Default;
+  };
+  if (Key == "ring")
+    Out.G = graph::makeRing(static_cast<uint32_t>(Arg(0, 16)));
+  else if (Key == "line")
+    Out.G = graph::makeLine(static_cast<uint32_t>(Arg(0, 16)));
+  else if (Key == "tree")
+    Out.G = graph::makeTree(static_cast<uint32_t>(Arg(0, 31)),
+                            static_cast<uint32_t>(Arg(1, 2)));
+  else if (Key == "hypercube")
+    Out.G = graph::makeHypercube(static_cast<uint32_t>(Arg(0, 5)));
+  else if (Key == "chord")
+    Out.G = graph::makeChordRing(static_cast<uint32_t>(Arg(0, 32)),
+                                 static_cast<uint32_t>(Arg(1, 4)));
+  else if (Key == "ba")
+    Out.G = graph::makeBarabasiAlbert(static_cast<uint32_t>(Arg(0, 48)),
+                                      static_cast<uint32_t>(Arg(1, 2)), Rand);
+  else if (Key == "er") {
+    // er:N:P with P in percent (er:48:8 => p = 0.08).
+    Out.G = graph::makeErdosRenyi(static_cast<uint32_t>(Arg(0, 48)),
+                                  static_cast<double>(Arg(1, 8)) / 100.0,
+                                  Rand);
+  } else if (Key == "geo") {
+    // geo:N:R with R in percent of the unit square.
+    Out.G = graph::makeRandomGeometric(static_cast<uint32_t>(Arg(0, 48)),
+                                       static_cast<double>(Arg(1, 25)) /
+                                           100.0,
+                                       Rand);
+  } else {
+    Error = "unknown topology kind '" + Key + "'";
+    return false;
+  }
+  return true;
+}
+
+/// Expands one directive into timed crashes appended to \p Plan.
+static bool expandDirective(const CrashDirective &C, const TopologyInfo &Topo,
+                            Rng &Rand, workload::CrashPlan &Plan,
+                            std::string &Error) {
+  const graph::Graph &G = Topo.G;
+  auto NeedGrid = [&]() {
+    if (Topo.GridWidth == 0) {
+      Error = formatStr("crash %s requires a grid/torus topology",
+                        crashKindName(C.K));
+      return false;
+    }
+    return true;
+  };
+  auto NeedArgs = [&](size_t N) {
+    if (C.Args.size() != N) {
+      Error = formatStr("crash %s takes %zu arguments, got %zu",
+                        crashKindName(C.K), N, C.Args.size());
+      return false;
+    }
+    return true;
+  };
+
+  workload::CrashPlan Part;
+  switch (C.K) {
+  case CrashDirective::Kind::Patch: {
+    if (!NeedGrid() || !NeedArgs(3))
+      return false;
+    uint32_t X = static_cast<uint32_t>(C.Args[0]);
+    uint32_t Y = static_cast<uint32_t>(C.Args[1]);
+    uint32_t Side = static_cast<uint32_t>(C.Args[2]);
+    if (X + Side > Topo.GridWidth || Y + Side > Topo.GridHeight) {
+      Error = formatStr("patch %u,%u side %u exceeds the %ux%u grid", X, Y,
+                        Side, Topo.GridWidth, Topo.GridHeight);
+      return false;
+    }
+    graph::Region R = graph::gridPatch(Topo.GridWidth, X, Y, Side);
+    Part = C.Gap ? workload::cascade(R, C.At, C.Gap)
+                 : workload::simultaneous(R, C.At);
+    break;
+  }
+  case CrashDirective::Kind::Nodes: {
+    if (C.Args.empty()) {
+      Error = "crash nodes needs at least one node id";
+      return false;
+    }
+    std::vector<NodeId> Ids;
+    for (uint64_t Id : C.Args)
+      Ids.push_back(static_cast<NodeId>(Id));
+    graph::Region R(std::move(Ids));
+    Part = C.Gap ? workload::cascade(R, C.At, C.Gap)
+                 : workload::simultaneous(R, C.At);
+    break;
+  }
+  case CrashDirective::Kind::Ball: {
+    if (!NeedArgs(2))
+      return false;
+    if (C.Args[0] >= G.numNodes()) {
+      Error = formatStr("ball center %llu out of range (%u nodes)",
+                        (unsigned long long)C.Args[0], G.numNodes());
+      return false;
+    }
+    graph::Region R = graph::ballAround(G, static_cast<NodeId>(C.Args[0]),
+                                        static_cast<uint32_t>(C.Args[1]));
+    Part = C.Gap ? workload::cascade(R, C.At, C.Gap)
+                 : workload::simultaneous(R, C.At);
+    break;
+  }
+  case CrashDirective::Kind::Wave: {
+    if (!NeedArgs(2))
+      return false;
+    if (C.Args[0] >= G.numNodes()) {
+      Error = formatStr("wave epicenter %llu out of range (%u nodes)",
+                        (unsigned long long)C.Args[0], G.numNodes());
+      return false;
+    }
+    Part = workload::radialWave(G, static_cast<NodeId>(C.Args[0]),
+                                static_cast<uint32_t>(C.Args[1]), C.At,
+                                C.Gap);
+    break;
+  }
+  case CrashDirective::Kind::Grow: {
+    if (!NeedArgs(2))
+      return false;
+    if (C.Args[0] >= G.numNodes()) {
+      Error = formatStr("grow seed node %llu out of range (%u nodes)",
+                        (unsigned long long)C.Args[0], G.numNodes());
+      return false;
+    }
+    graph::Region R = graph::growRegionFrom(
+        G, static_cast<NodeId>(C.Args[0]), static_cast<size_t>(C.Args[1]));
+    Part = C.Gap ? workload::connectedCascade(G, R, C.At, C.Gap, Rand)
+                 : workload::simultaneous(R, C.At);
+    break;
+  }
+  case CrashDirective::Kind::Random: {
+    if (!NeedArgs(2))
+      return false;
+    Part = workload::randomRegions(G, static_cast<uint32_t>(C.Args[0]),
+                                   static_cast<size_t>(C.Args[1]), C.At,
+                                   C.Spread, Rand);
+    break;
+  }
+  case CrashDirective::Kind::Chain: {
+    if (!NeedGrid() || !NeedArgs(2))
+      return false;
+    Part = workload::adjacentDomainChain(Topo.GridWidth, Topo.GridHeight,
+                                         static_cast<uint32_t>(C.Args[0]),
+                                         static_cast<uint32_t>(C.Args[1]),
+                                         C.At);
+    if (Part.Crashes.empty()) {
+      Error = formatStr("chain of %llu %llux%llu domains does not fit a "
+                        "%ux%u grid",
+                        (unsigned long long)C.Args[1],
+                        (unsigned long long)C.Args[0],
+                        (unsigned long long)C.Args[0], Topo.GridWidth,
+                        Topo.GridHeight);
+      return false;
+    }
+    break;
+  }
+  }
+
+  for (const workload::TimedCrash &TC : Part.Crashes) {
+    if (TC.Node >= G.numNodes()) {
+      Error = formatStr("crash %s targets node %u, out of range (%u nodes)",
+                        crashKindName(C.K), TC.Node, G.numNodes());
+      return false;
+    }
+    Plan.Crashes.push_back(TC);
+  }
+  return true;
+}
+
+bool scenario::buildCrashPlan(const std::vector<CrashDirective> &Directives,
+                              const TopologyInfo &Topo, Rng &Rand,
+                              uint64_t MaxFaulty, workload::CrashPlan &Out,
+                              std::string &Error) {
+  Out = workload::CrashPlan();
+  for (const CrashDirective &C : Directives)
+    if (!expandDirective(C, Topo, Rand, Out, Error))
+      return false;
+  // Nodes named by several directives crash at their earliest time; drop
+  // the later duplicates so ScenarioRunner sees each node once.
+  std::stable_sort(Out.Crashes.begin(), Out.Crashes.end(),
+                   [](const workload::TimedCrash &A,
+                      const workload::TimedCrash &B) {
+                     if (A.When != B.When)
+                       return A.When < B.When;
+                     return A.Node < B.Node;
+                   });
+  graph::Region Seen;
+  std::vector<workload::TimedCrash> Unique;
+  Unique.reserve(Out.Crashes.size());
+  for (const workload::TimedCrash &TC : Out.Crashes) {
+    if (Seen.contains(TC.Node))
+      continue;
+    Seen.insert(TC.Node);
+    Unique.push_back(TC);
+  }
+  Out.Crashes = std::move(Unique);
+  if (MaxFaulty)
+    Out = workload::capFaulty(std::move(Out), static_cast<size_t>(MaxFaulty));
+  if (Out.Crashes.size() >= Topo.G.numNodes()) {
+    Error = formatStr("plan crashes all %u nodes; at least one node must "
+                      "survive",
+                      Topo.G.numNodes());
+    return false;
+  }
+  return true;
+}
+
+trace::RunnerOptions scenario::makeRunnerOptions(const Spec &S, Rng &LatRand) {
+  trace::RunnerOptions Opts;
+  Opts.NodeConfig.Ranking = S.Ranking;
+  Opts.NodeConfig.EarlyTermination = S.EarlyTermination;
+  switch (S.Latency.K) {
+  case LatencySpec::Kind::Fixed:
+    Opts.Latency = sim::fixedLatency(S.Latency.A);
+    Opts.MonotoneLatency = true;
+    break;
+  case LatencySpec::Kind::Uniform:
+    Opts.Latency = sim::uniformLatency(S.Latency.A, S.Latency.B, LatRand);
+    break;
+  case LatencySpec::Kind::Spiky:
+    Opts.Latency = sim::spikyLatency(S.Latency.A,
+                                     S.Latency.SpikePercent / 100.0,
+                                     S.Latency.B, LatRand);
+    break;
+  }
+  Opts.DetectionDelay = detector::fixedDetectionDelay(S.Detect);
+  Opts.MaxEvents = S.MaxEvents;
+  return Opts;
+}
+
+/// Parses the compact latency token ("fixed:10", "uniform:1:60",
+/// "spiky:8:10:20"); shared by sweep overrides and the parser.
+static bool parseLatencyCompact(const std::string &Tok, LatencySpec &Out,
+                                std::string &Error) {
+  size_t Colon = Tok.find(':');
+  std::string Kind = Colon == std::string::npos ? Tok : Tok.substr(0, Colon);
+  std::vector<uint64_t> Args = splitUnsigned(
+      Colon == std::string::npos ? std::string() : Tok.substr(Colon + 1),
+      ':');
+  if (Kind == "fixed" && Args.size() == 1) {
+    Out = LatencySpec();
+    Out.K = LatencySpec::Kind::Fixed;
+    Out.A = Args[0];
+    return true;
+  }
+  if (Kind == "uniform" && Args.size() == 2 && Args[0] <= Args[1]) {
+    Out = LatencySpec();
+    Out.K = LatencySpec::Kind::Uniform;
+    Out.A = Args[0];
+    Out.B = Args[1];
+    return true;
+  }
+  if (Kind == "spiky" && Args.size() == 3 && Args[1] <= 100) {
+    Out = LatencySpec();
+    Out.K = LatencySpec::Kind::Spiky;
+    Out.A = Args[0];
+    Out.SpikePercent = static_cast<uint32_t>(Args[1]);
+    Out.B = Args[2];
+    return true;
+  }
+  Error = "bad latency '" + Tok +
+          "' (want fixed:T | uniform:LO:HI | spiky:BASE:P:FACTOR)";
+  return false;
+}
+
+static bool parseRankingName(const std::string &Tok, graph::RankingKind &Out,
+                             std::string &Error) {
+  if (Tok == "sizeborderlex")
+    Out = graph::RankingKind::SizeBorderLex;
+  else if (Tok == "sizelex")
+    Out = graph::RankingKind::SizeLex;
+  else if (Tok == "purelex")
+    Out = graph::RankingKind::PureLex;
+  else {
+    Error = "unknown ranking '" + Tok +
+            "' (want sizeborderlex | sizelex | purelex)";
+    return false;
+  }
+  return true;
+}
+
+bool scenario::applyOverride(Spec &S, const std::string &Key,
+                             const std::string &Value, std::string &Error) {
+  if (Key == "topology") {
+    // Validated for real at materialization; reject the obviously empty.
+    if (Value.empty()) {
+      Error = "empty topology value";
+      return false;
+    }
+    S.Topology = Value;
+    return true;
+  }
+  if (Key == "detect") {
+    char *End = nullptr;
+    unsigned long long V = std::strtoull(Value.c_str(), &End, 10);
+    if (Value.empty() || *End != '\0') {
+      Error = "bad detect value '" + Value + "' (want an integer)";
+      return false;
+    }
+    S.Detect = V;
+    return true;
+  }
+  if (Key == "ranking")
+    return parseRankingName(Value, S.Ranking, Error);
+  if (Key == "early-termination") {
+    if (Value == "on")
+      S.EarlyTermination = true;
+    else if (Value == "off")
+      S.EarlyTermination = false;
+    else {
+      Error = "bad early-termination value '" + Value + "' (want on | off)";
+      return false;
+    }
+    return true;
+  }
+  if (Key == "latency")
+    return parseLatencyCompact(Value, S.Latency, Error);
+  Error = "unknown sweep key '" + Key +
+          "' (want topology | detect | ranking | early-termination | "
+          "latency)";
+  return false;
+}
+
+bool scenario::materializeSingle(const Spec &V, uint64_t Seed,
+                                 MaterializedRun &Out, std::string &Error) {
+  Rng TopoRand(Seed);
+  if (!buildTopology(V.Topology, TopoRand, Out.Topo, Error))
+    return false;
+  // Independent streams for the plan and the latency model, both derived
+  // from the job seed, so a (spec, seed) pair pins the whole run.
+  SplitMix64 Sub(Seed);
+  Out.PlanRand.reset(new Rng(Sub.next()));
+  Out.LatRand.reset(new Rng(Sub.next()));
+  if (!buildCrashPlan(V.Epochs.front(), Out.Topo, *Out.PlanRand, V.MaxFaulty,
+                      Out.Plan, Error))
+    return false;
+  Out.Options = makeRunnerOptions(V, *Out.LatRand);
+  return true;
+}

@@ -1,0 +1,182 @@
+//===- scenario/Spec.h - Declarative scenario specifications ----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The data model of the `.scn` scenario format: a Spec captures everything
+/// a run needs — topology, timed crash plan (including cascades and
+/// multi-epoch repair), latency and detection models, checker options, seed
+/// ranges and parameter sweeps — as plain data, so a scenario can be
+/// parsed, re-serialized bit-for-bit (writeSpec), swept into a campaign of
+/// jobs, and replayed from nothing but the file and a seed.
+///
+/// The grammar is documented in docs/scenario-format.md; scenario/Parse.h
+/// holds the parser, scenario/Campaign.h the parallel campaign runner.
+/// Materialization helpers here turn the declarative pieces into the
+/// concrete objects the rest of the stack consumes (graph::Graph,
+/// workload::CrashPlan, trace::RunnerOptions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SCENARIO_SPEC_H
+#define CLIFFEDGE_SCENARIO_SPEC_H
+
+#include "graph/Graph.h"
+#include "graph/Ranking.h"
+#include "support/Random.h"
+#include "trace/Runner.h"
+#include "workload/CrashPlans.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace scenario {
+
+/// Declarative message-latency model (`latency` directive).
+struct LatencySpec {
+  enum class Kind : uint8_t { Fixed, Uniform, Spiky };
+  Kind K = Kind::Fixed;
+  SimTime A = 10;            ///< Fixed: ticks; Uniform: lo; Spiky: base.
+  SimTime B = 0;             ///< Uniform: hi; Spiky: spike factor.
+  uint32_t SpikePercent = 0; ///< Spiky: straggler probability in percent.
+
+  bool operator==(const LatencySpec &O) const {
+    return K == O.K && A == O.A && B == O.B && SpikePercent == O.SpikePercent;
+  }
+
+  /// Compact single-token form ("uniform:1:60"), used by sweep values and
+  /// accepted by the `latency` directive alongside the spelled-out form.
+  std::string compact() const;
+};
+
+/// One `crash` directive. Args are kind-specific:
+///   Patch  {X, Y, Side}        grid patch (grid/torus topologies only)
+///   Nodes  {id, id, ...}       explicit node list
+///   Ball   {Center, Radius}    BFS ball around a node
+///   Wave   {Center, Radius}    radial wave, hop d crashes at At + d*Gap
+///   Grow   {Seed, Size}        BFS-grown connected region
+///   Random {Count, Size}       seeded random regions, times in [At,At+Spread]
+///   Chain  {Side, Count}       Fig. 2 chain of adjacent square domains
+struct CrashDirective {
+  enum class Kind : uint8_t { Patch, Nodes, Ball, Wave, Grow, Random, Chain };
+  Kind K = Kind::Patch;
+  std::vector<uint64_t> Args;
+  SimTime At = 100;
+  SimTime Gap = 0;    ///< >0 turns set-like kinds into a cascade.
+  SimTime Spread = 0; ///< Random only.
+
+  bool operator==(const CrashDirective &O) const {
+    return K == O.K && Args == O.Args && At == O.At && Gap == O.Gap &&
+           Spread == O.Spread;
+  }
+};
+
+/// One `sweep` axis: a parameter key and the values the campaign takes the
+/// cartesian product over.
+struct SweepAxis {
+  std::string Key;
+  std::vector<std::string> Values;
+
+  bool operator==(const SweepAxis &O) const {
+    return Key == O.Key && Values == O.Values;
+  }
+};
+
+/// A full parsed scenario. Defaults mirror the cliffedge-sim CLI defaults
+/// so a flags-built Spec and a minimal .scn behave identically.
+struct Spec {
+  std::string Name;
+  std::string Topology = "grid:8x8"; ///< Compact form, see buildTopology.
+  uint64_t SeedLo = 1, SeedHi = 1;   ///< Inclusive campaign seed range.
+  LatencySpec Latency;
+  SimTime Detect = 5;
+  graph::RankingKind Ranking = graph::RankingKind::SizeBorderLex;
+  bool EarlyTermination = false;
+  bool Check = true;     ///< Run CD1..CD7 on every job.
+  uint64_t MaxEvents = 0;
+  uint64_t MaxFaulty = 0; ///< >0 caps each epoch's faulty set (capFaulty).
+  std::vector<SweepAxis> Sweeps;
+  /// Crash directives per epoch; parse guarantees >= 1 epoch, each with
+  /// >= 1 directive. Multi-epoch specs run through workload::EpochRunner.
+  std::vector<std::vector<CrashDirective>> Epochs =
+      std::vector<std::vector<CrashDirective>>(1);
+
+  size_t seedCount() const {
+    return SeedHi >= SeedLo ? static_cast<size_t>(SeedHi - SeedLo) + 1 : 0;
+  }
+
+  bool operator==(const Spec &O) const;
+};
+
+/// Serializes \p S to canonical `.scn` text: every scalar directive is
+/// emitted explicitly (defaults included), one directive per line, in a
+/// fixed order. parse(writeSpec(S)) reproduces S exactly, and writeSpec is
+/// idempotent across parse/write cycles — the property the round-trip
+/// tests and `cliffedge-sim --emit-scn` rely on.
+std::string writeSpec(const Spec &S);
+
+// --- Materialization -------------------------------------------------------
+
+/// A built topology plus the grid width (non-zero only for grid/torus,
+/// where `crash patch`/`crash chain` make sense).
+struct TopologyInfo {
+  graph::Graph G;
+  uint32_t GridWidth = 0;
+  uint32_t GridHeight = 0;
+};
+
+/// Builds a topology from its compact spec token: grid:WxH, torus:WxH,
+/// ring:N, line:N, tree:N:ARITY, hypercube:D, chord:N:FINGERS, ba:N:M,
+/// er:N:P, geo:N:R (P and R in percent), or fig1. Random families draw
+/// from \p Rand. Returns false and sets \p Error on malformed specs.
+bool buildTopology(const std::string &SpecTok, Rng &Rand, TopologyInfo &Out,
+                   std::string &Error);
+
+/// Expands one epoch's crash directives into a timed plan against \p Topo,
+/// validating node bounds and grid requirements. Random/Grow kinds draw
+/// from \p Rand. \p MaxFaulty > 0 applies workload::capFaulty to the
+/// combined plan.
+bool buildCrashPlan(const std::vector<CrashDirective> &Directives,
+                    const TopologyInfo &Topo, Rng &Rand, uint64_t MaxFaulty,
+                    workload::CrashPlan &Out, std::string &Error);
+
+/// RunnerOptions for \p S. The latency closure captures \p LatRand by
+/// reference; the caller keeps it alive for the runner's lifetime.
+trace::RunnerOptions makeRunnerOptions(const Spec &S, Rng &LatRand);
+
+/// Applies one sweep override to \p S. Supported keys: topology, detect,
+/// ranking, early-termination, latency (compact form). Returns false and
+/// sets \p Error for unknown keys or malformed values.
+bool applyOverride(Spec &S, const std::string &Key, const std::string &Value,
+                   std::string &Error);
+
+/// One job's worth of concrete objects, with the RNGs the options capture
+/// kept alive alongside them. All randomness is derived from \p Seed, so a
+/// (spec, seed) pair identifies a run completely.
+struct MaterializedRun {
+  TopologyInfo Topo;
+  workload::CrashPlan Plan; ///< First epoch's plan.
+  trace::RunnerOptions Options;
+  std::unique_ptr<Rng> LatRand;
+  std::unique_ptr<Rng> PlanRand;
+};
+
+/// Materializes variant \p V at \p Seed: topology from Rng(Seed), plan and
+/// latency RNGs derived from Seed via SplitMix64. Only the first epoch's
+/// plan is built here; multi-epoch execution lives in CampaignRunner.
+bool materializeSingle(const Spec &V, uint64_t Seed, MaterializedRun &Out,
+                       std::string &Error);
+
+/// Human-readable names used by the writer and the CLI.
+const char *rankingName(graph::RankingKind K);
+const char *crashKindName(CrashDirective::Kind K);
+
+} // namespace scenario
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SCENARIO_SPEC_H

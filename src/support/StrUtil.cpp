@@ -8,8 +8,26 @@
 #include "StrUtil.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 using namespace cliffedge;
+
+std::vector<uint64_t> cliffedge::splitUnsigned(const std::string &Text,
+                                               char Sep) {
+  std::vector<uint64_t> Out;
+  size_t Pos = 0;
+  while (Pos <= Text.size()) {
+    size_t Next = Text.find(Sep, Pos);
+    std::string Tok = Text.substr(
+        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
+    if (!Tok.empty())
+      Out.push_back(std::strtoull(Tok.c_str(), nullptr, 10));
+    if (Next == std::string::npos)
+      break;
+    Pos = Next + 1;
+  }
+  return Out;
+}
 
 std::string cliffedge::formatStrV(const char *Fmt, va_list Args) {
   va_list Copy;

@@ -15,13 +15,21 @@
 #define CLIFFEDGE_SUPPORT_STRUTIL_H
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 namespace cliffedge {
 
 /// Formats printf-style into a std::string.
 std::string formatStr(const char *Fmt, ...)
     __attribute__((format(printf, 1, 2)));
+
+/// Parses a \p Sep-separated list of unsigned integers ("3,4,5", "1:60").
+/// Empty segments are skipped; each segment is consumed with strtoull.
+/// Shared by the CLI's compact flag grammar and .scn materialization so
+/// the two can never drift.
+std::vector<uint64_t> splitUnsigned(const std::string &Text, char Sep);
 
 /// va_list flavour of formatStr.
 std::string formatStrV(const char *Fmt, va_list Args);

@@ -103,6 +103,21 @@ CrashPlan workload::radialWave(const graph::Graph &G, NodeId Epicenter,
   return Plan;
 }
 
+CrashPlan workload::capFaulty(CrashPlan Plan, size_t MaxFaulty) {
+  graph::Region Seen;
+  size_t Keep = 0;
+  for (const TimedCrash &C : Plan.Crashes) {
+    if (!Seen.contains(C.Node)) {
+      if (Seen.size() == MaxFaulty)
+        break;
+      Seen.insert(C.Node);
+    }
+    ++Keep;
+  }
+  Plan.Crashes.resize(Keep);
+  return Plan;
+}
+
 CrashPlan workload::adjacentDomainChain(uint32_t GridWidth,
                                         uint32_t GridHeight, uint32_t Side,
                                         uint32_t Count, SimTime When) {

@@ -83,6 +83,14 @@ CrashPlan randomRegions(const graph::Graph &G, uint32_t Count,
                         size_t RegionSize, SimTime Start, SimTime Spread,
                         Rng &Rand);
 
+/// Degenerate-plan guard: keeps the plan's first crashes (in schedule
+/// order) until \p MaxFaulty distinct nodes are reached and drops the
+/// rest, so random generators (waves over dense graphs, overlapping
+/// regions) can never crash an unbounded fraction of the topology. A plan
+/// already within the bound is returned unchanged; MaxFaulty == 0 means
+/// "crash nothing".
+CrashPlan capFaulty(CrashPlan Plan, size_t MaxFaulty);
+
 } // namespace workload
 } // namespace cliffedge
 

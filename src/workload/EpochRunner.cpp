@@ -25,7 +25,8 @@ EpochResult EpochRunner::runEpoch(const CrashPlan &Plan) {
   trace::RunnerOptions EpochOpts = Opts;
   trace::ScenarioRunner Runner(G, std::move(EpochOpts));
   Plan.apply(Runner);
-  Runner.run();
+  Result.Events = Runner.run();
+  Result.Quiesced = Runner.simulator().idle();
 
   Result.Decisions = Runner.decisions().size();
   SimTime FirstCrash = TimeNever, LastDecision = 0;

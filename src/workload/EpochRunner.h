@@ -37,9 +37,13 @@ struct EpochResult {
   size_t Decisions = 0;
   /// Regions actually decided (deduplicated).
   std::vector<graph::Region> DecidedViews;
+  uint64_t Events = 0;
   uint64_t Messages = 0;
   uint64_t Bytes = 0;
   SimTime SettleTime = 0; ///< Last decision minus first crash.
+  /// False when the run hit RunnerOptions::MaxEvents before the simulator
+  /// drained — the epoch's numbers describe a truncated run.
+  bool Quiesced = true;
   trace::CheckResult Check;
 };
 

@@ -113,3 +113,37 @@ TEST(WorkloadTest, CrashPlanSortedByTime) {
   for (size_t I = 1; I < Plan.Crashes.size(); ++I)
     EXPECT_LE(Plan.Crashes[I - 1].When, Plan.Crashes[I].When);
 }
+
+TEST(WorkloadTest, CapFaultyKeepsEarliestPrefix) {
+  CrashPlan Plan = workload::cascade(Region{1, 2, 3, 4, 5}, 100, 10);
+  CrashPlan Capped = workload::capFaulty(Plan, 3);
+  ASSERT_EQ(Capped.Crashes.size(), 3u);
+  for (size_t I = 0; I < Capped.Crashes.size(); ++I) {
+    EXPECT_EQ(Capped.Crashes[I].Node, Plan.Crashes[I].Node);
+    EXPECT_EQ(Capped.Crashes[I].When, Plan.Crashes[I].When);
+  }
+  // Within the bound: unchanged. Zero bound: crash nothing.
+  EXPECT_EQ(workload::capFaulty(Plan, 10).Crashes.size(), 5u);
+  EXPECT_TRUE(workload::capFaulty(Plan, 0).Crashes.empty());
+}
+
+/// The degenerate plan that used to force a GTEST_SKIP in the property
+/// sweep (Sweep/SpecSweep.AllPropertiesHold/ER_Wave_s44): a radius-2 wave
+/// over a dense ER neighbourhood crashes more than 3/4 of the graph. The
+/// capFaulty guard in the sweep generator now truncates it instead.
+TEST(WorkloadTest, CapFaultyTamesDegenerateErWave) {
+  Rng Rand(44); // The exact seed of the formerly skipped sweep instance.
+  graph::Graph G = graph::makeErdosRenyi(48, 0.08, Rand);
+  NodeId Center = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+  CrashPlan Wave = workload::radialWave(G, Center, 2, 100, 25);
+  size_t MaxFaulty = G.numNodes() * 3 / 4;
+  ASSERT_GT(Wave.faultySet().size(), MaxFaulty)
+      << "plan no longer degenerate; guard untestable on this seed";
+
+  CrashPlan Capped = workload::capFaulty(Wave, MaxFaulty);
+  EXPECT_LE(Capped.faultySet().size(), MaxFaulty);
+  EXPECT_EQ(Capped.faultySet().size(), MaxFaulty);
+  // Truncation keeps the schedule prefix: earliest rings of the wave.
+  for (size_t I = 0; I < Capped.Crashes.size(); ++I)
+    EXPECT_EQ(Capped.Crashes[I].Node, Wave.Crashes[I].Node);
+}

@@ -128,7 +128,26 @@ def main():
                         help="rewrite the baseline with this run")
     parser.add_argument("--input", default=None,
                         help="pre-recorded google-benchmark JSON instead of running")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME>=VALUE",
+                        help="absolute floor on a derived metric, e.g. "
+                             "crash_burst_speedup_16>=3. Repeatable. Unlike "
+                             "--threshold these floors are immune to "
+                             "machine-to-machine noise, which makes them the "
+                             "right gate for CI (the ctest 'bench_compare' "
+                             "test uses them).")
     args = parser.parse_args()
+
+    requirements = []
+    for spec in args.require:
+        name, sep, value = spec.partition(">=")
+        try:
+            floor = float(value)
+        except ValueError:
+            sep = None
+        if not sep:
+            sys.exit(f"error: --require wants NAME>=VALUE, got '{spec}'")
+        requirements.append((name.strip(), floor))
 
     # Load the baseline before anything is written: --out and --baseline may
     # be the same file.
@@ -153,6 +172,19 @@ def main():
 
     for name, value in sorted(fresh["derived"].items()):
         print(f"  {name}: {value}x")
+
+    floor_failures = []
+    for name, floor in requirements:
+        value = fresh["derived"].get(name)
+        if value is None:
+            floor_failures.append(f"{name}: not measured (floor {floor})")
+        elif value < floor:
+            floor_failures.append(f"{name}: {value}x below floor {floor}x")
+    if floor_failures:
+        print("\nFLOOR FAILURES:")
+        for f in floor_failures:
+            print(f"  {f}")
+        return 1
 
     if baseline is None:
         if os.path.abspath(baseline_path) != os.path.abspath(args.out):

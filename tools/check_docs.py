@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Documentation and scenario consistency gate (the ctest `check_docs` test).
+
+Checks, in order:
+
+1. Every spec in ``scenarios/*.scn`` parses (``cliffedge-sim --scenario F
+   --emit-scn`` exits 0) and round-trips: re-parsing the emitted canonical
+   form emits the identical text again.
+2. Every repo path referenced in backticks from the documentation set
+   (``docs/*.md``, ``README.md``, ``bench/README.md``) exists on disk, so
+   docs can never point at renamed or deleted files.
+3. Every ``namespace::Symbol`` referenced in backticks from ``docs/*.md``
+   actually appears in ``src/`` — the paper-map table in
+   docs/ARCHITECTURE.md stays tied to real types.
+
+Usage:
+  tools/check_docs.py --repo . [--sim build/cliffedge-sim]
+
+Exits non-zero listing every violation; prints nothing but a summary when
+clean.
+"""
+
+import argparse
+import glob
+import os
+import re
+import subprocess
+import sys
+
+# Backticked repo-relative paths: require a known top-level directory or a
+# doc extension so prose like `on|off` is never mistaken for a path.
+PATH_RE = re.compile(
+    r"`((?:src|tests|tools|bench|docs|examples|scenarios)/[A-Za-z0-9_./-]*"
+    r"|[A-Za-z0-9_.-]+\.(?:md|json|scn|py))(?::\d+)?`"
+)
+
+# Backticked C++ symbols qualified with a project namespace.
+SYMBOL_RE = re.compile(
+    r"`(?:[A-Za-z_][A-Za-z0-9_]*::)+([A-Za-z_~][A-Za-z0-9_]*)(?:\(\))?`"
+)
+
+
+def check_scenarios(repo, sim):
+    failures = []
+    specs = sorted(glob.glob(os.path.join(repo, "scenarios", "*.scn")))
+    if not specs:
+        failures.append("scenarios/: no .scn files found")
+    for spec in specs:
+        rel = os.path.relpath(spec, repo)
+        first = subprocess.run([sim, "--scenario", spec, "--emit-scn"],
+                               capture_output=True, text=True)
+        if first.returncode != 0:
+            failures.append(f"{rel}: does not parse:\n{first.stderr.strip()}")
+            continue
+        # Round-trip: the canonical form must be a fixed point.
+        second = subprocess.run([sim, "--scenario", "/dev/stdin",
+                                 "--emit-scn"],
+                                input=first.stdout, capture_output=True,
+                                text=True)
+        if second.returncode != 0:
+            failures.append(
+                f"{rel}: canonical form does not re-parse:\n"
+                f"{second.stderr.strip()}")
+        elif second.stdout != first.stdout:
+            failures.append(f"{rel}: emit-scn is not a fixed point")
+    return failures, len(specs)
+
+
+def doc_files(repo):
+    docs = sorted(glob.glob(os.path.join(repo, "docs", "*.md")))
+    for extra in ("README.md", os.path.join("bench", "README.md")):
+        path = os.path.join(repo, extra)
+        if os.path.exists(path):
+            docs.append(path)
+    return docs
+
+
+def check_paths(repo, docs):
+    failures = []
+    checked = 0
+    for doc in docs:
+        rel_doc = os.path.relpath(doc, repo)
+        with open(doc) as fh:
+            text = fh.read()
+        for match in PATH_RE.finditer(text):
+            target = match.group(1).rstrip("/")
+            checked += 1
+            if not os.path.exists(os.path.join(repo, target)):
+                failures.append(f"{rel_doc}: references missing path "
+                                f"`{match.group(1)}`")
+    return failures, checked
+
+
+def check_symbols(repo, docs):
+    failures = []
+    # One pass over the sources; membership tests are then O(1)-ish.
+    corpus = []
+    for root, _dirs, files in os.walk(os.path.join(repo, "src")):
+        for name in files:
+            if name.endswith((".h", ".cpp")):
+                with open(os.path.join(root, name)) as fh:
+                    corpus.append(fh.read())
+    corpus = "\n".join(corpus)
+
+    checked = 0
+    for doc in docs:
+        if os.path.basename(os.path.dirname(doc)) != "docs":
+            continue  # Symbol discipline is for the architecture docs.
+        rel_doc = os.path.relpath(doc, repo)
+        with open(doc) as fh:
+            text = fh.read()
+        for match in SYMBOL_RE.finditer(text):
+            symbol = match.group(1)
+            checked += 1
+            if symbol not in corpus:
+                failures.append(f"{rel_doc}: references `{match.group(0)}` "
+                                f"but '{symbol}' does not appear in src/")
+    return failures, checked
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repo", default=".")
+    parser.add_argument("--sim", default=None,
+                        help="cliffedge-sim binary; scenario parse checks "
+                             "are skipped (with a warning) when omitted")
+    args = parser.parse_args()
+    repo = os.path.abspath(args.repo)
+
+    failures = []
+    if args.sim and os.path.exists(args.sim):
+        scn_failures, n_specs = check_scenarios(repo, args.sim)
+        failures += scn_failures
+        print(f"check_docs: {n_specs} scenario spec(s) parsed and "
+              f"round-tripped")
+    else:
+        print("check_docs: warning: no cliffedge-sim binary, skipping "
+              "scenario parse checks", file=sys.stderr)
+
+    docs = doc_files(repo)
+    path_failures, n_paths = check_paths(repo, docs)
+    failures += path_failures
+    sym_failures, n_syms = check_symbols(repo, docs)
+    failures += sym_failures
+    print(f"check_docs: {len(docs)} doc(s), {n_paths} path reference(s), "
+          f"{n_syms} symbol reference(s)")
+
+    if failures:
+        print(f"\ncheck_docs: {len(failures)} failure(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("check_docs: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

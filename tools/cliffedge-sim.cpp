@@ -6,23 +6,25 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A command-line front end over the whole stack: pick a topology, inject
-/// failures, run to quiescence, and inspect the outcome as a summary, an
-/// event log, an ASCII timeline, or Graphviz DOT — with CD1..CD7 checking
-/// built in. Intended both as an exploration tool and as the simplest way
-/// to reproduce a failing property-sweep seed from the command line.
+/// A command-line front end over the whole stack. Every invocation — flags
+/// or a declarative `.scn` file — is normalized into one scenario::Spec, so
+/// both entry points share a single execution path and any flag combination
+/// can be dumped back out as a replayable spec with --emit-scn.
 ///
 ///   cliffedge-sim --topology grid:12x12 --crash patch:3,3,2@100 --check
-///   cliffedge-sim --topology fig1 --crash region:10,11@100
-///                 --crash region:0@118 --output timeline
-///   cliffedge-sim --topology chord:64:5 --crash ball:7,1@100
-///                 --early-termination --output all
+///   cliffedge-sim --scenario scenarios/fig1_growing_region.scn
+///   cliffedge-sim --scenario scenarios/er_wave.scn --campaign --jobs 8
+///   cliffedge-sim --topology chord:64:5 --crash ball:7,1@100 --emit-scn
+///
+/// The `.scn` grammar is documented in docs/scenario-format.md.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "graph/Algorithms.h"
-#include "graph/Builders.h"
 #include "graph/Dot.h"
+#include "scenario/Campaign.h"
+#include "scenario/Parse.h"
+#include "scenario/Spec.h"
+#include "support/StrUtil.h"
 #include "trace/Checker.h"
 #include "trace/Runner.h"
 #include "trace/Timeline.h"
@@ -30,6 +32,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -40,6 +44,15 @@ namespace {
 void usage(const char *Prog) {
   std::printf(
       "usage: %s [options]\n"
+      "scenario files:\n"
+      "  --scenario FILE      load a declarative .scn scenario\n"
+      "                       (format reference: docs/scenario-format.md)\n"
+      "  --campaign           run the file's full seed range and sweeps\n"
+      "  --jobs N             campaign worker threads (default 1)\n"
+      "  --emit-scn           print the .scn equivalent of the current\n"
+      "                       flags (or the canonical form of --scenario)\n"
+      "                       and exit\n"
+      "flags (each combination is expressible as a .scn file):\n"
       "  --topology SPEC      grid:WxH | torus:WxH | ring:N | line:N |\n"
       "                       er:N:P | geo:N:R | tree:N:ARITY |\n"
       "                       hypercube:D | chord:N:FINGERS | ba:N:M |\n"
@@ -49,169 +62,78 @@ void usage(const char *Prog) {
       "                       ball:CENTER,R    (BFS ball)\n"
       "                       A GAP turns the crash into a cascade\n"
       "                       (one node per GAP ticks). Repeatable.\n"
-      "  --seed S             RNG seed for random topologies (default 1)\n"
+      "  --seed S             RNG seed (default 1)\n"
       "  --latency L[:HI]     fixed, or uniform in [L,HI] (default 10)\n"
       "  --detect D           detection delay in ticks (default 5)\n"
       "  --ranking KIND       sizeborderlex | sizelex | purelex\n"
       "  --early-termination  enable the footnote-6 optimisation\n"
-      "  --output KIND        summary | events | timeline | dot | all\n"
+      "  --output KIND        summary | events | timeline | dot | all;\n"
+      "                       for --campaign: json (default) | csv\n"
       "  --check              verify CD1..CD7 (exit 1 on violation)\n",
       Prog);
 }
 
-bool splitKeyRest(const std::string &Spec, std::string &Key,
-                  std::string &Rest) {
-  size_t Colon = Spec.find(':');
-  if (Colon == std::string::npos) {
-    Key = Spec;
-    Rest.clear();
-    return true;
-  }
-  Key = Spec.substr(0, Colon);
-  Rest = Spec.substr(Colon + 1);
-  return true;
-}
-
-std::vector<uint64_t> parseNumberList(const std::string &Text, char Sep) {
-  std::vector<uint64_t> Out;
-  size_t Pos = 0;
-  while (Pos <= Text.size()) {
-    size_t Next = Text.find(Sep, Pos);
-    std::string Tok = Text.substr(
-        Pos, Next == std::string::npos ? std::string::npos : Next - Pos);
-    if (!Tok.empty())
-      Out.push_back(std::strtoull(Tok.c_str(), nullptr, 10));
-    if (Next == std::string::npos)
-      break;
-    Pos = Next + 1;
-  }
-  return Out;
-}
-
-struct TopologyChoice {
-  graph::Graph G;
-  uint32_t GridWidth = 0; // Non-zero when patch: specs make sense.
-  bool Ok = false;
-};
-
-TopologyChoice buildTopology(const std::string &Spec, Rng &Rand) {
-  TopologyChoice Out;
-  std::string Key, Rest;
-  splitKeyRest(Spec, Key, Rest);
-  if (Key == "fig1") {
-    Out.G = graph::makeFig1World().G;
-    Out.Ok = true;
-    return Out;
-  }
-  if (Key == "grid" || Key == "torus") {
-    size_t X = Rest.find('x');
-    if (X == std::string::npos)
-      return Out;
-    uint32_t W = std::atoi(Rest.substr(0, X).c_str());
-    uint32_t H = std::atoi(Rest.substr(X + 1).c_str());
-    if (W == 0 || H == 0)
-      return Out;
-    Out.G = Key == "grid" ? graph::makeGrid(W, H) : graph::makeTorus(W, H);
-    Out.GridWidth = W;
-    Out.Ok = true;
-    return Out;
-  }
-  std::vector<uint64_t> Args = parseNumberList(Rest, ':');
-  auto Arg = [&](size_t I, uint64_t Default) {
-    return I < Args.size() ? Args[I] : Default;
-  };
-  if (Key == "ring")
-    Out.G = graph::makeRing(static_cast<uint32_t>(Arg(0, 16)));
-  else if (Key == "line")
-    Out.G = graph::makeLine(static_cast<uint32_t>(Arg(0, 16)));
-  else if (Key == "tree")
-    Out.G = graph::makeTree(static_cast<uint32_t>(Arg(0, 31)),
-                            static_cast<uint32_t>(Arg(1, 2)));
-  else if (Key == "hypercube")
-    Out.G = graph::makeHypercube(static_cast<uint32_t>(Arg(0, 5)));
-  else if (Key == "chord")
-    Out.G = graph::makeChordRing(static_cast<uint32_t>(Arg(0, 32)),
-                                 static_cast<uint32_t>(Arg(1, 4)));
-  else if (Key == "ba")
-    Out.G = graph::makeBarabasiAlbert(static_cast<uint32_t>(Arg(0, 48)),
-                                      static_cast<uint32_t>(Arg(1, 2)),
-                                      Rand);
-  else if (Key == "er") {
-    // er:N:P with P in percent (er:48:8 => p = 0.08).
-    Out.G = graph::makeErdosRenyi(static_cast<uint32_t>(Arg(0, 48)),
-                                  static_cast<double>(Arg(1, 8)) / 100.0,
-                                  Rand);
-  } else if (Key == "geo") {
-    // geo:N:R with R in percent of the unit square.
-    Out.G = graph::makeRandomGeometric(
-        static_cast<uint32_t>(Arg(0, 48)),
-        static_cast<double>(Arg(1, 25)) / 100.0, Rand);
-  } else
-    return Out;
-  Out.Ok = true;
-  return Out;
-}
-
-struct CrashSpec {
-  graph::Region Nodes;
-  SimTime At = 100;
-  SimTime Gap = 0; // 0 = simultaneous; else cascade.
-  bool Ok = false;
-};
-
-CrashSpec parseCrash(const std::string &Spec, const TopologyChoice &Topo) {
-  CrashSpec Out;
-  // SPEC@T[:GAP]
+/// Translates a --crash flag (patch:X,Y,SIDE@T[:GAP] | region:... |
+/// ball:...) into a scenario crash directive.
+bool parseCrashFlag(const std::string &Spec,
+                    scenario::CrashDirective &Out) {
   size_t AtPos = Spec.find('@');
   std::string Body = Spec.substr(0, AtPos);
   if (AtPos != std::string::npos) {
-    std::vector<uint64_t> Times =
-        parseNumberList(Spec.substr(AtPos + 1), ':');
+    std::vector<uint64_t> Times = splitUnsigned(Spec.substr(AtPos + 1), ':');
     if (!Times.empty())
       Out.At = Times[0];
     if (Times.size() > 1)
       Out.Gap = Times[1];
   }
-  std::string Key, Rest;
-  splitKeyRest(Body, Key, Rest);
-  std::vector<uint64_t> Args = parseNumberList(Rest, ',');
-  if (Key == "patch") {
-    if (Topo.GridWidth == 0 || Args.size() != 3)
-      return Out;
-    Out.Nodes = graph::gridPatch(Topo.GridWidth,
-                                 static_cast<uint32_t>(Args[0]),
-                                 static_cast<uint32_t>(Args[1]),
-                                 static_cast<uint32_t>(Args[2]));
-  } else if (Key == "region") {
-    std::vector<NodeId> Ids;
-    for (uint64_t Id : Args)
-      Ids.push_back(static_cast<NodeId>(Id));
-    Out.Nodes = graph::Region(std::move(Ids));
-  } else if (Key == "ball") {
-    if (Args.size() != 2)
-      return Out;
-    Out.Nodes = graph::ballAround(Topo.G, static_cast<NodeId>(Args[0]),
-                                  static_cast<uint32_t>(Args[1]));
-  } else
-    return Out;
-  for (NodeId N : Out.Nodes)
-    if (N >= Topo.G.numNodes())
-      return Out;
-  Out.Ok = !Out.Nodes.empty();
-  return Out;
+  size_t Colon = Body.find(':');
+  std::string Key = Body.substr(0, Colon);
+  std::string Rest =
+      Colon == std::string::npos ? std::string() : Body.substr(Colon + 1);
+  Out.Args = splitUnsigned(Rest, ',');
+  if (Key == "patch")
+    Out.K = scenario::CrashDirective::Kind::Patch;
+  else if (Key == "region")
+    Out.K = scenario::CrashDirective::Kind::Nodes;
+  else if (Key == "ball")
+    Out.K = scenario::CrashDirective::Kind::Ball;
+  else
+    return false;
+  return !Out.Args.empty();
+}
+
+int runCampaign(const scenario::Spec &S, unsigned Jobs,
+                const std::string &Output) {
+  scenario::CampaignRunner Runner(S);
+  std::fprintf(stderr, "campaign: %zu variant(s) x %zu seed(s) = %zu jobs "
+                       "on %u thread(s)\n",
+               Runner.variants().size(), S.seedCount(), Runner.jobCount(),
+               Jobs);
+  scenario::CampaignOptions Opts;
+  Opts.Threads = Jobs;
+  scenario::CampaignSummary Summary = Runner.run(Opts);
+  if (Output == "csv")
+    std::printf("%s", Summary.toCsv().c_str());
+  else
+    std::printf("%s", Summary.toJson().c_str());
+  std::fprintf(stderr, "campaign: %zu passed, %zu failed, %zu errors\n",
+               Summary.Passed, Summary.Failed, Summary.Errors);
+  return Summary.Failed == 0 && Summary.Errors == 0 ? 0 : 1;
 }
 
 } // namespace
 
 int main(int argc, char **argv) {
-  std::string TopoSpec = "grid:8x8";
-  std::vector<std::string> CrashSpecs;
-  uint64_t Seed = 1;
-  SimTime LatencyLo = 10, LatencyHi = 0;
-  SimTime Detect = 5;
+  scenario::Spec Flags; // Spec built up from command-line flags.
+  Flags.Check = false;  // Plain flag runs only check with --check.
+  std::string ScenarioFile;
   std::string Output = "summary";
-  bool Check = false;
-  core::Config NodeCfg;
+  bool Campaign = false, EmitScn = false, CheckFlag = false;
+  unsigned Jobs = 1;
+  // Tuning flags are an *alternative* to a .scn file, not overrides on
+  // one; mixing them would silently lose whichever side we dropped, so
+  // track their use and reject the combination outright.
+  std::vector<std::string> TuningFlags;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -222,37 +144,63 @@ int main(int argc, char **argv) {
       }
       return argv[++I];
     };
-    if (Arg == "--topology")
-      TopoSpec = Next("--topology");
-    else if (Arg == "--crash")
-      CrashSpecs.push_back(Next("--crash"));
-    else if (Arg == "--seed")
-      Seed = std::strtoull(Next("--seed"), nullptr, 10);
-    else if (Arg == "--latency") {
-      std::vector<uint64_t> L = parseNumberList(Next("--latency"), ':');
-      LatencyLo = L.empty() ? 10 : L[0];
-      LatencyHi = L.size() > 1 ? L[1] : 0;
-    } else if (Arg == "--detect")
-      Detect = std::strtoull(Next("--detect"), nullptr, 10);
-    else if (Arg == "--ranking") {
-      std::string Kind = Next("--ranking");
-      if (Kind == "sizeborderlex")
-        NodeCfg.Ranking = graph::RankingKind::SizeBorderLex;
-      else if (Kind == "sizelex")
-        NodeCfg.Ranking = graph::RankingKind::SizeLex;
-      else if (Kind == "purelex")
-        NodeCfg.Ranking = graph::RankingKind::PureLex;
-      else {
-        std::fprintf(stderr, "error: unknown ranking '%s'\n",
-                     Kind.c_str());
+    if (Arg == "--scenario")
+      ScenarioFile = Next("--scenario");
+    else if (Arg == "--campaign")
+      Campaign = true;
+    else if (Arg == "--jobs")
+      Jobs = static_cast<unsigned>(
+          std::strtoul(Next("--jobs"), nullptr, 10));
+    else if (Arg == "--emit-scn")
+      EmitScn = true;
+    else if (Arg == "--topology") {
+      Flags.Topology = Next("--topology");
+      TuningFlags.push_back(Arg);
+    }
+    else if (Arg == "--crash") {
+      TuningFlags.push_back(Arg);
+      const char *Spec = Next("--crash");
+      scenario::CrashDirective C;
+      if (!parseCrashFlag(Spec, C)) {
+        std::fprintf(stderr, "error: bad crash spec '%s'\n", Spec);
         return 2;
       }
-    } else if (Arg == "--early-termination")
-      NodeCfg.EarlyTermination = true;
+      Flags.Epochs.front().push_back(std::move(C));
+    } else if (Arg == "--seed") {
+      Flags.SeedLo = Flags.SeedHi =
+          std::strtoull(Next("--seed"), nullptr, 10);
+      TuningFlags.push_back(Arg);
+    } else if (Arg == "--latency") {
+      TuningFlags.push_back(Arg);
+      std::vector<uint64_t> L = splitUnsigned(Next("--latency"), ':');
+      if (L.size() > 1 && L[1] > L[0]) {
+        Flags.Latency.K = scenario::LatencySpec::Kind::Uniform;
+        Flags.Latency.A = L[0];
+        Flags.Latency.B = L[1];
+      } else {
+        Flags.Latency.K = scenario::LatencySpec::Kind::Fixed;
+        Flags.Latency.A = L.empty() ? 10 : L[0];
+        Flags.Latency.B = 0;
+      }
+    } else if (Arg == "--detect") {
+      Flags.Detect = std::strtoull(Next("--detect"), nullptr, 10);
+      TuningFlags.push_back(Arg);
+    }
+    else if (Arg == "--ranking") {
+      TuningFlags.push_back(Arg);
+      std::string Kind = Next("--ranking"), Err;
+      if (!scenario::applyOverride(Flags, "ranking", Kind, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 2;
+      }
+    } else if (Arg == "--early-termination") {
+      Flags.EarlyTermination = true;
+      TuningFlags.push_back(Arg);
+    }
     else if (Arg == "--output")
       Output = Next("--output");
     else if (Arg == "--check")
-      Check = true;
+      CheckFlag = true;
     else if (Arg == "--help" || Arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -263,49 +211,103 @@ int main(int argc, char **argv) {
     }
   }
 
-  Rng Rand(Seed);
-  TopologyChoice Topo = buildTopology(TopoSpec, Rand);
-  if (!Topo.Ok) {
-    std::fprintf(stderr, "error: bad topology spec '%s'\n",
-                 TopoSpec.c_str());
+  if (!ScenarioFile.empty() && !TuningFlags.empty()) {
+    std::fprintf(stderr,
+                 "error: %s cannot be combined with --scenario — edit the "
+                 "spec (or dump a starting point with --emit-scn)\n",
+                 joinMapped(TuningFlags, "/", [](const std::string &F) {
+                   return F;
+                 }).c_str());
     return 2;
   }
-  if (CrashSpecs.empty())
-    CrashSpecs.push_back("patch:2,2,2@100"); // A sensible default demo.
 
-  trace::RunnerOptions Opts;
-  Opts.NodeConfig = NodeCfg;
-  static Rng LatRand(0x1234abcd);
-  Opts.Latency = LatencyHi > LatencyLo
-                     ? sim::uniformLatency(LatencyLo, LatencyHi, LatRand)
-                     : sim::fixedLatency(LatencyLo);
-  Opts.DetectionDelay = detector::fixedDetectionDelay(Detect);
-  trace::ScenarioRunner Runner(Topo.G, std::move(Opts));
-
-  graph::Region AllFaulty;
-  for (const std::string &Spec : CrashSpecs) {
-    CrashSpec Crash = parseCrash(Spec, Topo);
-    if (!Crash.Ok) {
-      std::fprintf(stderr, "error: bad crash spec '%s'\n", Spec.c_str());
+  // Normalize both entry points into one Spec.
+  scenario::Spec S;
+  if (!ScenarioFile.empty()) {
+    std::ifstream In(ScenarioFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot read '%s'\n",
+                   ScenarioFile.c_str());
       return 2;
     }
-    SimTime T = Crash.At;
-    for (NodeId N : Crash.Nodes) {
-      if (AllFaulty.contains(N))
-        continue;
-      AllFaulty.insert(N);
-      Runner.scheduleCrash(N, T);
-      T += Crash.Gap;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+    if (!Parsed.Ok) {
+      std::fprintf(stderr, "%s\n",
+                   Parsed.diagText(ScenarioFile).c_str());
+      return 2;
+    }
+    S = std::move(Parsed.S);
+    if (CheckFlag)
+      S.Check = true;
+  } else {
+    S = std::move(Flags);
+    S.Check = CheckFlag;
+    if (S.Epochs.front().empty()) {
+      // A sensible default demo.
+      scenario::CrashDirective C;
+      C.K = scenario::CrashDirective::Kind::Patch;
+      C.Args = {2, 2, 2};
+      C.At = 100;
+      S.Epochs.front().push_back(std::move(C));
     }
   }
 
+  if (EmitScn) {
+    std::printf("%s", scenario::writeSpec(S).c_str());
+    return 0;
+  }
+
+  if (Campaign)
+    return runCampaign(S, Jobs, Output);
+
+  // Single run: first variant, first seed, full trace outputs.
+  if (S.Epochs.size() > 1) {
+    std::fprintf(stderr,
+                 "error: multi-epoch scenarios need --campaign\n");
+    return 2;
+  }
+  scenario::Spec Variant = S;
+  Variant.Sweeps.clear();
+  for (const scenario::SweepAxis &Axis : S.Sweeps) {
+    std::string Err;
+    scenario::applyOverride(Variant, Axis.Key, Axis.Values.front(), Err);
+  }
+  if (!S.Sweeps.empty())
+    std::fprintf(stderr, "note: running first sweep variant only; use "
+                         "--campaign for the full matrix\n");
+  if (S.seedCount() > 1)
+    std::fprintf(stderr, "note: running seed %llu only; use --campaign "
+                         "for all %zu seeds\n",
+                 (unsigned long long)S.SeedLo, S.seedCount());
+
+  uint64_t Seed = S.SeedLo;
+  scenario::MaterializedRun Run;
+  std::string Err;
+  if (!scenario::materializeSingle(Variant, Seed, Run, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  trace::ScenarioRunner Runner(Run.Topo.G, std::move(Run.Options));
+  Run.Plan.apply(Runner);
+  graph::Region AllFaulty = Run.Plan.faultySet();
+
   uint64_t Events = Runner.run();
+  if (!Runner.simulator().idle()) {
+    // Same contract as the campaign path: a truncated run is an error,
+    // never a checked verdict.
+    std::fprintf(stderr, "error: aborted: event budget of %llu exhausted\n",
+                 (unsigned long long)S.MaxEvents);
+    return 2;
+  }
   trace::CheckInput In = trace::makeCheckInput(Runner);
 
   bool WantAll = Output == "all";
   if (Output == "summary" || WantAll) {
-    std::printf("topology: %s (%u nodes, %zu edges)\n", TopoSpec.c_str(),
-                Topo.G.numNodes(), Topo.G.numEdges());
+    std::printf("topology: %s (%u nodes, %zu edges)\n",
+                Variant.Topology.c_str(), Run.Topo.G.numNodes(),
+                Run.Topo.G.numEdges());
     std::printf("faulty:   %s\n", AllFaulty.str().c_str());
     std::printf("events=%llu messages=%llu bytes=%llu decisions=%zu\n",
                 (unsigned long long)Events,
@@ -315,7 +317,7 @@ int main(int argc, char **argv) {
     for (const trace::DecisionRecord &D : Runner.decisions())
       std::printf("  t=%-8llu %-10s view=%s value=%llu\n",
                   (unsigned long long)D.When,
-                  Topo.G.label(D.Node).c_str(), D.View.str().c_str(),
+                  Run.Topo.G.label(D.Node).c_str(), D.View.str().c_str(),
                   (unsigned long long)D.Chosen);
   }
   if (Output == "events" || WantAll)
@@ -324,10 +326,10 @@ int main(int argc, char **argv) {
     std::printf("%s", trace::renderTimeline(In).c_str());
   if (Output == "dot" || WantAll)
     std::printf("%s",
-                graph::toDot(Topo.G, {{AllFaulty, "lightcoral", "F"}})
+                graph::toDot(Run.Topo.G, {{AllFaulty, "lightcoral", "F"}})
                     .c_str());
 
-  if (Check) {
+  if (S.Check) {
     trace::CheckResult Res = trace::checkAll(In);
     std::printf("CD1..CD7: %s\n",
                 Res.Ok ? "all hold" : Res.summary().c_str());
