@@ -142,6 +142,11 @@ public:
   /// Nodes this node has detected as crashed so far.
   const graph::Region &locallyCrashed() const { return LocallyCrashed; }
 
+  /// The paper's max_view (line 3): the highest-ranked crashed region this
+  /// node currently tracks. At quiescence every correct node's max_view has
+  /// converged — the cross-backend differential tests compare exactly this.
+  const graph::Region &maxView() const { return MaxView; }
+
   /// True while a proposal is live (the paper's proposed != bottom, until
   /// instance failure).
   bool hasActiveProposal() const { return HasProposal; }

@@ -7,6 +7,8 @@
 
 #include "detector/FailureDetector.h"
 
+#include "support/Sorted.h"
+
 #include <algorithm>
 #include <cassert>
 
@@ -20,15 +22,6 @@ PerfectFailureDetector::PerfectFailureDetector(sim::Simulator &InSim,
     : Sim(InSim), Delay(std::move(InDelay)), OnCrash(std::move(InOnCrash)),
       Crashed(NumNodes, false), Watchers(NumNodes), Subscribed(NumNodes) {}
 
-bool PerfectFailureDetector::insertSorted(std::vector<NodeId> &List,
-                                          NodeId Value) {
-  auto It = std::lower_bound(List.begin(), List.end(), Value);
-  if (It != List.end() && *It == Value)
-    return false;
-  List.insert(It, Value);
-  return true;
-}
-
 void PerfectFailureDetector::monitor(NodeId Watcher,
                                      const graph::Region &Targets) {
   assert(Watcher < Crashed.size() && "watcher out of range");
@@ -36,9 +29,9 @@ void PerfectFailureDetector::monitor(NodeId Watcher,
     assert(Target < Crashed.size() && "target out of range");
     if (Target == Watcher)
       continue; // A node does not monitor itself.
-    if (!insertSorted(Subscribed[Watcher], Target))
+    if (!insertSortedUnique(Subscribed[Watcher], Target))
       continue; // Already subscribed: at-most-once semantics.
-    insertSorted(Watchers[Target], Watcher);
+    insertSortedUnique(Watchers[Target], Watcher);
     // Strong completeness for late subscriptions: the target may already be
     // down; notify after the usual detection delay.
     if (Crashed[Target])

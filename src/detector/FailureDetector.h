@@ -80,7 +80,6 @@ private:
   uint64_t Delivered = 0;
 
   void scheduleNotification(NodeId Watcher, NodeId Target);
-  static bool insertSorted(std::vector<NodeId> &List, NodeId Value);
 };
 
 } // namespace detector

@@ -1,0 +1,32 @@
+//===- engine/DesEngine.cpp - Deterministic DES backend --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/DesEngine.h"
+
+using namespace cliffedge;
+using namespace cliffedge::engine;
+
+EngineResult DesEngine::run(const EngineJob &Job) {
+  trace::ScenarioRunner Runner(*Job.G, Job.Options);
+  Job.Plan->apply(Runner);
+
+  EngineResult R;
+  R.Events = Runner.run();
+  R.Quiesced = Runner.simulator().idle();
+  R.Decisions = Runner.decisions();
+  R.Faulty = Runner.faultySet();
+  R.CrashTimes.assign(Job.G->numNodes(), TimeNever);
+  for (NodeId N = 0; N < Job.G->numNodes(); ++N)
+    if (auto T = Runner.crashTime(N))
+      R.CrashTimes[N] = *T;
+  R.SendLog = Runner.sendLog();
+  R.Stats = Runner.netStats();
+  R.FinalMaxViews.reserve(Job.G->numNodes());
+  for (NodeId N = 0; N < Job.G->numNodes(); ++N)
+    R.FinalMaxViews.push_back(Runner.node(N).maxView());
+  return R;
+}

@@ -1,0 +1,146 @@
+//===- engine/EventQueue.h - Calendar event queue for shards ----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sharded engine's per-shard event queue: a calendar of per-timestamp
+/// buckets. The engine's round discipline (a shard only *pops* during the
+/// process phase and only *pushes* during the merge) means the queue never
+/// interleaves the two, so a whole round can be drained as one batch: the
+/// earliest bucket is sorted once by (tie-break key, sequence) and handed
+/// to the caller as a flat array.
+///
+/// This is the delivery machinery the backend comparison hinges on.
+/// sim::Simulator pays, per event, a std::function heap allocation at
+/// schedule time plus O(log n) pointer-heavy sift work in its binary heap;
+/// the calendar pays an amortized O(1) bucket append and its share of one
+/// contiguous std::sort per round. The event-delivery microbench
+/// (bench_micro: BM_SimulatorChurn vs BM_EventDeliverySharded) drives both
+/// through the same schedule/fire churn — the gap there is what lets
+/// ShardedEngine out-deliver the DES heap even before worker parallelism.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_ENGINE_EVENTQUEUE_H
+#define CLIFFEDGE_ENGINE_EVENTQUEUE_H
+
+#include "core/Message.h"
+#include "support/FlatHash.h"
+#include "support/Ids.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace cliffedge {
+namespace engine {
+
+/// One pending event. Plain data — the payload is a shared pointer to the
+/// multicast's decoded message, so fan-out costs one refcount per leg.
+struct Event {
+  SimTime When = 0;
+  uint64_t Key = 0; ///< Seeded tie-break, assigned at merge.
+  uint64_t Seq = 0; ///< Global merge sequence (unique, breaks key ties).
+  enum Kind : uint8_t {
+    Deliver,     ///< Message arrival: From -> To.
+    CrashNotice, ///< Failure-detector <crash|From> at watcher To.
+    CrashExec,   ///< Node To crashes now (from the plan).
+  } K = CrashExec;
+  NodeId From = InvalidNode;
+  NodeId To = InvalidNode;
+  uint32_t Bytes = 0; ///< Deliver: wire frame size, for statistics.
+  /// Deliver: the frame's decoded message, shared by every recipient of
+  /// the multicast (decoded exactly once, at merge).
+  std::shared_ptr<const core::Message> Msg;
+};
+
+/// Calendar queue of Events: per-timestamp buckets, drained a full
+/// timestamp at a time in (Key, Seq) order. Push and drain must not
+/// interleave within one timestamp (the engine's phase structure
+/// guarantees this; a push at the timestamp currently being processed
+/// simply opens the next sub-round). Drained bucket slots are recycled —
+/// simulation timestamps rarely recur, so without recycling a long run
+/// would pin one dead buffer per timestamp ever seen; with it, live
+/// memory is bounded by the maximum number of *concurrently pending*
+/// timestamps.
+class EventQueue {
+public:
+  bool empty() const { return Count == 0; }
+  size_t size() const { return Count; }
+
+  /// Earliest pending timestamp (TimeNever when empty).
+  SimTime nextTime() const {
+    return Times.empty() ? TimeNever : Times.front();
+  }
+
+  void push(Event E) {
+    uint32_t &Slot = TimeIndex[E.When];
+    // A stale slot (drained and since reassigned to another timestamp)
+    // fails the owner check and gets a fresh slot, preferring a recycled
+    // one. The flat map has no erase, so ownership is the source of truth.
+    if (Slot == 0 || Buckets[Slot - 1].Owner != E.When) {
+      if (FreeSlots.empty()) {
+        Buckets.emplace_back();
+        Slot = static_cast<uint32_t>(Buckets.size());
+      } else {
+        Slot = FreeSlots.back() + 1;
+        FreeSlots.pop_back();
+      }
+      Buckets[Slot - 1].Owner = E.When;
+    }
+    Bucket &B = Buckets[Slot - 1];
+    if (B.Events.empty())
+      Times.insert(std::lower_bound(Times.begin(), Times.end(), E.When),
+                   E.When);
+    B.Events.push_back(std::move(E));
+    ++Count;
+  }
+
+  /// Moves every event at the earliest pending timestamp into \p Round,
+  /// sorted by (Key, Seq). \p Round is cleared first; its previous
+  /// capacity circulates back through the recycled bucket slot.
+  void takeRound(std::vector<Event> &Round) {
+    Round.clear();
+    SimTime T = Times.front();
+    Times.erase(Times.begin());
+    uint32_t Slot = *TimeIndex.find(T);
+    Bucket &B = Buckets[Slot - 1];
+    std::sort(B.Events.begin(), B.Events.end(),
+              [](const Event &A, const Event &B) {
+                if (A.Key != B.Key)
+                  return A.Key < B.Key;
+                return A.Seq < B.Seq;
+              });
+    Round.swap(B.Events);
+    Count -= Round.size();
+    // Disown before freeing: a recurrence of T must go through the free
+    // list (owner check fails), never append to a slot that is already
+    // listed as free and could be handed to another timestamp.
+    B.Owner = TimeNever;
+    FreeSlots.push_back(Slot - 1);
+  }
+
+private:
+  struct Bucket {
+    SimTime Owner = TimeNever;
+    std::vector<Event> Events;
+  };
+
+  /// timestamp -> bucket slot + 1 (0 = never assigned). Entries are never
+  /// erased; Bucket::Owner disambiguates recycled slots.
+  U64FlatMap<uint32_t> TimeIndex;
+  std::vector<Bucket> Buckets;
+  std::vector<uint32_t> FreeSlots; ///< Drained slots awaiting reuse.
+  /// Timestamps with a non-empty bucket, ascending.
+  std::vector<SimTime> Times;
+  size_t Count = 0;
+};
+
+} // namespace engine
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_ENGINE_EVENTQUEUE_H

@@ -1,0 +1,459 @@
+//===- engine/ShardedEngine.cpp - Sharded replayable backend ---------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Execution model
+// ---------------
+// Nodes are statically partitioned over S logical shards (node % S). Each
+// shard owns a binary heap of plain-struct events ordered by
+// (time, tie-break key, sequence). A run alternates two phases:
+//
+//  * process: every shard pops and handles all of its events carrying the
+//    globally earliest timestamp T. Handlers only touch the owning shard's
+//    nodes and append outputs (messages, detector subscriptions, executed
+//    crashes, decisions) to shard-local outboxes, so shards are data-race
+//    free by construction and the phase parallelises over Workers threads.
+//
+//  * merge (serial): outboxes are drained in deterministic order — shard 0
+//    first, production order within a shard. Crashes notify subscribed
+//    watchers, subscriptions to already-crashed targets notify immediately
+//    (the exactly-once discipline of detector::PerfectFailureDetector),
+//    and each multicast frame is decoded once and fanned out to its
+//    recipients with per-channel FIFO clamping, exactly like sim::Network.
+//    Every new event draws its tie-break key from a SplitMix64 stream
+//    seeded by the job, in this deterministic (time, shard, seq) merge
+//    order — which makes the run replayable for a (spec, seed) pair while
+//    exploring an interleaving genuinely different from the DES backend's.
+//
+// Events at one timestamp on *different* nodes commute: a handler reads and
+// writes only its own node's protocol state, and everything it emits is
+// ordered by the merge, not by handler completion. Events on the *same*
+// node land in the same shard and run in deterministic heap order.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/ShardedEngine.h"
+
+#include "core/CliffEdgeNode.h"
+#include "engine/EventQueue.h"
+#include "core/Wire.h"
+#include "support/FlatHash.h"
+#include "support/Sorted.h"
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+using namespace cliffedge;
+using namespace cliffedge::engine;
+
+namespace {
+
+/// Default logical shard count. Fixed (not hardware-derived) so replays are
+/// machine-independent; Workers only decides how many threads drive them.
+constexpr uint32_t DefaultShards = 32;
+
+/// One outgoing unicast leg of a multicast, staged in a shard outbox.
+struct OutMsg {
+  NodeId From;
+  NodeId To;
+  /// Shared across the legs of one multicast; decoded once at merge.
+  std::shared_ptr<const std::vector<uint8_t>> Frame;
+};
+
+/// One <monitorCrash|Targets> staged in a shard outbox.
+struct OutSub {
+  NodeId Watcher;
+  graph::Region Targets;
+};
+
+/// Per-shard state: owned nodes' events plus this round's outputs.
+struct Shard {
+  EventQueue Heap;
+  std::vector<Event> Round; ///< Drain scratch, capacity recycled per round.
+  // Outboxes, drained by the merge after every round.
+  std::vector<OutMsg> OutMsgs;
+  std::vector<OutSub> OutSubs;
+  std::vector<NodeId> OutCrashed;
+  std::vector<trace::DecisionRecord> OutDecisions;
+  SimTime Now = 0; ///< Timestamp of the round being processed.
+  uint64_t Processed = 0;
+  uint64_t Delivered = 0;
+  uint64_t Dropped = 0;
+};
+
+/// Whole-run state shared by the coordinator and the shard workers.
+struct RunState {
+  const graph::Graph &G;
+  const trace::RunnerOptions &Opts;
+  uint32_t NumShards;
+  std::vector<Shard> Shards;
+  std::vector<std::unique_ptr<core::CliffEdgeNode>> Nodes;
+  /// Set by the owning shard when a node's CrashExec fires; only the owner
+  /// shard ever reads or writes a node's flag during a round.
+  std::vector<uint8_t> Dead;
+  std::vector<SimTime> CrashTimes;
+
+  // Merge-side (serial) state.
+  SplitMix64 MergeRng;
+  uint64_t TieSeed; ///< Channel tie-key seed, fixed for the whole run.
+  uint64_t NextSeq = 0;
+  U64FlatMap<SimTime> LastDelivery; ///< FIFO clamp, as in sim::Network.
+  std::vector<std::vector<NodeId>> Watchers;
+  std::vector<std::vector<NodeId>> Subscribed;
+  EngineResult Result;
+
+  RunState(const graph::Graph &InG, const trace::RunnerOptions &InOpts,
+           uint32_t InShards, uint64_t Seed)
+      : G(InG), Opts(InOpts), NumShards(InShards), Shards(InShards),
+        Dead(InG.numNodes(), 0), CrashTimes(InG.numNodes(), TimeNever),
+        MergeRng(Seed ^ 0x5368617264456e67ULL /* "ShardEng" */),
+        TieSeed(SplitMix64(Seed ^ 0x4669666f54696523ULL).next()),
+        Watchers(InG.numNodes()), Subscribed(InG.numNodes()) {}
+
+  uint32_t shardOf(NodeId N) const { return N % NumShards; }
+
+  /// Schedules \p E at merge time: assigns a fresh seeded tie-break key
+  /// and the global sequence in deterministic merge order. Used for
+  /// events with no ordering contract between each other (crash
+  /// executions, detector notices); deliveries use channelTieKey so FIFO
+  /// survives same-tick collisions.
+  void schedule(Event E) {
+    E.Key = MergeRng.next();
+    E.Seq = NextSeq++;
+    Shards[shardOf(E.To)].Heap.push(std::move(E));
+  }
+
+  /// Seeded tie-break for a delivery on \p Channel landing at \p When:
+  /// a pure function of (seed, channel, time), so same-channel same-tick
+  /// deliveries tie and fall through to send order (SplitMix64 finalizer
+  /// over the mixed words).
+  uint64_t channelTieKey(uint64_t Channel, SimTime When) const {
+    SplitMix64 Mix(TieSeed ^ Channel ^ (When * 0x9e3779b97f4a7c15ULL));
+    return Mix.next();
+  }
+
+  void processShard(uint32_t S, SimTime T);
+  void merge(SimTime T, bool IsStart);
+  void scheduleNotice(NodeId Watcher, NodeId Target, SimTime T);
+};
+
+void RunState::processShard(uint32_t S, SimTime T) {
+  Shard &Sh = Shards[S];
+  if (Sh.Heap.nextTime() != T)
+    return; // Nothing for this shard this round.
+  Sh.Now = T;
+  Sh.Heap.takeRound(Sh.Round);
+  for (Event &E : Sh.Round) {
+    ++Sh.Processed;
+    switch (E.K) {
+    case Event::Deliver:
+      if (Dead[E.To]) {
+        ++Sh.Dropped;
+        break;
+      }
+      ++Sh.Delivered;
+      Nodes[E.To]->onDeliver(E.From, *E.Msg);
+      break;
+    case Event::CrashNotice:
+      // Crashed watchers receive nothing (strong accuracy is structural:
+      // notices are only ever scheduled for real crashes).
+      if (!Dead[E.To])
+        Nodes[E.To]->onCrash(E.From);
+      break;
+    case Event::CrashExec:
+      Dead[E.To] = 1;
+      Sh.OutCrashed.push_back(E.To);
+      break;
+    }
+  }
+}
+
+void RunState::scheduleNotice(NodeId Watcher, NodeId Target, SimTime T) {
+  Event E;
+  E.K = Event::CrashNotice;
+  E.From = Target;
+  E.To = Watcher;
+  E.When = T + Opts.DetectionDelay(Watcher, Target);
+  schedule(std::move(E));
+}
+
+void RunState::merge(SimTime T, bool IsStart) {
+  // A target counts as "already crashed" for late subscriptions once its
+  // CrashExec has run — i.e. its crash time is <= the round that just
+  // finished. The start merge precedes every round, so nothing has crashed
+  // yet even when the plan crashes nodes at t=0.
+  auto CrashExecuted = [&](NodeId N) {
+    return !IsStart && CrashTimes[N] <= T;
+  };
+
+  // Crashes first, then subscriptions: a watcher subscribing in the same
+  // round a target died is notified by the subscription path (the crash
+  // path runs before the watcher is registered), never by both.
+  for (uint32_t S = 0; S < NumShards; ++S)
+    for (NodeId Crashed : Shards[S].OutCrashed)
+      for (NodeId W : Watchers[Crashed])
+        scheduleNotice(W, Crashed, T);
+
+  for (uint32_t S = 0; S < NumShards; ++S)
+    for (OutSub &Sub : Shards[S].OutSubs)
+      for (NodeId Target : Sub.Targets) {
+        if (Target == Sub.Watcher)
+          continue; // A node does not monitor itself.
+        if (!insertSortedUnique(Subscribed[Sub.Watcher], Target))
+          continue; // Already subscribed: at-most-once semantics.
+        insertSortedUnique(Watchers[Target], Sub.Watcher);
+        if (CrashExecuted(Target))
+          scheduleNotice(Sub.Watcher, Target, T);
+      }
+
+  // Batched message delivery: one decode per frame, shared by every
+  // recipient; FIFO clamping per directed channel as in sim::Network.
+  const std::vector<uint8_t> *LastFrame = nullptr;
+  std::shared_ptr<const core::Message> Decoded;
+  for (uint32_t S = 0; S < NumShards; ++S)
+    for (OutMsg &M : Shards[S].OutMsgs) {
+      uint32_t Bytes = static_cast<uint32_t>(M.Frame->size());
+      ++Result.Stats.MessagesSent;
+      ++Result.Stats.SentByNode[M.From];
+      Result.Stats.BytesSent += Bytes;
+      if (Opts.RecordSends)
+        Result.SendLog.push_back(sim::SendRecord{T, M.From, M.To, Bytes});
+      if (M.Frame.get() != LastFrame) {
+        // Legs of one multicast are contiguous in the outbox.
+        std::optional<core::Message> Parsed = core::decodeMessage(*M.Frame);
+        assert(Parsed && "engine produced a corrupt frame");
+        if (!Parsed)
+          continue;
+        Decoded = std::make_shared<const core::Message>(std::move(*Parsed));
+        LastFrame = M.Frame.get();
+      }
+      Event E;
+      E.K = Event::Deliver;
+      E.From = M.From;
+      E.To = M.To;
+      E.Bytes = Bytes;
+      E.Msg = Decoded;
+      E.When = T + Opts.Latency(M.From, M.To);
+      uint64_t Channel = (static_cast<uint64_t>(M.From) << 32) | M.To;
+      if (!Opts.MonotoneLatency) {
+        SimTime &Last = LastDelivery[Channel];
+        if (E.When < Last)
+          E.When = Last;
+        Last = E.When;
+      }
+      // FIFO within a tick: deliveries on one channel that land at the
+      // same timestamp must be handled in send order. Keying the tie-break
+      // by (seed, channel, time) instead of a fresh draw gives equal keys
+      // exactly there, so the order falls through to Seq — which is merge
+      // (= send) order — while messages on *different* channels still
+      // shuffle under the seeded permutation.
+      E.Key = channelTieKey(Channel, E.When);
+      E.Seq = NextSeq++;
+      Shards[shardOf(E.To)].Heap.push(std::move(E));
+    }
+
+  for (uint32_t S = 0; S < NumShards; ++S) {
+    Shard &Sh = Shards[S];
+    for (trace::DecisionRecord &D : Sh.OutDecisions)
+      Result.Decisions.push_back(std::move(D));
+    Sh.OutCrashed.clear();
+    Sh.OutSubs.clear();
+    Sh.OutMsgs.clear();
+    Sh.OutDecisions.clear();
+  }
+}
+
+} // namespace
+
+EngineResult ShardedEngine::run(const EngineJob &Job) {
+  const graph::Graph &G = *Job.G;
+  // One shared defaulting path with the DES stack: unset options can
+  // never make the backends materialize different runs.
+  trace::RunnerOptions Options = trace::withRunnerDefaults(Job.Options);
+
+  uint32_t NumShards = Opts.Shards ? Opts.Shards : DefaultShards;
+  NumShards = std::min<uint32_t>(std::max<uint32_t>(NumShards, 1),
+                                 std::max<uint32_t>(G.numNodes(), 1));
+
+  RunState Run(G, Options, NumShards, Job.Seed);
+  Run.Result.Stats.SentByNode.assign(G.numNodes(), 0);
+
+  // Protocol nodes with shard-local-outbox callbacks.
+  Run.Nodes.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
+    core::Callbacks CBs;
+    RunState *R = &Run;
+    CBs.Multicast = [R, N](const graph::Region &To, const core::Message &M) {
+      // Encode once; recipients share the frame (and, after the merge's
+      // single decode, the parsed message).
+      auto Frame = std::make_shared<const std::vector<uint8_t>>(
+          core::encodeMessage(M));
+      Shard &Sh = R->Shards[R->shardOf(N)];
+      for (NodeId Recipient : To)
+        Sh.OutMsgs.push_back(OutMsg{N, Recipient, Frame});
+    };
+    CBs.MonitorCrash = [R, N](const graph::Region &Targets) {
+      R->Shards[R->shardOf(N)].OutSubs.push_back(OutSub{N, Targets});
+    };
+    CBs.Decide = [R, N](const graph::Region &View, core::Value Chosen) {
+      Shard &Sh = R->Shards[R->shardOf(N)];
+      Sh.OutDecisions.push_back(
+          trace::DecisionRecord{N, View, Chosen, Sh.Now});
+    };
+    CBs.SelectValue = [R, N](const graph::Region &View) {
+      return R->Opts.SelectValue(N, View);
+    };
+    Run.Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
+        N, G, Options.NodeConfig, std::move(CBs)));
+  }
+
+  // Crash plan: known up front, scheduled before anything runs.
+  for (const workload::TimedCrash &C : Job.Plan->Crashes) {
+    assert(C.Node < G.numNodes() && "crash plan node out of range");
+    assert(Run.CrashTimes[C.Node] == TimeNever &&
+           "node scheduled to crash twice");
+    Run.CrashTimes[C.Node] = C.When;
+    Run.Result.Faulty.insert(C.Node);
+    Event E;
+    E.K = Event::CrashExec;
+    E.From = C.Node;
+    E.To = C.Node;
+    E.When = C.When;
+    Run.schedule(std::move(E));
+  }
+
+  // <init> for every node, then a start merge (before any round: even a
+  // t=0 crash has not executed yet).
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Run.Nodes[N]->start();
+  Run.merge(0, /*IsStart=*/true);
+
+  // Round loop: process the earliest timestamp everywhere, then merge.
+  uint64_t TotalProcessed = 0;
+  bool Quiesced = true;
+  unsigned Workers = std::max(1u, Opts.Workers);
+  Workers = std::min<unsigned>(Workers, NumShards);
+
+  auto NextTime = [&]() -> SimTime {
+    SimTime T = TimeNever;
+    for (Shard &Sh : Run.Shards)
+      T = std::min(T, Sh.Heap.nextTime());
+    return T;
+  };
+
+  if (Workers <= 1) {
+    for (;;) {
+      SimTime T = NextTime();
+      if (T == TimeNever)
+        break;
+      if (Options.MaxEvents && TotalProcessed >= Options.MaxEvents) {
+        Quiesced = false;
+        break;
+      }
+      for (uint32_t S = 0; S < NumShards; ++S)
+        Run.processShard(S, T);
+      TotalProcessed = 0;
+      for (Shard &Sh : Run.Shards)
+        TotalProcessed += Sh.Processed;
+      Run.merge(T, /*IsStart=*/false);
+    }
+  } else {
+    // Persistent worker team, generation-stepped: the coordinator publishes
+    // a round's timestamp, workers process their shards (shard s belongs to
+    // worker s % Workers), the coordinator merges after the barrier.
+    std::mutex Mu;
+    std::condition_variable StartCv, DoneCv;
+    uint64_t Generation = 0;
+    unsigned Remaining = 0;
+    SimTime RoundTime = 0;
+    bool Stop = false;
+
+    std::vector<std::thread> Team;
+    Team.reserve(Workers);
+    for (unsigned W = 0; W < Workers; ++W)
+      Team.emplace_back([&, W] {
+        uint64_t Seen = 0;
+        for (;;) {
+          SimTime T;
+          {
+            std::unique_lock<std::mutex> Lock(Mu);
+            StartCv.wait(Lock,
+                         [&] { return Stop || Generation != Seen; });
+            if (Stop)
+              return;
+            Seen = Generation;
+            T = RoundTime;
+          }
+          for (uint32_t S = W; S < NumShards; S += Workers)
+            Run.processShard(S, T);
+          {
+            std::lock_guard<std::mutex> Lock(Mu);
+            if (--Remaining == 0)
+              DoneCv.notify_one();
+          }
+        }
+      });
+
+    for (;;) {
+      SimTime T = NextTime();
+      if (T == TimeNever)
+        break;
+      if (Options.MaxEvents && TotalProcessed >= Options.MaxEvents) {
+        Quiesced = false;
+        break;
+      }
+      {
+        std::lock_guard<std::mutex> Lock(Mu);
+        RoundTime = T;
+        Remaining = Workers;
+        ++Generation;
+      }
+      StartCv.notify_all();
+      {
+        std::unique_lock<std::mutex> Lock(Mu);
+        DoneCv.wait(Lock, [&] { return Remaining == 0; });
+      }
+      TotalProcessed = 0;
+      for (Shard &Sh : Run.Shards)
+        TotalProcessed += Sh.Processed;
+      Run.merge(T, /*IsStart=*/false);
+    }
+
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Stop = true;
+    }
+    StartCv.notify_all();
+    for (std::thread &Th : Team)
+      Th.join();
+  }
+
+  // Budget semantics must match DES even though rounds are coarser than
+  // single events: DES stops at event N exactly, so any run that *needed*
+  // more than the budget is a truncated error there — a sharded run that
+  // overshot within its final rounds must report the same verdict rather
+  // than a green result the reference backend can never produce. (A run
+  // that drains at exactly the budget is legitimate on both.)
+  if (Options.MaxEvents && TotalProcessed > Options.MaxEvents)
+    Quiesced = false;
+
+  EngineResult R = std::move(Run.Result);
+  R.CrashTimes = std::move(Run.CrashTimes);
+  R.Events = TotalProcessed;
+  R.Quiesced = Quiesced;
+  for (Shard &Sh : Run.Shards) {
+    R.Stats.MessagesDelivered += Sh.Delivered;
+    R.Stats.MessagesDroppedAtCrashed += Sh.Dropped;
+  }
+  R.FinalMaxViews.reserve(G.numNodes());
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    R.FinalMaxViews.push_back(Run.Nodes[N]->maxView());
+  return R;
+}

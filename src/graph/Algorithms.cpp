@@ -23,7 +23,7 @@ std::vector<uint32_t> graph::bfsDistances(const Graph &G, NodeId Source) {
   while (!Queue.empty()) {
     NodeId Current = Queue.front();
     Queue.pop_front();
-    for (NodeId Neighbor : G.neighbors(Current)) {
+    for (NodeId Neighbor : G.adj(Current)) {
       if (Dist[Neighbor] != DistUnreachable)
         continue;
       Dist[Neighbor] = Dist[Current] + 1;
@@ -43,7 +43,7 @@ std::vector<uint32_t> graph::bfsDistancesWithin(const Graph &G, NodeId Source,
   while (!Queue.empty()) {
     NodeId Current = Queue.front();
     Queue.pop_front();
-    for (NodeId Neighbor : G.neighbors(Current)) {
+    for (NodeId Neighbor : G.adj(Current)) {
       if (!Allowed.contains(Neighbor) || Dist[Neighbor] != DistUnreachable)
         continue;
       Dist[Neighbor] = Dist[Current] + 1;
@@ -82,7 +82,7 @@ Region graph::growRegionFrom(const Graph &G, NodeId Seed, size_t TargetSize) {
   while (!Queue.empty() && Members.size() < TargetSize) {
     NodeId Current = Queue.front();
     Queue.pop_front();
-    for (NodeId Neighbor : G.neighbors(Current)) {
+    for (NodeId Neighbor : G.adj(Current)) {
       if (Members.contains(Neighbor))
         continue;
       Members.insert(Neighbor);

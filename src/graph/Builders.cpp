@@ -112,7 +112,7 @@ Graph graph::makeWattsStrogatz(uint32_t N, uint32_t K, double Beta,
   // built), emulate rewiring by building an edge list first.
   Graph Rewired(N);
   for (uint32_t I = 0; I < N; ++I) {
-    for (NodeId J : G.neighbors(I)) {
+    for (NodeId J : G.adj(I)) {
       if (J < I)
         continue; // Visit each undirected edge once.
       NodeId Target = J;

@@ -29,7 +29,7 @@ std::string graph::toDot(const Graph &G,
       Out += formatStr("  n%u [label=\"%s\"];\n", N, G.label(N).c_str());
   }
   for (NodeId N = 0; N < G.numNodes(); ++N)
-    for (NodeId M : G.neighbors(N))
+    for (NodeId M : G.adj(N))
       if (N < M)
         Out += formatStr("  n%u -- n%u;\n", N, M);
   Out += "}\n";

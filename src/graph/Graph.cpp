@@ -7,6 +7,7 @@
 
 #include "graph/Graph.h"
 
+#include "support/Sorted.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
@@ -15,38 +16,50 @@
 using namespace cliffedge;
 using namespace cliffedge::graph;
 
-Graph::Graph(uint32_t NumNodes) : Adj(NumNodes), Names(NumNodes) {}
+Graph::Graph(uint32_t InNumNodes)
+    : Adj(InNumNodes), NumNodes(InNumNodes), Names(InNumNodes) {}
 
 NodeId Graph::addNode(std::string Name) {
+  assert(!compacted() && "addNode on a compacted graph");
   Adj.emplace_back();
+  ++NumNodes;
   Names.push_back(std::move(Name));
   NameIndexValid = false;
   return static_cast<NodeId>(Adj.size() - 1);
 }
 
+void Graph::compact() {
+  if (compacted())
+    return;
+  CsrOffsets.resize(NumNodes + size_t(1));
+  CsrEdges.reserve(2 * EdgeCount);
+  CsrOffsets[0] = 0;
+  for (NodeId N = 0; N < NumNodes; ++N) {
+    CsrEdges.insert(CsrEdges.end(), Adj[N].begin(), Adj[N].end());
+    CsrOffsets[N + 1] = CsrEdges.size();
+  }
+  // Release the build buffers — the whole point of compacting.
+  std::vector<std::vector<NodeId>>().swap(Adj);
+}
+
 void Graph::addEdge(NodeId A, NodeId B) {
+  assert(!compacted() && "addEdge on a compacted graph");
   assert(A < Adj.size() && B < Adj.size() && "edge endpoint out of range");
   assert(A != B && "self-loops are not part of the system model");
-  auto InsertSorted = [](std::vector<NodeId> &List, NodeId Value) {
-    auto It = std::lower_bound(List.begin(), List.end(), Value);
-    if (It != List.end() && *It == Value)
-      return false;
-    List.insert(It, Value);
-    return true;
-  };
-  if (InsertSorted(Adj[A], B)) {
-    InsertSorted(Adj[B], A);
+  if (insertSortedUnique(Adj[A], B)) {
+    insertSortedUnique(Adj[B], A);
     ++EdgeCount;
   }
 }
 
 bool Graph::hasEdge(NodeId A, NodeId B) const {
-  assert(A < Adj.size() && B < Adj.size() && "edge endpoint out of range");
-  const std::vector<NodeId> &List = Adj[A];
+  assert(A < NumNodes && B < NumNodes && "edge endpoint out of range");
+  AdjRange List = adj(A);
   return std::binary_search(List.begin(), List.end(), B);
 }
 
 const std::vector<NodeId> &Graph::neighbors(NodeId Node) const {
+  assert(!compacted() && "neighbors() on a compacted graph; use adj()");
   assert(Node < Adj.size() && "node out of range");
   return Adj[Node];
 }
@@ -78,19 +91,20 @@ std::string Graph::label(NodeId Node) const {
 }
 
 Region Graph::border(NodeId Node) const {
-  return Region(neighbors(Node));
+  AdjRange List = adj(Node);
+  return Region(std::vector<NodeId>(List.begin(), List.end()));
 }
 
 void Graph::borderInto(NodeId Node, Region &Out) const {
   Out.clear();
-  for (NodeId Neighbor : neighbors(Node))
+  for (NodeId Neighbor : adj(Node))
     Out.appendAscending(Neighbor);
 }
 
 Region Graph::border(const Region &S) const {
   std::vector<NodeId> Out;
   for (NodeId Member : S)
-    for (NodeId Neighbor : neighbors(Member))
+    for (NodeId Neighbor : adj(Member))
       if (!S.contains(Neighbor))
         Out.push_back(Neighbor);
   return Region(std::move(Out));
@@ -110,7 +124,7 @@ std::vector<Region> Graph::connectedComponents(const Region &S) const {
       NodeId Current = Frontier.back();
       Frontier.pop_back();
       Members.push_back(Current);
-      for (NodeId Neighbor : neighbors(Current)) {
+      for (NodeId Neighbor : adj(Current)) {
         if (!S.contains(Neighbor) || Visited.contains(Neighbor))
           continue;
         Visited.insert(Neighbor);

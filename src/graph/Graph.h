@@ -20,6 +20,7 @@
 #include "graph/Region.h"
 #include "support/Ids.h"
 
+#include <cassert>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -27,7 +28,34 @@
 namespace cliffedge {
 namespace graph {
 
+/// Lightweight adjacency view: a contiguous span of sorted neighbour ids.
+/// Valid for build-mode and compacted graphs alike — every library
+/// traversal goes through Graph::adj(), so the storage layout is an
+/// implementation detail of the graph.
+class AdjRange {
+public:
+  AdjRange(const NodeId *First, const NodeId *Last)
+      : First(First), Last(Last) {}
+  const NodeId *begin() const { return First; }
+  const NodeId *end() const { return Last; }
+  size_t size() const { return static_cast<size_t>(Last - First); }
+  bool empty() const { return First == Last; }
+  NodeId operator[](size_t I) const { return First[I]; }
+
+private:
+  const NodeId *First;
+  const NodeId *Last;
+};
+
 /// Immutable-after-construction undirected graph with optional node names.
+///
+/// Two storage modes: build mode (one sorted vector per node, supports
+/// addNode/addEdge) and compact mode (CSR — one offset array plus one flat
+/// edge array, entered by compact()). Compacting frees the per-node build
+/// buffers, dropping both the per-node allocation overhead and the pointer
+/// chase per traversal — the difference between a 100k-node topology
+/// thrashing the allocator and one flat 4·2E-byte array streaming through
+/// cache. scenario::buildTopology compacts every topology it builds.
 class Graph {
 public:
   Graph() = default;
@@ -35,24 +63,45 @@ public:
   /// Creates \p NumNodes unnamed nodes and no edges.
   explicit Graph(uint32_t NumNodes);
 
-  /// Appends a node; returns its id. \p Name may be empty.
+  /// Appends a node; returns its id. \p Name may be empty. Build mode only.
   NodeId addNode(std::string Name = std::string());
 
   /// Adds the undirected edge {A, B}. Self-loops are forbidden; duplicate
-  /// edges are ignored.
+  /// edges are ignored. Build mode only.
   void addEdge(NodeId A, NodeId B);
 
-  uint32_t numNodes() const { return static_cast<uint32_t>(Adj.size()); }
+  /// Moves the adjacency into CSR storage (one flat offset + edge array)
+  /// and frees the per-node build buffers. Idempotent; after compacting,
+  /// addNode/addEdge/neighbors are no longer available (adj() is).
+  void compact();
+
+  /// True once compact() has run.
+  bool compacted() const { return !CsrOffsets.empty(); }
+
+  uint32_t numNodes() const { return NumNodes; }
   size_t numEdges() const { return EdgeCount; }
 
   /// True if the undirected edge {A, B} exists.
   bool hasEdge(NodeId A, NodeId B) const;
 
-  /// Sorted neighbour list of \p Node.
+  /// Sorted neighbour span of \p Node, in either storage mode. This is the
+  /// accessor every traversal in the library uses.
+  AdjRange adj(NodeId Node) const {
+    assert(Node < NumNodes && "node out of range");
+    if (!CsrOffsets.empty()) {
+      const NodeId *Base = CsrEdges.data();
+      return AdjRange(Base + CsrOffsets[Node], Base + CsrOffsets[Node + 1]);
+    }
+    const std::vector<NodeId> &List = Adj[Node];
+    return AdjRange(List.data(), List.data() + List.size());
+  }
+
+  /// Sorted neighbour list of \p Node. Build mode only — compacted graphs
+  /// have no per-node vectors; use adj() instead.
   const std::vector<NodeId> &neighbors(NodeId Node) const;
 
   /// Degree of \p Node.
-  size_t degree(NodeId Node) const { return neighbors(Node).size(); }
+  size_t degree(NodeId Node) const { return adj(Node).size(); }
 
   /// Name of \p Node; empty if unnamed.
   const std::string &name(NodeId Node) const;
@@ -87,7 +136,13 @@ public:
   bool isConnectedRegion(const Region &S) const;
 
 private:
+  /// Build-mode adjacency; emptied by compact().
   std::vector<std::vector<NodeId>> Adj;
+  /// Compact-mode adjacency: neighbours of n live at
+  /// CsrEdges[CsrOffsets[n] .. CsrOffsets[n+1]). Empty in build mode.
+  std::vector<uint64_t> CsrOffsets;
+  std::vector<NodeId> CsrEdges;
+  uint32_t NumNodes = 0;
   std::vector<std::string> Names;
   size_t EdgeCount = 0;
 

@@ -7,47 +7,82 @@
 
 #include "graph/IncrementalComponents.h"
 
+#include <algorithm>
 #include <cassert>
 #include <utility>
 
 using namespace cliffedge;
 using namespace cliffedge::graph;
 
-IncrementalComponents::IncrementalComponents(const Graph &InG)
-    : G(InG), Parent(InG.numNodes(), InvalidNode), Size(InG.numNodes(), 0),
-      Members(InG.numNodes()), SortedCache(InG.numNodes()),
-      SortedValid(InG.numNodes(), 0), BorderCache(InG.numNodes(), 0),
-      BorderValid(InG.numNodes(), 0), Mark(InG.numNodes(), 0) {}
-
 NodeId IncrementalComponents::findRoot(NodeId Node) const {
-  assert(Node < Parent.size() && isCrashed(Node) &&
-         "findRoot() of a live node");
+  assert(isCrashed(Node) && "findRoot() of a live node");
   NodeId Root = Node;
-  while (Parent[Root] != Root)
-    Root = Parent[Root];
+  for (;;) {
+    NodeId Up = *Parent.find(Root);
+    if (Up == Root)
+      break;
+    Root = Up;
+  }
   // Path compression: point the whole chain at the root.
-  while (Parent[Node] != Root) {
-    NodeId Next = Parent[Node];
-    Parent[Node] = Root;
+  while (Node != Root) {
+    NodeId &Up = Parent[Node];
+    NodeId Next = Up;
+    Up = Root;
     Node = Next;
   }
   return Root;
 }
 
+const IncrementalComponents::Comp &
+IncrementalComponents::comp(NodeId Root) const {
+  const uint32_t *Index = CompIndex.find(Root);
+  assert(Index && Pool[*Index].Live && Pool[*Index].Root == Root &&
+         "no live component record at root");
+  return Pool[*Index];
+}
+
+size_t IncrementalComponents::componentSize(NodeId Node) const {
+  return comp(findRoot(Node)).Size;
+}
+
 bool IncrementalComponents::addCrashed(NodeId Node) {
-  assert(Node < Parent.size() && "node out of range");
+  assert(Node < G.numNodes() && "node out of range");
   if (isCrashed(Node))
     return false;
   Parent[Node] = Node;
-  Size[Node] = 1;
-  Members[Node].assign(1, Node);
-  invalidateCaches(Node);
+  uint32_t Index;
+  if (!FreeList.empty()) {
+    Index = FreeList.back();
+    FreeList.pop_back();
+  } else {
+    Index = static_cast<uint32_t>(Pool.size());
+    Pool.emplace_back();
+  }
+  Comp &C = Pool[Index];
+  C.Root = Node;
+  C.Size = 1;
+  C.Live = true;
+  C.Members.assign(1, Node);
+  C.SortedValid = false;
+  C.BorderValid = false;
+  CompIndex[Node] = Index;
   ++NumCrashed;
   ++NumComponents;
-  for (NodeId Neighbor : G.neighbors(Node))
+  for (NodeId Neighbor : G.adj(Node))
     if (isCrashed(Neighbor))
       unite(Node, Neighbor);
   return true;
+}
+
+void IncrementalComponents::reset() {
+  Parent.clear();
+  CompIndex.clear();
+  Pool.clear();
+  FreeList.clear();
+  NeighborMark.clear();
+  MarkEpoch = 0;
+  NumCrashed = 0;
+  NumComponents = 0;
 }
 
 void IncrementalComponents::unite(NodeId A, NodeId B) {
@@ -55,67 +90,70 @@ void IncrementalComponents::unite(NodeId A, NodeId B) {
   NodeId RootB = findRoot(B);
   if (RootA == RootB)
     return;
+  uint32_t IndexA = *CompIndex.find(RootA);
+  uint32_t IndexB = *CompIndex.find(RootB);
   // Union by size: absorb the smaller member list into the larger.
-  if (Size[RootA] < Size[RootB])
+  if (Pool[IndexA].Size < Pool[IndexB].Size) {
     std::swap(RootA, RootB);
-  Members[RootA].insert(Members[RootA].end(), Members[RootB].begin(),
-                        Members[RootB].end());
-  Members[RootB].clear();
+    std::swap(IndexA, IndexB);
+  }
+  Comp &Winner = Pool[IndexA];
+  Comp &Loser = Pool[IndexB];
+  Winner.Members.insert(Winner.Members.end(), Loser.Members.begin(),
+                        Loser.Members.end());
+  Winner.Size += Loser.Size;
+  Winner.SortedValid = false;
+  Winner.BorderValid = false;
   Parent[RootB] = RootA;
-  Size[RootA] += Size[RootB];
-  invalidateCaches(RootA);
+  Loser.Live = false;
+  Loser.Members.clear(); // Keep capacity; the slot is recycled.
+  FreeList.push_back(IndexB);
   --NumComponents;
 }
 
-void IncrementalComponents::invalidateCaches(NodeId Root) {
-  SortedValid[Root] = 0;
-  BorderValid[Root] = 0;
-}
-
 const Region &IncrementalComponents::componentOf(NodeId Node) const {
-  NodeId Root = findRoot(Node);
-  if (!SortedValid[Root]) {
-    SortedCache[Root] = Region(Members[Root]);
-    SortedValid[Root] = 1;
+  const Comp &C = comp(findRoot(Node));
+  if (!C.SortedValid) {
+    C.Sorted = Region(C.Members);
+    C.SortedValid = true;
   }
-  return SortedCache[Root];
+  return C.Sorted;
 }
 
 size_t IncrementalComponents::componentBorderSize(NodeId Node) const {
-  NodeId Root = findRoot(Node);
-  if (!BorderValid[Root]) {
-    // Count distinct live neighbours of the component. A crashed neighbour
-    // of a member is always in the same component (addCrashed unions
-    // adjacent crashes), so "live" is exactly "outside the component".
+  const Comp &C = comp(findRoot(Node));
+  if (!C.BorderValid) {
+    // Distinct live neighbours of the component. A crashed neighbour of a
+    // member is always in the same component (addCrashed unions adjacent
+    // crashes), so "live" is exactly "outside the component".
     ++MarkEpoch;
     uint32_t Count = 0;
-    for (NodeId Member : Members[Root])
-      for (NodeId Neighbor : G.neighbors(Member))
-        if (!isCrashed(Neighbor) && Mark[Neighbor] != MarkEpoch) {
-          Mark[Neighbor] = MarkEpoch;
-          ++Count;
+    for (NodeId Member : C.Members)
+      for (NodeId Neighbor : G.adj(Member))
+        if (!isCrashed(Neighbor)) {
+          uint64_t &Mark = NeighborMark[Neighbor];
+          if (Mark != MarkEpoch) {
+            Mark = MarkEpoch;
+            ++Count;
+          }
         }
-    BorderCache[Root] = Count;
-    BorderValid[Root] = 1;
+    C.Border = Count;
+    C.BorderValid = true;
   }
-  return BorderCache[Root];
+  return C.Border;
 }
 
 std::vector<Region> IncrementalComponents::components() const {
+  // Materialize every live component's sorted region, then order by
+  // smallest member to match Graph::connectedComponents exactly.
   std::vector<Region> Out;
   Out.reserve(NumComponents);
-  ++MarkEpoch;
-  // Scanning ids in order yields components sorted by smallest member,
-  // matching Graph::connectedComponents.
-  for (NodeId Node = 0; Node < Parent.size(); ++Node) {
-    if (!isCrashed(Node))
-      continue;
-    NodeId Root = findRoot(Node);
-    if (Mark[Root] == MarkEpoch)
-      continue;
-    Mark[Root] = MarkEpoch;
-    Out.push_back(componentOf(Node));
-  }
+  for (const Comp &C : Pool)
+    if (C.Live)
+      Out.push_back(componentOf(C.Root));
+  std::sort(Out.begin(), Out.end(), [](const Region &A, const Region &B) {
+    return *A.begin() < *B.begin();
+  });
   return Out;
 }
 
@@ -146,8 +184,9 @@ bool IncrementalComponents::outranksComponent(NodeId A, NodeId B,
   if (RootA == RootB)
     return false;
   if (Kind != RankingKind::PureLex) {
-    if (Size[RootA] != Size[RootB])
-      return Size[RootA] > Size[RootB];
+    size_t SizeA = comp(RootA).Size, SizeB = comp(RootB).Size;
+    if (SizeA != SizeB)
+      return SizeA > SizeB;
     if (Kind == RankingKind::SizeBorderLex) {
       size_t BorderA = componentBorderSize(RootA);
       size_t BorderB = componentBorderSize(RootB);

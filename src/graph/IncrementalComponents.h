@@ -15,11 +15,21 @@
 /// sorted member list) cached so the ranking comparison of line 10 rarely
 /// touches more than a few integers.
 ///
-/// The structure relies on the crashed set only ever growing (crash-stop
-/// model, §2.2) — exactly the access pattern of onCrash. Batch consumers
-/// (trace::Checker, tests) keep using Graph::connectedComponents; the
-/// components() accessor here returns the identical decomposition and a
-/// property test asserts the equivalence on randomized crash sequences.
+/// Storage is *sparse*: every table is keyed by crashed node, never sized
+/// by the graph. One instance lives inside every protocol node, and a node
+/// only ever observes the handful of crashes adjacent to it — dense
+/// N-sized tables would make a fleet of N nodes cost O(N^2) memory, which
+/// is exactly the wall the 100k-node scenarios hit before this layout.
+/// Construction is O(1), so a fresh protocol incarnation per epoch
+/// (workload::EpochRunner) is free; reset() restores the
+/// nothing-has-crashed state in place for epoch-repair reuse.
+///
+/// The structure relies on the crashed set only ever growing between
+/// resets (crash-stop model, §2.2) — exactly the access pattern of
+/// onCrash. Batch consumers (trace::Checker, tests) keep using
+/// Graph::connectedComponents; the components() accessor here returns the
+/// identical decomposition and a property test asserts the equivalence on
+/// randomized crash/repair sequences.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,6 +39,7 @@
 #include "graph/Graph.h"
 #include "graph/Ranking.h"
 #include "graph/Region.h"
+#include "support/FlatHash.h"
 #include "support/Ids.h"
 
 #include <cstddef>
@@ -43,14 +54,19 @@ public:
   /// Sentinel for "border size not precomputed" in outranks().
   static constexpr size_t UnknownBorder = static_cast<size_t>(-1);
 
-  explicit IncrementalComponents(const Graph &G);
+  explicit IncrementalComponents(const Graph &G) : G(G) {}
 
   /// Marks \p Node crashed and merges it with every already-crashed
   /// neighbour. Returns false when the node was already crashed.
   bool addCrashed(NodeId Node);
 
+  /// Forgets every crash — the epoch-repair transition: repaired nodes
+  /// rejoin and the next failure starts from a clean slate. Keeps the
+  /// bucket storage for reuse.
+  void reset();
+
   bool isCrashed(NodeId Node) const {
-    return Parent[Node] != InvalidNode;
+    return Parent.find(Node) != nullptr;
   }
   size_t numCrashed() const { return NumCrashed; }
   size_t numComponents() const { return NumComponents; }
@@ -60,7 +76,7 @@ public:
   NodeId findRoot(NodeId Node) const;
 
   /// |component(Node)| in O(alpha).
-  size_t componentSize(NodeId Node) const { return Size[findRoot(Node)]; }
+  size_t componentSize(NodeId Node) const;
 
   /// The component containing crashed \p Node as a sorted Region. The
   /// result is cached per component and invalidated when the component
@@ -72,7 +88,7 @@ public:
   size_t componentBorderSize(NodeId Node) const;
 
   /// All current components, ordered by smallest member — bit-identical to
-  /// Graph::connectedComponents(crashed set). O(N); batch consumers only.
+  /// Graph::connectedComponents(crashed set). Batch consumers only.
   std::vector<Region> components() const;
 
   /// True when the component containing crashed \p Member is ranked
@@ -88,28 +104,38 @@ public:
   bool outranksComponent(NodeId A, NodeId B, RankingKind Kind) const;
 
 private:
+  /// Per-root component record, pooled so absorbed components recycle
+  /// their member storage instead of round-tripping the allocator on every
+  /// union. Rank-key caches are filled lazily by the const accessors.
+  struct Comp {
+    NodeId Root = InvalidNode;
+    uint32_t Size = 0;
+    bool Live = false;
+    std::vector<NodeId> Members; ///< Unsorted; merged small-into-large.
+    mutable Region Sorted;
+    mutable bool SortedValid = false;
+    mutable uint32_t Border = 0;
+    mutable bool BorderValid = false;
+  };
+
   void unite(NodeId A, NodeId B);
-  void invalidateCaches(NodeId Root);
+  const Comp &comp(NodeId Root) const;
 
   const Graph &G;
-  /// InvalidNode = not crashed; otherwise the union-find parent pointer
-  /// (mutable: findRoot compresses paths).
-  mutable std::vector<NodeId> Parent;
-  /// Component size, valid at roots.
-  std::vector<uint32_t> Size;
-  /// Unsorted member list, valid at roots; merged small-into-large.
-  std::vector<std::vector<NodeId>> Members;
-
-  // Per-root lazy caches (mutable: filled by const accessors).
-  mutable std::vector<Region> SortedCache;
-  mutable std::vector<char> SortedValid;
-  mutable std::vector<uint32_t> BorderCache;
-  mutable std::vector<char> BorderValid;
-
+  /// crashed node -> union-find parent (self at roots). Only crashed nodes
+  /// have entries; mutable because findRoot compresses paths.
+  mutable U64FlatMap<NodeId> Parent;
+  /// root -> index into Pool. Entries of absorbed roots linger (the flat
+  /// map has no erase) but are unreachable: findRoot only ever yields live
+  /// roots, and a node crashes at most once per epoch.
+  U64FlatMap<uint32_t> CompIndex;
+  std::vector<Comp> Pool;
+  std::vector<uint32_t> FreeList; ///< Dead Pool slots, storage retained.
   /// Epoch-marked scratch for counting distinct border nodes without
-  /// allocating per query.
-  mutable std::vector<uint32_t> Mark;
-  mutable uint32_t MarkEpoch = 0;
+  /// allocating or sorting per query — the sparse analogue of a dense
+  /// mark array, still sized by touched nodes only.
+  mutable U64FlatMap<uint64_t> NeighborMark;
+  mutable uint64_t MarkEpoch = 0;
 
   size_t NumCrashed = 0;
   size_t NumComponents = 0;

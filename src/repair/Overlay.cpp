@@ -17,8 +17,10 @@ using namespace cliffedge::repair;
 Overlay::Overlay(const graph::Graph &Base)
     : Adj(Base.numNodes()), Live(Base.numNodes(), true),
       EdgeCount(Base.numEdges()) {
-  for (NodeId N = 0; N < Base.numNodes(); ++N)
-    Adj[N] = Base.neighbors(N);
+  for (NodeId N = 0; N < Base.numNodes(); ++N) {
+    graph::AdjRange List = Base.adj(N);
+    Adj[N].assign(List.begin(), List.end());
+  }
 }
 
 graph::Region Overlay::liveNodes() const {

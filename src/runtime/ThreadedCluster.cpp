@@ -8,6 +8,7 @@
 #include "runtime/ThreadedCluster.h"
 
 #include "core/Wire.h"
+#include "support/Sorted.h"
 
 #include <algorithm>
 #include <cassert>
@@ -61,11 +62,8 @@ ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
         for (NodeId Target : Targets) {
           if (Target == N)
             continue;
-          auto &Subs = Subscribed[N];
-          auto It = std::lower_bound(Subs.begin(), Subs.end(), Target);
-          if (It != Subs.end() && *It == Target)
+          if (!insertSortedUnique(Subscribed[N], Target))
             continue;
-          Subs.insert(It, Target);
           Watchers[Target].push_back(N);
           if (CrashedFlag[Target])
             AlreadyDown.push_back(Target);
@@ -218,6 +216,15 @@ bool ThreadedCluster::awaitQuiescence(std::chrono::milliseconds Timeout) {
 void ThreadedCluster::shutdown() {
   if (!Running.exchange(false))
     return;
+  // Drain before join. The old teardown posted stop sentinels slot by
+  // slot while other workers were still delivering: a frame (or a crash's
+  // watcher notification) in flight toward an already-joined node was
+  // silently discarded, so the final protocol state depended on join
+  // order — reachable in practice when a crash landed during teardown.
+  // Waiting for the in-flight count to hit zero first means every worker
+  // finishes the mail it was sent before anyone is asked to stop; the
+  // timeout is a safety valve for protocol bugs, not a normal path.
+  awaitQuiescence(std::chrono::milliseconds(30000));
   for (auto &SlotPtr : Slots) {
     NodeSlot &Slot = *SlotPtr;
     {

@@ -67,7 +67,11 @@ public:
   /// timeout elapses). Returns true on quiescence.
   bool awaitQuiescence(std::chrono::milliseconds Timeout);
 
-  /// Stops all threads. Called by the destructor if needed.
+  /// Stops all threads, draining in-flight messages and notifications
+  /// first: a worker is only joined once nothing is pending anywhere, so
+  /// mail sent before shutdown() is never lost to join ordering (a crash
+  /// landing during teardown keeps its watcher notifications). Called by
+  /// the destructor if needed.
   void shutdown();
 
   /// Snapshot of the decisions seen so far (thread-safe).

@@ -7,6 +7,7 @@
 
 #include "scenario/Campaign.h"
 
+#include "engine/Engine.h"
 #include "support/StrUtil.h"
 #include "trace/Checker.h"
 #include "workload/EpochRunner.h"
@@ -56,37 +57,48 @@ static size_t countDistinctViews(const std::vector<trace::DecisionRecord> &Ds) {
   return Views.size();
 }
 
-JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed) {
+JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
+                                     unsigned EngineWorkers) {
   JobOutcome Out;
   Out.Seed = Seed;
   Out.Epochs = V.Epochs.size();
+
+  engine::EngineOptions EngOpts;
+  EngOpts.Workers = EngineWorkers;
+  std::unique_ptr<engine::Engine> Eng =
+      engine::makeEngine(V.Backend, EngOpts);
 
   if (V.Epochs.size() == 1) {
     MaterializedRun Run;
     if (!materializeSingle(V, Seed, Run, Out.Error))
       return Out;
-    trace::ScenarioRunner Runner(Run.Topo.G, std::move(Run.Options));
-    Run.Plan.apply(Runner);
-    Out.Events = Runner.run();
-    if (!Runner.simulator().idle()) {
+    engine::EngineJob Job;
+    Job.G = &Run.Topo.G;
+    Job.Plan = &Run.Plan;
+    Job.Options = std::move(Run.Options);
+    Job.Seed = Seed;
+    engine::EngineResult R = Eng->run(Job);
+    Out.Events = R.Events;
+    if (!R.Quiesced) {
       Out.Error = formatStr("aborted: event budget of %llu exhausted",
                             (unsigned long long)V.MaxEvents);
       return Out;
     }
     Out.Ran = true;
-    Out.Decisions = Runner.decisions().size();
-    Out.DistinctViews = countDistinctViews(Runner.decisions());
-    Out.Messages = Runner.netStats().MessagesSent;
-    Out.Bytes = Runner.netStats().BytesSent;
+    Out.Decisions = R.Decisions.size();
+    Out.DistinctViews = countDistinctViews(R.Decisions);
+    Out.Messages = R.Stats.MessagesSent;
+    Out.Bytes = R.Stats.BytesSent;
     Out.FirstDecision = TimeNever;
-    for (const trace::DecisionRecord &D : Runner.decisions()) {
+    for (const trace::DecisionRecord &D : R.Decisions) {
       Out.FirstDecision = std::min(Out.FirstDecision, D.When);
       Out.LastDecision = std::max(Out.LastDecision, D.When);
     }
     if (Out.FirstDecision == TimeNever)
       Out.FirstDecision = 0;
     if (V.Check) {
-      trace::CheckResult Res = trace::checkAll(trace::makeCheckInput(Runner));
+      trace::CheckResult Res =
+          trace::checkAll(engine::toCheckInput(R, Run.Topo.G));
       Out.SpecOk = Res.Ok;
       Out.Violations = std::move(Res.Violations);
     } else {
@@ -105,7 +117,8 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed) {
   SplitMix64 Sub(Seed);
   Rng PlanRand(Sub.next());
   Rng LatRand(Sub.next());
-  workload::EpochRunner Runner(Topo.G, makeRunnerOptions(V, LatRand));
+  workload::EpochRunner Runner(Topo.G, makeRunnerOptions(V, LatRand),
+                               Eng.get());
   Out.SpecOk = true;
   for (size_t E = 0; E < V.Epochs.size(); ++E) {
     workload::CrashPlan Plan;
@@ -115,7 +128,7 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed) {
       Out.SpecOk = false;
       return Out;
     }
-    const workload::EpochResult &Res = Runner.runEpoch(Plan);
+    const workload::EpochResult &Res = Runner.runEpoch(Plan, Seed);
     Out.Decisions += Res.Decisions;
     Out.DistinctViews += Res.DecidedViews.size();
     Out.Events += Res.Events;
@@ -157,7 +170,8 @@ CampaignSummary CampaignRunner::run(const CampaignOptions &Opts) {
         return;
       size_t VariantIdx = I / Seeds;
       uint64_t Seed = Base.SeedLo + (I % Seeds);
-      JobOutcome Out = runOneJob(Variants[VariantIdx], Seed);
+      JobOutcome Out =
+          runOneJob(Variants[VariantIdx], Seed, Opts.EngineWorkers);
       Out.Index = I;
       Out.Variant = Labels[VariantIdx];
       Summary.Results[I] = std::move(Out);

@@ -70,6 +70,10 @@ struct CampaignSummary {
 /// Execution options for a campaign.
 struct CampaignOptions {
   unsigned Threads = 1; ///< Worker threads; clamped to the job count.
+  /// Shard workers inside each job's engine (sharded backend only).
+  /// Campaign parallelism normally comes from Threads — the deterministic
+  /// merge makes every summary identical for any value here.
+  unsigned EngineWorkers = 1;
 };
 
 /// Runs every (variant, seed) job of one Spec.
@@ -90,8 +94,10 @@ public:
   CampaignSummary run(const CampaignOptions &Opts = CampaignOptions());
 
   /// Runs one job in isolation — the unit the pool executes, exposed for
-  /// tests and for the CLI's single-run path.
-  static JobOutcome runOneJob(const Spec &Variant, uint64_t Seed);
+  /// tests and for the CLI's single-run path. The variant's Backend picks
+  /// the engine; \p EngineWorkers drives its shards (sharded only).
+  static JobOutcome runOneJob(const Spec &Variant, uint64_t Seed,
+                              unsigned EngineWorkers = 1);
 
 private:
   Spec Base;

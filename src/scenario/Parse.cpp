@@ -242,6 +242,15 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
     std::string Err;
     if (!applyOverride(S, "ranking", V->Text, Err))
       error(LineNo, V->Col, Err);
+  } else if (D.Text == "backend") {
+    if (!once(D, LineNo))
+      return;
+    const Token *V = WantValue("a backend (des | sharded)");
+    if (!V || !noTrailing(Toks, 2, LineNo))
+      return;
+    std::string Err;
+    if (!applyOverride(S, "backend", V->Text, Err))
+      error(LineNo, V->Col, Err);
   } else if (D.Text == "early-termination" || D.Text == "check") {
     if (!once(D, LineNo))
       return;

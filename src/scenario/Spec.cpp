@@ -21,8 +21,9 @@ bool Spec::operator==(const Spec &O) const {
   return Name == O.Name && Topology == O.Topology && SeedLo == O.SeedLo &&
          SeedHi == O.SeedHi && Latency == O.Latency && Detect == O.Detect &&
          Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
-         Check == O.Check && MaxEvents == O.MaxEvents &&
-         MaxFaulty == O.MaxFaulty && Sweeps == O.Sweeps && Epochs == O.Epochs;
+         Check == O.Check && Backend == O.Backend &&
+         MaxEvents == O.MaxEvents && MaxFaulty == O.MaxFaulty &&
+         Sweeps == O.Sweeps && Epochs == O.Epochs;
 }
 
 const char *scenario::rankingName(graph::RankingKind K) {
@@ -122,6 +123,7 @@ std::string scenario::writeSpec(const Spec &S) {
   Emit(formatStr("ranking %s", rankingName(S.Ranking)));
   Emit(formatStr("early-termination %s", S.EarlyTermination ? "on" : "off"));
   Emit(formatStr("check %s", S.Check ? "on" : "off"));
+  Emit(formatStr("backend %s", engine::backendName(S.Backend)));
   if (S.MaxEvents)
     Emit(formatStr("max-events %llu", (unsigned long long)S.MaxEvents));
   if (S.MaxFaulty)
@@ -143,8 +145,8 @@ std::string scenario::writeSpec(const Spec &S) {
 
 // --- Materialization --------------------------------------------------------
 
-bool scenario::buildTopology(const std::string &SpecTok, Rng &Rand,
-                             TopologyInfo &Out, std::string &Error) {
+static bool buildTopologyImpl(const std::string &SpecTok, Rng &Rand,
+                              TopologyInfo &Out, std::string &Error) {
   size_t Colon = SpecTok.find(':');
   std::string Key =
       Colon == std::string::npos ? SpecTok : SpecTok.substr(0, Colon);
@@ -207,6 +209,17 @@ bool scenario::buildTopology(const std::string &SpecTok, Rng &Rand,
     Error = "unknown topology kind '" + Key + "'";
     return false;
   }
+  return true;
+}
+
+bool scenario::buildTopology(const std::string &SpecTok, Rng &Rand,
+                             TopologyInfo &Out, std::string &Error) {
+  if (!buildTopologyImpl(SpecTok, Rand, Out, Error))
+    return false;
+  // A materialized topology is immutable from here on: move it into CSR
+  // storage so 100k-node worlds are one flat array instead of one heap
+  // block per node (and every traversal streams through cache).
+  Out.G.compact();
   return true;
 }
 
@@ -491,9 +504,11 @@ bool scenario::applyOverride(Spec &S, const std::string &Key,
   }
   if (Key == "latency")
     return parseLatencyCompact(Value, S.Latency, Error);
+  if (Key == "backend")
+    return engine::parseBackendName(Value, S.Backend, Error);
   Error = "unknown sweep key '" + Key +
           "' (want topology | detect | ranking | early-termination | "
-          "latency)";
+          "latency | backend)";
   return false;
 }
 

@@ -24,6 +24,7 @@
 #ifndef CLIFFEDGE_SCENARIO_SPEC_H
 #define CLIFFEDGE_SCENARIO_SPEC_H
 
+#include "engine/Engine.h"
 #include "graph/Graph.h"
 #include "graph/Ranking.h"
 #include "support/Random.h"
@@ -98,6 +99,11 @@ struct Spec {
   graph::RankingKind Ranking = graph::RankingKind::SizeBorderLex;
   bool EarlyTermination = false;
   bool Check = true;     ///< Run CD1..CD7 on every job.
+  /// Execution backend (`backend` directive; sweepable with
+  /// `sweep backend des sharded`). Outcomes must not depend on it — that
+  /// is what EngineEquivalenceTest enforces — but event counts and
+  /// interleavings do, so it is part of the spec for replayability.
+  engine::BackendKind Backend = engine::BackendKind::Des;
   uint64_t MaxEvents = 0;
   uint64_t MaxFaulty = 0; ///< >0 caps each epoch's faulty set (capFaulty).
   std::vector<SweepAxis> Sweeps;
@@ -150,8 +156,8 @@ bool buildCrashPlan(const std::vector<CrashDirective> &Directives,
 trace::RunnerOptions makeRunnerOptions(const Spec &S, Rng &LatRand);
 
 /// Applies one sweep override to \p S. Supported keys: topology, detect,
-/// ranking, early-termination, latency (compact form). Returns false and
-/// sets \p Error for unknown keys or malformed values.
+/// ranking, early-termination, latency (compact form), backend. Returns
+/// false and sets \p Error for unknown keys or malformed values.
 bool applyOverride(Spec &S, const std::string &Key, const std::string &Value,
                    std::string &Error);
 

@@ -1,0 +1,39 @@
+//===- support/Sorted.h - Sorted-vector set helpers -------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one sorted-unique insert the codebase keeps needing: graph
+/// adjacency lists, the failure detector's watcher/subscription registry,
+/// and both runtimes' re-implementations of that registry all maintain
+/// sorted NodeId vectors with at-most-once insertion. One definition keeps
+/// their exactly-once disciplines from drifting apart.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_SORTED_H
+#define CLIFFEDGE_SUPPORT_SORTED_H
+
+#include "support/Ids.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace cliffedge {
+
+/// Inserts \p Value into sorted \p List, keeping it sorted. Returns false
+/// (and leaves the list untouched) when the value is already present.
+inline bool insertSortedUnique(std::vector<NodeId> &List, NodeId Value) {
+  auto It = std::lower_bound(List.begin(), List.end(), Value);
+  if (It != List.end() && *It == Value)
+    return false;
+  List.insert(It, Value);
+  return true;
+}
+
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_SORTED_H

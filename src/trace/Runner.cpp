@@ -14,7 +14,7 @@
 using namespace cliffedge;
 using namespace cliffedge::trace;
 
-static RunnerOptions withDefaults(RunnerOptions Opts) {
+RunnerOptions trace::withRunnerDefaults(RunnerOptions Opts) {
   if (!Opts.Latency) {
     Opts.Latency = sim::fixedLatency(10);
     Opts.MonotoneLatency = true;
@@ -29,7 +29,7 @@ static RunnerOptions withDefaults(RunnerOptions Opts) {
 }
 
 ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
-    : G(InG), Opts(withDefaults(std::move(InOpts))),
+    : G(InG), Opts(withRunnerDefaults(std::move(InOpts))),
       Net(Sim, G.numNodes(), Opts.Latency),
       Detector(Sim, G.numNodes(), Opts.DetectionDelay,
                [this](NodeId Watcher, NodeId Target) {

@@ -80,6 +80,13 @@ struct RunnerOptions {
   uint64_t MaxEvents = 0;
 };
 
+/// Fills unset RunnerOptions fields with the stack's defaults: fixed
+/// latency of 10 ticks (with the monotone FIFO fast path), a fixed
+/// 5-tick detection delay, and node-id value selection. Every execution
+/// backend defaults through this one function, so the DES and sharded
+/// engines can never diverge on an unset option.
+RunnerOptions withRunnerDefaults(RunnerOptions Opts);
+
 /// Owns a full simulated deployment of the protocol.
 class ScenarioRunner {
 public:

@@ -69,7 +69,7 @@ CrashPlan workload::connectedCascade(const graph::Graph &G,
     // Prefer a remaining node adjacent to the crashed set.
     std::vector<NodeId> Frontier;
     for (NodeId N : Remaining)
-      for (NodeId Neighbor : G.neighbors(N))
+      for (NodeId Neighbor : G.adj(N))
         if (Done.contains(Neighbor)) {
           Frontier.push_back(N);
           break;

@@ -7,42 +7,56 @@
 
 #include "workload/EpochRunner.h"
 
+#include "engine/DesEngine.h"
+
 #include <algorithm>
 
 using namespace cliffedge;
 using namespace cliffedge::workload;
 
-EpochRunner::EpochRunner(const graph::Graph &InG, trace::RunnerOptions InOpts)
-    : G(InG), Opts(std::move(InOpts)) {}
+EpochRunner::EpochRunner(const graph::Graph &InG, trace::RunnerOptions InOpts,
+                         engine::Engine *InEng)
+    : G(InG), Opts(std::move(InOpts)) {
+  if (InEng) {
+    Eng = InEng;
+  } else {
+    OwnedEngine = std::make_unique<engine::DesEngine>();
+    Eng = OwnedEngine.get();
+  }
+}
 
-EpochResult EpochRunner::runEpoch(const CrashPlan &Plan) {
+EpochResult EpochRunner::runEpoch(const CrashPlan &Plan, uint64_t Seed) {
   EpochResult Result;
   Result.Epoch = History.size();
   Result.Faulty = Plan.faultySet();
 
   // Fresh protocol incarnation: repaired/replaced nodes boot with clean
-  // state, like the original nodes did.
-  trace::RunnerOptions EpochOpts = Opts;
-  trace::ScenarioRunner Runner(G, std::move(EpochOpts));
-  Plan.apply(Runner);
-  Result.Events = Runner.run();
-  Result.Quiesced = Runner.simulator().idle();
+  // state, like the original nodes did. The engine materializes its own
+  // node set per run, which is exactly that semantics.
+  engine::EngineJob Job;
+  Job.G = &G;
+  Job.Plan = &Plan;
+  Job.Options = Opts;
+  Job.Seed = Seed;
+  engine::EngineResult R = Eng->run(Job);
 
-  Result.Decisions = Runner.decisions().size();
+  Result.Events = R.Events;
+  Result.Quiesced = R.Quiesced;
+  Result.Decisions = R.Decisions.size();
   SimTime FirstCrash = TimeNever, LastDecision = 0;
   for (const TimedCrash &C : Plan.Crashes)
     FirstCrash = std::min(FirstCrash, C.When);
-  for (const trace::DecisionRecord &D : Runner.decisions()) {
+  for (const trace::DecisionRecord &D : R.Decisions) {
     LastDecision = std::max(LastDecision, D.When);
     if (std::find(Result.DecidedViews.begin(), Result.DecidedViews.end(),
                   D.View) == Result.DecidedViews.end())
       Result.DecidedViews.push_back(D.View);
   }
-  Result.Messages = Runner.netStats().MessagesSent;
-  Result.Bytes = Runner.netStats().BytesSent;
+  Result.Messages = R.Stats.MessagesSent;
+  Result.Bytes = R.Stats.BytesSent;
   Result.SettleTime =
       LastDecision > FirstCrash ? LastDecision - FirstCrash : 0;
-  Result.Check = trace::checkAll(trace::makeCheckInput(Runner));
+  Result.Check = trace::checkAll(engine::toCheckInput(R, G));
 
   ++Fleet.Epochs;
   Fleet.EpochsAllHolding += Result.Check.Ok ? 1 : 0;

@@ -21,10 +21,12 @@
 #ifndef CLIFFEDGE_WORKLOAD_EPOCHRUNNER_H
 #define CLIFFEDGE_WORKLOAD_EPOCHRUNNER_H
 
+#include "engine/Engine.h"
 #include "trace/Checker.h"
 #include "trace/Runner.h"
 #include "workload/CrashPlans.h"
 
+#include <memory>
 #include <vector>
 
 namespace cliffedge {
@@ -56,15 +58,22 @@ struct FleetStats {
   uint64_t TotalRepairedNodes = 0;
 };
 
-/// Runs successive failure/agree/repair cycles over one topology.
+/// Runs successive failure/agree/repair cycles over one topology. Each
+/// epoch executes on a pluggable engine::Engine backend (the deterministic
+/// DES by default), so multi-epoch scenarios participate in cross-backend
+/// differential testing like single-epoch runs do.
 class EpochRunner {
 public:
+  /// \p Eng selects the execution backend; nullptr means a privately owned
+  /// engine::DesEngine. The engine must outlive the runner.
   explicit EpochRunner(const graph::Graph &G,
-                       trace::RunnerOptions Opts = trace::RunnerOptions());
+                       trace::RunnerOptions Opts = trace::RunnerOptions(),
+                       engine::Engine *Eng = nullptr);
 
   /// Runs one epoch with the given crash plan; repaired state is implicit
-  /// (the next epoch starts from a fully healthy fleet).
-  EpochResult runEpoch(const CrashPlan &Plan);
+  /// (the next epoch starts from a fully healthy fleet). \p Seed feeds the
+  /// sharded backend's merge tie-break stream (ignored by DES).
+  EpochResult runEpoch(const CrashPlan &Plan, uint64_t Seed = 0);
 
   const FleetStats &fleet() const { return Fleet; }
   const std::vector<EpochResult> &history() const { return History; }
@@ -72,6 +81,8 @@ public:
 private:
   const graph::Graph &G;
   trace::RunnerOptions Opts;
+  std::unique_ptr<engine::Engine> OwnedEngine;
+  engine::Engine *Eng;
   FleetStats Fleet;
   std::vector<EpochResult> History;
 };

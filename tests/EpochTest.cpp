@@ -7,6 +7,8 @@
 
 #include "workload/EpochRunner.h"
 
+#include "engine/DesEngine.h"
+#include "engine/ShardedEngine.h"
 #include "graph/Builders.h"
 
 #include "gtest/gtest.h"
@@ -69,6 +71,45 @@ TEST(EpochTest, ManyEpochsRandomised) {
   EXPECT_EQ(Epochs.fleet().Epochs, 12u);
   EXPECT_EQ(Epochs.fleet().EpochsAllHolding, 12u);
   EXPECT_EQ(Epochs.history().size(), 12u);
+}
+
+TEST(EpochTest, RejoinLifecycleHoldsOnBothBackends) {
+  // EpochRunner-driven rejoins as a differential end-to-end property: the
+  // protocol nodes track crashed regions with graph::IncrementalComponents
+  // while the CD1..CD7 checker recomputes everything with the batch
+  // Graph::connectedComponents — so every passing epoch is an equivalence
+  // assertion between the two APIs under interleaved crash + repair, on
+  // both execution backends. Repaired nodes that crash again in a later
+  // epoch (overlapping plans) would expose any state leaking across the
+  // rejoin.
+  engine::DesEngine Des;
+  engine::ShardedEngine Sharded;
+  engine::Engine *Backends[] = {&Des, &Sharded};
+  for (engine::Engine *Eng : Backends) {
+    for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+      Rng Rand(Seed * 6151 + 9);
+      graph::Graph G = graph::makeTorus(9, 9);
+      EpochRunner Epochs(G, trace::RunnerOptions(), Eng);
+      Region Previous;
+      for (int Epoch = 0; Epoch < 5; ++Epoch) {
+        NodeId Center = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+        Region R = graph::growRegionFrom(G, Center, 2 + Rand.nextBelow(5));
+        // Bias toward re-crashing just-repaired nodes: half the epochs
+        // fold the previous epoch's faulty set into the new plan.
+        if (!Previous.empty() && Rand.nextBool(0.5))
+          R = R.unionWith(Previous);
+        workload::EpochResult Res = Epochs.runEpoch(
+            workload::cascade(R, 100, Rand.nextBelow(30)), Seed);
+        EXPECT_TRUE(Res.Quiesced) << Eng->name();
+        EXPECT_TRUE(Res.Check.Ok)
+            << Eng->name() << " seed " << Seed << " epoch " << Epoch
+            << ":\n" << Res.Check.summary();
+        EXPECT_EQ(Res.Faulty, R) << Eng->name();
+        Previous = R;
+      }
+      EXPECT_EQ(Epochs.fleet().EpochsAllHolding, 5u) << Eng->name();
+    }
+  }
 }
 
 TEST(EpochTest, EpochsAreIndependent) {

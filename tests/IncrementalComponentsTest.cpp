@@ -84,37 +84,83 @@ TEST(IncrementalComponentsTest, AdjacentCrashesMerge) {
   EXPECT_EQ(Tracker.componentBorderSize(1), 1u);
 }
 
-// The headline property: ≥1000 randomized crash sequences across mixed
-// topologies, checked for exact equivalence against the batch API *after
-// every individual crash* — components, sizes, border sizes, and ordering.
-TEST(IncrementalComponentsTest, MatchesBatchOnRandomCrashSequences) {
+// The headline property: ≥1000 randomized sequences across mixed
+// topologies, each interleaving crashes with epoch repairs — reset(), the
+// transition workload::EpochRunner's rejoins perform between epochs —
+// checked for exact equivalence against the batch API *after every
+// individual crash* of every epoch: components, sizes, border sizes, and
+// ordering. A repaired tracker must behave indistinguishably from a fresh
+// one (no cache, mark-epoch, or union-find state may leak across rejoins).
+TEST(IncrementalComponentsTest, MatchesBatchOnCrashAndRepairSequences) {
   int Sequences = 0;
   for (uint64_t Seed = 0; Sequences < 1000; ++Seed) {
     Rng Rand(Seed * 7919 + 1);
     Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
-    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
     ++Sequences;
 
     IncrementalComponents Tracker(G);
-    Region Crashed;
-    for (NodeId Q : Order) {
-      Crashed.insert(Q);
-      ASSERT_TRUE(Tracker.addCrashed(Q));
-
-      std::vector<Region> Batch = G.connectedComponents(Crashed);
-      std::vector<Region> Incremental = Tracker.components();
-      ASSERT_EQ(Incremental.size(), Batch.size())
-          << "seed " << Seed << " after crashing " << Crashed.str();
-      for (size_t I = 0; I < Batch.size(); ++I) {
-        ASSERT_EQ(Incremental[I], Batch[I])
-            << "seed " << Seed << " component " << I;
-        NodeId Member = *Batch[I].begin();
-        ASSERT_EQ(Tracker.componentSize(Member), Batch[I].size());
-        ASSERT_EQ(Tracker.componentBorderSize(Member),
-                  G.border(Batch[I]).size());
+    size_t Epochs = 1 + Rand.nextBelow(3);
+    for (size_t E = 0; E < Epochs; ++E) {
+      if (E > 0) {
+        // The epoch boundary: every crashed node is repaired and rejoins.
+        Tracker.reset();
+        ASSERT_EQ(Tracker.numCrashed(), 0u) << "seed " << Seed;
+        ASSERT_EQ(Tracker.numComponents(), 0u) << "seed " << Seed;
+        ASSERT_TRUE(Tracker.components().empty()) << "seed " << Seed;
       }
-      ASSERT_EQ(Tracker.numCrashed(), Crashed.size());
-      ASSERT_EQ(Tracker.numComponents(), Batch.size());
+      std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+      Region Crashed;
+      for (NodeId Q : Order) {
+        Crashed.insert(Q);
+        ASSERT_TRUE(Tracker.addCrashed(Q));
+        ASSERT_TRUE(Tracker.isCrashed(Q));
+
+        std::vector<Region> Batch = G.connectedComponents(Crashed);
+        std::vector<Region> Incremental = Tracker.components();
+        ASSERT_EQ(Incremental.size(), Batch.size())
+            << "seed " << Seed << " epoch " << E << " after crashing "
+            << Crashed.str();
+        for (size_t I = 0; I < Batch.size(); ++I) {
+          ASSERT_EQ(Incremental[I], Batch[I])
+              << "seed " << Seed << " epoch " << E << " component " << I;
+          NodeId Member = *Batch[I].begin();
+          ASSERT_EQ(Tracker.componentSize(Member), Batch[I].size());
+          ASSERT_EQ(Tracker.componentBorderSize(Member),
+                    G.border(Batch[I]).size());
+        }
+        ASSERT_EQ(Tracker.numCrashed(), Crashed.size());
+        ASSERT_EQ(Tracker.numComponents(), Batch.size());
+      }
+    }
+  }
+}
+
+// reset() must be observationally identical to constructing a fresh
+// tracker: the same post-repair crash order yields the same decomposition,
+// rank keys, and MaxView trajectory either way.
+TEST(IncrementalComponentsTest, RepairedTrackerMatchesFreshTracker) {
+  for (uint64_t Seed = 0; Seed < 120; ++Seed) {
+    Rng Rand(Seed * 48611 + 7);
+    Graph G = buildTopology(static_cast<uint32_t>(Seed), Rand);
+
+    IncrementalComponents Reused(G);
+    for (NodeId Q : randomCrashOrder(G, Rand))
+      Reused.addCrashed(Q); // Epoch 1, then repair:
+    Reused.reset();
+
+    IncrementalComponents Fresh(G);
+    std::vector<NodeId> Order = randomCrashOrder(G, Rand);
+    Region ReusedMax, FreshMax;
+    for (NodeId Q : Order) {
+      Reused.addCrashed(Q);
+      Fresh.addCrashed(Q);
+      ASSERT_EQ(Reused.components(), Fresh.components()) << "seed " << Seed;
+      ASSERT_EQ(Reused.componentBorderSize(Q), Fresh.componentBorderSize(Q));
+      if (Reused.outranks(Q, ReusedMax, RankingKind::SizeBorderLex))
+        ReusedMax = Reused.componentOf(Q);
+      if (Fresh.outranks(Q, FreshMax, RankingKind::SizeBorderLex))
+        FreshMax = Fresh.componentOf(Q);
+      ASSERT_EQ(ReusedMax, FreshMax) << "seed " << Seed;
     }
   }
 }

@@ -117,6 +117,47 @@ TEST(RuntimeTest, GrowingRegionConvergesOverThreads) {
   Cluster.shutdown();
 }
 
+TEST(RuntimeTest, ShutdownDrainsInFlightWork) {
+  // Regression for the teardown race: crash a node and shut down
+  // *immediately*, without awaiting quiescence. The drain-before-join
+  // contract means the crash notifications and the consensus they trigger
+  // still complete — before the fix, whichever frames were still in
+  // flight toward an already-joined worker were silently dropped and the
+  // decision count was timing-dependent.
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    graph::Graph G = graph::makeLine(5); // 0-1-2-3-4
+    ThreadedCluster Cluster(G);
+    Cluster.start();
+    Cluster.crash(2);
+    Cluster.shutdown(); // No awaitQuiescence on purpose.
+    auto Decisions = Cluster.decisions();
+    ASSERT_EQ(Decisions.size(), 2u) << "trial " << Trial;
+    for (const runtime::ThreadedDecision &D : Decisions)
+      EXPECT_EQ(D.View, (Region{2}));
+  }
+}
+
+TEST(RuntimeTest, CrashDuringTeardownStaysClean) {
+  // TSan-targeted: a crash landing concurrently with shutdown() must not
+  // race the teardown — watcher notifications either drain or are dropped
+  // with their in-flight accounting intact (verified by the final
+  // awaitQuiescence, which would hang on a stranded count and report
+  // false). Run under `ctest -L tsan` in the thread-sanitized preset.
+  for (int Trial = 0; Trial < 20; ++Trial) {
+    graph::Graph G = graph::makeRing(12);
+    ThreadedCluster Cluster(G);
+    Cluster.start();
+    Cluster.crash(static_cast<NodeId>(Trial % 12));
+    std::thread Crasher([&Cluster, Trial] {
+      Cluster.crash(static_cast<NodeId>((Trial + 5) % 12));
+    });
+    Cluster.shutdown();
+    Crasher.join();
+    EXPECT_TRUE(Cluster.awaitQuiescence(0ms)) << "trial " << Trial
+        << ": pending count stranded after teardown";
+  }
+}
+
 TEST(RuntimeTest, RepeatedRunsSettle) {
   // Shake out flaky thread coordination: several quick lifecycles.
   for (int Trial = 0; Trial < 5; ++Trial) {

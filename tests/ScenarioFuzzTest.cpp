@@ -1,0 +1,224 @@
+//===- tests/ScenarioFuzzTest.cpp - randomized .scn parser robustness ---------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fuzz-style robustness tests for the .scn parser, seeded from the
+/// curated specs in scenarios/: thousands of random token, line and
+/// character mutations of real files must
+///
+///  * never crash the parser (it collects diagnostics, it does not abort),
+///  * produce an exact 1-based line:col position for every diagnostic, and
+///  * for mutants that still parse, round-trip losslessly through the
+///    canonical writer with an idempotent fixed point — the same property
+///    `cliffedge-sim --emit-scn` relies on (the writer IS --emit-scn's
+///    output path; tools/check_docs.py additionally pins the CLI variant
+///    for the curated files themselves).
+///
+/// Everything is seeded, so a failure here is a deterministic repro, not a
+/// flake: the failing mutant is printed in full by the assertion message.
+///
+//===----------------------------------------------------------------------===//
+
+#include "scenario/Parse.h"
+#include "scenario/Spec.h"
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace cliffedge;
+
+#ifndef CLIFFEDGE_SCENARIO_DIR
+#error "CLIFFEDGE_SCENARIO_DIR must point at the repo's scenarios/ directory"
+#endif
+
+namespace {
+
+std::vector<std::pair<std::string, std::string>> loadScenarioTexts() {
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CLIFFEDGE_SCENARIO_DIR))
+    if (Entry.path().extension() == ".scn")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  std::vector<std::pair<std::string, std::string>> Out;
+  for (const auto &Path : Files) {
+    std::ifstream In(Path);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Out.emplace_back(Path.filename().string(), Buf.str());
+  }
+  return Out;
+}
+
+std::vector<std::string> splitLines(const std::string &Text) {
+  std::vector<std::string> Lines;
+  std::string Cur;
+  for (char C : Text) {
+    if (C == '\n') {
+      Lines.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  if (!Cur.empty())
+    Lines.push_back(Cur);
+  return Lines;
+}
+
+std::string joinLines(const std::vector<std::string> &Lines) {
+  std::string Out;
+  for (const std::string &L : Lines)
+    Out += L + "\n";
+  return Out;
+}
+
+/// One random mutation of \p Text. Mutations mix character-level damage
+/// (typos), line-level damage (lost/duplicated/reordered directives),
+/// token-level damage (junk values) and file splicing.
+std::string mutate(const std::string &Text, const std::string &Other,
+                   Rng &Rand) {
+  static const char Alphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789 :.,@-_#xX";
+  static const char *JunkTokens[] = {
+      "x",  "-1", "18446744073709551616", "..", ":", "grid:",  "0x10",
+      "on", "at", "999999999999999999999", "#",  "",  "des,sharded"};
+
+  std::string Out = Text;
+  switch (Rand.nextBelow(9)) {
+  case 0: // Delete a character.
+    if (!Out.empty())
+      Out.erase(Rand.nextBelow(Out.size()), 1);
+    break;
+  case 1: // Insert a character.
+    Out.insert(Out.begin() + Rand.nextBelow(Out.size() + 1),
+               Alphabet[Rand.nextBelow(sizeof(Alphabet) - 1)]);
+    break;
+  case 2: // Replace a character.
+    if (!Out.empty())
+      Out[Rand.nextBelow(Out.size())] =
+          Alphabet[Rand.nextBelow(sizeof(Alphabet) - 1)];
+    break;
+  case 3: { // Delete a line.
+    std::vector<std::string> Lines = splitLines(Out);
+    if (!Lines.empty())
+      Lines.erase(Lines.begin() + Rand.nextBelow(Lines.size()));
+    Out = joinLines(Lines);
+    break;
+  }
+  case 4: { // Duplicate a line (tests the duplicate-directive diagnostics).
+    std::vector<std::string> Lines = splitLines(Out);
+    if (!Lines.empty()) {
+      size_t I = Rand.nextBelow(Lines.size());
+      Lines.insert(Lines.begin() + I, Lines[I]);
+    }
+    Out = joinLines(Lines);
+    break;
+  }
+  case 5: { // Swap two lines (tests order independence / epoch structure).
+    std::vector<std::string> Lines = splitLines(Out);
+    if (Lines.size() >= 2) {
+      size_t I = Rand.nextBelow(Lines.size());
+      size_t J = Rand.nextBelow(Lines.size());
+      std::swap(Lines[I], Lines[J]);
+    }
+    Out = joinLines(Lines);
+    break;
+  }
+  case 6: // Truncate mid-file (possibly mid-token).
+    Out.erase(Rand.nextBelow(Out.size() + 1));
+    break;
+  case 7: { // Replace one whitespace-delimited token with junk.
+    std::vector<std::string> Lines = splitLines(Out);
+    if (!Lines.empty()) {
+      std::string &Line = Lines[Rand.nextBelow(Lines.size())];
+      std::istringstream Toks(Line);
+      std::vector<std::string> Parts;
+      std::string Tok;
+      while (Toks >> Tok)
+        Parts.push_back(Tok);
+      if (!Parts.empty()) {
+        Parts[Rand.nextBelow(Parts.size())] =
+            JunkTokens[Rand.nextBelow(sizeof(JunkTokens) /
+                                      sizeof(JunkTokens[0]))];
+        Line.clear();
+        for (size_t I = 0; I < Parts.size(); ++I)
+          Line += (I ? " " : "") + Parts[I];
+      }
+    }
+    Out = joinLines(Lines);
+    break;
+  }
+  case 8: { // Splice: head of this file + tail of another curated file.
+    size_t Cut = Rand.nextBelow(Out.size() + 1);
+    size_t OtherCut = Rand.nextBelow(Other.size() + 1);
+    Out = Out.substr(0, Cut) + Other.substr(OtherCut);
+    break;
+  }
+  }
+  return Out;
+}
+
+/// The invariants every input — however mangled — must uphold.
+void expectParserRobust(const std::string &Mutant, const std::string &From) {
+  scenario::ParseResult P = scenario::parseSpec(Mutant);
+  if (!P.Ok) {
+    // Diagnostics, never crashes: each one anchored to an exact position.
+    ASSERT_FALSE(P.Diags.empty())
+        << "parse failed with no diagnostics for mutant of " << From
+        << ":\n" << Mutant;
+    for (const scenario::Diag &D : P.Diags) {
+      EXPECT_GE(D.Line, 1u) << From << "\n" << Mutant;
+      EXPECT_GE(D.Col, 1u) << From << "\n" << Mutant;
+      EXPECT_FALSE(D.Message.empty()) << From << "\n" << Mutant;
+    }
+    return;
+  }
+  // Valid mutants round-trip: write -> parse is lossless and write is its
+  // own fixed point (the --emit-scn contract).
+  std::string Canon = scenario::writeSpec(P.S);
+  scenario::ParseResult Re = scenario::parseSpec(Canon);
+  ASSERT_TRUE(Re.Ok) << "canonical form of a valid mutant failed to parse\n"
+                     << "mutant of " << From << ":\n" << Mutant
+                     << "\ncanonical:\n" << Canon << "\n"
+                     << Re.diagText();
+  EXPECT_TRUE(Re.S == P.S) << "round-trip changed the spec\nmutant of "
+                           << From << ":\n" << Mutant;
+  EXPECT_EQ(scenario::writeSpec(Re.S), Canon)
+      << "writer is not idempotent for mutant of " << From;
+}
+
+TEST(ScenarioFuzzTest, CuratedSpecsSurviveRandomMutation) {
+  const auto Texts = loadScenarioTexts();
+  ASSERT_GE(Texts.size(), 9u) << "scenario dir went missing?";
+  constexpr int TrialsPerFile = 250;
+  uint64_t FileSeed = 0xf0225eedULL;
+  for (const auto &[Name, Text] : Texts) {
+    Rng Rand(++FileSeed * 0x9e3779b97f4a7c15ULL);
+    const std::string &Other =
+        Texts[Rand.nextBelow(Texts.size())].second;
+    // The unmutated file is the baseline: it must parse and round-trip.
+    expectParserRobust(Text, Name + " (unmutated)");
+    for (int Trial = 0; Trial < TrialsPerFile; ++Trial) {
+      std::string Mutant = mutate(Text, Other, Rand);
+      // Occasionally stack a second mutation for compound damage.
+      if (Rand.nextBool(0.3))
+        Mutant = mutate(Mutant, Other, Rand);
+      expectParserRobust(Mutant, Name);
+      if (::testing::Test::HasFatalFailure())
+        return;
+    }
+  }
+}
+
+} // namespace

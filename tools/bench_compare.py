@@ -83,6 +83,24 @@ def distill(gbench):
             f"BM_RegionUnionInPlace/{arg}",
             f"region_union_alloc_over_inplace_{arg}",
         )
+    # The event-delivery bench: the DES std::function heap vs the sharded
+    # engine's calendar queue on an identical schedule/fire churn.
+    for arg in (1024, 16384):
+        ratio(
+            f"BM_SimulatorChurn/{arg}",
+            f"BM_EventDeliverySharded/{arg}",
+            f"event_delivery_speedup_{arg}",
+        )
+    # End-to-end engines on the 100k-node quake storm. Protocol work is
+    # identical code on both sides, so on a single-core machine this ratio
+    # only reflects the delivery-layer savings; with >= 4 real cores the
+    # jobs4 variant additionally parallelises shard rounds.
+    for jobs in (1, 4):
+        ratio(
+            "BM_EngineQuakeStorm_Des",
+            f"BM_EngineQuakeStorm_Sharded/{jobs}",
+            f"engine_quake_des_over_sharded_jobs{jobs}",
+        )
     return {"schema": 1, "benchmarks": benchmarks, "derived": derived}
 
 

@@ -20,6 +20,7 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "engine/Engine.h"
 #include "graph/Dot.h"
 #include "scenario/Campaign.h"
 #include "scenario/Parse.h"
@@ -48,7 +49,14 @@ void usage(const char *Prog) {
       "  --scenario FILE      load a declarative .scn scenario\n"
       "                       (format reference: docs/scenario-format.md)\n"
       "  --campaign           run the file's full seed range and sweeps\n"
-      "  --jobs N             campaign worker threads (default 1)\n"
+      "  --jobs N             campaign worker threads; for a single\n"
+      "                       --backend sharded run, its shard workers\n"
+      "                       (default 1)\n"
+      "  --backend KIND       execution engine: des | sharded; overrides\n"
+      "                       the spec's `backend` directive. Outcomes are\n"
+      "                       backend-independent (differentially tested),\n"
+      "                       and sharded runs replay identically for any\n"
+      "                       --jobs value (deterministic merge)\n"
       "  --emit-scn           print the .scn equivalent of the current\n"
       "                       flags (or the canonical form of --scenario)\n"
       "                       and exit\n"
@@ -128,6 +136,7 @@ int main(int argc, char **argv) {
   Flags.Check = false;  // Plain flag runs only check with --check.
   std::string ScenarioFile;
   std::string Output = "summary";
+  std::string BackendFlag; ///< Empty = keep the spec's backend.
   bool Campaign = false, EmitScn = false, CheckFlag = false;
   unsigned Jobs = 1;
   // Tuning flags are an *alternative* to a .scn file, not overrides on
@@ -151,6 +160,8 @@ int main(int argc, char **argv) {
     else if (Arg == "--jobs")
       Jobs = static_cast<unsigned>(
           std::strtoul(Next("--jobs"), nullptr, 10));
+    else if (Arg == "--backend")
+      BackendFlag = Next("--backend");
     else if (Arg == "--emit-scn")
       EmitScn = true;
     else if (Arg == "--topology") {
@@ -254,6 +265,27 @@ int main(int argc, char **argv) {
     }
   }
 
+  // --backend is an execution override (like --jobs), not a tuning flag:
+  // it composes with --scenario because it cannot change a run's outcome,
+  // only which engine realises it. Overriding means winning over a
+  // `sweep backend` axis too — drop the axis so the campaign matrix (and
+  // the single-run first-variant collapse) cannot undo the flag.
+  if (!BackendFlag.empty()) {
+    std::string Err;
+    if (!scenario::applyOverride(S, "backend", BackendFlag, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    for (size_t I = 0; I < S.Sweeps.size(); ++I)
+      if (S.Sweeps[I].Key == "backend") {
+        std::fprintf(stderr, "note: --backend %s overrides the spec's "
+                             "'sweep backend' axis\n",
+                     BackendFlag.c_str());
+        S.Sweeps.erase(S.Sweeps.begin() + I);
+        break;
+      }
+  }
+
   if (EmitScn) {
     std::printf("%s", scenario::writeSpec(S).c_str());
     return 0;
@@ -289,32 +321,42 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 2;
   }
-  trace::ScenarioRunner Runner(Run.Topo.G, std::move(Run.Options));
-  Run.Plan.apply(Runner);
+  // One execution path for every backend: build the engine named by the
+  // spec (or --backend) and hand it the materialized job.
+  engine::EngineOptions EngOpts;
+  EngOpts.Workers = Jobs;
+  std::unique_ptr<engine::Engine> Eng =
+      engine::makeEngine(Variant.Backend, EngOpts);
+  engine::EngineJob Job;
+  Job.G = &Run.Topo.G;
+  Job.Plan = &Run.Plan;
+  Job.Options = std::move(Run.Options);
+  Job.Seed = Seed;
   graph::Region AllFaulty = Run.Plan.faultySet();
 
-  uint64_t Events = Runner.run();
-  if (!Runner.simulator().idle()) {
+  engine::EngineResult Res = Eng->run(Job);
+  if (!Res.Quiesced) {
     // Same contract as the campaign path: a truncated run is an error,
     // never a checked verdict.
     std::fprintf(stderr, "error: aborted: event budget of %llu exhausted\n",
                  (unsigned long long)S.MaxEvents);
     return 2;
   }
-  trace::CheckInput In = trace::makeCheckInput(Runner);
+  trace::CheckInput In = engine::toCheckInput(Res, Run.Topo.G);
 
   bool WantAll = Output == "all";
   if (Output == "summary" || WantAll) {
     std::printf("topology: %s (%u nodes, %zu edges)\n",
                 Variant.Topology.c_str(), Run.Topo.G.numNodes(),
                 Run.Topo.G.numEdges());
+    std::printf("backend:  %s\n", Eng->name());
     std::printf("faulty:   %s\n", AllFaulty.str().c_str());
     std::printf("events=%llu messages=%llu bytes=%llu decisions=%zu\n",
-                (unsigned long long)Events,
-                (unsigned long long)Runner.netStats().MessagesSent,
-                (unsigned long long)Runner.netStats().BytesSent,
-                Runner.decisions().size());
-    for (const trace::DecisionRecord &D : Runner.decisions())
+                (unsigned long long)Res.Events,
+                (unsigned long long)Res.Stats.MessagesSent,
+                (unsigned long long)Res.Stats.BytesSent,
+                Res.Decisions.size());
+    for (const trace::DecisionRecord &D : Res.Decisions)
       std::printf("  t=%-8llu %-10s view=%s value=%llu\n",
                   (unsigned long long)D.When,
                   Run.Topo.G.label(D.Node).c_str(), D.View.str().c_str(),
