@@ -34,7 +34,41 @@
 
 #include "benchmark/benchmark.h"
 
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <new>
+
 using namespace cliffedge;
+
+// -- Allocation-counting harness ---------------------------------------------
+//
+// Global operator new/delete replacements that count every heap allocation
+// while the flag is up. Bench-binary only (they never ship in the library);
+// BM_RoundProcessing_Allocs uses them to assert the steady-state data plane
+// runs allocation-free, and bench_compare gates the derived
+// round_processing_allocs_per_msg metric at <= 0.
+
+namespace {
+std::atomic<uint64_t> GAllocCount{0};
+std::atomic<bool> GAllocCounting{false};
+
+void *countedAlloc(std::size_t Size) {
+  if (GAllocCounting.load(std::memory_order_relaxed))
+    GAllocCount.fetch_add(1, std::memory_order_relaxed);
+  if (void *P = std::malloc(Size ? Size : 1))
+    return P;
+  throw std::bad_alloc();
+}
+} // namespace
+
+void *operator new(std::size_t Size) { return countedAlloc(Size); }
+void *operator new[](std::size_t Size) { return countedAlloc(Size); }
+void operator delete(void *P) noexcept { std::free(P); }
+void operator delete[](void *P) noexcept { std::free(P); }
+void operator delete(void *P, std::size_t) noexcept { std::free(P); }
+void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
 
 namespace {
 
@@ -206,6 +240,83 @@ void BM_ScenarioCrashBurst(benchmark::State &State) {
 }
 BENCHMARK(BM_ScenarioCrashBurst)->Arg(4)->Arg(6);
 
+// -- Steady-state round processing: the zero-allocation gate -----------------
+//
+// An 8x8 patch of a 24x24 grid crashes at t=100. After the discovery wave
+// (crash notices, view growth, instance churn) settles, the run is pure
+// Algorithm-1 steady state: every border node relays its opinion vector
+// round after round over the fixed final view. The bench cuts a window
+// well inside that phase — after instances, frame pools, event heap and
+// scratch buffers are warm, before the decisions land — and counts heap
+// allocations per delivered message with the operator-new hook. The data
+// plane's contract is that this is exactly zero: id-keyed flat lookups,
+// reused scratch messages, pooled frames, id-only wire frames.
+
+void BM_RoundProcessing_Allocs(benchmark::State &State) {
+  graph::Graph G = graph::makeGrid(24, 24);
+  graph::Region Patch = graph::gridPatch(24, 8, 8, 8);
+
+  auto MakeRunner = [&](bool RecordEvents) {
+    trace::RunnerOptions Opts;
+    Opts.RecordSends = false;
+    Opts.RecordProtocolEvents = RecordEvents;
+    return std::make_unique<trace::ScenarioRunner>(G, std::move(Opts));
+  };
+
+  // Dry run to locate the steady-state window. View construction churns
+  // for a long prefix of the run — failed intermediate instances, late
+  // proposals, rejections — and each of those transitions legitimately
+  // allocates (first sight of a view). Steady state begins once the last
+  // Propose/Reject/InstanceFailed transition has happened and its frames
+  // have landed; from there to the synchronized decision tick the traffic
+  // is pure round relays over the final view. The window cuts that phase
+  // with a few latencies of margin on both sides.
+  SimTime Last = 0, LastChurn = 0;
+  {
+    auto Dry = MakeRunner(/*RecordEvents=*/true);
+    Dry->scheduleCrashAll(Patch, 100);
+    Dry->run();
+    Last = Dry->lastDecisionTime();
+    for (const trace::TimedProtocolEvent &E : Dry->protocolEvents())
+      if (E.Event.Kind != core::EventKind::RoundAdvance &&
+          E.Event.Kind != core::EventKind::Decide)
+        LastChurn = std::max(LastChurn, E.When);
+  }
+  const SimTime W0 = LastChurn + 40;
+  const SimTime W1 = Last - 25;
+  if (W1 <= W0) {
+    State.SkipWithError("no steady-state window in this scenario");
+    return;
+  }
+
+  uint64_t Allocs = 0, Msgs = 0;
+  for (auto _ : State) {
+    auto Runner = MakeRunner(/*RecordEvents=*/false);
+    Runner->scheduleCrashAll(Patch, 100);
+    Runner->simulator().runUntil(W0); // Warm-up: discovery + early rounds.
+    uint64_t Before = Runner->netStats().MessagesDelivered;
+    GAllocCount.store(0, std::memory_order_relaxed);
+    GAllocCounting.store(true, std::memory_order_relaxed);
+    Runner->simulator().runUntil(W1);
+    GAllocCounting.store(false, std::memory_order_relaxed);
+    Allocs += GAllocCount.load(std::memory_order_relaxed);
+    Msgs += Runner->netStats().MessagesDelivered - Before;
+  }
+  if (Msgs == 0) {
+    // Never report a vacuous pass: a window with no deliveries means the
+    // gate measured nothing — fail it loudly (the missing counter makes
+    // bench_compare's --require report "not measured").
+    State.SkipWithError("no deliveries inside the steady-state window");
+    return;
+  }
+  State.counters["allocs_per_msg"] =
+      static_cast<double>(Allocs) / static_cast<double>(Msgs);
+  State.counters["steady_msgs"] =
+      static_cast<double>(Msgs) / State.iterations();
+  State.SetItemsProcessed(static_cast<int64_t>(Msgs));
+}
+BENCHMARK(BM_RoundProcessing_Allocs)->Unit(benchmark::kMillisecond);
+
 // -- Event engine ------------------------------------------------------------
 
 void BM_SimulatorChurn(benchmark::State &State) {
@@ -345,6 +456,13 @@ BENCHMARK(BM_EngineQuakeStorm_Sharded)
 
 // -- Wire format -------------------------------------------------------------
 
+/// Shared intern table for the wire benches (regions outlive the bench).
+core::ViewTable &wireBenchTable() {
+  static graph::Graph G(1);
+  static core::ViewTable Views(G);
+  return Views;
+}
+
 core::Message sampleMessage(size_t BorderSize) {
   core::Message M;
   std::vector<NodeId> View, Border;
@@ -353,25 +471,29 @@ core::Message sampleMessage(size_t BorderSize) {
     Border.push_back(static_cast<NodeId>(2 * I + 1));
   }
   M.Round = 3;
-  M.View = graph::Region(std::move(View));
-  M.Border = graph::Region(std::move(Border));
+  M.setView(wireBenchTable().intern(graph::Region(std::move(View)),
+                                    graph::Region(std::move(Border))));
   M.Opinions = core::OpinionVec(BorderSize);
   for (size_t I = 0; I < BorderSize; ++I)
     M.Opinions[I] = core::OpinionEntry{core::Opinion::Accept, I};
   return M;
 }
 
+// BM_WireEncode / BM_WireDecode keep benchmarking the v2 full-region
+// layout so the wire_v1_over_v2_* metric series stays comparable across
+// baselines; the *_V3 pair measures the current id-only steady-state path.
+
 void BM_WireEncode(benchmark::State &State) {
   core::Message M = sampleMessage(State.range(0));
   for (auto _ : State)
-    benchmark::DoNotOptimize(core::encodeMessage(M));
+    benchmark::DoNotOptimize(core::encodeMessageV2(M));
 }
 BENCHMARK(BM_WireEncode)->Arg(4)->Arg(32)->Arg(256);
 
 void BM_WireDecode(benchmark::State &State) {
-  auto Bytes = core::encodeMessage(sampleMessage(State.range(0)));
+  auto Bytes = core::encodeMessageV2(sampleMessage(State.range(0)));
   for (auto _ : State)
-    benchmark::DoNotOptimize(core::decodeMessage(Bytes));
+    benchmark::DoNotOptimize(core::decodeMessage(Bytes, wireBenchTable()));
 }
 BENCHMARK(BM_WireDecode)->Arg(4)->Arg(32)->Arg(256);
 
@@ -385,9 +507,32 @@ BENCHMARK(BM_WireEncodeV1)->Arg(4)->Arg(32)->Arg(256);
 void BM_WireDecodeV1(benchmark::State &State) {
   auto Bytes = core::encodeMessageV1(sampleMessage(State.range(0)));
   for (auto _ : State)
-    benchmark::DoNotOptimize(core::decodeMessage(Bytes));
+    benchmark::DoNotOptimize(core::decodeMessage(Bytes, wireBenchTable()));
 }
 BENCHMARK(BM_WireDecodeV1)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WireEncodeV3(benchmark::State &State) {
+  // The steady-state shape: id-only frame into a reused buffer.
+  core::Message M = sampleMessage(State.range(0));
+  std::vector<uint8_t> Out;
+  for (auto _ : State) {
+    core::encodeMessageV3Into(M, /*WithAnnounce=*/false, Out);
+    benchmark::DoNotOptimize(Out.data());
+  }
+}
+BENCHMARK(BM_WireEncodeV3)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_WireDecodeV3(benchmark::State &State) {
+  core::Message M = sampleMessage(State.range(0));
+  std::vector<uint8_t> Bytes;
+  core::encodeMessageV3Into(M, /*WithAnnounce=*/false, Bytes);
+  core::Message Scratch;
+  for (auto _ : State) {
+    bool Ok = core::decodeMessageInto(Bytes, wireBenchTable(), Scratch);
+    benchmark::DoNotOptimize(Ok);
+  }
+}
+BENCHMARK(BM_WireDecodeV3)->Arg(4)->Arg(32)->Arg(256);
 
 } // namespace
 

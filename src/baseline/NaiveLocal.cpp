@@ -19,8 +19,10 @@ using core::OpinionEntry;
 using core::OpinionVec;
 
 NaiveLocalNode::NaiveLocalNode(NodeId InSelf, const graph::Graph &InG,
+                               core::ViewTable &InViews,
                                core::Callbacks InCBs)
-    : Self(InSelf), G(InG), CBs(std::move(InCBs)), CrashedComponents(InG) {
+    : Self(InSelf), G(InG), Views(InViews), CBs(std::move(InCBs)),
+      CrashedComponents(InG) {
   assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
          CBs.SelectValue && "all callbacks must be provided");
 }
@@ -73,21 +75,21 @@ void NaiveLocalNode::onCrash(NodeId Q) {
 
 void NaiveLocalNode::onDeliver(NodeId From, const Message &M) {
   assert(Started && "event before start()");
-  auto It = Instances.find(M.View);
+  auto It = Instances.find(M.view());
   if (It == Instances.end()) {
     Instance I;
-    I.Border = M.Border;
+    I.Border = M.border();
     I.NumRounds =
-        std::max<uint32_t>(1, static_cast<uint32_t>(M.Border.size()) - 1);
-    I.Opinions.assign(I.NumRounds, OpinionVec(M.Border.size()));
-    I.Waiting.assign(I.NumRounds, M.Border);
-    It = Instances.emplace(M.View, std::move(I)).first;
+        std::max<uint32_t>(1, static_cast<uint32_t>(I.Border.size()) - 1);
+    I.Opinions.assign(I.NumRounds, OpinionVec(I.Border.size()));
+    I.Waiting.assign(I.NumRounds, I.Border);
+    It = Instances.emplace(M.view(), std::move(I)).first;
   }
   Instance &I = It->second;
 
   // Co-sign whatever we are asked about (the second naive flaw).
   if (!I.Accepted)
-    acceptAndJoin(M.View, I);
+    acceptAndJoin(It->first, I);
 
   assert(M.Round >= 1 && M.Round <= I.NumRounds && "round out of bounds");
   OpinionVec &Dst = I.Opinions[M.Round - 1];
@@ -96,7 +98,7 @@ void NaiveLocalNode::onDeliver(NodeId From, const Message &M) {
       Dst[K] = M.Opinions[K];
   I.Waiting[M.Round - 1].erase(From);
 
-  pump(M.View, I);
+  pump(It->first, I);
 }
 
 void NaiveLocalNode::acceptAndJoin(const graph::Region &V, Instance &I) {
@@ -107,10 +109,9 @@ void NaiveLocalNode::acceptAndJoin(const graph::Region &V, Instance &I) {
       OpinionEntry{Opinion::Accept, CBs.SelectValue(V)};
   Message M;
   M.Round = 1;
-  M.View = V;
-  M.Border = I.Border;
+  M.setView(Views.intern(V, I.Border));
   M.Opinions = std::move(Op);
-  CBs.Multicast(M.Border, M);
+  CBs.Multicast(I.Border, M);
 }
 
 void NaiveLocalNode::pump(const graph::Region &V, Instance &I) {
@@ -130,8 +131,7 @@ void NaiveLocalNode::pump(const graph::Region &V, Instance &I) {
     ++I.Round;
     Message M;
     M.Round = I.Round;
-    M.View = V;
-    M.Border = I.Border;
+    M.setView(Views.intern(V, I.Border));
     M.Opinions = I.Opinions[I.Round - 2];
     CBs.Multicast(I.Border, M);
   }

@@ -24,6 +24,7 @@
 
 #include "core/CliffEdgeNode.h"
 #include "core/Message.h"
+#include "core/ViewTable.h"
 #include "graph/Graph.h"
 #include "graph/IncrementalComponents.h"
 
@@ -36,7 +37,8 @@ namespace baseline {
 /// MonitorCrash, Decide, SelectValue).
 class NaiveLocalNode {
 public:
-  NaiveLocalNode(NodeId Self, const graph::Graph &G, core::Callbacks CBs);
+  NaiveLocalNode(NodeId Self, const graph::Graph &G, core::ViewTable &Views,
+                 core::Callbacks CBs);
 
   void start();
   void onCrash(NodeId Q);
@@ -64,6 +66,7 @@ private:
 
   NodeId Self;
   const graph::Graph &G;
+  core::ViewTable &Views;
   core::Callbacks CBs;
 
   bool Started = false;

@@ -48,8 +48,8 @@ GlobalScenarioRunner::GlobalScenarioRunner(
   for (NodeId N = 0; N < G.numNodes(); ++N) {
     GlobalFloodingNode::Callbacks CBs;
     CBs.Broadcast = [this, N](const GlobalMessage &M) {
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          encodeGlobalMessage(M));
+      sim::Network::Frame Frame =
+          support::FrameRef::fresh(encodeGlobalMessage(M));
       for (NodeId To = 0; To < this->G.numNodes(); ++To)
         Net.send(N, To, Frame);
     };
@@ -105,7 +105,7 @@ bool GlobalScenarioRunner::allAgree() const {
 NaiveScenarioRunner::NaiveScenarioRunner(const graph::Graph &InG,
                                          sim::LatencyModel Latency,
                                          detector::DetectionDelayModel Delay)
-    : G(InG),
+    : G(InG), Views(InG),
       Net(Sim, G.numNodes(),
           Latency ? std::move(Latency) : sim::fixedLatency(10)),
       Detector(Sim, G.numNodes(),
@@ -116,7 +116,7 @@ NaiveScenarioRunner::NaiveScenarioRunner(const graph::Graph &InG,
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setDeliver(
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
-        std::optional<core::Message> M = core::decodeMessage(*Bytes);
+        std::optional<core::Message> M = core::decodeMessage(*Bytes, Views);
         assert(M && "transport delivered a corrupt frame");
         if (M)
           Nodes[To]->onDeliver(From, *M);
@@ -126,8 +126,8 @@ NaiveScenarioRunner::NaiveScenarioRunner(const graph::Graph &InG,
     core::Callbacks CBs;
     CBs.Multicast = [this, N](const graph::Region &To,
                               const core::Message &M) {
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          core::encodeMessage(M));
+      sim::Network::Frame Frame =
+          support::FrameRef::fresh(core::encodeMessage(M));
       for (NodeId Recipient : To)
         Net.send(N, Recipient, Frame);
     };
@@ -140,7 +140,8 @@ NaiveScenarioRunner::NaiveScenarioRunner(const graph::Graph &InG,
     CBs.SelectValue = [N](const graph::Region &) {
       return static_cast<core::Value>(N);
     };
-    Nodes.push_back(std::make_unique<NaiveLocalNode>(N, G, std::move(CBs)));
+    Nodes.push_back(
+        std::make_unique<NaiveLocalNode>(N, G, Views, std::move(CBs)));
   }
   for (auto &Node : Nodes)
     Node->start();

@@ -84,6 +84,7 @@ public:
 
 private:
   const graph::Graph &G;
+  core::ViewTable Views;
   sim::Simulator Sim;
   sim::Network Net;
   detector::PerfectFailureDetector Detector;

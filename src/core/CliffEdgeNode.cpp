@@ -14,18 +14,23 @@ using namespace cliffedge;
 using namespace cliffedge::core;
 
 CliffEdgeNode::CliffEdgeNode(NodeId InSelf, const graph::Graph &InG,
-                             Config InCfg, Callbacks InCBs)
-    : Self(InSelf), G(InG), Cfg(InCfg), CBs(std::move(InCBs)),
+                             ViewTable &InViews, Config InCfg,
+                             Callbacks InCBs)
+    : Self(InSelf), G(InG), Views(InViews), Cfg(InCfg), CBs(std::move(InCBs)),
       CrashedComponents(InG) {
   assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
          CBs.SelectValue && "all callbacks must be provided");
+  assert(Views.rankingKind() == Cfg.Ranking &&
+         "view table and node must agree on the ranking relation");
 }
 
 void CliffEdgeNode::start() {
   assert(!Started && "start() called twice");
   Started = true;
-  // Line 4: monitor our own neighbours.
-  CBs.MonitorCrash(G.border(Self));
+  // Line 4: monitor our own neighbours. Through the reused scratch — at
+  // fleet scale the <init> wave alone is numNodes() border allocations.
+  G.borderInto(Self, MonitorScratch);
+  CBs.MonitorCrash(MonitorScratch);
 }
 
 void CliffEdgeNode::onCrash(NodeId Q) {
@@ -61,27 +66,37 @@ void CliffEdgeNode::onCrash(NodeId Q) {
 
 void CliffEdgeNode::onDeliver(NodeId From, const Message &M) {
   assert(Started && "event before start()");
+  assert(M.VB && M.Id != InvalidViewId && "message without interned view");
   // Line 18 guard: messages about views we rejected are ignored for good.
-  if (RejectedViews.count(M.View)) {
+  if (isRejected(M.Id)) {
     ++Stats.MessagesIgnored;
     return;
   }
-  assert(M.Border.contains(Self) &&
+  assert(M.border().contains(Self) &&
          "received a message for a view we do not border");
 
-  Instance &I = ensureInstance(M.View, M.Border);
+  Instance &I = ensureInstance(*M.VB);
+  // Complete-relay tracking only feeds the footnote-6 guard; skipping it
+  // otherwise saves the per-message vector scan and the tracking region's
+  // growth (the steady state stays allocation-free).
+  bool RelayComplete = Cfg.EarlyTermination && M.Opinions.isComplete();
   if (M.Final) {
     // A Final message stands in for every remaining round of its sender
     // (footnote-6 optimisation): merge it into each round it covers.
     for (uint32_t R = std::min(M.Round, I.NumRounds); R <= I.NumRounds; ++R)
-      mergeIntoRound(I, R, From, M.Opinions, M.Opinions.isComplete());
+      mergeIntoRound(I, R, From, M.Opinions, RelayComplete);
   } else {
     assert(M.Round >= 1 && M.Round <= I.NumRounds &&
            "round outside instance bounds");
-    mergeIntoRound(I, M.Round, From, M.Opinions, M.Opinions.isComplete());
+    mergeIntoRound(I, M.Round, From, M.Opinions, RelayComplete);
   }
 
   dispatch();
+}
+
+const graph::Region &CliffEdgeNode::lastProposedView() const {
+  static const graph::Region Empty;
+  return Vp ? Vp->View : Empty;
 }
 
 void CliffEdgeNode::dispatch() {
@@ -104,27 +119,27 @@ bool CliffEdgeNode::tryStartInstance() {
   if (HasProposal || CandidateView.empty())
     return false;
 
-  // Lines 13-17.
-  Vp = CandidateView;
-  CandidateView = graph::Region();
-  ProposedValue = CBs.SelectValue(Vp);
+  // Lines 13-17. Interning the candidate is the only region work a
+  // proposal does; everything downstream handles the stable entry.
+  const ViewEntry &E = Views.intern(CandidateView);
+  Vp = &E;
+  RejectScanNeeded = true; // The new proposal may outrank tracked views.
+  CandidateView.clear();
+  ProposedValue = CBs.SelectValue(E.View);
   HasProposal = true;
   Round = 1;
   ++Stats.Proposals;
   ++Stats.RoundsStarted;
 
-  graph::Region Border = G.border(Vp);
-  assert(Border.contains(Self) && "proposer must border its view (CD2)");
-  OpinionVec Op(Border.size());
-  Op[memberIndex(Border, Self)] = OpinionEntry{Opinion::Accept,
-                                               ProposedValue};
-  Message M;
-  M.Round = 1;
-  M.View = Vp;
-  M.Border = std::move(Border);
-  M.Opinions = std::move(Op);
-  multicast(M.Border, M);
-  emitEvent(EventKind::Propose, Vp, 1);
+  assert(E.Border.contains(Self) && "proposer must border its view (CD2)");
+  SendScratch.Round = 1;
+  SendScratch.setView(E);
+  SendScratch.Final = false;
+  SendScratch.Opinions.reset(E.Border.size());
+  SendScratch.Opinions[memberIndex(E.Border, Self)] =
+      OpinionEntry{Opinion::Accept, ProposedValue};
+  multicast(E.Border, SendScratch);
+  emitEvent(EventKind::Propose, E.View, 1);
   return true;
 }
 
@@ -133,47 +148,59 @@ bool CliffEdgeNode::tryRejectLower() {
   // (latest) proposal. Vp deliberately persists across instance failures —
   // the views a node proposes grow monotonically (Lemma 2), so anything
   // below an older proposal is also below any future one.
-  if (Vp.empty())
+  //
+  // The guard's inputs only change when a new instance appears or the
+  // proposal moves (both set RejectScanNeeded); every other dispatch —
+  // i.e. every steady-state round message — skips the scan entirely.
+  // Rejection itself only shrinks the live set, so a completed scan
+  // leaves nothing new to find.
+  if (!Vp || !RejectScanNeeded)
+    return false;
+  RejectScanNeeded = false;
+
+  LowerScratch.clear();
+  for (uint32_t S : LiveSlots) {
+    const Instance &I = Instances[S];
+    if (I.VB != Vp && Views.rankedLess(*I.VB, *Vp))
+      LowerScratch.push_back(S);
+  }
+  if (LowerScratch.empty())
     return false;
 
-  std::vector<graph::Region> Lower;
-  for (const auto &Entry : Received)
-    if (Entry.first != Vp &&
-        graph::rankedLess(G, Entry.first, Vp, Cfg.Ranking))
-      Lower.push_back(Entry.first);
-  if (Lower.empty())
-    return false;
-
-  // Deterministic rejection order regardless of hash-map iteration.
-  std::sort(Lower.begin(), Lower.end(),
-            [](const graph::Region &A, const graph::Region &B) {
-              return A.lexLess(B);
+  // Deterministic rejection order regardless of slot-list order.
+  std::sort(LowerScratch.begin(), LowerScratch.end(),
+            [this](uint32_t A, uint32_t B) {
+              return Instances[A].VB->View.lexLess(Instances[B].VB->View);
             });
-  for (const graph::Region &L : Lower)
-    doReject(L);
+  for (uint32_t S : LowerScratch)
+    doReject(S);
   return true;
 }
 
-void CliffEdgeNode::doReject(const graph::Region &L) {
+void CliffEdgeNode::doReject(uint32_t Slot) {
   // Lines 28-31.
-  auto It = Received.find(L);
-  assert(It != Received.end() && "rejecting a view we never received");
-  graph::Region Border = It->second.Border;
+  Instance &I = Instances[Slot];
+  assert(I.Live && I.VB && "rejecting a view we never received");
+  const ViewEntry &E = *I.VB;
+  const uint32_t SelfIdx = I.SelfIdx;
 
-  OpinionVec Op(Border.size());
-  Op[memberIndex(Border, Self)] = OpinionEntry{Opinion::Reject, 0};
-
-  Received.erase(It);
-  RejectedViews.insert(L);
+  // Retire the instance before multicasting, as the original erase did.
+  I.Live = false;
+  I.VB = nullptr;
+  LiveSlots.erase(std::find(LiveSlots.begin(), LiveSlots.end(), Slot));
+  FreeSlots.push_back(Slot);
+  if (E.Id >= Rejected.size())
+    Rejected.resize(E.Id + 1, 0);
+  Rejected[E.Id] = 1;
   ++Stats.Rejections;
 
-  Message M;
-  M.Round = 1;
-  M.View = L;
-  M.Border = std::move(Border);
-  M.Opinions = std::move(Op);
-  multicast(M.Border, M);
-  emitEvent(EventKind::Reject, L, 1);
+  SendScratch.Round = 1;
+  SendScratch.setView(E);
+  SendScratch.Final = false;
+  SendScratch.Opinions.reset(E.Border.size());
+  SendScratch.Opinions[SelfIdx] = OpinionEntry{Opinion::Reject, 0};
+  multicast(E.Border, SendScratch);
+  emitEvent(EventKind::Reject, E.View, 1);
 }
 
 bool CliffEdgeNode::tryCompleteRound() {
@@ -181,10 +208,10 @@ bool CliffEdgeNode::tryCompleteRound() {
   // contains only nodes we know to be crashed.
   if (!HasProposal || Decided)
     return false;
-  auto It = Received.find(Vp);
-  if (It == Received.end())
+  Instance *IP = findInstance(Vp->Id);
+  if (!IP)
     return false; // Our own round-1 self-delivery has not arrived yet.
-  Instance &I = It->second;
+  Instance &I = *IP;
   const graph::Region &Waiting = I.Waiting[Round - 1];
   if (!Waiting.isSubsetOf(LocallyCrashed))
     return false;
@@ -193,16 +220,14 @@ bool CliffEdgeNode::tryCompleteRound() {
   // complete vector this round, all members are known to know everything;
   // finish now and cover our remaining rounds with one Final message.
   if (Cfg.EarlyTermination && Round >= 2 && Round < I.NumRounds &&
-      I.CompleteRelays[Round - 1].size() == I.Border.size()) {
+      I.CompleteRelays[Round - 1].size() == I.VB->Border.size()) {
     ++Stats.EarlyTerminations;
-    Message M;
-    M.Round = Round + 1;
-    M.View = Vp;
-    M.Border = I.Border;
-    M.Opinions = I.Opinions[Round - 1];
-    M.Final = true;
-    multicast(I.Border, M);
-    emitEvent(EventKind::EarlyTerminate, Vp, Round);
+    SendScratch.Round = Round + 1;
+    SendScratch.setView(*I.VB);
+    SendScratch.Final = true;
+    SendScratch.Opinions = I.Opinions[Round - 1];
+    multicast(I.VB->Border, SendScratch);
+    emitEvent(EventKind::EarlyTerminate, I.VB->View, Round);
     finishInstance(I, Round);
     return true;
   }
@@ -213,16 +238,17 @@ bool CliffEdgeNode::tryCompleteRound() {
     return true;
   }
 
-  // Lines 38-40: start the next round, relaying last round's vector.
+  // Lines 38-40: start the next round, relaying last round's vector. The
+  // scratch message reuses its opinion storage, so steady-state relays
+  // allocate nothing.
   ++Round;
   ++Stats.RoundsStarted;
-  Message M;
-  M.Round = Round;
-  M.View = Vp;
-  M.Border = I.Border;
-  M.Opinions = I.Opinions[Round - 2];
-  multicast(I.Border, M);
-  emitEvent(EventKind::RoundAdvance, Vp, Round);
+  SendScratch.Round = Round;
+  SendScratch.setView(*I.VB);
+  SendScratch.Final = false;
+  SendScratch.Opinions = I.Opinions[Round - 2];
+  multicast(I.VB->Border, SendScratch);
+  emitEvent(EventKind::RoundAdvance, I.VB->View, Round);
   return true;
 }
 
@@ -233,9 +259,9 @@ void CliffEdgeNode::finishInstance(Instance &I, uint32_t FinalRound) {
     // vector (Lemma 3), so "value of the smallest border id" is a shared
     // deterministic choice.
     Decided = true;
-    DecidedV = Vp;
+    DecidedV = Vp->View;
     DecidedVal = Vec[0].Val;
-    emitEvent(EventKind::Decide, Vp, FinalRound);
+    emitEvent(EventKind::Decide, Vp->View, FinalRound);
     CBs.Decide(DecidedV, DecidedVal);
     return;
   }
@@ -243,34 +269,71 @@ void CliffEdgeNode::finishInstance(Instance &I, uint32_t FinalRound) {
   // reset and wait for the view construction to produce a better candidate.
   HasProposal = false;
   ++Stats.InstancesFailed;
-  emitEvent(EventKind::InstanceFailed, Vp, FinalRound);
+  emitEvent(EventKind::InstanceFailed, Vp->View, FinalRound);
 }
 
-CliffEdgeNode::Instance &
-CliffEdgeNode::ensureInstance(const graph::Region &V,
-                              const graph::Region &B) {
-  auto It = Received.find(V);
-  if (It != Received.end())
-    return It->second;
+CliffEdgeNode::Instance *CliffEdgeNode::findInstance(ViewId Id) {
+  const uint32_t *SlotPlus1 = ReceivedSlot.find(Id);
+  if (!SlotPlus1 || *SlotPlus1 == 0)
+    return nullptr;
+  Instance &I = Instances[*SlotPlus1 - 1];
+  // A stale mapping (its instance was rejected and the slot recycled)
+  // never matches the queried id.
+  if (!I.Live || !I.VB || I.VB->Id != Id)
+    return nullptr;
+  return &I;
+}
+
+CliffEdgeNode::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
+  uint32_t &SlotPlus1 = ReceivedSlot[VB.Id];
+  if (SlotPlus1 != 0) {
+    Instance &I = Instances[SlotPlus1 - 1];
+    if (I.Live && I.VB == &VB)
+      return I;
+  }
 
   // Lines 19-22: first contact with this view — allocate every round's
-  // opinion vector and waiting set up front.
-  assert(B == G.border(V) && "border must match the topology");
-  Instance I;
-  I.Border = B;
-  I.NumRounds = std::max<uint32_t>(
-      1, static_cast<uint32_t>(B.size()) - 1);
-  I.Opinions.assign(I.NumRounds, OpinionVec(B.size()));
-  I.Waiting.assign(I.NumRounds, B);
-  I.CompleteRelays.assign(I.NumRounds, graph::Region());
-  return Received.emplace(V, std::move(I)).first->second;
+  // opinion vector and waiting set up front (this is the view-construction
+  // path, not the steady state).
+  assert(VB.Border == G.border(VB.View) &&
+         "border must match the topology");
+  uint32_t Slot;
+  if (!FreeSlots.empty()) {
+    Slot = FreeSlots.back();
+    FreeSlots.pop_back();
+  } else {
+    Slot = static_cast<uint32_t>(Instances.size());
+    Instances.emplace_back();
+  }
+  Instance &I = Instances[Slot];
+  I.VB = &VB;
+  I.Live = true;
+  I.NumRounds =
+      std::max<uint32_t>(1, static_cast<uint32_t>(VB.Border.size()) - 1);
+  I.SelfIdx = static_cast<uint32_t>(memberIndex(VB.Border, Self));
+  I.Opinions.assign(I.NumRounds, OpinionVec(VB.Border.size()));
+  I.Waiting.assign(I.NumRounds, VB.Border);
+  if (Cfg.EarlyTermination) {
+    // Seed each tracking region with the border's capacity so the
+    // per-round inserts never reallocate mid-instance.
+    I.CompleteRelays.assign(I.NumRounds, VB.Border);
+    for (graph::Region &R : I.CompleteRelays)
+      R.clear();
+  } else {
+    I.CompleteRelays.clear(); // Unused without the footnote-6 guard.
+  }
+  LiveSlots.push_back(Slot);
+  SlotPlus1 = Slot + 1;
+  RejectScanNeeded = true; // A fresh view may rank below the proposal.
+  return I;
 }
 
 void CliffEdgeNode::mergeIntoRound(Instance &I, uint32_t MsgRound,
                                    NodeId From, const OpinionVec &Op,
                                    bool RelayComplete) {
   assert(MsgRound >= 1 && MsgRound <= I.NumRounds && "round out of bounds");
-  assert(Op.size() == I.Border.size() && "opinion vector size mismatch");
+  assert(Op.size() == I.VB->Border.size() &&
+         "opinion vector size mismatch");
 
   // Lines 23-24: first write wins — only bottom entries are filled. FIFO
   // channels then guarantee an accept from a node that later rejected the
@@ -286,7 +349,7 @@ void CliffEdgeNode::mergeIntoRound(Instance &I, uint32_t MsgRound,
   Waiting.erase(From);
   for (size_t K = 0; K < Op.size(); ++K)
     if (Op[K].Kind == Opinion::Reject)
-      Waiting.erase(I.Border.ids()[K]);
+      Waiting.erase(I.VB->Border.ids()[K]);
 
   if (RelayComplete)
     I.CompleteRelays[MsgRound - 1].insert(From);

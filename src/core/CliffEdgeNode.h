@@ -31,6 +31,15 @@
 ///    Config::EarlyTermination (off by default), implemented with Final
 ///    messages that stand in for all remaining rounds.
 ///
+/// Data plane: all per-message state is keyed on the dense ViewId of the
+/// run-shared core::ViewTable, never on region contents. `Received` is a
+/// flat open-addressing id -> instance-slot map, `RejectedViews` a byte
+/// array indexed by id, and rank arbitration (line 26) compares the
+/// precomputed rank keys of the interned entries. Steady-state round
+/// processing (deliver -> merge -> relay) performs zero heap allocations:
+/// the outgoing message is a reused scratch whose opinion vector recycles
+/// its capacity, and views travel as interned handles.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLIFFEDGE_CORE_CLIFFEDGENODE_H
@@ -38,14 +47,15 @@
 
 #include "core/Message.h"
 #include "core/Types.h"
+#include "core/ViewTable.h"
 #include "graph/Graph.h"
 #include "graph/IncrementalComponents.h"
 #include "graph/Ranking.h"
 #include "graph/Region.h"
+#include "support/FlatHash.h"
 
 #include <functional>
-#include <unordered_map>
-#include <unordered_set>
+#include <vector>
 
 namespace cliffedge {
 namespace core {
@@ -53,7 +63,8 @@ namespace core {
 /// Tunables for one protocol node.
 struct Config {
   /// Ranking relation used for view arbitration (§3.1). The paper's
-  /// relation is SizeBorderLex; others are ablations.
+  /// relation is SizeBorderLex; others are ablations. Must match the
+  /// RankingKind of the run's ViewTable (asserted).
   graph::RankingKind Ranking = graph::RankingKind::SizeBorderLex;
 
   /// Enables the footnote-6 optimisation: terminate an instance as soon as
@@ -86,7 +97,8 @@ struct Callbacks {
   /// The paper's best-effort multicast (§3.1): delivers \p M to every node
   /// of \p To over point-to-point channels, including the sender itself
   /// (the sender is always in border(V)). Handing the whole recipient set
-  /// to the transport lets it encode the payload once.
+  /// to the transport lets it encode the payload once. \p M is a reused
+  /// scratch — transports must not retain the reference past the call.
   std::function<void(const graph::Region &To, const Message &M)> Multicast;
 
   /// The paper's <monitorCrash | S>: subscribe to crash notifications.
@@ -118,8 +130,8 @@ public:
     uint64_t MessagesIgnored = 0; ///< Deliveries for rejected views.
   };
 
-  CliffEdgeNode(NodeId Self, const graph::Graph &G, Config Cfg,
-                Callbacks CBs);
+  CliffEdgeNode(NodeId Self, const graph::Graph &G, ViewTable &Views,
+                Config Cfg, Callbacks CBs);
 
   /// The paper's <init> (lines 1-4): subscribes to the crashes of the
   /// node's own neighbours. Must be called exactly once before any event.
@@ -152,22 +164,26 @@ public:
   bool hasActiveProposal() const { return HasProposal; }
 
   /// The last proposed view Vp (empty if the node never proposed).
-  const graph::Region &lastProposedView() const { return Vp; }
+  const graph::Region &lastProposedView() const;
 
   /// Current round of the active instance.
   uint32_t currentRound() const { return Round; }
 
   /// Number of conflicting views this node currently tracks.
-  size_t trackedViews() const { return Received.size(); }
+  size_t trackedViews() const { return LiveSlots.size(); }
 
   const Counters &counters() const { return Stats; }
 
 private:
   /// Per-view consensus instance bookkeeping (the paper's opinions[V][.][.]
-  /// and waiting[V][.], lines 21-22).
+  /// and waiting[V][.], lines 21-22), stored in a recycled slot vector and
+  /// looked up by ViewId through a flat hash — no per-message hashing of
+  /// region contents anywhere.
   struct Instance {
-    graph::Region Border;   ///< B = border(V), fixed by G.
-    uint32_t NumRounds = 1; ///< max(1, |B| - 1).
+    const ViewEntry *VB = nullptr; ///< Interned (view, border); stable.
+    uint32_t NumRounds = 1;        ///< max(1, |B| - 1).
+    uint32_t SelfIdx = 0;          ///< Index of Self within border(V).
+    bool Live = false;
     std::vector<OpinionVec> Opinions;   ///< [round-1] -> op vector.
     std::vector<graph::Region> Waiting; ///< [round-1] -> members awaited.
     /// Members whose message for a round carried a complete vector; when
@@ -187,8 +203,8 @@ private:
   /// Line 26: rejects any received view ranked below our proposal.
   bool tryRejectLower();
 
-  /// Lines 28-31: emits the reject vector for view \p L.
-  void doReject(const graph::Region &L);
+  /// Lines 28-31: emits the reject vector for the view in slot \p Slot.
+  void doReject(uint32_t Slot);
 
   /// Line 32: round completion, decision (lines 33-36), failure (line 37)
   /// or next round (lines 38-40).
@@ -200,7 +216,11 @@ private:
 
   // -- Helpers -------------------------------------------------------------
 
-  Instance &ensureInstance(const graph::Region &V, const graph::Region &B);
+  Instance &ensureInstance(const ViewEntry &VB);
+  Instance *findInstance(ViewId Id);
+  bool isRejected(ViewId Id) const {
+    return Id < Rejected.size() && Rejected[Id];
+  }
   void mergeIntoRound(Instance &I, uint32_t MsgRound, NodeId From,
                       const OpinionVec &Op, bool RelayComplete);
   void multicast(const graph::Region &To, const Message &M);
@@ -209,6 +229,7 @@ private:
 
   NodeId Self;
   const graph::Graph &G;
+  ViewTable &Views;
   Config Cfg;
   Callbacks CBs;
 
@@ -230,10 +251,22 @@ private:
   graph::Region MonitorScratch;
   graph::Region MaxView;
   graph::Region CandidateView;
-  graph::Region Vp;
+  /// The live proposal Vp as an interned handle (null before the first
+  /// proposal). Persists across instance failures, like the paper's Vp.
+  const ViewEntry *Vp = nullptr;
   uint32_t Round = 1;
-  std::unordered_map<graph::Region, Instance, graph::RegionHash> Received;
-  std::unordered_set<graph::Region, graph::RegionHash> RejectedViews;
+
+  /// ViewId -> instance slot + 1 (0 = absent; the flat map's default).
+  U64FlatMap<uint32_t> ReceivedSlot;
+  std::vector<Instance> Instances;  ///< Slot storage, recycled.
+  std::vector<uint32_t> FreeSlots;  ///< Dead slots awaiting reuse.
+  std::vector<uint32_t> LiveSlots;  ///< Live slots, for line-26 scans.
+  std::vector<uint8_t> Rejected;    ///< Indexed by ViewId.
+  std::vector<uint32_t> LowerScratch; ///< tryRejectLower scratch.
+  /// Line-26 scan gate: set when a new instance appears or Vp changes;
+  /// steady-state round traffic leaves it down and skips the scan.
+  bool RejectScanNeeded = false;
+  Message SendScratch;              ///< Reused outgoing message.
 
   Counters Stats;
 };

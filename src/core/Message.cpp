@@ -13,7 +13,8 @@ using namespace cliffedge;
 using namespace cliffedge::core;
 
 std::string Message::str() const {
-  return formatStr("r%u V=%s B=%s %s%s", Round, View.str().c_str(),
-                   Border.str().c_str(), Opinions.str().c_str(),
-                   Final ? " final" : "");
+  return formatStr("r%u V=%s B=%s %s%s", Round,
+                   VB ? view().str().c_str() : "?",
+                   VB ? border().str().c_str() : "?",
+                   Opinions.str().c_str(), Final ? " final" : "");
 }

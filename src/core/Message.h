@@ -11,6 +11,12 @@
 /// aligned with B. Proposals (line 17), rejections (line 31) and round
 /// relays (line 40) are all instances of this shape.
 ///
+/// V and B are not owned region copies but an interned handle into the
+/// run's core::ViewTable: messages carry the dense ViewId plus a stable
+/// pointer to the table entry, so constructing, relaying and comparing
+/// messages never touches region storage. The wire codec preserves this —
+/// after a view's one-time announce, v3 frames are id-only.
+///
 /// The `Final` flag implements the paper's footnote-6 optimisation: a node
 /// that can terminate early sends one final message standing for all of its
 /// remaining rounds (see CliffEdgeNode for the exact condition).
@@ -21,8 +27,10 @@
 #define CLIFFEDGE_CORE_MESSAGE_H
 
 #include "core/Types.h"
+#include "core/ViewTable.h"
 #include "graph/Region.h"
 
+#include <cassert>
 #include <string>
 
 namespace cliffedge {
@@ -31,12 +39,29 @@ namespace core {
 /// One protocol message.
 struct Message {
   uint32_t Round = 1;
-  graph::Region View;
-  graph::Region Border;
+  /// Interned (view, border) handle; Id == VB->Id. Both are set together
+  /// via setView() and remain valid for the lifetime of the run's
+  /// ViewTable, which outlives every in-flight message.
+  ViewId Id = InvalidViewId;
+  const ViewEntry *VB = nullptr;
   OpinionVec Opinions;
   /// When set, this message stands in for every round >= Round (early
   /// termination; the sender stops participating in this instance).
   bool Final = false;
+
+  const graph::Region &view() const {
+    assert(VB && "message has no interned view");
+    return VB->View;
+  }
+  const graph::Region &border() const {
+    assert(VB && "message has no interned view");
+    return VB->Border;
+  }
+
+  void setView(const ViewEntry &E) {
+    Id = E.Id;
+    VB = &E;
+  }
 
   /// Renders e.g. "r2 V={1,2} B={0,3} [A:5,_] final" for logs.
   std::string str() const;

@@ -54,6 +54,11 @@ public:
   OpinionVec() = default;
   explicit OpinionVec(size_t NumMembers) : Entries(NumMembers) {}
 
+  /// Re-initialises to \p NumMembers bottom entries, reusing the existing
+  /// storage — the wire decoder's scratch message relies on this to keep
+  /// steady-state decoding allocation-free.
+  void reset(size_t NumMembers) { Entries.assign(NumMembers, OpinionEntry{}); }
+
   size_t size() const { return Entries.size(); }
 
   OpinionEntry &operator[](size_t Index) {

@@ -1,0 +1,101 @@
+//===- core/ViewTable.cpp - Run-wide view interning -------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ViewTable.h"
+
+#include <cassert>
+
+using namespace cliffedge;
+using namespace cliffedge::core;
+
+ViewTable::~ViewTable() {
+  size_t N = Count.load(std::memory_order_acquire);
+  for (size_t C = 0; C * ChunkSize < N; ++C)
+    delete[] Chunks[C].load(std::memory_order_relaxed);
+}
+
+uint64_t ViewTable::rankKeyFor(const graph::Region &V,
+                               const graph::Region &B) const {
+  // Higher key = higher rank. SizeBorderLex packs (|V|, |border(V)|) so
+  // clauses (i) and (ii) of §3.1 are one 64-bit compare; equal keys fall
+  // through to the lexicographic tie-break in rankedLess(). The ablation
+  // kinds zero out the clauses they drop.
+  switch (Kind) {
+  case graph::RankingKind::SizeBorderLex:
+    return (static_cast<uint64_t>(V.size()) << 32) |
+           static_cast<uint32_t>(B.size());
+  case graph::RankingKind::SizeLex:
+    return static_cast<uint64_t>(V.size());
+  case graph::RankingKind::PureLex:
+    return 0;
+  }
+  return 0;
+}
+
+const ViewEntry &ViewTable::publish(const graph::Region &V,
+                                    graph::Region B) {
+  // Caller holds Mu and has checked Index. Build the entry in place, then
+  // release-publish the new count so lock-free readers only ever see
+  // fully-constructed entries.
+  size_t N = Count.load(std::memory_order_relaxed);
+  assert(N / ChunkSize < MaxChunks && "view table full");
+  std::atomic<ViewEntry *> &Chunk = Chunks[N >> ChunkShift];
+  if (!Chunk.load(std::memory_order_relaxed))
+    Chunk.store(new ViewEntry[ChunkSize], std::memory_order_release);
+
+  ViewEntry &E = Chunk.load(std::memory_order_relaxed)[N & (ChunkSize - 1)];
+  E.View = V;
+  E.Border = std::move(B);
+  E.Id = static_cast<ViewId>(N);
+  E.RankKey = rankKeyFor(E.View, E.Border);
+  // Precompute the hashes while the entry is still writer-private, so the
+  // lazily-cached Region::hash() is never first computed by a reader.
+  (void)E.View.hash();
+  (void)E.Border.hash();
+
+  Index.emplace(E.View, E.Id);
+  Count.store(N + 1, std::memory_order_release);
+  return E;
+}
+
+const ViewEntry &ViewTable::intern(const graph::Region &V) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(V);
+  if (It != Index.end())
+    return *entryAt(It->second);
+  return publish(V, G.border(V));
+}
+
+const ViewEntry &ViewTable::intern(const graph::Region &V,
+                                   const graph::Region &B) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(V);
+  if (It != Index.end()) {
+    const ViewEntry &E = *entryAt(It->second);
+    assert(E.Border == B && "view re-interned with a different border");
+    return E;
+  }
+  return publish(V, B);
+}
+
+const ViewEntry *ViewTable::internAnnounced(ViewId Id, const graph::Region &V,
+                                            const graph::Region &B) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  size_t N = Count.load(std::memory_order_relaxed);
+  if (Id < N) {
+    const ViewEntry &E = *entryAt(Id);
+    // The run-shared table already holds this id (the proposer interned it
+    // at propose time); the frame must agree with it.
+    return E.View == V && E.Border == B ? &E : nullptr;
+  }
+  if (Id != N)
+    return nullptr; // A fresh decoder table replays ids densely, in order.
+  auto It = Index.find(V);
+  if (It != Index.end())
+    return nullptr; // Same view under two ids: corrupt stream.
+  return &publish(V, B);
+}

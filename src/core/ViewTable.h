@@ -1,0 +1,144 @@
+//===- core/ViewTable.h - Run-wide view interning ---------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Interns every (view, border) pair a run ever handles into a dense 32-bit
+/// ViewId, assigned at first sight. Algorithm 1 only ever compares views
+/// for *identity* (is this message about the view I proposed? have I
+/// rejected this view?) and for *rank* (line 26) — it never re-reads a
+/// view's contents per round. Interning turns both into integer work:
+/// identity is an id compare, and each entry carries a precomputed 64-bit
+/// rank key under the run's RankingKind so the ranking relation of §3.1
+/// reduces to one integer compare (falling back to the lexicographic walk
+/// only on exact key ties, i.e. equal |V| and |border(V)|).
+///
+/// One table is shared by every node of a run — protocol nodes, both
+/// execution engines and the wire codec all speak the same id space, which
+/// is what lets wire v3 send id-only frames after a view's one-time
+/// announce. The table is append-only and thread-safe: intern() serialises
+/// writers behind a mutex (first sight of a view is rare), while get() is
+/// lock-free — entries live in fixed-size chunks that never move, and a
+/// release/acquire published count keeps readers off half-built entries.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_CORE_VIEWTABLE_H
+#define CLIFFEDGE_CORE_VIEWTABLE_H
+
+#include "graph/Graph.h"
+#include "graph/Ranking.h"
+#include "graph/Region.h"
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+namespace cliffedge {
+namespace core {
+
+/// Dense run-wide identifier of an interned (view, border) pair.
+using ViewId = uint32_t;
+inline constexpr ViewId InvalidViewId = ~0u;
+
+/// One interned view. Storage is stable: the regions outlive every message
+/// and instance that points at them, so the data plane never copies them.
+struct ViewEntry {
+  graph::Region View;
+  graph::Region Border;
+  ViewId Id = InvalidViewId;
+  /// Precomputed ranking key under the table's RankingKind; see
+  /// ViewTable::rankedLess for the exact encoding.
+  uint64_t RankKey = 0;
+};
+
+/// Append-only intern table of views, shared by a whole run.
+class ViewTable {
+public:
+  explicit ViewTable(const graph::Graph &G,
+                     graph::RankingKind Kind =
+                         graph::RankingKind::SizeBorderLex)
+      : G(G), Kind(Kind) {}
+
+  ViewTable(const ViewTable &) = delete;
+  ViewTable &operator=(const ViewTable &) = delete;
+  ~ViewTable();
+
+  const graph::Graph &graph() const { return G; }
+  graph::RankingKind rankingKind() const { return Kind; }
+
+  /// Number of interned views published so far.
+  size_t size() const { return Count.load(std::memory_order_acquire); }
+
+  /// Interns \p V with border(V) computed from the topology. Returns the
+  /// existing entry when the view was seen before.
+  const ViewEntry &intern(const graph::Region &V);
+
+  /// Interns \p V with the given border (the wire decoders use this: v1/v2
+  /// frames carry the border explicitly). A view re-interned with a
+  /// different border is a protocol violation (asserted).
+  const ViewEntry &intern(const graph::Region &V, const graph::Region &B);
+
+  /// Registers an announce received off the wire: the frame dictates the
+  /// id. With the run-shared table the id always matches the existing
+  /// entry; a fresh decoder-side table replays the sender's assignment.
+  /// Returns null on conflict (same id, different view — corrupt frame) or
+  /// on an id gap the table cannot honour.
+  const ViewEntry *internAnnounced(ViewId Id, const graph::Region &V,
+                                   const graph::Region &B);
+
+  /// Entry lookup by id; \p Id must be below size(). Lock-free.
+  const ViewEntry &get(ViewId Id) const {
+    assert(Id < size() && "view id out of range");
+    return *entryAt(Id);
+  }
+
+  /// Entry lookup that tolerates unknown ids (wire decoder path).
+  const ViewEntry *tryGet(ViewId Id) const {
+    return Id < size() ? entryAt(Id) : nullptr;
+  }
+
+  /// The ranking relation of §3.1 on interned entries: one integer compare
+  /// in the common case, lexicographic walk only on exact key ties.
+  bool rankedLess(const ViewEntry &A, const ViewEntry &B) const {
+    if (A.RankKey != B.RankKey)
+      return A.RankKey < B.RankKey;
+    return A.View.lexLess(B.View);
+  }
+
+private:
+  /// Entries live in fixed chunks that never move; readers index without
+  /// locking. 1024 entries per chunk, up to ~4M distinct views per run.
+  static constexpr size_t ChunkShift = 10;
+  static constexpr size_t ChunkSize = size_t(1) << ChunkShift;
+  static constexpr size_t MaxChunks = 4096;
+
+  ViewEntry *entryAt(ViewId Id) const {
+    return &Chunks[Id >> ChunkShift].load(
+        std::memory_order_relaxed)[Id & (ChunkSize - 1)];
+  }
+
+  uint64_t rankKeyFor(const graph::Region &V, const graph::Region &B) const;
+  const ViewEntry &publish(const graph::Region &V, graph::Region B);
+
+  const graph::Graph &G;
+  graph::RankingKind Kind;
+
+  std::atomic<size_t> Count{0};
+  std::array<std::atomic<ViewEntry *>, MaxChunks> Chunks{};
+
+  // Writer-side state, all behind Mu.
+  std::mutex Mu;
+  std::unordered_map<graph::Region, ViewId, graph::RegionHash> Index;
+};
+
+} // namespace core
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_CORE_VIEWTABLE_H

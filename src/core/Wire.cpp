@@ -16,9 +16,12 @@ using namespace cliffedge::core;
 namespace {
 
 constexpr uint32_t WireMagic = 0x43454C43; // "CLEC"
-constexpr uint8_t WireVersionLegacy = 1;
-constexpr uint8_t WireVersion = 2;
+constexpr uint8_t WireVersionV1 = 1;
+constexpr uint8_t WireVersionV2 = 2;
+constexpr uint8_t WireVersion = 3;
 constexpr size_t HeaderSize = 4 + 1 + 1; // magic, version, flags
+constexpr uint8_t FlagFinal = 1u << 0;
+constexpr uint8_t FlagAnnounce = 1u << 1;
 
 /// Decoder reserve() clamp: prevents a hostile count field from demanding
 /// gigabytes before the per-element truncation checks reject the frame.
@@ -46,30 +49,19 @@ void putU32(uint8_t *&P, uint32_t V) {
     *P++ = static_cast<uint8_t>(V >> (8 * I));
 }
 
-/// Exact v2 frame size, computed in one pass so the encoder allocates once.
-/// Must iterate exactly what the write pass writes: one opinion per border
-/// member (the encoder asserts the vector is border-aligned).
-size_t encodedSizeV2(const Message &M) {
-  size_t S = HeaderSize + varintSize(M.Round);
-  for (const graph::Region *R : {&M.View, &M.Border}) {
-    S += varintSize(R->size());
-    NodeId Prev = 0;
-    bool First = true;
-    for (NodeId Id : *R) {
-      S += varintSize(First ? Id : Id - Prev);
-      Prev = Id;
-      First = false;
-    }
-  }
-  for (size_t I = 0; I < M.Border.size(); ++I) {
-    S += 1;
-    if (M.Opinions[I].Kind == Opinion::Accept)
-      S += varintSize(M.Opinions[I].Val);
+size_t regionSizeDelta(const graph::Region &R) {
+  size_t S = varintSize(R.size());
+  NodeId Prev = 0;
+  bool First = true;
+  for (NodeId Id : R) {
+    S += varintSize(First ? Id : Id - Prev);
+    Prev = Id;
+    First = false;
   }
   return S;
 }
 
-void putRegionV2(uint8_t *&P, const graph::Region &R) {
+void putRegionDelta(uint8_t *&P, const graph::Region &R) {
   putVarint(P, R.size());
   NodeId Prev = 0;
   bool First = true;
@@ -77,6 +69,25 @@ void putRegionV2(uint8_t *&P, const graph::Region &R) {
     putVarint(P, First ? Id : Id - Prev);
     Prev = Id;
     First = false;
+  }
+}
+
+size_t opinionsSize(const OpinionVec &Ops) {
+  size_t S = 0;
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    S += 1;
+    if (Ops[I].Kind == Opinion::Accept)
+      S += varintSize(Ops[I].Val);
+  }
+  return S;
+}
+
+void putOpinions(uint8_t *&P, const OpinionVec &Ops) {
+  for (size_t I = 0; I < Ops.size(); ++I) {
+    const OpinionEntry &E = Ops[I];
+    *P++ = static_cast<uint8_t>(E.Kind);
+    if (E.Kind == Opinion::Accept)
+      putVarint(P, E.Val);
   }
 }
 
@@ -154,7 +165,7 @@ bool readRegionV1(Reader &R, graph::Region &Out) {
   return true;
 }
 
-bool readRegionV2(Reader &R, graph::Region &Out) {
+bool readRegionDelta(Reader &R, graph::Region &Out) {
   uint32_t Count = 0;
   if (!R.varint32(Count))
     return false;
@@ -181,81 +192,149 @@ bool readRegionV2(Reader &R, graph::Region &Out) {
   return true;
 }
 
-std::optional<Message> decodeV1(Reader &R, uint8_t Flags) {
-  Message M;
-  M.Final = (Flags & 1u) != 0;
-  if (!R.u32(M.Round) || M.Round == 0)
-    return std::nullopt;
-  if (!readRegionV1(R, M.View) || !readRegionV1(R, M.Border))
-    return std::nullopt;
-  if (M.View.empty() || M.Border.empty())
-    return std::nullopt;
-
-  M.Opinions = OpinionVec(M.Border.size());
-  for (size_t I = 0; I < M.Border.size(); ++I) {
+bool readOpinions(Reader &R, size_t Count, OpinionVec &Out) {
+  Out.reset(Count);
+  for (size_t I = 0; I < Count; ++I) {
     uint8_t Kind = 0;
     if (!R.u8(Kind) || Kind > static_cast<uint8_t>(Opinion::Reject))
-      return std::nullopt;
-    M.Opinions[I].Kind = static_cast<Opinion>(Kind);
-    if (M.Opinions[I].Kind == Opinion::Accept && !R.u64(M.Opinions[I].Val))
-      return std::nullopt;
+      return false;
+    Out[I].Kind = static_cast<Opinion>(Kind);
+    if (Out[I].Kind == Opinion::Accept && !R.varint(Out[I].Val))
+      return false;
   }
-  if (!R.atEnd())
-    return std::nullopt;
-  return M;
+  return true;
 }
 
-std::optional<Message> decodeV2(Reader &R, uint8_t Flags) {
-  Message M;
-  M.Final = (Flags & 1u) != 0;
-  if (!R.varint32(M.Round) || M.Round == 0)
-    return std::nullopt;
-  if (!readRegionV2(R, M.View) || !readRegionV2(R, M.Border))
-    return std::nullopt;
-  if (M.View.empty() || M.Border.empty())
-    return std::nullopt;
+bool decodeV1(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
+  if (Flags & ~FlagFinal)
+    return false;
+  M.Final = (Flags & FlagFinal) != 0;
+  if (!R.u32(M.Round) || M.Round == 0)
+    return false;
+  graph::Region View, Border;
+  if (!readRegionV1(R, View) || !readRegionV1(R, Border))
+    return false;
+  if (View.empty() || Border.empty())
+    return false;
 
-  M.Opinions = OpinionVec(M.Border.size());
-  for (size_t I = 0; I < M.Border.size(); ++I) {
+  M.Opinions.reset(Border.size());
+  for (size_t I = 0; I < Border.size(); ++I) {
     uint8_t Kind = 0;
     if (!R.u8(Kind) || Kind > static_cast<uint8_t>(Opinion::Reject))
-      return std::nullopt;
+      return false;
     M.Opinions[I].Kind = static_cast<Opinion>(Kind);
-    if (M.Opinions[I].Kind == Opinion::Accept &&
-        !R.varint(M.Opinions[I].Val))
-      return std::nullopt;
+    if (M.Opinions[I].Kind == Opinion::Accept && !R.u64(M.Opinions[I].Val))
+      return false;
   }
   if (!R.atEnd())
-    return std::nullopt;
-  return M;
+    return false;
+  M.setView(Views.intern(View, Border));
+  return true;
+}
+
+bool decodeV2(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
+  if (Flags & ~FlagFinal)
+    return false;
+  M.Final = (Flags & FlagFinal) != 0;
+  if (!R.varint32(M.Round) || M.Round == 0)
+    return false;
+  graph::Region View, Border;
+  if (!readRegionDelta(R, View) || !readRegionDelta(R, Border))
+    return false;
+  if (View.empty() || Border.empty())
+    return false;
+  if (!readOpinions(R, Border.size(), M.Opinions) || !R.atEnd())
+    return false;
+  M.setView(Views.intern(View, Border));
+  return true;
+}
+
+bool decodeV3(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
+  if (Flags & ~(FlagFinal | FlagAnnounce))
+    return false;
+  M.Final = (Flags & FlagFinal) != 0;
+  uint32_t Id = 0;
+  if (!R.varint32(Id) || Id == InvalidViewId)
+    return false;
+  if (!R.varint32(M.Round) || M.Round == 0)
+    return false;
+
+  const ViewEntry *E = nullptr;
+  if (Flags & FlagAnnounce) {
+    graph::Region View, Border;
+    if (!readRegionDelta(R, View) || !readRegionDelta(R, Border))
+      return false;
+    if (View.empty() || Border.empty())
+      return false;
+    E = Views.internAnnounced(Id, View, Border);
+  } else {
+    E = Views.tryGet(Id);
+  }
+  if (!E)
+    return false; // Unknown id before its announce, or a conflicting one.
+  if (!readOpinions(R, E->Border.size(), M.Opinions) || !R.atEnd())
+    return false;
+  M.setView(*E);
+  return true;
 }
 
 } // namespace
 
-std::vector<uint8_t> core::encodeMessage(const Message &M) {
-  assert(M.Opinions.size() == M.Border.size() &&
+void core::encodeMessageV3Into(const Message &M, bool WithAnnounce,
+                               std::vector<uint8_t> &Out) {
+  assert(M.VB && "message has no interned view");
+  assert(M.Opinions.size() == M.border().size() &&
          "opinion vector must align with the border");
-  std::vector<uint8_t> Out(encodedSizeV2(M));
+  size_t Size = HeaderSize + varintSize(M.Id) + varintSize(M.Round) +
+                opinionsSize(M.Opinions);
+  if (WithAnnounce)
+    Size += regionSizeDelta(M.view()) + regionSizeDelta(M.border());
+  Out.resize(Size);
   uint8_t *P = Out.data();
   putU32(P, WireMagic);
   *P++ = WireVersion;
-  *P++ = M.Final ? 1 : 0;
+  *P++ = static_cast<uint8_t>((M.Final ? FlagFinal : 0) |
+                              (WithAnnounce ? FlagAnnounce : 0));
+  putVarint(P, M.Id);
   putVarint(P, M.Round);
-  putRegionV2(P, M.View);
-  putRegionV2(P, M.Border);
-  for (size_t I = 0; I < M.Border.size(); ++I) {
-    const OpinionEntry &E = M.Opinions[I];
-    *P++ = static_cast<uint8_t>(E.Kind);
-    if (E.Kind == Opinion::Accept)
-      putVarint(P, E.Val);
+  if (WithAnnounce) {
+    putRegionDelta(P, M.view());
+    putRegionDelta(P, M.border());
   }
+  putOpinions(P, M.Opinions);
+  assert(P == Out.data() + Out.size() && "size precomputation out of sync");
+}
+
+std::vector<uint8_t> core::encodeMessage(const Message &M) {
+  std::vector<uint8_t> Out;
+  encodeMessageV3Into(M, /*WithAnnounce=*/true, Out);
+  return Out;
+}
+
+std::vector<uint8_t> core::encodeMessageV2(const Message &M) {
+  assert(M.Opinions.size() == M.border().size() &&
+         "opinion vector must align with the border");
+  std::vector<uint8_t> Out(HeaderSize + varintSize(M.Round) +
+                           regionSizeDelta(M.view()) +
+                           regionSizeDelta(M.border()) +
+                           opinionsSize(M.Opinions));
+  uint8_t *P = Out.data();
+  putU32(P, WireMagic);
+  *P++ = WireVersionV2;
+  *P++ = M.Final ? FlagFinal : 0;
+  putVarint(P, M.Round);
+  putRegionDelta(P, M.view());
+  putRegionDelta(P, M.border());
+  putOpinions(P, M.Opinions);
   assert(P == Out.data() + Out.size() && "size precomputation out of sync");
   return Out;
 }
 
 std::vector<uint8_t> core::encodeMessageV1(const Message &M) {
+  const graph::Region &View = M.view();
+  const graph::Region &Border = M.border();
   std::vector<uint8_t> Out;
-  Out.reserve(HeaderSize + 4 + 4 * (2 + M.View.size() + M.Border.size()) +
+  Out.reserve(HeaderSize + 4 + 4 * (2 + View.size() + Border.size()) +
               9 * M.Opinions.size());
   auto U8 = [&Out](uint8_t V) { Out.push_back(V); };
   auto U32 = [&Out](uint32_t V) {
@@ -267,15 +346,15 @@ std::vector<uint8_t> core::encodeMessageV1(const Message &M) {
       Out.push_back(static_cast<uint8_t>(V >> (8 * I)));
   };
   U32(WireMagic);
-  U8(WireVersionLegacy);
-  U8(M.Final ? 1 : 0);
+  U8(WireVersionV1);
+  U8(M.Final ? FlagFinal : 0);
   U32(M.Round);
-  for (const graph::Region *R : {&M.View, &M.Border}) {
+  for (const graph::Region *R : {&View, &Border}) {
     U32(static_cast<uint32_t>(R->size()));
     for (NodeId N : *R)
       U32(N);
   }
-  for (size_t I = 0; I < M.Border.size(); ++I) {
+  for (size_t I = 0; I < M.Opinions.size(); ++I) {
     const OpinionEntry &E = M.Opinions[I];
     U8(static_cast<uint8_t>(E.Kind));
     if (E.Kind == Opinion::Accept)
@@ -284,19 +363,47 @@ std::vector<uint8_t> core::encodeMessageV1(const Message &M) {
   return Out;
 }
 
-std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes) {
+bool core::decodeMessageInto(const std::vector<uint8_t> &Bytes,
+                             ViewTable &Views, Message &Out) {
   Reader R(Bytes);
   uint32_t Magic = 0;
   uint8_t Version = 0, Flags = 0;
   if (!R.u32(Magic) || Magic != WireMagic)
-    return std::nullopt;
-  if (!R.u8(Version))
-    return std::nullopt;
-  if (!R.u8(Flags) || (Flags & ~1u))
-    return std::nullopt;
+    return false;
+  if (!R.u8(Version) || !R.u8(Flags))
+    return false;
   if (Version == WireVersion)
-    return decodeV2(R, Flags);
-  if (Version == WireVersionLegacy)
-    return decodeV1(R, Flags);
-  return std::nullopt;
+    return decodeV3(R, Flags, Views, Out);
+  if (Version == WireVersionV2)
+    return decodeV2(R, Flags, Views, Out);
+  if (Version == WireVersionV1)
+    return decodeV1(R, Flags, Views, Out);
+  return false;
+}
+
+std::optional<Message> core::decodeMessage(const std::vector<uint8_t> &Bytes,
+                                           ViewTable &Views) {
+  Message M;
+  if (!decodeMessageInto(Bytes, Views, M))
+    return std::nullopt;
+  return M;
+}
+
+void WireEncoder::encode(const Message &M, std::vector<uint8_t> &Out) {
+  switch (Version) {
+  case WireVersionV1:
+    Out = encodeMessageV1(M);
+    return;
+  case WireVersionV2:
+    Out = encodeMessageV2(M);
+    return;
+  default:
+    break;
+  }
+  assert(M.Id != InvalidViewId && "message has no interned view");
+  if (M.Id >= Announced.size())
+    Announced.resize(M.Id + 1, 0);
+  bool WithAnnounce = !Announced[M.Id];
+  Announced[M.Id] = 1;
+  encodeMessageV3Into(M, WithAnnounce, Out);
 }

@@ -11,16 +11,38 @@
 /// the byte accounting of the locality benches honest and lets both
 /// transports carry the same frames.
 ///
-/// Version 2 layout (current; "varint" is LEB128):
-///   u32 magic 'CLEC' (little-endian)   u8 version = 2   u8 flags(bit0 = Final)
+/// Version 3 layout (current; "varint" is LEB128):
+///   u32 magic 'CLEC' (little-endian)   u8 version = 3
+///   u8 flags (bit0 = Final, bit1 = Announce)
+///   varint view-id
 ///   varint round
-///   varint |V|   varint V[0], varint V[i]-V[i-1]...   (sorted, so deltas > 0)
-///   varint |B|   varint B[0], varint B[i]-B[i-1]...
+///   [Announce only]
+///     varint |V|   varint V[0], varint V[i]-V[i-1]...   (sorted, deltas > 0)
+///     varint |B|   varint B[0], varint B[i]-B[i-1]...
 ///   per B member: u8 opinion kind, varint value (Accept only)
 ///
-/// The encoder precomputes the exact frame size and fills a single
-/// allocation. Delta-varint coding shrinks a 64-node-border frame to a
-/// fraction of the fixed-width v1 layout (asserted in WireTest).
+/// §2.3's instances are view-stable: an instance re-sends the same (V, B)
+/// every round, so the region payload is pure redundancy after first
+/// contact. WireEncoder therefore announces each view once per sender —
+/// the first frame a sender ever emits for a view carries the Announce
+/// payload, every later frame is id-only (~a dozen bytes instead of
+/// hundreds). A multicast's recipient set is border(V), which is fixed,
+/// so "once per sender" is exactly the paper's "once per (instance,
+/// channel)": FIFO channels guarantee each recipient sees a sender's
+/// announce before any of that sender's id-only frames. Ids come from the
+/// run-shared core::ViewTable, which every in-process decoder resolves
+/// against. A decoder with a *fresh* table can replay a stream whose
+/// announces arrive in dense id order (single-proposer streams, captures
+/// replayed from id 0); a channel-local decoder for arbitrary multi-
+/// proposer traffic would additionally need a per-stream id remap, which
+/// no in-tree transport needs.
+///
+/// Version 2 layout (legacy, still decoded):
+///   u32 magic   u8 version = 2   u8 flags(bit0 = Final)
+///   varint round
+///   varint |V|   varint V[0], varint V[i]-V[i-1]...
+///   varint |B|   varint B[0], varint B[i]-B[i-1]...
+///   per B member: u8 opinion kind, varint value (Accept only)
 ///
 /// Version 1 layout (legacy, still decoded; all integers little-endian):
 ///   u32 magic   u8 version = 1   u8 flags(bit0 = Final)
@@ -29,12 +51,17 @@
 ///   u32 |B|   u32 B ids...
 ///   per B member: u8 opinion kind, u64 value (Accept only)
 ///
+/// Every encoder precomputes the exact frame size and fills a single
+/// buffer; the *Into variants reuse the caller's storage so steady-state
+/// encoding is allocation-free.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLIFFEDGE_CORE_WIRE_H
 #define CLIFFEDGE_CORE_WIRE_H
 
 #include "core/Message.h"
+#include "core/ViewTable.h"
 
 #include <cstdint>
 #include <optional>
@@ -43,18 +70,55 @@
 namespace cliffedge {
 namespace core {
 
-/// Serialises \p M into a fresh byte buffer (current wire version).
+/// Serialises \p M as a self-contained v3 frame (announce payload always
+/// included) into a fresh buffer. Transports with per-sender state use
+/// WireEncoder instead, which elides the payload after first sight.
 std::vector<uint8_t> encodeMessage(const Message &M);
 
+/// Serialises \p M in the legacy v2 layout (full regions every frame).
+/// Kept for compat tests and the differential wire-version runs.
+std::vector<uint8_t> encodeMessageV2(const Message &M);
+
 /// Serialises \p M in the legacy v1 layout. Kept for backward-compat tests
-/// and for measuring the v2 size win; new code always encodes v2.
+/// and for measuring the size win of the newer layouts.
 std::vector<uint8_t> encodeMessageV1(const Message &M);
 
-/// Parses a buffer produced by encodeMessage. Returns std::nullopt on any
-/// malformed input (wrong magic/version, truncation, unsorted sets, bad
-/// opinion kinds) — the transport is trusted, but the decoder still refuses
-/// garbage rather than asserting, so fuzz-style tests can probe it.
-std::optional<Message> decodeMessage(const std::vector<uint8_t> &Bytes);
+/// v3 frame into \p Out (cleared and reused, allocation-free once warm).
+/// \p WithAnnounce selects whether the region payload rides along.
+void encodeMessageV3Into(const Message &M, bool WithAnnounce,
+                         std::vector<uint8_t> &Out);
+
+/// Parses any supported frame version. Region payloads (v1/v2 frames, v3
+/// announces) are interned into \p Views; id-only v3 frames resolve
+/// against it. Returns std::nullopt on any malformed input (wrong
+/// magic/version, truncation, unsorted sets, bad opinion kinds, unknown or
+/// conflicting view ids) — the transport is trusted, but the decoder still
+/// refuses garbage rather than asserting, so fuzz-style tests can probe it.
+std::optional<Message> decodeMessage(const std::vector<uint8_t> &Bytes,
+                                     ViewTable &Views);
+
+/// Hot-path variant of decodeMessage: decodes into \p Out, reusing its
+/// opinion-vector storage. Returns false on malformed input, leaving \p Out
+/// unspecified. Steady-state id-only frames decode with zero allocations.
+bool decodeMessageInto(const std::vector<uint8_t> &Bytes, ViewTable &Views,
+                       Message &Out);
+
+/// Per-sender encoder: remembers which views this sender has announced so
+/// every later frame for them is id-only. One instance per protocol node
+/// per run (ids are run-wide, announce state is per sender). A wire
+/// version of 2 or 1 forces the corresponding legacy layout on every frame
+/// — the differential engine tests pin v3 results against that baseline.
+class WireEncoder {
+public:
+  explicit WireEncoder(uint8_t Version = 3) : Version(Version) {}
+
+  /// Encodes \p M into \p Out (cleared and reused).
+  void encode(const Message &M, std::vector<uint8_t> &Out);
+
+private:
+  uint8_t Version;
+  std::vector<uint8_t> Announced; ///< Indexed by ViewId; grows on announce.
+};
 
 } // namespace core
 } // namespace cliffedge

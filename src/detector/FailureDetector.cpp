@@ -29,9 +29,19 @@ void PerfectFailureDetector::monitor(NodeId Watcher,
     assert(Target < Crashed.size() && "target out of range");
     if (Target == Watcher)
       continue; // A node does not monitor itself.
-    if (!insertSortedUnique(Subscribed[Watcher], Target))
+    std::vector<NodeId> &Subs = Subscribed[Watcher];
+    // Registry vectors grow in steps of 1-2 entries; jumping straight to a
+    // neighbourhood's worth of capacity halves the fleet-wide realloc
+    // churn of the initial <init> wave (every node subscribes to ~degree
+    // targets at start-up).
+    if (Subs.capacity() == 0)
+      Subs.reserve(8);
+    if (!insertSortedUnique(Subs, Target))
       continue; // Already subscribed: at-most-once semantics.
-    insertSortedUnique(Watchers[Target], Watcher);
+    std::vector<NodeId> &Back = Watchers[Target];
+    if (Back.capacity() == 0)
+      Back.reserve(8);
+    insertSortedUnique(Back, Watcher);
     // Strong completeness for late subscriptions: the target may already be
     // down; notify after the usual detection delay.
     if (Crashed[Target])

@@ -38,9 +38,11 @@
 #include "engine/ShardedEngine.h"
 
 #include "core/CliffEdgeNode.h"
-#include "engine/EventQueue.h"
+#include "core/ViewTable.h"
 #include "core/Wire.h"
+#include "engine/EventQueue.h"
 #include "support/FlatHash.h"
+#include "support/FramePool.h"
 #include "support/Sorted.h"
 #include "support/Random.h"
 
@@ -64,7 +66,7 @@ struct OutMsg {
   NodeId From;
   NodeId To;
   /// Shared across the legs of one multicast; decoded once at merge.
-  std::shared_ptr<const std::vector<uint8_t>> Frame;
+  support::FrameRef Frame;
 };
 
 /// One <monitorCrash|Targets> staged in a shard outbox.
@@ -76,6 +78,10 @@ struct OutSub {
 /// Per-shard state: owned nodes' events plus this round's outputs.
 struct Shard {
   EventQueue Heap;
+  /// Frame recycler for this shard's multicasts. Shard-local: workers
+  /// acquire in parallel during the process phase; releases happen at the
+  /// serial merge once the single decode is done.
+  support::FramePool Frames;
   std::vector<Event> Round; ///< Drain scratch, capacity recycled per round.
   // Outboxes, drained by the merge after every round.
   std::vector<OutMsg> OutMsgs;
@@ -93,8 +99,16 @@ struct RunState {
   const graph::Graph &G;
   const trace::RunnerOptions &Opts;
   uint32_t NumShards;
+  /// Run-wide view intern table: nodes intern concurrently from worker
+  /// threads (mutexed, first-sight only), the merge's decode resolves
+  /// ids lock-free.
+  core::ViewTable Views;
   std::vector<Shard> Shards;
   std::vector<std::unique_ptr<core::CliffEdgeNode>> Nodes;
+  /// Per-sender wire encoders (announce-once state). A node's multicasts
+  /// all happen on its owning shard's thread, so entries are never
+  /// touched concurrently.
+  std::vector<core::WireEncoder> Encoders;
   /// Set by the owning shard when a node's CrashExec fires; only the owner
   /// shard ever reads or writes a node's flag during a round.
   std::vector<uint8_t> Dead;
@@ -111,7 +125,9 @@ struct RunState {
 
   RunState(const graph::Graph &InG, const trace::RunnerOptions &InOpts,
            uint32_t InShards, uint64_t Seed)
-      : G(InG), Opts(InOpts), NumShards(InShards), Shards(InShards),
+      : G(InG), Opts(InOpts), NumShards(InShards),
+        Views(InG, InOpts.NodeConfig.Ranking), Shards(InShards),
+        Encoders(InG.numNodes(), core::WireEncoder(InOpts.WireVersion)),
         Dead(InG.numNodes(), 0), CrashTimes(InG.numNodes(), TimeNever),
         MergeRng(Seed ^ 0x5368617264456e67ULL /* "ShardEng" */),
         TieSeed(SplitMix64(Seed ^ 0x4669666f54696523ULL).next()),
@@ -215,7 +231,7 @@ void RunState::merge(SimTime T, bool IsStart) {
 
   // Batched message delivery: one decode per frame, shared by every
   // recipient; FIFO clamping per directed channel as in sim::Network.
-  const std::vector<uint8_t> *LastFrame = nullptr;
+  const support::FrameBuf *LastFrame = nullptr;
   std::shared_ptr<const core::Message> Decoded;
   for (uint32_t S = 0; S < NumShards; ++S)
     for (OutMsg &M : Shards[S].OutMsgs) {
@@ -226,8 +242,11 @@ void RunState::merge(SimTime T, bool IsStart) {
       if (Opts.RecordSends)
         Result.SendLog.push_back(sim::SendRecord{T, M.From, M.To, Bytes});
       if (M.Frame.get() != LastFrame) {
-        // Legs of one multicast are contiguous in the outbox.
-        std::optional<core::Message> Parsed = core::decodeMessage(*M.Frame);
+        // Legs of one multicast are contiguous in the outbox (frames are
+        // pool-recycled only after their last leg releases, so the raw
+        // pointer cannot recur within one merge batch).
+        std::optional<core::Message> Parsed =
+            core::decodeMessage(*M.Frame, Views);
         assert(Parsed && "engine produced a corrupt frame");
         if (!Parsed)
           continue;
@@ -291,11 +310,11 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
     core::Callbacks CBs;
     RunState *R = &Run;
     CBs.Multicast = [R, N](const graph::Region &To, const core::Message &M) {
-      // Encode once; recipients share the frame (and, after the merge's
-      // single decode, the parsed message).
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          core::encodeMessage(M));
+      // Encode once into a pooled shard-local buffer; recipients share the
+      // frame (and, after the merge's single decode, the parsed message).
       Shard &Sh = R->Shards[R->shardOf(N)];
+      support::FrameRef Frame = Sh.Frames.acquire();
+      R->Encoders[N].encode(M, Frame.mutableBytes());
       for (NodeId Recipient : To)
         Sh.OutMsgs.push_back(OutMsg{N, Recipient, Frame});
     };
@@ -311,7 +330,7 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
       return R->Opts.SelectValue(N, View);
     };
     Run.Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
-        N, G, Options.NodeConfig, std::move(CBs)));
+        N, G, Run.Views, Options.NodeConfig, std::move(CBs)));
   }
 
   // Crash plan: known up front, scheduled before anything runs.

@@ -33,18 +33,22 @@ void Region::insert(NodeId Node) {
   if (It != Ids.end() && *It == Node)
     return;
   Ids.insert(It, Node);
+  HashValid = false;
 }
 
 void Region::erase(NodeId Node) {
   auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
-  if (It != Ids.end() && *It == Node)
+  if (It != Ids.end() && *It == Node) {
     Ids.erase(It);
+    HashValid = false;
+  }
 }
 
 void Region::appendAscending(NodeId Node) {
   assert((Ids.empty() || Ids.back() < Node) &&
          "appendAscending() requires strictly ascending ids");
   Ids.push_back(Node);
+  HashValid = false;
 }
 
 Region Region::unionWith(const Region &Other) const {
@@ -83,6 +87,7 @@ void Region::unionInPlace(const Region &Other, std::vector<NodeId> &Scratch) {
   std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
                  std::back_inserter(Scratch));
   Ids.swap(Scratch);
+  HashValid = false;
 }
 
 void Region::differenceInPlace(const Region &Other) {
@@ -98,7 +103,10 @@ void Region::differenceInPlace(const Region &Other) {
       continue;
     Ids[Write++] = Value;
   }
-  Ids.resize(Write);
+  if (Write != Ids.size()) {
+    Ids.resize(Write);
+    HashValid = false;
+  }
 }
 
 bool Region::intersects(const Region &Other) const {
@@ -127,6 +135,8 @@ std::string Region::str() const {
 }
 
 size_t Region::hash() const {
+  if (HashValid)
+    return HashCache;
   // FNV-1a over the id bytes; stable across runs for identical contents.
   size_t H = 1469598103934665603ULL;
   for (NodeId N : Ids) {
@@ -135,5 +145,7 @@ size_t Region::hash() const {
       H *= 1099511628211ULL;
     }
   }
+  HashCache = H;
+  HashValid = true;
   return H;
 }

@@ -51,7 +51,10 @@ public:
   void erase(NodeId Node);
 
   /// Removes every node, keeping the allocated storage for reuse.
-  void clear() { Ids.clear(); }
+  void clear() {
+    Ids.clear();
+    HashValid = false;
+  }
 
   /// Appends \p Node, which must be strictly greater than every current
   /// member — the allocation-free way to build a region in ascending order
@@ -100,10 +103,17 @@ public:
   std::string str() const;
 
   /// FNV-1a hash of the id sequence, for use as an unordered_map key.
+  /// Cached: the first call after a mutation walks the ids, later calls
+  /// are a field read (the ViewTable intern path hashes hot regions that
+  /// rarely change). Not safe to race with itself on a shared Region —
+  /// immutable shared regions (ViewTable entries) are pre-hashed by their
+  /// single writer before publication.
   size_t hash() const;
 
 private:
   std::vector<NodeId> Ids;
+  mutable size_t HashCache = 0;
+  mutable bool HashValid = false;
 };
 
 /// Hash functor so Region can key std::unordered_map.

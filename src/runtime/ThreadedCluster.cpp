@@ -8,6 +8,7 @@
 #include "runtime/ThreadedCluster.h"
 
 #include "core/Wire.h"
+#include "support/FramePool.h"
 #include "support/Sorted.h"
 
 #include <algorithm>
@@ -21,7 +22,7 @@ struct ThreadedCluster::Mail {
   enum class Kind { Frame, CrashNotice, Stop };
   Kind K = Kind::Stop;
   NodeId From = InvalidNode; ///< Frame sender or crashed node.
-  std::shared_ptr<const std::vector<uint8_t>> Bytes; ///< Frame payload.
+  support::FrameRef Bytes;   ///< Frame payload, shared across legs.
 };
 
 /// Per-node thread, mailbox and protocol instance.
@@ -32,11 +33,15 @@ struct ThreadedCluster::NodeSlot {
   bool Stopped = false;
   std::thread Worker;
   std::unique_ptr<core::CliffEdgeNode> Node;
+  /// Owned by the node's worker thread (multicasts happen inside the
+  /// node's event handlers, which only its own thread runs).
+  core::WireEncoder Encoder;
+  core::Message RecvScratch; ///< Decode target, worker-thread private.
 };
 
 ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
-    : G(InG), Cfg(InCfg), Watchers(G.numNodes()), Subscribed(G.numNodes()),
-      CrashedFlag(G.numNodes(), false) {
+    : G(InG), Cfg(InCfg), Views(InG, InCfg.Ranking), Watchers(G.numNodes()),
+      Subscribed(G.numNodes()), CrashedFlag(G.numNodes(), false) {
   Slots.reserve(G.numNodes());
   for (NodeId N = 0; N < G.numNodes(); ++N)
     Slots.push_back(std::make_unique<NodeSlot>());
@@ -45,8 +50,9 @@ ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
     core::Callbacks CBs;
     CBs.Multicast = [this, N](const graph::Region &To,
                               const core::Message &M) {
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          core::encodeMessage(M));
+      std::vector<uint8_t> Encoded;
+      Slots[N]->Encoder.encode(M, Encoded);
+      support::FrameRef Frame = support::FrameRef::fresh(std::move(Encoded));
       for (NodeId Recipient : To) {
         Mail Item;
         Item.K = Mail::Kind::Frame;
@@ -84,8 +90,8 @@ ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
     CBs.SelectValue = [N](const graph::Region &) {
       return static_cast<core::Value>(N);
     };
-    Slots[N]->Node =
-        std::make_unique<core::CliffEdgeNode>(N, G, Cfg, std::move(CBs));
+    Slots[N]->Node = std::make_unique<core::CliffEdgeNode>(
+        N, G, Views, Cfg, std::move(CBs));
   }
 }
 
@@ -140,11 +146,11 @@ void ThreadedCluster::workerLoop(NodeId Self) {
 
     switch (Item.K) {
     case Mail::Kind::Frame: {
-      std::optional<core::Message> M = core::decodeMessage(*Item.Bytes);
-      assert(M && "corrupt frame in mailbox");
-      if (M) {
+      bool Ok = core::decodeMessageInto(*Item.Bytes, Views, Slot.RecvScratch);
+      assert(Ok && "corrupt frame in mailbox");
+      if (Ok) {
         Delivered.fetch_add(1);
-        Slot.Node->onDeliver(Item.From, *M);
+        Slot.Node->onDeliver(Item.From, Slot.RecvScratch);
       }
       break;
     }

@@ -24,6 +24,7 @@
 #define CLIFFEDGE_RUNTIME_THREADEDCLUSTER_H
 
 #include "core/CliffEdgeNode.h"
+#include "core/ViewTable.h"
 #include "graph/Graph.h"
 
 #include <atomic>
@@ -90,6 +91,9 @@ private:
 
   const graph::Graph &G;
   core::Config Cfg;
+  /// Cluster-wide view intern table; intern is mutexed, id lookups are
+  /// lock-free, so worker threads decode concurrently.
+  core::ViewTable Views;
 
   std::vector<std::unique_ptr<NodeSlot>> Slots;
 

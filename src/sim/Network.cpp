@@ -16,6 +16,17 @@ using namespace cliffedge::sim;
 Network::Network(Simulator &InSim, uint32_t NumNodes, LatencyModel InLatency)
     : Sim(InSim), Latency(std::move(InLatency)), Crashed(NumNodes, false) {
   Stats.SentByNode.assign(NumNodes, 0);
+  // Deliveries ride the simulator's native delivery events — plain
+  // (from, to, frame) records, no per-message closure allocation.
+  Sim.setDeliver([this](NodeId From, NodeId To, const Frame &Payload) {
+    if (Crashed[To]) {
+      ++Stats.MessagesDroppedAtCrashed;
+      return;
+    }
+    ++Stats.MessagesDelivered;
+    if (Deliver)
+      Deliver(From, To, Payload);
+  });
 }
 
 void Network::send(NodeId From, NodeId To, Frame Bytes) {
@@ -43,15 +54,7 @@ void Network::send(NodeId From, NodeId To, Frame Bytes) {
     Last = When;
   }
 
-  Sim.at(When, [this, From, To, Payload = std::move(Bytes)]() {
-    if (Crashed[To]) {
-      ++Stats.MessagesDroppedAtCrashed;
-      return;
-    }
-    ++Stats.MessagesDelivered;
-    if (Deliver)
-      Deliver(From, To, Payload);
-  });
+  Sim.atDeliver(When, From, To, std::move(Bytes));
 }
 
 void Network::crash(NodeId Node) {

@@ -28,11 +28,11 @@
 #include "sim/Latency.h"
 #include "sim/Simulator.h"
 #include "support/FlatHash.h"
+#include "support/FramePool.h"
 #include "support/Ids.h"
 
 #include <cstdint>
 #include <functional>
-#include <memory>
 #include <vector>
 
 namespace cliffedge {
@@ -59,9 +59,10 @@ struct SendRecord {
 /// Reliable FIFO any-to-any transport over the event simulator.
 class Network {
 public:
-  /// Frames are shared so a multicast encodes its payload exactly once;
-  /// receivers must treat the bytes as immutable.
-  using Frame = std::shared_ptr<const std::vector<uint8_t>>;
+  /// Frames are refcounted and shared so a multicast encodes its payload
+  /// exactly once; receivers must treat the bytes as immutable. Pooled
+  /// frames (support::FramePool) make steady-state fan-out allocation-free.
+  using Frame = support::FrameRef;
   using DeliverFn =
       std::function<void(NodeId From, NodeId To, const Frame &Bytes)>;
 
@@ -87,8 +88,7 @@ public:
 
   /// Convenience overload for unicast callers.
   void send(NodeId From, NodeId To, std::vector<uint8_t> Bytes) {
-    send(From, To, std::make_shared<const std::vector<uint8_t>>(
-                       std::move(Bytes)));
+    send(From, To, support::FrameRef::fresh(std::move(Bytes)));
   }
 
   /// Marks \p Node crashed: it stops sending and all future deliveries to

@@ -14,33 +14,109 @@
 using namespace cliffedge;
 using namespace cliffedge::sim;
 
+void Simulator::schedule(Entry E) {
+  assert(E.When >= Now && "cannot schedule an event in the past");
+  auto It = std::lower_bound(
+      Times.begin(), Times.end(), E.When,
+      [](const std::pair<SimTime, uint32_t> &P, SimTime T) {
+        return P.first < T;
+      });
+  uint32_t Slot;
+  if (It != Times.end() && It->first == E.When) {
+    Slot = It->second;
+  } else {
+    if (FreeBuckets.empty()) {
+      Slot = static_cast<uint32_t>(Buckets.size());
+      Buckets.emplace_back();
+    } else {
+      Slot = FreeBuckets.back();
+      FreeBuckets.pop_back();
+    }
+    Times.insert(It, {E.When, Slot});
+  }
+  Buckets[Slot].Events.push_back(std::move(E));
+  ++Count;
+}
+
 void Simulator::at(SimTime When, Handler Fn) {
-  assert(When >= Now && "cannot schedule an event in the past");
-  Heap.push_back(Entry{When, NextSeq++, std::move(Fn)});
-  std::push_heap(Heap.begin(), Heap.end(), Later{});
+  Entry E;
+  E.When = When;
+  E.Seq = NextSeq++;
+  E.Fn = std::make_unique<Handler>(std::move(Fn));
+  schedule(std::move(E));
+}
+
+void Simulator::atDeliver(SimTime When, NodeId From, NodeId To,
+                          support::FrameRef Frame) {
+  assert(Deliver && "no delivery handler installed");
+  Entry E;
+  E.When = When;
+  E.Seq = NextSeq++;
+  E.Frame = std::move(Frame);
+  E.From = From;
+  E.To = To;
+  schedule(std::move(E));
+}
+
+SimTime Simulator::nextPendingTime() const {
+  for (const std::pair<SimTime, uint32_t> &T : Times) {
+    const Bucket &B = Buckets[T.second];
+    if (B.Next < B.Events.size())
+      return T.first;
+  }
+  return TimeNever;
+}
+
+void Simulator::dispatch(Entry &Next) {
+  Now = Next.When;
+  ++Processed;
+  if (Next.Frame)
+    Deliver(Next.From, Next.To, Next.Frame);
+  else
+    (*Next.Fn)();
 }
 
 bool Simulator::step() {
-  if (Heap.empty())
+  // Retire exhausted front buckets lazily: the final event of a bucket may
+  // schedule a same-timestamp successor, so a bucket only leaves the
+  // calendar once a later pop finds it still drained. Its storage keeps
+  // its capacity and circulates through the free list.
+  while (!Times.empty()) {
+    Bucket &B = Buckets[Times.front().second];
+    if (B.Next < B.Events.size())
+      break;
+    B.Events.clear();
+    B.Next = 0;
+    FreeBuckets.push_back(Times.front().second);
+    Times.erase(Times.begin());
+  }
+  if (Times.empty())
     return false;
-  // pop_heap sifts the minimum entry to the back, from where it is moved
-  // out — the handler (and any captured frame) is never copied. The entry
-  // must leave the heap before it runs: handlers schedule new events.
-  std::pop_heap(Heap.begin(), Heap.end(), Later{});
-  Entry Next = std::move(Heap.back());
-  Heap.pop_back();
-  Now = Next.When;
-  ++Processed;
-  Next.Fn();
+
+  Bucket &B = Buckets[Times.front().second];
+  // Move the entry out before running it: the handler may append to this
+  // very bucket (or grow the bucket table), invalidating references.
+  Entry Next = std::move(B.Events[B.Next++]);
+  --Count;
+  dispatch(Next);
   return true;
 }
 
 uint64_t Simulator::run(uint64_t MaxEvents) {
-  uint64_t Count = 0;
+  uint64_t Fired = 0;
   while (step()) {
-    ++Count;
-    if (MaxEvents != 0 && Count >= MaxEvents)
+    ++Fired;
+    if (MaxEvents != 0 && Fired >= MaxEvents)
       break;
   }
-  return Count;
+  return Fired;
+}
+
+uint64_t Simulator::runUntil(SimTime Until) {
+  uint64_t Fired = 0;
+  while (Count != 0 && nextPendingTime() <= Until) {
+    step();
+    ++Fired;
+  }
+  return Fired;
 }

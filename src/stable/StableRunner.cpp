@@ -43,7 +43,7 @@ StableScenarioRunner::StableScenarioRunner(const graph::Graph &InG,
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
         if (Withdrawn[To])
           return; // Marked nodes no longer take part in the agreement.
-        std::optional<core::Message> M = core::decodeMessage(*Bytes);
+        std::optional<core::Message> M = core::decodeMessage(*Bytes, Views);
         assert(M && "transport delivered a corrupt frame");
         if (M)
           Nodes[To]->onDeliver(From, *M);
@@ -56,8 +56,8 @@ StableScenarioRunner::StableScenarioRunner(const graph::Graph &InG,
                               const core::Message &M) {
       if (Withdrawn[N])
         return; // A withdrawn node sends no protocol traffic.
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          core::encodeMessage(M));
+      sim::Network::Frame Frame =
+          support::FrameRef::fresh(core::encodeMessage(M));
       for (NodeId Recipient : To)
         Net.send(N, Recipient, Frame);
     };
@@ -72,7 +72,7 @@ StableScenarioRunner::StableScenarioRunner(const graph::Graph &InG,
       return static_cast<core::Value>(N);
     };
     Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
-        N, G, Opts.NodeConfig, std::move(CBs)));
+        N, G, Views, Opts.NodeConfig, std::move(CBs)));
   }
   for (auto &Node : Nodes)
     Node->start();

@@ -92,6 +92,7 @@ public:
 private:
   const graph::Graph &G;
   StableRunnerOptions Opts;
+  core::ViewTable Views{G, Opts.NodeConfig.Ranking};
   sim::Simulator Sim;
   sim::Network Net;
   PredicateService Service;

@@ -1,0 +1,168 @@
+//===- support/FramePool.h - Refcounted, recycled wire frames ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport's frame type: an immutable refcounted byte buffer that a
+/// multicast encodes once and every recipient leg shares. Compared to the
+/// previous std::shared_ptr<const std::vector<uint8_t>> this removes the
+/// two heap allocations per multicast (control block + byte storage): a
+/// FramePool recycles released buffers, so steady-state round traffic runs
+/// entirely on warm capacity. The refcount is atomic — the threaded
+/// runtime and the sharded engine hand frames across threads.
+///
+/// Discipline: a frame is writable (mutableBytes) only while its acquirer
+/// holds the sole reference; once it has been shared with the transport it
+/// is immutable. Every acquire bumps a generation counter, which lets
+/// decode-once caches detect that a recycled buffer now carries a
+/// different payload even though the pointer recurred.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SUPPORT_FRAMEPOOL_H
+#define CLIFFEDGE_SUPPORT_FRAMEPOOL_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace cliffedge {
+namespace support {
+
+class FramePool;
+
+/// One refcounted byte buffer. Lives on the heap; released back to its
+/// owning pool (or deleted, for pool-less one-off frames) when the last
+/// FrameRef drops.
+class FrameBuf {
+public:
+  std::vector<uint8_t> Bytes;
+
+private:
+  friend class FrameRef;
+  friend class FramePool;
+  std::atomic<uint32_t> Refs{0};
+  uint64_t Gen = 0;        ///< Bumped per pool acquire (cache invalidation).
+  FramePool *Pool = nullptr; ///< Recycle target; null = delete on release.
+};
+
+/// Intrusive smart pointer to an immutable FrameBuf.
+class FrameRef {
+public:
+  FrameRef() = default;
+  /// Adopts \p B, which must already carry one reference for this handle.
+  explicit FrameRef(FrameBuf *B) : Buf(B) {}
+  FrameRef(const FrameRef &O) : Buf(O.Buf) {
+    if (Buf)
+      Buf->Refs.fetch_add(1, std::memory_order_relaxed);
+  }
+  FrameRef(FrameRef &&O) noexcept : Buf(O.Buf) { O.Buf = nullptr; }
+  FrameRef &operator=(const FrameRef &O) {
+    FrameRef Tmp(O);
+    std::swap(Buf, Tmp.Buf);
+    return *this;
+  }
+  FrameRef &operator=(FrameRef &&O) noexcept {
+    std::swap(Buf, O.Buf);
+    return *this;
+  }
+  ~FrameRef() { release(); }
+
+  explicit operator bool() const { return Buf != nullptr; }
+  const std::vector<uint8_t> &operator*() const { return Buf->Bytes; }
+  const std::vector<uint8_t> *operator->() const { return &Buf->Bytes; }
+
+  /// Identity of the underlying buffer; pair with generation() when used
+  /// as a cache key, since pools recycle buffers.
+  const FrameBuf *get() const { return Buf; }
+  uint64_t generation() const { return Buf ? Buf->Gen : 0; }
+
+  /// Writable access, legal only while this handle is the sole owner —
+  /// i.e. between pool acquire and the first share with the transport.
+  std::vector<uint8_t> &mutableBytes() {
+    assert(Buf && Buf->Refs.load(std::memory_order_relaxed) == 1 &&
+           "frame already shared — its bytes are immutable");
+    return Buf->Bytes;
+  }
+
+  /// One-off frame around \p Bytes, not pool-recycled (convenience for
+  /// unicast callers and tests).
+  static FrameRef fresh(std::vector<uint8_t> Bytes) {
+    FrameBuf *B = new FrameBuf();
+    B->Bytes = std::move(Bytes);
+    B->Refs.store(1, std::memory_order_relaxed);
+    return FrameRef(B);
+  }
+
+private:
+  void release();
+
+  FrameBuf *Buf = nullptr;
+};
+
+/// Recycler of FrameBufs. acquire() prefers a previously released buffer
+/// (whose byte capacity is already warm); release happens automatically
+/// when the last FrameRef drops. Thread-safe: the sharded engine acquires
+/// from worker threads and releases at the serial merge.
+class FramePool {
+public:
+  FramePool() = default;
+  FramePool(const FramePool &) = delete;
+  FramePool &operator=(const FramePool &) = delete;
+  ~FramePool() {
+    for (FrameBuf *B : Free)
+      delete B;
+  }
+
+  /// Returns a sole-owner frame with undefined (stale) byte content; the
+  /// caller overwrites it via mutableBytes() before sharing.
+  FrameRef acquire() {
+    FrameBuf *B = nullptr;
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (!Free.empty()) {
+        B = Free.back();
+        Free.pop_back();
+      }
+    }
+    if (!B)
+      B = new FrameBuf();
+    B->Pool = this;
+    ++B->Gen;
+    B->Refs.store(1, std::memory_order_relaxed);
+    return FrameRef(B);
+  }
+
+private:
+  friend class FrameRef;
+  void recycle(FrameBuf *B) {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Free.push_back(B);
+  }
+
+  std::mutex Mu;
+  std::vector<FrameBuf *> Free;
+};
+
+inline void FrameRef::release() {
+  if (!Buf)
+    return;
+  FrameBuf *B = Buf;
+  Buf = nullptr;
+  if (B->Refs.fetch_sub(1, std::memory_order_acq_rel) != 1)
+    return;
+  if (B->Pool)
+    B->Pool->recycle(B);
+  else
+    delete B;
+}
+
+} // namespace support
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SUPPORT_FRAMEPOOL_H

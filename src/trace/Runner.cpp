@@ -30,11 +30,13 @@ RunnerOptions trace::withRunnerDefaults(RunnerOptions Opts) {
 
 ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
     : G(InG), Opts(withRunnerDefaults(std::move(InOpts))),
-      Net(Sim, G.numNodes(), Opts.Latency),
+      Views(InG, Opts.NodeConfig.Ranking), Net(Sim, G.numNodes(),
+                                               Opts.Latency),
       Detector(Sim, G.numNodes(), Opts.DetectionDelay,
                [this](NodeId Watcher, NodeId Target) {
                  Nodes[Watcher]->onCrash(Target);
                }),
+      Encoders(G.numNodes(), core::WireEncoder(Opts.WireVersion)),
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setRecording(Opts.RecordSends);
   Net.setMonotoneLatency(Opts.MonotoneLatency);
@@ -43,10 +45,18 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
   Sim.reserve(G.numNodes() * 4);
   Net.setDeliver(
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
-        std::optional<core::Message> M = core::decodeMessage(*Bytes);
-        assert(M && "transport delivered a corrupt frame");
-        if (M)
-          Nodes[To]->onDeliver(From, *M);
+        // The legs of one multicast share a frame and arrive back to
+        // back: decode once into the reused scratch, recipients share
+        // the parsed message. Zero allocations per steady-state leg.
+        if (Bytes.get() != LastFrame || Bytes.generation() != LastFrameGen) {
+          bool Ok = core::decodeMessageInto(*Bytes, Views, RecvScratch);
+          assert(Ok && "transport delivered a corrupt frame");
+          if (!Ok)
+            return;
+          LastFrame = Bytes.get();
+          LastFrameGen = Bytes.generation();
+        }
+        Nodes[To]->onDeliver(From, RecvScratch);
       });
 
   Nodes.reserve(G.numNodes());
@@ -54,9 +64,10 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
     core::Callbacks CBs;
     CBs.Multicast = [this, N](const graph::Region &To,
                               const core::Message &M) {
-      // Encode once; every recipient shares the same immutable frame.
-      auto Frame = std::make_shared<const std::vector<uint8_t>>(
-          core::encodeMessage(M));
+      // Encode once into a pooled buffer; every recipient shares the same
+      // immutable refcounted frame.
+      support::FrameRef Frame = Pool.acquire();
+      Encoders[N].encode(M, Frame.mutableBytes());
       for (NodeId Recipient : To)
         Net.send(N, Recipient, Frame);
     };
@@ -74,7 +85,7 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
         ProtoEvents.push_back(TimedProtocolEvent{N, E, Sim.now()});
       };
     Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
-        N, G, Opts.NodeConfig, std::move(CBs)));
+        N, G, Views, Opts.NodeConfig, std::move(CBs)));
   }
   for (auto &Node : Nodes)
     Node->start();

@@ -18,11 +18,14 @@
 #define CLIFFEDGE_TRACE_RUNNER_H
 
 #include "core/CliffEdgeNode.h"
+#include "core/ViewTable.h"
+#include "core/Wire.h"
 #include "detector/FailureDetector.h"
 #include "graph/Graph.h"
 #include "sim/Latency.h"
 #include "sim/Network.h"
 #include "sim/Simulator.h"
+#include "support/FramePool.h"
 
 #include <functional>
 #include <memory>
@@ -78,6 +81,12 @@ struct RunnerOptions {
   /// Safety valve: abort the run after this many simulator events
   /// (0 = unlimited). A correct run always quiesces on its own.
   uint64_t MaxEvents = 0;
+
+  /// Wire format used for protocol frames: 3 (current; announce-once +
+  /// id-only rounds), or 2 / 1 to force a legacy full-region layout on
+  /// every frame. The differential engine tests pin v3 against the v2
+  /// baseline with this.
+  uint8_t WireVersion = 3;
 };
 
 /// Fills unset RunnerOptions fields with the stack's defaults: fixed
@@ -124,6 +133,7 @@ public:
   const core::CliffEdgeNode &node(NodeId Node) const { return *Nodes[Node]; }
   const graph::Graph &topology() const { return G; }
   sim::Simulator &simulator() { return Sim; }
+  core::ViewTable &viewTable() { return Views; }
 
   /// Sum of a per-node counter over all nodes, e.g. total proposals.
   core::CliffEdgeNode::Counters totalCounters() const;
@@ -134,10 +144,25 @@ public:
 private:
   const graph::Graph &G;
   RunnerOptions Opts;
+  /// Run-wide view intern table, shared by every node and the wire codec.
+  core::ViewTable Views;
+  /// Encode-side frame recycler. Declared before the simulator on
+  /// purpose: a runner destroyed mid-flight (MaxEvents abort, runUntil
+  /// cut) still has pending delivery events holding FrameRefs, and their
+  /// release must find the pool alive.
+  support::FramePool Pool;
   sim::Simulator Sim;
   sim::Network Net;
   detector::PerfectFailureDetector Detector;
   std::vector<std::unique_ptr<core::CliffEdgeNode>> Nodes;
+  /// Per-sender announce state for the wire encoder.
+  std::vector<core::WireEncoder> Encoders;
+  /// Decode-side: one decode per frame, shared by all recipients of the
+  /// multicast (legs of one frame arrive back to back). The (buffer,
+  /// generation) pair guards against pool recycling.
+  core::Message RecvScratch;
+  const support::FrameBuf *LastFrame = nullptr;
+  uint64_t LastFrameGen = 0;
   std::vector<DecisionRecord> Decisions;
   std::vector<TimedProtocolEvent> ProtoEvents;
   graph::Region Faulty;

@@ -35,8 +35,13 @@ struct Harness {
     Region To;
     Message M;
   };
+  core::ViewTable Views;
   std::vector<Sent> Outbox;
   std::optional<core::Decision> Decided;
+
+  explicit Harness(const graph::Graph &G,
+                   graph::RankingKind Kind = graph::RankingKind::SizeBorderLex)
+      : Views(G, Kind) {}
 
   core::Callbacks callbacks() {
     core::Callbacks CBs;
@@ -62,13 +67,12 @@ graph::Graph starGraph() {
   return G;
 }
 
-/// A round-r message from \p Peer carrying \p Op.
-Message roundMsg(uint32_t Round, const Region &V, const Region &B,
-                 const OpinionVec &Op, bool Final = false) {
+/// A round-r message from a peer carrying \p Op.
+Message roundMsg(core::ViewTable &Views, uint32_t Round, const Region &V,
+                 const Region &B, const OpinionVec &Op, bool Final = false) {
   Message M;
   M.Round = Round;
-  M.View = V;
-  M.Border = B;
+  M.setView(Views.intern(V, B));
   M.Opinions = Op;
   M.Final = Final;
   return M;
@@ -91,8 +95,8 @@ TEST(CoreEdgeTest, EarlyTerminationSendsFinalAndDecides) {
   Region B{0, 2, 3, 4};
   core::Config Cfg;
   Cfg.EarlyTermination = true;
-  Harness H;
-  CliffEdgeNode Node(0, G, Cfg, H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, Cfg, H.callbacks());
   Node.start();
   Node.onCrash(1);
 
@@ -101,7 +105,7 @@ TEST(CoreEdgeTest, EarlyTerminationSendsFinalAndDecides) {
   for (NodeId Peer : {2u, 3u, 4u}) {
     OpinionVec Op(B.size());
     Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
-    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+    Node.onDeliver(Peer, roundMsg(H.Views, 1, V, B, Op));
   }
   ASSERT_EQ(Node.currentRound(), 2u);
 
@@ -110,7 +114,7 @@ TEST(CoreEdgeTest, EarlyTerminationSendsFinalAndDecides) {
   Full[0] = OpinionEntry{Opinion::Accept, 7}; // Node 0's own value.
   Node.onDeliver(0, H.Outbox.back().M); // Own round-2 relay (complete).
   for (NodeId Peer : {2u, 3u, 4u})
-    Node.onDeliver(Peer, roundMsg(2, V, B, Full));
+    Node.onDeliver(Peer, roundMsg(H.Views, 2, V, B, Full));
 
   EXPECT_TRUE(Node.hasDecided());
   EXPECT_EQ(Node.counters().EarlyTerminations, 1u);
@@ -127,24 +131,24 @@ TEST(CoreEdgeTest, NoEarlyTerminationWhenRelaysIncomplete) {
   Region B{0, 2, 3, 4};
   core::Config Cfg;
   Cfg.EarlyTermination = true;
-  Harness H;
-  CliffEdgeNode Node(0, G, Cfg, H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, Cfg, H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
   for (NodeId Peer : {2u, 3u, 4u}) {
     OpinionVec Op(B.size());
     Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
-    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+    Node.onDeliver(Peer, roundMsg(H.Views, 1, V, B, Op));
   }
   // Round 2 arrives, but node 4's relay has a hole (it missed node 3).
   OpinionVec Full = completeAccepts(B);
   OpinionVec Holey = Full;
   Holey[core::memberIndex(B, 3)] = OpinionEntry{Opinion::None, 0};
   Node.onDeliver(0, H.Outbox.back().M);
-  Node.onDeliver(2, roundMsg(2, V, B, Full));
-  Node.onDeliver(3, roundMsg(2, V, B, Full));
-  Node.onDeliver(4, roundMsg(2, V, B, Holey));
+  Node.onDeliver(2, roundMsg(H.Views, 2, V, B, Full));
+  Node.onDeliver(3, roundMsg(H.Views, 2, V, B, Full));
+  Node.onDeliver(4, roundMsg(H.Views, 2, V, B, Holey));
   // Full information is present (first-write-wins merged Full), but not
   // every member is known complete: no early exit, round 3 proceeds.
   EXPECT_FALSE(Node.hasDecided());
@@ -157,15 +161,15 @@ TEST(CoreEdgeTest, FinalMessagesCoverAllRemainingRounds) {
   graph::Graph G = starGraph();
   Region V{1};
   Region B{0, 2, 3, 4};
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
   for (NodeId Peer : {2u, 3u, 4u}) {
     OpinionVec Op(B.size());
     Op[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Accept, Peer};
-    Node.onDeliver(Peer, roundMsg(1, V, B, Op));
+    Node.onDeliver(Peer, roundMsg(H.Views, 1, V, B, Op));
   }
   ASSERT_EQ(Node.currentRound(), 2u);
 
@@ -173,7 +177,7 @@ TEST(CoreEdgeTest, FinalMessagesCoverAllRemainingRounds) {
   OpinionVec Full = completeAccepts(B);
   Full[0] = OpinionEntry{Opinion::Accept, 7};
   for (NodeId Peer : {2u, 3u, 4u})
-    Node.onDeliver(Peer, roundMsg(2, V, B, Full, /*Final=*/true));
+    Node.onDeliver(Peer, roundMsg(H.Views, 2, V, B, Full, /*Final=*/true));
   // Own round-2 relay still needed.
   Node.onDeliver(0, H.Outbox.back().M);
   ASSERT_EQ(Node.currentRound(), 3u);
@@ -190,16 +194,16 @@ TEST(CoreEdgeTest, PureLexStallsWhenGrownRegionRanksLower) {
   graph::Graph G = graph::makeLine(4);
   core::Config Cfg;
   Cfg.Ranking = graph::RankingKind::PureLex;
-  Harness H;
-  CliffEdgeNode Node(3, G, Cfg, H.callbacks());
+  Harness H(G, graph::RankingKind::PureLex);
+  CliffEdgeNode Node(3, G, H.Views, Cfg, H.callbacks());
   Node.start();
   Node.onCrash(2);
   EXPECT_EQ(Node.lastProposedView(), (Region{2}));
   Node.onCrash(1);
   EXPECT_EQ(Node.counters().Proposals, 1u); // No re-proposal.
   // The paper's ranking tracks the growth instead.
-  Harness H2;
-  CliffEdgeNode Sane(3, G, core::Config(), H2.callbacks());
+  Harness H2(G);
+  CliffEdgeNode Sane(3, G, H2.Views, core::Config(), H2.callbacks());
   Sane.start();
   Sane.onCrash(2);
   Sane.onDeliver(3, H2.Outbox[0].M); // Self echo so failure can occur.
@@ -212,15 +216,15 @@ TEST(CoreEdgeTest, PureLexStallsWhenGrownRegionRanksLower) {
 
 TEST(CoreEdgeTest, DecidedNodeIgnoresNewCandidates) {
   graph::Graph G = graph::makeLine(4); // 0-1-2-3
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
   Region B{0, 2};
   OpinionVec Op(2);
   Op[1] = OpinionEntry{Opinion::Accept, 5};
-  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  Node.onDeliver(2, roundMsg(H.Views, 1, Region{1}, B, Op));
   ASSERT_TRUE(Node.hasDecided());
   size_t SentBefore = H.Outbox.size();
   // Node 2 crashes later: view construction continues, but no proposal.
@@ -232,19 +236,19 @@ TEST(CoreEdgeTest, DecidedNodeIgnoresNewCandidates) {
 
 TEST(CoreEdgeTest, LateMessagesAfterDecisionAreHarmless) {
   graph::Graph G = graph::makeLine(4);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
   Region B{0, 2};
   OpinionVec Op(2);
   Op[1] = OpinionEntry{Opinion::Accept, 5};
-  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  Node.onDeliver(2, roundMsg(H.Views, 1, Region{1}, B, Op));
   ASSERT_TRUE(Node.hasDecided());
   core::Value Val = Node.decidedValue();
   // A duplicate-ish late message must not re-decide or change the value.
-  Node.onDeliver(2, roundMsg(1, Region{1}, B, Op));
+  Node.onDeliver(2, roundMsg(H.Views, 1, Region{1}, B, Op));
   EXPECT_TRUE(Node.hasDecided());
   EXPECT_EQ(Node.decidedValue(), Val);
   EXPECT_FALSE(H.Decided->View.empty());

@@ -31,15 +31,21 @@ using graph::Region;
 
 namespace {
 
-/// Records every outgoing effect of the node under test.
+/// Records every outgoing effect of the node under test. Owns the test's
+/// view intern table (run-wide state the node and messages share).
 struct Harness {
   struct Sent {
     Region To;
     Message M;
   };
+  core::ViewTable Views;
   std::vector<Sent> Outbox;
   std::vector<Region> Monitored;
   std::optional<core::Decision> Decided;
+
+  explicit Harness(const graph::Graph &G,
+                   graph::RankingKind Kind = graph::RankingKind::SizeBorderLex)
+      : Views(G, Kind) {}
 
   core::Callbacks callbacks() {
     core::Callbacks CBs;
@@ -61,23 +67,21 @@ struct Harness {
 
   /// Builds a round-1 accept message as peer \p Peer would send for view
   /// \p V with border \p B.
-  static Message acceptFrom(NodeId Peer, const Region &V, const Region &B,
-                            core::Value Val) {
+  Message acceptFrom(NodeId Peer, const Region &V, const Region &B,
+                     core::Value Val) {
     Message M;
     M.Round = 1;
-    M.View = V;
-    M.Border = B;
+    M.setView(Views.intern(V, B));
     M.Opinions = OpinionVec(B.size());
     M.Opinions[core::memberIndex(B, Peer)] =
         OpinionEntry{Opinion::Accept, Val};
     return M;
   }
 
-  static Message rejectFrom(NodeId Peer, const Region &V, const Region &B) {
+  Message rejectFrom(NodeId Peer, const Region &V, const Region &B) {
     Message M;
     M.Round = 1;
-    M.View = V;
-    M.Border = B;
+    M.setView(Views.intern(V, B));
     M.Opinions = OpinionVec(B.size());
     M.Opinions[core::memberIndex(B, Peer)] = OpinionEntry{Opinion::Reject, 0};
     return M;
@@ -88,8 +92,8 @@ struct Harness {
 
 TEST(CoreUnitTest, StartMonitorsOwnNeighbours) {
   graph::Graph G = graph::makeLine(3); // 0-1-2
-  Harness H;
-  CliffEdgeNode Node(1, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(1, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   ASSERT_EQ(H.Monitored.size(), 1u);
   EXPECT_EQ(H.Monitored[0], (Region{0, 2}));
@@ -97,8 +101,8 @@ TEST(CoreUnitTest, StartMonitorsOwnNeighbours) {
 
 TEST(CoreUnitTest, CrashTriggersProposalWithOwnAccept) {
   graph::Graph G = graph::makeLine(3); // 0-1-2; border({1}) = {0,2}.
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
 
@@ -107,8 +111,8 @@ TEST(CoreUnitTest, CrashTriggersProposalWithOwnAccept) {
   ASSERT_EQ(H.Outbox.size(), 1u);
   const Message &M = H.Outbox[0].M;
   EXPECT_EQ(M.Round, 1u);
-  EXPECT_EQ(M.View, (Region{1}));
-  EXPECT_EQ(M.Border, (Region{0, 2}));
+  EXPECT_EQ(M.view(), (Region{1}));
+  EXPECT_EQ(M.border(), (Region{0, 2}));
   EXPECT_EQ(H.Outbox[0].To, (Region{0, 2}));
   // Own entry accepted with SelectValue's result; peer entry still bottom.
   EXPECT_EQ(M.Opinions[0].Kind, Opinion::Accept);
@@ -118,8 +122,8 @@ TEST(CoreUnitTest, CrashTriggersProposalWithOwnAccept) {
 
 TEST(CoreUnitTest, CrashExtendsMonitoringToCrashedNodesBorder) {
   graph::Graph G = graph::makeLine(4); // 0-1-2-3
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   // monitor(border(1) \ locallyCrashed) = {0,2}\{1} = {0,2}; self filtered
@@ -130,8 +134,8 @@ TEST(CoreUnitTest, CrashExtendsMonitoringToCrashedNodesBorder) {
 
 TEST(CoreUnitTest, SelfDeliveryAloneDoesNotDecideWithTwoBorderNodes) {
   graph::Graph G = graph::makeLine(3);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M); // Own round-1 comes back.
@@ -141,12 +145,12 @@ TEST(CoreUnitTest, SelfDeliveryAloneDoesNotDecideWithTwoBorderNodes) {
 
 TEST(CoreUnitTest, DecidesWhenAllBorderAcceptsArrive) {
   graph::Graph G = graph::makeLine(3); // border({1}) = {0,2}: 1 round.
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
-  Node.onDeliver(2, Harness::acceptFrom(2, Region{1}, Region{0, 2}, 777));
+  Node.onDeliver(2, H.acceptFrom(2, Region{1}, Region{0, 2}, 777));
 
   ASSERT_TRUE(Node.hasDecided());
   EXPECT_EQ(Node.decidedView(), (Region{1}));
@@ -158,8 +162,8 @@ TEST(CoreUnitTest, DecidesWhenAllBorderAcceptsArrive) {
 
 TEST(CoreUnitTest, SoleBorderNodeDecidesFromSelfDeliveryAlone) {
   graph::Graph G = graph::makeLine(2); // 0-1; border({1}) = {0}.
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   ASSERT_EQ(H.Outbox.size(), 1u);
@@ -170,9 +174,9 @@ TEST(CoreUnitTest, SoleBorderNodeDecidesFromSelfDeliveryAlone) {
 
 TEST(CoreUnitTest, RejectsLowerRankedView) {
   graph::Graph G = graph::makeLine(5); // 0-1-2-3-4
-  Harness H;
+  Harness H(G);
   // Node 0 detects {1,2} crashed: proposes the two-node view.
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onCrash(2);
@@ -181,20 +185,20 @@ TEST(CoreUnitTest, RejectsLowerRankedView) {
   // self round-1 for {1} so the view is in `received`).
   // Outbox[0] is the proposal for {1}.
   ASSERT_GE(H.Outbox.size(), 1u);
-  EXPECT_EQ(H.Outbox[0].M.View, (Region{1}));
+  EXPECT_EQ(H.Outbox[0].M.view(), (Region{1}));
   Node.onDeliver(0, H.Outbox[0].M);
   // After the {1} instance's round-1 from self only, nothing completes; but
   // a reject of {1} must have been multicast because Vp is now... Vp is
   // still {1} (instance active). Complete the failed instance first:
-  Node.onDeliver(2, Harness::rejectFrom(2, Region{1}, Region{0, 2}));
+  Node.onDeliver(2, H.rejectFrom(2, Region{1}, Region{0, 2}));
   // Instance {1} fails (reject in vector) -> proposes candidate {1,2}; then
   // the stale {1} in `received` is rejected.
   bool ProposedBigger = false;
   bool RejectedStale = false;
   for (const auto &S : H.Outbox) {
-    if (S.M.View == (Region{1, 2}) && S.M.Round == 1)
+    if (S.M.view() == (Region{1, 2}) && S.M.Round == 1)
       ProposedBigger = true;
-    if (S.M.View == (Region{1}) &&
+    if (S.M.view() == (Region{1}) &&
         S.M.Opinions[core::memberIndex(Region{0, 2}, 0)].Kind ==
             Opinion::Reject)
       RejectedStale = true;
@@ -206,16 +210,16 @@ TEST(CoreUnitTest, RejectsLowerRankedView) {
 
 TEST(CoreUnitTest, IgnoresMessagesForRejectedViews) {
   graph::Graph G = graph::makeLine(5);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onCrash(2);
   Node.onDeliver(0, H.Outbox[0].M); // Self round-1 for {1}.
-  Node.onDeliver(2, Harness::rejectFrom(2, Region{1}, Region{0, 2}));
+  Node.onDeliver(2, H.rejectFrom(2, Region{1}, Region{0, 2}));
   // {1} is now in `rejected`; further traffic for it must be dropped.
   uint64_t Before = Node.counters().MessagesIgnored;
-  Node.onDeliver(2, Harness::acceptFrom(2, Region{1}, Region{0, 2}, 5));
+  Node.onDeliver(2, H.acceptFrom(2, Region{1}, Region{0, 2}, 5));
   EXPECT_EQ(Node.counters().MessagesIgnored, Before + 1);
 }
 
@@ -223,8 +227,8 @@ TEST(CoreUnitTest, FailedInstanceDoesNotDecideOnCrashHole) {
   // border({1}) on the line 0-1-2 is {0,2}; if node 2 crashes before
   // sending its accept, the vector keeps a bottom and the instance fails.
   graph::Graph G = graph::makeLine(3);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Node.onDeliver(0, H.Outbox[0].M);
@@ -240,8 +244,8 @@ TEST(CoreUnitTest, FailedInstanceDoesNotDecideOnCrashHole) {
 
 TEST(CoreUnitTest, ProposedViewsGrowMonotonically) {
   graph::Graph G = graph::makeLine(6);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   EXPECT_EQ(Node.lastProposedView().size(), 1u);
@@ -261,15 +265,15 @@ TEST(CoreUnitTest, MultiRoundInstanceRelaysPreviousVector) {
   NodeId Self = graph::gridId(4, 0, 1); // West neighbour of A.
   ASSERT_TRUE(Border.contains(Self));
 
-  Harness H;
-  CliffEdgeNode Node(Self, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(Self, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(A);
   // onCrash(A) proposes {A}; onCrash(B) only updates the candidate since
   // the {A} instance is still active (a node runs one instance at a time).
   Node.onCrash(B);
   ASSERT_EQ(H.Outbox.size(), 1u);
-  EXPECT_EQ(H.Outbox[0].M.View, (Region{A}));
+  EXPECT_EQ(H.Outbox[0].M.view(), (Region{A}));
   EXPECT_TRUE(Node.hasActiveProposal());
   EXPECT_EQ(Node.lastProposedView(), (Region{A}));
 }
@@ -281,8 +285,8 @@ TEST(CoreUnitTest, RejectEntriesRemoveSenderFromWaiting) {
   G.addEdge(2, 1);
   G.addEdge(3, 1);
   // border({1}) = {0,2,3}: 2 rounds.
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   Region V{1};
@@ -290,9 +294,9 @@ TEST(CoreUnitTest, RejectEntriesRemoveSenderFromWaiting) {
   Node.onDeliver(0, H.Outbox[0].M);
   // Node 2 rejects: it disappears from waiting for round 1 and its reject
   // propagates into the vector.
-  Node.onDeliver(2, Harness::rejectFrom(2, V, B));
+  Node.onDeliver(2, H.rejectFrom(2, V, B));
   // Node 3 accepts.
-  Node.onDeliver(3, Harness::acceptFrom(3, V, B, 9));
+  Node.onDeliver(3, H.acceptFrom(3, V, B, 9));
   // Round 1 complete (0 sent, 2 rejected, 3 sent): advance to round 2.
   EXPECT_EQ(Node.currentRound(), 2u);
   // The round-2 relay must carry the reject for node 2.
@@ -303,8 +307,8 @@ TEST(CoreUnitTest, RejectEntriesRemoveSenderFromWaiting) {
 
 TEST(CoreUnitTest, CountersTrackActivity) {
   graph::Graph G = graph::makeLine(3);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   EXPECT_EQ(Node.counters().Proposals, 0u);
   Node.onCrash(1);
@@ -315,8 +319,8 @@ TEST(CoreUnitTest, CountersTrackActivity) {
 
 TEST(CoreUnitTest, NoProposalBeforeAnyCrash) {
   graph::Graph G = graph::makeRing(5);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   EXPECT_FALSE(Node.hasActiveProposal());
   EXPECT_TRUE(H.Outbox.empty());
@@ -325,8 +329,8 @@ TEST(CoreUnitTest, NoProposalBeforeAnyCrash) {
 
 TEST(CoreUnitTest, TrackedViewsCountsDistinctInstances) {
   graph::Graph G = graph::makeLine(3);
-  Harness H;
-  CliffEdgeNode Node(0, G, core::Config(), H.callbacks());
+  Harness H(G);
+  CliffEdgeNode Node(0, G, H.Views, core::Config(), H.callbacks());
   Node.start();
   Node.onCrash(1);
   EXPECT_EQ(Node.trackedViews(), 0u); // Self message not delivered yet.

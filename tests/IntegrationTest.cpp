@@ -28,6 +28,21 @@ void expectSpecHolds(ScenarioRunner &Runner) {
 
 } // namespace
 
+TEST(IntegrationTest, TeardownMidFlightReleasesPooledFrames) {
+  // A runner destroyed with deliveries still pending (runUntil cut, the
+  // shape of MaxEvents aborts and of the steady-state alloc bench) must
+  // release the in-flight pooled frames while the pool is still alive —
+  // this pins the FramePool-before-Simulator member order. Run it twice:
+  // a dangling recycle would corrupt the second run's allocations.
+  graph::Graph G = graph::makeGrid(8, 8);
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    trace::ScenarioRunner Runner(G);
+    Runner.scheduleCrashAll(graph::gridPatch(8, 2, 2, 3), 10);
+    Runner.simulator().runUntil(60); // Mid-agreement: frames in flight.
+    EXPECT_GT(Runner.simulator().pending(), 0u);
+  }
+}
+
 TEST(IntegrationTest, SingleNodeRegionOnLine) {
   graph::Graph G = graph::makeLine(5); // 0-1-2-3-4
   ScenarioRunner Runner(G);

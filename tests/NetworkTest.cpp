@@ -138,8 +138,8 @@ TEST_F(NetFixture, StatsAndRecording) {
 }
 
 TEST_F(NetFixture, SharedFrameDeliveredToAllRecipients) {
-  auto Frame = std::make_shared<const std::vector<uint8_t>>(
-      std::vector<uint8_t>{42});
+  sim::Network::Frame Frame =
+      support::FrameRef::fresh(std::vector<uint8_t>{42});
   Net.send(0, 1, Frame);
   Net.send(0, 2, Frame);
   Net.send(0, 3, Frame);

@@ -7,6 +7,9 @@
 
 #include "core/Types.h"
 
+#include "core/ViewTable.h"
+#include "graph/Graph.h"
+
 #include "core/Message.h"
 
 #include "gtest/gtest.h"
@@ -67,10 +70,13 @@ TEST(MemberIndexTest, IndexesSortedMembers) {
 }
 
 TEST(MessageTest, StrIncludesEverything) {
+  graph::Graph G(6);
+  G.addEdge(3, 4);
+  G.addEdge(4, 5);
+  core::ViewTable Views(G);
   core::Message M;
   M.Round = 2;
-  M.View = Region{4};
-  M.Border = Region{3, 5};
+  M.setView(Views.intern(Region{4}, Region{3, 5}));
   M.Opinions = OpinionVec(2);
   M.Opinions[0] = OpinionEntry{Opinion::Accept, 1};
   std::string S = M.str();

@@ -50,12 +50,24 @@ def to_ns(entry):
     return entry["real_time"] * scale
 
 
+# BM_EngineQuakeStorm_Des on this container at the PR-3 baseline commit
+# (BENCH_micro.json history). The data-plane overhaul is gated as an
+# absolute speedup against this pinned measurement — unlike the within-run
+# ratios below it is machine-specific, which is exactly the point: the
+# committed baseline and the gate run on the same benchmark host.
+QUAKE_DES_PR3_NS = 224815880.333
+
+
 def distill(gbench):
     benchmarks = {}
+    counters = {}
     for entry in gbench.get("benchmarks", []):
         if entry.get("run_type", "iteration") != "iteration":
             continue
         benchmarks[entry["name"]] = {"ns": round(to_ns(entry), 3)}
+        for key in ("allocs_per_msg", "steady_msgs"):
+            if key in entry:
+                counters[(entry["name"], key)] = entry[key]
 
     derived = {}
 
@@ -91,16 +103,38 @@ def distill(gbench):
             f"BM_EventDeliverySharded/{arg}",
             f"event_delivery_speedup_{arg}",
         )
+    # The id-only v3 steady-state frames against the full-region v2 layout.
+    for arg in (4, 32, 256):
+        ratio(
+            f"BM_WireEncode/{arg}",
+            f"BM_WireEncodeV3/{arg}",
+            f"wire_v2_over_v3_encode_{arg}",
+        )
+        ratio(
+            f"BM_WireDecode/{arg}",
+            f"BM_WireDecodeV3/{arg}",
+            f"wire_v2_over_v3_decode_{arg}",
+        )
     # End-to-end engines on the 100k-node quake storm. Protocol work is
     # identical code on both sides, so on a single-core machine this ratio
-    # only reflects the delivery-layer savings; with >= 4 real cores the
-    # jobs4 variant additionally parallelises shard rounds.
+    # only reflects the delivery-layer differences; with >= 4 real cores
+    # the jobs4 variant additionally parallelises shard rounds.
     for jobs in (1, 4):
         ratio(
             "BM_EngineQuakeStorm_Des",
             f"BM_EngineQuakeStorm_Sharded/{jobs}",
             f"engine_quake_des_over_sharded_jobs{jobs}",
         )
+    # Absolute gate for the data-plane overhaul: DES quake storm against
+    # the pinned PR-3 measurement of this container.
+    des = benchmarks.get("BM_EngineQuakeStorm_Des")
+    if des and des["ns"] > 0:
+        derived["engine_quake_des_speedup_vs_pr3"] = round(
+            QUAKE_DES_PR3_NS / des["ns"], 2)
+    # Steady-state allocation accounting from the operator-new hook.
+    allocs = counters.get(("BM_RoundProcessing_Allocs", "allocs_per_msg"))
+    if allocs is not None:
+        derived["round_processing_allocs_per_msg"] = round(allocs, 4)
     return {"schema": 1, "benchmarks": benchmarks, "derived": derived}
 
 
@@ -148,24 +182,30 @@ def main():
                         help="pre-recorded google-benchmark JSON instead of running")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME>=VALUE",
-                        help="absolute floor on a derived metric, e.g. "
-                             "crash_burst_speedup_16>=3. Repeatable. Unlike "
-                             "--threshold these floors are immune to "
-                             "machine-to-machine noise, which makes them the "
-                             "right gate for CI (the ctest 'bench_compare' "
-                             "test uses them).")
+                        help="absolute bound on a derived metric: a floor "
+                             "(crash_burst_speedup_16>=3) or a ceiling "
+                             "(round_processing_allocs_per_msg<=0). "
+                             "Repeatable. Unlike --threshold these bounds "
+                             "are immune to machine-to-machine noise, which "
+                             "makes them the right gate for CI (the ctest "
+                             "'bench_compare' test uses them).")
     args = parser.parse_args()
 
     requirements = []
     for spec in args.require:
-        name, sep, value = spec.partition(">=")
-        try:
-            floor = float(value)
-        except ValueError:
-            sep = None
-        if not sep:
-            sys.exit(f"error: --require wants NAME>=VALUE, got '{spec}'")
-        requirements.append((name.strip(), floor))
+        for op in (">=", "<="):
+            name, sep, value = spec.partition(op)
+            if sep:
+                try:
+                    bound = float(value)
+                except ValueError:
+                    sys.exit(f"error: --require bound must be numeric, "
+                             f"got '{spec}'")
+                requirements.append((name.strip(), op, bound))
+                break
+        else:
+            sys.exit(f"error: --require wants NAME>=VALUE or NAME<=VALUE, "
+                     f"got '{spec}'")
 
     # Load the baseline before anything is written: --out and --baseline may
     # be the same file.
@@ -192,12 +232,14 @@ def main():
         print(f"  {name}: {value}x")
 
     floor_failures = []
-    for name, floor in requirements:
+    for name, op, bound in requirements:
         value = fresh["derived"].get(name)
         if value is None:
-            floor_failures.append(f"{name}: not measured (floor {floor})")
-        elif value < floor:
-            floor_failures.append(f"{name}: {value}x below floor {floor}x")
+            floor_failures.append(f"{name}: not measured (bound {op}{bound})")
+        elif op == ">=" and value < bound:
+            floor_failures.append(f"{name}: {value} below floor {bound}")
+        elif op == "<=" and value > bound:
+            floor_failures.append(f"{name}: {value} above ceiling {bound}")
     if floor_failures:
         print("\nFLOOR FAILURES:")
         for f in floor_failures:
