@@ -26,6 +26,7 @@
 #include "graph/Builders.h"
 #include "graph/IncrementalComponents.h"
 #include "graph/Ranking.h"
+#include "net/Link.h"
 #include "scenario/Parse.h"
 #include "scenario/Spec.h"
 #include "sim/Simulator.h"
@@ -239,6 +240,62 @@ void BM_ScenarioCrashBurst(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_ScenarioCrashBurst)->Arg(4)->Arg(6);
+
+// -- Fault-plane overhead ----------------------------------------------------
+//
+// One crash-burst scenario at three link configurations:
+//
+//  * raw        — `link none`, the zero-loss bypass (no plane object, the
+//                 pre-fault-plane code path byte for byte);
+//  * reliable   — the armed sublayer over a perfect link: every frame is
+//                 wrapped with a sequence stamp and the receiver verifies
+//                 in-order arrival, but nothing can be lost, so no ack
+//                 traffic, no windows, no timers (tracked informationally
+//                 as reliable_channel_armed_ratio; the ctest gate is
+//                 reliable_channel_overhead — raw vs the byte-identical
+//                 BM_ScenarioCrashBurst/6 — with the ceiling set in
+//                 CMakeLists.txt, the single source of truth for the
+//                 bound);
+//  * lossy      — full ARQ at drop:0.2 dup:0.01 reorder:15, the cost of
+//                 actually surviving a faulty medium (informational:
+//                 reliable_channel_lossy_ratio).
+
+void runChannelScenario(benchmark::State &State, const char *LinkTok) {
+  net::LinkSpec Link;
+  std::string Err;
+  if (!net::parseLinkCompact(LinkTok, Link, Err)) {
+    State.SkipWithError(Err.c_str());
+    return;
+  }
+  graph::Graph G = graph::makeGrid(24, 24);
+  graph::Region Patch = graph::gridPatch(24, 4, 4, 6);
+  for (auto _ : State) {
+    trace::RunnerOptions Opts;
+    Opts.RecordSends = false;
+    Opts.RecordProtocolEvents = false;
+    Opts.Link = Link;
+    Opts.LinkSeed = 42;
+    trace::ScenarioRunner Runner(G, std::move(Opts));
+    Runner.scheduleCrashAll(Patch, 100);
+    Runner.run();
+    benchmark::DoNotOptimize(Runner.decisions().size());
+  }
+}
+
+void BM_ReliableChannelOverhead_Raw(benchmark::State &State) {
+  runChannelScenario(State, "none");
+}
+BENCHMARK(BM_ReliableChannelOverhead_Raw)->Unit(benchmark::kMillisecond);
+
+void BM_ReliableChannelOverhead_Armed(benchmark::State &State) {
+  runChannelScenario(State, "reliable");
+}
+BENCHMARK(BM_ReliableChannelOverhead_Armed)->Unit(benchmark::kMillisecond);
+
+void BM_ReliableChannelOverhead_Lossy(benchmark::State &State) {
+  runChannelScenario(State, "drop:0.2,dup:0.01,reorder:15");
+}
+BENCHMARK(BM_ReliableChannelOverhead_Lossy)->Unit(benchmark::kMillisecond);
 
 // -- Steady-state round processing: the zero-allocation gate -----------------
 //

@@ -15,26 +15,19 @@ using namespace cliffedge::core;
 
 namespace {
 
-constexpr uint32_t WireMagic = 0x43454C43; // "CLEC"
+constexpr uint32_t WireMagic = kWireMagic;
 constexpr uint8_t WireVersionV1 = 1;
 constexpr uint8_t WireVersionV2 = 2;
-constexpr uint8_t WireVersion = 3;
-constexpr size_t HeaderSize = 4 + 1 + 1; // magic, version, flags
-constexpr uint8_t FlagFinal = 1u << 0;
-constexpr uint8_t FlagAnnounce = 1u << 1;
+constexpr uint8_t WireVersion = kWireVersion3;
+constexpr size_t HeaderSize = kWirePrefixSize; // magic, version, flags
+constexpr uint8_t FlagFinal = kWireFlagFinal;
+constexpr uint8_t FlagAnnounce = kWireFlagAnnounce;
 
 /// Decoder reserve() clamp: prevents a hostile count field from demanding
 /// gigabytes before the per-element truncation checks reject the frame.
 constexpr uint32_t MaxPrealloc = 4096;
 
-size_t varintSize(uint64_t V) {
-  size_t N = 1;
-  while (V >= 0x80) {
-    V >>= 7;
-    ++N;
-  }
-  return N;
-}
+size_t varintSize(uint64_t V) { return wireVarintSize(V); }
 
 void putVarint(uint8_t *&P, uint64_t V) {
   while (V >= 0x80) {
@@ -117,18 +110,7 @@ public:
       V |= static_cast<uint64_t>(Data[Pos++]) << (8 * I);
     return true;
   }
-  bool varint(uint64_t &V) {
-    V = 0;
-    for (int Shift = 0; Shift < 64; Shift += 7) {
-      if (Pos >= Data.size())
-        return false;
-      uint8_t Byte = Data[Pos++];
-      V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
-      if (!(Byte & 0x80))
-        return true;
-    }
-    return false; // More than 10 continuation bytes: malformed.
-  }
+  bool varint(uint64_t &V) { return wireReadVarint(Data, Pos, V); }
   bool varint32(uint32_t &V) {
     uint64_t Wide = 0;
     if (!varint(Wide) || Wide > UINT32_MAX)
@@ -250,8 +232,15 @@ bool decodeV2(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
 }
 
 bool decodeV3(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
-  if (Flags & ~(FlagFinal | FlagAnnounce))
-    return false;
+  if (Flags & ~(FlagFinal | FlagAnnounce | kWireFlagChannel))
+    return false; // PureAck frames are transport-level, never a message.
+  if (Flags & kWireFlagChannel) {
+    // The reliability sublayer's seq/ack ride between the prefix and the
+    // protocol body; the transport already consumed them — skip.
+    uint64_t Seq = 0, Ack = 0;
+    if (!R.varint(Seq) || !R.varint(Ack))
+      return false;
+  }
   M.Final = (Flags & FlagFinal) != 0;
   uint32_t Id = 0;
   if (!R.varint32(Id) || Id == InvalidViewId)
@@ -279,6 +268,37 @@ bool decodeV3(Reader &R, uint8_t Flags, ViewTable &Views, Message &M) {
 }
 
 } // namespace
+
+size_t core::wireVarintSize(uint64_t V) {
+  size_t N = 1;
+  while (V >= 0x80) {
+    V >>= 7;
+    ++N;
+  }
+  return N;
+}
+
+void core::wireAppendVarint(std::vector<uint8_t> &Out, uint64_t V) {
+  while (V >= 0x80) {
+    Out.push_back(static_cast<uint8_t>(V) | 0x80);
+    V >>= 7;
+  }
+  Out.push_back(static_cast<uint8_t>(V));
+}
+
+bool core::wireReadVarint(const std::vector<uint8_t> &Bytes, size_t &Pos,
+                          uint64_t &V) {
+  V = 0;
+  for (int Shift = 0; Shift < 64; Shift += 7) {
+    if (Pos >= Bytes.size())
+      return false;
+    uint8_t Byte = Bytes[Pos++];
+    V |= static_cast<uint64_t>(Byte & 0x7f) << Shift;
+    if (!(Byte & 0x80))
+      return true;
+  }
+  return false; // More than 10 continuation bytes: malformed.
+}
 
 void core::encodeMessageV3Into(const Message &M, bool WithAnnounce,
                                std::vector<uint8_t> &Out) {

@@ -13,7 +13,8 @@
 ///
 /// Version 3 layout (current; "varint" is LEB128):
 ///   u32 magic 'CLEC' (little-endian)   u8 version = 3
-///   u8 flags (bit0 = Final, bit1 = Announce)
+///   u8 flags (bit0 = Final, bit1 = Announce, bit2 = Channel, bit3 = PureAck)
+///   [Channel only] varint seq   varint cumulative-ack   (ends PureAck frames)
 ///   varint view-id
 ///   varint round
 ///   [Announce only]
@@ -36,6 +37,15 @@
 /// replayed from id 0); a channel-local decoder for arbitrary multi-
 /// proposer traffic would additionally need a per-stream id remap, which
 /// no in-tree transport needs.
+///
+/// The *Channel* extension (flag bit2) is the reliability sublayer's hook
+/// (net/Channel.h): a per-ordered-pair sequence number and a cumulative
+/// ack, spliced between the fixed prefix and the protocol body by the
+/// transport when a lossy link model is active. Protocol decoders skip the
+/// two fields — the transport consumed them before handing the frame up.
+/// A frame with bit3 (PureAck) carries *only* the channel header (it acks
+/// without piggybacking on data) and is never a protocol message: the
+/// decoders reject it, transports consume it below the decode layer.
 ///
 /// Version 2 layout (legacy, still decoded):
 ///   u32 magic   u8 version = 2   u8 flags(bit0 = Final)
@@ -69,6 +79,26 @@
 
 namespace cliffedge {
 namespace core {
+
+// Shared wire constants. The reliability sublayer (net/Channel.h) splices
+// its header into v3 frames and builds pure-ack frames from scratch, so
+// the prefix layout and the flag bits are part of the public contract.
+constexpr uint32_t kWireMagic = 0x43454C43; // "CLEC", little-endian.
+constexpr uint8_t kWireVersion3 = 3;
+constexpr size_t kWirePrefixSize = 6; ///< magic + version + flags.
+constexpr uint8_t kWireFlagFinal = 1u << 0;
+constexpr uint8_t kWireFlagAnnounce = 1u << 1;
+constexpr uint8_t kWireFlagChannel = 1u << 2;
+constexpr uint8_t kWireFlagPureAck = 1u << 3;
+
+// LEB128 primitives, shared with the net:: channel codec so the frames
+// one layer writes and the other skips can never diverge.
+size_t wireVarintSize(uint64_t V);
+void wireAppendVarint(std::vector<uint8_t> &Out, uint64_t V);
+/// Reads one varint at \p Pos, advancing it. False on truncation or an
+/// over-long encoding.
+bool wireReadVarint(const std::vector<uint8_t> &Bytes, size_t &Pos,
+                    uint64_t &V);
 
 /// Serialises \p M as a self-contained v3 frame (announce payload always
 /// included) into a fresh buffer. Transports with per-sender state use

@@ -11,7 +11,12 @@ using namespace cliffedge;
 using namespace cliffedge::engine;
 
 EngineResult DesEngine::run(const EngineJob &Job) {
-  trace::ScenarioRunner Runner(*Job.G, Job.Options);
+  trace::RunnerOptions Options = Job.Options;
+  // The job seed is the canonical run seed: both engines derive the fault
+  // plane's per-channel streams from it, so a (spec, seed) pair pins the
+  // same per-channel fault schedule on every backend.
+  Options.LinkSeed = Job.Seed;
+  trace::ScenarioRunner Runner(*Job.G, std::move(Options));
   Job.Plan->apply(Runner);
 
   EngineResult R;

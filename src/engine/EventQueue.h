@@ -49,10 +49,16 @@ struct Event {
     Deliver,     ///< Message arrival: From -> To.
     CrashNotice, ///< Failure-detector <crash|From> at watcher To.
     CrashExec,   ///< Node To crashes now (from the plan).
+    AckFrame,    ///< Fault plane: pure cumulative ack From -> To.
+    TimerCheck,  ///< Fault plane: retransmit check for channel To -> From.
   } K = CrashExec;
   NodeId From = InvalidNode;
   NodeId To = InvalidNode;
   uint32_t Bytes = 0; ///< Deliver: wire frame size, for statistics.
+  /// Fault plane only (zero otherwise): the channel sequence stamped on a
+  /// Deliver, and the piggybacked / pure cumulative ack.
+  uint32_t ChanSeq = 0;
+  uint32_t ChanAck = 0;
   /// Deliver: the frame's decoded message, shared by every recipient of
   /// the multicast (decoded exactly once, at merge).
   std::shared_ptr<const core::Message> Msg;

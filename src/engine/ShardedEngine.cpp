@@ -33,6 +33,24 @@
 // ordered by the merge, not by handler completion. Events on the *same*
 // node land in the same shard and run in deterministic heap order.
 //
+// Fault plane (RunnerOptions::Link active)
+// ----------------------------------------
+// The net:: layers slot into the phase structure without new locks:
+//
+//  * every *send-side* channel state (sequence windows, retransmit
+//    timers, link fate draws) is touched only at the serial merge —
+//    workers stage ack arrivals and timer expiries into shard outboxes
+//    instead of acting on them;
+//  * every *receive-side* state (dedup, reorder buffers) lives in the
+//    recipient's shard and is touched only by that shard's worker.
+//
+// All link-model draws therefore happen in deterministic merge order, so
+// lossy runs replay bit-for-bit at any worker count, exactly like
+// zero-loss ones. Wrapped frame bytes are never materialised: the merge
+// decodes each multicast payload once as usual and carries (seq, ack) in
+// the event record, accounting the wire v3 channel-extension size
+// arithmetically.
+//
 //===----------------------------------------------------------------------===//
 
 #include "engine/ShardedEngine.h"
@@ -41,6 +59,8 @@
 #include "core/ViewTable.h"
 #include "core/Wire.h"
 #include "engine/EventQueue.h"
+#include "net/Channel.h"
+#include "net/Link.h"
 #include "support/FlatHash.h"
 #include "support/FramePool.h"
 #include "support/Sorted.h"
@@ -51,6 +71,7 @@
 #include <condition_variable>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 
 using namespace cliffedge;
 using namespace cliffedge::engine;
@@ -75,6 +96,36 @@ struct OutSub {
   graph::Region Targets;
 };
 
+/// The sharded engine buffers pre-decoded messages, not frame bytes.
+using MsgPtr = std::shared_ptr<const core::Message>;
+
+/// A send-window entry: what the merge needs to retransmit one frame.
+struct SendPayload {
+  MsgPtr Msg;
+  uint32_t WireBytes = 0;
+};
+
+/// One cumulative-ack observation staged by a worker: retire the window
+/// of channel (Sender -> Peer) up to Cum.
+struct OutAckSeen {
+  NodeId Sender;
+  NodeId Peer;
+  uint32_t Cum;
+};
+
+/// One pure ack a receiver owes: send Cum on channel (From -> To).
+struct OutAckSend {
+  NodeId From;
+  NodeId To;
+  uint32_t Cum;
+};
+
+/// One expired retransmit timer for channel (Sender -> Peer).
+struct OutTimer {
+  NodeId Sender;
+  NodeId Peer;
+};
+
 /// Per-shard state: owned nodes' events plus this round's outputs.
 struct Shard {
   EventQueue Heap;
@@ -88,6 +139,16 @@ struct Shard {
   std::vector<OutSub> OutSubs;
   std::vector<NodeId> OutCrashed;
   std::vector<trace::DecisionRecord> OutDecisions;
+  // Fault-plane outboxes (empty on the zero-loss path).
+  std::vector<OutAckSeen> OutAcksSeen;
+  std::vector<OutAckSend> OutAcksOwed;
+  std::vector<OutTimer> OutTimers;
+  /// Receive halves of every channel whose recipient this shard owns —
+  /// only this shard's worker touches them during rounds; the merge reads
+  /// cumulative counters (piggyback acks) between rounds.
+  std::unordered_map<uint64_t, net::ReliableChannelRecv<MsgPtr>> Recv;
+  std::vector<MsgPtr> Released; ///< accept() scratch.
+  net::ChannelStats ChanStats;  ///< Receive-side counters (dedup/reorder).
   SimTime Now = 0; ///< Timestamp of the round being processed.
   uint64_t Processed = 0;
   uint64_t Delivered = 0;
@@ -123,6 +184,15 @@ struct RunState {
   std::vector<std::vector<NodeId>> Subscribed;
   EngineResult Result;
 
+  // Fault plane (merge-side except the per-shard receive halves above).
+  bool PlaneOn;
+  bool Arq; ///< Faults present: full ARQ, no FIFO clamp.
+  std::unique_ptr<net::LinkModel> Link;
+  SimTime Rto = 0;
+  /// Send halves of every directed channel; merge-only.
+  std::unordered_map<uint64_t, net::ReliableChannelSend<SendPayload>> Send;
+  net::ChannelStats ChanStats; ///< Send-side counters.
+
   RunState(const graph::Graph &InG, const trace::RunnerOptions &InOpts,
            uint32_t InShards, uint64_t Seed)
       : G(InG), Opts(InOpts), NumShards(InShards),
@@ -131,7 +201,12 @@ struct RunState {
         Dead(InG.numNodes(), 0), CrashTimes(InG.numNodes(), TimeNever),
         MergeRng(Seed ^ 0x5368617264456e67ULL /* "ShardEng" */),
         TieSeed(SplitMix64(Seed ^ 0x4669666f54696523ULL).next()),
-        Watchers(InG.numNodes()), Subscribed(InG.numNodes()) {}
+        Watchers(InG.numNodes()), Subscribed(InG.numNodes()),
+        PlaneOn(InOpts.Link.active()), Arq(InOpts.Link.lossy()),
+        Rto(InOpts.Link.Rto) {
+    if (PlaneOn)
+      Link.reset(new net::LinkModel(InOpts.Link, Seed));
+  }
 
   uint32_t shardOf(NodeId N) const { return N % NumShards; }
 
@@ -158,6 +233,90 @@ struct RunState {
   void processShard(uint32_t S, SimTime T);
   void merge(SimTime T, bool IsStart);
   void scheduleNotice(NodeId Watcher, NodeId Target, SimTime T);
+
+  // --- Fault-plane helpers (merge phase only) ------------------------------
+
+  /// Cumulative sequence \p Sender has received on the reverse channel
+  /// (Peer -> Sender) — the piggyback ack for Sender's outgoing data.
+  uint32_t recvCum(NodeId Sender, NodeId Peer) const {
+    const auto &RecvMap = Shards[Sender % NumShards].Recv;
+    auto It = RecvMap.find(net::channelKey(Peer, Sender));
+    return It == RecvMap.end() ? 0 : It->second.CumSeq;
+  }
+
+  void scheduleTimer(NodeId Sender, NodeId Peer, SimTime When) {
+    Event E;
+    E.K = Event::TimerCheck;
+    E.From = Peer;
+    E.To = Sender;
+    E.When = When;
+    schedule(std::move(E));
+  }
+
+  /// Hands one event (data or pure ack) to the link model: fate draw,
+  /// then 0..2 scheduled copies with per-copy jitter. ARQ mode only.
+  void linkSchedule(Event Proto, SimTime T) {
+    net::LinkModel::Fate Fate = Link->transmit(Proto.From, Proto.To);
+    if (Fate.Copies == 0) {
+      ++ChanStats.LinkDropped;
+      return;
+    }
+    if (Fate.Copies == 2)
+      ++ChanStats.LinkDuplicated;
+    SimTime Base = Link->baseLatency(Opts.Latency(Proto.From, Proto.To));
+    uint64_t Channel = net::channelKey(Proto.From, Proto.To);
+    for (uint32_t I = 0; I < Fate.Copies; ++I) {
+      Event E = Proto;
+      E.When = T + Base + Fate.Extra[I];
+      E.Key = channelTieKey(Channel, E.When);
+      E.Seq = NextSeq++;
+      Shards[shardOf(E.To)].Heap.push(std::move(E));
+    }
+  }
+
+  /// One expired retransmit timer: re-send overdue window entries and
+  /// re-arm while anything is outstanding.
+  void onTimer(NodeId Sender, NodeId Peer, SimTime T) {
+    auto It = Send.find(net::channelKey(Sender, Peer));
+    if (It == Send.end())
+      return;
+    net::ReliableChannelSend<SendPayload> &SH = It->second;
+    SH.TimerArmed = false;
+    if (SH.Dead || SH.Window.empty())
+      return; // All acked or peer gone: the timer lapses.
+    if (Dead[Peer]) {
+      SH.purge();
+      return;
+    }
+    uint32_t Cum = recvCum(Sender, Peer);
+    for (auto &P : SH.Window)
+      if (P.LastSent + Rto <= T) {
+        ++ChanStats.Retransmits;
+        Event E;
+        E.K = Event::Deliver;
+        E.From = Sender;
+        E.To = Peer;
+        E.Bytes = P.Payload.WireBytes;
+        E.ChanSeq = P.Seq;
+        E.ChanAck = Cum;
+        E.Msg = P.Payload.Msg;
+        linkSchedule(std::move(E), T);
+        P.LastSent = T;
+      }
+    SH.TimerArmed = true;
+    scheduleTimer(Sender, Peer, T + Rto);
+  }
+
+  /// Abandons every channel that involves a crashed node: a dead process
+  /// neither retransmits nor can be delivered to (crash-stop).
+  void purgeChannels(NodeId Node) {
+    for (auto &Entry : Send) {
+      NodeId From = net::channelFrom(Entry.first);
+      NodeId To = net::channelTo(Entry.first);
+      if (From == Node || To == Node)
+        Entry.second.purge();
+    }
+  }
 };
 
 void RunState::processShard(uint32_t S, SimTime T) {
@@ -174,8 +333,61 @@ void RunState::processShard(uint32_t S, SimTime T) {
         ++Sh.Dropped;
         break;
       }
-      ++Sh.Delivered;
-      Nodes[E.To]->onDeliver(E.From, *E.Msg);
+      if (E.ChanSeq == 0) {
+        // Zero-loss path, or the link-shaping-only configuration: the
+        // frame carries no channel stamp.
+        ++Sh.Delivered;
+        Nodes[E.To]->onDeliver(E.From, *E.Msg);
+        break;
+      }
+      if (!Arq) {
+        // Stamp-and-verify (`link reliable`): a perfect link under the
+        // FIFO clamp must deliver exactly in sequence.
+        net::ReliableChannelRecv<MsgPtr> &RH =
+            Sh.Recv[net::channelKey(E.From, E.To)];
+        assert(E.ChanSeq == RH.CumSeq + 1 &&
+               "perfect link delivered out of sequence");
+        RH.CumSeq = E.ChanSeq;
+        ++Sh.Delivered;
+        Nodes[E.To]->onDeliver(E.From, *E.Msg);
+        break;
+      }
+      {
+        // Full ARQ. The piggybacked ack retires the reverse channel's
+        // window — staged, since send halves are merge-owned.
+        Sh.OutAcksSeen.push_back(OutAckSeen{E.To, E.From, E.ChanAck});
+        net::ReliableChannelRecv<MsgPtr> &RH =
+            Sh.Recv[net::channelKey(E.From, E.To)];
+        switch (RH.accept(E.ChanSeq, E.Msg, Sh.Released)) {
+        case net::RecvVerdict::Duplicate:
+          ++Sh.ChanStats.DupSuppressed;
+          break;
+        case net::RecvVerdict::Buffered:
+          ++Sh.ChanStats.Reordered;
+          break;
+        case net::RecvVerdict::Deliver:
+          for (MsgPtr &M : Sh.Released) {
+            ++Sh.Delivered;
+            Nodes[E.To]->onDeliver(E.From, *M);
+          }
+          break;
+        }
+        // Ack every data arrival, duplicates included — the original ack
+        // may have been the copy the link lost.
+        Sh.OutAcksOwed.push_back(OutAckSend{E.To, E.From, RH.CumSeq});
+      }
+      break;
+    case Event::AckFrame:
+      // A pure ack died with a crashed recipient; otherwise stage it for
+      // the merge to retire the (To -> From) window.
+      if (!Dead[E.To])
+        Sh.OutAcksSeen.push_back(OutAckSeen{E.To, E.From, E.ChanAck});
+      break;
+    case Event::TimerCheck:
+      // Timer for channel (To -> From). A dead sender retransmits
+      // nothing; its windows were purged when the crash merged.
+      if (!Dead[E.To])
+        Sh.OutTimers.push_back(OutTimer{E.To, E.From});
       break;
     case Event::CrashNotice:
       // Crashed watchers receive nothing (strong accuracy is structural:
@@ -213,9 +425,12 @@ void RunState::merge(SimTime T, bool IsStart) {
   // round a target died is notified by the subscription path (the crash
   // path runs before the watcher is registered), never by both.
   for (uint32_t S = 0; S < NumShards; ++S)
-    for (NodeId Crashed : Shards[S].OutCrashed)
+    for (NodeId Crashed : Shards[S].OutCrashed) {
       for (NodeId W : Watchers[Crashed])
         scheduleNotice(W, Crashed, T);
+      if (PlaneOn && Arq)
+        purgeChannels(Crashed);
+    }
 
   for (uint32_t S = 0; S < NumShards; ++S)
     for (OutSub &Sub : Shards[S].OutSubs)
@@ -229,18 +444,39 @@ void RunState::merge(SimTime T, bool IsStart) {
           scheduleNotice(Sub.Watcher, Target, T);
       }
 
+  // Fault-plane bookkeeping between the rounds: acks retire windows
+  // first (so a frame acked this round is not also retransmitted this
+  // round), then expired timers re-send what is still outstanding, then
+  // receivers' owed pure acks enter the link.
+  if (PlaneOn && Arq) {
+    for (uint32_t S = 0; S < NumShards; ++S)
+      for (OutAckSeen &A : Shards[S].OutAcksSeen) {
+        auto It = Send.find(net::channelKey(A.Sender, A.Peer));
+        if (It != Send.end())
+          It->second.onAck(A.Cum);
+      }
+    for (uint32_t S = 0; S < NumShards; ++S)
+      for (OutTimer &Ti : Shards[S].OutTimers)
+        onTimer(Ti.Sender, Ti.Peer, T);
+    for (uint32_t S = 0; S < NumShards; ++S)
+      for (OutAckSend &A : Shards[S].OutAcksOwed) {
+        ++ChanStats.AcksSent;
+        ChanStats.AckBytes += net::pureAckSize(A.Cum);
+        Event E;
+        E.K = Event::AckFrame;
+        E.From = A.From;
+        E.To = A.To;
+        E.ChanAck = A.Cum;
+        linkSchedule(std::move(E), T);
+      }
+  }
+
   // Batched message delivery: one decode per frame, shared by every
   // recipient; FIFO clamping per directed channel as in sim::Network.
   const support::FrameBuf *LastFrame = nullptr;
   std::shared_ptr<const core::Message> Decoded;
   for (uint32_t S = 0; S < NumShards; ++S)
     for (OutMsg &M : Shards[S].OutMsgs) {
-      uint32_t Bytes = static_cast<uint32_t>(M.Frame->size());
-      ++Result.Stats.MessagesSent;
-      ++Result.Stats.SentByNode[M.From];
-      Result.Stats.BytesSent += Bytes;
-      if (Opts.RecordSends)
-        Result.SendLog.push_back(sim::SendRecord{T, M.From, M.To, Bytes});
       if (M.Frame.get() != LastFrame) {
         // Legs of one multicast are contiguous in the outbox (frames are
         // pool-recycled only after their last leg releases, so the raw
@@ -257,11 +493,53 @@ void RunState::merge(SimTime T, bool IsStart) {
       E.K = Event::Deliver;
       E.From = M.From;
       E.To = M.To;
-      E.Bytes = Bytes;
       E.Msg = Decoded;
-      E.When = T + Opts.Latency(M.From, M.To);
-      uint64_t Channel = (static_cast<uint64_t>(M.From) << 32) | M.To;
-      if (!Opts.MonotoneLatency) {
+      uint64_t Channel = net::channelKey(M.From, M.To);
+
+      if (PlaneOn && Arq) {
+        // Reliability sublayer: stamp, account the wrapped wire size,
+        // track for retransmission, hand the copies to the link. The
+        // FIFO clamp is moot — the receive half restores order.
+        net::ReliableChannelSend<SendPayload> &SH = Send[Channel];
+        E.ChanSeq = SH.stamp();
+        E.ChanAck = recvCum(M.From, M.To);
+        E.Bytes = static_cast<uint32_t>(
+            net::wrappedFrameSize(M.Frame->size(), E.ChanSeq, E.ChanAck));
+        ++Result.Stats.MessagesSent;
+        ++Result.Stats.SentByNode[M.From];
+        Result.Stats.BytesSent += E.Bytes;
+        if (Opts.RecordSends)
+          Result.SendLog.push_back(
+              sim::SendRecord{T, M.From, M.To, E.Bytes});
+        if (Dead[M.To] || SH.Dead)
+          continue; // Channels to a crashed peer are abandoned.
+        SH.track(E.ChanSeq, T, SendPayload{Decoded, E.Bytes});
+        if (!SH.TimerArmed) {
+          SH.TimerArmed = true;
+          scheduleTimer(M.From, M.To, T + Rto);
+        }
+        linkSchedule(std::move(E), T);
+        continue;
+      }
+
+      uint32_t PayloadBytes = static_cast<uint32_t>(M.Frame->size());
+      if (PlaneOn && Opts.Link.Armed) {
+        // Stamp-and-verify: sequence numbers ride along, nothing else.
+        net::ReliableChannelSend<SendPayload> &SH = Send[Channel];
+        E.ChanSeq = SH.stamp();
+        E.Bytes = static_cast<uint32_t>(
+            net::wrappedFrameSize(PayloadBytes, E.ChanSeq, 0));
+      } else {
+        E.Bytes = PayloadBytes;
+      }
+      ++Result.Stats.MessagesSent;
+      ++Result.Stats.SentByNode[M.From];
+      Result.Stats.BytesSent += E.Bytes;
+      if (Opts.RecordSends)
+        Result.SendLog.push_back(sim::SendRecord{T, M.From, M.To, E.Bytes});
+      E.When = T + (PlaneOn ? Link->baseLatency(Opts.Latency(M.From, M.To))
+                            : Opts.Latency(M.From, M.To));
+      if (!Opts.MonotoneLatency || PlaneOn) {
         SimTime &Last = LastDelivery[Channel];
         if (E.When < Last)
           E.When = Last;
@@ -286,6 +564,9 @@ void RunState::merge(SimTime T, bool IsStart) {
     Sh.OutSubs.clear();
     Sh.OutMsgs.clear();
     Sh.OutDecisions.clear();
+    Sh.OutAcksSeen.clear();
+    Sh.OutAcksOwed.clear();
+    Sh.OutTimers.clear();
   }
 }
 
@@ -467,9 +748,11 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
   R.CrashTimes = std::move(Run.CrashTimes);
   R.Events = TotalProcessed;
   R.Quiesced = Quiesced;
+  R.Stats.Channel = Run.ChanStats;
   for (Shard &Sh : Run.Shards) {
     R.Stats.MessagesDelivered += Sh.Delivered;
     R.Stats.MessagesDroppedAtCrashed += Sh.Dropped;
+    R.Stats.Channel.merge(Sh.ChanStats);
   }
   R.FinalMaxViews.reserve(G.numNodes());
   for (NodeId N = 0; N < G.numNodes(); ++N)

@@ -1,0 +1,203 @@
+//===- net/Link.cpp - Seeded per-channel link-condition model --------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "net/Link.h"
+
+#include "support/StrUtil.h"
+
+#include <cstdlib>
+
+using namespace cliffedge;
+using namespace cliffedge::net;
+
+namespace {
+
+/// Formats basis points as the shortest exact decimal ("0.2", "0.01", "1").
+std::string formatBp(uint32_t Bp) {
+  uint32_t Whole = Bp / 10000, Frac = Bp % 10000;
+  if (Frac == 0)
+    return formatStr("%u", Whole);
+  std::string Digits = formatStr("%04u", Frac);
+  while (Digits.back() == '0')
+    Digits.pop_back();
+  return formatStr("%u.%s", Whole, Digits.c_str());
+}
+
+/// Parses a probability with at most 4 decimal places into basis points.
+bool parseBp(const std::string &Tok, uint32_t &Out, std::string &Error) {
+  size_t Dot = Tok.find('.');
+  std::string Whole = Dot == std::string::npos ? Tok : Tok.substr(0, Dot);
+  std::string Frac = Dot == std::string::npos ? "" : Tok.substr(Dot + 1);
+  if (Whole.empty() || Frac.size() > 4) {
+    Error = "bad probability '" + Tok +
+            "' (want a decimal with at most 4 places, e.g. 0.25)";
+    return false;
+  }
+  for (char C : Whole + Frac)
+    if (C < '0' || C > '9') {
+      Error = "bad probability '" + Tok +
+              "' (want a decimal with at most 4 places, e.g. 0.25)";
+      return false;
+    }
+  uint64_t W = std::strtoull(Whole.c_str(), nullptr, 10);
+  uint64_t F = Frac.empty() ? 0 : std::strtoull(Frac.c_str(), nullptr, 10);
+  for (size_t I = Frac.size(); I < 4; ++I)
+    F *= 10;
+  uint64_t Bp = W * 10000 + F;
+  if (Bp > 10000) {
+    Error = "probability '" + Tok + "' exceeds 1";
+    return false;
+  }
+  Out = static_cast<uint32_t>(Bp);
+  return true;
+}
+
+/// Strict unsigned tick-count parse.
+bool parseTicks(const std::string &Tok, SimTime &Out, std::string &Error) {
+  char *End = nullptr;
+  Out = std::strtoull(Tok.c_str(), &End, 10);
+  if (Tok.empty() || *End != '\0' || Tok[0] == '-') {
+    Error = "bad tick count '" + Tok + "'";
+    return false;
+  }
+  return true;
+}
+
+enum SeenBit : uint32_t {
+  SeenNone = 1u << 0,
+  SeenReliable = 1u << 1,
+  SeenDrop = 1u << 2,
+  SeenDup = 1u << 3,
+  SeenReorder = 1u << 4,
+  SeenRto = 1u << 5,
+  SeenLat = 1u << 6,
+};
+
+} // namespace
+
+std::string LinkSpec::compact() const {
+  if (!active())
+    return "none";
+  std::vector<std::string> Parts;
+  if (Armed)
+    Parts.push_back("reliable");
+  if (DropBp)
+    Parts.push_back("drop:" + formatBp(DropBp));
+  if (DupBp)
+    Parts.push_back("dup:" + formatBp(DupBp));
+  if (Reorder)
+    Parts.push_back(formatStr("reorder:%llu", (unsigned long long)Reorder));
+  if (Rto != LinkSpec().Rto)
+    Parts.push_back(formatStr("rto:%llu", (unsigned long long)Rto));
+  if (Latency)
+    Parts.push_back(formatStr("lat:%llu", (unsigned long long)Latency));
+  return joinMapped(Parts, ",", [](const std::string &P) { return P; });
+}
+
+bool net::parseLinkField(const std::string &Tok, LinkSpec &Out,
+                         uint32_t &SeenMask, std::string &Error) {
+  auto Once = [&](SeenBit Bit, const char *Name) {
+    if (SeenMask & Bit) {
+      Error = formatStr("duplicate link field '%s'", Name);
+      return false;
+    }
+    SeenMask |= Bit;
+    return true;
+  };
+  if (Tok == "none") {
+    if (SeenMask != 0) {
+      Error = "'none' must be the only link token";
+      return false;
+    }
+    return Once(SeenNone, "none");
+  }
+  if (SeenMask & SeenNone) {
+    Error = "'none' must be the only link token";
+    return false;
+  }
+  if (Tok == "reliable") {
+    if (!Once(SeenReliable, "reliable"))
+      return false;
+    Out.Armed = true;
+    return true;
+  }
+  size_t Colon = Tok.find(':');
+  std::string Key = Colon == std::string::npos ? Tok : Tok.substr(0, Colon);
+  std::string Val =
+      Colon == std::string::npos ? std::string() : Tok.substr(Colon + 1);
+  if (Key == "drop") {
+    if (!Once(SeenDrop, "drop") || !parseBp(Val, Out.DropBp, Error))
+      return false;
+    if (Out.DropBp > 9900) {
+      Error = "drop probability must be <= 0.99 (the reliability sublayer "
+              "cannot make progress against total loss)";
+      return false;
+    }
+    return true;
+  }
+  if (Key == "dup")
+    return Once(SeenDup, "dup") && parseBp(Val, Out.DupBp, Error);
+  if (Key == "reorder")
+    return Once(SeenReorder, "reorder") &&
+           parseTicks(Val, Out.Reorder, Error);
+  if (Key == "rto") {
+    if (!Once(SeenRto, "rto") || !parseTicks(Val, Out.Rto, Error))
+      return false;
+    if (Out.Rto == 0) {
+      Error = "rto must be positive";
+      return false;
+    }
+    return true;
+  }
+  if (Key == "lat") {
+    if (!Once(SeenLat, "lat") || !parseTicks(Val, Out.Latency, Error))
+      return false;
+    if (Out.Latency == 0) {
+      Error = "lat must be positive (omit the field for the model latency)";
+      return false;
+    }
+    return true;
+  }
+  Error = "unknown link token '" + Tok +
+          "' (want none | reliable | drop:P | dup:P | reorder:N | rto:N | "
+          "lat:N)";
+  return false;
+}
+
+void net::normalizeLinkSpec(LinkSpec &S) {
+  // Faults imply the reliability sublayer; `reliable` only means anything
+  // over a perfect link.
+  if (S.lossy())
+    S.Armed = false;
+  // An inert spec (e.g. `link rto:80` alone) collapses to the default so
+  // the canonical writer's `link none` is an exact round trip.
+  if (!S.active())
+    S = LinkSpec();
+}
+
+bool net::parseLinkCompact(const std::string &Tok, LinkSpec &Out,
+                           std::string &Error) {
+  LinkSpec S;
+  uint32_t Seen = 0;
+  size_t Pos = 0;
+  if (Tok.empty()) {
+    Error = "empty link value";
+    return false;
+  }
+  while (Pos <= Tok.size()) {
+    size_t Comma = Tok.find(',', Pos);
+    size_t Len = Comma == std::string::npos ? std::string::npos : Comma - Pos;
+    if (!parseLinkField(Tok.substr(Pos, Len), S, Seen, Error))
+      return false;
+    if (Comma == std::string::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  normalizeLinkSpec(S);
+  Out = S;
+  return true;
+}

@@ -4,6 +4,26 @@
 // Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
 //
 //===----------------------------------------------------------------------===//
+//
+// Fault-plane threading model
+// ---------------------------
+// All per-channel state is owned by exactly one worker thread: a node's
+// send windows (channels it sends on) and receive halves (channels it
+// receives on) are only ever touched while its own worker processes mail
+// or runs a protocol callback. The timer thread never touches channel
+// state — it enqueues TimerCheck mail (guided by a per-slot atomic hint
+// of outstanding frames) and flushes the jitter delay queue; the owning
+// worker does the actual retransmission. Crash purges travel as Purge
+// mail for the same reason.
+//
+// Quiescence accounting: every unit of outstanding transport work holds
+// one count — queued mail, delay-queue entries, and *tracked unacked
+// frames* (a dropped copy leaves no mail anywhere, but the transport
+// still owes the delivery until the ack retires it). awaitQuiescence()
+// therefore stays honest under loss: it returns only when every frame
+// has been delivered exactly once and acknowledged.
+//
+//===----------------------------------------------------------------------===//
 
 #include "runtime/ThreadedCluster.h"
 
@@ -13,16 +33,39 @@
 
 #include <algorithm>
 #include <cassert>
+#include <unordered_map>
 
 using namespace cliffedge;
 using namespace cliffedge::runtime;
 
+namespace {
+
+/// One simulated tick of the LinkSpec (jitter, rto, lat) in wall time.
+constexpr std::chrono::microseconds TickDur(100);
+
+uint64_t nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+} // namespace
+
 /// One unit of work in a node's mailbox.
 struct ThreadedCluster::Mail {
-  enum class Kind { Frame, CrashNotice, Stop };
+  enum class Kind { Frame, CrashNotice, Stop, TimerCheck, Purge };
   Kind K = Kind::Stop;
-  NodeId From = InvalidNode; ///< Frame sender or crashed node.
-  support::FrameRef Bytes;   ///< Frame payload, shared across legs.
+  /// Frame sender, crashed node (CrashNotice), or dead peer (Purge).
+  NodeId From = InvalidNode;
+  support::FrameRef Bytes; ///< Frame payload, shared across legs.
+};
+
+/// Jittered mail parked until its wall-clock deadline.
+struct ThreadedCluster::DelayedMail {
+  std::chrono::steady_clock::time_point Due;
+  NodeId To = InvalidNode;
+  Mail M;
 };
 
 /// Per-node thread, mailbox and protocol instance.
@@ -37,28 +80,76 @@ struct ThreadedCluster::NodeSlot {
   /// node's event handlers, which only its own thread runs).
   core::WireEncoder Encoder;
   core::Message RecvScratch; ///< Decode target, worker-thread private.
+
+  // Fault-plane state, worker-owned like the encoder.
+  std::unique_ptr<net::LinkModel> LinkM; ///< Streams for channels (Self, *).
+  std::unordered_map<NodeId, net::ReliableChannelSend<support::FrameRef>> SendTo;
+  std::unordered_map<NodeId, net::ReliableChannelRecv<support::FrameRef>>
+      RecvFrom;
+  std::vector<support::FrameRef> Released; ///< accept() scratch.
+  net::ChannelStats Stats;
+  /// Read by the timer thread to decide whether a TimerCheck is worth
+  /// enqueueing; maintained by the owning worker.
+  std::atomic<uint32_t> UnackedHint{0};
+  std::atomic<bool> TimerQueued{false};
 };
 
-ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg)
-    : G(InG), Cfg(InCfg), Views(InG, InCfg.Ranking), Watchers(G.numNodes()),
+ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg,
+                                 net::LinkSpec InLink, uint64_t InLinkSeed)
+    : G(InG), Cfg(InCfg), Link(InLink), LinkSeed(InLinkSeed),
+      Views(InG, InCfg.Ranking), Watchers(G.numNodes()),
       Subscribed(G.numNodes()), CrashedFlag(G.numNodes(), false) {
+  const bool Plane = Link.active();
+  const bool Arq = Link.lossy();
   Slots.reserve(G.numNodes());
-  for (NodeId N = 0; N < G.numNodes(); ++N)
+  for (NodeId N = 0; N < G.numNodes(); ++N) {
     Slots.push_back(std::make_unique<NodeSlot>());
+    if (Plane)
+      Slots.back()->LinkM.reset(new net::LinkModel(Link, LinkSeed));
+  }
 
   for (NodeId N = 0; N < G.numNodes(); ++N) {
     core::Callbacks CBs;
-    CBs.Multicast = [this, N](const graph::Region &To,
-                              const core::Message &M) {
+    CBs.Multicast = [this, N, Plane, Arq](const graph::Region &To,
+                                          const core::Message &M) {
+      NodeSlot &Slot = *Slots[N];
       std::vector<uint8_t> Encoded;
-      Slots[N]->Encoder.encode(M, Encoded);
+      Slot.Encoder.encode(M, Encoded);
       support::FrameRef Frame = support::FrameRef::fresh(std::move(Encoded));
+      if (!Plane) {
+        for (NodeId Recipient : To) {
+          Mail Item;
+          Item.K = Mail::Kind::Frame;
+          Item.From = N;
+          Item.Bytes = Frame;
+          enqueue(Recipient, std::move(Item));
+        }
+        return;
+      }
+      if (!Arq && !Link.Armed) {
+        // Latency shaping only: frames stay unwrapped (matching
+        // sim::Network's lat-only configuration), the delay queue just
+        // holds each copy for the per-link latency.
+        for (NodeId Recipient : To)
+          transmitLossy(N, Recipient, Frame, /*IsAck=*/false);
+        return;
+      }
       for (NodeId Recipient : To) {
-        Mail Item;
-        Item.K = Mail::Kind::Frame;
-        Item.From = N;
-        Item.Bytes = Frame;
-        enqueue(Recipient, std::move(Item));
+        net::ReliableChannelSend<support::FrameRef> &SH = Slot.SendTo[Recipient];
+        uint32_t Seq = SH.stamp();
+        uint32_t Ack = Arq ? Slot.RecvFrom[Recipient].CumSeq : 0;
+        std::vector<uint8_t> W;
+        net::wrapChannelFrame(*Frame, Seq, Ack, W);
+        support::FrameRef Wrapped =
+            support::FrameRef::fresh(std::move(W));
+        if (Arq && !SH.Dead) {
+          // An unacked frame is outstanding transport work: it holds a
+          // pending count until the cumulative ack retires it.
+          SH.track(Seq, nowUs(), Wrapped);
+          addPending(1);
+          Slot.UnackedHint.fetch_add(1, std::memory_order_relaxed);
+        }
+        transmitLossy(N, Recipient, std::move(Wrapped), /*IsAck=*/false);
       }
     };
     CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
@@ -106,13 +197,33 @@ void ThreadedCluster::start() {
     Slots[N]->Node->start();
   for (NodeId N = 0; N < G.numNodes(); ++N)
     Slots[N]->Worker = std::thread([this, N] { workerLoop(N); });
+  if (Link.active()) {
+    TimerStop.store(false);
+    Timer = std::thread([this] { timerLoop(); });
+  }
+}
+
+void ThreadedCluster::addPending(uint64_t N) {
+  std::lock_guard<std::mutex> Lock(PendingMu);
+  Pending += N;
+}
+
+void ThreadedCluster::subPending(uint64_t N) {
+  if (N == 0)
+    return;
+  std::lock_guard<std::mutex> Lock(PendingMu);
+  assert(Pending >= N && "pending accounting went negative");
+  Pending -= N;
+  if (Pending == 0)
+    PendingCv.notify_all();
 }
 
 void ThreadedCluster::enqueue(NodeId To, Mail M) {
-  {
-    std::lock_guard<std::mutex> Lock(PendingMu);
-    ++Pending;
-  }
+  addPending(1);
+  enqueueCounted(To, std::move(M));
+}
+
+void ThreadedCluster::enqueueCounted(NodeId To, Mail M) {
   NodeSlot &Slot = *Slots[To];
   bool Dropped = false;
   {
@@ -124,10 +235,58 @@ void ThreadedCluster::enqueue(NodeId To, Mail M) {
       Slot.Cv.notify_one();
     }
   }
-  if (Dropped) {
-    std::lock_guard<std::mutex> Lock(PendingMu);
-    if (--Pending == 0)
-      PendingCv.notify_all();
+  if (Dropped)
+    subPending(1);
+}
+
+/// Hands one wrapped frame (data or pure ack) to the link beneath the
+/// mailboxes. Runs on the *sending* node's worker thread, which owns the
+/// channel's fault stream.
+void ThreadedCluster::transmitLossy(NodeId Self, NodeId To,
+                                    support::FrameRef Frame, bool IsAck) {
+  NodeSlot &Slot = *Slots[Self];
+  (void)IsAck;
+  Mail Item;
+  Item.K = Mail::Kind::Frame;
+  Item.From = Self;
+  Item.Bytes = std::move(Frame);
+
+  if (!Link.lossy()) {
+    // Stamp-and-verify (or latency shaping only): one perfect copy,
+    // optionally delayed by the per-link latency override.
+    if (Link.Latency == 0) {
+      enqueue(To, std::move(Item));
+      return;
+    }
+    addPending(1);
+    std::lock_guard<std::mutex> Lock(DelayMu);
+    Delayed.push_back(DelayedMail{
+        std::chrono::steady_clock::now() +
+            TickDur * static_cast<int64_t>(Link.Latency),
+        To, std::move(Item)});
+    return;
+  }
+
+  net::LinkModel::Fate Fate = Slot.LinkM->transmit(Self, To);
+  if (Fate.Copies == 0) {
+    ++Slot.Stats.LinkDropped;
+    return;
+  }
+  if (Fate.Copies == 2)
+    ++Slot.Stats.LinkDuplicated;
+  for (uint32_t I = 0; I < Fate.Copies; ++I) {
+    Mail Copy = Item; // FrameRef copy: legs share the buffer.
+    SimTime DelayTicks = Link.Latency + Fate.Extra[I];
+    if (DelayTicks == 0) {
+      enqueue(To, std::move(Copy));
+      continue;
+    }
+    addPending(1);
+    std::lock_guard<std::mutex> Lock(DelayMu);
+    Delayed.push_back(DelayedMail{
+        std::chrono::steady_clock::now() +
+            TickDur * static_cast<int64_t>(DelayTicks),
+        To, std::move(Copy)});
   }
 }
 
@@ -141,32 +300,201 @@ void ThreadedCluster::workerLoop(NodeId Self) {
       Item = std::move(Slot.Queue.front());
       Slot.Queue.pop_front();
     }
-    if (Item.K == Mail::Kind::Stop)
+    if (Item.K == Mail::Kind::Stop) {
+      // Release this node's outstanding transport work: a stopped node
+      // will never be acked (crash) or has nothing unacked (shutdown
+      // after quiescence); either way the counts must not dangle.
+      uint64_t Outstanding = 0;
+      for (auto &Entry : Slot.SendTo)
+        Outstanding += Entry.second.purge();
+      Slot.UnackedHint.store(0, std::memory_order_relaxed);
+      subPending(Outstanding);
       return;
+    }
 
     switch (Item.K) {
-    case Mail::Kind::Frame: {
-      bool Ok = core::decodeMessageInto(*Item.Bytes, Views, Slot.RecvScratch);
-      assert(Ok && "corrupt frame in mailbox");
-      if (Ok) {
-        Delivered.fetch_add(1);
-        Slot.Node->onDeliver(Item.From, Slot.RecvScratch);
-      }
+    case Mail::Kind::Frame:
+      processFrame(Self, Item.From, std::move(Item.Bytes));
       break;
-    }
     case Mail::Kind::CrashNotice:
       Slot.Node->onCrash(Item.From);
+      break;
+    case Mail::Kind::TimerCheck:
+      Slot.TimerQueued.store(false, std::memory_order_relaxed);
+      retransmitOverdue(Self);
+      break;
+    case Mail::Kind::Purge:
+      purgeChannelTo(Self, Item.From);
       break;
     case Mail::Kind::Stop:
       break; // Handled above.
     }
 
+    subPending(1);
+  }
+}
+
+void ThreadedCluster::processFrame(NodeId Self, NodeId From,
+                                   support::FrameRef Bytes) {
+  NodeSlot &Slot = *Slots[Self];
+  auto DeliverFrame = [&](const support::FrameRef &F) {
+    bool Ok = core::decodeMessageInto(*F, Views, Slot.RecvScratch);
+    assert(Ok && "corrupt frame in mailbox");
+    if (Ok) {
+      Delivered.fetch_add(1);
+      Slot.Node->onDeliver(From, Slot.RecvScratch);
+    }
+  };
+
+  net::ChannelHeader H;
+  if (!Link.active() || !net::parseChannelHeader(*Bytes, H)) {
+    DeliverFrame(Bytes); // Perfect-mailbox path (or lat-only shaping).
+    return;
+  }
+
+  auto AckChannel = [&](uint32_t Cum) {
+    auto It = Slot.SendTo.find(From);
+    if (It == Slot.SendTo.end())
+      return;
+    size_t Popped = It->second.onAck(Cum);
+    if (Popped) {
+      Slot.UnackedHint.fetch_sub(static_cast<uint32_t>(Popped),
+                                 std::memory_order_relaxed);
+      subPending(Popped);
+    }
+  };
+
+  if (H.PureAck) {
+    AckChannel(H.Ack);
+    return;
+  }
+
+  if (!Link.lossy()) {
+    // Stamp-and-verify: FIFO mailboxes under a perfect link cannot
+    // reorder a channel, so stamps must arrive exactly in sequence.
+    net::ReliableChannelRecv<support::FrameRef> &RH = Slot.RecvFrom[From];
+    assert(H.Seq == RH.CumSeq + 1 &&
+           "perfect mailbox delivered out of sequence");
+    RH.CumSeq = H.Seq;
+    DeliverFrame(Bytes);
+    return;
+  }
+
+  AckChannel(H.Ack); // Piggybacked cumulative ack.
+
+  net::ReliableChannelRecv<support::FrameRef> &RH = Slot.RecvFrom[From];
+  net::RecvVerdict Verdict = RH.accept(H.Seq, Bytes, Slot.Released);
+  // Snapshot before delivering: protocol callbacks send, and a send on a
+  // fresh channel may rehash the maps under RH.
+  uint32_t Cum = RH.CumSeq;
+  switch (Verdict) {
+  case net::RecvVerdict::Duplicate:
+    ++Slot.Stats.DupSuppressed;
+    break;
+  case net::RecvVerdict::Buffered:
+    ++Slot.Stats.Reordered;
+    break;
+  case net::RecvVerdict::Deliver: {
+    std::vector<support::FrameRef> Batch;
+    Batch.swap(Slot.Released);
+    for (support::FrameRef &F : Batch)
+      DeliverFrame(F);
+    break;
+  }
+  }
+  // Ack every data arrival (duplicates included — the original ack may
+  // have been the copy the link lost).
+  std::vector<uint8_t> AckBytes;
+  net::buildPureAck(Cum, AckBytes);
+  ++Slot.Stats.AcksSent;
+  Slot.Stats.AckBytes += AckBytes.size();
+  transmitLossy(Self, From, support::FrameRef::fresh(std::move(AckBytes)),
+                /*IsAck=*/true);
+}
+
+void ThreadedCluster::retransmitOverdue(NodeId Self) {
+  NodeSlot &Slot = *Slots[Self];
+  uint64_t Now = nowUs();
+  uint64_t RtoUs = static_cast<uint64_t>(Link.Rto) *
+                   static_cast<uint64_t>(TickDur.count());
+  for (auto &Entry : Slot.SendTo) {
+    net::ReliableChannelSend<support::FrameRef> &SH = Entry.second;
+    if (SH.Dead || SH.Window.empty())
+      continue;
+    for (auto &P : SH.Window)
+      if (P.LastSent + RtoUs <= Now) {
+        ++Slot.Stats.Retransmits;
+        transmitLossy(Self, Entry.first, P.Payload, /*IsAck=*/false);
+        P.LastSent = Now;
+      }
+  }
+}
+
+void ThreadedCluster::purgeChannelTo(NodeId Self, NodeId DeadPeer) {
+  NodeSlot &Slot = *Slots[Self];
+  auto It = Slot.SendTo.find(DeadPeer);
+  if (It == Slot.SendTo.end()) {
+    // Remember the peer is dead so later sends stop tracking.
+    Slot.SendTo[DeadPeer].Dead = true;
+    return;
+  }
+  size_t N = It->second.purge();
+  if (N) {
+    Slot.UnackedHint.fetch_sub(static_cast<uint32_t>(N),
+                               std::memory_order_relaxed);
+    subPending(N);
+  }
+}
+
+void ThreadedCluster::timerLoop() {
+  std::vector<DelayedMail> Due;
+  while (!TimerStop.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    auto Now = std::chrono::steady_clock::now();
     {
-      std::lock_guard<std::mutex> Lock(PendingMu);
-      if (--Pending == 0)
-        PendingCv.notify_all();
+      // Stable partition: both the extracted batch and the survivors
+      // keep push order, which per channel is send order.
+      std::lock_guard<std::mutex> Lock(DelayMu);
+      size_t Keep = 0;
+      for (size_t I = 0; I < Delayed.size(); ++I) {
+        if (Delayed[I].Due <= Now)
+          Due.push_back(std::move(Delayed[I]));
+        else
+          Delayed[Keep++] = std::move(Delayed[I]);
+      }
+      Delayed.resize(Keep);
+    }
+    // Deadline order within a flush keeps jitter meaningful (flushes are
+    // 200us apart, a fifth of one simulated tick). Stable: equal-deadline
+    // mail keeps push order, which is send order — the armed/lat-only
+    // configurations have no reorder buffer to absorb an inversion.
+    std::stable_sort(Due.begin(), Due.end(),
+                     [](const DelayedMail &A, const DelayedMail &B) {
+                       return A.Due < B.Due;
+                     });
+    for (DelayedMail &D : Due)
+      enqueueCounted(D.To, std::move(D.M));
+    Due.clear();
+
+    if (!Link.lossy())
+      continue;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      NodeSlot &Slot = *Slots[N];
+      if (Slot.UnackedHint.load(std::memory_order_relaxed) == 0)
+        continue;
+      if (Slot.TimerQueued.exchange(true, std::memory_order_relaxed))
+        continue;
+      Mail Item;
+      Item.K = Mail::Kind::TimerCheck;
+      enqueue(N, std::move(Item));
     }
   }
+  // Drain the delay queue on exit so its pending counts resolve (mail to
+  // stopped slots is dropped with its count released by enqueueCounted).
+  std::lock_guard<std::mutex> Lock(DelayMu);
+  for (DelayedMail &D : Delayed)
+    enqueueCounted(D.To, std::move(D.M));
+  Delayed.clear();
 }
 
 void ThreadedCluster::crash(NodeId Node) {
@@ -188,14 +516,22 @@ void ThreadedCluster::crash(NodeId Node) {
       Slot.Cv.notify_one();
     }
   }
-  if (Discarded > 0) {
-    std::lock_guard<std::mutex> Lock(PendingMu);
-    Pending -= Discarded;
-    if (Pending == 0)
-      PendingCv.notify_all();
-  }
+  if (Discarded > 0)
+    subPending(Discarded);
 
   notifyWatchersOf(Node);
+
+  // Channels toward the dead node are abandoned: each live node purges
+  // its own send window on its own thread (channel state is worker-owned).
+  if (Link.lossy())
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      if (N == Node)
+        continue;
+      Mail Item;
+      Item.K = Mail::Kind::Purge;
+      Item.From = Node;
+      enqueue(N, std::move(Item));
+    }
 }
 
 void ThreadedCluster::notifyWatchersOf(NodeId Target) {
@@ -231,6 +567,10 @@ void ThreadedCluster::shutdown() {
   // finishes the mail it was sent before anyone is asked to stop; the
   // timeout is a safety valve for protocol bugs, not a normal path.
   awaitQuiescence(std::chrono::milliseconds(30000));
+  if (Timer.joinable()) {
+    TimerStop.store(true);
+    Timer.join();
+  }
   for (auto &SlotPtr : Slots) {
     NodeSlot &Slot = *SlotPtr;
     {
@@ -264,4 +604,16 @@ std::vector<ThreadedDecision> ThreadedCluster::decisions() const {
 
 uint64_t ThreadedCluster::framesDelivered() const {
   return Delivered.load();
+}
+
+net::ChannelStats ThreadedCluster::channelStats() const {
+  // The pending-count mutex is the synchronisation point: workers update
+  // their slot's counters strictly before the decrement that lets the
+  // count reach zero, so a caller that observed quiescence reads them
+  // coherently here.
+  std::lock_guard<std::mutex> Lock(PendingMu);
+  net::ChannelStats Total;
+  for (const auto &SlotPtr : Slots)
+    Total.merge(SlotPtr->Stats);
+  return Total;
 }

@@ -18,6 +18,19 @@
 /// notifies every subscribed watcher, preserving strong accuracy and
 /// completeness.
 ///
+/// Mailboxes are perfect FIFO channels by default. Constructing the
+/// cluster with an active net::LinkSpec layers the same fault plane the
+/// simulated transports use beneath them: a seeded per-channel LinkModel
+/// drops/duplicates/delays mail (a timer thread realises jitter and
+/// retransmit timeouts in wall-clock time, one simulated tick = 100us),
+/// and the net/Channel.h reliability sublayer — sequence-stamped frames,
+/// cumulative acks, retransmission — restores exactly-once FIFO delivery
+/// to the protocol above. Channel state is sharded by owner thread (a
+/// node's send windows and receive buffers are only touched by its own
+/// worker), so the plane adds no locks to the delivery path; quiescence
+/// accounting treats an unacked frame as in-flight work, which keeps
+/// awaitQuiescence() honest under loss.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLIFFEDGE_RUNTIME_THREADEDCLUSTER_H
@@ -26,6 +39,9 @@
 #include "core/CliffEdgeNode.h"
 #include "core/ViewTable.h"
 #include "graph/Graph.h"
+#include "net/Channel.h"
+#include "net/Link.h"
+#include "support/FramePool.h"
 
 #include <atomic>
 #include <chrono>
@@ -50,8 +66,14 @@ struct ThreadedDecision {
 /// One in-process node-per-thread deployment.
 class ThreadedCluster {
 public:
+  /// \p Link layers the fault plane beneath the mailboxes when active;
+  /// \p LinkSeed feeds its per-channel streams (per-channel fault
+  /// schedules are deterministic even though thread interleavings are
+  /// not). The default spec keeps today's perfect-FIFO mailboxes.
   explicit ThreadedCluster(const graph::Graph &G,
-                           core::Config Cfg = core::Config());
+                           core::Config Cfg = core::Config(),
+                           net::LinkSpec Link = net::LinkSpec(),
+                           uint64_t LinkSeed = 0);
   ~ThreadedCluster();
 
   ThreadedCluster(const ThreadedCluster &) = delete;
@@ -81,16 +103,35 @@ public:
   /// Total protocol frames delivered (for reporting).
   uint64_t framesDelivered() const;
 
+  /// Aggregated fault-plane counters. Only meaningful once the cluster is
+  /// quiescent (workers publish their slot's counters before the pending
+  /// count they are ordered behind reaches zero).
+  net::ChannelStats channelStats() const;
+
 private:
   struct Mail;
   struct NodeSlot;
+  struct DelayedMail;
 
   void enqueue(NodeId To, Mail M);
+  /// Queue insertion without the pending-count increment — for mail whose
+  /// pending unit was claimed earlier (delay-queue flushes).
+  void enqueueCounted(NodeId To, Mail M);
+  void addPending(uint64_t N);
+  void subPending(uint64_t N);
   void workerLoop(NodeId Self);
+  void processFrame(NodeId Self, NodeId From, support::FrameRef Bytes);
+  void transmitLossy(NodeId Self, NodeId To, support::FrameRef Frame,
+                     bool IsAck);
+  void retransmitOverdue(NodeId Self);
+  void purgeChannelTo(NodeId Self, NodeId DeadPeer);
+  void timerLoop();
   void notifyWatchersOf(NodeId Target);
 
   const graph::Graph &G;
   core::Config Cfg;
+  net::LinkSpec Link;
+  uint64_t LinkSeed;
   /// Cluster-wide view intern table; intern is mutexed, id lookups are
   /// lock-free, so worker threads decode concurrently.
   core::ViewTable Views;
@@ -110,6 +151,12 @@ private:
 
   mutable std::mutex DecisionsMu;
   std::vector<ThreadedDecision> Decisions;
+
+  // Fault-plane machinery (idle when Link is inactive).
+  std::mutex DelayMu;
+  std::vector<DelayedMail> Delayed; ///< Jittered mail awaiting its deadline.
+  std::thread Timer;                ///< Flushes delays, prods retransmits.
+  std::atomic<bool> TimerStop{false};
 
   std::atomic<uint64_t> Delivered{0};
   std::atomic<bool> Running{false};

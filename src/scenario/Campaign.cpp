@@ -89,6 +89,9 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
     Out.DistinctViews = countDistinctViews(R.Decisions);
     Out.Messages = R.Stats.MessagesSent;
     Out.Bytes = R.Stats.BytesSent;
+    Out.Retransmits = R.Stats.Channel.Retransmits;
+    Out.DupSuppressed = R.Stats.Channel.DupSuppressed;
+    Out.AckBytes = R.Stats.Channel.AckBytes;
     Out.FirstDecision = TimeNever;
     for (const trace::DecisionRecord &D : R.Decisions) {
       Out.FirstDecision = std::min(Out.FirstDecision, D.When);
@@ -134,6 +137,9 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
     Out.Events += Res.Events;
     Out.Messages += Res.Messages;
     Out.Bytes += Res.Bytes;
+    Out.Retransmits += Res.Channel.Retransmits;
+    Out.DupSuppressed += Res.Channel.DupSuppressed;
+    Out.AckBytes += Res.Channel.AckBytes;
     if (!Res.Quiesced) {
       Out.Error = formatStr("epoch %zu aborted: event budget of %llu "
                             "exhausted",
@@ -252,12 +258,17 @@ std::string CampaignSummary::toJson() const {
         "    {\"job\": %zu, \"seed\": %llu, \"variant\": \"%s\", "
         "\"ran\": %s, \"spec_ok\": %s, \"epochs\": %zu, "
         "\"decisions\": %zu, \"views\": %zu, \"events\": %llu, "
-        "\"messages\": %llu, \"bytes\": %llu, \"first_decision\": %llu, "
+        "\"messages\": %llu, \"bytes\": %llu, \"retransmits\": %llu, "
+        "\"dup_suppressed\": %llu, \"ack_bytes\": %llu, "
+        "\"first_decision\": %llu, "
         "\"last_decision\": %llu, \"error\": \"%s\", \"violations\": [",
         R.Index, (unsigned long long)R.Seed, jsonEscape(R.Variant).c_str(),
         R.Ran ? "true" : "false", R.SpecOk ? "true" : "false", R.Epochs,
         R.Decisions, R.DistinctViews, (unsigned long long)R.Events,
         (unsigned long long)R.Messages, (unsigned long long)R.Bytes,
+        (unsigned long long)R.Retransmits,
+        (unsigned long long)R.DupSuppressed,
+        (unsigned long long)R.AckBytes,
         (unsigned long long)R.FirstDecision,
         (unsigned long long)R.LastDecision, jsonEscape(R.Error).c_str());
     Out += joinMapped(R.Violations, ", ", [](const std::string &V) {
@@ -272,16 +283,19 @@ std::string CampaignSummary::toJson() const {
 
 std::string CampaignSummary::toCsv() const {
   std::string Out = "job,seed,variant,ran,spec_ok,epochs,decisions,views,"
-                    "events,messages,bytes,first_decision,last_decision,"
-                    "error\n";
+                    "events,messages,bytes,retransmits,dup_suppressed,"
+                    "ack_bytes,first_decision,last_decision,error\n";
   for (const JobOutcome &R : Results)
     Out += formatStr("%zu,%llu,\"%s\",%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
-                     "%llu,%llu,\"%s\"\n",
+                     "%llu,%llu,%llu,%llu,%llu,\"%s\"\n",
                      R.Index, (unsigned long long)R.Seed, R.Variant.c_str(),
                      R.Ran ? 1 : 0, R.SpecOk ? 1 : 0, R.Epochs, R.Decisions,
                      R.DistinctViews, (unsigned long long)R.Events,
                      (unsigned long long)R.Messages,
                      (unsigned long long)R.Bytes,
+                     (unsigned long long)R.Retransmits,
+                     (unsigned long long)R.DupSuppressed,
+                     (unsigned long long)R.AckBytes,
                      (unsigned long long)R.FirstDecision,
                      (unsigned long long)R.LastDecision, R.Error.c_str());
   return Out;

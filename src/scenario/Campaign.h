@@ -43,6 +43,10 @@ struct JobOutcome {
   uint64_t Events = 0; ///< Summed across epochs on the multi-epoch path.
   uint64_t Messages = 0;
   uint64_t Bytes = 0;
+  // Fault-plane counters (zero without an active `link` spec).
+  uint64_t Retransmits = 0;
+  uint64_t DupSuppressed = 0;
+  uint64_t AckBytes = 0;
   SimTime FirstDecision = 0;
   SimTime LastDecision = 0;
 };

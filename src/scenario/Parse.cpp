@@ -227,6 +227,26 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
   } else if (D.Text == "latency") {
     if (once(D, LineNo))
       parseLatency(Toks, LineNo);
+  } else if (D.Text == "link") {
+    if (!once(D, LineNo))
+      return;
+    if (Toks.size() < 2) {
+      error(LineNo, D.Col,
+            "'link' needs none | reliable | drop:P dup:P reorder:N rto:N "
+            "lat:N");
+      return;
+    }
+    net::LinkSpec L;
+    uint32_t Seen = 0;
+    for (size_t I = 1; I < Toks.size(); ++I) {
+      std::string Err;
+      if (!net::parseLinkField(Toks[I].Text, L, Seen, Err)) {
+        error(LineNo, Toks[I].Col, Err);
+        return;
+      }
+    }
+    net::normalizeLinkSpec(L);
+    S.Link = L;
   } else if (D.Text == "detect") {
     if (!once(D, LineNo))
       return;

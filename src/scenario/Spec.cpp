@@ -19,7 +19,8 @@ using namespace cliffedge::scenario;
 
 bool Spec::operator==(const Spec &O) const {
   return Name == O.Name && Topology == O.Topology && SeedLo == O.SeedLo &&
-         SeedHi == O.SeedHi && Latency == O.Latency && Detect == O.Detect &&
+         SeedHi == O.SeedHi && Latency == O.Latency && Link == O.Link &&
+         Detect == O.Detect &&
          Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
          Check == O.Check && Backend == O.Backend &&
          MaxEvents == O.MaxEvents && MaxFaulty == O.MaxFaulty &&
@@ -88,6 +89,15 @@ static std::string writeLatency(const LatencySpec &L) {
   return "";
 }
 
+static std::string writeLink(const net::LinkSpec &L) {
+  // The directive form is the compact form with spaces for commas.
+  std::string Compact = L.compact();
+  for (char &C : Compact)
+    if (C == ',')
+      C = ' ';
+  return "link " + Compact;
+}
+
 static std::string writeCrash(const CrashDirective &C) {
   std::string Line = "crash ";
   Line += crashKindName(C.K);
@@ -119,6 +129,7 @@ std::string scenario::writeSpec(const Spec &S) {
     Emit(formatStr("seeds %llu..%llu", (unsigned long long)S.SeedLo,
                    (unsigned long long)S.SeedHi));
   Emit(writeLatency(S.Latency));
+  Emit(writeLink(S.Link));
   Emit(formatStr("detect %llu", (unsigned long long)S.Detect));
   Emit(formatStr("ranking %s", rankingName(S.Ranking)));
   Emit(formatStr("early-termination %s", S.EarlyTermination ? "on" : "off"));
@@ -413,6 +424,7 @@ trace::RunnerOptions scenario::makeRunnerOptions(const Spec &S, Rng &LatRand) {
     break;
   }
   Opts.DetectionDelay = detector::fixedDetectionDelay(S.Detect);
+  Opts.Link = S.Link;
   Opts.MaxEvents = S.MaxEvents;
   return Opts;
 }
@@ -504,11 +516,13 @@ bool scenario::applyOverride(Spec &S, const std::string &Key,
   }
   if (Key == "latency")
     return parseLatencyCompact(Value, S.Latency, Error);
+  if (Key == "link")
+    return net::parseLinkCompact(Value, S.Link, Error);
   if (Key == "backend")
     return engine::parseBackendName(Value, S.Backend, Error);
   Error = "unknown sweep key '" + Key +
           "' (want topology | detect | ranking | early-termination | "
-          "latency | backend)";
+          "latency | link | backend)";
   return false;
 }
 
@@ -526,5 +540,8 @@ bool scenario::materializeSingle(const Spec &V, uint64_t Seed,
                       Out.Plan, Error))
     return false;
   Out.Options = makeRunnerOptions(V, *Out.LatRand);
+  // Engines overwrite this with the job seed; setting it here too keeps
+  // runs driven straight through ScenarioRunner on the same schedule.
+  Out.Options.LinkSeed = Seed;
   return true;
 }

@@ -27,6 +27,7 @@
 #include "engine/Engine.h"
 #include "graph/Graph.h"
 #include "graph/Ranking.h"
+#include "net/Link.h"
 #include "support/Random.h"
 #include "trace/Runner.h"
 #include "workload/CrashPlans.h"
@@ -95,6 +96,13 @@ struct Spec {
   std::string Topology = "grid:8x8"; ///< Compact form, see buildTopology.
   uint64_t SeedLo = 1, SeedHi = 1;   ///< Inclusive campaign seed range.
   LatencySpec Latency;
+  /// Raw link conditions (`link` directive; sweepable with `sweep link
+  /// none drop:0.1 ...`). The default is the paper's axiom — perfect
+  /// channels, no fault plane; lossy values layer the net:: plane under
+  /// the transport with the reliable-channel sublayer restoring the
+  /// §2.2 contract, so verdicts must not change (differentially tested),
+  /// but event counts and transport stats do.
+  net::LinkSpec Link;
   SimTime Detect = 5;
   graph::RankingKind Ranking = graph::RankingKind::SizeBorderLex;
   bool EarlyTermination = false;

@@ -20,11 +20,22 @@
 /// messages already in flight from a node that subsequently crashes are
 /// still delivered, as in the standard asynchronous crash-stop model.
 ///
+/// By default the §2.2 abstraction is assumed: frames reach recipients
+/// perfectly. enableFaultPlane() layers the net:: fault plane beneath
+/// delivery instead — a seeded net::LinkModel drops, duplicates and
+/// jitters raw transmissions, and the net/Channel.h reliability sublayer
+/// (sequence stamping, cumulative acks, timer-driven retransmission,
+/// dedup and reorder buffering) re-establishes exactly the reliable-FIFO
+/// contract above it. The zero-loss configuration never constructs the
+/// plane, so the default path is byte-for-byte the raw one.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLIFFEDGE_SIM_NETWORK_H
 #define CLIFFEDGE_SIM_NETWORK_H
 
+#include "net/Channel.h"
+#include "net/Link.h"
 #include "sim/Latency.h"
 #include "sim/Simulator.h"
 #include "support/FlatHash.h"
@@ -33,12 +44,17 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace cliffedge {
 namespace sim {
 
 /// Per-run transport statistics, the raw material of the locality benches.
+/// MessagesSent/BytesSent count *logical* protocol sends (with their
+/// on-wire size), so they stay comparable between zero-loss and lossy
+/// runs; everything the fault plane adds on top — retransmissions, pure
+/// acks, link drops and duplicates — lands in Channel.
 struct NetworkStats {
   uint64_t MessagesSent = 0;
   uint64_t MessagesDelivered = 0;
@@ -46,6 +62,8 @@ struct NetworkStats {
   uint64_t BytesSent = 0;
   /// Per-node sent counters, indexed by NodeId.
   std::vector<uint64_t> SentByNode;
+  /// Fault-plane counters; all zero when no fault plane is enabled.
+  net::ChannelStats Channel;
 };
 
 /// One record per send, consumed by trace::Checker for CD3 (Locality).
@@ -67,9 +85,20 @@ public:
       std::function<void(NodeId From, NodeId To, const Frame &Bytes)>;
 
   Network(Simulator &Sim, uint32_t NumNodes, LatencyModel Latency);
+  ~Network();
 
   /// Installs the upcall invoked on each delivery to a live node.
   void setDeliver(DeliverFn Fn) { Deliver = std::move(Fn); }
+
+  /// Activates the layered fault plane for this run: \p Spec's link
+  /// conditions beneath delivery, with the reliability sublayer above
+  /// them whenever the spec injects faults. Per-channel fault streams
+  /// derive from (\p Spec, \p Seed, from, to). Must be called before the
+  /// first send; a no-op for inactive (zero-loss) specs.
+  void enableFaultPlane(const net::LinkSpec &Spec, uint64_t Seed);
+
+  /// True when enableFaultPlane installed an active plane.
+  bool hasFaultPlane() const { return Plane != nullptr; }
 
   /// Enables per-send recording (for locality checking).
   void setRecording(bool Enabled) { Recording = Enabled; }
@@ -102,9 +131,15 @@ public:
   uint32_t numNodes() const { return static_cast<uint32_t>(Crashed.size()); }
 
 private:
+  struct FaultPlane;
+  friend struct FaultPlane;
+
   Simulator &Sim;
   LatencyModel Latency;
   DeliverFn Deliver;
+  /// Non-null only for lossy/armed runs; the zero-loss hot path costs one
+  /// null check.
+  std::unique_ptr<FaultPlane> Plane;
   std::vector<bool> Crashed;
   /// Last scheduled delivery time per directed channel, for FIFO clamping.
   /// Flat open-addressing table: one probe per send, no node allocations.

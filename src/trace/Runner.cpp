@@ -10,6 +10,8 @@
 #include "core/Wire.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 using namespace cliffedge;
 using namespace cliffedge::trace;
@@ -40,6 +42,20 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setRecording(Opts.RecordSends);
   Net.setMonotoneLatency(Opts.MonotoneLatency);
+  // The fault plane's channel extension is a wire v3 feature; the legacy
+  // encodings (a test-only compat knob) reject its flag bit, so the
+  // combination would corrupt every frame — every data frame dropped,
+  // nothing acked, the ARQ retransmitting forever. Die loudly in every
+  // build type rather than livelock.
+  if (Opts.Link.active() && Opts.WireVersion != 3) {
+    std::fprintf(stderr,
+                 "cliffedge: the fault plane (link spec '%s') requires "
+                 "wire v3; the legacy v%u layout has no channel "
+                 "extension\n",
+                 Opts.Link.compact().c_str(), Opts.WireVersion);
+    std::abort();
+  }
+  Net.enableFaultPlane(Opts.Link, Opts.LinkSeed);
   // Steady state keeps roughly a border's worth of frames per node in
   // flight; pre-sizing the event heap avoids reallocation churn early on.
   Sim.reserve(G.numNodes() * 4);

@@ -22,6 +22,7 @@
 #include "core/Wire.h"
 #include "detector/FailureDetector.h"
 #include "graph/Graph.h"
+#include "net/Link.h"
 #include "sim/Latency.h"
 #include "sim/Network.h"
 #include "sim/Simulator.h"
@@ -64,6 +65,20 @@ struct RunnerOptions {
   /// yourself only if your custom model guarantees monotonicity.
   bool MonotoneLatency = false;
 
+  /// Raw link conditions beneath the transport (drop/dup/reorder/latency
+  /// override). The default is inactive: the paper's reliable-FIFO
+  /// channels are assumed and the transport takes its raw fast path. An
+  /// active spec layers the net:: fault plane (and, when faults are
+  /// injected, the reliable-channel sublayer) beneath delivery on every
+  /// backend.
+  net::LinkSpec Link;
+
+  /// Seeds the fault plane's per-channel streams. The engines overwrite
+  /// this with the job seed so DES and sharded runs of one (spec, seed)
+  /// share identical per-channel fault schedules; set it manually only
+  /// when driving ScenarioRunner directly.
+  uint64_t LinkSeed = 0;
+
   /// Failure-detection delay; default: 5 ticks.
   detector::DetectionDelayModel DetectionDelay;
 
@@ -85,7 +100,8 @@ struct RunnerOptions {
   /// Wire format used for protocol frames: 3 (current; announce-once +
   /// id-only rounds), or 2 / 1 to force a legacy full-region layout on
   /// every frame. The differential engine tests pin v3 against the v2
-  /// baseline with this.
+  /// baseline with this. Legacy versions cannot combine with an active
+  /// Link spec — the channel extension exists only in the v3 layout.
   uint8_t WireVersion = 3;
 };
 

@@ -54,6 +54,7 @@ EpochResult EpochRunner::runEpoch(const CrashPlan &Plan, uint64_t Seed) {
   }
   Result.Messages = R.Stats.MessagesSent;
   Result.Bytes = R.Stats.BytesSent;
+  Result.Channel = R.Stats.Channel;
   Result.SettleTime =
       LastDecision > FirstCrash ? LastDecision - FirstCrash : 0;
   Result.Check = trace::checkAll(engine::toCheckInput(R, G));

@@ -42,6 +42,8 @@ struct EpochResult {
   uint64_t Events = 0;
   uint64_t Messages = 0;
   uint64_t Bytes = 0;
+  /// Fault-plane counters (all zero without an active link spec).
+  net::ChannelStats Channel;
   SimTime SettleTime = 0; ///< Last decision minus first crash.
   /// False when the run hit RunnerOptions::MaxEvents before the simulator
   /// drained — the epoch's numbers describe a truncated run.

@@ -106,7 +106,9 @@ struct EpochOutcome {
 std::vector<EpochOutcome> runAllEpochs(engine::Engine &Eng,
                                        const scenario::Spec &V,
                                        uint64_t Seed, std::string &Error,
-                                       uint8_t WireVersion = 3) {
+                                       uint8_t WireVersion = 3,
+                                       const net::LinkSpec *LinkOverride =
+                                           nullptr) {
   std::vector<EpochOutcome> Out;
   Rng TopoRand(Seed);
   scenario::TopologyInfo Topo;
@@ -117,6 +119,8 @@ std::vector<EpochOutcome> runAllEpochs(engine::Engine &Eng,
   Rng LatRand(Sub.next());
   trace::RunnerOptions Opts = scenario::makeRunnerOptions(V, LatRand);
   Opts.WireVersion = WireVersion;
+  if (LinkOverride)
+    Opts.Link = *LinkOverride;
   for (size_t E = 0; E < V.Epochs.size(); ++E) {
     workload::CrashPlan Plan;
     if (!scenario::buildCrashPlan(V.Epochs[E], Topo, PlanRand, V.MaxFaulty,
@@ -261,6 +265,154 @@ TEST_P(EngineEquivalence, WireV3MatchesV2BaselineOnBothBackends) {
       }
     }
   }
+}
+
+/// The fault-plane differential: every curated scenario re-run under
+/// `link drop:0.2 dup:0.01 reorder:15` on BOTH backends must produce the
+/// CD1..CD7 verdicts, faulty sets and converged max_views of the
+/// zero-loss run from the same (spec, seed). This is the §2.2 abstraction
+/// theorem as a test: the reliable-channel sublayer restores exactly the
+/// contract the protocol was built on, so loss below it is invisible to
+/// correctness — only timings, event counts and transport stats move.
+/// Check-off ablation specs are exempt for the usual reason: a broken
+/// ranking's failures are interleaving-dependent by design, and loss
+/// changes interleavings.
+TEST_P(EngineEquivalence, LossyLinksMatchZeroLossBaselineOnBothBackends) {
+  const LoadedScenario &Scn = scenarios()[GetParam()];
+  scenario::Spec V = firstVariant(Scn.S);
+  // Ablation specs (check off) are exempt like in the cross-backend
+  // suite — their misbehaviour is interleaving-dependent by design and
+  // loss shifts interleavings — but exempt by *not comparing*, not by a
+  // skip: the suite stays skip-free (the repo's zero-skip discipline).
+  if (!V.Check)
+    return;
+  net::LinkSpec Lossy;
+  std::string LinkErr;
+  ASSERT_TRUE(
+      net::parseLinkCompact("drop:0.2,dup:0.01,reorder:15", Lossy, LinkErr))
+      << LinkErr;
+  net::LinkSpec None;
+  // The 100k+-node worlds cover scale; one seed keeps tier-1 affordable.
+  uint64_t Seeds = Scn.File.rfind("large_", 0) == 0 ? 1 : 2;
+  for (uint64_t I = 0; I < Seeds; ++I) {
+    uint64_t Seed = V.SeedLo + I;
+    std::string Label = Scn.File + " seed " + std::to_string(Seed);
+    engine::DesEngine Des;
+    engine::ShardedEngine Sharded;
+    for (engine::Engine *Eng :
+         {static_cast<engine::Engine *>(&Des),
+          static_cast<engine::Engine *>(&Sharded)}) {
+      const char *Backend = Eng == &Des ? " [des]" : " [sharded]";
+      std::string ErrBase, ErrLossy;
+      std::vector<EpochOutcome> Base =
+          runAllEpochs(*Eng, V, Seed, ErrBase, /*WireVersion=*/3, &None);
+      std::vector<EpochOutcome> Faulted =
+          runAllEpochs(*Eng, V, Seed, ErrLossy, /*WireVersion=*/3, &Lossy);
+      ASSERT_TRUE(ErrBase.empty()) << Label << Backend << ": " << ErrBase;
+      ASSERT_TRUE(ErrLossy.empty()) << Label << Backend << ": " << ErrLossy;
+      ASSERT_EQ(Base.size(), V.Epochs.size()) << Label << Backend;
+      ASSERT_EQ(Faulted.size(), V.Epochs.size()) << Label << Backend;
+      for (size_t E = 0; E < Base.size(); ++E) {
+        std::string Where =
+            Label + Backend + " epoch " + std::to_string(E + 1);
+        ASSERT_TRUE(Base[E].Quiesced) << Where;
+        ASSERT_TRUE(Faulted[E].Quiesced)
+            << Where << ": lossy run failed to quiesce";
+        ASSERT_EQ(Base[E].Faulty, Faulted[E].Faulty) << Where;
+        EXPECT_EQ(Base[E].Check.Ok, Faulted[E].Check.Ok)
+            << Where << "\nzero-loss:\n"
+            << Base[E].Check.summary() << "\nlossy:\n"
+            << Faulted[E].Check.summary();
+        EXPECT_EQ(Base[E].Check.Violations, Faulted[E].Check.Violations)
+            << Where;
+        ASSERT_EQ(Base[E].FinalMaxViews.size(),
+                  Faulted[E].FinalMaxViews.size())
+            << Where;
+        for (NodeId N = 0; N < Base[E].FinalMaxViews.size(); ++N) {
+          if (Base[E].Faulty.contains(N))
+            continue; // Faulty nodes freeze wherever loss caught them.
+          EXPECT_EQ(Base[E].FinalMaxViews[N], Faulted[E].FinalMaxViews[N])
+              << Where << ": node " << N << " max_view diverged under loss";
+        }
+      }
+    }
+  }
+}
+
+/// Lossy sharded runs replay bit-for-bit at any worker count: every link
+/// draw happens at the serial merge, so the whole fault schedule — and
+/// with it the full result — is a pure function of (spec, seed).
+TEST(EngineEquivalenceSuite, LossyShardedResultIndependentOfWorkers) {
+  const auto &All = EngineEquivalence::scenarios();
+  ASSERT_FALSE(All.empty());
+  net::LinkSpec Lossy;
+  std::string LinkErr;
+  ASSERT_TRUE(net::parseLinkCompact("drop:0.25,dup:0.05,reorder:20", Lossy,
+                                    LinkErr))
+      << LinkErr;
+  size_t Checked = 0;
+  for (const LoadedScenario &Scn : All) {
+    if (Scn.S.Epochs.size() != 1)
+      continue;
+    scenario::Spec V = firstVariant(Scn.S);
+    if (++Checked > 2)
+      break;
+    V.Link = Lossy;
+    scenario::MaterializedRun RunA, RunB;
+    std::string Err;
+    ASSERT_TRUE(scenario::materializeSingle(V, V.SeedLo, RunA, Err)) << Err;
+    ASSERT_TRUE(scenario::materializeSingle(V, V.SeedLo, RunB, Err)) << Err;
+
+    engine::EngineOptions One;
+    One.Workers = 1;
+    engine::EngineOptions Three;
+    Three.Workers = 3;
+    engine::ShardedEngine EngOne(One), EngThree(Three);
+
+    engine::EngineJob JobA;
+    JobA.G = &RunA.Topo.G;
+    JobA.Plan = &RunA.Plan;
+    JobA.Options = RunA.Options;
+    JobA.Seed = V.SeedLo;
+    engine::EngineJob JobB;
+    JobB.G = &RunB.Topo.G;
+    JobB.Plan = &RunB.Plan;
+    JobB.Options = RunB.Options;
+    JobB.Seed = V.SeedLo;
+
+    engine::EngineResult A = EngOne.run(JobA);
+    engine::EngineResult B = EngThree.run(JobB);
+
+    ASSERT_EQ(A.Decisions.size(), B.Decisions.size()) << Scn.File;
+    for (size_t I = 0; I < A.Decisions.size(); ++I) {
+      EXPECT_EQ(A.Decisions[I].Node, B.Decisions[I].Node) << Scn.File;
+      EXPECT_EQ(A.Decisions[I].View, B.Decisions[I].View) << Scn.File;
+      EXPECT_EQ(A.Decisions[I].When, B.Decisions[I].When) << Scn.File;
+    }
+    EXPECT_EQ(A.Events, B.Events) << Scn.File;
+    EXPECT_EQ(A.Stats.MessagesSent, B.Stats.MessagesSent) << Scn.File;
+    EXPECT_EQ(A.Stats.BytesSent, B.Stats.BytesSent) << Scn.File;
+    EXPECT_EQ(A.Stats.Channel.Retransmits, B.Stats.Channel.Retransmits)
+        << Scn.File;
+    EXPECT_EQ(A.Stats.Channel.DupSuppressed, B.Stats.Channel.DupSuppressed)
+        << Scn.File;
+    EXPECT_EQ(A.Stats.Channel.LinkDropped, B.Stats.Channel.LinkDropped)
+        << Scn.File;
+    EXPECT_EQ(A.Stats.Channel.AcksSent, B.Stats.Channel.AcksSent)
+        << Scn.File;
+    EXPECT_EQ(A.SendLog.size(), B.SendLog.size()) << Scn.File;
+    for (size_t I = 0; I < A.SendLog.size(); ++I) {
+      EXPECT_EQ(A.SendLog[I].When, B.SendLog[I].When) << Scn.File;
+      EXPECT_EQ(A.SendLog[I].From, B.SendLog[I].From) << Scn.File;
+      EXPECT_EQ(A.SendLog[I].To, B.SendLog[I].To) << Scn.File;
+    }
+    EXPECT_EQ(A.FinalMaxViews, B.FinalMaxViews) << Scn.File;
+    // A 25% drop rate on real traffic must actually have exercised the
+    // plane for this determinism check to mean anything.
+    EXPECT_GT(A.Stats.Channel.LinkDropped, 0u) << Scn.File;
+    EXPECT_GT(A.Stats.Channel.Retransmits, 0u) << Scn.File;
+  }
+  EXPECT_GE(Checked, 2u);
 }
 
 TEST(EngineEquivalenceSuite, CuratedScenariosWereFound) {

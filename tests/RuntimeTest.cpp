@@ -171,3 +171,98 @@ TEST(RuntimeTest, RepeatedRunsSettle) {
     Cluster.shutdown();
   }
 }
+
+TEST(RuntimeTest, LossyMailboxesStillDecideExactlyOnce) {
+  // The fault plane under real threads: mailboxes drop 25% of frames,
+  // duplicate some and jitter the rest (1 tick = 100us of wall time),
+  // while the reliable-channel sublayer restores exactly-once FIFO
+  // delivery. The protocol above must behave exactly as over perfect
+  // mailboxes: both border nodes decide the crashed region, once.
+  net::LinkSpec Link;
+  std::string Err;
+  ASSERT_TRUE(
+      net::parseLinkCompact("drop:0.25,dup:0.05,reorder:5,rto:40", Link,
+                            Err))
+      << Err;
+  for (uint64_t Seed = 1; Seed <= 3; ++Seed) {
+    graph::Graph G = graph::makeLine(5); // 0-1-2-3-4
+    ThreadedCluster Cluster(G, core::Config(), Link, Seed);
+    Cluster.start();
+    Cluster.crash(2);
+    ASSERT_TRUE(Cluster.awaitQuiescence(20000ms))
+        << "seed " << Seed << ": lossy cluster did not settle";
+    auto Decisions = Cluster.decisions();
+    ASSERT_EQ(Decisions.size(), 2u) << "seed " << Seed;
+    for (const runtime::ThreadedDecision &D : Decisions) {
+      EXPECT_EQ(D.View, (Region{2})) << "seed " << Seed;
+      EXPECT_TRUE(D.Node == 1 || D.Node == 3) << "seed " << Seed;
+    }
+    EXPECT_EQ(Decisions[0].Chosen, Decisions[1].Chosen) << "seed " << Seed;
+    Cluster.shutdown();
+  }
+}
+
+TEST(RuntimeTest, LossyClusterSurvivesCrashesAndKeepsSafety) {
+  // A larger lossy deployment with a patch crash: quiescence must still
+  // be reached (no eternal retransmit toward dead nodes, no stranded
+  // pending counts) and the decided views must satisfy the same safety
+  // properties the zero-loss grid test asserts.
+  net::LinkSpec Link;
+  std::string Err;
+  ASSERT_TRUE(net::parseLinkCompact("drop:0.3,dup:0.1,reorder:8", Link,
+                                    Err))
+      << Err;
+  graph::Graph G = graph::makeGrid(5, 5);
+  Region Patch = graph::gridPatch(5, 1, 1, 2);
+  ThreadedCluster Cluster(G, core::Config(), Link, 7);
+  Cluster.start();
+  for (NodeId N : Patch)
+    Cluster.crash(N);
+  ASSERT_TRUE(Cluster.awaitQuiescence(30000ms));
+  auto Decisions = Cluster.decisions();
+  ASSERT_FALSE(Decisions.empty());
+  for (const runtime::ThreadedDecision &D : Decisions) {
+    EXPECT_TRUE(D.View.isSubsetOf(Patch)) << D.View.str();
+    EXPECT_TRUE(G.isConnectedRegion(D.View));
+    EXPECT_TRUE(G.border(D.View).contains(D.Node));
+  }
+  for (size_t I = 0; I < Decisions.size(); ++I) {
+    if (Patch.contains(Decisions[I].Node))
+      continue;
+    for (size_t J = I + 1; J < Decisions.size(); ++J) {
+      if (Patch.contains(Decisions[J].Node))
+        continue;
+      if (Decisions[I].View.intersects(Decisions[J].View)) {
+        EXPECT_EQ(Decisions[I].View, Decisions[J].View);
+        EXPECT_EQ(Decisions[I].Chosen, Decisions[J].Chosen);
+      }
+    }
+  }
+  // The plane must actually have been exercised.
+  net::ChannelStats Stats = Cluster.channelStats();
+  EXPECT_GT(Stats.LinkDropped, 0u);
+  EXPECT_GT(Stats.Retransmits, 0u);
+  EXPECT_GT(Stats.AcksSent, 0u);
+  Cluster.shutdown();
+}
+
+TEST(RuntimeTest, ArmedChannelOverPerfectMailboxes) {
+  // `link reliable`: sequence stamps ride every frame with no ack or
+  // retransmit machinery; the run is indistinguishable from raw above
+  // the transport.
+  net::LinkSpec Link;
+  std::string Err;
+  ASSERT_TRUE(net::parseLinkCompact("reliable", Link, Err)) << Err;
+  graph::Graph G = graph::makeLine(5);
+  ThreadedCluster Cluster(G, core::Config(), Link, 1);
+  Cluster.start();
+  Cluster.crash(2);
+  ASSERT_TRUE(Cluster.awaitQuiescence(10000ms));
+  auto Decisions = Cluster.decisions();
+  ASSERT_EQ(Decisions.size(), 2u);
+  net::ChannelStats Stats = Cluster.channelStats();
+  EXPECT_EQ(Stats.AcksSent, 0u);
+  EXPECT_EQ(Stats.Retransmits, 0u);
+  EXPECT_EQ(Stats.LinkDropped, 0u);
+  Cluster.shutdown();
+}

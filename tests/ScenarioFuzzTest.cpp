@@ -92,7 +92,13 @@ std::string mutate(const std::string &Text, const std::string &Other,
       "abcdefghijklmnopqrstuvwxyz0123456789 :.,@-_#xX";
   static const char *JunkTokens[] = {
       "x",  "-1", "18446744073709551616", "..", ":", "grid:",  "0x10",
-      "on", "at", "999999999999999999999", "#",  "",  "des,sharded"};
+      "on", "at", "999999999999999999999", "#",  "",  "des,sharded",
+      // `link` directive probes: out-of-range probabilities, empty and
+      // duplicate fields, none/reliable mixed with fields, bad compact
+      // joins for the `sweep link` axis.
+      "drop:1.5", "drop:", "drop:0.99999", "dup:-0.1", "reorder:",
+      "rto:0", "lat:0", "none,drop:0.1", "reliable,none", "drop",
+      "drop:0.2,drop:0.3", "link", "drop:0.2,dup:0.01,reorder:15"};
 
   std::string Out = Text;
   switch (Rand.nextBelow(9)) {

@@ -51,10 +51,11 @@ def to_ns(entry):
 
 
 # BM_EngineQuakeStorm_Des on this container at the PR-3 baseline commit
-# (BENCH_micro.json history). The data-plane overhaul is gated as an
-# absolute speedup against this pinned measurement — unlike the within-run
-# ratios below it is machine-specific, which is exactly the point: the
-# committed baseline and the gate run on the same benchmark host.
+# (BENCH_micro.json history). Originally an absolute ctest floor for the
+# data-plane overhaul; retired to informational when the host's wall
+# clock on the 100k-node working set swung ~40% within a day (see the
+# CMakeLists.txt perf-gate comment) — the derived metric is still
+# computed so the history stays comparable.
 QUAKE_DES_PR3_NS = 224815880.333
 
 
@@ -125,8 +126,32 @@ def distill(gbench):
             f"BM_EngineQuakeStorm_Sharded/{jobs}",
             f"engine_quake_des_over_sharded_jobs{jobs}",
         )
-    # Absolute gate for the data-plane overhaul: DES quake storm against
-    # the pinned PR-3 measurement of this container.
+    # Fault-plane gates. BM_ReliableChannelOverhead_Raw runs the exact
+    # workload of BM_ScenarioCrashBurst/6 through the `link none`
+    # configuration, so their within-run ratio isolates any cost leaking
+    # into the zero-loss bypass (the tentpole contract: no plane, no
+    # per-message work); the ctest bench_compare gates it with a ceiling
+    # set in CMakeLists.txt (the single source of truth for the bound,
+    # with the host-noise rationale alongside it). The armed
+    # (`link reliable`) and lossy ratios are the honest price of the
+    # channel sublayer's machinery, tracked informationally.
+    ratio(
+        "BM_ReliableChannelOverhead_Raw",
+        "BM_ScenarioCrashBurst/6",
+        "reliable_channel_overhead",
+    )
+    ratio(
+        "BM_ReliableChannelOverhead_Armed",
+        "BM_ReliableChannelOverhead_Raw",
+        "reliable_channel_armed_ratio",
+    )
+    ratio(
+        "BM_ReliableChannelOverhead_Lossy",
+        "BM_ReliableChannelOverhead_Raw",
+        "reliable_channel_lossy_ratio",
+    )
+    # Informational: DES quake storm against the pinned PR-3 measurement
+    # of this container (see the note on QUAKE_DES_PR3_NS above).
     des = benchmarks.get("BM_EngineQuakeStorm_Des")
     if des and des["ns"] > 0:
         derived["engine_quake_des_speedup_vs_pr3"] = round(

@@ -60,6 +60,14 @@ void usage(const char *Prog) {
       "  --emit-scn           print the .scn equivalent of the current\n"
       "                       flags (or the canonical form of --scenario)\n"
       "                       and exit\n"
+      "  --link SPEC          raw link conditions under the transport:\n"
+      "                       none | reliable | comma-joined fields\n"
+      "                       drop:P,dup:P,reorder:N,rto:N,lat:N (e.g.\n"
+      "                       drop:0.2,dup:0.01,reorder:15). Loss < 1\n"
+      "                       cannot change verdicts — the reliable-FIFO\n"
+      "                       sublayer restores the paper's channels — so\n"
+      "                       like --backend it composes with --scenario,\n"
+      "                       overriding the spec's `link` directive\n"
       "flags (each combination is expressible as a .scn file):\n"
       "  --topology SPEC      grid:WxH | torus:WxH | ring:N | line:N |\n"
       "                       er:N:P | geo:N:R | tree:N:ARITY |\n"
@@ -137,6 +145,7 @@ int main(int argc, char **argv) {
   std::string ScenarioFile;
   std::string Output = "summary";
   std::string BackendFlag; ///< Empty = keep the spec's backend.
+  std::string LinkFlag;    ///< Empty = keep the spec's link conditions.
   bool Campaign = false, EmitScn = false, CheckFlag = false;
   unsigned Jobs = 1;
   // Tuning flags are an *alternative* to a .scn file, not overrides on
@@ -162,6 +171,8 @@ int main(int argc, char **argv) {
           std::strtoul(Next("--jobs"), nullptr, 10));
     else if (Arg == "--backend")
       BackendFlag = Next("--backend");
+    else if (Arg == "--link")
+      LinkFlag = Next("--link");
     else if (Arg == "--emit-scn")
       EmitScn = true;
     else if (Arg == "--topology") {
@@ -286,6 +297,26 @@ int main(int argc, char **argv) {
       }
   }
 
+  // --link composes with --scenario for the same reason --backend does:
+  // under the reliable-channel sublayer, loss < 1 cannot change a run's
+  // verdicts (the differential suite enforces it) — only the transport's
+  // realisation. It likewise wins over a `sweep link` axis.
+  if (!LinkFlag.empty()) {
+    std::string Err;
+    if (!scenario::applyOverride(S, "link", LinkFlag, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    for (size_t I = 0; I < S.Sweeps.size(); ++I)
+      if (S.Sweeps[I].Key == "link") {
+        std::fprintf(stderr, "note: --link %s overrides the spec's "
+                             "'sweep link' axis\n",
+                     LinkFlag.c_str());
+        S.Sweeps.erase(S.Sweeps.begin() + I);
+        break;
+      }
+  }
+
   if (EmitScn) {
     std::printf("%s", scenario::writeSpec(S).c_str());
     return 0;
@@ -351,11 +382,22 @@ int main(int argc, char **argv) {
                 Run.Topo.G.numEdges());
     std::printf("backend:  %s\n", Eng->name());
     std::printf("faulty:   %s\n", AllFaulty.str().c_str());
+    if (Variant.Link.active())
+      std::printf("link:     %s\n", Variant.Link.compact().c_str());
     std::printf("events=%llu messages=%llu bytes=%llu decisions=%zu\n",
                 (unsigned long long)Res.Events,
                 (unsigned long long)Res.Stats.MessagesSent,
                 (unsigned long long)Res.Stats.BytesSent,
                 Res.Decisions.size());
+    if (Variant.Link.active())
+      std::printf("link: retransmits=%llu dup_suppressed=%llu "
+                  "acks=%llu ack_bytes=%llu dropped=%llu duplicated=%llu\n",
+                  (unsigned long long)Res.Stats.Channel.Retransmits,
+                  (unsigned long long)Res.Stats.Channel.DupSuppressed,
+                  (unsigned long long)Res.Stats.Channel.AcksSent,
+                  (unsigned long long)Res.Stats.Channel.AckBytes,
+                  (unsigned long long)Res.Stats.Channel.LinkDropped,
+                  (unsigned long long)Res.Stats.Channel.LinkDuplicated);
     for (const trace::DecisionRecord &D : Res.Decisions)
       std::printf("  t=%-8llu %-10s view=%s value=%llu\n",
                   (unsigned long long)D.When,
