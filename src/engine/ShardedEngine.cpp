@@ -204,8 +204,19 @@ struct RunState {
         Watchers(InG.numNodes()), Subscribed(InG.numNodes()),
         PlaneOn(InOpts.Link.active()), Arq(InOpts.Link.lossy()),
         Rto(InOpts.Link.Rto) {
+    // The adversarial tie-break bias (search plane) re-derives both merge
+    // tie-break streams. Same-channel same-tick deliveries still share a
+    // channelTieKey and fall through to send order, so per-channel FIFO —
+    // and with it the reliable sublayer's stamp contract — survives any
+    // bias value; only the interleaving between channels moves. Zero is
+    // byte-identical to the unbiased merge.
+    if (InOpts.TieBreakBias) {
+      TieSeed = SplitMix64(TieSeed ^ InOpts.TieBreakBias).next();
+      MergeRng = SplitMix64(Seed ^ 0x5368617264456e67ULL ^
+                            SplitMix64(InOpts.TieBreakBias).next());
+    }
     if (PlaneOn)
-      Link.reset(new net::LinkModel(InOpts.Link, Seed));
+      Link.reset(new net::LinkModel(InOpts.Link, Seed, InOpts.LinkSalt));
   }
 
   uint32_t shardOf(NodeId N) const { return N % NumShards; }

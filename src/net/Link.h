@@ -112,8 +112,12 @@ bool parseLinkCompact(const std::string &Tok, LinkSpec &Out,
 /// event loop, the sharded engine's merge, a sender's worker thread).
 class LinkModel {
 public:
-  LinkModel(const LinkSpec &Spec, uint64_t Seed)
-      : Spec(Spec), Seed(Seed) {}
+  /// A non-zero \p Salt re-derives the effective seed, re-dealing every
+  /// channel's fate schedule without touching the spec's rates — the
+  /// search plane's link-schedule mutation. Zero keeps the schedules
+  /// byte-identical to the unsalted model.
+  LinkModel(const LinkSpec &Spec, uint64_t Seed, uint64_t Salt = 0)
+      : Spec(Spec), Seed(Salt ? SplitMix64(Seed ^ Salt).next() : Seed) {}
 
   /// The fate of one transmission: how many copies the medium delivers
   /// (0 = dropped, 2 = duplicated) and each copy's extra jitter.

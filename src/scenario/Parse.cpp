@@ -9,6 +9,7 @@
 
 #include "support/StrUtil.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdlib>
 
@@ -100,6 +101,19 @@ private:
     return true;
   }
 
+  /// Strict signed parse (crash-shift deltas); diagnoses junk.
+  bool parseI64(const Token &T, unsigned Line, int64_t &Out,
+                const char *What) {
+    char *End = nullptr;
+    Out = std::strtoll(T.Text.c_str(), &End, 10);
+    if (T.Text.empty() || *End != '\0') {
+      error(Line, T.Col,
+            formatStr("expected %s, got '%s'", What, T.Text.c_str()));
+      return false;
+    }
+    return true;
+  }
+
   /// Marks a one-per-file directive as seen; diagnoses duplicates.
   bool once(const Token &Directive, unsigned Line) {
     for (const std::string &S : Seen)
@@ -156,6 +170,7 @@ private:
   void parseCrash(const std::vector<Token> &Toks, unsigned LineNo);
   void parseSweep(const std::vector<Token> &Toks, unsigned LineNo);
   void parseLatency(const std::vector<Token> &Toks, unsigned LineNo);
+  void parsePerturb(const std::vector<Token> &Toks, unsigned LineNo);
   void finish();
 };
 
@@ -296,6 +311,37 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
     const Token *V = WantValue("a node count");
     if (V && noTrailing(Toks, 2, LineNo))
       parseU64(*V, LineNo, S.MaxFaulty, "a node count");
+  } else if (D.Text == "perturb") {
+    parsePerturb(Toks, LineNo);
+  } else if (D.Text == "objective") {
+    if (!once(D, LineNo))
+      return;
+    const Token *V = WantValue("an objective name");
+    if (!V || !noTrailing(Toks, 2, LineNo))
+      return;
+    // Purely syntactic here: the search plane validates the name against
+    // its objective registry, so a repro parses even if its objective is
+    // later renamed or retired.
+    for (char C : V->Text)
+      if (!std::islower(static_cast<unsigned char>(C)) &&
+          !std::isdigit(static_cast<unsigned char>(C)) && C != '-') {
+        error(LineNo, V->Col, "objective name may only contain [a-z0-9-]");
+        return;
+      }
+    S.Objective = V->Text;
+  } else if (D.Text == "expect") {
+    if (!once(D, LineNo))
+      return;
+    const Token *V = WantValue("ok or violation");
+    if (!V || !noTrailing(Toks, 2, LineNo))
+      return;
+    if (V->Text == "ok")
+      S.Expect = Expectation::Ok;
+    else if (V->Text == "violation")
+      S.Expect = Expectation::Violation;
+    else
+      error(LineNo, V->Col,
+            "expected 'ok' or 'violation', got '" + V->Text + "'");
   } else if (D.Text == "sweep") {
     parseSweep(Toks, LineNo);
   } else if (D.Text == "crash") {
@@ -534,12 +580,134 @@ void SpecParser::parseCrash(const std::vector<Token> &Toks, unsigned LineNo) {
   Result.S.Epochs.back().push_back(std::move(C));
 }
 
+void SpecParser::parsePerturb(const std::vector<Token> &Toks,
+                              unsigned LineNo) {
+  Spec &S = Result.S;
+  if (Toks.size() < 2) {
+    error(LineNo, Toks[0].Col,
+          "'perturb' needs a kind: tie-bias | link-salt | link | "
+          "crash-shift | crash-drop");
+    return;
+  }
+  const Token &Kind = Toks[1];
+  // One-per-file kinds reuse the scalar-directive bookkeeping under a
+  // synthetic "perturb <kind>" key (crash-shift/crash-drop repeat).
+  auto OnceKind = [&]() {
+    return once(Token{"perturb " + Kind.Text, Kind.Col}, LineNo);
+  };
+
+  if (Kind.Text == "tie-bias" || Kind.Text == "link-salt") {
+    if (!OnceKind())
+      return;
+    if (Toks.size() != 3) {
+      error(LineNo, Kind.Col,
+            "'perturb " + Kind.Text + "' takes one value: a 64-bit seed");
+      return;
+    }
+    uint64_t V;
+    if (!parseU64(Toks[2], LineNo, V, "a 64-bit seed"))
+      return;
+    if (V == 0) {
+      error(LineNo, Toks[2].Col,
+            "'perturb " + Kind.Text +
+                "' must be non-zero (omit the directive for the null "
+                "perturbation)");
+      return;
+    }
+    (Kind.Text == "tie-bias" ? S.Perturb.TieBias : S.Perturb.LinkSalt) = V;
+  } else if (Kind.Text == "link") {
+    if (!OnceKind())
+      return;
+    if (Toks.size() != 3) {
+      error(LineNo, Kind.Col,
+            "'perturb link' takes one compact link spec "
+            "(none | reliable | drop:P,dup:P,...)");
+      return;
+    }
+    net::LinkSpec L;
+    std::string Err;
+    if (!net::parseLinkCompact(Toks[2].Text, L, Err)) {
+      error(LineNo, Toks[2].Col, Err);
+      return;
+    }
+    S.Perturb.HasLink = true;
+    S.Perturb.Link = L;
+  } else if (Kind.Text == "crash-drop") {
+    if (Toks.size() != 3) {
+      error(LineNo, Kind.Col, "'perturb crash-drop' takes one crash index");
+      return;
+    }
+    uint64_t V;
+    if (!parseU64(Toks[2], LineNo, V, "a crash index"))
+      return;
+    if (V > 0xffffffffULL) {
+      error(LineNo, Toks[2].Col, "crash index out of range");
+      return;
+    }
+    uint32_t Idx = static_cast<uint32_t>(V);
+    auto It =
+        std::lower_bound(S.Perturb.Drops.begin(), S.Perturb.Drops.end(), Idx);
+    if (It != S.Perturb.Drops.end() && *It == Idx) {
+      error(LineNo, Toks[2].Col,
+            formatStr("duplicate crash-drop index %u", Idx));
+      return;
+    }
+    S.Perturb.Drops.insert(It, Idx);
+  } else if (Kind.Text == "crash-shift") {
+    if (Toks.size() != 4) {
+      error(LineNo, Kind.Col,
+            "'perturb crash-shift' takes a crash index and a signed delta");
+      return;
+    }
+    uint64_t V;
+    int64_t Delta;
+    if (!parseU64(Toks[2], LineNo, V, "a crash index") ||
+        !parseI64(Toks[3], LineNo, Delta, "a signed tick delta"))
+      return;
+    if (V > 0xffffffffULL) {
+      error(LineNo, Toks[2].Col, "crash index out of range");
+      return;
+    }
+    if (Delta == 0) {
+      error(LineNo, Toks[3].Col,
+            "crash-shift delta must be non-zero (omit the directive for "
+            "no shift)");
+      return;
+    }
+    CrashShift Sh;
+    Sh.Index = static_cast<uint32_t>(V);
+    Sh.Delta = Delta;
+    auto It = std::lower_bound(S.Perturb.Shifts.begin(),
+                               S.Perturb.Shifts.end(), Sh.Index,
+                               [](const CrashShift &A, uint32_t I) {
+                                 return A.Index < I;
+                               });
+    if (It != S.Perturb.Shifts.end() && It->Index == Sh.Index) {
+      error(LineNo, Toks[2].Col,
+            formatStr("duplicate crash-shift index %u", Sh.Index));
+      return;
+    }
+    S.Perturb.Shifts.insert(It, Sh);
+  } else {
+    error(LineNo, Kind.Col,
+          "unknown perturb kind '" + Kind.Text +
+              "' (want tie-bias | link-salt | link | crash-shift | "
+              "crash-drop)");
+  }
+}
+
 void SpecParser::finish() {
   Spec &S = Result.S;
   for (size_t E = 0; E < S.Epochs.size(); ++E)
     if (S.Epochs[E].empty())
       error(EpochStartLines[E], 1,
             formatStr("epoch %zu has no crash directives", E + 1));
+  // Crash-plan perturbations index the single materialized plan; a
+  // multi-epoch spec has one plan per epoch and no way to name them.
+  if (S.Epochs.size() > 1 &&
+      (!S.Perturb.Drops.empty() || !S.Perturb.Shifts.empty()))
+    error(EpochStartLines[1], 1,
+          "perturb crash-shift/crash-drop require a single-epoch scenario");
 }
 
 } // namespace

@@ -24,7 +24,8 @@ bool Spec::operator==(const Spec &O) const {
          Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
          Check == O.Check && Backend == O.Backend &&
          MaxEvents == O.MaxEvents && MaxFaulty == O.MaxFaulty &&
-         Sweeps == O.Sweeps && Epochs == O.Epochs;
+         Perturb == O.Perturb && Objective == O.Objective &&
+         Expect == O.Expect && Sweeps == O.Sweeps && Epochs == O.Epochs;
 }
 
 const char *scenario::rankingName(graph::RankingKind K) {
@@ -139,6 +140,26 @@ std::string scenario::writeSpec(const Spec &S) {
     Emit(formatStr("max-events %llu", (unsigned long long)S.MaxEvents));
   if (S.MaxFaulty)
     Emit(formatStr("max-faulty %llu", (unsigned long long)S.MaxFaulty));
+  // Perturbation block, one directive per mutation. Drops and shifts are
+  // stored sorted, so emission order is canonical and round-trips.
+  if (S.Perturb.TieBias)
+    Emit(formatStr("perturb tie-bias %llu",
+                   (unsigned long long)S.Perturb.TieBias));
+  if (S.Perturb.LinkSalt)
+    Emit(formatStr("perturb link-salt %llu",
+                   (unsigned long long)S.Perturb.LinkSalt));
+  if (S.Perturb.HasLink)
+    Emit("perturb link " + S.Perturb.Link.compact());
+  for (uint32_t Idx : S.Perturb.Drops)
+    Emit(formatStr("perturb crash-drop %u", Idx));
+  for (const CrashShift &Sh : S.Perturb.Shifts)
+    Emit(formatStr("perturb crash-shift %u %lld", Sh.Index,
+                   (long long)Sh.Delta));
+  if (!S.Objective.empty())
+    Emit("objective " + S.Objective);
+  if (S.Expect != Expectation::None)
+    Emit(formatStr("expect %s",
+                   S.Expect == Expectation::Violation ? "violation" : "ok"));
   for (const SweepAxis &Axis : S.Sweeps) {
     std::string Line = "sweep " + Axis.Key;
     for (const std::string &V : Axis.Values)
@@ -424,9 +445,57 @@ trace::RunnerOptions scenario::makeRunnerOptions(const Spec &S, Rng &LatRand) {
     break;
   }
   Opts.DetectionDelay = detector::fixedDetectionDelay(S.Detect);
-  Opts.Link = S.Link;
+  // The search plane's link override replaces the spec's conditions
+  // wholesale; the salt and tie bias ride alongside (both no-ops at 0).
+  Opts.Link = S.Perturb.HasLink ? S.Perturb.Link : S.Link;
+  Opts.LinkSalt = S.Perturb.LinkSalt;
+  Opts.TieBreakBias = S.Perturb.TieBias;
   Opts.MaxEvents = S.MaxEvents;
   return Opts;
+}
+
+void scenario::applyPerturbation(const Perturbation &P, uint32_t NumNodes,
+                                 workload::CrashPlan &Plan) {
+  if (!P.Drops.empty() || !P.Shifts.empty()) {
+    std::vector<workload::TimedCrash> Out;
+    Out.reserve(Plan.Crashes.size());
+    for (size_t I = 0; I < Plan.Crashes.size(); ++I) {
+      uint32_t Idx = static_cast<uint32_t>(I);
+      if (std::binary_search(P.Drops.begin(), P.Drops.end(), Idx))
+        continue;
+      workload::TimedCrash TC = Plan.Crashes[I];
+      auto It = std::lower_bound(P.Shifts.begin(), P.Shifts.end(), Idx,
+                                 [](const CrashShift &Sh, uint32_t V) {
+                                   return Sh.Index < V;
+                                 });
+      if (It != P.Shifts.end() && It->Index == Idx) {
+        if (It->Delta < 0) {
+          // -(Delta+1)+1 avoids UB on INT64_MIN; saturate at time zero.
+          uint64_t Mag = static_cast<uint64_t>(-(It->Delta + 1)) + 1;
+          TC.When = TC.When > Mag ? TC.When - Mag : 0;
+        } else {
+          uint64_t Mag = static_cast<uint64_t>(It->Delta);
+          TC.When = TC.When + Mag < TC.When ? TimeNever - 1 : TC.When + Mag;
+        }
+      }
+      Out.push_back(TC);
+    }
+    std::stable_sort(Out.begin(), Out.end(),
+                     [](const workload::TimedCrash &A,
+                        const workload::TimedCrash &B) {
+                       if (A.When != B.When)
+                         return A.When < B.When;
+                       return A.Node < B.Node;
+                     });
+    Plan.Crashes = std::move(Out);
+  }
+  // Degenerate-plan guard: whatever the mutation stream did, the result
+  // never crashes more than 3/4 of the graph. Crashes are one-per-node
+  // here (buildCrashPlan dedups, drops/shifts preserve that), so the
+  // faulty count is just the schedule length.
+  size_t Cap = (static_cast<size_t>(NumNodes) * 3) / 4;
+  if (Plan.Crashes.size() > Cap)
+    Plan = workload::capFaulty(std::move(Plan), Cap);
 }
 
 /// Parses the compact latency token ("fixed:10", "uniform:1:60",
@@ -539,6 +608,9 @@ bool scenario::materializeSingle(const Spec &V, uint64_t Seed,
   if (!buildCrashPlan(V.Epochs.front(), Out.Topo, *Out.PlanRand, V.MaxFaulty,
                       Out.Plan, Error))
     return false;
+  // The search plane's crash mutations apply to the plan buildCrashPlan
+  // just produced — indices in the Perturbation name positions in it.
+  applyPerturbation(V.Perturb, Out.Topo.G.numNodes(), Out.Plan);
   Out.Options = makeRunnerOptions(V, *Out.LatRand);
   // Engines overwrite this with the job seed; setting it here too keeps
   // runs driven straight through ScenarioRunner on the same schedule.

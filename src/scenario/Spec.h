@@ -89,6 +89,60 @@ struct SweepAxis {
   }
 };
 
+/// One timing mutation of a Perturbation (`perturb crash-shift I D`):
+/// moves the \p Index-th crash of the unperturbed materialized plan by
+/// \p Delta ticks (saturating at zero).
+struct CrashShift {
+  uint32_t Index = 0;
+  int64_t Delta = 0;
+
+  bool operator==(const CrashShift &O) const {
+    return Index == O.Index && Delta == O.Delta;
+  }
+};
+
+/// A compact, replayable execution perturbation — the search plane's unit
+/// of mutation (`perturb` directives). Every field is relative to the
+/// *unperturbed* materialization of (spec, seed): crash indices name
+/// positions in the plan buildCrashPlan produced, the tie bias and link
+/// salt re-seed streams the run would draw anyway. The default (all zero)
+/// is the null perturbation and runs byte-identical to today; any value
+/// still yields a *legal* execution (per-channel FIFO and the plan
+/// invariants survive by construction), so a verdict flip found under a
+/// perturbation is a genuine counterexample, not an artifact.
+struct Perturbation {
+  /// Seeded delivery tie-break permutation (0 = off). See
+  /// trace::RunnerOptions::TieBreakBias.
+  uint64_t TieBias = 0;
+  /// Re-deals the fault plane's per-channel schedules (0 = off). See
+  /// net::LinkModel.
+  uint64_t LinkSalt = 0;
+  /// Replaces the spec's `link` conditions wholesale (`perturb link ...`),
+  /// mutating drop/dup/reorder rates themselves.
+  bool HasLink = false;
+  net::LinkSpec Link;
+  /// Crash indices removed from the plan; sorted, unique.
+  std::vector<uint32_t> Drops;
+  /// Crash timing shifts; sorted by index, unique, non-zero deltas. A
+  /// shift of a dropped index is allowed — the drop wins.
+  std::vector<CrashShift> Shifts;
+
+  bool empty() const {
+    return TieBias == 0 && LinkSalt == 0 && !HasLink && Drops.empty() &&
+           Shifts.empty();
+  }
+
+  bool operator==(const Perturbation &O) const {
+    return TieBias == O.TieBias && LinkSalt == O.LinkSalt &&
+           HasLink == O.HasLink && Link == O.Link && Drops == O.Drops &&
+           Shifts == O.Shifts;
+  }
+};
+
+/// The `expect` directive: the verdict a committed repro asserts when
+/// replayed (`cliffedge-sim replay`). None for ordinary scenarios.
+enum class Expectation : uint8_t { None, Ok, Violation };
+
 /// A full parsed scenario. Defaults mirror the cliffedge-sim CLI defaults
 /// so a flags-built Spec and a minimal .scn behave identically.
 struct Spec {
@@ -114,6 +168,15 @@ struct Spec {
   engine::BackendKind Backend = engine::BackendKind::Des;
   uint64_t MaxEvents = 0;
   uint64_t MaxFaulty = 0; ///< >0 caps each epoch's faulty set (capFaulty).
+  /// Execution perturbation applied at materialization (search plane;
+  /// `perturb` directives). Empty for ordinary scenarios. Crash-plan
+  /// mutations are single-epoch only (the parser enforces it).
+  Perturbation Perturb;
+  /// Objective name a repro was hunted with (`objective` directive) —
+  /// provenance for committed repros; empty otherwise.
+  std::string Objective;
+  /// Replay assertion for committed repros (`expect` directive).
+  Expectation Expect = Expectation::None;
   std::vector<SweepAxis> Sweeps;
   /// Crash directives per epoch; parse guarantees >= 1 epoch, each with
   /// >= 1 directive. Multi-epoch specs run through workload::EpochRunner.
@@ -159,8 +222,19 @@ bool buildCrashPlan(const std::vector<CrashDirective> &Directives,
                     const TopologyInfo &Topo, Rng &Rand, uint64_t MaxFaulty,
                     workload::CrashPlan &Out, std::string &Error);
 
+/// Applies \p P's crash-plan mutations to \p Plan: drops, then shifts
+/// (indices into the unperturbed plan; out-of-range entries are silently
+/// inert, so arbitrary mutation streams stay valid), then a stable
+/// (time, node) re-sort. Finally the degenerate-plan guard: a perturbed
+/// plan may never crash more than 3/4 of the \p NumNodes-node graph —
+/// excess crashes are cut with workload::capFaulty. Never fails.
+void applyPerturbation(const Perturbation &P, uint32_t NumNodes,
+                       workload::CrashPlan &Plan);
+
 /// RunnerOptions for \p S. The latency closure captures \p LatRand by
 /// reference; the caller keeps it alive for the runner's lifetime.
+/// Carries the spec's perturbation: tie bias, link salt, and the link
+/// override all land in the returned options.
 trace::RunnerOptions makeRunnerOptions(const Spec &S, Rng &LatRand);
 
 /// Applies one sweep override to \p S. Supported keys: topology, detect,

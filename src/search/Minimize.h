@@ -1,0 +1,57 @@
+//===- search/Minimize.h - Delta-debugging repro minimizer ------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns a hunt finding into a committed regression. The minimizer
+/// delta-debugs over the crash plan and the perturbation record itself —
+/// greedy chunk removal of crash events (ddmin over added `crash-drop`s),
+/// shift removal and timing re-quantization, and clearing of scalar
+/// mutations — re-validating after every step that the violation still
+/// reproduces on *both* backends (the predicate a committed repro's
+/// `expect violation` asserts). The result is a smaller execution with the
+/// same verdict, emitted as a canonical single-seed `.scn` via makeRepro.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SEARCH_MINIMIZE_H
+#define CLIFFEDGE_SEARCH_MINIMIZE_H
+
+#include "search/Hunter.h"
+
+namespace cliffedge {
+namespace search {
+
+struct MinimizeResult {
+  scenario::Perturbation P;
+  /// Primary-backend summary of the minimized perturbation.
+  RunSummary Summary;
+  /// Predicate evaluations spent (each is two engine runs).
+  uint64_t Steps = 0;
+  /// False when \p Found did not reproduce on both backends to begin
+  /// with — P is then Found unchanged and must not be committed.
+  bool StillViolates = true;
+  /// Crash events executed by the minimized plan (post-drop).
+  size_t CrashEvents = 0;
+};
+
+/// Minimizes \p Found against (\p Variant, \p Seed). The predicate every
+/// step re-validates: the perturbed run fails CD1..CD7 on both engines.
+MinimizeResult minimize(const scenario::Spec &Variant, uint64_t Seed,
+                        const scenario::Perturbation &Found);
+
+/// The canonical committed-repro spec: \p Variant pinned to the single
+/// \p Seed, sweeps cleared, `check off` (the violation is the point —
+/// replay forces the checkers), the perturbation and hunt provenance
+/// (`objective`, `expect violation`) embedded.
+scenario::Spec makeRepro(const scenario::Spec &Variant, uint64_t Seed,
+                         const scenario::Perturbation &P,
+                         ObjectiveKind Objective, const std::string &Name);
+
+} // namespace search
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SEARCH_MINIMIZE_H

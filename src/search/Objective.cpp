@@ -1,0 +1,184 @@
+//===- search/Objective.cpp - Hunt objectives and run summaries ------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "search/Objective.h"
+
+#include "trace/Checker.h"
+
+#include <algorithm>
+
+using namespace cliffedge;
+using namespace cliffedge::search;
+
+const char *search::objectiveName(ObjectiveKind K) {
+  switch (K) {
+  case ObjectiveKind::CdFlip:
+    return "cd-flip";
+  case ObjectiveKind::AgreementOverlap:
+    return "agreement-overlap";
+  case ObjectiveKind::DecisionRetransmits:
+    return "decision-retransmits";
+  case ObjectiveKind::FaultyDivergence:
+    return "faulty-divergence";
+  }
+  return "?";
+}
+
+bool search::parseObjectiveName(const std::string &Tok, ObjectiveKind &Out,
+                                std::string &Error) {
+  for (ObjectiveKind K :
+       {ObjectiveKind::CdFlip, ObjectiveKind::AgreementOverlap,
+        ObjectiveKind::DecisionRetransmits, ObjectiveKind::FaultyDivergence})
+    if (Tok == objectiveName(K)) {
+      Out = K;
+      return true;
+    }
+  Error = "unknown objective '" + Tok +
+          "' (want cd-flip | agreement-overlap | decision-retransmits | "
+          "faulty-divergence)";
+  return false;
+}
+
+namespace {
+
+constexpr uint64_t FnvOffset = 0xcbf29ce484222325ULL;
+constexpr uint64_t FnvPrime = 0x100000001b3ULL;
+
+void fnv(uint64_t &H, uint64_t V) {
+  for (int B = 0; B < 8; ++B) {
+    H ^= (V >> (B * 8)) & 0xff;
+    H *= FnvPrime;
+  }
+}
+
+uint64_t regionHash(const graph::Region &R) {
+  uint64_t H = FnvOffset;
+  for (NodeId N : R)
+    fnv(H, N);
+  return H;
+}
+
+/// log2-ish magnitude bucket: collapses counts that differ only in noise.
+uint64_t logBucket(uint64_t V) {
+  uint64_t B = 0;
+  while (V) {
+    ++B;
+    V >>= 1;
+  }
+  return B;
+}
+
+bool regionsIntersect(const graph::Region &A, const graph::Region &B) {
+  auto I = A.ids().begin(), J = B.ids().begin();
+  while (I != A.ids().end() && J != B.ids().end()) {
+    if (*I == *J)
+      return true;
+    if (*I < *J)
+      ++I;
+    else
+      ++J;
+  }
+  return false;
+}
+
+} // namespace
+
+RunSummary search::summarize(const engine::EngineResult &R,
+                             const graph::Graph &G) {
+  RunSummary S;
+  S.Quiesced = R.Quiesced;
+  S.Events = R.Events;
+  S.FaultyCount = R.Faulty.size();
+  S.FaultyHash = regionHash(R.Faulty);
+  S.DomainCount = trace::faultyDomains(G, R.Faulty).size();
+  S.DecisionCount = R.Decisions.size();
+  S.Retransmits = R.Stats.Channel.Retransmits;
+
+  trace::CheckResult Check = trace::checkAll(engine::toCheckInput(R, G));
+  S.CheckOk = Check.Ok;
+  S.ViolationCount = Check.Violations.size();
+  if (!Check.Violations.empty())
+    S.FirstViolation = Check.Violations.front();
+
+  // Distinct decided views and their pairwise overlap structure — the
+  // "concurrent agreements on overlapping regions" feature. Decision
+  // counts are small (one per border node), so the quadratic pair scan
+  // is nothing next to the run that produced them.
+  std::vector<const graph::Region *> Views;
+  std::vector<uint64_t> ViewHashes;
+  S.ViewPathHash = FnvOffset;
+  for (const trace::DecisionRecord &D : R.Decisions) {
+    fnv(S.ViewPathHash, D.Node);
+    uint64_t VH = regionHash(D.View);
+    fnv(S.ViewPathHash, VH);
+    fnv(S.ViewPathHash, D.When);
+    if (std::find(ViewHashes.begin(), ViewHashes.end(), VH) ==
+        ViewHashes.end()) {
+      ViewHashes.push_back(VH);
+      Views.push_back(&D.View);
+    }
+  }
+  S.DistinctViews = Views.size();
+  for (size_t I = 0; I < Views.size(); ++I)
+    for (size_t J = I + 1; J < Views.size(); ++J)
+      if (regionsIntersect(*Views[I], *Views[J]))
+        ++S.OverlapPairs;
+
+  // Sends within the 50-tick window before some decision: the messages
+  // that could still have changed the agreement.
+  std::vector<SimTime> DecTimes;
+  DecTimes.reserve(R.Decisions.size());
+  for (const trace::DecisionRecord &D : R.Decisions)
+    DecTimes.push_back(D.When);
+  std::sort(DecTimes.begin(), DecTimes.end());
+  for (const sim::SendRecord &Send : R.SendLog) {
+    auto It = std::lower_bound(DecTimes.begin(), DecTimes.end(), Send.When);
+    if (It != DecTimes.end() && *It <= Send.When + 50)
+      ++S.EdgeSends;
+  }
+
+  // Coverage signature: sorted view hashes keep it order-independent, the
+  // log bucket keeps retransmit noise from splitting one behaviour into
+  // dozens of signatures.
+  std::sort(ViewHashes.begin(), ViewHashes.end());
+  uint64_t Sig = FnvOffset;
+  fnv(Sig, S.CheckOk ? 1 : 0);
+  fnv(Sig, S.Quiesced ? 1 : 0);
+  fnv(Sig, S.DomainCount);
+  fnv(Sig, S.OverlapPairs);
+  for (uint64_t VH : ViewHashes)
+    fnv(Sig, VH);
+  fnv(Sig, logBucket(S.Retransmits));
+  S.Signature = Sig;
+  return S;
+}
+
+uint64_t search::scoreRun(ObjectiveKind K, const RunSummary &Baseline,
+                          const RunSummary &Run) {
+  auto Diff = [](uint64_t A, uint64_t B) { return A > B ? A - B : B - A; };
+  switch (K) {
+  case ObjectiveKind::CdFlip:
+    return (Run.CheckOk != Baseline.CheckOk ? 1000000u : 0u) +
+           static_cast<uint64_t>(Run.ViolationCount) * 1000 +
+           Run.OverlapPairs;
+  case ObjectiveKind::AgreementOverlap:
+    return static_cast<uint64_t>(Run.OverlapPairs) * 10000 +
+           static_cast<uint64_t>(Run.DistinctViews) * 100 +
+           Run.DecisionCount;
+  case ObjectiveKind::DecisionRetransmits:
+    return Run.EdgeSends * 100 + Run.Retransmits;
+  case ObjectiveKind::FaultyDivergence:
+    return (Run.FaultyHash != Baseline.FaultyHash ? 10000u : 0u) +
+           Diff(Run.FaultyCount, Baseline.FaultyCount) * 100 +
+           Diff(Run.DomainCount, Baseline.DomainCount);
+  }
+  return 0;
+}
+
+bool search::isViolation(const RunSummary &Baseline, const RunSummary &Run) {
+  return Baseline.CheckOk && Run.Quiesced && !Run.CheckOk;
+}

@@ -1,0 +1,94 @@
+//===- search/Objective.h - Hunt objectives and run summaries ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scoring side of the search plane. A RunSummary condenses one
+/// finished execution into the features the hunter steers by: the CD1..CD7
+/// verdict (always computed here, even for `check off` specs — the hunter
+/// exists to find verdict flips), agreement-overlap structure, retransmit
+/// pressure at decision edges, and a coverage signature that classifies
+/// executions into behavioural buckets so the frontier stays novel instead
+/// of collecting near-duplicates.
+///
+/// Objectives are pure functions (baseline, run) -> score; the hunter
+/// maximizes. A *violation* is stricter than a high score: the unperturbed
+/// baseline passed CD1..CD7 and the perturbed run fails them — since every
+/// perturbation yields a legal execution, that is a genuine counterexample.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_SEARCH_OBJECTIVE_H
+#define CLIFFEDGE_SEARCH_OBJECTIVE_H
+
+#include "engine/Engine.h"
+
+#include <cstdint>
+#include <string>
+
+namespace cliffedge {
+namespace search {
+
+/// The pluggable hunt objectives (`cliffedge-sim hunt --objective`).
+enum class ObjectiveKind : uint8_t {
+  CdFlip,              ///< Flip the CD1..CD7 verdict vs the baseline.
+  AgreementOverlap,    ///< Maximize concurrent agreements on overlapping
+                       ///< regions (CD5/CD6 stress).
+  DecisionRetransmits, ///< Maximize retransmit pressure at decision edges.
+  FaultyDivergence,    ///< Drive the faulty set away from the baseline's.
+};
+
+/// Canonical lowercase name ("cd-flip", "agreement-overlap",
+/// "decision-retransmits", "faulty-divergence").
+const char *objectiveName(ObjectiveKind K);
+
+/// Parses an objective name; returns false and sets \p Error on junk.
+bool parseObjectiveName(const std::string &Tok, ObjectiveKind &Out,
+                        std::string &Error);
+
+/// One execution, condensed to the features objectives score by.
+struct RunSummary {
+  bool Quiesced = true;
+  /// CD1..CD7 verdict — computed unconditionally, spec `check` ignored.
+  bool CheckOk = true;
+  size_t ViolationCount = 0;
+  std::string FirstViolation; ///< First checker message (empty when Ok).
+  size_t FaultyCount = 0;
+  size_t DomainCount = 0; ///< Connected components of the faulty set.
+  size_t DecisionCount = 0;
+  size_t DistinctViews = 0; ///< Distinct decided views.
+  size_t OverlapPairs = 0;  ///< Intersecting pairs of distinct views.
+  uint64_t Retransmits = 0; ///< ARQ re-sends (0 without a fault plane).
+  /// Sends landing within the 50-tick window before some decision — the
+  /// traffic that can still change minds at the agreement edge.
+  uint64_t EdgeSends = 0;
+  uint64_t Events = 0;
+  uint64_t FaultyHash = 0;   ///< Order-independent hash of the faulty set.
+  uint64_t ViewPathHash = 0; ///< Hash of the decision sequence (the
+                             ///< view-transition path).
+  /// Coverage signature: a moderate-granularity behavioural bucket
+  /// (verdict, decided-view set, overlap/domain structure, retransmit
+  /// magnitude). Two runs with equal signatures explore the same
+  /// behaviour; the frontier keeps one per signature.
+  uint64_t Signature = 0;
+};
+
+/// Condenses a finished run. Runs trace::checkAll unconditionally.
+RunSummary summarize(const engine::EngineResult &R, const graph::Graph &G);
+
+/// Objective score of \p Run against \p Baseline; higher is better.
+uint64_t scoreRun(ObjectiveKind K, const RunSummary &Baseline,
+                  const RunSummary &Run);
+
+/// A genuine counterexample: the baseline passed CD1..CD7, the perturbed
+/// run fails them. (Baselines that already fail — the ablations — make
+/// every execution uninformative as a *new* violation.)
+bool isViolation(const RunSummary &Baseline, const RunSummary &Run);
+
+} // namespace search
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_SEARCH_OBJECTIVE_H

@@ -48,8 +48,10 @@ struct Network::FaultPlane {
   U64FlatMap<SimTime> LastDelivery;
   std::vector<support::FrameRef> Released; ///< accept() scratch.
 
-  FaultPlane(Network &Net, const net::LinkSpec &Spec, uint64_t Seed)
-      : Net(Net), Link(Spec, Seed), Rto(Spec.Rto), Arq(Spec.lossy()) {}
+  FaultPlane(Network &Net, const net::LinkSpec &Spec, uint64_t Seed,
+             uint64_t Salt)
+      : Net(Net), Link(Spec, Seed, Salt), Rto(Spec.Rto),
+        Arq(Spec.lossy()) {}
 
   const net::LinkSpec &spec() const { return Link.spec(); }
 
@@ -264,12 +266,13 @@ Network::Network(Simulator &InSim, uint32_t NumNodes, LatencyModel InLatency)
 
 Network::~Network() = default;
 
-void Network::enableFaultPlane(const net::LinkSpec &Spec, uint64_t Seed) {
+void Network::enableFaultPlane(const net::LinkSpec &Spec, uint64_t Seed,
+                               uint64_t Salt) {
   assert(Stats.MessagesSent == 0 &&
          "fault plane must be enabled before the first send");
   if (!Spec.active())
     return; // Zero-loss: today's raw path, untouched.
-  Plane.reset(new FaultPlane(*this, Spec, Seed));
+  Plane.reset(new FaultPlane(*this, Spec, Seed, Salt));
 }
 
 void Network::send(NodeId From, NodeId To, Frame Bytes) {

@@ -94,8 +94,10 @@ public:
   /// conditions beneath delivery, with the reliability sublayer above
   /// them whenever the spec injects faults. Per-channel fault streams
   /// derive from (\p Spec, \p Seed, from, to). Must be called before the
-  /// first send; a no-op for inactive (zero-loss) specs.
-  void enableFaultPlane(const net::LinkSpec &Spec, uint64_t Seed);
+  /// first send; a no-op for inactive (zero-loss) specs. A non-zero
+  /// \p Salt re-deals the fault schedules (see net::LinkModel).
+  void enableFaultPlane(const net::LinkSpec &Spec, uint64_t Seed,
+                        uint64_t Salt = 0);
 
   /// True when enableFaultPlane installed an active plane.
   bool hasFaultPlane() const { return Plane != nullptr; }

@@ -7,6 +7,8 @@
 
 #include "sim/Simulator.h"
 
+#include "support/Random.h"
+
 #include <algorithm>
 #include <cassert>
 #include <utility>
@@ -58,6 +60,28 @@ void Simulator::atDeliver(SimTime When, NodeId From, NodeId To,
   schedule(std::move(E));
 }
 
+uint64_t Simulator::biasKey(const Entry &E) const {
+  // Deliveries key on their directed channel alone, so every delivery of
+  // one channel inside one bucket shares a key and the stable sort leaves
+  // their mutual (= send) order intact: per-channel FIFO is preserved and
+  // only the interleaving *between* channels (and against closure events,
+  // keyed uniquely by Seq) is permuted.
+  uint64_t Mix = E.Frame
+                     ? (static_cast<uint64_t>(E.From) << 32) | E.To
+                     : 0x636c6f73757265ULL ^ (E.Seq * 0x9e3779b97f4a7c15ULL);
+  return SplitMix64(TieBias ^ Mix ^ (E.When * 0x94d049bb133111ebULL)).next();
+}
+
+void Simulator::biasSort(Bucket &B) {
+  // Sorting is stable, so across repeated sorts (handlers may append to
+  // the bucket being drained) equal-key entries keep ascending Seq order.
+  std::stable_sort(B.Events.begin() + B.Next, B.Events.end(),
+                   [this](const Entry &A, const Entry &C) {
+                     return biasKey(A) < biasKey(C);
+                   });
+  B.Sorted = B.Events.size();
+}
+
 SimTime Simulator::nextPendingTime() const {
   for (const std::pair<SimTime, uint32_t> &T : Times) {
     const Bucket &B = Buckets[T.second];
@@ -87,6 +111,7 @@ bool Simulator::step() {
       break;
     B.Events.clear();
     B.Next = 0;
+    B.Sorted = 0;
     FreeBuckets.push_back(Times.front().second);
     Times.erase(Times.begin());
   }
@@ -94,6 +119,8 @@ bool Simulator::step() {
     return false;
 
   Bucket &B = Buckets[Times.front().second];
+  if (TieBias && B.Sorted < B.Events.size())
+    biasSort(B);
   // Move the entry out before running it: the handler may append to this
   // very bucket (or grow the bucket table), invalidating references.
   Entry Next = std::move(B.Events[B.Next++]);

@@ -67,6 +67,16 @@ public:
   void atDeliver(SimTime When, NodeId From, NodeId To,
                  support::FrameRef Frame);
 
+  /// Seeds the adversarial delivery tie-break (0 = off). With a non-zero
+  /// bias, events sharing a timestamp are drained in a seeded permutation
+  /// instead of schedule order — except that deliveries on one directed
+  /// channel always keep their mutual order, so the network's FIFO
+  /// contract survives and every biased run is still a *legal* execution.
+  /// The permutation is a pure function of (bias, channel, time), so a
+  /// biased run replays bit-for-bit. Must be set before the first event;
+  /// the zero-bias path is byte-identical to the unbiased simulator.
+  void setTieBias(uint64_t Bias) { TieBias = Bias; }
+
   /// Processes the next event. Returns false when the queue is empty.
   bool step();
 
@@ -114,14 +124,22 @@ private:
   /// One timestamp's events in schedule (= Seq) order; Next is the drain
   /// cursor. Handlers may append to the bucket being drained (an event
   /// scheduled at the current time lands behind the cursor, exactly where
-  /// its sequence number puts it).
+  /// its sequence number puts it). Under a tie bias, Sorted marks how far
+  /// the biased order has been established; appends past it trigger a
+  /// stable re-sort of the undrained tail at the next pop.
   struct Bucket {
     std::vector<Entry> Events;
     size_t Next = 0;
+    size_t Sorted = 0;
   };
 
   void dispatch(Entry &Next);
   void schedule(Entry E);
+  /// Biased drain key of one entry: equal for same-channel deliveries (so
+  /// a stable sort preserves their FIFO order), unique per closure event.
+  uint64_t biasKey(const Entry &E) const;
+  /// Establishes the biased order over \p B's undrained tail.
+  void biasSort(Bucket &B);
   /// Earliest timestamp with an undrained event (TimeNever when none).
   SimTime nextPendingTime() const;
 
@@ -135,6 +153,7 @@ private:
   SimTime Now = 0;
   uint64_t NextSeq = 0;
   uint64_t Processed = 0;
+  uint64_t TieBias = 0;
 };
 
 } // namespace sim

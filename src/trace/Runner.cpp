@@ -55,7 +55,8 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
                  Opts.Link.compact().c_str(), Opts.WireVersion);
     std::abort();
   }
-  Net.enableFaultPlane(Opts.Link, Opts.LinkSeed);
+  Net.enableFaultPlane(Opts.Link, Opts.LinkSeed, Opts.LinkSalt);
+  Sim.setTieBias(Opts.TieBreakBias);
   // Steady state keeps roughly a border's worth of frames per node in
   // flight; pre-sizing the event heap avoids reallocation churn early on.
   Sim.reserve(G.numNodes() * 4);

@@ -79,6 +79,19 @@ struct RunnerOptions {
   /// when driving ScenarioRunner directly.
   uint64_t LinkSeed = 0;
 
+  /// Perturbs the per-channel fault schedules without changing the spec's
+  /// rates: a non-zero salt re-derives the fault plane's effective seed
+  /// (search plane's `perturb link-salt`). Zero leaves the schedules
+  /// byte-identical to the unsalted run.
+  uint64_t LinkSalt = 0;
+
+  /// Seeds the adversarial delivery tie-break (search plane's `perturb
+  /// tie-bias`): same-timestamp deliveries drain in a seeded permutation
+  /// that still respects per-channel FIFO order, so every biased run is a
+  /// legal execution. Zero (the default) is byte-identical to today's
+  /// schedule-order tie-break on both backends.
+  uint64_t TieBreakBias = 0;
+
   /// Failure-detection delay; default: 5 ticks.
   detector::DetectionDelayModel DetectionDelay;
 

@@ -49,6 +49,15 @@ std::vector<std::pair<std::string, std::string>> loadScenarioTexts() {
        std::filesystem::directory_iterator(CLIFFEDGE_SCENARIO_DIR))
     if (Entry.path().extension() == ".scn")
       Files.push_back(Entry.path());
+  // Committed hunt repros live one level down (kept out of the agreement
+  // suites on purpose) but their perturb/objective/expect directives are
+  // exactly the newest parser surface — fuzz them too.
+  std::filesystem::path Repros =
+      std::filesystem::path(CLIFFEDGE_SCENARIO_DIR) / "repros";
+  if (std::filesystem::is_directory(Repros))
+    for (const auto &Entry : std::filesystem::directory_iterator(Repros))
+      if (Entry.path().extension() == ".scn")
+        Files.push_back(Entry.path());
   std::sort(Files.begin(), Files.end());
   std::vector<std::pair<std::string, std::string>> Out;
   for (const auto &Path : Files) {
@@ -98,7 +107,13 @@ std::string mutate(const std::string &Text, const std::string &Other,
       // joins for the `sweep link` axis.
       "drop:1.5", "drop:", "drop:0.99999", "dup:-0.1", "reorder:",
       "rto:0", "lat:0", "none,drop:0.1", "reliable,none", "drop",
-      "drop:0.2,drop:0.3", "link", "drop:0.2,dup:0.01,reorder:15"};
+      "drop:0.2,drop:0.3", "link", "drop:0.2,dup:0.01,reorder:15",
+      // Search-plane directive probes: perturb sub-keys with missing,
+      // zero, duplicate and signed-overflow values, objective charset
+      // violations, and expect verdicts.
+      "perturb", "tie-bias", "link-salt", "crash-shift", "crash-drop",
+      "-9223372036854775808", "-10", "+120", "objective", "cd-flip",
+      "expect", "violation", "ok", "Objective!", "0"};
 
   std::string Out = Text;
   switch (Rand.nextBelow(9)) {

@@ -25,6 +25,8 @@
 #include "scenario/Campaign.h"
 #include "scenario/Parse.h"
 #include "scenario/Spec.h"
+#include "search/Hunter.h"
+#include "search/Minimize.h"
 #include "support/StrUtil.h"
 #include "trace/Checker.h"
 #include "trace/Runner.h"
@@ -45,6 +47,18 @@ namespace {
 void usage(const char *Prog) {
   std::printf(
       "usage: %s [options]\n"
+      "       %s hunt --scenario FILE [--objective NAME] [--budget N]\n"
+      "                [--jobs J] [--seed S] [--hunt-seed H] [--backend B]\n"
+      "                [--link SPEC] [--out FILE] [--stop-at-violation]\n"
+      "                adversarial execution search: mutate crash timings,\n"
+      "                link schedules and delivery tie-breaks hunting for\n"
+      "                CD1..CD7 violations (objectives: cd-flip |\n"
+      "                agreement-overlap | decision-retransmits |\n"
+      "                faulty-divergence). Exits 0 when the budget ends\n"
+      "                clean, 3 on a confirmed minimized violation\n"
+      "       %s replay --scenario FILE\n"
+      "                re-run a committed repro on BOTH backends with\n"
+      "                checking forced on and assert its `expect` verdict\n"
       "scenario files:\n"
       "  --scenario FILE      load a declarative .scn scenario\n"
       "                       (format reference: docs/scenario-format.md)\n"
@@ -86,7 +100,7 @@ void usage(const char *Prog) {
       "  --output KIND        summary | events | timeline | dot | all;\n"
       "                       for --campaign: json (default) | csv\n"
       "  --check              verify CD1..CD7 (exit 1 on violation)\n",
-      Prog);
+      Prog, Prog, Prog);
 }
 
 /// Translates a --crash flag (patch:X,Y,SIDE@T[:GAP] | region:... |
@@ -137,9 +151,233 @@ int runCampaign(const scenario::Spec &S, unsigned Jobs,
   return Summary.Failed == 0 && Summary.Errors == 0 ? 0 : 1;
 }
 
+/// Loads and parses a .scn file; exits 2 on failure (shared by the hunt
+/// and replay subcommands; the main path predates it and reports inline).
+scenario::Spec loadSpecOrDie(const std::string &File) {
+  std::ifstream In(File);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read '%s'\n", File.c_str());
+    std::exit(2);
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+  if (!Parsed.Ok) {
+    std::fprintf(stderr, "%s\n", Parsed.diagText(File).c_str());
+    std::exit(2);
+  }
+  return std::move(Parsed.S);
+}
+
+/// Collapses sweeps to the first variant — the single-run discipline.
+scenario::Spec firstVariant(const scenario::Spec &S) {
+  scenario::Spec V = S;
+  V.Sweeps.clear();
+  for (const scenario::SweepAxis &Axis : S.Sweeps) {
+    std::string Err;
+    scenario::applyOverride(V, Axis.Key, Axis.Values.front(), Err);
+  }
+  return V;
+}
+
+void printPerturbation(const scenario::Perturbation &P) {
+  if (P.TieBias)
+    std::printf("  perturb tie-bias %llu\n", (unsigned long long)P.TieBias);
+  if (P.LinkSalt)
+    std::printf("  perturb link-salt %llu\n",
+                (unsigned long long)P.LinkSalt);
+  if (P.HasLink)
+    std::printf("  perturb link %s\n", P.Link.compact().c_str());
+  for (uint32_t Idx : P.Drops)
+    std::printf("  perturb crash-drop %u\n", Idx);
+  for (const scenario::CrashShift &Sh : P.Shifts)
+    std::printf("  perturb crash-shift %u %lld\n", Sh.Index,
+                (long long)Sh.Delta);
+  if (P.empty())
+    std::printf("  (null perturbation)\n");
+}
+
+int runHunt(int argc, char **argv) {
+  std::string ScenarioFile, BackendFlag, LinkFlag, OutFile;
+  std::string ObjectiveName = "cd-flip";
+  search::HuntOptions Opts;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--scenario")
+      ScenarioFile = Next("--scenario");
+    else if (Arg == "--objective")
+      ObjectiveName = Next("--objective");
+    else if (Arg == "--budget")
+      Opts.Budget = std::strtoull(Next("--budget"), nullptr, 10);
+    else if (Arg == "--jobs")
+      Opts.Jobs =
+          static_cast<unsigned>(std::strtoul(Next("--jobs"), nullptr, 10));
+    else if (Arg == "--seed")
+      Opts.Seed = std::strtoull(Next("--seed"), nullptr, 10);
+    else if (Arg == "--hunt-seed")
+      Opts.HuntSeed = std::strtoull(Next("--hunt-seed"), nullptr, 10);
+    else if (Arg == "--backend")
+      BackendFlag = Next("--backend");
+    else if (Arg == "--link")
+      LinkFlag = Next("--link");
+    else if (Arg == "--out")
+      OutFile = Next("--out");
+    else if (Arg == "--stop-at-violation")
+      Opts.StopAtViolation = true;
+    else {
+      std::fprintf(stderr, "error: unknown hunt option '%s'\n", Arg.c_str());
+      return 2;
+    }
+  }
+  if (ScenarioFile.empty()) {
+    std::fprintf(stderr, "error: hunt needs --scenario FILE\n");
+    return 2;
+  }
+  std::string Err;
+  if (!search::parseObjectiveName(ObjectiveName, Opts.Objective, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  scenario::Spec S = loadSpecOrDie(ScenarioFile);
+  if (S.Epochs.size() > 1) {
+    std::fprintf(stderr, "error: hunt needs a single-epoch scenario\n");
+    return 2;
+  }
+  // --backend / --link win over matching sweep axes, as in the main path.
+  for (const char *Key : {"backend", "link"}) {
+    const std::string &Flag =
+        std::string(Key) == "backend" ? BackendFlag : LinkFlag;
+    if (Flag.empty())
+      continue;
+    if (!scenario::applyOverride(S, Key, Flag, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    for (size_t I = 0; I < S.Sweeps.size(); ++I)
+      if (S.Sweeps[I].Key == Key) {
+        S.Sweeps.erase(S.Sweeps.begin() + I);
+        break;
+      }
+  }
+  scenario::Spec Variant = firstVariant(S);
+
+  search::HuntResult Res = search::hunt(Variant, Opts);
+  if (!Res.Ok) {
+    std::fprintf(stderr, "error: %s\n", Res.Error.c_str());
+    return 2;
+  }
+  std::printf("hunt: %s seed=%llu backend=%s objective=%s budget=%llu\n",
+              Variant.Name.empty() ? "<unnamed>" : Variant.Name.c_str(),
+              (unsigned long long)Res.Seed,
+              engine::backendName(Variant.Backend),
+              search::objectiveName(Opts.Objective),
+              (unsigned long long)Opts.Budget);
+  std::printf("baseline: CD1..CD7 %s (%zu faulty, %zu decisions)\n",
+              Res.Baseline.CheckOk ? "hold" : "violated",
+              Res.Baseline.FaultyCount, Res.Baseline.DecisionCount);
+  if (!Res.Baseline.CheckOk)
+    std::printf("baseline: %s\n", Res.Baseline.FirstViolation.c_str());
+  std::printf("evaluated=%llu frontier=%zu frontier-hash=%016llx "
+              "violations=%zu\n",
+              (unsigned long long)Res.Evaluated, Res.Frontier.size(),
+              (unsigned long long)Res.FrontierHash, Res.Violations.size());
+  if (Res.Violations.empty())
+    return 0;
+
+  const search::Finding &Worst = Res.Violations.front();
+  std::printf("violation (nonce %llu): %s\n",
+              (unsigned long long)Worst.Nonce,
+              Worst.Summary.FirstViolation.c_str());
+  printPerturbation(Worst.P);
+  search::MinimizeResult Min =
+      search::minimize(Variant, Res.Seed, Worst.P);
+  if (!Min.StillViolates) {
+    // Should be impossible: the hunter only confirms reproducible flips.
+    std::fprintf(stderr,
+                 "error: violation did not survive re-validation\n");
+    return 2;
+  }
+  std::printf("minimized (%llu steps): %zu crash events, verdict %s\n",
+              (unsigned long long)Min.Steps, Min.CrashEvents,
+              Min.Summary.FirstViolation.c_str());
+  printPerturbation(Min.P);
+  if (!OutFile.empty()) {
+    std::string Name = Variant.Name.empty() ? "repro" : Variant.Name;
+    scenario::Spec Repro = search::makeRepro(Variant, Res.Seed, Min.P,
+                                             Opts.Objective, Name + "-min");
+    std::ofstream Out(OutFile);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", OutFile.c_str());
+      return 2;
+    }
+    Out << scenario::writeSpec(Repro);
+    std::printf("repro written to %s\n", OutFile.c_str());
+  }
+  return 3;
+}
+
+int runReplay(int argc, char **argv) {
+  std::string ScenarioFile;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--scenario" && I + 1 < argc)
+      ScenarioFile = argv[++I];
+    else {
+      std::fprintf(stderr, "error: unknown replay option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+  if (ScenarioFile.empty()) {
+    std::fprintf(stderr, "error: replay needs --scenario FILE\n");
+    return 2;
+  }
+  scenario::Spec Variant = firstVariant(loadSpecOrDie(ScenarioFile));
+  uint64_t Seed = Variant.SeedLo;
+  bool AllFail = true, AllOk = true;
+  for (engine::BackendKind B :
+       {engine::BackendKind::Des, engine::BackendKind::Sharded}) {
+    search::RunSummary Sum;
+    std::string Err;
+    if (!search::evaluatePerturbed(Variant, Variant.Perturb, B, Seed, Sum,
+                                   Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::printf("replay %s seed=%llu: CD1..CD7 %s%s%s\n",
+                engine::backendName(B), (unsigned long long)Seed,
+                Sum.CheckOk ? "hold" : "violated",
+                Sum.CheckOk ? "" : " — ",
+                Sum.CheckOk ? "" : Sum.FirstViolation.c_str());
+    AllFail &= !Sum.CheckOk;
+    AllOk &= Sum.CheckOk;
+  }
+  if (Variant.Expect == scenario::Expectation::None) {
+    std::printf("no `expect` directive; nothing to assert\n");
+    return 0;
+  }
+  bool Want = Variant.Expect == scenario::Expectation::Violation;
+  bool Match = Want ? AllFail : AllOk;
+  std::printf("expect %s: %s\n", Want ? "violation" : "ok",
+              Match ? "verdict matches on both backends"
+                    : "VERDICT MISMATCH");
+  return Match ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
+  if (argc > 1 && std::strcmp(argv[1], "hunt") == 0)
+    return runHunt(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "replay") == 0)
+    return runReplay(argc, argv);
   scenario::Spec Flags; // Spec built up from command-line flags.
   Flags.Check = false;  // Plain flag runs only check with --check.
   std::string ScenarioFile;
