@@ -32,6 +32,7 @@
 #include "sim/Simulator.h"
 #include "support/Random.h"
 #include "trace/Runner.h"
+#include "trace/StreamingChecker.h"
 
 #include "benchmark/benchmark.h"
 
@@ -590,6 +591,74 @@ void BM_WireDecodeV3(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_WireDecodeV3)->Arg(4)->Arg(32)->Arg(256);
+
+// -- Streaming checker under service churn -----------------------------------
+//
+// The online checker's memory contract: state retention is O(open
+// agreement waves), never O(trace). The bench feeds 32 epochs of a
+// synthetic service run — 64 disjoint 4x4 outages on a 64x64 grid per
+// epoch, ~115k events total — through one StreamingChecker and exports
+// its high-water counters; bench_compare gates them with absolute
+// ceilings (streaming_state_highwater, streaming_open_waves_hw). If a
+// retirement rule breaks and the checker starts hoarding — pending sends
+// never drained, decisions carried across seals — the high-water scales
+// with the feed and blows the ceiling; the wall time is secondary.
+
+void BM_StreamingCheckerChurn(benchmark::State &State) {
+  // Patches spaced two cells apart are each their own faulty domain AND
+  // their own cluster (borders never touch), which makes a provably
+  // CD-clean trace easy to synthesize: every border node of a patch
+  // decides (patch, lowest border id) after the patch crashes, with some
+  // in-scope border gossip before it. The seal asserts cleanliness — a
+  // vacuous pass would gate nothing.
+  const uint32_t Side = 64;
+  graph::Graph G = graph::makeGrid(Side, Side);
+  struct Cluster {
+    graph::Region Patch, Border;
+  };
+  std::vector<Cluster> Clusters;
+  for (uint32_t Y = 1; Y + 4 < Side; Y += 8)
+    for (uint32_t X = 1; X + 4 < Side; X += 8) {
+      Cluster C;
+      C.Patch = graph::gridPatch(Side, X, Y, 4);
+      C.Border = G.border(C.Patch);
+      Clusters.push_back(std::move(C));
+    }
+  const size_t Epochs = 32;
+  uint64_t Fed = 0;
+  trace::StreamingChecker::Metrics Last;
+  for (auto _ : State) {
+    trace::StreamingChecker SC(G);
+    for (size_t E = 0; E < Epochs; ++E) {
+      for (const Cluster &C : Clusters)
+        for (NodeId N : C.Patch)
+          SC.onCrash(N, 100);
+      for (const Cluster &C : Clusters) {
+        NodeId Hub = *C.Border.begin();
+        for (NodeId N : C.Border)
+          SC.onSend(150, N, Hub, 32); // In scope: dropped eagerly.
+      }
+      for (const Cluster &C : Clusters) {
+        core::Value V = *C.Border.begin();
+        for (NodeId N : C.Border)
+          SC.onDecision(N, C.Patch, V, 200);
+      }
+      trace::CheckResult R = SC.sealEpoch();
+      if (!R.Ok) {
+        State.SkipWithError("synthetic churn trace is not CD-clean");
+        return;
+      }
+    }
+    Last = SC.metrics();
+    Fed += Last.CrashesSeen + Last.MessagesSeen + Last.DecisionsSeen;
+  }
+  State.counters["state_highwater"] =
+      static_cast<double>(Last.StateHighWater);
+  State.counters["open_waves_hw"] =
+      static_cast<double>(Last.OpenWavesHighWater);
+  State.SetItemsProcessed(static_cast<int64_t>(Fed));
+}
+BENCHMARK(BM_StreamingCheckerChurn)->Unit(benchmark::kMillisecond);
 
 } // namespace
 

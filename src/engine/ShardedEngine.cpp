@@ -65,6 +65,7 @@
 #include "support/FramePool.h"
 #include "support/Sorted.h"
 #include "support/Random.h"
+#include "trace/StreamingChecker.h"
 
 #include <algorithm>
 #include <cassert>
@@ -522,6 +523,8 @@ void RunState::merge(SimTime T, bool IsStart) {
         if (Opts.RecordSends)
           Result.SendLog.push_back(
               sim::SendRecord{T, M.From, M.To, E.Bytes});
+        if (Opts.StreamingCheck)
+          Opts.StreamingCheck->onSend(T, M.From, M.To, E.Bytes);
         if (Dead[M.To] || SH.Dead)
           continue; // Channels to a crashed peer are abandoned.
         SH.track(E.ChanSeq, T, SendPayload{Decoded, E.Bytes});
@@ -548,6 +551,8 @@ void RunState::merge(SimTime T, bool IsStart) {
       Result.Stats.BytesSent += E.Bytes;
       if (Opts.RecordSends)
         Result.SendLog.push_back(sim::SendRecord{T, M.From, M.To, E.Bytes});
+      if (Opts.StreamingCheck)
+        Opts.StreamingCheck->onSend(T, M.From, M.To, E.Bytes);
       E.When = T + (PlaneOn ? Link->baseLatency(Opts.Latency(M.From, M.To))
                             : Opts.Latency(M.From, M.To));
       if (!Opts.MonotoneLatency || PlaneOn) {
@@ -569,8 +574,11 @@ void RunState::merge(SimTime T, bool IsStart) {
 
   for (uint32_t S = 0; S < NumShards; ++S) {
     Shard &Sh = Shards[S];
-    for (trace::DecisionRecord &D : Sh.OutDecisions)
+    for (trace::DecisionRecord &D : Sh.OutDecisions) {
+      if (Opts.StreamingCheck)
+        Opts.StreamingCheck->onDecision(D);
       Result.Decisions.push_back(std::move(D));
+    }
     Sh.OutCrashed.clear();
     Sh.OutSubs.clear();
     Sh.OutMsgs.clear();
@@ -632,6 +640,8 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
            "node scheduled to crash twice");
     Run.CrashTimes[C.Node] = C.When;
     Run.Result.Faulty.insert(C.Node);
+    if (Options.StreamingCheck)
+      Options.StreamingCheck->onCrash(C.Node, C.When);
     Event E;
     E.K = Event::CrashExec;
     E.From = C.Node;

@@ -30,6 +30,7 @@
 #include "core/Wire.h"
 #include "support/FramePool.h"
 #include "support/Sorted.h"
+#include "trace/StreamingChecker.h"
 
 #include <algorithm>
 #include <cassert>
@@ -177,6 +178,8 @@ ThreadedCluster::ThreadedCluster(const graph::Graph &InG, core::Config InCfg,
     CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
       std::lock_guard<std::mutex> Lock(DecisionsMu);
       Decisions.push_back(ThreadedDecision{N, View, Chosen});
+      if (StreamCheck)
+        StreamCheck->onDecision(N, View, Chosen, ++StreamClock);
     };
     CBs.SelectValue = [N](const graph::Region &) {
       return static_cast<core::Value>(N);
@@ -502,6 +505,13 @@ void ThreadedCluster::crash(NodeId Node) {
     std::lock_guard<std::mutex> Lock(RegistryMu);
     assert(!CrashedFlag[Node] && "node crashed twice");
     CrashedFlag[Node] = true;
+  }
+  // Feed the crash before any watcher can observe it (and hence before any
+  // decision naming this node), so the checker's logical clock orders the
+  // crash strictly before dependent decisions.
+  if (StreamCheck) {
+    std::lock_guard<std::mutex> Lock(DecisionsMu);
+    StreamCheck->onCrash(Node, ++StreamClock);
   }
 
   NodeSlot &Slot = *Slots[Node];

@@ -54,6 +54,9 @@
 #include <vector>
 
 namespace cliffedge {
+namespace trace {
+class StreamingChecker;
+}
 namespace runtime {
 
 /// A decision observed by the threaded cluster, in arrival order.
@@ -78,6 +81,15 @@ public:
 
   ThreadedCluster(const ThreadedCluster &) = delete;
   ThreadedCluster &operator=(const ThreadedCluster &) = delete;
+
+  /// Attaches an online CD checker (not owned; must outlive the cluster).
+  /// Crashes and decisions are fed serialized under the decisions mutex,
+  /// stamped with a cluster-wide monotone logical clock — wall-clock times
+  /// are scheduler noise, and the checker only needs a happens-before
+  /// order (each crash is fed before any decision that could observe it).
+  /// No sends are fed, so CD3 is vacuous, like batch checking with a null
+  /// send log. Call before start(); seal epochs after awaitQuiescence().
+  void setStreamingChecker(trace::StreamingChecker *SC) { StreamCheck = SC; }
 
   /// Spawns one thread per node and runs every node's <init>.
   void start();
@@ -151,6 +163,9 @@ private:
 
   mutable std::mutex DecisionsMu;
   std::vector<ThreadedDecision> Decisions;
+  /// Online checker feed (guarded by DecisionsMu, including the clock).
+  trace::StreamingChecker *StreamCheck = nullptr;
+  uint64_t StreamClock = 0;
 
   // Fault-plane machinery (idle when Link is inactive).
   std::mutex DelayMu;

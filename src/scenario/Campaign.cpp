@@ -10,6 +10,7 @@
 #include "engine/Engine.h"
 #include "support/StrUtil.h"
 #include "trace/Checker.h"
+#include "trace/StreamingChecker.h"
 #include "workload/EpochRunner.h"
 
 #include <algorithm>
@@ -48,6 +49,19 @@ CampaignRunner::CampaignRunner(Spec S) : Base(std::move(S)) {
   }
 }
 
+/// Copies a streaming checker's steady-state metrics into the outcome's
+/// first-class columns.
+static void fillStreamMetrics(const trace::StreamingChecker &SC,
+                              JobOutcome &Out) {
+  trace::StreamingChecker::Metrics M = SC.metrics();
+  Out.LatP50 = M.LatencyP50;
+  Out.LatP90 = M.LatencyP90;
+  Out.LatP99 = M.LatencyP99;
+  Out.LatMax = M.LatencyMax;
+  Out.MsgsPerDecision = M.msgsPerDecision();
+  Out.OpenWavesHw = M.OpenWavesHighWater;
+}
+
 /// Distinct views among a run's decisions.
 static size_t countDistinctViews(const std::vector<trace::DecisionRecord> &Ds) {
   std::vector<graph::Region> Views;
@@ -61,17 +75,26 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
                                      unsigned EngineWorkers) {
   JobOutcome Out;
   Out.Seed = Seed;
-  Out.Epochs = V.Epochs.size();
+  Out.Epochs = V.ServiceEpochs ? V.ServiceEpochs : V.Epochs.size();
 
   engine::EngineOptions EngOpts;
   EngOpts.Workers = EngineWorkers;
   std::unique_ptr<engine::Engine> Eng =
       engine::makeEngine(V.Backend, EngOpts);
 
-  if (V.Epochs.size() == 1) {
+  if (V.Epochs.size() == 1 && V.ServiceEpochs == 0) {
     MaterializedRun Run;
     if (!materializeSingle(V, Seed, Run, Out.Error))
       return Out;
+    // Online checking: the engine feeds the checker as it goes and the
+    // send log stays off — the run's memory is bounded by open agreement
+    // state, not trace length.
+    std::unique_ptr<trace::StreamingChecker> SC;
+    if (V.Streaming && V.Check) {
+      SC = std::make_unique<trace::StreamingChecker>(Run.Topo.G);
+      Run.Options.StreamingCheck = SC.get();
+      Run.Options.RecordSends = false;
+    }
     engine::EngineJob Job;
     Job.G = &Run.Topo.G;
     Job.Plan = &Run.Plan;
@@ -92,6 +115,7 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
     Out.Retransmits = R.Stats.Channel.Retransmits;
     Out.DupSuppressed = R.Stats.Channel.DupSuppressed;
     Out.AckBytes = R.Stats.Channel.AckBytes;
+    Out.Crashes = Run.Plan.Crashes.size();
     Out.FirstDecision = TimeNever;
     for (const trace::DecisionRecord &D : R.Decisions) {
       Out.FirstDecision = std::min(Out.FirstDecision, D.When);
@@ -101,18 +125,21 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
       Out.FirstDecision = 0;
     if (V.Check) {
       trace::CheckResult Res =
-          trace::checkAll(engine::toCheckInput(R, Run.Topo.G));
+          SC ? SC->sealEpoch()
+             : trace::checkAll(engine::toCheckInput(R, Run.Topo.G));
       Out.SpecOk = Res.Ok;
       Out.Violations = std::move(Res.Violations);
+      if (SC)
+        fillStreamMetrics(*SC, Out);
     } else {
       Out.SpecOk = true;
     }
     return Out;
   }
 
-  // Multi-epoch: one EpochRunner over a shared topology; the plan RNG is
-  // consumed sequentially across epochs so the whole lifecycle replays
-  // from (spec, seed).
+  // Multi-epoch (scripted or generated service churn): one EpochRunner
+  // over a shared topology; the plan RNG is consumed sequentially across
+  // epochs so the whole lifecycle replays from (spec, seed).
   Rng TopoRand(Seed);
   TopologyInfo Topo;
   if (!buildTopology(V.Topology, TopoRand, Topo, Out.Error))
@@ -120,13 +147,35 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
   SplitMix64 Sub(Seed);
   Rng PlanRand(Sub.next());
   Rng LatRand(Sub.next());
-  workload::EpochRunner Runner(Topo.G, makeRunnerOptions(V, LatRand),
-                               Eng.get());
+  trace::RunnerOptions Options = makeRunnerOptions(V, LatRand);
+  std::unique_ptr<trace::StreamingChecker> SC;
+  if (V.Streaming && V.Check) {
+    SC = std::make_unique<trace::StreamingChecker>(Topo.G);
+    Options.StreamingCheck = SC.get();
+    Options.RecordSends = false;
+  }
+  workload::EpochRunner Runner(Topo.G, std::move(Options), Eng.get());
   Out.SpecOk = true;
-  for (size_t E = 0; E < V.Epochs.size(); ++E) {
+  size_t EpochCount = V.ServiceEpochs
+                          ? static_cast<size_t>(V.ServiceEpochs)
+                          : V.Epochs.size();
+  for (size_t E = 0; E < EpochCount; ++E) {
     workload::CrashPlan Plan;
-    if (!buildCrashPlan(V.Epochs[E], Topo, PlanRand, V.MaxFaulty, Plan,
-                        Out.Error)) {
+    if (V.ServiceEpochs) {
+      // Generated churn. Outages land after t=100 (detector subscriptions
+      // settle first) across the configured horizon. The degenerate-plan
+      // guard keeps a live majority even when a Poisson burst would drown
+      // the graph; max-faulty tightens it further.
+      Plan = workload::poissonChurn(Topo.G,
+                                    static_cast<double>(V.ChurnRate),
+                                    static_cast<size_t>(V.ChurnSize), 100,
+                                    V.ChurnHorizon, PlanRand);
+      size_t Cap = Topo.G.numNodes() * 3 / 4;
+      if (V.MaxFaulty)
+        Cap = std::min(Cap, static_cast<size_t>(V.MaxFaulty));
+      Plan = workload::capFaulty(std::move(Plan), Cap);
+    } else if (!buildCrashPlan(V.Epochs[E], Topo, PlanRand, V.MaxFaulty,
+                               Plan, Out.Error)) {
       Out.Error = formatStr("epoch %zu: %s", E + 1, Out.Error.c_str());
       Out.SpecOk = false;
       return Out;
@@ -140,6 +189,7 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
     Out.Retransmits += Res.Channel.Retransmits;
     Out.DupSuppressed += Res.Channel.DupSuppressed;
     Out.AckBytes += Res.Channel.AckBytes;
+    Out.Crashes += Plan.Crashes.size();
     if (!Res.Quiesced) {
       Out.Error = formatStr("epoch %zu aborted: event budget of %llu "
                             "exhausted",
@@ -154,6 +204,8 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
                                            Why.c_str()));
     }
   }
+  if (SC)
+    fillStreamMetrics(*SC, Out);
   Out.Ran = true;
   return Out;
 }
@@ -261,7 +313,10 @@ std::string CampaignSummary::toJson() const {
         "\"messages\": %llu, \"bytes\": %llu, \"retransmits\": %llu, "
         "\"dup_suppressed\": %llu, \"ack_bytes\": %llu, "
         "\"first_decision\": %llu, "
-        "\"last_decision\": %llu, \"error\": \"%s\", \"violations\": [",
+        "\"last_decision\": %llu, \"crashes\": %llu, "
+        "\"lat_p50\": %llu, \"lat_p90\": %llu, \"lat_p99\": %llu, "
+        "\"lat_max\": %llu, \"msgs_per_decision\": %.3f, "
+        "\"open_waves_hw\": %llu, \"error\": \"%s\", \"violations\": [",
         R.Index, (unsigned long long)R.Seed, jsonEscape(R.Variant).c_str(),
         R.Ran ? "true" : "false", R.SpecOk ? "true" : "false", R.Epochs,
         R.Decisions, R.DistinctViews, (unsigned long long)R.Events,
@@ -270,7 +325,12 @@ std::string CampaignSummary::toJson() const {
         (unsigned long long)R.DupSuppressed,
         (unsigned long long)R.AckBytes,
         (unsigned long long)R.FirstDecision,
-        (unsigned long long)R.LastDecision, jsonEscape(R.Error).c_str());
+        (unsigned long long)R.LastDecision,
+        (unsigned long long)R.Crashes,
+        (unsigned long long)R.LatP50, (unsigned long long)R.LatP90,
+        (unsigned long long)R.LatP99, (unsigned long long)R.LatMax,
+        R.MsgsPerDecision, (unsigned long long)R.OpenWavesHw,
+        jsonEscape(R.Error).c_str());
     Out += joinMapped(R.Violations, ", ", [](const std::string &V) {
       return "\"" + jsonEscape(V) + "\"";
     });
@@ -284,10 +344,13 @@ std::string CampaignSummary::toJson() const {
 std::string CampaignSummary::toCsv() const {
   std::string Out = "job,seed,variant,ran,spec_ok,epochs,decisions,views,"
                     "events,messages,bytes,retransmits,dup_suppressed,"
-                    "ack_bytes,first_decision,last_decision,error\n";
+                    "ack_bytes,first_decision,last_decision,crashes,"
+                    "lat_p50,lat_p90,lat_p99,lat_max,msgs_per_decision,"
+                    "open_waves_hw,error\n";
   for (const JobOutcome &R : Results)
     Out += formatStr("%zu,%llu,\"%s\",%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
-                     "%llu,%llu,%llu,%llu,%llu,\"%s\"\n",
+                     "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+                     "%.3f,%llu,\"%s\"\n",
                      R.Index, (unsigned long long)R.Seed, R.Variant.c_str(),
                      R.Ran ? 1 : 0, R.SpecOk ? 1 : 0, R.Epochs, R.Decisions,
                      R.DistinctViews, (unsigned long long)R.Events,
@@ -297,6 +360,12 @@ std::string CampaignSummary::toCsv() const {
                      (unsigned long long)R.DupSuppressed,
                      (unsigned long long)R.AckBytes,
                      (unsigned long long)R.FirstDecision,
-                     (unsigned long long)R.LastDecision, R.Error.c_str());
+                     (unsigned long long)R.LastDecision,
+                     (unsigned long long)R.Crashes,
+                     (unsigned long long)R.LatP50,
+                     (unsigned long long)R.LatP90,
+                     (unsigned long long)R.LatP99,
+                     (unsigned long long)R.LatMax, R.MsgsPerDecision,
+                     (unsigned long long)R.OpenWavesHw, R.Error.c_str());
   return Out;
 }

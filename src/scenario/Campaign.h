@@ -49,6 +49,19 @@ struct JobOutcome {
   uint64_t AckBytes = 0;
   SimTime FirstDecision = 0;
   SimTime LastDecision = 0;
+  /// Crash events executed across all epochs (a service-run health
+  /// number: churn scenarios generate their plans, so the count is not
+  /// readable off the spec).
+  uint64_t Crashes = 0;
+  // Steady-state streaming-checker metrics (`streaming on` + check only;
+  // all zero otherwise). Latencies are per retired agreement wave: last
+  // border decision minus first crash of the wave's cluster.
+  SimTime LatP50 = 0;
+  SimTime LatP90 = 0;
+  SimTime LatP99 = 0;
+  SimTime LatMax = 0;
+  double MsgsPerDecision = 0.0;
+  uint64_t OpenWavesHw = 0; ///< Most agreement waves open at once.
 };
 
 /// Fleet-level aggregation over every job of a campaign.

@@ -286,7 +286,8 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
     std::string Err;
     if (!applyOverride(S, "backend", V->Text, Err))
       error(LineNo, V->Col, Err);
-  } else if (D.Text == "early-termination" || D.Text == "check") {
+  } else if (D.Text == "early-termination" || D.Text == "check" ||
+             D.Text == "streaming") {
     if (!once(D, LineNo))
       return;
     const Token *V = WantValue("on or off");
@@ -298,7 +299,40 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
       return;
     }
     bool On = V->Text == "on";
-    (D.Text == "check" ? S.Check : S.EarlyTermination) = On;
+    if (D.Text == "check")
+      S.Check = On;
+    else if (D.Text == "streaming")
+      S.Streaming = On;
+    else
+      S.EarlyTermination = On;
+  } else if (D.Text == "service") {
+    if (!once(D, LineNo))
+      return;
+    const Token *V = WantValue("an epoch count");
+    if (!V || !noTrailing(Toks, 2, LineNo))
+      return;
+    if (!parseU64(*V, LineNo, S.ServiceEpochs, "an epoch count"))
+      return;
+    if (S.ServiceEpochs == 0)
+      error(LineNo, V->Col, "'service' needs at least one epoch");
+  } else if (D.Text == "churn") {
+    if (!once(D, LineNo))
+      return;
+    // churn rate R size S horizon H — keyworded so the directive reads as
+    // the workload it generates; all three are required.
+    if (Toks.size() != 7 || Toks[1].Text != "rate" ||
+        Toks[3].Text != "size" || Toks[5].Text != "horizon") {
+      error(LineNo, D.Col, "'churn' takes: rate R size S horizon H");
+      return;
+    }
+    if (!parseU64(Toks[2], LineNo, S.ChurnRate, "a mean outage count") ||
+        !parseU64(Toks[4], LineNo, S.ChurnSize, "a region size") ||
+        !parseU64(Toks[6], LineNo, S.ChurnHorizon, "a tick window"))
+      return;
+    if (S.ChurnRate == 0)
+      error(LineNo, Toks[2].Col, "churn rate must be at least 1");
+    if (S.ChurnSize == 0)
+      error(LineNo, Toks[4].Col, "churn size must be at least 1");
   } else if (D.Text == "max-events") {
     if (!once(D, LineNo))
       return;
@@ -698,6 +732,28 @@ void SpecParser::parsePerturb(const std::vector<Token> &Toks,
 
 void SpecParser::finish() {
   Spec &S = Result.S;
+  // Service mode generates its crash plans: churn parameters are
+  // mandatory, scripted crashes and explicit epochs are contradictory,
+  // and crash perturbations have no stable plan to index.
+  if (S.ServiceEpochs > 0 || S.ChurnRate > 0) {
+    if (S.ServiceEpochs == 0 || S.ChurnRate == 0) {
+      error(1, 1, "'service' and 'churn' must appear together");
+      return;
+    }
+    if (S.Epochs.size() > 1 || !S.Epochs[0].empty()) {
+      error(EpochStartLines[0], 1,
+            "a service scenario generates its churn; crash/epoch "
+            "directives are not allowed");
+      return;
+    }
+    if (!S.Perturb.Drops.empty() || !S.Perturb.Shifts.empty()) {
+      error(1, 1,
+            "perturb crash-shift/crash-drop require a scripted "
+            "single-epoch scenario, not a service run");
+      return;
+    }
+    return;
+  }
   for (size_t E = 0; E < S.Epochs.size(); ++E)
     if (S.Epochs[E].empty())
       error(EpochStartLines[E], 1,

@@ -23,6 +23,9 @@ bool Spec::operator==(const Spec &O) const {
          Detect == O.Detect &&
          Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
          Check == O.Check && Backend == O.Backend &&
+         Streaming == O.Streaming && ServiceEpochs == O.ServiceEpochs &&
+         ChurnRate == O.ChurnRate && ChurnSize == O.ChurnSize &&
+         ChurnHorizon == O.ChurnHorizon &&
          MaxEvents == O.MaxEvents && MaxFaulty == O.MaxFaulty &&
          Perturb == O.Perturb && Objective == O.Objective &&
          Expect == O.Expect && Sweeps == O.Sweeps && Epochs == O.Epochs;
@@ -136,10 +139,21 @@ std::string scenario::writeSpec(const Spec &S) {
   Emit(formatStr("early-termination %s", S.EarlyTermination ? "on" : "off"));
   Emit(formatStr("check %s", S.Check ? "on" : "off"));
   Emit(formatStr("backend %s", engine::backendName(S.Backend)));
+  // Streaming/service directives are emitted only when set, so the
+  // canonical form of every pre-existing scenario is unchanged.
+  if (S.Streaming)
+    Emit("streaming on");
   if (S.MaxEvents)
     Emit(formatStr("max-events %llu", (unsigned long long)S.MaxEvents));
   if (S.MaxFaulty)
     Emit(formatStr("max-faulty %llu", (unsigned long long)S.MaxFaulty));
+  if (S.ServiceEpochs)
+    Emit(formatStr("service %llu", (unsigned long long)S.ServiceEpochs));
+  if (S.ChurnRate || S.ChurnSize || S.ChurnHorizon)
+    Emit(formatStr("churn rate %llu size %llu horizon %llu",
+                   (unsigned long long)S.ChurnRate,
+                   (unsigned long long)S.ChurnSize,
+                   (unsigned long long)S.ChurnHorizon));
   // Perturbation block, one directive per mutation. Drops and shifts are
   // stored sorted, so emission order is canonical and round-trips.
   if (S.Perturb.TieBias)

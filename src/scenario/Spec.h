@@ -166,6 +166,22 @@ struct Spec {
   /// is what EngineEquivalenceTest enforces — but event counts and
   /// interleavings do, so it is part of the spec for replayability.
   engine::BackendKind Backend = engine::BackendKind::Des;
+  /// `streaming on`: check online through trace::StreamingChecker instead
+  /// of materializing a send log for the batch checker — required for
+  /// bounded-memory service runs, equivalent verdicts everywhere
+  /// (CheckerEquivalenceTest). Off by default: batch checking stays the
+  /// reference path for short scenarios.
+  bool Streaming = false;
+  /// `service N`: continuous-churn service mode — N epochs of generated
+  /// churn (see ChurnRate) instead of literal crash directives. 0 means an
+  /// ordinary scripted scenario.
+  uint64_t ServiceEpochs = 0;
+  /// `churn rate R size S horizon H`: per service epoch, K ~ Poisson(R)
+  /// regional outages of S nodes each land uniformly over a window of H
+  /// ticks (workload::poissonChurn). Meaningful only with ServiceEpochs.
+  uint64_t ChurnRate = 0;
+  uint64_t ChurnSize = 0;
+  uint64_t ChurnHorizon = 0;
   uint64_t MaxEvents = 0;
   uint64_t MaxFaulty = 0; ///< >0 caps each epoch's faulty set (capFaulty).
   /// Execution perturbation applied at materialization (search plane;
@@ -179,7 +195,9 @@ struct Spec {
   Expectation Expect = Expectation::None;
   std::vector<SweepAxis> Sweeps;
   /// Crash directives per epoch; parse guarantees >= 1 epoch, each with
-  /// >= 1 directive. Multi-epoch specs run through workload::EpochRunner.
+  /// >= 1 directive — except service mode (ServiceEpochs > 0), where the
+  /// plan is generated and the single epoch stays empty.
+  /// Multi-epoch specs run through workload::EpochRunner.
   std::vector<std::vector<CrashDirective>> Epochs =
       std::vector<std::vector<CrashDirective>>(1);
 

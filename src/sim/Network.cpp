@@ -172,6 +172,9 @@ private:
     if (Net.Recording)
       Net.SendLog.push_back(SendRecord{Net.Sim.now(), From, To,
                                        static_cast<uint32_t>(Bytes)});
+    if (Net.SendObserver)
+      Net.SendObserver(Net.Sim.now(), From, To,
+                       static_cast<uint32_t>(Bytes));
   }
 
   void clamp(NodeId From, NodeId To, SimTime &When) {
@@ -293,6 +296,8 @@ void Network::send(NodeId From, NodeId To, Frame Bytes) {
   if (Recording)
     SendLog.push_back(SendRecord{Sim.now(), From, To,
                                  static_cast<uint32_t>(Bytes->size())});
+  if (SendObserver)
+    SendObserver(Sim.now(), From, To, static_cast<uint32_t>(Bytes->size()));
 
   SimTime When = Sim.now() + Latency(From, To);
   if (!MonotoneLatency) {

@@ -105,6 +105,16 @@ public:
   /// Enables per-send recording (for locality checking).
   void setRecording(bool Enabled) { Recording = Enabled; }
 
+  /// Observer invoked once per logical protocol send — the same events
+  /// that setRecording(true) would append to the send log, but streamed
+  /// instead of materialized (fault-plane retransmissions and acks are
+  /// transport-internal and never observed). Independent of Recording, so
+  /// an online checker can run with the log off.
+  using SendObserverFn =
+      std::function<void(SimTime When, NodeId From, NodeId To,
+                         uint32_t Bytes)>;
+  void setSendObserver(SendObserverFn Fn) { SendObserver = std::move(Fn); }
+
   /// Declares the latency model monotone: per channel, successive sends
   /// never produce a smaller delivery time than an earlier one (true for
   /// fixedLatency, since send times are non-decreasing). FIFO clamping then
@@ -148,6 +158,7 @@ private:
   U64FlatMap<SimTime> LastDelivery;
   NetworkStats Stats;
   std::vector<SendRecord> SendLog;
+  SendObserverFn SendObserver;
   bool Recording = false;
   bool MonotoneLatency = false;
 

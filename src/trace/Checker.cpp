@@ -233,7 +233,7 @@ void trace::checkProgressCD7(const CheckInput &In, CheckResult &Out) {
   }
 }
 
-CheckResult trace::checkAll(const CheckInput &In) {
+CheckResult trace::checkAllBatch(const CheckInput &In) {
   assert(In.G && "CheckInput.G must be set");
   CheckResult Out;
   checkIntegrityCD1(In, Out);

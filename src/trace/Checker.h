@@ -88,7 +88,15 @@ void checkUniformAgreementCD5(const CheckInput &In, CheckResult &Out);
 void checkViewConvergenceCD6(const CheckInput &In, CheckResult &Out);
 void checkProgressCD7(const CheckInput &In, CheckResult &Out);
 
-/// Runs all seven checkers.
+/// Runs all seven checkers in one pass over the materialized trace. Kept
+/// as the reference implementation: checkAll produces identical output by
+/// replaying the trace through trace::StreamingChecker, and
+/// CheckerEquivalenceTest pins the two against each other.
+CheckResult checkAllBatch(const CheckInput &In);
+
+/// Runs all seven checkers. Implemented as a replay of the materialized
+/// trace through the streaming core (StreamingChecker.cpp); byte-identical
+/// to checkAllBatch.
 CheckResult checkAll(const CheckInput &In);
 
 /// White-box per-node invariants at quiescence, using the protocol

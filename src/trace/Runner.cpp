@@ -8,6 +8,7 @@
 #include "trace/Runner.h"
 
 #include "core/Wire.h"
+#include "trace/StreamingChecker.h"
 
 #include <cassert>
 #include <cstdio>
@@ -42,6 +43,11 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setRecording(Opts.RecordSends);
   Net.setMonotoneLatency(Opts.MonotoneLatency);
+  if (Opts.StreamingCheck)
+    Net.setSendObserver([this](SimTime When, NodeId From, NodeId To,
+                               uint32_t Bytes) {
+      Opts.StreamingCheck->onSend(When, From, To, Bytes);
+    });
   // The fault plane's channel extension is a wire v3 feature; the legacy
   // encodings (a test-only compat knob) reject its flag bit, so the
   // combination would corrupt every frame — every data frame dropped,
@@ -93,6 +99,8 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
     };
     CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
       Decisions.push_back(DecisionRecord{N, View, Chosen, Sim.now()});
+      if (Opts.StreamingCheck)
+        Opts.StreamingCheck->onDecision(N, View, Chosen, Sim.now());
     };
     CBs.SelectValue = [this, N](const graph::Region &View) {
       return Opts.SelectValue(N, View);
@@ -113,6 +121,8 @@ void ScenarioRunner::scheduleCrash(NodeId Node, SimTime When) {
   assert(!Faulty.contains(Node) && "node scheduled to crash twice");
   Faulty.insert(Node);
   CrashTimes[Node] = When;
+  if (Opts.StreamingCheck)
+    Opts.StreamingCheck->onCrash(Node, When);
   Sim.at(When, [this, Node]() {
     Net.crash(Node);
     Detector.nodeCrashed(Node);

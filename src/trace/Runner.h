@@ -36,6 +36,8 @@
 namespace cliffedge {
 namespace trace {
 
+class StreamingChecker;
+
 /// One <decide|V,d> output event, with provenance.
 struct DecisionRecord {
   NodeId Node = InvalidNode;
@@ -101,6 +103,12 @@ struct RunnerOptions {
 
   /// Record every send for CD3 checking (cheap; on by default).
   bool RecordSends = true;
+
+  /// Optional online sink: crashes, logical sends and decisions are fed to
+  /// this checker as they happen, making post-hoc trace materialization
+  /// unnecessary (RecordSends can then be off for bounded-memory service
+  /// runs). Not owned; must outlive the run. The caller seals epochs.
+  StreamingChecker *StreamingCheck = nullptr;
 
   /// Record protocol-internal transitions (proposals, rejections, round
   /// advances...) with timestamps.

@@ -11,6 +11,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cmath>
 
 using namespace cliffedge;
 using namespace cliffedge::workload;
@@ -136,6 +137,47 @@ CrashPlan workload::adjacentDomainChain(uint32_t GridWidth,
     for (NodeId N : Patch)
       Plan.Crashes.push_back(TimedCrash{N, When});
   }
+  return Plan;
+}
+
+CrashPlan workload::poissonChurn(const graph::Graph &G, double RateMean,
+                                 size_t RegionSize, SimTime Start,
+                                 SimTime Horizon, Rng &Rand) {
+  // K ~ Poisson(RateMean), Knuth: count draws until the uniform product
+  // falls below e^-lambda. exp(-lambda) underflows for large rates, so
+  // split lambda into <= 64 chunks (Poisson is additive).
+  uint64_t K = 0;
+  for (double Remaining = RateMean; Remaining > 0.0; Remaining -= 64.0) {
+    double Lambda = Remaining < 64.0 ? Remaining : 64.0;
+    double L = std::exp(-Lambda);
+    double P = 1.0;
+    for (;;) {
+      P *= Rand.nextDouble();
+      if (P <= L)
+        break;
+      ++K;
+    }
+  }
+
+  CrashPlan Plan;
+  graph::Region AllFaulty;
+  for (uint64_t I = 0; I < K; ++I) {
+    NodeId Seed = static_cast<NodeId>(Rand.nextBelow(G.numNodes()));
+    SimTime When = Start + (Horizon ? Rand.nextBelow(Horizon + 1) : 0);
+    graph::Region R = graph::growRegionFrom(G, Seed, RegionSize);
+    for (NodeId N : R) {
+      if (AllFaulty.contains(N))
+        continue; // An already-doomed node keeps its earlier outage time.
+      AllFaulty.insert(N);
+      Plan.Crashes.push_back(TimedCrash{N, When});
+    }
+  }
+  std::sort(Plan.Crashes.begin(), Plan.Crashes.end(),
+            [](const TimedCrash &A, const TimedCrash &B) {
+              if (A.When != B.When)
+                return A.When < B.When;
+              return A.Node < B.Node;
+            });
   return Plan;
 }
 

@@ -83,6 +83,16 @@ CrashPlan randomRegions(const graph::Graph &G, uint32_t Count,
                         size_t RegionSize, SimTime Start, SimTime Spread,
                         Rng &Rand);
 
+/// One epoch of a continuous-churn service workload: a Poisson-distributed
+/// number of regional outages (K ~ Poisson(\p RateMean), Knuth's method)
+/// land uniformly over [\p Start, \p Start + \p Horizon], each crashing a
+/// connected region of \p RegionSize nodes around a random epicentre
+/// (regions may overlap or merge, overlapping waves are the point of the
+/// workload). Compose with capFaulty to keep a live majority.
+CrashPlan poissonChurn(const graph::Graph &G, double RateMean,
+                       size_t RegionSize, SimTime Start, SimTime Horizon,
+                       Rng &Rand);
+
 /// Degenerate-plan guard: keeps the plan's first crashes (in schedule
 /// order) until \p MaxFaulty distinct nodes are reached and drops the
 /// rest, so random generators (waves over dense graphs, overlapping

@@ -8,6 +8,7 @@
 #include "workload/EpochRunner.h"
 
 #include "engine/DesEngine.h"
+#include "trace/StreamingChecker.h"
 
 #include <algorithm>
 
@@ -57,7 +58,12 @@ EpochResult EpochRunner::runEpoch(const CrashPlan &Plan, uint64_t Seed) {
   Result.Channel = R.Stats.Channel;
   Result.SettleTime =
       LastDecision > FirstCrash ? LastDecision - FirstCrash : 0;
-  Result.Check = trace::checkAll(engine::toCheckInput(R, G));
+  // Online mode: the engine already fed the attached checker during the
+  // run; sealing is the epoch-repair event and yields the verdict without
+  // ever materializing a trace. Otherwise check the materialized run.
+  Result.Check = Opts.StreamingCheck
+                     ? Opts.StreamingCheck->sealEpoch()
+                     : trace::checkAll(engine::toCheckInput(R, G));
 
   ++Fleet.Epochs;
   Fleet.EpochsAllHolding += Result.Check.Ok ? 1 : 0;

@@ -1,0 +1,352 @@
+//===- tests/CheckerEquivalenceTest.cpp - Streaming vs batch checker ---------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential pinning of trace::StreamingChecker to the batch reference
+/// checker. The streaming core is the production verdict path (checkAll
+/// replays through it), so its contract is strict: for every curated
+/// scenario — repros included — on both backends, the online checker fed
+/// during the run must produce the *byte-identical* CD1..CD7 verdict the
+/// seven-pass batch checker computes from the materialized trace.
+///
+/// A second property pins feed-order insensitivity: the verdict is a pure
+/// function of the event sets, not of how the run interleaved them.
+/// Chunking one trace's merged event stream into batches of 1, of 7, and
+/// of everything-at-once — regrouping each chunk as sends, then
+/// decisions, then crashes — must yield byte-identical results. This is
+/// what lets three very different producers (DES callbacks, the sharded
+/// merge, the threaded runtime's logical clock) share one checker.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/DesEngine.h"
+#include "engine/ShardedEngine.h"
+#include "scenario/Parse.h"
+#include "scenario/Spec.h"
+#include "trace/Checker.h"
+#include "trace/StreamingChecker.h"
+#include "workload/CrashPlans.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cliffedge;
+
+#ifndef CLIFFEDGE_SCENARIO_DIR
+#error "CLIFFEDGE_SCENARIO_DIR must point at the repo's scenarios/ directory"
+#endif
+
+namespace {
+
+constexpr uint64_t SeedsPerScenario = 5;
+
+/// Service specs generate unbounded churn; a few epochs exercise the
+/// seal/reset boundary (carried state must not leak across epochs) while
+/// keeping tier-1 affordable. The full 100k-crash run is the soak test.
+constexpr size_t ServiceEpochCap = 3;
+
+struct LoadedScenario {
+  std::string File;
+  scenario::Spec S;
+};
+
+/// Every .scn in scenarios/ AND scenarios/repros/. Unlike the engine
+/// equivalence suite, repros belong here: a repro's run *violates*
+/// CD1..CD7 by design, which is exactly the path where the two checkers'
+/// violation strings must still match byte for byte.
+std::vector<LoadedScenario> loadAllScenarios() {
+  std::vector<LoadedScenario> Out;
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CLIFFEDGE_SCENARIO_DIR))
+    if (Entry.path().extension() == ".scn")
+      Files.push_back(Entry.path());
+  std::filesystem::path Repros =
+      std::filesystem::path(CLIFFEDGE_SCENARIO_DIR) / "repros";
+  if (std::filesystem::exists(Repros))
+    for (const auto &Entry : std::filesystem::directory_iterator(Repros))
+      if (Entry.path().extension() == ".scn")
+        Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  for (const auto &Path : Files) {
+    std::ifstream In(Path);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+    EXPECT_TRUE(Parsed.Ok) << Path << ":\n" << Parsed.diagText();
+    if (Parsed.Ok)
+      Out.push_back({Path.filename().string(), std::move(Parsed.S)});
+  }
+  return Out;
+}
+
+scenario::Spec firstVariant(const scenario::Spec &S) {
+  scenario::Spec V = S;
+  V.Sweeps.clear();
+  for (const scenario::SweepAxis &Axis : S.Sweeps) {
+    std::string Err;
+    EXPECT_TRUE(scenario::applyOverride(V, Axis.Key, Axis.Values.front(),
+                                        Err))
+        << Err;
+  }
+  return V;
+}
+
+scenario::Spec loadScenario(const std::string &Name) {
+  std::ifstream In(std::string(CLIFFEDGE_SCENARIO_DIR) + "/" + Name);
+  EXPECT_TRUE(In) << "missing scenario " << Name;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+  EXPECT_TRUE(Parsed.Ok) << Name << ":\n" << Parsed.diagText();
+  return Parsed.S;
+}
+
+/// Runs every epoch of \p V at \p Seed on \p Eng with both worlds active
+/// at once — the send log recorded for the batch checker AND the
+/// streaming checker attached as the engine's online sink — and asserts
+/// the two verdicts agree byte for byte at each epoch seal.
+void expectStreamingMatchesBatch(engine::Engine &Eng,
+                                 const scenario::Spec &V, uint64_t Seed,
+                                 const std::string &Label) {
+  Rng TopoRand(Seed);
+  scenario::TopologyInfo Topo;
+  std::string Error;
+  ASSERT_TRUE(scenario::buildTopology(V.Topology, TopoRand, Topo, Error))
+      << Label << ": " << Error;
+  SplitMix64 Sub(Seed);
+  Rng PlanRand(Sub.next());
+  Rng LatRand(Sub.next());
+  trace::RunnerOptions Opts = scenario::makeRunnerOptions(V, LatRand);
+  trace::StreamingChecker SC(Topo.G);
+  Opts.StreamingCheck = &SC;
+  Opts.RecordSends = true;
+  size_t EpochCount =
+      V.ServiceEpochs
+          ? std::min<size_t>(ServiceEpochCap, (size_t)V.ServiceEpochs)
+          : V.Epochs.size();
+  for (size_t E = 0; E < EpochCount; ++E) {
+    workload::CrashPlan Plan;
+    if (V.ServiceEpochs) {
+      Plan = workload::poissonChurn(Topo.G, (double)V.ChurnRate,
+                                    (size_t)V.ChurnSize, 100,
+                                    V.ChurnHorizon, PlanRand);
+      size_t Cap = Topo.G.numNodes() * 3 / 4;
+      if (V.MaxFaulty)
+        Cap = std::min(Cap, (size_t)V.MaxFaulty);
+      Plan = workload::capFaulty(std::move(Plan), Cap);
+    } else {
+      ASSERT_TRUE(scenario::buildCrashPlan(V.Epochs[E], Topo, PlanRand,
+                                           V.MaxFaulty, Plan, Error))
+          << Label << ": " << Error;
+      scenario::applyPerturbation(V.Perturb, Topo.G.numNodes(), Plan);
+    }
+    engine::EngineJob Job;
+    Job.G = &Topo.G;
+    Job.Plan = &Plan;
+    Job.Options = Opts;
+    Job.Seed = Seed;
+    engine::EngineResult R = Eng.run(Job);
+    std::string Where = Label + " epoch " + std::to_string(E + 1);
+    ASSERT_TRUE(R.Quiesced) << Where;
+    trace::CheckResult Batch =
+        trace::checkAllBatch(engine::toCheckInput(R, Topo.G));
+    trace::CheckResult Online = SC.sealEpoch();
+    EXPECT_EQ(Batch.Ok, Online.Ok)
+        << Where << "\nbatch:\n"
+        << Batch.summary() << "\nstreaming:\n"
+        << Online.summary();
+    EXPECT_EQ(Batch.Violations, Online.Violations) << Where;
+  }
+}
+
+class CheckerEquivalence : public ::testing::TestWithParam<size_t> {
+public:
+  static const std::vector<LoadedScenario> &scenarios() {
+    static const std::vector<LoadedScenario> All = loadAllScenarios();
+    return All;
+  }
+};
+
+TEST_P(CheckerEquivalence, StreamingMatchesBatchOnBothBackends) {
+  const LoadedScenario &Scn = scenarios()[GetParam()];
+  scenario::Spec V = firstVariant(Scn.S);
+  engine::DesEngine Des;
+  engine::ShardedEngine Sharded;
+  for (engine::Engine *Eng :
+       {static_cast<engine::Engine *>(&Des),
+        static_cast<engine::Engine *>(&Sharded)}) {
+    const char *Backend = Eng == &Des ? " [des]" : " [sharded]";
+    for (uint64_t I = 0; I < SeedsPerScenario; ++I) {
+      uint64_t Seed = V.SeedLo + I;
+      expectStreamingMatchesBatch(
+          *Eng, V, Seed,
+          Scn.File + Backend + " seed " + std::to_string(Seed));
+    }
+  }
+}
+
+std::string scenarioName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = CheckerEquivalence::scenarios()[Info.param].File;
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllScenarios, CheckerEquivalence,
+    ::testing::Range<size_t>(0, CheckerEquivalence::scenarios().size()),
+    scenarioName);
+
+TEST(CheckerEquivalenceSuite, ReprosWereIncluded) {
+  // The violating path is only pinned if the committed repro actually
+  // entered the sweep (guards against the repros/ scan silently failing).
+  bool SawRepro = false;
+  for (const LoadedScenario &Scn : CheckerEquivalence::scenarios())
+    SawRepro |= Scn.File == "purelex_flip_min.scn";
+  EXPECT_TRUE(SawRepro);
+}
+
+// -- Feed-order insensitivity -----------------------------------------------
+
+/// One materialized trace, reduced to the three event streams a producer
+/// can feed. Per-stream order is the feed contract (decisions in emission
+/// order, sends in log order); cross-stream interleaving is not.
+struct EventStreams {
+  graph::Graph G;
+  std::vector<std::pair<NodeId, SimTime>> Crashes; ///< Sorted by (When, Node).
+  std::vector<sim::SendRecord> Sends;
+  std::vector<trace::DecisionRecord> Decisions;
+};
+
+/// Runs the first variant of \p Name at its first seed on the DES engine
+/// and captures the full event streams plus the batch verdict.
+void materializeStreams(const std::string &Name, EventStreams &Out,
+                        trace::CheckResult &Batch) {
+  scenario::Spec V = firstVariant(loadScenario(Name));
+  ASSERT_EQ(V.Epochs.size(), 1u) << Name;
+  scenario::MaterializedRun Run;
+  std::string Err;
+  // materializeSingle already applies V.Perturb — the repro's flip rides in.
+  ASSERT_TRUE(scenario::materializeSingle(V, V.SeedLo, Run, Err)) << Err;
+  engine::DesEngine Eng;
+  engine::EngineJob Job;
+  Job.G = &Run.Topo.G;
+  Job.Plan = &Run.Plan;
+  Job.Options = Run.Options;
+  Job.Seed = V.SeedLo;
+  engine::EngineResult R = Eng.run(Job);
+  ASSERT_TRUE(R.Quiesced) << Name;
+  Batch = trace::checkAllBatch(engine::toCheckInput(R, Run.Topo.G));
+  Out.G = Run.Topo.G;
+  for (NodeId N : R.Faulty)
+    Out.Crashes.push_back({N, R.CrashTimes[N]});
+  std::sort(Out.Crashes.begin(), Out.Crashes.end(),
+            [](const auto &A, const auto &B) {
+              return A.second != B.second ? A.second < B.second
+                                          : A.first < B.first;
+            });
+  Out.Sends = R.SendLog;
+  Out.Decisions = R.Decisions;
+}
+
+/// Feeds the three streams through a fresh StreamingChecker in chunks of
+/// \p Chunk events drawn from a 3-way time merge (per-stream order
+/// preserved). Within each chunk the events are regrouped sends first,
+/// then decisions, then crashes — so chunk=everything feeds every send
+/// before any crash, the maximal reordering the contract allows.
+trace::CheckResult feedChunked(const EventStreams &Ev, size_t Chunk) {
+  trace::StreamingChecker SC(Ev.G);
+  size_t Ci = 0, Si = 0, Di = 0;
+  auto Remaining = [&] {
+    return (Ev.Crashes.size() - Ci) + (Ev.Sends.size() - Si) +
+           (Ev.Decisions.size() - Di);
+  };
+  while (Remaining() > 0) {
+    size_t Budget = std::min(Chunk, Remaining());
+    // Draw the next Budget events off the merge front.
+    size_t C0 = Ci, S0 = Si, D0 = Di;
+    for (size_t K = 0; K < Budget; ++K) {
+      SimTime Ct = Ci < Ev.Crashes.size() ? Ev.Crashes[Ci].second
+                                          : TimeNever;
+      SimTime St = Si < Ev.Sends.size() ? Ev.Sends[Si].When : TimeNever;
+      SimTime Dt = Di < Ev.Decisions.size() ? Ev.Decisions[Di].When
+                                            : TimeNever;
+      if (Ci < Ev.Crashes.size() && Ct <= St && Ct <= Dt)
+        ++Ci;
+      else if (Si < Ev.Sends.size() && St <= Dt)
+        ++Si;
+      else
+        ++Di;
+    }
+    // Regrouped delivery: sends, then decisions, then crashes.
+    for (size_t I = S0; I < Si; ++I)
+      SC.onSend(Ev.Sends[I].When, Ev.Sends[I].From, Ev.Sends[I].To,
+                Ev.Sends[I].Bytes);
+    for (size_t I = D0; I < Di; ++I)
+      SC.onDecision(Ev.Decisions[I]);
+    for (size_t I = C0; I < Ci; ++I)
+      SC.onCrash(Ev.Crashes[I].first, Ev.Crashes[I].second);
+  }
+  return SC.sealEpoch();
+}
+
+/// Chunk sizes 1, 7 and all-at-once must be indistinguishable from each
+/// other and from the batch checker — on a clean trace and, more
+/// importantly, on the committed repro's violating one, where the
+/// violation *strings* (not just the flags) must survive every chunking.
+TEST(CheckerEquivalenceSuite, ChunkedFeedsAreByteIdentical) {
+  struct Case {
+    const char *Name;
+    bool ExpectOk;
+  } Cases[] = {
+      {"fig2_adjacent_domains.scn", true},
+      {"repros/purelex_flip_min.scn", false},
+  };
+  for (const Case &C : Cases) {
+    EventStreams Ev;
+    trace::CheckResult Batch;
+    materializeStreams(C.Name, Ev, Batch);
+    EXPECT_EQ(Batch.Ok, C.ExpectOk) << C.Name;
+    trace::CheckResult One = feedChunked(Ev, 1);
+    trace::CheckResult Seven = feedChunked(Ev, 7);
+    trace::CheckResult All = feedChunked(Ev, (size_t)-1);
+    EXPECT_EQ(Batch.Ok, One.Ok) << C.Name;
+    EXPECT_EQ(Batch.Violations, One.Violations) << C.Name;
+    EXPECT_EQ(One.Ok, Seven.Ok) << C.Name;
+    EXPECT_EQ(One.Violations, Seven.Violations) << C.Name;
+    EXPECT_EQ(One.Ok, All.Ok) << C.Name;
+    EXPECT_EQ(One.Violations, All.Violations) << C.Name;
+  }
+}
+
+/// The replay wrapper IS the streaming checker: trace::checkAll must give
+/// the reference verdict too (this is the production path every other
+/// suite exercises implicitly; pinned here once, explicitly).
+TEST(CheckerEquivalenceSuite, ReplayWrapperMatchesBatch) {
+  EventStreams Ev;
+  trace::CheckResult Batch;
+  materializeStreams("repros/purelex_flip_min.scn", Ev, Batch);
+  trace::CheckInput In;
+  In.G = &Ev.G;
+  for (const auto &Cr : Ev.Crashes)
+    In.Faulty.insert(Cr.first);
+  In.CrashTimes.assign(Ev.G.numNodes(), TimeNever);
+  for (const auto &Cr : Ev.Crashes)
+    In.CrashTimes[Cr.first] = Cr.second;
+  In.Decisions = Ev.Decisions;
+  In.SendLog = &Ev.Sends;
+  trace::CheckResult Replayed = trace::checkAll(In);
+  EXPECT_EQ(Batch.Ok, Replayed.Ok);
+  EXPECT_EQ(Batch.Violations, Replayed.Violations);
+}
+
+} // namespace

@@ -249,3 +249,91 @@ TEST(ClusterTest, NoFaultyNodesNoDomains) {
   graph::Graph G = graph::makeRing(5);
   EXPECT_TRUE(trace::faultyDomains(G, Region()).empty());
 }
+
+//===----------------------------------------------------------------------===//
+// Mutation coverage: one synthetic trace per property, violating exactly
+// that property, pushed through BOTH full verdict paths — the seven-pass
+// batch reference (checkAllBatch) and the streaming core (checkAll
+// replays the trace through trace::StreamingChecker). Each mutant proves
+// three things at once: the property actually detects its violation, no
+// sibling property misfires on it, and the two paths emit byte-identical
+// text for it. A checker bug that silences one CD (or a streaming
+// retirement rule that drops the state a CD needs) fails here by name.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Asserts \p In violates exactly the property tagged \p Tag ("CD4: ")
+/// on the batch path, and that the streaming path agrees byte for byte.
+void expectOnlyThisCdTripsOnBothPaths(const CheckInput &In,
+                                      const std::string &Tag) {
+  CheckResult Batch = trace::checkAllBatch(In);
+  ASSERT_FALSE(Batch.Ok) << Tag << " mutant passed the batch checker";
+  for (const std::string &V : Batch.Violations)
+    EXPECT_EQ(V.compare(0, Tag.size(), Tag), 0)
+        << Tag << " mutant tripped a sibling property: " << V;
+  CheckResult Streamed = trace::checkAll(In);
+  EXPECT_EQ(Batch.Ok, Streamed.Ok) << Tag;
+  EXPECT_EQ(Batch.Violations, Streamed.Violations) << Tag;
+}
+
+} // namespace
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD1OnBothPaths) {
+  In.Decisions.push_back(DecisionRecord{1, Region{2}, 7, 210});
+  // The duplicate decides the same (view, value), so CD5's pairwise
+  // uniformity stays clean — integrity is the only property broken.
+  expectOnlyThisCdTripsOnBothPaths(In, "CD1: ");
+}
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD2OnBothPaths) {
+  In.Decisions[0].When = 50; // View member 2 only crashes at t=100.
+  expectOnlyThisCdTripsOnBothPaths(In, "CD2: ");
+}
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD3OnBothPaths) {
+  std::vector<sim::SendRecord> Log = {
+      {150, 1, 3, 32}, // In scope: both border the domain {2}.
+      {150, 0, 4, 32}, // Out of scope: neither borders {2}.
+  };
+  In.SendLog = &Log;
+  expectOnlyThisCdTripsOnBothPaths(In, "CD3: ");
+}
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD4OnBothPaths) {
+  In.Decisions.pop_back(); // Correct border node 3 stays silent.
+  // CD7 still holds — node 1's decision satisfies the cluster — so the
+  // missing *individual* termination is all that trips.
+  expectOnlyThisCdTripsOnBothPaths(In, "CD4: ");
+}
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD5OnBothPaths) {
+  In.Decisions[1].Chosen = 8; // Same view, different value.
+  expectOnlyThisCdTripsOnBothPaths(In, "CD5: ");
+}
+
+TEST(CheckerMutation, MutantTripsOnlyCD6OnBothPaths) {
+  // A longer line so the two overlapping views get disjoint borders:
+  // 0-1-2-3-4-5-6 with {2,3,4} down. Node 1 decides {2,3}, node 5
+  // decides {3,4} — overlapping, different, both deciders correct (CD6)
+  // — but each view's border contains no decider of the other view, so
+  // uniform agreement CD5 has no mismatched pair to object to.
+  graph::Graph G = graph::makeLine(7);
+  CheckInput In;
+  In.G = &G;
+  In.Faulty = Region{2, 3, 4};
+  In.CrashTimes.assign(7, TimeNever);
+  In.CrashTimes[2] = 100;
+  In.CrashTimes[3] = 100;
+  In.CrashTimes[4] = 100;
+  In.Decisions = {DecisionRecord{1, Region{2, 3}, 7, 200},
+                  DecisionRecord{5, Region{3, 4}, 9, 205}};
+  expectOnlyThisCdTripsOnBothPaths(In, "CD6: ");
+}
+
+TEST_F(CheckerFixture, MutantTripsOnlyCD7OnBothPaths) {
+  In.Decisions.clear(); // The whole cluster stays silent.
+  // With no decided views CD4 has nothing to constrain; progress is the
+  // one property quantified over the cluster itself.
+  expectOnlyThisCdTripsOnBothPaths(In, "CD7: ");
+}

@@ -113,7 +113,14 @@ std::string mutate(const std::string &Text, const std::string &Other,
       // violations, and expect verdicts.
       "perturb", "tie-bias", "link-salt", "crash-shift", "crash-drop",
       "-9223372036854775808", "-10", "+120", "objective", "cd-flip",
-      "expect", "violation", "ok", "Objective!", "0"};
+      "expect", "violation", "ok", "Objective!", "0",
+      // Service-mode probes: `service`/`churn` split across lines, the
+      // keyworded churn triple with missing, zero, swapped and duplicate
+      // fields, streaming on/off damage, and service mixed into scripted
+      // crash scenarios (which finish() must reject).
+      "service", "churn", "rate", "size", "horizon", "streaming",
+      "rate 0", "churn rate", "size 0 horizon", "horizon rate",
+      "service 0", "streaming maybe"};
 
   std::string Out = Text;
   switch (Rand.nextBelow(9)) {

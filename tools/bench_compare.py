@@ -66,7 +66,8 @@ def distill(gbench):
         if entry.get("run_type", "iteration") != "iteration":
             continue
         benchmarks[entry["name"]] = {"ns": round(to_ns(entry), 3)}
-        for key in ("allocs_per_msg", "steady_msgs"):
+        for key in ("allocs_per_msg", "steady_msgs", "state_highwater",
+                    "open_waves_hw"):
             if key in entry:
                 counters[(entry["name"], key)] = entry[key]
 
@@ -160,11 +161,34 @@ def distill(gbench):
     allocs = counters.get(("BM_RoundProcessing_Allocs", "allocs_per_msg"))
     if allocs is not None:
         derived["round_processing_allocs_per_msg"] = round(allocs, 4)
+    # The streaming checker's memory contract: retained state is O(open
+    # agreement waves), not O(trace). Absolute event counts, not times —
+    # deterministic on any host, so they carry --require ceilings.
+    for key, out in (("state_highwater", "streaming_state_highwater"),
+                     ("open_waves_hw", "streaming_open_waves_hw")):
+        value = counters.get(("BM_StreamingCheckerChurn", key))
+        if value is not None:
+            derived[out] = round(value, 1)
     return {"schema": 1, "benchmarks": benchmarks, "derived": derived}
 
 
-def compare(baseline, fresh, threshold):
-    """Returns a list of regression strings."""
+# Derived metrics computed against a *pinned absolute measurement* rather
+# than a within-run denominator. They move with the host's wall clock, not
+# with the code, so compare() never gates on them — they are tracked for
+# the history only (the distill() comments say the same).
+WALL_CLOCK_DERIVED = {"engine_quake_des_speedup_vs_pr3"}
+
+
+def compare(baseline, fresh, threshold, absolute="gate"):
+    """Returns a list of regression strings.
+
+    With absolute="info" the raw per-benchmark ns deltas are printed but
+    never gate: absolute wall-clock floors against a *committed* baseline
+    trip on host-speed drift (the same binary measures tens of percent
+    apart across container hosts), so cross-machine CI runs gate only on
+    within-run derived ratios and the --require bounds. Same-machine
+    comparisons (the bench_compare custom target) keep absolute="gate".
+    """
     regressions = []
     for name, entry in sorted(fresh["benchmarks"].items()):
         base = baseline.get("benchmarks", {}).get(name)
@@ -176,8 +200,12 @@ def compare(baseline, fresh, threshold):
         delta = (new - old) / old * 100.0
         marker = ""
         if delta > threshold:
-            marker = "  <-- REGRESSION"
-            regressions.append(f"{name}: {old:.1f} ns -> {new:.1f} ns (+{delta:.1f}%)")
+            if absolute == "gate":
+                marker = "  <-- REGRESSION"
+                regressions.append(
+                    f"{name}: {old:.1f} ns -> {new:.1f} ns (+{delta:.1f}%)")
+            else:
+                marker = "  <-- slower (informational: absolute time)"
         print(f"  {name}: {old:.1f} ns -> {new:.1f} ns ({delta:+.1f}%){marker}")
     for name, new in sorted(fresh["derived"].items()):
         old = baseline.get("derived", {}).get(name)
@@ -186,8 +214,12 @@ def compare(baseline, fresh, threshold):
         drop = (old - new) / old * 100.0
         marker = ""
         if drop > threshold:
-            marker = "  <-- REGRESSION"
-            regressions.append(f"{name}: {old:.2f}x -> {new:.2f}x (-{drop:.1f}%)")
+            if name in WALL_CLOCK_DERIVED:
+                marker = "  <-- slower (informational: wall-clock pinned)"
+            else:
+                marker = "  <-- REGRESSION"
+                regressions.append(
+                    f"{name}: {old:.2f}x -> {new:.2f}x (-{drop:.1f}%)")
         print(f"  {name}: {old:.2f}x -> {new:.2f}x ({-drop:+.1f}%){marker}")
     return regressions
 
@@ -214,6 +246,14 @@ def main():
                              "are immune to machine-to-machine noise, which "
                              "makes them the right gate for CI (the ctest "
                              "'bench_compare' test uses them).")
+    parser.add_argument("--absolute", choices=("gate", "info"),
+                        default="gate",
+                        help="whether absolute per-benchmark times gate the "
+                             "comparison (default) or are informational. "
+                             "'info' is for cross-machine CI: wall-clock "
+                             "floors trip on host-speed drift there, so only "
+                             "within-run derived ratios and --require bounds "
+                             "gate (the ctest 'bench_compare' test uses it)")
     args = parser.parse_args()
 
     requirements = []
@@ -278,8 +318,9 @@ def main():
                 fh.write("\n")
         print(f"baseline {baseline_path} updated")
         return 0
-    print(f"comparing against {baseline_path} (threshold {args.threshold}%):")
-    regressions = compare(baseline, fresh, args.threshold)
+    print(f"comparing against {baseline_path} (threshold {args.threshold}%, "
+          f"absolute times {args.absolute}):")
+    regressions = compare(baseline, fresh, args.threshold, args.absolute)
     if regressions:
         print("\nREGRESSIONS:")
         for r in regressions:

@@ -569,6 +569,11 @@ int main(int argc, char **argv) {
                  "error: multi-epoch scenarios need --campaign\n");
     return 2;
   }
+  if (S.ServiceEpochs > 0) {
+    std::fprintf(stderr,
+                 "error: service scenarios need --campaign\n");
+    return 2;
+  }
   scenario::Spec Variant = S;
   Variant.Sweeps.clear();
   for (const scenario::SweepAxis &Axis : S.Sweeps) {
