@@ -1,0 +1,247 @@
+//===- report/Bundle.cpp - Per-run evidence bundles ---------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Bundle.h"
+
+#include "core/Wire.h"
+#include "engine/Engine.h"
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+using namespace cliffedge;
+using namespace cliffedge::report;
+using scenario::CampaignSummary;
+using scenario::JobOutcome;
+using scenario::Spec;
+
+uint64_t cliffedge::report::fnv1a64(const std::string &Bytes) {
+  uint64_t Hash = 0xcbf29ce484222325ull;
+  for (char C : Bytes) {
+    Hash ^= static_cast<unsigned char>(C);
+    Hash *= 0x100000001b3ull;
+  }
+  return Hash;
+}
+
+std::string cliffedge::report::contentHashHex(const std::string &Bytes) {
+  return formatStr("%016llx", (unsigned long long)fnv1a64(Bytes));
+}
+
+std::string cliffedge::report::computeRunId(const Spec &S) {
+  std::string Name;
+  for (char C : S.Name) {
+    if ((C >= 'a' && C <= 'z') || (C >= '0' && C <= '9') || C == '-')
+      Name += C;
+    else if (C >= 'A' && C <= 'Z')
+      Name += static_cast<char>(C - 'A' + 'a');
+    else
+      Name += '-';
+  }
+  if (Name.empty())
+    Name = "run";
+  // The hash covers the canonical spec — topology, seeds, sweeps, link,
+  // backend, everything — so distinct campaigns get distinct ids and the
+  // id itself is replayable from the .scn alone.
+  return Name + "-" + contentHashHex(scenario::writeSpec(S));
+}
+
+std::string cliffedge::report::renderRunConfig(const Spec &S,
+                                               const CampaignSummary &Sum) {
+  std::string Scn = scenario::writeSpec(S);
+  std::string Out = "{\n";
+  Out += formatStr("  \"schema\": 1,\n");
+  Out += formatStr("  \"scenario\": \"%s\",\n", jsonEscape(S.Name).c_str());
+  Out += formatStr("  \"run_id\": \"%s\",\n", computeRunId(S).c_str());
+  Out += formatStr("  \"spec_hash\": \"%s\",\n", contentHashHex(Scn).c_str());
+  Out += formatStr("  \"topology\": \"%s\",\n",
+                   jsonEscape(S.Topology).c_str());
+  Out += formatStr("  \"backend\": \"%s\",\n",
+                   engine::backendName(S.Backend));
+  Out += formatStr("  \"link\": \"%s\",\n",
+                   S.Link.active() ? jsonEscape(S.Link.compact()).c_str()
+                                   : "none");
+  Out += formatStr("  \"seeds\": {\"lo\": %llu, \"hi\": %llu},\n",
+                   (unsigned long long)S.SeedLo,
+                   (unsigned long long)S.SeedHi);
+  // "jobs" is the deterministic job-matrix size (variants x seeds), NOT
+  // the worker-thread count: threads cannot affect a single output byte
+  // and recording them would break bundle determinism across --jobs.
+  Out += formatStr("  \"jobs\": %zu,\n", Sum.Jobs);
+  Out += formatStr("  \"wire_version\": %u,\n",
+                   (unsigned)core::kWireVersion3);
+  Out += formatStr("  \"streaming\": %s,\n", S.Streaming ? "true" : "false");
+  Out += formatStr("  \"check\": %s\n", S.Check ? "true" : "false");
+  Out += "}\n";
+  return Out;
+}
+
+/// One-line rendering of a possibly hostile string for summary.md: control
+/// bytes become spaces, long tails are elided. Markdown is for humans; the
+/// lossless copies live in summary.json/csv.
+static std::string mdInline(const std::string &S) {
+  std::string Out;
+  for (char C : S)
+    Out += static_cast<unsigned char>(C) < 0x20 ? ' ' : C;
+  if (Out.size() > 120) {
+    Out.resize(117);
+    Out += "...";
+  }
+  return Out;
+}
+
+std::string cliffedge::report::renderSummaryMd(const Spec &S,
+                                               const CampaignSummary &Sum) {
+  std::string Out;
+  Out += formatStr("# Run bundle %s\n\n", computeRunId(S).c_str());
+  const char *Verdict = Sum.Errors ? "ERROR"
+                        : Sum.Failed ? "FAIL"
+                                     : "PASS";
+  Out += formatStr("**Verdict: %s** — %zu job(s): %zu passed, %zu failed, "
+                   "%zu errors.\n\n",
+                   Verdict, Sum.Jobs, Sum.Passed, Sum.Failed, Sum.Errors);
+  Out += formatStr("| scenario | backend | link | seeds | topology |\n"
+                   "|---|---|---|---|---|\n"
+                   "| %s | %s | %s | %llu..%llu | %s |\n\n",
+                   mdInline(S.Name).c_str(), engine::backendName(S.Backend),
+                   S.Link.active() ? S.Link.compact().c_str() : "none",
+                   (unsigned long long)S.SeedLo,
+                   (unsigned long long)S.SeedHi, mdInline(S.Topology).c_str());
+
+  Out += "## Key metrics\n\n";
+  Out += formatStr("- decisions %llu, messages %llu, bytes %llu, events "
+                   "%llu across the fleet\n",
+                   (unsigned long long)Sum.TotalDecisions,
+                   (unsigned long long)Sum.TotalMessages,
+                   (unsigned long long)Sum.TotalBytes,
+                   (unsigned long long)Sum.TotalEvents);
+  uint64_t Retransmits = 0;
+  const JobOutcome *WorstP99 = nullptr;
+  size_t NoDecision = 0;
+  for (const JobOutcome &R : Sum.Results) {
+    Retransmits += R.Retransmits;
+    if (R.LatP99 > 0 && (!WorstP99 || R.LatP99 > WorstP99->LatP99))
+      WorstP99 = &R;
+    if (R.Ran && R.Decisions == 0)
+      ++NoDecision;
+  }
+  Out += formatStr("- retransmits %llu across all jobs\n",
+                   (unsigned long long)Retransmits);
+  if (WorstP99)
+    Out += formatStr("- worst lat_p99 %llu (job %zu, seed %llu%s%s)\n",
+                     (unsigned long long)WorstP99->LatP99, WorstP99->Index,
+                     (unsigned long long)WorstP99->Seed,
+                     WorstP99->Variant.empty() ? "" : ", ",
+                     mdInline(WorstP99->Variant).c_str());
+  else
+    Out += "- no latency percentiles recorded (streaming checker off)\n";
+  if (NoDecision)
+    Out += formatStr("- %zu job(s) ran to quiescence without a single "
+                     "decision (first/last decision null)\n",
+                     NoDecision);
+
+  Out += "\n## Top anomalies\n\n";
+  size_t Listed = 0;
+  for (const JobOutcome &R : Sum.Results) {
+    if (R.Error.empty() && R.Violations.empty())
+      continue;
+    if (++Listed > 8) {
+      Out += "- ... (see summary.json for the full list)\n";
+      break;
+    }
+    if (!R.Error.empty())
+      Out += formatStr("- job %zu seed %llu: error: %s\n", R.Index,
+                       (unsigned long long)R.Seed,
+                       mdInline(R.Error).c_str());
+    else
+      Out += formatStr("- job %zu seed %llu: %zu violation(s): %s\n",
+                       R.Index, (unsigned long long)R.Seed,
+                       R.Violations.size(),
+                       mdInline(R.Violations.front()).c_str());
+  }
+  if (!Listed)
+    Out += "- none: every job ran clean\n";
+  return Out;
+}
+
+/// Writes \p Bytes to \p Path exactly (binary mode — no newline
+/// translation can perturb hashes).
+static bool writeFile(const std::filesystem::path &Path,
+                      const std::string &Bytes, std::string &Error) {
+  std::ofstream Out(Path, std::ios::binary | std::ios::trunc);
+  if (!Out) {
+    Error = formatStr("cannot write '%s'", Path.string().c_str());
+    return false;
+  }
+  Out.write(Bytes.data(), static_cast<std::streamsize>(Bytes.size()));
+  Out.flush();
+  if (!Out) {
+    Error = formatStr("short write to '%s'", Path.string().c_str());
+    return false;
+  }
+  return true;
+}
+
+bool cliffedge::report::writeBundle(const Spec &S,
+                                    const CampaignSummary &Summary,
+                                    const BundleOptions &Opts,
+                                    BundleResult &Out, std::string &Error) {
+  Out = BundleResult();
+  Out.RunId = computeRunId(S);
+  std::filesystem::path Dir(Opts.OutDir);
+  if (!Opts.Flat)
+    Dir /= Out.RunId;
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    Error = formatStr("cannot create '%s': %s", Dir.string().c_str(),
+                      Ec.message().c_str());
+    return false;
+  }
+  Out.Dir = Dir.string();
+
+  // Name -> exact bytes. The manifest is computed over these strings, not
+  // re-read from disk, so a torn write can never produce a manifest that
+  // "verifies" wrong content.
+  std::vector<std::pair<std::string, std::string>> Artifacts;
+  Artifacts.emplace_back("scenario.scn", scenario::writeSpec(S));
+  Artifacts.emplace_back("run_config.json", renderRunConfig(S, Summary));
+  Artifacts.emplace_back("summary.json", Summary.toJson());
+  Artifacts.emplace_back("summary.csv", Summary.toCsv());
+  Artifacts.emplace_back("summary.md", renderSummaryMd(S, Summary));
+  std::sort(Artifacts.begin(), Artifacts.end(),
+            [](const auto &A, const auto &B) { return A.first < B.first; });
+
+  for (const auto &[Name, Bytes] : Artifacts)
+    if (!writeFile(Dir / Name, Bytes, Error))
+      return false;
+
+  std::string Manifest = "{\n  \"schema\": 1,\n";
+  Manifest += formatStr("  \"run_id\": \"%s\",\n", Out.RunId.c_str());
+  Manifest += formatStr("  \"scenario\": \"%s\",\n",
+                        jsonEscape(S.Name).c_str());
+  Manifest += "  \"hash\": \"fnv1a64\",\n  \"artifacts\": [\n";
+  for (size_t I = 0; I < Artifacts.size(); ++I)
+    Manifest += formatStr(
+        "    {\"name\": \"%s\", \"bytes\": %zu, \"fnv1a64\": \"%s\"}%s\n",
+        Artifacts[I].first.c_str(), Artifacts[I].second.size(),
+        contentHashHex(Artifacts[I].second).c_str(),
+        I + 1 < Artifacts.size() ? "," : "");
+  Manifest += "  ]\n}\n";
+  if (!writeFile(Dir / "bundle_manifest.json", Manifest, Error))
+    return false;
+  Out.ManifestHash = contentHashHex(Manifest);
+
+  // The baseline marker is fixed content and outside the manifest: a
+  // baseline must stay byte-comparable to an ordinary run bundle.
+  if (Opts.MarkBaseline &&
+      !writeFile(Dir / "BASELINE", "baseline\n", Error))
+    return false;
+  return true;
+}

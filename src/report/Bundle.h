@@ -1,0 +1,98 @@
+//===- report/Bundle.h - Per-run evidence bundles ---------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The run-bundle layer of the evidence pipeline: a campaign run leaves
+/// behind a self-describing directory of artifacts — the canonical `.scn`,
+/// the resolved run config, the JSON/CSV summaries, a one-page summary.md
+/// and a `bundle_manifest.json` hashing every artifact — and two bundles
+/// are mechanically diffable (report/Compare.h). Every byte is a pure
+/// function of (spec, seed range): no timestamps, no hostnames, no thread
+/// counts, so the same campaign at any `--jobs` produces byte-identical
+/// bundles, and a stored baseline stays comparable forever.
+///
+/// The layout and schemas are documented in docs/run-bundles.md; the
+/// `bundle-smoke` ctests drive capture → compare end-to-end.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPORT_BUNDLE_H
+#define CLIFFEDGE_REPORT_BUNDLE_H
+
+#include "scenario/Campaign.h"
+#include "scenario/Spec.h"
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace report {
+
+/// FNV-1a 64-bit over \p Bytes — the pipeline's content hash. Not
+/// cryptographic: it guards against truncation, drift and mix-ups, not
+/// adversaries. Mirrored in tools/bench_compare.py (fnv1a64 there) so the
+/// Python side can verify manifests it reads.
+uint64_t fnv1a64(const std::string &Bytes);
+
+/// \p fnv1a64 rendered as fixed-width lowercase hex — the form manifests
+/// store.
+std::string contentHashHex(const std::string &Bytes);
+
+/// Deterministic bundle identity: a sanitized scenario name plus the hash
+/// of the canonical spec text, so the same (spec, seeds) always lands in
+/// the same directory and distinct specs cannot collide silently.
+std::string computeRunId(const scenario::Spec &S);
+
+struct BundleOptions {
+  /// Destination. With Flat the bundle's artifacts are written directly
+  /// into OutDir (the `baseline capture` contract: the baseline IS the
+  /// directory); otherwise into OutDir/<run_id>/.
+  std::string OutDir;
+  bool Flat = false;
+  /// Drop a `BASELINE` marker file. The marker is deliberately NOT listed
+  /// in the manifest and carries fixed content, so a captured baseline
+  /// stays byte-identical to an ordinary run bundle of the same campaign
+  /// — which is exactly what compare verifies.
+  bool MarkBaseline = false;
+};
+
+/// Where one written bundle landed.
+struct BundleResult {
+  std::string Dir;          ///< Directory holding the artifacts.
+  std::string RunId;
+  std::string ManifestHash; ///< contentHashHex of bundle_manifest.json.
+};
+
+/// Renders the resolved run config artifact (`run_config.json`): the
+/// execution-relevant knobs a reader needs without parsing the .scn —
+/// backend, link conditions, seed range, job-matrix size, wire version.
+/// Thread counts are deliberately absent: they cannot affect any outcome
+/// (the summary is byte-identical at any --jobs) and would break bundle
+/// determinism.
+std::string renderRunConfig(const scenario::Spec &S,
+                            const scenario::CampaignSummary &Summary);
+
+/// Renders the one-page `summary.md`: pass/fail verdict, fleet totals,
+/// key metrics (worst lat_p99, retransmit totals) and top anomalies
+/// (error rows, violating jobs).
+std::string renderSummaryMd(const scenario::Spec &S,
+                            const scenario::CampaignSummary &Summary);
+
+/// Writes the full bundle for \p S's campaign \p Summary. Creates the
+/// directory, writes every artifact, then the manifest over their exact
+/// bytes. Returns false and sets \p Error on I/O failure (partial bundles
+/// are possible then — the manifest is always written last, so a bundle
+/// with a manifest is complete).
+bool writeBundle(const scenario::Spec &S,
+                 const scenario::CampaignSummary &Summary,
+                 const BundleOptions &Opts, BundleResult &Out,
+                 std::string &Error);
+
+} // namespace report
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPORT_BUNDLE_H

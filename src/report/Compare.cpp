@@ -1,0 +1,347 @@
+//===- report/Compare.cpp - Bundle-vs-baseline comparison ---------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Compare.h"
+
+#include "report/Bundle.h"
+#include "report/Json.h"
+#include "support/StrUtil.h"
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace cliffedge;
+using namespace cliffedge::report;
+
+namespace {
+
+/// One loaded, integrity-checked bundle.
+struct LoadedBundle {
+  std::string RunId;
+  JsonValue Summary; ///< Parsed summary.json.
+};
+
+bool readFile(const std::filesystem::path &Path, std::string &Bytes,
+              std::string &Error) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In) {
+    Error = formatStr("cannot read '%s'", Path.string().c_str());
+    return false;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  Bytes = Buf.str();
+  return true;
+}
+
+/// Loads a bundle directory: parses the manifest, re-hashes every listed
+/// artifact against the bytes on disk, then parses summary.json. Any
+/// mismatch is an integrity error, not a diff — a corrupt bundle must not
+/// masquerade as a clean or regressed comparison.
+bool loadBundle(const std::string &Dir, LoadedBundle &Out,
+                std::string &Error) {
+  std::filesystem::path Base(Dir);
+  std::string ManifestBytes;
+  if (!readFile(Base / "bundle_manifest.json", ManifestBytes, Error))
+    return false;
+  JsonValue Manifest;
+  if (!parseJson(ManifestBytes, Manifest, Error)) {
+    Error = formatStr("%s/bundle_manifest.json: %s", Dir.c_str(),
+                      Error.c_str());
+    return false;
+  }
+  Out.RunId = Manifest.stringOr("run_id", "");
+  const JsonValue *Artifacts = Manifest.find("artifacts");
+  if (!Artifacts || !Artifacts->isArray()) {
+    Error = formatStr("%s: manifest has no artifacts array", Dir.c_str());
+    return false;
+  }
+  bool SawSummary = false;
+  for (const JsonValue &A : Artifacts->Arr) {
+    std::string Name = A.stringOr("name", "");
+    std::string Want = A.stringOr("fnv1a64", "");
+    double WantBytes = A.numberOr("bytes", -1);
+    if (Name.empty() || Name.find('/') != std::string::npos ||
+        Name.find("..") != std::string::npos) {
+      Error = formatStr("%s: manifest lists invalid artifact name '%s'",
+                        Dir.c_str(), Name.c_str());
+      return false;
+    }
+    std::string Bytes;
+    if (!readFile(Base / Name, Bytes, Error))
+      return false;
+    if (static_cast<double>(Bytes.size()) != WantBytes ||
+        contentHashHex(Bytes) != Want) {
+      Error = formatStr("%s/%s: content does not match its manifest entry "
+                        "(bundle corrupt or hand-edited)",
+                        Dir.c_str(), Name.c_str());
+      return false;
+    }
+    if (Name == "summary.json") {
+      SawSummary = true;
+      if (!parseJson(Bytes, Out.Summary, Error)) {
+        Error = formatStr("%s/summary.json: %s", Dir.c_str(),
+                          Error.c_str());
+        return false;
+      }
+    }
+  }
+  if (!SawSummary) {
+    Error = formatStr("%s: manifest lists no summary.json", Dir.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Renders a metric value: integers exactly, everything else to three
+/// decimals (matching the emitters' %.3f).
+std::string renderNum(double V) {
+  if (std::floor(V) == V && std::fabs(V) < 1e15)
+    return formatStr("%.0f", V);
+  return formatStr("%.3f", V);
+}
+
+/// Per-job verdict rank: pass < fail < error. Higher is worse.
+int verdictRank(const JsonValue &Job) {
+  const JsonValue *Ran = Job.find("ran");
+  if (!Ran || !Ran->isBool() || !Ran->B)
+    return 2;
+  const JsonValue *Ok = Job.find("spec_ok");
+  return Ok && Ok->isBool() && Ok->B ? 0 : 1;
+}
+
+const char *verdictName(int Rank) {
+  return Rank == 0 ? "pass" : Rank == 1 ? "fail" : "error";
+}
+
+struct Metric {
+  const char *Name;
+  enum { Counter, NullableCounter, Latency } Class;
+};
+
+/// Everything diffed per job, in the emitter's field order. The gated set
+/// is intentionally broad: these numbers are the determinism evidence the
+/// bundle exists to preserve.
+constexpr Metric kMetrics[] = {
+    {"epochs", Metric::Counter},
+    {"decisions", Metric::Counter},
+    {"views", Metric::Counter},
+    {"events", Metric::Counter},
+    {"messages", Metric::Counter},
+    {"bytes", Metric::Counter},
+    {"retransmits", Metric::Counter},
+    {"dup_suppressed", Metric::Counter},
+    {"ack_bytes", Metric::Counter},
+    {"first_decision", Metric::NullableCounter},
+    {"last_decision", Metric::NullableCounter},
+    {"crashes", Metric::Counter},
+    {"open_waves_hw", Metric::Counter},
+    {"lat_p50", Metric::Latency},
+    {"lat_p90", Metric::Latency},
+    {"lat_p99", Metric::Latency},
+    {"lat_max", Metric::Latency},
+    {"msgs_per_decision", Metric::Latency},
+};
+
+} // namespace
+
+bool cliffedge::report::compareBundles(const std::string &BaselineDir,
+                                       const std::string &RunDir,
+                                       const CompareOptions &Opts,
+                                       DiffResult &Out, std::string &Error) {
+  Out = DiffResult();
+  LoadedBundle Baseline, Run;
+  if (!loadBundle(BaselineDir, Baseline, Error) ||
+      !loadBundle(RunDir, Run, Error))
+    return false;
+  Out.BaselineRunId = Baseline.RunId;
+  Out.RunRunId = Run.RunId;
+
+  auto Add = [&](DiffEntry E) {
+    Out.Regressed |= E.Gating;
+    Out.Entries.push_back(std::move(E));
+  };
+
+  // Campaign header: job-matrix shape first — per-job comparison is only
+  // meaningful over a common matrix.
+  for (const char *Key : {"jobs", "passed", "failed", "errors"}) {
+    double B = Baseline.Summary.numberOr(Key, -1);
+    double R = Run.Summary.numberOr(Key, -1);
+    if (B == R)
+      continue;
+    DiffEntry E;
+    E.Campaign = true;
+    E.Metric = Key;
+    E.Baseline = renderNum(B);
+    E.Run = renderNum(R);
+    E.Delta = R - B;
+    E.Class = std::string(Key) == "jobs" ? "shape" : "counter";
+    // More passes / fewer failures is an improvement, never gated; the
+    // per-job verdict entries below still name exactly which jobs moved.
+    E.Gating = std::string(Key) == "jobs" ||
+               (std::string(Key) == "passed" ? R < B : R > B);
+    Add(E);
+  }
+
+  const JsonValue *BRes = Baseline.Summary.find("results");
+  const JsonValue *RRes = Run.Summary.find("results");
+  if (!BRes || !BRes->isArray() || !RRes || !RRes->isArray()) {
+    Error = "summary.json: missing results array";
+    return false;
+  }
+  size_t N = std::min(BRes->Arr.size(), RRes->Arr.size());
+  Out.JobsCompared = N;
+  for (size_t I = 0; I < N; ++I) {
+    const JsonValue &B = BRes->Arr[I];
+    const JsonValue &R = RRes->Arr[I];
+    size_t Job = static_cast<size_t>(B.numberOr("job", I));
+
+    // Identity: a row must describe the same (seed, variant) on both
+    // sides, or every delta below would be meaningless.
+    if (B.numberOr("seed", -1) != R.numberOr("seed", -2) ||
+        B.stringOr("variant", "") != R.stringOr("variant", "\x01")) {
+      DiffEntry E;
+      E.Job = Job;
+      E.Metric = "identity";
+      E.Baseline = formatStr("seed %s '%s'",
+                             renderNum(B.numberOr("seed", -1)).c_str(),
+                             B.stringOr("variant", "").c_str());
+      E.Run = formatStr("seed %s '%s'",
+                        renderNum(R.numberOr("seed", -1)).c_str(),
+                        R.stringOr("variant", "").c_str());
+      E.Class = "shape";
+      E.Gating = true;
+      Add(E);
+      continue;
+    }
+
+    int BV = verdictRank(B), RV = verdictRank(R);
+    if (BV != RV) {
+      DiffEntry E;
+      E.Job = Job;
+      E.Metric = "verdict";
+      E.Baseline = verdictName(BV);
+      E.Run = verdictName(RV);
+      E.Class = "verdict";
+      E.Gating = RV > BV; // Worsening gates; recovery is informational.
+      Add(E);
+    }
+
+    for (const Metric &M : kMetrics) {
+      const JsonValue *BVal = B.find(M.Name);
+      const JsonValue *RVal = R.find(M.Name);
+      bool BNull = !BVal || BVal->isNull();
+      bool RNull = !RVal || RVal->isNull();
+      if (BNull && RNull)
+        continue;
+      DiffEntry E;
+      E.Job = Job;
+      E.Metric = M.Name;
+      if (BNull != RNull) {
+        // null <-> number is a semantic flip ("no decision time exists"
+        // vs "decided at t"), never a numeric delta — always gates.
+        E.Baseline = BNull ? "null" : renderNum(BVal->Num);
+        E.Run = RNull ? "null" : renderNum(RVal->Num);
+        E.Class = "counter";
+        E.Gating = true;
+        Add(E);
+        continue;
+      }
+      double BNum = BVal->Num, RNum = RVal->Num;
+      if (BNum == RNum)
+        continue;
+      E.Baseline = renderNum(BNum);
+      E.Run = renderNum(RNum);
+      E.Delta = RNum - BNum;
+      if (M.Class == Metric::Latency) {
+        E.Class = "latency";
+        double Tol = std::max(Opts.LatencyAbsTol,
+                              Opts.LatencyRelTol *
+                                  std::max(1.0, std::fabs(BNum)));
+        E.Gating = std::fabs(E.Delta) > Tol;
+      } else {
+        E.Class = "counter";
+        E.Gating = true; // Either direction: determinism drift.
+      }
+      Add(E);
+    }
+  }
+  if (BRes->Arr.size() != RRes->Arr.size()) {
+    DiffEntry E;
+    E.Campaign = true;
+    E.Metric = "results_length";
+    E.Baseline = renderNum(static_cast<double>(BRes->Arr.size()));
+    E.Run = renderNum(static_cast<double>(RRes->Arr.size()));
+    E.Delta = static_cast<double>(RRes->Arr.size()) -
+              static_cast<double>(BRes->Arr.size());
+    E.Class = "shape";
+    E.Gating = true;
+    Add(E);
+  }
+  Out.Identical = Out.Entries.empty();
+  return true;
+}
+
+std::string DiffResult::toJson(const CompareOptions &Opts) const {
+  std::string Out = "{\n  \"schema\": 1,\n";
+  Out += formatStr("  \"baseline_run_id\": \"%s\",\n",
+                   jsonEscape(BaselineRunId).c_str());
+  Out += formatStr("  \"run_run_id\": \"%s\",\n",
+                   jsonEscape(RunRunId).c_str());
+  Out += formatStr("  \"jobs_compared\": %zu,\n", JobsCompared);
+  Out += formatStr("  \"identical\": %s,\n", Identical ? "true" : "false");
+  Out += formatStr("  \"regressed\": %s,\n", Regressed ? "true" : "false");
+  Out += formatStr("  \"tolerance\": {\"latency_abs\": %.3f, "
+                   "\"latency_rel\": %.3f},\n",
+                   Opts.LatencyAbsTol, Opts.LatencyRelTol);
+  Out += "  \"entries\": [\n";
+  for (size_t I = 0; I < Entries.size(); ++I) {
+    const DiffEntry &E = Entries[I];
+    Out += formatStr("    {\"scope\": \"%s\", \"job\": %zu, "
+                     "\"metric\": \"%s\", \"baseline\": \"%s\", "
+                     "\"run\": \"%s\", \"delta\": %.3f, "
+                     "\"class\": \"%s\", \"gating\": %s}%s\n",
+                     E.Campaign ? "campaign" : "job", E.Job,
+                     jsonEscape(E.Metric).c_str(),
+                     jsonEscape(E.Baseline).c_str(),
+                     jsonEscape(E.Run).c_str(), E.Delta,
+                     jsonEscape(E.Class).c_str(),
+                     E.Gating ? "true" : "false",
+                     I + 1 < Entries.size() ? "," : "");
+  }
+  Out += "  ]\n}\n";
+  return Out;
+}
+
+std::string DiffResult::toMarkdown(const CompareOptions &Opts) const {
+  std::string Out = "# Bundle comparison\n\n";
+  Out += formatStr("baseline `%s` vs run `%s` — %zu job(s) compared, "
+                   "tolerance abs %.3f / rel %.3f\n\n",
+                   BaselineRunId.c_str(), RunRunId.c_str(), JobsCompared,
+                   Opts.LatencyAbsTol, Opts.LatencyRelTol);
+  if (Identical) {
+    Out += "**IDENTICAL** — every compared quantity agrees.\n";
+    return Out;
+  }
+  Out += Regressed ? "**REGRESSED** — gating differences found.\n\n"
+                   : "**OK** — differences exist but none gate.\n\n";
+  Out += "| scope | job | metric | baseline | run | class | gating |\n";
+  Out += "|---|---|---|---|---|---|---|\n";
+  // Gating rows first so the reason for a red exit is at the top.
+  for (int Pass = 0; Pass < 2; ++Pass)
+    for (const DiffEntry &E : Entries) {
+      if (E.Gating != (Pass == 0))
+        continue;
+      Out += formatStr("| %s | %zu | %s | %s | %s | %s | %s |\n",
+                       E.Campaign ? "campaign" : "job", E.Job,
+                       E.Metric.c_str(), E.Baseline.c_str(), E.Run.c_str(),
+                       E.Class.c_str(), E.Gating ? "yes" : "no");
+    }
+  return Out;
+}

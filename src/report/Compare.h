@@ -1,0 +1,83 @@
+//===- report/Compare.h - Bundle-vs-baseline comparison ---------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mechanical comparison of two run bundles (report/Bundle.h): `compare`
+/// loads a baseline directory and a fresh run directory, verifies both
+/// manifests against the artifact bytes on disk, matches jobs by
+/// (job, seed, variant) and reports every metric delta as `diff.json` /
+/// `diff.md`.
+///
+/// Gating model: verdict transitions (pass -> fail/error) always regress;
+/// improvements never do. Metrics carry a tolerance class — counters are
+/// determinism evidence, so ANY drift in either direction gates; latency
+/// percentiles gate beyond a configurable absolute/relative tolerance.
+/// A null <-> number transition of first/last decision always gates: "no
+/// decision time exists" and "decided at some tick" are different claims,
+/// not a numeric delta.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPORT_COMPARE_H
+#define CLIFFEDGE_REPORT_COMPARE_H
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace report {
+
+/// Tolerances for the `latency` metric class (lat_p50/90/99, lat_max,
+/// msgs_per_decision). Counters always gate exactly and are not
+/// configurable — loosening determinism evidence would defeat it.
+struct CompareOptions {
+  double LatencyAbsTol = 0.0; ///< Allowed |delta| in ticks.
+  double LatencyRelTol = 0.0; ///< Allowed |delta| / max(1, |baseline|).
+};
+
+/// One compared quantity on one job (or on the campaign header).
+struct DiffEntry {
+  size_t Job = 0;          ///< Job index; meaningless when Campaign.
+  bool Campaign = false;   ///< Campaign-level (jobs/passed/failed/errors).
+  std::string Metric;      ///< e.g. "decisions", "lat_p99", "verdict".
+  std::string Baseline;    ///< Rendered baseline value ("null" if absent).
+  std::string Run;         ///< Rendered run value.
+  double Delta = 0.0;      ///< Run - baseline; 0 for non-numeric entries.
+  std::string Class;       ///< "verdict", "counter", "latency", "shape".
+  bool Gating = false;     ///< True when this entry is a regression.
+};
+
+/// Outcome of comparing two bundles.
+struct DiffResult {
+  std::string BaselineRunId;
+  std::string RunRunId;
+  size_t JobsCompared = 0;
+  bool Identical = false; ///< Zero entries: bundles agree on everything.
+  bool Regressed = false; ///< At least one gating entry — exit 1.
+  std::vector<DiffEntry> Entries; ///< Deltas only; agreement is silent.
+
+  /// Machine-readable rendering (diff.json): options echoed, verdict,
+  /// every entry.
+  std::string toJson(const CompareOptions &Opts) const;
+
+  /// Human rendering (diff.md): verdict headline, gating entries first.
+  std::string toMarkdown(const CompareOptions &Opts) const;
+};
+
+/// Compares the bundle in \p RunDir against the one in \p BaselineDir.
+/// Returns false and sets \p Error on I/O or integrity problems — missing
+/// artifacts, manifest hash mismatches, malformed JSON — which callers
+/// must keep distinct from a regression verdict (the CLI exits 2 for
+/// errors, 1 for Out.Regressed, 0 otherwise).
+bool compareBundles(const std::string &BaselineDir, const std::string &RunDir,
+                    const CompareOptions &Opts, DiffResult &Out,
+                    std::string &Error);
+
+} // namespace report
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPORT_COMPARE_H

@@ -1,0 +1,103 @@
+//===- report/Csv.cpp - Strict RFC 4180 CSV reader ---------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Csv.h"
+
+#include "support/StrUtil.h"
+
+using namespace cliffedge;
+
+bool cliffedge::report::parseCsv(const std::string &Text,
+                                 std::vector<std::vector<std::string>> &Rows,
+                                 std::string &Error) {
+  Rows.clear();
+  size_t Pos = 0;
+  auto Fail = [&](const char *Why) {
+    Error = formatStr("csv: byte %zu: %s", Pos, Why);
+    return false;
+  };
+
+  std::vector<std::string> Row;
+  std::string Field;
+  bool FieldStarted = false; // Current record has at least one field byte
+                             // or separator — distinguishes a final empty
+                             // record from a trailing newline.
+
+  auto EndField = [&]() {
+    Row.push_back(std::move(Field));
+    Field.clear();
+  };
+  auto EndRecord = [&]() {
+    EndField();
+    Rows.push_back(std::move(Row));
+    Row.clear();
+    FieldStarted = false;
+  };
+
+  while (Pos < Text.size()) {
+    char C = Text[Pos];
+    if (C == '"') {
+      if (!Field.empty())
+        return Fail("quote inside unquoted field");
+      // Quoted field: consume until the closing quote, honouring doubled
+      // quotes; commas, CR and LF are ordinary bytes inside.
+      ++Pos;
+      for (;;) {
+        if (Pos >= Text.size())
+          return Fail("unterminated quoted field");
+        char Q = Text[Pos];
+        if (Q == '"') {
+          if (Pos + 1 < Text.size() && Text[Pos + 1] == '"') {
+            Field += '"';
+            Pos += 2;
+            continue;
+          }
+          ++Pos; // Closing quote.
+          break;
+        }
+        Field += Q;
+        ++Pos;
+      }
+      FieldStarted = true;
+      // Only a separator or end-of-input may follow the closing quote.
+      if (Pos < Text.size() && Text[Pos] != ',' && Text[Pos] != '\n' &&
+          Text[Pos] != '\r')
+        return Fail("bytes after closing quote");
+      // An empty quoted field ("") must still terminate like any other:
+      // fall through to the separator handling below.
+      if (Pos >= Text.size()) {
+        EndRecord();
+        return true;
+      }
+      C = Text[Pos];
+    }
+    if (C == ',') {
+      EndField();
+      FieldStarted = true;
+      ++Pos;
+      continue;
+    }
+    if (C == '\r') {
+      if (Pos + 1 >= Text.size() || Text[Pos + 1] != '\n')
+        return Fail("bare CR outside quoted field");
+      EndRecord();
+      Pos += 2;
+      continue;
+    }
+    if (C == '\n') {
+      EndRecord();
+      ++Pos;
+      continue;
+    }
+    Field += C;
+    FieldStarted = true;
+    ++Pos;
+  }
+  if (FieldStarted || !Field.empty() || !Row.empty())
+    EndRecord();
+  return true;
+}

@@ -1,0 +1,44 @@
+//===- report/Csv.h - Strict RFC 4180 CSV reader ----------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A strict RFC 4180 CSV reader — the inverse of the campaign summary's
+/// `toCsv` emitter (which escapes through support/StrUtil's `csvField`).
+/// The round-trip tests feed hostile variant/error strings (quotes,
+/// commas, newlines, control bytes) through emitter and reader to prove
+/// rows can never be corrupted silently; the evidence pipeline uses it to
+/// load `summary.csv` artifacts back out of run bundles.
+///
+/// Strictness: a quote inside an unquoted field, bytes between a closing
+/// quote and the next separator, and an unterminated quoted field are all
+/// hard errors, never best-effort recoveries. Quoted fields may contain
+/// commas, CR, LF and doubled quotes; CRLF and LF both end a record.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPORT_CSV_H
+#define CLIFFEDGE_REPORT_CSV_H
+
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace report {
+
+/// Parses \p Text as RFC 4180 CSV into rows of fields. Returns false and
+/// fills \p Error (with a byte offset) on any violation. An empty input
+/// yields zero rows; a trailing newline does not create an empty row.
+/// Field counts per row are NOT validated here — callers that require a
+/// rectangle check against the header row themselves.
+bool parseCsv(const std::string &Text,
+              std::vector<std::vector<std::string>> &Rows,
+              std::string &Error);
+
+} // namespace report
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPORT_CSV_H

@@ -1,0 +1,322 @@
+//===- report/Json.cpp - Minimal strict JSON parser -------------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Json.h"
+
+#include "support/StrUtil.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+
+using namespace cliffedge;
+using namespace cliffedge::report;
+
+const JsonValue *JsonValue::find(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &[Name, Value] : Obj)
+    if (Name == Key)
+      return &Value;
+  return nullptr;
+}
+
+double JsonValue::numberOr(const std::string &Key, double Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isNumber() ? V->Num : Default;
+}
+
+std::string JsonValue::stringOr(const std::string &Key,
+                                const std::string &Default) const {
+  const JsonValue *V = find(Key);
+  return V && V->isString() ? V->Str : Default;
+}
+
+namespace {
+
+/// Recursive-descent parser over a byte range. Positions are byte offsets
+/// so diagnostics stay cheap and unambiguous.
+class Parser {
+public:
+  Parser(const std::string &Text, std::string &Error)
+      : Text(Text), Error(Error) {}
+
+  bool parse(JsonValue &Out) {
+    skipWs();
+    if (!parseValue(Out, 0))
+      return false;
+    skipWs();
+    if (Pos != Text.size())
+      return fail("trailing bytes after top-level value");
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  std::string &Error;
+  size_t Pos = 0;
+
+  bool fail(const std::string &Why) {
+    Error = formatStr("json: byte %zu: %s", Pos, Why.c_str());
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C != ' ' && C != '\t' && C != '\n' && C != '\r')
+        break;
+      ++Pos;
+    }
+  }
+
+  bool eof() const { return Pos >= Text.size(); }
+  char peek() const { return Text[Pos]; }
+
+  bool literal(const char *Word) {
+    size_t Len = std::string::traits_type::length(Word);
+    if (Text.compare(Pos, Len, Word) != 0)
+      return fail(formatStr("expected '%s'", Word));
+    Pos += Len;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, unsigned Depth) {
+    if (Depth > 64)
+      return fail("nesting depth over 64");
+    if (eof())
+      return fail("unexpected end of input");
+    switch (peek()) {
+    case 'n':
+      Out.K = JsonValue::Kind::Null;
+      return literal("null");
+    case 't':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = true;
+      return literal("true");
+    case 'f':
+      Out.K = JsonValue::Kind::Bool;
+      Out.B = false;
+      return literal("false");
+    case '"':
+      Out.K = JsonValue::Kind::String;
+      return parseString(Out.Str);
+    case '[':
+      return parseArray(Out, Depth);
+    case '{':
+      return parseObject(Out, Depth);
+    default:
+      return parseNumber(Out);
+    }
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (!eof() && peek() == '-')
+      ++Pos;
+    if (eof() || peek() < '0' || peek() > '9')
+      return fail("malformed number");
+    // No leading zeros: "0" alone or a 1-9 start.
+    if (peek() == '0') {
+      ++Pos;
+    } else {
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!eof() && peek() == '.') {
+      ++Pos;
+      if (eof() || peek() < '0' || peek() > '9')
+        return fail("digit required after decimal point");
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++Pos;
+      if (!eof() && (peek() == '+' || peek() == '-'))
+        ++Pos;
+      if (eof() || peek() < '0' || peek() > '9')
+        return fail("digit required in exponent");
+      while (!eof() && peek() >= '0' && peek() <= '9')
+        ++Pos;
+    }
+    Out.K = JsonValue::Kind::Number;
+    Out.Num = std::strtod(Text.substr(Start, Pos - Start).c_str(), nullptr);
+    if (!std::isfinite(Out.Num))
+      return fail("number out of double range");
+    return true;
+  }
+
+  /// Appends \p Code as UTF-8.
+  static void appendUtf8(std::string &Out, uint32_t Code) {
+    if (Code < 0x80) {
+      Out += static_cast<char>(Code);
+    } else if (Code < 0x800) {
+      Out += static_cast<char>(0xC0 | (Code >> 6));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else if (Code < 0x10000) {
+      Out += static_cast<char>(0xE0 | (Code >> 12));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    } else {
+      Out += static_cast<char>(0xF0 | (Code >> 18));
+      Out += static_cast<char>(0x80 | ((Code >> 12) & 0x3F));
+      Out += static_cast<char>(0x80 | ((Code >> 6) & 0x3F));
+      Out += static_cast<char>(0x80 | (Code & 0x3F));
+    }
+  }
+
+  bool parseHex4(uint32_t &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int I = 0; I < 4; ++I) {
+      char C = Text[Pos + static_cast<size_t>(I)];
+      uint32_t Digit;
+      if (C >= '0' && C <= '9')
+        Digit = static_cast<uint32_t>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Digit = static_cast<uint32_t>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Digit = static_cast<uint32_t>(C - 'A' + 10);
+      else
+        return fail("non-hex digit in \\u escape");
+      Out = Out << 4 | Digit;
+    }
+    Pos += 4;
+    return true;
+  }
+
+  bool parseString(std::string &Out) {
+    Out.clear();
+    ++Pos; // Opening quote.
+    for (;;) {
+      if (eof())
+        return fail("unterminated string");
+      char C = Text[Pos];
+      if (C == '"') {
+        ++Pos;
+        return true;
+      }
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        Out += C;
+        ++Pos;
+        continue;
+      }
+      ++Pos;
+      if (eof())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':  Out += '"';  break;
+      case '\\': Out += '\\'; break;
+      case '/':  Out += '/';  break;
+      case 'b':  Out += '\b'; break;
+      case 'f':  Out += '\f'; break;
+      case 'n':  Out += '\n'; break;
+      case 'r':  Out += '\r'; break;
+      case 't':  Out += '\t'; break;
+      case 'u': {
+        uint32_t Code;
+        if (!parseHex4(Code))
+          return false;
+        if (Code >= 0xDC00 && Code <= 0xDFFF)
+          return fail("lone low surrogate");
+        if (Code >= 0xD800 && Code <= 0xDBFF) {
+          // Must pair with a following \uDC00..\uDFFF low surrogate.
+          if (Text.compare(Pos, 2, "\\u") != 0)
+            return fail("lone high surrogate");
+          Pos += 2;
+          uint32_t Low;
+          if (!parseHex4(Low))
+            return false;
+          if (Low < 0xDC00 || Low > 0xDFFF)
+            return fail("invalid low surrogate");
+          Code = 0x10000 + ((Code - 0xD800) << 10) + (Low - 0xDC00);
+        }
+        appendUtf8(Out, Code);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+  }
+
+  bool parseArray(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Array;
+    ++Pos; // '['
+    skipWs();
+    if (!eof() && peek() == ']') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      Out.Arr.emplace_back();
+      if (!parseValue(Out.Arr.back(), Depth + 1))
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated array");
+      char C = Text[Pos++];
+      if (C == ']')
+        return true;
+      if (C != ',')
+        return fail("expected ',' or ']' in array");
+      skipWs();
+      if (!eof() && peek() == ']')
+        return fail("trailing comma in array");
+    }
+  }
+
+  bool parseObject(JsonValue &Out, unsigned Depth) {
+    Out.K = JsonValue::Kind::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (!eof() && peek() == '}') {
+      ++Pos;
+      return true;
+    }
+    for (;;) {
+      skipWs();
+      if (eof() || peek() != '"')
+        return fail("expected string key");
+      std::string Key;
+      if (!parseString(Key))
+        return false;
+      if (Out.find(Key))
+        return fail(formatStr("duplicate key '%s'", Key.c_str()));
+      skipWs();
+      if (eof() || Text[Pos++] != ':')
+        return fail("expected ':' after key");
+      skipWs();
+      Out.Obj.emplace_back(std::move(Key), JsonValue());
+      if (!parseValue(Out.Obj.back().second, Depth + 1))
+        return false;
+      skipWs();
+      if (eof())
+        return fail("unterminated object");
+      char C = Text[Pos++];
+      if (C == '}')
+        return true;
+      if (C != ',')
+        return fail("expected ',' or '}' in object");
+      skipWs();
+      if (!eof() && peek() == '}')
+        return fail("trailing comma in object");
+    }
+  }
+};
+
+} // namespace
+
+bool cliffedge::report::parseJson(const std::string &Text, JsonValue &Out,
+                                  std::string &Error) {
+  Out = JsonValue();
+  return Parser(Text, Error).parse(Out);
+}

@@ -1,0 +1,71 @@
+//===- report/Json.h - Minimal strict JSON parser ---------------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small strict JSON reader for the evidence pipeline: `compare` loads
+/// the summaries and manifests of two run bundles through it, and the
+/// round-trip tests push the campaign emitters' output (with hostile
+/// variant/error strings) through it to prove the escaping is lossless.
+/// Dependency-free and deliberately minimal: parse into a JsonValue tree,
+/// no writer (emitters build their JSON by hand for byte-determinism).
+///
+/// Strictness: RFC 8259 grammar — rejects trailing commas, unquoted keys,
+/// comments, garbage after the top-level value, unescaped control
+/// characters inside strings, and malformed \u escapes (including lone
+/// surrogates).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPORT_JSON_H
+#define CLIFFEDGE_REPORT_JSON_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cliffedge {
+namespace report {
+
+/// One parsed JSON value. A tagged struct rather than a std::variant so
+/// the accessors can stay trivially readable.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  /// Insertion-ordered; duplicate keys are a parse error.
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// Convenience: member's number with a default for absent/non-number.
+  double numberOr(const std::string &Key, double Default) const;
+
+  /// Convenience: member's string with a default for absent/non-string.
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+};
+
+/// Parses \p Text as one JSON document. Returns false and fills \p Error
+/// (with a byte offset) on any deviation from the strict grammar.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string &Error);
+
+} // namespace report
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPORT_JSON_H

@@ -116,13 +116,15 @@ JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
     Out.DupSuppressed = R.Stats.Channel.DupSuppressed;
     Out.AckBytes = R.Stats.Channel.AckBytes;
     Out.Crashes = Run.Plan.Crashes.size();
-    Out.FirstDecision = TimeNever;
+    // A run with no decisions keeps the TimeNever sentinel in both fields:
+    // "never decided" must stay distinguishable from "decided at t=0"
+    // (the renderers emit null / an empty field for it).
     for (const trace::DecisionRecord &D : R.Decisions) {
       Out.FirstDecision = std::min(Out.FirstDecision, D.When);
-      Out.LastDecision = std::max(Out.LastDecision, D.When);
+      Out.LastDecision = Out.LastDecision == TimeNever
+                             ? D.When
+                             : std::max(Out.LastDecision, D.When);
     }
-    if (Out.FirstDecision == TimeNever)
-      Out.FirstDecision = 0;
     if (V.Check) {
       trace::CheckResult Res =
           SC ? SC->sealEpoch()
@@ -264,31 +266,17 @@ CampaignSummary CampaignRunner::run(const CampaignOptions &Opts) {
 
 // --- Rendering --------------------------------------------------------------
 
-static std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20)
-        Out += formatStr("\\u%04x", C);
-      else
-        Out += C;
-    }
-  }
-  return Out;
+/// Renders a nullable decision time: TimeNever (no decision on this run's
+/// clock) becomes JSON null, anything else the integer tick.
+static std::string jsonTimeOrNull(SimTime T) {
+  return T == TimeNever ? std::string("null")
+                        : formatStr("%llu", (unsigned long long)T);
+}
+
+/// CSV flavour of the same rule: TimeNever renders as an empty field.
+static std::string csvTimeOrEmpty(SimTime T) {
+  return T == TimeNever ? std::string()
+                        : formatStr("%llu", (unsigned long long)T);
 }
 
 std::string CampaignSummary::toJson() const {
@@ -312,8 +300,8 @@ std::string CampaignSummary::toJson() const {
         "\"decisions\": %zu, \"views\": %zu, \"events\": %llu, "
         "\"messages\": %llu, \"bytes\": %llu, \"retransmits\": %llu, "
         "\"dup_suppressed\": %llu, \"ack_bytes\": %llu, "
-        "\"first_decision\": %llu, "
-        "\"last_decision\": %llu, \"crashes\": %llu, "
+        "\"first_decision\": %s, "
+        "\"last_decision\": %s, \"crashes\": %llu, "
         "\"lat_p50\": %llu, \"lat_p90\": %llu, \"lat_p99\": %llu, "
         "\"lat_max\": %llu, \"msgs_per_decision\": %.3f, "
         "\"open_waves_hw\": %llu, \"error\": \"%s\", \"violations\": [",
@@ -324,8 +312,8 @@ std::string CampaignSummary::toJson() const {
         (unsigned long long)R.Retransmits,
         (unsigned long long)R.DupSuppressed,
         (unsigned long long)R.AckBytes,
-        (unsigned long long)R.FirstDecision,
-        (unsigned long long)R.LastDecision,
+        jsonTimeOrNull(R.FirstDecision).c_str(),
+        jsonTimeOrNull(R.LastDecision).c_str(),
         (unsigned long long)R.Crashes,
         (unsigned long long)R.LatP50, (unsigned long long)R.LatP90,
         (unsigned long long)R.LatP99, (unsigned long long)R.LatMax,
@@ -348,10 +336,14 @@ std::string CampaignSummary::toCsv() const {
                     "lat_p50,lat_p90,lat_p99,lat_max,msgs_per_decision,"
                     "open_waves_hw,error\n";
   for (const JobOutcome &R : Results)
-    Out += formatStr("%zu,%llu,\"%s\",%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
-                     "%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
-                     "%.3f,%llu,\"%s\"\n",
-                     R.Index, (unsigned long long)R.Seed, R.Variant.c_str(),
+    // variant and error pass through csvField (RFC 4180: always quoted,
+    // embedded quotes doubled) so hostile sweep values and parse
+    // diagnostics — quotes, commas, newlines — can never corrupt a row.
+    Out += formatStr("%zu,%llu,%s,%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
+                     "%llu,%llu,%llu,%s,%s,%llu,%llu,%llu,%llu,%llu,"
+                     "%.3f,%llu,%s\n",
+                     R.Index, (unsigned long long)R.Seed,
+                     csvField(R.Variant).c_str(),
                      R.Ran ? 1 : 0, R.SpecOk ? 1 : 0, R.Epochs, R.Decisions,
                      R.DistinctViews, (unsigned long long)R.Events,
                      (unsigned long long)R.Messages,
@@ -359,13 +351,14 @@ std::string CampaignSummary::toCsv() const {
                      (unsigned long long)R.Retransmits,
                      (unsigned long long)R.DupSuppressed,
                      (unsigned long long)R.AckBytes,
-                     (unsigned long long)R.FirstDecision,
-                     (unsigned long long)R.LastDecision,
+                     csvTimeOrEmpty(R.FirstDecision).c_str(),
+                     csvTimeOrEmpty(R.LastDecision).c_str(),
                      (unsigned long long)R.Crashes,
                      (unsigned long long)R.LatP50,
                      (unsigned long long)R.LatP90,
                      (unsigned long long)R.LatP99,
                      (unsigned long long)R.LatMax, R.MsgsPerDecision,
-                     (unsigned long long)R.OpenWavesHw, R.Error.c_str());
+                     (unsigned long long)R.OpenWavesHw,
+                     csvField(R.Error).c_str());
   return Out;
 }

@@ -47,8 +47,14 @@ struct JobOutcome {
   uint64_t Retransmits = 0;
   uint64_t DupSuppressed = 0;
   uint64_t AckBytes = 0;
-  SimTime FirstDecision = 0;
-  SimTime LastDecision = 0;
+  /// Absolute times of the run's first/last decision on the single-run
+  /// simulation clock. TimeNever means "no decision time exists": the job
+  /// never decided, did not run, or is multi-epoch (each epoch restarts
+  /// its clock, so no single timeline exists). Rendered as `null` in JSON
+  /// and an empty field in CSV — never collapsed onto t=0, which is a
+  /// legitimate decision time.
+  SimTime FirstDecision = TimeNever;
+  SimTime LastDecision = TimeNever;
   /// Crash events executed across all epochs (a service-run health
   /// number: churn scenarios generate their plans, so the count is not
   /// readable off the spec).

@@ -83,8 +83,13 @@ public:
 
   uint64_t count() const { return Samples.size(); }
 
-  /// Returns the \p P-th percentile (P in [0,100]) by nearest-rank on the
-  /// sorted samples. Zero when empty.
+  /// Returns the \p P-th percentile (P in [0,100]) by linear interpolation
+  /// between closest ranks on the sorted samples (rank = P/100 * (N-1),
+  /// numpy's default "linear" method): an exact-rank hit returns that
+  /// sample, anything between two ranks their distance-weighted
+  /// average. N=1 returns the sample for every P; P=0 / P=100 are always
+  /// min / max. Zero when empty. These semantics are pinned by unit tests
+  /// — lat_p50/90/99 baselines depend on them.
   double percentile(double P) const {
     if (Samples.empty())
       return 0.0;

@@ -29,6 +29,53 @@ std::vector<uint64_t> cliffedge::splitUnsigned(const std::string &Text,
   return Out;
 }
 
+std::string cliffedge::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  char Buf[8];
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string cliffedge::csvField(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size() + 2);
+  Out += '"';
+  for (char C : S) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
 std::string cliffedge::formatStrV(const char *Fmt, va_list Args) {
   va_list Copy;
   va_copy(Copy, Args);

@@ -31,6 +31,21 @@ std::string formatStr(const char *Fmt, ...)
 /// the two can never drift.
 std::vector<uint64_t> splitUnsigned(const std::string &Text, char Sep);
 
+/// Escapes \p S for embedding in a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped, \n/\r/\t use their short
+/// forms, remaining control bytes become \u00xx. Bytes >= 0x20 pass
+/// through untouched (UTF-8 stays UTF-8). Shared by every JSON emitter
+/// (campaign summaries, bundles, diffs) so escaping can never drift
+/// between them.
+std::string jsonEscape(const std::string &S);
+
+/// Renders \p S as one RFC 4180 CSV field: wrapped in double quotes with
+/// embedded `"` doubled, so fields containing quotes, commas, newlines or
+/// any other byte round-trip losslessly through a strict CSV reader.
+/// Always quoted — a fixed shape keeps summary bytes deterministic and
+/// spares consumers a needs-quoting heuristic.
+std::string csvField(const std::string &S);
+
 /// va_list flavour of formatStr.
 std::string formatStrV(const char *Fmt, va_list Args);
 

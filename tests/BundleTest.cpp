@@ -1,0 +1,296 @@
+//===- tests/BundleTest.cpp - Run-bundle and compare tests --------------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The bundle layer's contracts: the same (spec, seeds) produces
+/// byte-identical bundles at any thread count, run ids are deterministic
+/// and collision-averse, manifests detect tampering, and compareBundles
+/// gates exactly on verdict worsenings, counter drift and out-of-tolerance
+/// latency moves — including the null <-> number decision-time flip.
+///
+//===----------------------------------------------------------------------===//
+
+#include "report/Bundle.h"
+#include "report/Compare.h"
+#include "scenario/Campaign.h"
+#include "scenario/Parse.h"
+
+#include "gtest/gtest.h"
+
+#include <filesystem>
+#include <fstream>
+
+using namespace cliffedge;
+using report::BundleOptions;
+using report::BundleResult;
+using report::CompareOptions;
+using report::DiffEntry;
+using report::DiffResult;
+using scenario::CampaignSummary;
+using scenario::JobOutcome;
+
+namespace {
+
+scenario::Spec parseOrDie(const std::string &Text) {
+  scenario::ParseResult P = scenario::parseSpec(Text);
+  EXPECT_TRUE(P.Ok) << P.diagText();
+  return P.S;
+}
+
+/// A fresh empty directory under the test temp root.
+std::string freshDir(const std::string &Name) {
+  std::filesystem::path Dir =
+      std::filesystem::path(::testing::TempDir()) / "cliffedge_bundles" /
+      Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir.string();
+}
+
+std::string slurp(const std::filesystem::path &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  EXPECT_TRUE(In.good()) << Path;
+  return std::string(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>());
+}
+
+/// Writes a bundle for (S, Sum) into a fresh dir and returns its path.
+std::string writeOrDie(const scenario::Spec &S, const CampaignSummary &Sum,
+                       const std::string &Name, bool Baseline = false) {
+  BundleOptions Opts;
+  Opts.OutDir = freshDir(Name);
+  Opts.Flat = true;
+  Opts.MarkBaseline = Baseline;
+  BundleResult Res;
+  std::string Err;
+  EXPECT_TRUE(report::writeBundle(S, Sum, Opts, Res, Err)) << Err;
+  return Res.Dir;
+}
+
+/// A small real campaign — the determinism fixture.
+const char *kCampaignText = "scenario Bundle_Fixture\n"
+                            "topology er:24:8\n"
+                            "seeds 1..3\n"
+                            "latency uniform 1 30\n"
+                            "sweep detect 3 7\n"
+                            "crash ball 5 1 at 80\n"
+                            "check on\n";
+
+CampaignSummary runCampaign(unsigned Threads) {
+  scenario::CampaignRunner Runner(parseOrDie(kCampaignText));
+  scenario::CampaignOptions Opts;
+  Opts.Threads = Threads;
+  return Runner.run(Opts);
+}
+
+/// Hand-built one-job summary for targeted compare tests.
+CampaignSummary oneJob(uint64_t Decisions, SimTime LastDecision,
+                       SimTime LatP99, bool SpecOk = true,
+                       bool Ran = true) {
+  CampaignSummary Sum;
+  Sum.Scenario = "synthetic";
+  Sum.Jobs = 1;
+  (Ran ? (SpecOk ? Sum.Passed : Sum.Failed) : Sum.Errors) = 1;
+  Sum.TotalDecisions = Decisions;
+  Sum.Results.resize(1);
+  JobOutcome &R = Sum.Results[0];
+  R.Index = 0;
+  R.Seed = 1;
+  R.Ran = Ran;
+  R.SpecOk = SpecOk;
+  R.Decisions = Decisions;
+  R.LastDecision = LastDecision;
+  R.FirstDecision = LastDecision == TimeNever ? TimeNever : 0;
+  R.LatP99 = LatP99;
+  if (!Ran)
+    R.Error = "did not run";
+  return Sum;
+}
+
+DiffResult compareOrDie(const std::string &Base, const std::string &Run,
+                        const CompareOptions &Opts = CompareOptions()) {
+  DiffResult Diff;
+  std::string Err;
+  EXPECT_TRUE(report::compareBundles(Base, Run, Opts, Diff, Err)) << Err;
+  return Diff;
+}
+
+TEST(BundleTest, BundlesAreByteIdenticalAcrossThreadCounts) {
+  scenario::Spec S = parseOrDie(kCampaignText);
+  std::string D1 = writeOrDie(S, runCampaign(1), "jobs1");
+  std::string D4 = writeOrDie(S, runCampaign(4), "jobs4");
+  for (const char *Name :
+       {"bundle_manifest.json", "scenario.scn", "run_config.json",
+        "summary.json", "summary.csv", "summary.md"})
+    EXPECT_EQ(slurp(std::filesystem::path(D1) / Name),
+              slurp(std::filesystem::path(D4) / Name))
+        << Name;
+}
+
+TEST(BundleTest, RunIdIsDeterministicAndSanitized) {
+  scenario::Spec S = parseOrDie(kCampaignText);
+  std::string Id = report::computeRunId(S);
+  EXPECT_EQ(Id, report::computeRunId(S));
+  // "Bundle_Fixture" sanitizes to lowercase with dashes; the suffix is
+  // the 16-hex-digit spec hash.
+  EXPECT_EQ(Id.rfind("bundle-fixture-", 0), 0u) << Id;
+  EXPECT_EQ(Id.size(), std::string("bundle-fixture-").size() + 16);
+  // Any spec change moves the id.
+  scenario::Spec S2 = S;
+  S2.Detect += 1;
+  EXPECT_NE(Id, report::computeRunId(S2));
+}
+
+TEST(BundleTest, BaselineMarkerIsUnmanifestedFixedContent) {
+  scenario::Spec S = parseOrDie(kCampaignText);
+  CampaignSummary Sum = runCampaign(1);
+  std::string Plain = writeOrDie(S, Sum, "plain");
+  std::string Base = writeOrDie(S, Sum, "base", /*Baseline=*/true);
+  EXPECT_FALSE(
+      std::filesystem::exists(std::filesystem::path(Plain) / "BASELINE"));
+  EXPECT_EQ(slurp(std::filesystem::path(Base) / "BASELINE"), "baseline\n");
+  // Marking a baseline must not perturb a single manifested byte.
+  EXPECT_EQ(slurp(std::filesystem::path(Plain) / "bundle_manifest.json"),
+            slurp(std::filesystem::path(Base) / "bundle_manifest.json"));
+}
+
+TEST(BundleTest, SelfCompareIsIdentical) {
+  scenario::Spec S = parseOrDie(kCampaignText);
+  CampaignSummary Sum = runCampaign(2);
+  std::string A = writeOrDie(S, Sum, "self_a", /*Baseline=*/true);
+  std::string B = writeOrDie(S, Sum, "self_b");
+  DiffResult Diff = compareOrDie(A, B);
+  EXPECT_TRUE(Diff.Identical);
+  EXPECT_FALSE(Diff.Regressed);
+  EXPECT_EQ(Diff.Entries.size(), 0u);
+  EXPECT_EQ(Diff.JobsCompared, Sum.Jobs);
+}
+
+TEST(BundleTest, CounterDriftGatesInEitherDirection) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  std::string Base = writeOrDie(S, oneJob(10, 200, 0), "ctr_base");
+  // MORE decisions is still drift: these are determinism evidence.
+  std::string Run = writeOrDie(S, oneJob(12, 200, 0), "ctr_run");
+  DiffResult Diff = compareOrDie(Base, Run);
+  EXPECT_TRUE(Diff.Regressed);
+  bool Found = false;
+  for (const DiffEntry &E : Diff.Entries)
+    if (!E.Campaign && E.Metric == "decisions") {
+      Found = true;
+      EXPECT_TRUE(E.Gating);
+      EXPECT_EQ(E.Baseline, "10");
+      EXPECT_EQ(E.Run, "12");
+      EXPECT_EQ(E.Delta, 2.0);
+      EXPECT_EQ(E.Class, "counter");
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(BundleTest, LatencyTolerancesAbsorbSmallMoves) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  std::string Base = writeOrDie(S, oneJob(10, 200, 100), "lat_base");
+  std::string Run = writeOrDie(S, oneJob(10, 200, 108), "lat_run");
+  // Zero tolerance: the 8-tick move gates.
+  EXPECT_TRUE(compareOrDie(Base, Run).Regressed);
+  // Absolute tolerance 10 absorbs it — reported, not gating.
+  CompareOptions Abs;
+  Abs.LatencyAbsTol = 10;
+  DiffResult Diff = compareOrDie(Base, Run, Abs);
+  EXPECT_FALSE(Diff.Regressed);
+  EXPECT_FALSE(Diff.Identical);
+  ASSERT_EQ(Diff.Entries.size(), 1u);
+  EXPECT_EQ(Diff.Entries[0].Metric, "lat_p99");
+  EXPECT_FALSE(Diff.Entries[0].Gating);
+  // Relative tolerance 10% of baseline=100 likewise.
+  CompareOptions Rel;
+  Rel.LatencyRelTol = 0.1;
+  EXPECT_FALSE(compareOrDie(Base, Run, Rel).Regressed);
+  // But 8% does not cover an 8-tick move at baseline 100... at 0.05:
+  Rel.LatencyRelTol = 0.05;
+  EXPECT_TRUE(compareOrDie(Base, Run, Rel).Regressed);
+}
+
+TEST(BundleTest, VerdictWorseningGatesImprovementDoesNot) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  std::string Pass = writeOrDie(S, oneJob(10, 200, 0, /*SpecOk=*/true),
+                                "v_pass");
+  std::string Fail = writeOrDie(S, oneJob(10, 200, 0, /*SpecOk=*/false),
+                                "v_fail");
+  DiffResult Worse = compareOrDie(Pass, Fail);
+  EXPECT_TRUE(Worse.Regressed);
+  bool Found = false;
+  for (const DiffEntry &E : Worse.Entries)
+    if (E.Metric == "verdict") {
+      Found = true;
+      EXPECT_TRUE(E.Gating);
+      EXPECT_EQ(E.Baseline, "pass");
+      EXPECT_EQ(E.Run, "fail");
+    }
+  EXPECT_TRUE(Found);
+  // The reverse direction is an improvement: visible but not gating.
+  DiffResult Better = compareOrDie(Fail, Pass);
+  EXPECT_FALSE(Better.Regressed);
+  EXPECT_FALSE(Better.Identical);
+}
+
+TEST(BundleTest, NullToNumberDecisionFlipAlwaysGates) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  // Baseline never decided; run decided at t=0. Without the null
+  // distinction both would render 0 and the flip would be invisible.
+  std::string Never =
+      writeOrDie(S, oneJob(0, TimeNever, 0), "null_base");
+  std::string AtZero = writeOrDie(S, oneJob(0, 0, 0), "null_run");
+  DiffResult Diff = compareOrDie(Never, AtZero);
+  EXPECT_TRUE(Diff.Regressed);
+  bool Found = false;
+  for (const DiffEntry &E : Diff.Entries)
+    if (E.Metric == "last_decision") {
+      Found = true;
+      EXPECT_TRUE(E.Gating);
+      EXPECT_EQ(E.Baseline, "null");
+      EXPECT_EQ(E.Run, "0");
+    }
+  EXPECT_TRUE(Found);
+}
+
+TEST(BundleTest, TamperedArtifactIsAnIntegrityError) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  CampaignSummary Sum = oneJob(10, 200, 0);
+  std::string Base = writeOrDie(S, Sum, "tamper_base", /*Baseline=*/true);
+  std::string Run = writeOrDie(S, Sum, "tamper_run");
+  // Flip one byte of summary.csv behind the manifest's back.
+  std::filesystem::path Victim = std::filesystem::path(Run) / "summary.csv";
+  std::string Bytes = slurp(Victim);
+  Bytes[Bytes.size() / 2] ^= 1;
+  std::ofstream(Victim, std::ios::binary | std::ios::trunc) << Bytes;
+  DiffResult Diff;
+  std::string Err;
+  EXPECT_FALSE(report::compareBundles(Base, Run, CompareOptions(), Diff,
+                                      Err));
+  EXPECT_NE(Err.find("does not match its manifest"), std::string::npos)
+      << Err;
+}
+
+TEST(BundleTest, JobMatrixShapeMismatchGates) {
+  scenario::Spec S = parseOrDie("topology grid:4x4\ncrash ball 1 1 at 50\n");
+  CampaignSummary One = oneJob(10, 200, 0);
+  CampaignSummary Two = One;
+  Two.Jobs = 2;
+  Two.Results.push_back(Two.Results[0]);
+  Two.Results[1].Index = 1;
+  Two.Results[1].Seed = 2;
+  std::string Base = writeOrDie(S, One, "shape_base");
+  std::string Run = writeOrDie(S, Two, "shape_run");
+  DiffResult Diff = compareOrDie(Base, Run);
+  EXPECT_TRUE(Diff.Regressed);
+  bool FoundShape = false;
+  for (const DiffEntry &E : Diff.Entries)
+    FoundShape |= E.Class == "shape" && E.Gating;
+  EXPECT_TRUE(FoundShape);
+}
+
+} // namespace

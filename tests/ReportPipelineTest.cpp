@@ -1,0 +1,212 @@
+//===- tests/ReportPipelineTest.cpp - Emitter/parser round trips --------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The evidence pipeline's escaping contract: hostile variant/error strings
+/// (quotes, commas, newlines, control bytes) must survive the campaign
+/// emitters and come back byte-identical through the strict RFC 4180 CSV
+/// and RFC 8259 JSON readers — and "never decided" must stay null/empty,
+/// never collapse onto t=0. Plus the readers' own strictness: malformed
+/// input is a hard error with a byte offset, not a best-effort recovery.
+///
+//===----------------------------------------------------------------------===//
+
+#include "report/Csv.h"
+#include "report/Json.h"
+#include "scenario/Campaign.h"
+#include "support/StrUtil.h"
+
+#include "gtest/gtest.h"
+
+using namespace cliffedge;
+using report::JsonValue;
+using scenario::CampaignSummary;
+using scenario::JobOutcome;
+
+namespace {
+
+// The adversarial corpus: every string class that has historically broken
+// a CSV or JSON emitter somewhere.
+const char *kHostile[] = {
+    "plain",
+    "with \"embedded quotes\"",
+    "comma, separated, value",
+    "line\nbreak",
+    "crlf\r\nbreak",
+    "quote-comma \",\" mix",
+    "trailing quote\"",
+    "\"leading quote",
+    "tab\tand control \x01\x1f bytes",
+    "backslash \\ and \\\" fake escape",
+    "", // Empty is a value too.
+};
+
+/// A two-job summary whose variant/error carry \p Variant / \p Error.
+CampaignSummary makeSummary(const std::string &Variant,
+                            const std::string &Error) {
+  CampaignSummary Sum;
+  Sum.Scenario = "hostile";
+  Sum.Jobs = 2;
+  Sum.Passed = 1;
+  Sum.Errors = 1;
+  Sum.Results.resize(2);
+  Sum.Results[0].Index = 0;
+  Sum.Results[0].Seed = 1;
+  Sum.Results[0].Variant = Variant;
+  Sum.Results[0].Ran = true;
+  Sum.Results[0].SpecOk = true;
+  Sum.Results[0].Decisions = 3;
+  Sum.Results[0].FirstDecision = 0; // Legitimately decided at t=0.
+  Sum.Results[0].LastDecision = 42;
+  Sum.Results[1].Index = 1;
+  Sum.Results[1].Seed = 2;
+  Sum.Results[1].Variant = Variant;
+  Sum.Results[1].Error = Error;
+  // Job 1 never ran: FirstDecision/LastDecision stay TimeNever.
+  return Sum;
+}
+
+JsonValue parseJsonOrDie(const std::string &Text) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_TRUE(report::parseJson(Text, V, Err)) << Err << "\n" << Text;
+  return V;
+}
+
+std::vector<std::vector<std::string>> parseCsvOrDie(const std::string &T) {
+  std::vector<std::vector<std::string>> Rows;
+  std::string Err;
+  EXPECT_TRUE(report::parseCsv(T, Rows, Err)) << Err << "\n" << T;
+  return Rows;
+}
+
+TEST(ReportPipelineTest, HostileStringsRoundTripThroughCsv) {
+  for (const char *S : kHostile) {
+    CampaignSummary Sum = makeSummary(S, S);
+    std::vector<std::vector<std::string>> Rows =
+        parseCsvOrDie(Sum.toCsv());
+    ASSERT_EQ(Rows.size(), 3u) << S; // Header + one row per job.
+    for (size_t R = 1; R < Rows.size(); ++R)
+      ASSERT_EQ(Rows[R].size(), Rows[0].size()) << S;
+    // variant is column 2, error the last column (see the header row).
+    EXPECT_EQ(Rows[1][2], S);
+    EXPECT_EQ(Rows[2][2], S);
+    EXPECT_EQ(Rows[2].back(), S);
+  }
+}
+
+TEST(ReportPipelineTest, HostileStringsRoundTripThroughJson) {
+  for (const char *S : kHostile) {
+    CampaignSummary Sum = makeSummary(S, S);
+    JsonValue V = parseJsonOrDie(Sum.toJson());
+    const JsonValue *Results = V.find("results");
+    ASSERT_NE(Results, nullptr) << S;
+    ASSERT_EQ(Results->Arr.size(), 2u) << S;
+    EXPECT_EQ(Results->Arr[0].stringOr("variant", "<missing>"), S);
+    EXPECT_EQ(Results->Arr[1].stringOr("error", "<missing>"), S);
+  }
+}
+
+TEST(ReportPipelineTest, DecisionTimesDistinguishNullFromZero) {
+  CampaignSummary Sum = makeSummary("v", "boom");
+  // JSON: job 0 decided at t=0 (a number), job 1 never did (null).
+  JsonValue V = parseJsonOrDie(Sum.toJson());
+  const JsonValue *Results = V.find("results");
+  ASSERT_NE(Results, nullptr);
+  const JsonValue *First0 = Results->Arr[0].find("first_decision");
+  ASSERT_NE(First0, nullptr);
+  EXPECT_TRUE(First0->isNumber());
+  EXPECT_EQ(First0->Num, 0.0);
+  EXPECT_EQ(Results->Arr[0].numberOr("last_decision", -1), 42.0);
+  const JsonValue *First1 = Results->Arr[1].find("first_decision");
+  ASSERT_NE(First1, nullptr);
+  EXPECT_TRUE(First1->isNull());
+  const JsonValue *Last1 = Results->Arr[1].find("last_decision");
+  ASSERT_NE(Last1, nullptr);
+  EXPECT_TRUE(Last1->isNull());
+
+  // CSV: "0" for t=0, an empty field for never (columns 15 and 16).
+  std::vector<std::vector<std::string>> Rows = parseCsvOrDie(Sum.toCsv());
+  ASSERT_EQ(Rows.size(), 3u);
+  ASSERT_EQ(Rows[0][14], "first_decision");
+  ASSERT_EQ(Rows[0][15], "last_decision");
+  EXPECT_EQ(Rows[1][14], "0");
+  EXPECT_EQ(Rows[1][15], "42");
+  EXPECT_EQ(Rows[2][14], "");
+  EXPECT_EQ(Rows[2][15], "");
+}
+
+TEST(ReportPipelineTest, CsvFieldEscapesPerRfc4180) {
+  EXPECT_EQ(csvField("plain"), "\"plain\"");
+  EXPECT_EQ(csvField("a \"b\" c"), "\"a \"\"b\"\" c\"");
+  EXPECT_EQ(csvField(""), "\"\"");
+  EXPECT_EQ(csvField("a,b\nc"), "\"a,b\nc\"");
+}
+
+TEST(ReportPipelineTest, CsvParserHandlesQuotedStructure) {
+  std::vector<std::vector<std::string>> Rows =
+      parseCsvOrDie("a,\"b,c\",\"d\"\"e\"\n\"multi\r\nline\",,x\r\n");
+  ASSERT_EQ(Rows.size(), 2u);
+  EXPECT_EQ(Rows[0], (std::vector<std::string>{"a", "b,c", "d\"e"}));
+  EXPECT_EQ(Rows[1], (std::vector<std::string>{"multi\r\nline", "", "x"}));
+}
+
+TEST(ReportPipelineTest, CsvParserRejectsMalformedInput) {
+  std::vector<std::vector<std::string>> Rows;
+  std::string Err;
+  EXPECT_FALSE(report::parseCsv("a\"b\n", Rows, Err));
+  EXPECT_NE(Err.find("quote inside unquoted field"), std::string::npos);
+  EXPECT_FALSE(report::parseCsv("\"a\"b\n", Rows, Err));
+  EXPECT_NE(Err.find("after closing quote"), std::string::npos);
+  EXPECT_FALSE(report::parseCsv("\"unterminated", Rows, Err));
+  EXPECT_NE(Err.find("unterminated"), std::string::npos);
+  EXPECT_FALSE(report::parseCsv("a\rb\n", Rows, Err));
+  EXPECT_NE(Err.find("bare CR"), std::string::npos);
+}
+
+TEST(ReportPipelineTest, JsonParserAcceptsStrictDocuments) {
+  JsonValue V = parseJsonOrDie(
+      "{\"a\": [1, -2.5, 1e3], \"b\": {\"c\": null, \"d\": true}, "
+      "\"s\": \"q\\\"\\\\\\n\\u0041\\ud83d\\ude00\"}");
+  ASSERT_TRUE(V.isObject());
+  const JsonValue *A = V.find("a");
+  ASSERT_NE(A, nullptr);
+  ASSERT_EQ(A->Arr.size(), 3u);
+  EXPECT_EQ(A->Arr[1].Num, -2.5);
+  EXPECT_EQ(A->Arr[2].Num, 1000.0);
+  EXPECT_EQ(V.find("b")->find("c")->isNull(), true);
+  // \u0041 is 'A'; the surrogate pair decodes to 4-byte UTF-8.
+  EXPECT_EQ(V.stringOr("s", ""), "q\"\\\nA\xf0\x9f\x98\x80");
+}
+
+TEST(ReportPipelineTest, JsonParserRejectsSloppyInput) {
+  JsonValue V;
+  std::string Err;
+  EXPECT_FALSE(report::parseJson("{\"a\": 1,}", V, Err)); // Trailing comma.
+  EXPECT_FALSE(report::parseJson("{\"a\": 1, \"a\": 2}", V, Err));
+  EXPECT_NE(Err.find("duplicate"), std::string::npos);
+  EXPECT_FALSE(report::parseJson("{\"a\": 1} x", V, Err)); // Trailing junk.
+  EXPECT_FALSE(report::parseJson("{\"a\": 01}", V, Err)); // Leading zero.
+  EXPECT_FALSE(report::parseJson("\"raw \n newline\"", V, Err));
+  EXPECT_FALSE(report::parseJson("\"lone surrogate \\ud83d\"", V, Err));
+  EXPECT_FALSE(report::parseJson("{'a': 1}", V, Err)); // Unquoted keys.
+  // Errors carry a byte offset for debugging artifacts.
+  EXPECT_FALSE(report::parseJson("{\"a\": }", V, Err));
+  EXPECT_NE(Err.find("byte"), std::string::npos);
+}
+
+TEST(ReportPipelineTest, JsonEscapeCoversControlBytes) {
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("nl\ncr\rtab\t"), "nl\\ncr\\rtab\\t");
+  EXPECT_EQ(jsonEscape(std::string("\x01\x1f", 2)), "\\u0001\\u001f");
+  // And the round trip agrees byte for byte.
+  JsonValue V = parseJsonOrDie(
+      "\"" + jsonEscape("mix \"q\" \n \x02 \\ end") + "\"");
+  EXPECT_EQ(V.Str, "mix \"q\" \n \x02 \\ end");
+}
+
+} // namespace

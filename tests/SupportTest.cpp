@@ -181,6 +181,57 @@ TEST(StatsTest, PercentilesEmpty) {
   EXPECT_EQ(P.percentile(50), 0.0);
 }
 
+// The next four tests freeze Percentiles::percentile's interpolation
+// semantics (rank = P/100 * (N-1), linear between closest ranks) for the
+// small sample counts where implementations diverge the most. Campaign
+// lat_p50/p90/p99 columns — and the run-bundle baselines built on them —
+// depend on these exact values, so any change here is a schema break.
+
+TEST(StatsTest, PercentileSingleSampleIsEveryPercentile) {
+  Percentiles P;
+  P.add(42.0);
+  for (double Q : {0.0, 1.0, 50.0, 99.0, 100.0})
+    EXPECT_NEAR(P.percentile(Q), 42.0, 1e-12) << "P=" << Q;
+}
+
+TEST(StatsTest, PercentileTwoSamplesInterpolatesLinearly) {
+  Percentiles P;
+  P.add(10.0);
+  P.add(20.0);
+  EXPECT_NEAR(P.percentile(0), 10.0, 1e-12);
+  EXPECT_NEAR(P.percentile(100), 20.0, 1e-12);
+  // Nearest-rank would snap to a sample; interpolation gives midpoints.
+  EXPECT_NEAR(P.percentile(50), 15.0, 1e-12);
+  EXPECT_NEAR(P.percentile(25), 12.5, 1e-12);
+  EXPECT_NEAR(P.percentile(90), 19.0, 1e-12);
+}
+
+TEST(StatsTest, PercentileThreeSamplesExactMiddleRank) {
+  Percentiles P;
+  // Insertion order must not matter: percentile sorts internally.
+  P.add(30.0);
+  P.add(10.0);
+  P.add(20.0);
+  EXPECT_NEAR(P.percentile(50), 20.0, 1e-12);  // Exact rank 1.
+  EXPECT_NEAR(P.percentile(25), 15.0, 1e-12);  // Halfway rank 0.5.
+  EXPECT_NEAR(P.percentile(75), 25.0, 1e-12);  // Halfway rank 1.5.
+  EXPECT_NEAR(P.percentile(99), 29.8, 1e-12);  // Rank 1.98.
+}
+
+TEST(StatsTest, PercentileExactRankHitsReturnSamples) {
+  Percentiles P;
+  for (double V : {1.0, 2.0, 3.0, 4.0, 5.0})
+    P.add(V);
+  // With N=5, ranks 0..4 land exactly on P = 0, 25, 50, 75, 100.
+  EXPECT_NEAR(P.percentile(0), 1.0, 1e-12);
+  EXPECT_NEAR(P.percentile(25), 2.0, 1e-12);
+  EXPECT_NEAR(P.percentile(50), 3.0, 1e-12);
+  EXPECT_NEAR(P.percentile(75), 4.0, 1e-12);
+  EXPECT_NEAR(P.percentile(100), 5.0, 1e-12);
+  // And between ranks it interpolates, never snaps.
+  EXPECT_NEAR(P.percentile(90), 4.6, 1e-12);
+}
+
 TEST(StrUtilTest, FormatStr) {
   EXPECT_EQ(formatStr("x=%d y=%s", 5, "ok"), "x=5 y=ok");
   EXPECT_EQ(formatStr("%s", ""), "");

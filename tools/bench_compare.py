@@ -21,6 +21,14 @@ When a baseline file exists, every benchmark present in both runs is
 compared and the script exits non-zero if any slows down by more than
 --threshold percent (derived speedups must not *drop* by more than the
 threshold). --update rewrites the baseline with the fresh numbers.
+
+Run bundles: when --input or --baseline names a *directory*, it is read
+as a cliffedge run bundle (docs/run-bundles.md) — every artifact listed in
+bundle_manifest.json is re-hashed (FNV-1a 64, mirroring
+report::fnv1a64) before use, and summary.json is distilled into this
+schema as ``campaign:``-prefixed derived metrics. Those are determinism
+evidence, not wall-clock speedups, so they gate on ANY drift in either
+direction, ignoring --threshold.
 """
 
 import argparse
@@ -42,6 +50,71 @@ def run_bench(build_dir):
         text=True,
     )
     return json.loads(out.stdout)
+
+
+def fnv1a64(data):
+    """FNV-1a 64-bit over bytes — must match report::fnv1a64 exactly."""
+    h = 0xCBF29CE484222325
+    for b in data:
+        h = ((h ^ b) * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+def load_bundle(bundle_dir):
+    """Reads a run bundle directory into the BENCH schema.
+
+    Verifies every manifest entry against the artifact bytes on disk (a
+    corrupt bundle must never distill into plausible numbers), then maps
+    summary.json onto ``campaign:`` derived metrics.
+    """
+    manifest_path = os.path.join(bundle_dir, "bundle_manifest.json")
+    try:
+        with open(manifest_path) as fh:
+            manifest = json.load(fh)
+    except (OSError, ValueError) as err:
+        sys.exit(f"error: {manifest_path}: {err}")
+    summary = None
+    for artifact in manifest.get("artifacts", []):
+        name = artifact.get("name", "")
+        if not name or "/" in name or ".." in name:
+            sys.exit(f"error: {manifest_path}: invalid artifact name "
+                     f"'{name}'")
+        path = os.path.join(bundle_dir, name)
+        try:
+            with open(path, "rb") as fh:
+                data = fh.read()
+        except OSError as err:
+            sys.exit(f"error: {path}: {err}")
+        if len(data) != artifact.get("bytes") or \
+                f"{fnv1a64(data):016x}" != artifact.get("fnv1a64"):
+            sys.exit(f"error: {path}: content does not match its manifest "
+                     f"entry (bundle corrupt or hand-edited)")
+        if name == "summary.json":
+            summary = json.loads(data)
+    if summary is None:
+        sys.exit(f"error: {manifest_path}: no summary.json listed")
+
+    derived = {}
+    for key in ("jobs", "passed", "failed", "errors"):
+        derived[f"campaign:{key}"] = summary.get(key, 0)
+    for key, value in summary.get("totals", {}).items():
+        derived[f"campaign:total_{key}"] = value
+    results = summary.get("results", [])
+    if results:
+        derived["campaign:lat_p99_max"] = max(
+            job.get("lat_p99", 0) for job in results)
+        derived["campaign:retransmits"] = sum(
+            job.get("retransmits", 0) for job in results)
+        # last_decision is nullable (null = no decision time exists, which
+        # is NOT zero); aggregate only over the jobs that have one and
+        # count the null jobs separately, so a null <-> number flip drifts
+        # one of the two metrics.
+        decided = [job["last_decision"] for job in results
+                   if job.get("last_decision") is not None]
+        derived["campaign:last_decision_max"] = max(decided, default=0)
+        derived["campaign:jobs_without_decision_time"] = \
+            len(results) - len(decided)
+    return {"schema": 1, "benchmarks": {}, "derived": derived}
 
 
 def to_ns(entry):
@@ -209,7 +282,19 @@ def compare(baseline, fresh, threshold, absolute="gate"):
         print(f"  {name}: {old:.1f} ns -> {new:.1f} ns ({delta:+.1f}%){marker}")
     for name, new in sorted(fresh["derived"].items()):
         old = baseline.get("derived", {}).get(name)
-        if old is None or old <= 0:
+        if old is None:
+            continue
+        if name.startswith("campaign:"):
+            # Bundle metrics are determinism evidence: any drift in either
+            # direction is a regression, --threshold does not apply.
+            marker = ""
+            if new != old:
+                marker = "  <-- REGRESSION (campaign metrics are exact)"
+                regressions.append(f"{name}: {old} -> {new} (exact "
+                                   f"campaign metric drifted)")
+            print(f"  {name}: {old} -> {new}{marker}")
+            continue
+        if old <= 0:
             continue
         drop = (old - new) / old * 100.0
         marker = ""
@@ -276,17 +361,21 @@ def main():
     # be the same file.
     baseline_path = args.baseline
     baseline = None
-    if not args.update and os.path.exists(baseline_path) and \
+    if not args.update and os.path.isdir(baseline_path):
+        baseline = load_bundle(baseline_path)
+    elif not args.update and os.path.exists(baseline_path) and \
             os.path.getsize(baseline_path) > 0:
         with open(baseline_path) as fh:
             baseline = json.load(fh)
 
-    if args.input:
+    if args.input and os.path.isdir(args.input):
+        fresh = load_bundle(args.input)
+    elif args.input:
         with open(args.input) as fh:
             gbench = json.load(fh)
+        fresh = distill(gbench)
     else:
-        gbench = run_bench(args.build_dir)
-    fresh = distill(gbench)
+        fresh = distill(run_bench(args.build_dir))
 
     with open(args.out, "w") as fh:
         json.dump(fresh, fh, indent=2, sort_keys=True)
@@ -294,7 +383,9 @@ def main():
     print(f"wrote {args.out} ({len(fresh['benchmarks'])} benchmarks)")
 
     for name, value in sorted(fresh["derived"].items()):
-        print(f"  {name}: {value}x")
+        # campaign: metrics are counts/ticks, not speedup ratios.
+        suffix = "" if name.startswith("campaign:") else "x"
+        print(f"  {name}: {value}{suffix}")
 
     floor_failures = []
     for name, op, bound in requirements:

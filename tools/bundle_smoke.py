@@ -1,0 +1,149 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the run-bundle evidence pipeline.
+
+Usage:
+  tools/bundle_smoke.py --sim PATH/TO/cliffedge-sim --scenario FILE
+                        --workdir DIR [--backend des|sharded]
+
+Drives the full capture -> compare loop the way CI does (the ctest
+`bundle-smoke` label runs this per backend):
+
+  1. `baseline capture` at --jobs 1 into <workdir>/base — must exit 0.
+  2. `--campaign --bundle` of the same scenario at --jobs 4 — the two
+     bundle_manifest.json files must be byte-identical (thread count can
+     not leak a single byte into a bundle).
+  3. `compare` baseline vs that run — must exit 0 with diff.json saying
+     identical.
+  4. A deliberately perturbed capture (detection delay bumped) — compare
+     must exit nonzero with a populated diff.json, and
+     bench_compare.py's bundle mode must flag the drift too.
+
+Exits 0 when every step behaves, 1 with a FAIL line otherwise.
+"""
+
+import argparse
+import json
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+
+def run(cmd, cwd=None):
+    """Runs a command, returns (exit_code, stdout+stderr)."""
+    proc = subprocess.run(cmd, cwd=cwd, capture_output=True, text=True)
+    return proc.returncode, proc.stdout + proc.stderr
+
+
+def fail(step, detail, output=""):
+    print(f"FAIL [{step}]: {detail}")
+    if output:
+        print(output[-4000:])
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sim", required=True)
+    parser.add_argument("--scenario", required=True)
+    parser.add_argument("--workdir", required=True)
+    parser.add_argument("--backend", default="des")
+    args = parser.parse_args()
+
+    # Start from a clean slate: a stale runs/ dir from an earlier scenario
+    # revision would make the single-run-dir assertion below ambiguous.
+    shutil.rmtree(args.workdir, ignore_errors=True)
+    os.makedirs(args.workdir, exist_ok=True)
+    base = os.path.join(args.workdir, "base")
+    runs = os.path.join(args.workdir, "runs")
+    pert = os.path.join(args.workdir, "pert")
+
+    # 1. Capture the baseline single-threaded.
+    code, out = run([args.sim, "baseline", "capture",
+                     "--scenario", args.scenario, "--out", base,
+                     "--backend", args.backend, "--jobs", "1"])
+    if code != 0:
+        return fail("capture", f"exit {code}", out)
+    if not os.path.exists(os.path.join(base, "BASELINE")):
+        return fail("capture", "no BASELINE marker written")
+
+    # 2. Same campaign at --jobs 4 through the ordinary --bundle path.
+    code, out = run([args.sim, "--scenario", args.scenario, "--campaign",
+                     "--backend", args.backend, "--jobs", "4",
+                     "--bundle", runs])
+    if code != 0:
+        return fail("campaign", f"exit {code}", out)
+    run_dirs = [d for d in os.listdir(runs)
+                if os.path.isdir(os.path.join(runs, d))]
+    if len(run_dirs) != 1:
+        return fail("campaign", f"expected 1 run dir, got {run_dirs}")
+    run_dir = os.path.join(runs, run_dirs[0])
+
+    with open(os.path.join(base, "bundle_manifest.json"), "rb") as fh:
+        base_manifest = fh.read()
+    with open(os.path.join(run_dir, "bundle_manifest.json"), "rb") as fh:
+        run_manifest = fh.read()
+    if base_manifest != run_manifest:
+        return fail("determinism",
+                    "bundle_manifest.json differs between --jobs 1 and "
+                    "--jobs 4 — bundles leaked nondeterminism")
+
+    # 3. Baseline vs identical run: clean compare, exit 0.
+    code, out = run([args.sim, "compare", "--baseline", base,
+                     "--run", run_dir])
+    if code != 0:
+        return fail("compare-clean", f"exit {code}, expected 0", out)
+    with open(os.path.join(run_dir, "diff.json")) as fh:
+        diff = json.load(fh)
+    if not diff.get("identical") or diff.get("regressed"):
+        return fail("compare-clean", f"diff.json disagrees: {diff}")
+
+    # 4. Perturbed run (detection delay bumped) must be caught.
+    with open(args.scenario) as fh:
+        spec = fh.read()
+    bumped, hits = re.subn(r"(?m)^detect (\d+)",
+                           lambda m: f"detect {int(m.group(1)) + 4}", spec)
+    if not hits:
+        bumped = spec + "\ndetect 9\n"
+    pert_scn = os.path.join(args.workdir, "perturbed.scn")
+    with open(pert_scn, "w") as fh:
+        fh.write(bumped)
+    code, out = run([args.sim, "baseline", "capture",
+                     "--scenario", pert_scn, "--out", pert,
+                     "--backend", args.backend, "--jobs", "2"])
+    if code != 0:
+        return fail("capture-perturbed", f"exit {code}", out)
+    code, out = run([args.sim, "compare", "--baseline", base,
+                     "--run", pert])
+    if code != 1:
+        return fail("compare-perturbed",
+                    f"exit {code}, expected 1 (regression)", out)
+    with open(os.path.join(pert, "diff.json")) as fh:
+        diff = json.load(fh)
+    if not diff.get("regressed") or not diff.get("entries"):
+        return fail("compare-perturbed",
+                    f"diff.json not populated: {diff}")
+
+    # The Python mirror must reach the same verdicts off the manifests.
+    bench_compare = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                                 "bench_compare.py")
+    code, out = run([sys.executable, bench_compare, "--input", run_dir,
+                     "--baseline", base,
+                     "--out", os.path.join(args.workdir, "distilled.json")])
+    if code != 0:
+        return fail("bench-compare-clean", f"exit {code}, expected 0", out)
+    code, out = run([sys.executable, bench_compare, "--input", pert,
+                     "--baseline", base,
+                     "--out", os.path.join(args.workdir, "distilled.json")])
+    if code != 1:
+        return fail("bench-compare-perturbed",
+                    f"exit {code}, expected 1", out)
+
+    print("bundle smoke: capture, determinism, clean compare and "
+          "perturbed compare all behaved")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

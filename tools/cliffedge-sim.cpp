@@ -22,6 +22,8 @@
 
 #include "engine/Engine.h"
 #include "graph/Dot.h"
+#include "report/Bundle.h"
+#include "report/Compare.h"
 #include "scenario/Campaign.h"
 #include "scenario/Parse.h"
 #include "scenario/Spec.h"
@@ -35,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -59,6 +62,17 @@ void usage(const char *Prog) {
       "       %s replay --scenario FILE\n"
       "                re-run a committed repro on BOTH backends with\n"
       "                checking forced on and assert its `expect` verdict\n"
+      "       %s baseline capture --scenario FILE --out DIR [--backend B]\n"
+      "                [--link SPEC] [--jobs J]\n"
+      "                run the file's full campaign and capture its run\n"
+      "                bundle directly into DIR as a stored baseline\n"
+      "                (layout: docs/run-bundles.md)\n"
+      "       %s compare --baseline DIR --run DIR [--abs-tol X]\n"
+      "                [--rel-tol Y] [--out DIR]\n"
+      "                diff a run bundle against a baseline bundle: writes\n"
+      "                diff.json and diff.md (into the run dir unless\n"
+      "                --out), exits 0 clean / 1 on verdict or gated-metric\n"
+      "                regressions / 2 on I-O or integrity errors\n"
       "scenario files:\n"
       "  --scenario FILE      load a declarative .scn scenario\n"
       "                       (format reference: docs/scenario-format.md)\n"
@@ -99,8 +113,12 @@ void usage(const char *Prog) {
       "  --early-termination  enable the footnote-6 optimisation\n"
       "  --output KIND        summary | events | timeline | dot | all;\n"
       "                       for --campaign: json (default) | csv\n"
-      "  --check              verify CD1..CD7 (exit 1 on violation)\n",
-      Prog, Prog, Prog);
+      "  --check              verify CD1..CD7 (exit 1 on violation)\n"
+      "  --bundle DIR         with --campaign: also write the run bundle\n"
+      "                       (artifacts + hashed manifest) into\n"
+      "                       DIR/<run-id>/ — byte-identical for any\n"
+      "                       --jobs value\n",
+      Prog, Prog, Prog, Prog, Prog);
 }
 
 /// Translates a --crash flag (patch:X,Y,SIDE@T[:GAP] | region:... |
@@ -133,7 +151,8 @@ bool parseCrashFlag(const std::string &Spec,
 }
 
 int runCampaign(const scenario::Spec &S, unsigned Jobs,
-                const std::string &Output) {
+                const std::string &Output,
+                const report::BundleOptions *Bundle = nullptr) {
   scenario::CampaignRunner Runner(S);
   std::fprintf(stderr, "campaign: %zu variant(s) x %zu seed(s) = %zu jobs "
                        "on %u thread(s)\n",
@@ -148,6 +167,17 @@ int runCampaign(const scenario::Spec &S, unsigned Jobs,
     std::printf("%s", Summary.toJson().c_str());
   std::fprintf(stderr, "campaign: %zu passed, %zu failed, %zu errors\n",
                Summary.Passed, Summary.Failed, Summary.Errors);
+  if (Bundle) {
+    report::BundleResult Res;
+    std::string Err;
+    if (!report::writeBundle(S, Summary, *Bundle, Res, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "bundle: %s (run id %s, manifest %s)\n",
+                 Res.Dir.c_str(), Res.RunId.c_str(),
+                 Res.ManifestHash.c_str());
+  }
   return Summary.Failed == 0 && Summary.Errors == 0 ? 0 : 1;
 }
 
@@ -371,6 +401,141 @@ int runReplay(int argc, char **argv) {
   return Match ? 0 : 1;
 }
 
+/// --backend / --link on a loaded spec: the override wins over a matching
+/// sweep axis (same discipline as the main and hunt paths).
+bool applyExecOverride(scenario::Spec &S, const char *Key,
+                       const std::string &Flag) {
+  if (Flag.empty())
+    return true;
+  std::string Err;
+  if (!scenario::applyOverride(S, Key, Flag, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return false;
+  }
+  for (size_t I = 0; I < S.Sweeps.size(); ++I)
+    if (S.Sweeps[I].Key == Key) {
+      S.Sweeps.erase(S.Sweeps.begin() + I);
+      break;
+    }
+  return true;
+}
+
+/// `baseline capture --scenario F --out DIR`: run the full campaign and
+/// drop its bundle directly into DIR (flat — the baseline IS the
+/// directory), marked with the BASELINE file. Exit codes follow
+/// --campaign: 0 all passed, 1 failures or errors, 2 usage or I/O.
+int runBaselineCapture(int argc, char **argv) {
+  std::string ScenarioFile, OutDir, BackendFlag, LinkFlag;
+  unsigned Jobs = 1;
+  for (int I = 3; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--scenario")
+      ScenarioFile = Next("--scenario");
+    else if (Arg == "--out")
+      OutDir = Next("--out");
+    else if (Arg == "--backend")
+      BackendFlag = Next("--backend");
+    else if (Arg == "--link")
+      LinkFlag = Next("--link");
+    else if (Arg == "--jobs")
+      Jobs = static_cast<unsigned>(std::strtoul(Next("--jobs"), nullptr,
+                                                10));
+    else {
+      std::fprintf(stderr, "error: unknown baseline option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+  if (ScenarioFile.empty() || OutDir.empty()) {
+    std::fprintf(stderr,
+                 "error: baseline capture needs --scenario FILE and "
+                 "--out DIR\n");
+    return 2;
+  }
+  scenario::Spec S = loadSpecOrDie(ScenarioFile);
+  if (!applyExecOverride(S, "backend", BackendFlag) ||
+      !applyExecOverride(S, "link", LinkFlag))
+    return 2;
+  report::BundleOptions Bundle;
+  Bundle.OutDir = OutDir;
+  Bundle.Flat = true;
+  Bundle.MarkBaseline = true;
+  return runCampaign(S, Jobs, "json", &Bundle);
+}
+
+/// `compare --baseline DIR --run DIR`: diff two bundles, write
+/// diff.json/diff.md, exit 0 clean / 1 regressed / 2 on errors.
+int runCompare(int argc, char **argv) {
+  std::string BaselineDir, RunDir, OutDir;
+  report::CompareOptions Opts;
+  for (int I = 2; I < argc; ++I) {
+    std::string Arg = argv[I];
+    auto Next = [&](const char *Flag) -> const char * {
+      if (I + 1 >= argc) {
+        std::fprintf(stderr, "error: %s needs a value\n", Flag);
+        std::exit(2);
+      }
+      return argv[++I];
+    };
+    if (Arg == "--baseline")
+      BaselineDir = Next("--baseline");
+    else if (Arg == "--run")
+      RunDir = Next("--run");
+    else if (Arg == "--out")
+      OutDir = Next("--out");
+    else if (Arg == "--abs-tol")
+      Opts.LatencyAbsTol = std::strtod(Next("--abs-tol"), nullptr);
+    else if (Arg == "--rel-tol")
+      Opts.LatencyRelTol = std::strtod(Next("--rel-tol"), nullptr);
+    else {
+      std::fprintf(stderr, "error: unknown compare option '%s'\n",
+                   Arg.c_str());
+      return 2;
+    }
+  }
+  if (BaselineDir.empty() || RunDir.empty()) {
+    std::fprintf(stderr,
+                 "error: compare needs --baseline DIR and --run DIR\n");
+    return 2;
+  }
+  if (OutDir.empty())
+    OutDir = RunDir;
+  report::DiffResult Diff;
+  std::string Err;
+  if (!report::compareBundles(BaselineDir, RunDir, Opts, Diff, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+  std::filesystem::path Out(OutDir);
+  std::error_code DirEc;
+  std::filesystem::create_directories(Out, DirEc);
+  if (DirEc) {
+    std::fprintf(stderr, "error: cannot create '%s': %s\n",
+                 Out.string().c_str(), DirEc.message().c_str());
+    return 2;
+  }
+  for (const auto &[Name, Bytes] :
+       {std::pair<const char *, std::string>{"diff.json",
+                                             Diff.toJson(Opts)},
+        {"diff.md", Diff.toMarkdown(Opts)}}) {
+    std::ofstream File(Out / Name, std::ios::binary | std::ios::trunc);
+    if (!File || !(File << Bytes)) {
+      std::fprintf(stderr, "error: cannot write '%s'\n",
+                   (Out / Name).string().c_str());
+      return 2;
+    }
+  }
+  std::printf("%s", Diff.toMarkdown(Opts).c_str());
+  return Diff.Regressed ? 1 : 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -378,12 +543,22 @@ int main(int argc, char **argv) {
     return runHunt(argc, argv);
   if (argc > 1 && std::strcmp(argv[1], "replay") == 0)
     return runReplay(argc, argv);
+  if (argc > 1 && std::strcmp(argv[1], "baseline") == 0) {
+    if (argc > 2 && std::strcmp(argv[2], "capture") == 0)
+      return runBaselineCapture(argc, argv);
+    std::fprintf(stderr, "error: unknown baseline subcommand (expected "
+                         "'baseline capture')\n");
+    return 2;
+  }
+  if (argc > 1 && std::strcmp(argv[1], "compare") == 0)
+    return runCompare(argc, argv);
   scenario::Spec Flags; // Spec built up from command-line flags.
   Flags.Check = false;  // Plain flag runs only check with --check.
   std::string ScenarioFile;
   std::string Output = "summary";
   std::string BackendFlag; ///< Empty = keep the spec's backend.
   std::string LinkFlag;    ///< Empty = keep the spec's link conditions.
+  std::string BundleDir;   ///< Empty = no run bundle.
   bool Campaign = false, EmitScn = false, CheckFlag = false;
   unsigned Jobs = 1;
   // Tuning flags are an *alternative* to a .scn file, not overrides on
@@ -411,6 +586,8 @@ int main(int argc, char **argv) {
       BackendFlag = Next("--backend");
     else if (Arg == "--link")
       LinkFlag = Next("--link");
+    else if (Arg == "--bundle")
+      BundleDir = Next("--bundle");
     else if (Arg == "--emit-scn")
       EmitScn = true;
     else if (Arg == "--topology") {
@@ -560,8 +737,17 @@ int main(int argc, char **argv) {
     return 0;
   }
 
-  if (Campaign)
-    return runCampaign(S, Jobs, Output);
+  if (Campaign) {
+    report::BundleOptions Bundle;
+    Bundle.OutDir = BundleDir;
+    return runCampaign(S, Jobs, Output,
+                       BundleDir.empty() ? nullptr : &Bundle);
+  }
+  if (!BundleDir.empty()) {
+    std::fprintf(stderr, "error: --bundle needs --campaign (bundles hold "
+                         "campaign summaries)\n");
+    return 2;
+  }
 
   // Single run: first variant, first seed, full trace outputs.
   if (S.Epochs.size() > 1) {
