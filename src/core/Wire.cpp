@@ -383,6 +383,39 @@ std::vector<uint8_t> core::encodeMessageV1(const Message &M) {
   return Out;
 }
 
+bool core::decodeMessageSelfContained(const std::vector<uint8_t> &Bytes,
+                                      ViewTable &Views, Message &Out) {
+  Reader R(Bytes);
+  uint32_t Magic = 0;
+  uint8_t Version = 0, Flags = 0;
+  if (!R.u32(Magic) || Magic != WireMagic)
+    return false;
+  if (!R.u8(Version) || !R.u8(Flags) || Version != WireVersion)
+    return false;
+  // Only plain announce-carrying frames are portable across processes:
+  // id-only frames would need the sender's table, and channel/pure-ack
+  // frames belong to a transport this path never sits under.
+  if (Flags & ~(FlagFinal | FlagAnnounce))
+    return false;
+  if (!(Flags & FlagAnnounce))
+    return false;
+  Out.Final = (Flags & FlagFinal) != 0;
+  uint32_t SenderLocalId = 0; // The sender's id assignment; ignored.
+  if (!R.varint32(SenderLocalId))
+    return false;
+  if (!R.varint32(Out.Round) || Out.Round == 0)
+    return false;
+  graph::Region View, Border;
+  if (!readRegionDelta(R, View) || !readRegionDelta(R, Border))
+    return false;
+  if (View.empty() || Border.empty())
+    return false;
+  if (!readOpinions(R, Border.size(), Out.Opinions) || !R.atEnd())
+    return false;
+  Out.setView(Views.intern(View, Border));
+  return true;
+}
+
 bool core::decodeMessageInto(const std::vector<uint8_t> &Bytes,
                              ViewTable &Views, Message &Out) {
   Reader R(Bytes);

@@ -133,6 +133,19 @@ std::optional<Message> decodeMessage(const std::vector<uint8_t> &Bytes,
 bool decodeMessageInto(const std::vector<uint8_t> &Bytes, ViewTable &Views,
                        Message &Out);
 
+/// Decodes a *self-contained* v3 frame (encodeMessage / encodeMessageV3Into
+/// with the announce payload) against a table whose id space need not match
+/// the sender's. The embedded view id is untrusted provenance and ignored;
+/// the announced (view, border) is interned *by content* into \p Views.
+/// This is the cross-process decode path: every cliffedge-node daemon keeps
+/// its own ViewTable, so the dense-replay contract of internAnnounced can
+/// never hold between processes — content interning is what makes wire-v3
+/// frames portable across address spaces. Rejects id-only frames (no
+/// announce payload), channel-extension and pure-ack frames: the proc
+/// transport runs its ARQ below the protocol codec, in the datagram header.
+bool decodeMessageSelfContained(const std::vector<uint8_t> &Bytes,
+                                ViewTable &Views, Message &Out);
+
 /// Per-sender encoder: remembers which views this sender has announced so
 /// every later frame for them is id-only. One instance per protocol node
 /// per run (ids are run-wide, announce state is per sender). A wire

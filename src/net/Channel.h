@@ -113,6 +113,20 @@ size_t pureAckSize(uint32_t Ack);
 bool parseChannelHeader(const std::vector<uint8_t> &Bytes,
                         ChannelHeader &Out);
 
+/// Retransmission delay with exponential backoff: BaseRto doubled per
+/// attempt already made, saturating at \p MaxRto. The simulated transports
+/// keep their fixed-RTO schedule (attempt count stays 0 there); the proc
+/// transport feeds Pending::Attempts through this so a dead or slow peer
+/// is probed at a geometrically decaying rate instead of a fixed drumbeat.
+inline SimTime backoffRto(SimTime BaseRto, uint32_t Attempts,
+                          SimTime MaxRto) {
+  // 63 shifts would already overflow; in practice MaxRto clips long before.
+  SimTime Rto = BaseRto;
+  for (uint32_t I = 0; I < Attempts && Rto < MaxRto; ++I)
+    Rto *= 2;
+  return Rto < MaxRto ? Rto : MaxRto;
+}
+
 /// Sender half of one directed channel: the stamped-sequence window.
 /// \p PayloadT is whatever the transport must keep around to retransmit
 /// (a byte frame, or a decoded message for the sharded engine).
@@ -120,6 +134,9 @@ template <typename PayloadT> struct ReliableChannelSend {
   struct Pending {
     uint32_t Seq = 0;
     SimTime LastSent = 0;
+    /// Retransmissions so far; drives backoffRto on transports that opt
+    /// in. Transports with a fixed RTO simply never read it.
+    uint32_t Attempts = 0;
     PayloadT Payload;
   };
 
@@ -132,7 +149,7 @@ template <typename PayloadT> struct ReliableChannelSend {
   uint32_t stamp() { return NextSeq++; }
 
   void track(uint32_t Seq, SimTime Now, PayloadT Payload) {
-    Window.push_back(Pending{Seq, Now, std::move(Payload)});
+    Window.push_back(Pending{Seq, Now, /*Attempts=*/0, std::move(Payload)});
   }
 
   /// Applies a cumulative ack; returns how many frames it retired.
@@ -199,6 +216,34 @@ template <typename PayloadT> struct ReliableChannelRecv {
     }
     Held.erase(Held.begin(), Held.begin() + Drained);
     return RecvVerdict::Deliver;
+  }
+
+  /// accept() with a hard ceiling on the out-of-order buffer. When an
+  /// arrival would need buffering and \p MaxHeld frames are already held,
+  /// it is dropped instead (\p Dropped set, verdict Duplicate — nothing is
+  /// delivered or retained). Correctness is preserved by the ARQ above:
+  /// the dropped frame is never acked, so the sender retransmits it once
+  /// the gap in front of it has filled. Transports facing a real network
+  /// (the proc runtime) use this so a pathological reorder storm cannot
+  /// grow the buffer without bound; the simulated transports keep the
+  /// unbounded accept(), whose buffer is naturally limited by one RTO.
+  RecvVerdict acceptBounded(uint32_t Seq, PayloadT Payload,
+                            std::vector<PayloadT> &Released, size_t MaxHeld,
+                            bool &Dropped) {
+    Dropped = false;
+    if (Seq > CumSeq + 1 && Held.size() >= MaxHeld) {
+      Released.clear();
+      auto It = std::lower_bound(
+          Held.begin(), Held.end(), Seq,
+          [](const std::pair<uint32_t, PayloadT> &P, uint32_t S) {
+            return P.first < S;
+          });
+      if (It != Held.end() && It->first == Seq)
+        return RecvVerdict::Duplicate; // A true dup, not an overflow.
+      Dropped = true;
+      return RecvVerdict::Duplicate;
+    }
+    return accept(Seq, std::move(Payload), Released);
   }
 };
 

@@ -1,0 +1,39 @@
+//===- proc/Daemon.h - cliffedge-node daemon entry point --------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One shard of a real-process world: hosts a set of protocol nodes,
+/// exchanges self-contained wire-v3 frames with peer shards over UDP
+/// loopback (ARQ + seeded loss shim per docs/process-runtime.md), detects
+/// peer-shard death by heartbeat timeout, and reports every protocol
+/// observation to the supervising proc::Launcher as EV lines on stdout.
+/// The whole lifecycle — control handshake, event loop, STOP — lives
+/// behind runDaemon(); tools/cliffedge-node.cpp is a two-line main.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_PROC_DAEMON_H
+#define CLIFFEDGE_PROC_DAEMON_H
+
+namespace cliffedge {
+namespace proc {
+
+/// Runs the full daemon lifecycle against stdin/stdout/UDP. Returns the
+/// process exit code: 0 after an orderly STOP/BYE, non-zero when the
+/// control channel failed (malformed handshake, launcher death — the
+/// daemon must never outlive its supervisor).
+///
+/// Test hook: the environment variable CLIFFEDGE_NODE_TEST_STALL freezes
+/// the daemon at a named phase ("hello" — before the HELLO line, "ready"
+/// — before the READY line) so launcher timeout classification is
+/// exercisable without real pathology.
+int runDaemon();
+
+} // namespace proc
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_PROC_DAEMON_H

@@ -1,0 +1,158 @@
+//===- proc/Proto.cpp - Process-runtime wire & control protocol -----------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/Proto.h"
+
+#include <cerrno>
+#include <ctime>
+#include <unistd.h>
+
+using namespace cliffedge;
+using namespace cliffedge::proc;
+
+// ASan/TSan inflate wall-clock latencies by an order of magnitude; the
+// liveness deadlines must absorb that or instrumented CI reads slow
+// processes as crashed ones.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define CLIFFEDGE_PROC_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define CLIFFEDGE_PROC_SANITIZED 1
+#endif
+#endif
+
+namespace {
+
+void put16(std::vector<uint8_t> &Out, uint16_t V) {
+  Out.push_back(static_cast<uint8_t>(V & 0xff));
+  Out.push_back(static_cast<uint8_t>(V >> 8));
+}
+
+void put32(std::vector<uint8_t> &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<uint8_t>((V >> (8 * I)) & 0xff));
+}
+
+void put64(std::vector<uint8_t> &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<uint8_t>((V >> (8 * I)) & 0xff));
+}
+
+uint16_t get16(const uint8_t *P) {
+  return static_cast<uint16_t>(P[0] | (static_cast<uint16_t>(P[1]) << 8));
+}
+
+uint32_t get32(const uint8_t *P) {
+  uint32_t V = 0;
+  for (int I = 3; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+uint64_t get64(const uint8_t *P) {
+  uint64_t V = 0;
+  for (int I = 7; I >= 0; --I)
+    V = (V << 8) | P[I];
+  return V;
+}
+
+} // namespace
+
+void proc::encodeDgramHeader(const DgramHeader &H, std::vector<uint8_t> &Out) {
+  Out.reserve(Out.size() + kDgramHeaderSize);
+  put32(Out, kDgramMagic);
+  Out.push_back(kDgramVersion);
+  Out.push_back(static_cast<uint8_t>(H.Type));
+  put16(Out, H.FromShard);
+  put32(Out, H.FromNode);
+  put32(Out, H.ToNode);
+  put64(Out, H.Lamport);
+  put32(Out, H.Seq);
+  put32(Out, H.Ack);
+}
+
+bool proc::decodeDgramHeader(const uint8_t *Data, size_t Len,
+                             DgramHeader &Out) {
+  if (Len < kDgramHeaderSize || get32(Data) != kDgramMagic ||
+      Data[4] != kDgramVersion)
+    return false;
+  uint8_t T = Data[5];
+  if (T < static_cast<uint8_t>(DgramType::Data) ||
+      T > static_cast<uint8_t>(DgramType::Heartbeat))
+    return false;
+  Out.Type = static_cast<DgramType>(T);
+  Out.FromShard = get16(Data + 6);
+  Out.FromNode = get32(Data + 8);
+  Out.ToNode = get32(Data + 12);
+  Out.Lamport = get64(Data + 16);
+  Out.Seq = get32(Data + 24);
+  Out.Ack = get32(Data + 28);
+  return true;
+}
+
+Timing proc::defaultTiming() {
+  Timing T;
+#ifdef CLIFFEDGE_PROC_SANITIZED
+  T.SuspectMs = 3000;
+  T.ReadyMs = 45000;
+  T.WatchdogMs = 240000;
+  T.KillSpacingMs = 400;
+#endif
+  return T;
+}
+
+const char *proc::failureClassName(FailureClass C) {
+  switch (C) {
+  case FailureClass::Ok:
+    return "ok";
+  case FailureClass::SpawnFailure:
+    return "spawn_failure";
+  case FailureClass::ReadinessTimeout:
+    return "readiness_timeout";
+  case FailureClass::WatchdogTimeout:
+    return "watchdog_timeout";
+  case FailureClass::UnexpectedExit:
+    return "unexpected_exit";
+  }
+  return "ok";
+}
+
+uint64_t proc::nowMs() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000 +
+         static_cast<uint64_t>(Ts.tv_nsec) / 1000000;
+}
+
+bool LineReader::pop(std::string &Line) {
+  size_t Nl = Buf.find('\n', Pos);
+  if (Nl == std::string::npos) {
+    // Compact consumed prefix occasionally so the buffer stays small.
+    if (Pos > 4096) {
+      Buf.erase(0, Pos);
+      Pos = 0;
+    }
+    return false;
+  }
+  Line.assign(Buf, Pos, Nl - Pos);
+  Pos = Nl + 1;
+  return true;
+}
+
+bool proc::writeAll(int Fd, const char *Data, size_t N) {
+  size_t Off = 0;
+  while (Off < N) {
+    ssize_t W = ::write(Fd, Data + Off, N - Off);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(W);
+  }
+  return true;
+}

@@ -1,0 +1,174 @@
+//===- proc/Proto.h - Process-runtime wire & control protocol ---*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The two protocols of the real-process runtime (docs/process-runtime.md):
+///
+/// **Datagram plane** (UDP loopback, daemon <-> daemon). Every datagram is a
+/// fixed 32-byte little-endian header, optionally followed by one
+/// self-contained wire-v3 protocol frame:
+///
+///   u32 magic 'CEPD'   u8 version = 1   u8 type (Data | Ack | Heartbeat)
+///   u16 from-shard     u32 from-node    u32 to-node
+///   u64 lamport        u32 seq          u32 cumulative-ack
+///
+/// The ARQ runs *below* the protocol codec, per ordered shard pair: `seq`
+/// and `ack` live in this header, not in the wire-v3 channel extension
+/// (frames stay plain announce-carrying frames, portable across address
+/// spaces via core::decodeMessageSelfContained). Acks are datagrams of
+/// their own (type Ack, no payload) plus a piggyback field on every Data
+/// datagram. Heartbeats carry only the header and refresh liveness; they
+/// deliberately bypass the loss shim so the heartbeat failure detector
+/// keeps the strong accuracy the protocol's PFD assumes — only protocol
+/// traffic faces the injected faults, and the ARQ above it restores §2.2.
+///
+/// **Control plane** (pipes, launcher <-> daemon), line-oriented text:
+///
+///   daemon -> launcher:  HELLO <udp-port>
+///                        READY
+///                        EV SUSPECT <node> <lamport>
+///                        EV DECIDE <node> <lamport> <chosen> <v1,v2,...>
+///                        STATUS <poll-id> <idle> <suspected-mask-hex> \
+///                               <sent> <delivered>
+///                        STATS ev=<n> sent=<n> delivered=<n> retx=<n> \
+///                              dup=<n> acks=<n> ackbytes=<n> shimdrop=<n> \
+///                              shimdup=<n> reorderdrop=<n>
+///                        BYE
+///   launcher -> daemon:  CONFIG <shard> <num-shards> <seed> <hb-ms> \
+///                               <suspect-ms> <rto-ms> <rto-max-ms>
+///                        SPEC <num-lines>        (followed by .scn text)
+///                        ASSIGN <shard> <udp-port> <n1,n2,...>
+///                        GO
+///                        POLL <poll-id>
+///                        STOP
+///
+/// EV lines are written with a single write(2) well under PIPE_BUF, so a
+/// SIGKILL can truncate at most the trailing line of a stream — the
+/// launcher discards a non-terminated tail and the per-daemon event count
+/// in STATS lets it verify every surviving stream merged completely.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_PROC_PROTO_H
+#define CLIFFEDGE_PROC_PROTO_H
+
+#include "support/Ids.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace proc {
+
+constexpr uint32_t kDgramMagic = 0x44504543; // "CEPD", little-endian.
+constexpr uint8_t kDgramVersion = 1;
+constexpr size_t kDgramHeaderSize = 32;
+
+/// Cap on shard processes per world; the suspected-shard set travels as a
+/// hex mask in STATUS lines, so it must fit a u64 with slack to spare.
+constexpr uint16_t kMaxShards = 16;
+
+/// Hard ceiling on each receive channel's out-of-order buffer
+/// (net::ReliableChannelRecv::acceptBounded) — a reorder storm on a real
+/// socket cannot grow daemon memory without bound.
+constexpr size_t kReorderWindowMax = 512;
+
+enum class DgramType : uint8_t {
+  Data = 1,      ///< Header + one self-contained wire-v3 frame.
+  Ack = 2,       ///< Header only; `ack` is the cumulative receive state.
+  Heartbeat = 3, ///< Header only; refreshes the sender shard's liveness.
+};
+
+/// The fixed header of every datagram. Fields not meaningful for a type
+/// (e.g. from-node on a heartbeat) are zero on the wire.
+struct DgramHeader {
+  DgramType Type = DgramType::Data;
+  uint16_t FromShard = 0;
+  NodeId FromNode = 0;
+  NodeId ToNode = 0;
+  uint64_t Lamport = 0; ///< Sender's clock at send (Data only).
+  uint32_t Seq = 0;     ///< ARQ sequence on the shard pair (Data only).
+  uint32_t Ack = 0;     ///< Cumulative ack for the reverse direction.
+};
+
+/// Appends the 32-byte encoding of \p H to \p Out.
+void encodeDgramHeader(const DgramHeader &H, std::vector<uint8_t> &Out);
+
+/// Parses the header at the front of a datagram. False on short input,
+/// wrong magic/version, or an unknown type.
+bool decodeDgramHeader(const uint8_t *Data, size_t Len, DgramHeader &Out);
+
+/// Timing knobs of one world, all in milliseconds of wall clock. The
+/// defaults assume an unloaded loopback; sanitizer builds (where a single
+/// poll iteration can take tens of milliseconds) scale the liveness
+/// deadlines up so instrumentation overhead is never misread as a crash.
+struct Timing {
+  uint32_t HeartbeatMs = 25;
+  /// Silence after which a peer shard is suspected crashed (~40 missed
+  /// heartbeats — generous, because a false suspicion of a live process
+  /// violates the PFD's strong accuracy and with it CD2).
+  uint32_t SuspectMs = 1000;
+  uint32_t RtoMs = 40;     ///< Base retransmit timeout (net::backoffRto).
+  uint32_t RtoMaxMs = 640; ///< Backoff saturation.
+  uint32_t ReadyMs = 15000;    ///< HELLO + READY handshake deadline.
+  uint32_t WatchdogMs = 90000; ///< GO -> quiescence hard deadline.
+  uint32_t KillSpacingMs = 150; ///< Gap between consecutive kill groups.
+  uint32_t PollIntervalMs = 100;
+};
+
+/// Defaults with the sanitizer scaling applied when this binary was built
+/// under ASan/TSan (compile-time detection).
+Timing defaultTiming();
+
+/// How a run that could not produce a trustworthy merged trace failed.
+/// Ok means the infrastructure held; the CD verdict is then the checker's.
+enum class FailureClass : uint8_t {
+  Ok = 0,
+  SpawnFailure,     ///< fork/exec or socket setup failed.
+  ReadinessTimeout, ///< A daemon missed the HELLO/READY deadline.
+  WatchdogTimeout,  ///< The world never quiesced; everything was killed.
+  UnexpectedExit,   ///< A surviving daemon died or its stream was partial.
+};
+
+/// Stable lower-case token for each class ("ok", "spawn_failure", ...);
+/// this is what reaches campaign error strings and bundle JSON.
+const char *failureClassName(FailureClass C);
+
+/// Monotonic wall clock in milliseconds (CLOCK_MONOTONIC).
+uint64_t nowMs();
+
+/// Incremental splitter for a non-blocking pipe: feed() raw reads, pop()
+/// complete '\n'-terminated lines (terminator stripped). Anything after
+/// the last newline at EOF is a torn write from a killed process and is
+/// dropped by design — callers never see a partial line.
+class LineReader {
+public:
+  /// Appends \p N bytes.
+  void feed(const char *Data, size_t N) { Buf.append(Data, N); }
+
+  /// Pops the next complete line into \p Line.
+  bool pop(std::string &Line);
+
+private:
+  std::string Buf;
+  size_t Pos = 0;
+};
+
+/// write(2) until done, retrying EINTR. False on any other error (EPIPE
+/// after a peer death — callers treat that as the peer's problem).
+bool writeAll(int Fd, const char *Data, size_t N);
+inline bool writeLine(int Fd, const std::string &Line) {
+  std::string L = Line;
+  L.push_back('\n');
+  return writeAll(Fd, L.data(), L.size());
+}
+
+} // namespace proc
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_PROC_PROTO_H

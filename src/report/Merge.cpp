@@ -1,0 +1,158 @@
+//===- report/Merge.cpp - Per-process event & stats merge -----------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Merge.h"
+
+#include "graph/Region.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+using namespace cliffedge;
+using namespace cliffedge::report;
+
+namespace {
+
+bool parseU64(const std::string &S, uint64_t &V) {
+  if (S.empty())
+    return false;
+  char *End = nullptr;
+  errno = 0;
+  V = strtoull(S.c_str(), &End, 10);
+  return errno == 0 && End && *End == '\0';
+}
+
+std::vector<std::string> splitWords(const std::string &Line) {
+  std::vector<std::string> Words;
+  std::istringstream Is(Line);
+  std::string W;
+  while (Is >> W)
+    Words.push_back(W);
+  return Words;
+}
+
+} // namespace
+
+void ProcStats::merge(const ProcStats &O) {
+  Events += O.Events;
+  Sent += O.Sent;
+  Delivered += O.Delivered;
+  Retransmits += O.Retransmits;
+  DupSuppressed += O.DupSuppressed;
+  AcksSent += O.AcksSent;
+  AckBytes += O.AckBytes;
+  ShimDropped += O.ShimDropped;
+  ShimDuplicated += O.ShimDuplicated;
+  ReorderDropped += O.ReorderDropped;
+}
+
+bool report::parseStatsLine(const std::string &Line, ProcStats &Out) {
+  std::vector<std::string> W = splitWords(Line);
+  if (W.empty() || W[0] != "STATS")
+    return false;
+  Out = ProcStats();
+  for (size_t I = 1; I < W.size(); ++I) {
+    size_t Eq = W[I].find('=');
+    if (Eq == std::string::npos)
+      return false;
+    std::string Key = W[I].substr(0, Eq);
+    uint64_t V = 0;
+    if (!parseU64(W[I].substr(Eq + 1), V))
+      return false;
+    if (Key == "ev")
+      Out.Events = V;
+    else if (Key == "sent")
+      Out.Sent = V;
+    else if (Key == "delivered")
+      Out.Delivered = V;
+    else if (Key == "retx")
+      Out.Retransmits = V;
+    else if (Key == "dup")
+      Out.DupSuppressed = V;
+    else if (Key == "acks")
+      Out.AcksSent = V;
+    else if (Key == "ackbytes")
+      Out.AckBytes = V;
+    else if (Key == "shimdrop")
+      Out.ShimDropped = V;
+    else if (Key == "shimdup")
+      Out.ShimDuplicated = V;
+    else if (Key == "reorderdrop")
+      Out.ReorderDropped = V;
+    else
+      return false;
+  }
+  return true;
+}
+
+bool report::mergeEventStreams(const std::vector<ProcEventStream> &Streams,
+                               uint32_t NumNodes, MergedTrace &Out,
+                               std::string &Error) {
+  Out.CrashTimes.assign(NumNodes, TimeNever);
+  Out.Decisions.clear();
+  for (size_t SI = 0; SI < Streams.size(); ++SI) {
+    const ProcEventStream &S = Streams[SI];
+    if (!S.Killed && S.Lines.size() != S.DeclaredEvents) {
+      Error = "stream " + std::to_string(SI) + ": " +
+              std::to_string(S.Lines.size()) + " events received, " +
+              std::to_string(S.DeclaredEvents) + " declared";
+      return false;
+    }
+    for (const std::string &Line : S.Lines) {
+      std::vector<std::string> W = splitWords(Line);
+      if (W.size() >= 4 && W[0] == "EV" && W[1] == "SUSPECT" &&
+          W.size() == 4) {
+        uint64_t Node = 0, L = 0;
+        if (!parseU64(W[2], Node) || Node >= NumNodes || !parseU64(W[3], L)) {
+          Error = "stream " + std::to_string(SI) + ": bad line: " + Line;
+          return false;
+        }
+        Out.CrashTimes[Node] = std::min(Out.CrashTimes[Node], L);
+      } else if (W.size() == 6 && W[0] == "EV" && W[1] == "DECIDE") {
+        uint64_t Node = 0, L = 0, Chosen = 0;
+        if (!parseU64(W[2], Node) || Node >= NumNodes || !parseU64(W[3], L) ||
+            !parseU64(W[4], Chosen)) {
+          Error = "stream " + std::to_string(SI) + ": bad line: " + Line;
+          return false;
+        }
+        std::vector<NodeId> Members;
+        std::istringstream Csv(W[5]);
+        std::string Tok;
+        while (std::getline(Csv, Tok, ',')) {
+          uint64_t Id = 0;
+          if (!parseU64(Tok, Id) || Id >= NumNodes) {
+            Error = "stream " + std::to_string(SI) + ": bad view: " + Line;
+            return false;
+          }
+          Members.push_back(static_cast<NodeId>(Id));
+        }
+        if (Members.empty()) {
+          Error = "stream " + std::to_string(SI) + ": empty view: " + Line;
+          return false;
+        }
+        trace::DecisionRecord D;
+        D.Node = static_cast<NodeId>(Node);
+        D.View = graph::Region(std::move(Members));
+        D.Chosen = Chosen;
+        D.When = L;
+        Out.Decisions.push_back(std::move(D));
+      } else {
+        Error = "stream " + std::to_string(SI) + ": bad line: " + Line;
+        return false;
+      }
+    }
+  }
+  std::stable_sort(Out.Decisions.begin(), Out.Decisions.end(),
+                   [](const trace::DecisionRecord &A,
+                      const trace::DecisionRecord &B) {
+                     return A.When != B.When ? A.When < B.When
+                                             : A.Node < B.Node;
+                   });
+  return true;
+}

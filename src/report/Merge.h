@@ -1,0 +1,91 @@
+//===- report/Merge.h - Per-process event & stats merge ---------*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the per-daemon EV/STATS streams of a process-runtime world
+/// (proc::Launcher, protocol in proc/Proto.h) into the single trace the
+/// CD1..CD7 checkers consume:
+///
+///  * the crash time of a node is the *minimum* suspicion Lamport stamp
+///    any daemon reported for it — the earliest moment the world knew;
+///  * decisions are ordered by (Lamport, node), a deterministic total
+///    order over causally-stamped events;
+///  * a surviving daemon's stream is only trusted if its line count
+///    matches the event count its final STATS line declared (the
+///    manifest check — a truncated pipe must never silently shrink the
+///    trace). Streams of killed daemons are exempt: their tail is torn
+///    by construction, and every line that did arrive is still valid.
+///
+/// Kept free of proc:: types so report stays a leaf layer: the launcher
+/// hands in plain strings and gets plain trace records back.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_REPORT_MERGE_H
+#define CLIFFEDGE_REPORT_MERGE_H
+
+#include "support/Ids.h"
+#include "trace/Runner.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cliffedge {
+namespace report {
+
+/// One daemon's observation stream, as collected by the supervisor.
+struct ProcEventStream {
+  /// EV lines in arrival order ("EV SUSPECT ..." / "EV DECIDE ...").
+  std::vector<std::string> Lines;
+  /// Event count the daemon's STATS line declared; the manifest the
+  /// stream is verified against. Ignored when Killed.
+  uint64_t DeclaredEvents = 0;
+  /// True for daemons the crash plan SIGKILLed: stream may be a prefix.
+  bool Killed = false;
+};
+
+/// Transport statistics of one daemon's STATS line, and their sum across
+/// a world. Field names mirror the STATS keys.
+struct ProcStats {
+  uint64_t Events = 0;
+  uint64_t Sent = 0;
+  uint64_t Delivered = 0;
+  uint64_t Retransmits = 0;
+  uint64_t DupSuppressed = 0;
+  uint64_t AcksSent = 0;
+  uint64_t AckBytes = 0;
+  uint64_t ShimDropped = 0;
+  uint64_t ShimDuplicated = 0;
+  uint64_t ReorderDropped = 0;
+
+  void merge(const ProcStats &O);
+};
+
+/// Parses one "STATS k=v ..." line. False on a malformed line or an
+/// unknown key — a daemon and its supervisor must agree exactly.
+bool parseStatsLine(const std::string &Line, ProcStats &Out);
+
+/// The merged trace of one world.
+struct MergedTrace {
+  /// Min suspicion Lamport per node; TimeNever for nodes never suspected.
+  std::vector<SimTime> CrashTimes;
+  /// All decisions, sorted by (Lamport, node).
+  std::vector<trace::DecisionRecord> Decisions;
+};
+
+/// Merges every stream. \p NumNodes bounds node ids. Returns false and
+/// sets \p Error on a malformed line, an out-of-range node, or a
+/// surviving stream whose line count disagrees with its manifest.
+bool mergeEventStreams(const std::vector<ProcEventStream> &Streams,
+                       uint32_t NumNodes, MergedTrace &Out,
+                       std::string &Error);
+
+} // namespace report
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_REPORT_MERGE_H

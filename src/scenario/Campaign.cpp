@@ -8,6 +8,7 @@
 #include "scenario/Campaign.h"
 
 #include "engine/Engine.h"
+#include "proc/Launcher.h"
 #include "support/StrUtil.h"
 #include "trace/Checker.h"
 #include "trace/StreamingChecker.h"
@@ -71,8 +72,53 @@ static size_t countDistinctViews(const std::vector<trace::DecisionRecord> &Ds) {
   return Views.size();
 }
 
+/// Runs one job on the real-process runtime and maps its ProcResult onto
+/// the campaign's outcome columns. Decision times are Lamport stamps, not
+/// simulation ticks — comparable within a run, not across transports.
+static JobOutcome runOneProcJob(const Spec &V, uint64_t Seed) {
+  JobOutcome Out;
+  Out.Seed = Seed;
+  Out.Epochs = 1;
+  proc::Launcher L(V, Seed);
+  proc::ProcResult R;
+  if (!L.run(R, Out.Error))
+    return Out;
+  if (R.Infra != proc::FailureClass::Ok) {
+    // A classified infrastructure failure is an error outcome, never a
+    // spec verdict: the world did not run end-to-end.
+    Out.Error = formatStr("infra_failure: %s: %s",
+                          proc::failureClassName(R.Infra), R.Error.c_str());
+    return Out;
+  }
+  Out.Ran = true;
+  Out.Decisions = R.Trace.Decisions.size();
+  Out.DistinctViews = countDistinctViews(R.Trace.Decisions);
+  Out.Events = R.Stats.Events;
+  Out.Messages = R.Stats.Sent;
+  Out.Retransmits = R.Stats.Retransmits;
+  Out.DupSuppressed = R.Stats.DupSuppressed;
+  Out.AckBytes = R.Stats.AckBytes;
+  Out.Crashes = R.Faulty.size();
+  for (const trace::DecisionRecord &D : R.Trace.Decisions) {
+    Out.FirstDecision = std::min(Out.FirstDecision, D.When);
+    Out.LastDecision = Out.LastDecision == TimeNever
+                           ? D.When
+                           : std::max(Out.LastDecision, D.When);
+  }
+  if (V.Check) {
+    Out.SpecOk = R.Check.Ok;
+    Out.Violations = std::move(R.Check.Violations);
+  } else {
+    Out.SpecOk = true;
+  }
+  return Out;
+}
+
 JobOutcome CampaignRunner::runOneJob(const Spec &V, uint64_t Seed,
                                      unsigned EngineWorkers) {
+  if (V.Transport == TransportKind::Proc)
+    return runOneProcJob(V, Seed);
+
   JobOutcome Out;
   Out.Seed = Seed;
   Out.Epochs = V.ServiceEpochs ? V.ServiceEpochs : V.Epochs.size();
@@ -225,6 +271,10 @@ CampaignSummary CampaignRunner::run(const CampaignOptions &Opts) {
   std::atomic<size_t> NextJob{0};
   auto Work = [&]() {
     for (;;) {
+      // Cooperative cancel: checked between jobs only, so whatever is
+      // in flight completes and keeps its slot.
+      if (Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed))
+        return;
       size_t I = NextJob.fetch_add(1, std::memory_order_relaxed);
       if (I >= Jobs)
         return;
@@ -248,6 +298,23 @@ CampaignSummary CampaignRunner::run(const CampaignOptions &Opts) {
   Work();
   for (std::thread &T : Pool)
     T.join();
+
+  Summary.Cancelled =
+      Opts.Cancel && Opts.Cancel->load(std::memory_order_relaxed);
+  if (Summary.Cancelled) {
+    // Fill the never-dispatched slots so every row of a (diagnostic-only)
+    // cancelled summary still names its job. A job that ran but failed
+    // keeps its own error: runOneJob always explains a !Ran outcome.
+    for (size_t I = 0; I < Jobs; ++I) {
+      JobOutcome &R = Summary.Results[I];
+      if (!R.Ran && R.Error.empty()) {
+        R.Index = I;
+        R.Seed = Base.SeedLo + (I % Seeds);
+        R.Variant = Labels[I / Seeds];
+        R.Error = "cancelled before dispatch";
+      }
+    }
+  }
 
   for (const JobOutcome &Out : Summary.Results) {
     if (!Out.Ran)

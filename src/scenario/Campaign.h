@@ -22,6 +22,7 @@
 
 #include "scenario/Spec.h"
 
+#include <atomic>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,10 @@ struct CampaignSummary {
   size_t Passed = 0; ///< Ran and SpecOk.
   size_t Failed = 0; ///< Ran with violations.
   size_t Errors = 0; ///< Did not run (bad materialization / event budget).
+  /// True when the campaign was cancelled: dispatch stopped, in-flight
+  /// jobs finished, undispatched slots carry Error "cancelled before
+  /// dispatch". A cancelled summary must never be published as a bundle.
+  bool Cancelled = false;
   uint64_t TotalDecisions = 0;
   uint64_t TotalMessages = 0;
   uint64_t TotalBytes = 0;
@@ -97,6 +102,10 @@ struct CampaignOptions {
   /// Campaign parallelism normally comes from Threads — the deterministic
   /// merge makes every summary identical for any value here.
   unsigned EngineWorkers = 1;
+  /// Cooperative cancellation (SIGINT/SIGTERM): when it reads true,
+  /// workers stop taking new jobs and drain. Jobs already running finish
+  /// normally and keep their outcomes.
+  const std::atomic<bool> *Cancel = nullptr;
 };
 
 /// Runs every (variant, seed) job of one Spec.

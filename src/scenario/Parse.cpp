@@ -83,6 +83,7 @@ private:
   ParseResult Result;
   std::vector<std::string> Seen; ///< Scalar directives already parsed.
   std::vector<unsigned> EpochStartLines;
+  unsigned TransportLine = 0; ///< Line of 'transport', for finish() diags.
 
   void error(unsigned Line, unsigned Col, std::string Message) {
     Result.Diags.push_back(Diag{Line, Col, std::move(Message)});
@@ -286,6 +287,18 @@ void SpecParser::parseLine(const std::string &Line, unsigned LineNo) {
     std::string Err;
     if (!applyOverride(S, "backend", V->Text, Err))
       error(LineNo, V->Col, Err);
+  } else if (D.Text == "transport") {
+    if (!once(D, LineNo))
+      return;
+    const Token *V = WantValue("a transport (sim | proc)");
+    if (!V || !noTrailing(Toks, 2, LineNo))
+      return;
+    std::string Err;
+    if (!applyOverride(S, "transport", V->Text, Err)) {
+      error(LineNo, V->Col, Err);
+      return;
+    }
+    TransportLine = LineNo;
   } else if (D.Text == "early-termination" || D.Text == "check" ||
              D.Text == "streaming") {
     if (!once(D, LineNo))
@@ -732,6 +745,13 @@ void SpecParser::parsePerturb(const std::vector<Token> &Toks,
 
 void SpecParser::finish() {
   Spec &S = Result.S;
+  // The process transport runs exactly one epoch of scripted crashes as a
+  // schedule of real SIGKILLs; service mode and multi-epoch worlds have
+  // no process analogue (a killed daemon never comes back).
+  if (S.Transport == TransportKind::Proc &&
+      (S.ServiceEpochs > 0 || S.ChurnRate > 0 || S.Epochs.size() > 1))
+    error(TransportLine ? TransportLine : 1, 1,
+          "'transport proc' requires a single-epoch, non-service scenario");
   // Service mode generates its crash plans: churn parameters are
   // mandatory, scripted crashes and explicit epochs are contradictory,
   // and crash perturbations have no stable plan to index.

@@ -23,6 +23,7 @@ bool Spec::operator==(const Spec &O) const {
          Detect == O.Detect &&
          Ranking == O.Ranking && EarlyTermination == O.EarlyTermination &&
          Check == O.Check && Backend == O.Backend &&
+         Transport == O.Transport &&
          Streaming == O.Streaming && ServiceEpochs == O.ServiceEpochs &&
          ChurnRate == O.ChurnRate && ChurnSize == O.ChurnSize &&
          ChurnHorizon == O.ChurnHorizon &&
@@ -41,6 +42,30 @@ const char *scenario::rankingName(graph::RankingKind K) {
     return "purelex";
   }
   return "?";
+}
+
+const char *scenario::transportName(TransportKind K) {
+  switch (K) {
+  case TransportKind::Sim:
+    return "sim";
+  case TransportKind::Proc:
+    return "proc";
+  }
+  return "?";
+}
+
+bool scenario::parseTransportName(const std::string &Tok, TransportKind &Out,
+                                  std::string &Error) {
+  if (Tok == "sim") {
+    Out = TransportKind::Sim;
+    return true;
+  }
+  if (Tok == "proc") {
+    Out = TransportKind::Proc;
+    return true;
+  }
+  Error = "unknown transport '" + Tok + "' (want sim | proc)";
+  return false;
 }
 
 const char *scenario::crashKindName(CrashDirective::Kind K) {
@@ -139,8 +164,10 @@ std::string scenario::writeSpec(const Spec &S) {
   Emit(formatStr("early-termination %s", S.EarlyTermination ? "on" : "off"));
   Emit(formatStr("check %s", S.Check ? "on" : "off"));
   Emit(formatStr("backend %s", engine::backendName(S.Backend)));
-  // Streaming/service directives are emitted only when set, so the
-  // canonical form of every pre-existing scenario is unchanged.
+  // Transport/streaming/service directives are emitted only when set, so
+  // the canonical form of every pre-existing scenario is unchanged.
+  if (S.Transport != TransportKind::Sim)
+    Emit(formatStr("transport %s", transportName(S.Transport)));
   if (S.Streaming)
     Emit("streaming on");
   if (S.MaxEvents)
@@ -603,9 +630,11 @@ bool scenario::applyOverride(Spec &S, const std::string &Key,
     return net::parseLinkCompact(Value, S.Link, Error);
   if (Key == "backend")
     return engine::parseBackendName(Value, S.Backend, Error);
+  if (Key == "transport")
+    return parseTransportName(Value, S.Transport, Error);
   Error = "unknown sweep key '" + Key +
           "' (want topology | detect | ranking | early-termination | "
-          "latency | link | backend)";
+          "latency | link | backend | transport)";
   return false;
 }
 

@@ -143,6 +143,14 @@ struct Perturbation {
 /// replayed (`cliffedge-sim replay`). None for ordinary scenarios.
 enum class Expectation : uint8_t { None, Ok, Violation };
 
+/// The `transport` directive: which world executes a job. Sim is every
+/// simulated backend (the `backend` directive then picks des/sharded);
+/// Proc is the real-process runtime — cliffedge-node daemons over UDP
+/// loopback, crashes injected as SIGKILLs by proc::Launcher. Orthogonal
+/// to Backend on purpose: a proc job ignores Backend, and the parity
+/// suite pins the two transports against each other per (spec, seed).
+enum class TransportKind : uint8_t { Sim, Proc };
+
 /// A full parsed scenario. Defaults mirror the cliffedge-sim CLI defaults
 /// so a flags-built Spec and a minimal .scn behave identically.
 struct Spec {
@@ -166,6 +174,11 @@ struct Spec {
   /// is what EngineEquivalenceTest enforces — but event counts and
   /// interleavings do, so it is part of the spec for replayability.
   engine::BackendKind Backend = engine::BackendKind::Des;
+  /// `transport proc`: run jobs on the real-process runtime instead of a
+  /// simulated backend (single-epoch, non-service scenarios only — the
+  /// parser enforces it). Defaults to Sim; emitted only when non-default
+  /// so pre-existing canonical forms are unchanged.
+  TransportKind Transport = TransportKind::Sim;
   /// `streaming on`: check online through trace::StreamingChecker instead
   /// of materializing a send log for the batch checker — required for
   /// bounded-memory service runs, equivalent verdicts everywhere
@@ -281,6 +294,11 @@ bool materializeSingle(const Spec &V, uint64_t Seed, MaterializedRun &Out,
 /// Human-readable names used by the writer and the CLI.
 const char *rankingName(graph::RankingKind K);
 const char *crashKindName(CrashDirective::Kind K);
+const char *transportName(TransportKind K);
+
+/// Parses a transport token ("sim" | "proc").
+bool parseTransportName(const std::string &Tok, TransportKind &Out,
+                        std::string &Error);
 
 } // namespace scenario
 } // namespace cliffedge

@@ -1,0 +1,389 @@
+//===- tests/ProcRuntimeTest.cpp - Real-process runtime parity -------------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fourth transport, held against the first: every proc-eligible
+/// curated scenario is run once as real cliffedge-node processes — UDP
+/// loopback, ARQ over injected loss, crashes as actual SIGKILLs — and
+/// once on the DES baseline at the same (spec, seed). The CD1..CD7
+/// verdicts must byte-match, the merged faulty set must equal the plan's,
+/// and the decided views must agree: the distributed runtime is only a
+/// different *realisation* of the same world.
+///
+/// The robustness contract gets its own cases: a daemon that stalls
+/// before HELLO/READY is classified (readiness_timeout), a binary that
+/// cannot exec is classified (spawn_failure), an ineligible spec is
+/// refused up front — and none of it may leak a child process (asserted
+/// by scanning /proc for cliffedge-node children of this test).
+///
+/// Every case skips cleanly when UDP loopback is unavailable (sandboxed
+/// CI), mirroring the proc-smoke ctest label's exit-77 guard.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/DesEngine.h"
+#include "proc/Launcher.h"
+#include "scenario/Parse.h"
+#include "scenario/Spec.h"
+#include "trace/Checker.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <unistd.h>
+#include <vector>
+
+using namespace cliffedge;
+
+#ifndef CLIFFEDGE_SCENARIO_DIR
+#error "CLIFFEDGE_SCENARIO_DIR must point at the repo's scenarios/ directory"
+#endif
+
+#ifndef CLIFFEDGE_NODE_BIN_PATH
+#error "CLIFFEDGE_NODE_BIN_PATH must point at the cliffedge-node binary"
+#endif
+
+namespace {
+
+/// Worlds above this stay with the simulated transports: a parity case is
+/// about crossing every layer once, not about scale (the large_* campaign
+/// scenarios would multiply tier-1 wall time for no new coverage).
+constexpr uint32_t MaxParityNodes = 200;
+
+proc::LauncherOptions testOptions() {
+  proc::LauncherOptions Opts;
+  Opts.NodeBinary = CLIFFEDGE_NODE_BIN_PATH;
+  return Opts;
+}
+
+/// True when \p Err is the launcher's environment-probe refusal — the
+/// one outcome that skips a test instead of failing it.
+bool isUdpUnavailable(const std::string &Err) {
+  return Err.find("udp loopback unavailable") != std::string::npos;
+}
+
+/// Counts live cliffedge-node processes parented by this test process —
+/// the no-zombie assertion. Scans /proc so it sees both running daemons
+/// (leaked) and unreaped zombies.
+size_t countLeakedDaemons() {
+  size_t Count = 0;
+  for (const auto &Entry : std::filesystem::directory_iterator("/proc")) {
+    const std::string Name = Entry.path().filename().string();
+    if (Name.empty() || !std::isdigit(static_cast<unsigned char>(Name[0])))
+      continue;
+    std::ifstream Stat(Entry.path() / "stat");
+    if (!Stat)
+      continue; // Raced with process exit.
+    std::string Line;
+    std::getline(Stat, Line);
+    // Fields: pid (comm) state ppid ... — comm may hold spaces, so parse
+    // from the closing paren.
+    size_t Open = Line.find('('), Close = Line.rfind(')');
+    if (Open == std::string::npos || Close == std::string::npos)
+      continue;
+    if (Line.substr(Open + 1, Close - Open - 1) != "cliffedge-node")
+      continue;
+    std::istringstream Rest(Line.substr(Close + 1));
+    char State = 0;
+    pid_t Ppid = 0;
+    Rest >> State >> Ppid;
+    if (Ppid == getpid())
+      ++Count;
+  }
+  return Count;
+}
+
+scenario::Spec loadScenario(const std::string &Name) {
+  std::ifstream In(std::string(CLIFFEDGE_SCENARIO_DIR) + "/" + Name);
+  EXPECT_TRUE(In) << "missing scenario " << Name;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+  EXPECT_TRUE(Parsed.Ok) << Name << ":\n" << Parsed.diagText();
+  return Parsed.S;
+}
+
+scenario::Spec firstVariant(const scenario::Spec &S) {
+  scenario::Spec V = S;
+  V.Sweeps.clear();
+  for (const scenario::SweepAxis &Axis : S.Sweeps) {
+    std::string Err;
+    EXPECT_TRUE(scenario::applyOverride(V, Axis.Key, Axis.Values.front(),
+                                        Err))
+        << Err;
+  }
+  return V;
+}
+
+/// Every curated scenario the process transport can express, smallest
+/// worlds first. Repros are excluded on purpose: their violations ride on
+/// simulation-plane perturbations (tie-bias, link schedules) that have no
+/// process-world analogue.
+std::vector<std::string> procEligibleScenarios() {
+  std::vector<std::string> Out;
+  std::vector<std::filesystem::path> Files;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CLIFFEDGE_SCENARIO_DIR))
+    if (Entry.path().extension() == ".scn")
+      Files.push_back(Entry.path());
+  std::sort(Files.begin(), Files.end());
+  for (const auto &Path : Files) {
+    std::ifstream In(Path);
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    scenario::ParseResult Parsed = scenario::parseSpec(Buf.str());
+    if (!Parsed.Ok)
+      continue; // ScenarioTest owns parse health; stay quiet here.
+    scenario::Spec V = firstVariant(Parsed.S);
+    std::string Why;
+    if (!proc::specSupportsProc(V, Why) || !V.Perturb.empty())
+      continue;
+    // `check off` marks curated ablations that are *expected* to
+    // misbehave (purelex_ablation starves CD7 by design); whether they do
+    // is timing-dependent, so they cannot pin a cross-transport verdict.
+    if (!V.Check)
+      continue;
+    Rng TopoRand(V.SeedLo);
+    scenario::TopologyInfo Topo;
+    if (!scenario::buildTopology(V.Topology, TopoRand, Topo, Why) ||
+        Topo.G.numNodes() > MaxParityNodes)
+      continue;
+    Out.push_back(Path.filename().string());
+  }
+  return Out;
+}
+
+/// A decision reduced to its transport-independent identity: who decided
+/// which view on which value. Times are deliberately absent — the DES
+/// clock and the runtime's Lamport clock share no scale.
+using DecisionKey = std::tuple<NodeId, std::string, uint64_t>;
+
+std::set<DecisionKey> decisionKeys(
+    const std::vector<trace::DecisionRecord> &Ds) {
+  std::set<DecisionKey> Out;
+  for (const trace::DecisionRecord &D : Ds)
+    Out.insert({D.Node, D.View.str(), D.Chosen});
+  return Out;
+}
+
+class ProcParity : public ::testing::TestWithParam<size_t> {
+public:
+  static const std::vector<std::string> &scenarios() {
+    static const std::vector<std::string> All = procEligibleScenarios();
+    return All;
+  }
+};
+
+TEST_P(ProcParity, VerdictsMatchDesBaseline) {
+  const std::string &File = scenarios()[GetParam()];
+  scenario::Spec V = firstVariant(loadScenario(File));
+  uint64_t Seed = V.SeedLo;
+  V.Check = true;
+
+  // DES baseline at the same (spec, seed).
+  scenario::MaterializedRun Run;
+  std::string Err;
+  ASSERT_TRUE(scenario::materializeSingle(V, Seed, Run, Err)) << Err;
+  engine::DesEngine Des;
+  engine::EngineJob Job;
+  Job.G = &Run.Topo.G;
+  Job.Plan = &Run.Plan;
+  Job.Options = std::move(Run.Options);
+  Job.Seed = Seed;
+  engine::EngineResult DesRes = Des.run(Job);
+  ASSERT_TRUE(DesRes.Quiesced) << File;
+  trace::CheckResult DesCheck =
+      trace::checkAll(engine::toCheckInput(DesRes, Run.Topo.G));
+
+  // The same world as real processes.
+  proc::Launcher L(V, Seed, testOptions());
+  proc::ProcResult R;
+  if (!L.run(R, Err)) {
+    if (isUdpUnavailable(Err))
+      GTEST_SKIP() << Err;
+    FAIL() << File << ": " << Err;
+  }
+  ASSERT_EQ(R.Infra, proc::FailureClass::Ok)
+      << File << ": " << proc::failureClassName(R.Infra) << ": " << R.Error;
+
+  // The acceptance bar: byte-identical CD1..CD7 verdicts.
+  EXPECT_EQ(DesCheck.Ok, R.Check.Ok) << File << "\ndes:\n"
+                                     << DesCheck.summary() << "\nproc:\n"
+                                     << R.Check.summary();
+  EXPECT_EQ(DesCheck.Violations, R.Check.Violations) << File;
+  EXPECT_EQ(DesCheck.summary(), R.Check.summary()) << File;
+
+  // Same world: same faulty set (the kill schedule IS the crash plan).
+  EXPECT_EQ(R.Faulty, Run.Plan.faultySet()) << File;
+
+  // Decision *sets* are deliberately not pinned across transports: the
+  // launcher quantizes cascade crash times into kill groups (a shard dies
+  // whole, at one instant), so agreements legitimately stabilize on views
+  // a tick-spread DES cascade would split into stages. What every
+  // transport must agree on is the invariant the checker's CD verdicts
+  // rest on: decided views name dead nodes, and a world whose incidents
+  // DES resolved produces decisions here too.
+  for (const trace::DecisionRecord &D : R.Trace.Decisions) {
+    EXPECT_FALSE(D.View.empty()) << File;
+    for (NodeId N : D.View.ids())
+      EXPECT_TRUE(R.Faulty.contains(N))
+          << File << ": decided view " << D.View.str()
+          << " names correct node " << N;
+  }
+  if (!DesRes.Decisions.empty())
+    EXPECT_FALSE(R.Trace.Decisions.empty()) << File;
+
+  EXPECT_EQ(countLeakedDaemons(), 0u) << File;
+}
+
+std::string scenarioName(const ::testing::TestParamInfo<size_t> &Info) {
+  std::string Name = ProcParity::scenarios()[Info.param];
+  for (char &C : Name)
+    if (!std::isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    EligibleScenarios, ProcParity,
+    ::testing::Range<size_t>(0, ProcParity::scenarios().size()),
+    scenarioName);
+
+TEST(ProcParitySuite, EligibleScenariosWereFound) {
+  // The parity sweep is only meaningful if the eligibility scan finds the
+  // worlds it was built for (guards against a filter bug emptying it).
+  const auto &All = ProcParity::scenarios();
+  auto Has = [&All](const char *Name) {
+    return std::find(All.begin(), All.end(), Name) != All.end();
+  };
+  EXPECT_TRUE(Has("fig1_world.scn"));
+  EXPECT_TRUE(Has("fig2_adjacent_domains.scn"));
+  EXPECT_TRUE(Has("proc_kill_smoke.scn"));
+  // Service and multi-epoch worlds must stay out.
+  EXPECT_FALSE(Has("churn_service.scn"));
+  EXPECT_FALSE(Has("lossy_churn_service.scn"));
+  EXPECT_FALSE(Has("multi_epoch_repair.scn"));
+}
+
+// -- Robustness classification ----------------------------------------------
+
+scenario::Spec smokeSpec() {
+  return firstVariant(loadScenario("proc_kill_smoke.scn"));
+}
+
+/// Probes once whether this environment can run a process world at all;
+/// classification tests skip (not fail) where the parity suite would.
+bool probeUdpOrSkip(std::string &Why) {
+  proc::Launcher L(smokeSpec(), 1, testOptions());
+  proc::ProcResult R;
+  std::string Err;
+  if (!L.run(R, Err) && isUdpUnavailable(Err)) {
+    Why = Err;
+    return false;
+  }
+  return true;
+}
+
+TEST(ProcRobustness, StalledDaemonClassifiedAsReadinessTimeout) {
+  std::string Why;
+  if (!probeUdpOrSkip(Why))
+    GTEST_SKIP() << Why;
+  proc::LauncherOptions Opts = testOptions();
+  // An infinite pre-HELLO stall against a 1-second deadline: the launcher
+  // must classify and clean up, never hang.
+  Opts.T.ReadyMs = 1000;
+  Opts.ExtraEnv.push_back({"CLIFFEDGE_NODE_TEST_STALL", "hello"});
+  proc::Launcher L(smokeSpec(), 1, Opts);
+  proc::ProcResult R;
+  std::string Err;
+  ASSERT_TRUE(L.run(R, Err)) << Err;
+  EXPECT_EQ(R.Infra, proc::FailureClass::ReadinessTimeout) << R.Error;
+  EXPECT_EQ(countLeakedDaemons(), 0u);
+}
+
+TEST(ProcRobustness, StallBeforeReadyAlsoClassified) {
+  std::string Why;
+  if (!probeUdpOrSkip(Why))
+    GTEST_SKIP() << Why;
+  proc::LauncherOptions Opts = testOptions();
+  Opts.T.ReadyMs = 1000;
+  Opts.ExtraEnv.push_back({"CLIFFEDGE_NODE_TEST_STALL", "ready"});
+  proc::Launcher L(smokeSpec(), 1, Opts);
+  proc::ProcResult R;
+  std::string Err;
+  ASSERT_TRUE(L.run(R, Err)) << Err;
+  EXPECT_EQ(R.Infra, proc::FailureClass::ReadinessTimeout) << R.Error;
+  EXPECT_EQ(countLeakedDaemons(), 0u);
+}
+
+TEST(ProcRobustness, MissingBinaryClassifiedAsSpawnFailure) {
+  std::string Why;
+  if (!probeUdpOrSkip(Why))
+    GTEST_SKIP() << Why;
+  proc::LauncherOptions Opts = testOptions();
+  Opts.NodeBinary = "/nonexistent/cliffedge-node";
+  proc::Launcher L(smokeSpec(), 1, Opts);
+  proc::ProcResult R;
+  std::string Err;
+  ASSERT_TRUE(L.run(R, Err)) << Err;
+  EXPECT_EQ(R.Infra, proc::FailureClass::SpawnFailure) << R.Error;
+  EXPECT_EQ(countLeakedDaemons(), 0u);
+}
+
+TEST(ProcRobustness, IneligibleSpecsRefusedUpFront) {
+  // Service and multi-epoch worlds cannot be expressed as one kill
+  // schedule; the launcher must refuse before spawning anything.
+  scenario::Spec Service = firstVariant(loadScenario("churn_service.scn"));
+  std::string Why;
+  EXPECT_FALSE(proc::specSupportsProc(Service, Why));
+  EXPECT_FALSE(Why.empty());
+
+  scenario::Spec Multi =
+      firstVariant(loadScenario("multi_epoch_repair.scn"));
+  EXPECT_FALSE(proc::specSupportsProc(Multi, Why));
+
+  proc::Launcher L(Service, 1, testOptions());
+  proc::ProcResult R;
+  std::string Err;
+  EXPECT_FALSE(L.run(R, Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_EQ(countLeakedDaemons(), 0u);
+}
+
+TEST(ProcRobustness, RepeatedRunsAreDeterministicPerSeed) {
+  std::string Why;
+  if (!probeUdpOrSkip(Why))
+    GTEST_SKIP() << Why;
+  // Same (spec, seed) twice: the merged decisions must agree exactly —
+  // wall-clock jitter may move Lamport stamps of *suspicions*, but the
+  // decision set and verdict are functions of the world, not the weather.
+  scenario::Spec V = smokeSpec();
+  std::set<DecisionKey> First;
+  for (int Round = 0; Round < 2; ++Round) {
+    proc::Launcher L(V, 1, testOptions());
+    proc::ProcResult R;
+    std::string Err;
+    ASSERT_TRUE(L.run(R, Err)) << Err;
+    ASSERT_EQ(R.Infra, proc::FailureClass::Ok) << R.Error;
+    EXPECT_TRUE(R.Check.Ok) << R.Check.summary();
+    if (Round == 0)
+      First = decisionKeys(R.Trace.Decisions);
+    else
+      EXPECT_EQ(First, decisionKeys(R.Trace.Decisions));
+  }
+  EXPECT_EQ(countLeakedDaemons(), 0u);
+}
+
+} // namespace

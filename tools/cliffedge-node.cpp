@@ -1,0 +1,16 @@
+//===- tools/cliffedge-node.cpp - One shard of a real-process world -------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+//
+// Never run by hand: proc::Launcher spawns one of these per shard and
+// speaks the control protocol of proc/Proto.h over stdin/stdout. All the
+// behaviour lives in proc::runDaemon().
+//
+//===----------------------------------------------------------------------===//
+
+#include "proc/Daemon.h"
+
+int main() { return cliffedge::proc::runDaemon(); }

@@ -22,6 +22,7 @@
 
 #include "engine/Engine.h"
 #include "graph/Dot.h"
+#include "proc/Launcher.h"
 #include "report/Bundle.h"
 #include "report/Compare.h"
 #include "scenario/Campaign.h"
@@ -34,6 +35,8 @@
 #include "trace/Runner.h"
 #include "trace/Timeline.h"
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -85,6 +88,12 @@ void usage(const char *Prog) {
       "                       backend-independent (differentially tested),\n"
       "                       and sharded runs replay identically for any\n"
       "                       --jobs value (deterministic merge)\n"
+      "  --transport KIND     sim | proc; overrides the spec's `transport`\n"
+      "                       directive. proc runs the world as real\n"
+      "                       cliffedge-node processes over UDP loopback\n"
+      "                       with crashes injected as SIGKILLs\n"
+      "                       (docs/process-runtime.md); single-epoch,\n"
+      "                       non-service scenarios only\n"
       "  --emit-scn           print the .scn equivalent of the current\n"
       "                       flags (or the canonical form of --scenario)\n"
       "                       and exit\n"
@@ -150,6 +159,14 @@ bool parseCrashFlag(const std::string &Spec,
   return !Out.Args.empty();
 }
 
+/// Set by the SIGINT/SIGTERM handler; campaign workers poll it between
+/// jobs. std::atomic<bool> store is async-signal-safe when lock-free.
+std::atomic<bool> GCancel{false};
+
+extern "C" void onCancelSignal(int) {
+  GCancel.store(true, std::memory_order_relaxed);
+}
+
 int runCampaign(const scenario::Spec &S, unsigned Jobs,
                 const std::string &Output,
                 const report::BundleOptions *Bundle = nullptr) {
@@ -158,8 +175,14 @@ int runCampaign(const scenario::Spec &S, unsigned Jobs,
                        "on %u thread(s)\n",
                Runner.variants().size(), S.seedCount(), Runner.jobCount(),
                Jobs);
+  // Graceful shutdown: a signal stops dispatch, in-flight jobs drain, and
+  // the run exits 2 without ever manifesting a bundle — a half-written
+  // summary must not be publishable evidence.
+  std::signal(SIGINT, onCancelSignal);
+  std::signal(SIGTERM, onCancelSignal);
   scenario::CampaignOptions Opts;
   Opts.Threads = Jobs;
+  Opts.Cancel = &GCancel;
   scenario::CampaignSummary Summary = Runner.run(Opts);
   if (Output == "csv")
     std::printf("%s", Summary.toCsv().c_str());
@@ -167,6 +190,12 @@ int runCampaign(const scenario::Spec &S, unsigned Jobs,
     std::printf("%s", Summary.toJson().c_str());
   std::fprintf(stderr, "campaign: %zu passed, %zu failed, %zu errors\n",
                Summary.Passed, Summary.Failed, Summary.Errors);
+  if (Summary.Cancelled) {
+    std::fprintf(stderr, "campaign: cancelled by signal; partial summary "
+                         "above is diagnostic only%s\n",
+                 Bundle ? ", no bundle written" : "");
+    return 2;
+  }
   if (Bundle) {
     report::BundleResult Res;
     std::string Err;
@@ -556,9 +585,10 @@ int main(int argc, char **argv) {
   Flags.Check = false;  // Plain flag runs only check with --check.
   std::string ScenarioFile;
   std::string Output = "summary";
-  std::string BackendFlag; ///< Empty = keep the spec's backend.
-  std::string LinkFlag;    ///< Empty = keep the spec's link conditions.
-  std::string BundleDir;   ///< Empty = no run bundle.
+  std::string BackendFlag;   ///< Empty = keep the spec's backend.
+  std::string LinkFlag;      ///< Empty = keep the spec's link conditions.
+  std::string TransportFlag; ///< Empty = keep the spec's transport.
+  std::string BundleDir;     ///< Empty = no run bundle.
   bool Campaign = false, EmitScn = false, CheckFlag = false;
   unsigned Jobs = 1;
   // Tuning flags are an *alternative* to a .scn file, not overrides on
@@ -586,6 +616,8 @@ int main(int argc, char **argv) {
       BackendFlag = Next("--backend");
     else if (Arg == "--link")
       LinkFlag = Next("--link");
+    else if (Arg == "--transport")
+      TransportFlag = Next("--transport");
     else if (Arg == "--bundle")
       BundleDir = Next("--bundle");
     else if (Arg == "--emit-scn")
@@ -732,6 +764,34 @@ int main(int argc, char **argv) {
       }
   }
 
+  // --transport is an execution override like --backend: it picks which
+  // world (simulated engine vs. real processes) realises the spec, and
+  // the parity suite pins the two against each other.
+  if (!TransportFlag.empty()) {
+    std::string Err;
+    if (!scenario::applyOverride(S, "transport", TransportFlag, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    for (size_t I = 0; I < S.Sweeps.size(); ++I)
+      if (S.Sweeps[I].Key == "transport") {
+        std::fprintf(stderr, "note: --transport %s overrides the spec's "
+                             "'sweep transport' axis\n",
+                     TransportFlag.c_str());
+        S.Sweeps.erase(S.Sweeps.begin() + I);
+        break;
+      }
+  }
+  if (S.Transport == scenario::TransportKind::Proc) {
+    std::string Why;
+    if (!proc::specSupportsProc(S, Why)) {
+      // The parser enforces this for `transport proc` in a .scn file; the
+      // flag path has to re-check because it composes with any spec.
+      std::fprintf(stderr, "error: --transport proc: %s\n", Why.c_str());
+      return 2;
+    }
+  }
+
   if (EmitScn) {
     std::printf("%s", scenario::writeSpec(S).c_str());
     return 0;
@@ -781,6 +841,58 @@ int main(int argc, char **argv) {
     std::fprintf(stderr, "error: %s\n", Err.c_str());
     return 2;
   }
+  // Real-process transport: hand the whole world to the supervisor; there
+  // is no engine, no event log and no timeline — decision times below are
+  // Lamport stamps from the merged per-daemon streams.
+  if (Variant.Transport == scenario::TransportKind::Proc) {
+    proc::Launcher L(Variant, Seed);
+    proc::ProcResult R;
+    if (!L.run(R, Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 2;
+    }
+    if (R.Infra != proc::FailureClass::Ok) {
+      std::fprintf(stderr, "error: infra_failure: %s: %s\n",
+                   proc::failureClassName(R.Infra), R.Error.c_str());
+      return 2;
+    }
+    std::printf("topology: %s (%u nodes, %zu edges)\n",
+                Variant.Topology.c_str(), Run.Topo.G.numNodes(),
+                Run.Topo.G.numEdges());
+    std::printf("transport: proc (%u shards, %u killed, %llu ms "
+                "wall)\n",
+                R.NumShards, R.KilledShards, (unsigned long long)R.WallMs);
+    std::printf("faulty:   %s\n", R.Faulty.str().c_str());
+    if (Variant.Link.active())
+      std::printf("link:     %s\n", Variant.Link.compact().c_str());
+    std::printf("events=%llu sent=%llu delivered=%llu decisions=%zu\n",
+                (unsigned long long)R.Stats.Events,
+                (unsigned long long)R.Stats.Sent,
+                (unsigned long long)R.Stats.Delivered,
+                R.Trace.Decisions.size());
+    std::printf("arq: retransmits=%llu dup_suppressed=%llu acks=%llu "
+                "ack_bytes=%llu shim_dropped=%llu shim_duplicated=%llu "
+                "reorder_dropped=%llu\n",
+                (unsigned long long)R.Stats.Retransmits,
+                (unsigned long long)R.Stats.DupSuppressed,
+                (unsigned long long)R.Stats.AcksSent,
+                (unsigned long long)R.Stats.AckBytes,
+                (unsigned long long)R.Stats.ShimDropped,
+                (unsigned long long)R.Stats.ShimDuplicated,
+                (unsigned long long)R.Stats.ReorderDropped);
+    for (const trace::DecisionRecord &D : R.Trace.Decisions)
+      std::printf("  L=%-8llu %-10s view=%s value=%llu\n",
+                  (unsigned long long)D.When,
+                  Run.Topo.G.label(D.Node).c_str(), D.View.str().c_str(),
+                  (unsigned long long)D.Chosen);
+    if (S.Check) {
+      std::printf("CD1..CD7: %s\n",
+                  R.Check.Ok ? "all hold" : R.Check.summary().c_str());
+      return R.Check.Ok ? 0 : 1;
+    }
+    return 0;
+  }
+
   // One execution path for every backend: build the engine named by the
   // spec (or --backend) and hand it the materialized job.
   engine::EngineOptions EngOpts;

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""End-to-end smoke for the real-process runtime (the `proc-smoke` label).
+
+Usage:
+  tools/proc_smoke.py --sim PATH/TO/cliffedge-sim [--scenario FILE]
+
+Runs scenarios/proc_kill_smoke.scn — a 4x4 grid materialized as real
+cliffedge-node daemons over UDP loopback, one of which the launcher
+SIGKILLs mid-epoch — and asserts the whole robustness contract from the
+outside:
+
+  1. cliffedge-sim exits 0 and prints `CD1..CD7: all hold` (the merged
+     per-daemon streams pass the batch checker).
+  2. The printed faulty set is non-empty (the kill actually happened).
+  3. No cliffedge-node process outlives the run: the daemons are tagged
+     with a unique environment marker before launch, and /proc is scanned
+     for survivors carrying it afterwards — running or zombie, a leak is
+     a leak. The tag keeps the scan honest under parallel ctest, where a
+     concurrent ProcRuntimeTest has live daemons of its own.
+
+Exits 77 (the ctest SKIP_RETURN_CODE) when the launcher reports UDP
+loopback unavailable — sandboxed CI without a network namespace.
+"""
+
+import argparse
+import os
+import subprocess
+import sys
+import uuid
+
+
+def fail(step, detail, output=""):
+    print(f"FAIL [{step}]: {detail}")
+    if output:
+        print(output[-4000:])
+    return 1
+
+
+def tagged_survivors(tag):
+    """PIDs of cliffedge-node processes whose environment carries tag."""
+    survivors = []
+    for name in os.listdir("/proc"):
+        if not name.isdigit():
+            continue
+        try:
+            with open(f"/proc/{name}/comm") as fh:
+                if fh.read().strip() != "cliffedge-node":
+                    continue
+            with open(f"/proc/{name}/environ", "rb") as fh:
+                environ = fh.read()
+        except OSError:
+            continue  # Raced with exit, or a zombie: environ reads empty.
+        if tag.encode() in environ:
+            survivors.append(int(name))
+    return survivors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sim", required=True)
+    parser.add_argument("--scenario",
+                        default=os.path.join(
+                            os.path.dirname(os.path.abspath(__file__)),
+                            "..", "scenarios", "proc_kill_smoke.scn"))
+    args = parser.parse_args()
+
+    tag = f"CLIFFEDGE_PROC_SMOKE_TAG={uuid.uuid4().hex}"
+    env = dict(os.environ)
+    key, value = tag.split("=", 1)
+    env[key] = value
+
+    proc = subprocess.run([args.sim, "--scenario", args.scenario],
+                          capture_output=True, text=True, env=env,
+                          timeout=600)
+    out = proc.stdout + proc.stderr
+
+    if "udp loopback unavailable" in out:
+        print("SKIP: udp loopback unavailable in this environment")
+        return 77
+    if proc.returncode != 0:
+        return fail("run", f"exit {proc.returncode}", out)
+    if "CD1..CD7: all hold" not in out:
+        return fail("verdict", "expected 'CD1..CD7: all hold'", out)
+    if "transport: proc" not in out:
+        return fail("transport", "run did not go through the proc "
+                    "transport", out)
+    faulty = [l for l in out.splitlines() if l.startswith("faulty:")]
+    if not faulty or faulty[0].split(":", 1)[1].strip() in ("", "{}"):
+        return fail("kill", "faulty set empty — no SIGKILL happened", out)
+
+    leaked = tagged_survivors(value)
+    if leaked:
+        for pid in leaked:  # Clean up so one failure doesn't poison CI.
+            try:
+                os.kill(pid, 9)
+            except OSError:
+                pass
+        return fail("leak", f"cliffedge-node survivors after exit: {leaked}",
+                    out)
+
+    print("proc smoke: real-process run checked clean, kill landed, "
+          "no daemon outlived the launcher")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
