@@ -42,6 +42,10 @@
 #include <memory>
 #include <new>
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
 using namespace cliffedge;
 
 // -- Allocation-counting harness ---------------------------------------------
@@ -73,6 +77,79 @@ void operator delete(void *P, std::size_t) noexcept { std::free(P); }
 void operator delete[](void *P, std::size_t) noexcept { std::free(P); }
 
 namespace {
+
+// -- Engine ceiling: the million-node world ----------------------------------
+//
+// scenarios/million_torus_quake.scn end-to-end on the DES backend: a
+// 1,000,000-node torus hit by 120 eight-node quakes. Detection is
+// border-local, so what this measures is the at-rest footprint of the
+// engine — hybrid bitset Regions, the lazily slab-allocated protocol
+// tables, streaming CSR topology and graph-backed crash subscriptions —
+// not protocol throughput. The peak_rss_mb counter (getrusage ru_maxrss)
+// is what bench_compare distills into the engine_million_peak_rss_mb
+// ceiling gated by the perf and mem-smoke ctest labels.
+//
+// ru_maxrss is a process-lifetime peak, so this bench MUST stay the first
+// registration in the binary: anything larger running before it would be
+// the number reported here. (The mem-smoke label additionally runs it
+// alone via --benchmark_filter.)
+
+const scenario::Spec &millionTorusSpec() {
+  static const scenario::Spec S = [] {
+    // Inline duplicate of scenarios/million_torus_quake.scn (single seed)
+    // so the bench binary stays runnable from any directory;
+    // ScenarioGoldenTest pins the two against each other.
+    scenario::ParseResult P = scenario::parseSpec(
+        "scenario million-torus-quake\n"
+        "topology torus:1000x1000\n"
+        "latency fixed 10\n"
+        "detect 5\n"
+        "check off\n"
+        "crash random 120 8 at 100 spread 300\n");
+    if (!P.Ok) {
+      std::fprintf(stderr, "million-torus spec failed to parse:\n%s\n",
+                   P.diagText().c_str());
+      std::abort();
+    }
+    return P.S;
+  }();
+  return S;
+}
+
+void BM_EngineMillion_Des(benchmark::State &State) {
+  scenario::MaterializedRun Run;
+  std::string Err;
+  if (!scenario::materializeSingle(millionTorusSpec(), 1, Run, Err)) {
+    State.SkipWithError(Err.c_str());
+    return;
+  }
+  Run.Options.RecordSends = false;
+  Run.Options.RecordProtocolEvents = false;
+  engine::DesEngine Eng;
+  uint64_t Events = 0;
+  for (auto _ : State) {
+    engine::EngineJob Job;
+    Job.G = &Run.Topo.G;
+    Job.Plan = &Run.Plan;
+    Job.Options = Run.Options;
+    Job.Seed = 1;
+    engine::EngineResult R = Eng.run(Job);
+    Events = R.Events;
+    benchmark::DoNotOptimize(R.Decisions.size());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(Events));
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage Ru;
+  if (getrusage(RUSAGE_SELF, &Ru) == 0)
+    // Linux reports ru_maxrss in KB (macOS in bytes; this gate only runs
+    // on the Linux CI hosts).
+    State.counters["peak_rss_mb"] =
+        benchmark::Counter(static_cast<double>(Ru.ru_maxrss) / 1024.0);
+#endif
+}
+// One iteration: the measurement of interest (peak RSS) is identical
+// every pass, and a full pass costs seconds at a million nodes.
+BENCHMARK(BM_EngineMillion_Des)->Unit(benchmark::kMillisecond)->Iterations(1);
 
 graph::Region randomRegion(Rng &Rand, uint32_t Universe, size_t Size) {
   std::vector<NodeId> Ids;

@@ -13,15 +13,108 @@
 using namespace cliffedge;
 using namespace cliffedge::core;
 
+void NodeHost::onEvent(NodeId, const ProtocolEvent &) {}
+
+//===----------------------------------------------------------------------===//
+// NodeContext: shared per-domain state and the NodeTables slab.
+//===----------------------------------------------------------------------===//
+
+struct NodeContext::Chunk {
+  alignas(NodeTables) unsigned char
+      Raw[sizeof(NodeTables) * NodeContext::TablesPerChunk];
+  size_t Used = 0;
+  NodeTables *at(size_t I) {
+    return reinterpret_cast<NodeTables *>(Raw) + I;
+  }
+};
+
+NodeContext::NodeContext(const graph::Graph &InG, ViewTable &InViews,
+                         Config InCfg, NodeHost &InHost)
+    : G(InG), Views(InViews), Cfg(InCfg), Host(InHost) {
+  assert(Views.rankingKind() == Cfg.Ranking &&
+         "view table and nodes must agree on the ranking relation");
+}
+
+NodeContext::~NodeContext() {
+  for (std::unique_ptr<Chunk> &C : Chunks)
+    for (size_t I = 0; I < C->Used; ++I)
+      C->at(I)->~NodeTables();
+}
+
+NodeTables &NodeContext::allocateTables() {
+  if (Chunks.empty() || Chunks.back()->Used == TablesPerChunk)
+    Chunks.emplace_back(new Chunk);
+  Chunk &C = *Chunks.back();
+  NodeTables *New = new (C.at(C.Used)) NodeTables(G);
+  ++C.Used;
+  return *New;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy Callbacks wiring: a private context around an adapter host.
+//===----------------------------------------------------------------------===//
+
+struct CliffEdgeNode::CompatBundle {
+  struct CompatHost final : NodeHost {
+    explicit CompatHost(Callbacks InCBs) : CBs(std::move(InCBs)) {}
+    void multicast(NodeId, const graph::Region &To,
+                   const Message &M) override {
+      CBs.Multicast(To, M);
+    }
+    void monitorCrash(NodeId, const graph::Region &Targets) override {
+      CBs.MonitorCrash(Targets);
+    }
+    void decide(NodeId, const graph::Region &View, Value Chosen) override {
+      CBs.Decide(View, Chosen);
+    }
+    Value selectValue(NodeId, const graph::Region &View) override {
+      return CBs.SelectValue(View);
+    }
+    void onEvent(NodeId, const ProtocolEvent &E) override { CBs.OnEvent(E); }
+    bool wantsEvents() const override {
+      return static_cast<bool>(CBs.OnEvent);
+    }
+    Callbacks CBs;
+  };
+
+  CompatBundle(const graph::Graph &G, ViewTable &Views, Config Cfg,
+               Callbacks CBs)
+      : Host(std::move(CBs)), Ctx(G, Views, Cfg, Host) {}
+
+  CompatHost Host;
+  NodeContext Ctx;
+};
+
 CliffEdgeNode::CliffEdgeNode(NodeId InSelf, const graph::Graph &InG,
                              ViewTable &InViews, Config InCfg,
                              Callbacks InCBs)
-    : Self(InSelf), G(InG), Views(InViews), Cfg(InCfg), CBs(std::move(InCBs)),
-      CrashedComponents(InG) {
-  assert(CBs.Multicast && CBs.MonitorCrash && CBs.Decide &&
-         CBs.SelectValue && "all callbacks must be provided");
-  assert(Views.rankingKind() == Cfg.Ranking &&
-         "view table and node must agree on the ranking relation");
+    : Self(InSelf), Ctx(nullptr),
+      Owned(new CompatBundle(InG, InViews, InCfg, std::move(InCBs))) {
+  assert(Owned->Host.CBs.Multicast && Owned->Host.CBs.MonitorCrash &&
+         Owned->Host.CBs.Decide && Owned->Host.CBs.SelectValue &&
+         "all callbacks must be provided");
+  Ctx = &Owned->Ctx;
+}
+
+CliffEdgeNode::CliffEdgeNode(NodeId InSelf, NodeContext &InCtx)
+    : Self(InSelf), Ctx(&InCtx) {}
+
+CliffEdgeNode::CliffEdgeNode(CliffEdgeNode &&) noexcept = default;
+CliffEdgeNode &CliffEdgeNode::operator=(CliffEdgeNode &&) noexcept = default;
+CliffEdgeNode::~CliffEdgeNode() = default;
+
+//===----------------------------------------------------------------------===//
+// Event handlers.
+//===----------------------------------------------------------------------===//
+
+const graph::Region &CliffEdgeNode::emptyRegion() {
+  static const graph::Region Empty;
+  return Empty;
+}
+
+const CliffEdgeNode::Counters &CliffEdgeNode::counters() const {
+  static const NodeCounters Zero;
+  return T ? T->Stats : Zero;
 }
 
 void CliffEdgeNode::start() {
@@ -29,36 +122,41 @@ void CliffEdgeNode::start() {
   Started = true;
   // Line 4: monitor our own neighbours. Through the reused scratch — at
   // fleet scale the <init> wave alone is numNodes() border allocations.
-  G.borderInto(Self, MonitorScratch);
-  CBs.MonitorCrash(MonitorScratch);
+  // Deliberately no tables() here: a node outside every failure wave
+  // stays a bare shell for the whole run.
+  Ctx->G.borderInto(Self, Ctx->MonitorScratch);
+  Ctx->Host.monitorCrash(Self, Ctx->MonitorScratch);
 }
 
 void CliffEdgeNode::onCrash(NodeId Q) {
   assert(Started && "event before start()");
   assert(Q != Self && "a node cannot observe its own crash");
-  if (LocallyCrashed.contains(Q))
+  tables(); // First failure contact: carve this node's state off the slab.
+  if (T->LocallyCrashed.contains(Q))
     return; // The detector notifies at most once, but stay defensive.
-  ++Stats.CrashesObserved;
+  ++T->Stats.CrashesObserved;
 
   // Lines 6-7: record the crash and extend monitoring to the crashed
   // node's own neighbourhood, so a growing region keeps being tracked.
-  LocallyCrashed.insert(Q);
-  CrashedComponents.addCrashed(Q);
-  G.borderInto(Q, MonitorScratch);
-  MonitorScratch.differenceInPlace(LocallyCrashed);
-  CBs.MonitorCrash(MonitorScratch);
+  T->LocallyCrashed.insert(Q);
+  T->CrashedComponents.addCrashed(Q);
+  Ctx->G.borderInto(Q, Ctx->MonitorScratch);
+  Ctx->MonitorScratch.differenceInPlace(T->LocallyCrashed);
+  Ctx->Host.monitorCrash(Self, Ctx->MonitorScratch);
 
   // Lines 8-11: adopt the highest-ranked crashed region we know of as the
   // next candidate view if it outranks the current one. Only Q's component
   // changed, and MaxView is ranked >= every previously-seen component, so
   // comparing Q's component against MaxView is equivalent to the paper's
   // full maxRankedRegion(connectedComponents(...)) rescan.
-  if (CrashedComponents.outranks(Q, MaxView, Cfg.Ranking, MaxViewBorder)) {
-    MaxView = CrashedComponents.componentOf(Q);
-    MaxViewBorder = Cfg.Ranking == graph::RankingKind::SizeBorderLex
-                        ? CrashedComponents.componentBorderSize(Q)
-                        : graph::IncrementalComponents::UnknownBorder;
-    CandidateView = MaxView;
+  if (T->CrashedComponents.outranks(Q, T->MaxView, Ctx->Cfg.Ranking,
+                                    T->MaxViewBorder)) {
+    T->MaxView = T->CrashedComponents.componentOf(Q);
+    T->MaxViewBorder =
+        Ctx->Cfg.Ranking == graph::RankingKind::SizeBorderLex
+            ? T->CrashedComponents.componentBorderSize(Q)
+            : graph::IncrementalComponents::UnknownBorder;
+    T->CandidateView = T->MaxView;
   }
 
   dispatch();
@@ -67,19 +165,20 @@ void CliffEdgeNode::onCrash(NodeId Q) {
 void CliffEdgeNode::onDeliver(NodeId From, const Message &M) {
   assert(Started && "event before start()");
   assert(M.VB && M.Id != InvalidViewId && "message without interned view");
+  tables(); // First failure contact: carve this node's state off the slab.
   // Line 18 guard: messages about views we rejected are ignored for good.
   if (isRejected(M.Id)) {
-    ++Stats.MessagesIgnored;
+    ++T->Stats.MessagesIgnored;
     return;
   }
   assert(M.border().contains(Self) &&
          "received a message for a view we do not border");
 
-  Instance &I = ensureInstance(*M.VB);
+  NodeTables::Instance &I = ensureInstance(*M.VB);
   // Complete-relay tracking only feeds the footnote-6 guard; skipping it
   // otherwise saves the per-message vector scan and the tracking region's
   // growth (the steady state stays allocation-free).
-  bool RelayComplete = Cfg.EarlyTermination && M.Opinions.isComplete();
+  bool RelayComplete = Ctx->Cfg.EarlyTermination && M.Opinions.isComplete();
   if (M.Final) {
     // A Final message stands in for every remaining round of its sender
     // (footnote-6 optimisation): merge it into each round it covers.
@@ -92,11 +191,6 @@ void CliffEdgeNode::onDeliver(NodeId From, const Message &M) {
   }
 
   dispatch();
-}
-
-const graph::Region &CliffEdgeNode::lastProposedView() const {
-  static const graph::Region Empty;
-  return Vp ? Vp->View : Empty;
 }
 
 void CliffEdgeNode::dispatch() {
@@ -116,29 +210,30 @@ void CliffEdgeNode::dispatch() {
 
 bool CliffEdgeNode::tryStartInstance() {
   // Line 12 guard: proposed = bottom and candidateView != empty.
-  if (HasProposal || CandidateView.empty())
+  if (T->HasProposal || T->CandidateView.empty())
     return false;
 
   // Lines 13-17. Interning the candidate is the only region work a
   // proposal does; everything downstream handles the stable entry.
-  const ViewEntry &E = Views.intern(CandidateView);
-  Vp = &E;
-  RejectScanNeeded = true; // The new proposal may outrank tracked views.
-  CandidateView.clear();
-  ProposedValue = CBs.SelectValue(E.View);
-  HasProposal = true;
-  Round = 1;
-  ++Stats.Proposals;
-  ++Stats.RoundsStarted;
+  const ViewEntry &E = Ctx->Views.intern(T->CandidateView);
+  T->Vp = &E;
+  T->RejectScanNeeded = true; // The new proposal may outrank tracked views.
+  T->CandidateView.clear();
+  T->ProposedValue = Ctx->Host.selectValue(Self, E.View);
+  T->HasProposal = true;
+  T->Round = 1;
+  ++T->Stats.Proposals;
+  ++T->Stats.RoundsStarted;
 
   assert(E.Border.contains(Self) && "proposer must border its view (CD2)");
-  SendScratch.Round = 1;
-  SendScratch.setView(E);
-  SendScratch.Final = false;
-  SendScratch.Opinions.reset(E.Border.size());
-  SendScratch.Opinions[memberIndex(E.Border, Self)] =
-      OpinionEntry{Opinion::Accept, ProposedValue};
-  multicast(E.Border, SendScratch);
+  Message &Out = Ctx->SendScratch;
+  Out.Round = 1;
+  Out.setView(E);
+  Out.Final = false;
+  Out.Opinions.reset(E.Border.size());
+  Out.Opinions[memberIndex(E.Border, Self)] =
+      OpinionEntry{Opinion::Accept, T->ProposedValue};
+  multicast(E.Border, Out);
   emitEvent(EventKind::Propose, E.View, 1);
   return true;
 }
@@ -154,32 +249,32 @@ bool CliffEdgeNode::tryRejectLower() {
   // i.e. every steady-state round message — skips the scan entirely.
   // Rejection itself only shrinks the live set, so a completed scan
   // leaves nothing new to find.
-  if (!Vp || !RejectScanNeeded)
+  if (!T->Vp || !T->RejectScanNeeded)
     return false;
-  RejectScanNeeded = false;
+  T->RejectScanNeeded = false;
 
-  LowerScratch.clear();
-  for (uint32_t S : LiveSlots) {
-    const Instance &I = Instances[S];
-    if (I.VB != Vp && Views.rankedLess(*I.VB, *Vp))
-      LowerScratch.push_back(S);
+  std::vector<uint32_t> &Lower = Ctx->LowerScratch;
+  Lower.clear();
+  for (uint32_t S : T->LiveSlots) {
+    const NodeTables::Instance &I = T->Instances[S];
+    if (I.VB != T->Vp && Ctx->Views.rankedLess(*I.VB, *T->Vp))
+      Lower.push_back(S);
   }
-  if (LowerScratch.empty())
+  if (Lower.empty())
     return false;
 
   // Deterministic rejection order regardless of slot-list order.
-  std::sort(LowerScratch.begin(), LowerScratch.end(),
-            [this](uint32_t A, uint32_t B) {
-              return Instances[A].VB->View.lexLess(Instances[B].VB->View);
-            });
-  for (uint32_t S : LowerScratch)
+  std::sort(Lower.begin(), Lower.end(), [this](uint32_t A, uint32_t B) {
+    return T->Instances[A].VB->View.lexLess(T->Instances[B].VB->View);
+  });
+  for (uint32_t S : Lower)
     doReject(S);
   return true;
 }
 
 void CliffEdgeNode::doReject(uint32_t Slot) {
   // Lines 28-31.
-  Instance &I = Instances[Slot];
+  NodeTables::Instance &I = T->Instances[Slot];
   assert(I.Live && I.VB && "rejecting a view we never received");
   const ViewEntry &E = *I.VB;
   const uint32_t SelfIdx = I.SelfIdx;
@@ -187,96 +282,101 @@ void CliffEdgeNode::doReject(uint32_t Slot) {
   // Retire the instance before multicasting, as the original erase did.
   I.Live = false;
   I.VB = nullptr;
-  LiveSlots.erase(std::find(LiveSlots.begin(), LiveSlots.end(), Slot));
-  FreeSlots.push_back(Slot);
-  if (E.Id >= Rejected.size())
-    Rejected.resize(E.Id + 1, 0);
-  Rejected[E.Id] = 1;
-  ++Stats.Rejections;
+  T->LiveSlots.erase(
+      std::find(T->LiveSlots.begin(), T->LiveSlots.end(), Slot));
+  T->FreeSlots.push_back(Slot);
+  if (E.Id >= T->Rejected.size())
+    T->Rejected.resize(E.Id + 1, 0);
+  T->Rejected[E.Id] = 1;
+  ++T->Stats.Rejections;
 
-  SendScratch.Round = 1;
-  SendScratch.setView(E);
-  SendScratch.Final = false;
-  SendScratch.Opinions.reset(E.Border.size());
-  SendScratch.Opinions[SelfIdx] = OpinionEntry{Opinion::Reject, 0};
-  multicast(E.Border, SendScratch);
+  Message &Out = Ctx->SendScratch;
+  Out.Round = 1;
+  Out.setView(E);
+  Out.Final = false;
+  Out.Opinions.reset(E.Border.size());
+  Out.Opinions[SelfIdx] = OpinionEntry{Opinion::Reject, 0};
+  multicast(E.Border, Out);
   emitEvent(EventKind::Reject, E.View, 1);
 }
 
 bool CliffEdgeNode::tryCompleteRound() {
   // Line 32 guard: an active own instance whose current-round waiting set
   // contains only nodes we know to be crashed.
-  if (!HasProposal || Decided)
+  if (!T->HasProposal || T->Decided)
     return false;
-  Instance *IP = findInstance(Vp->Id);
+  NodeTables::Instance *IP = findInstance(T->Vp->Id);
   if (!IP)
     return false; // Our own round-1 self-delivery has not arrived yet.
-  Instance &I = *IP;
-  const graph::Region &Waiting = I.Waiting[Round - 1];
-  if (!Waiting.isSubsetOf(LocallyCrashed))
+  NodeTables::Instance &I = *IP;
+  const graph::Region &Waiting = I.Waiting[T->Round - 1];
+  if (!Waiting.isSubsetOf(T->LocallyCrashed))
     return false;
 
   // Footnote-6 early termination: if every border member relayed a
   // complete vector this round, all members are known to know everything;
   // finish now and cover our remaining rounds with one Final message.
-  if (Cfg.EarlyTermination && Round >= 2 && Round < I.NumRounds &&
-      I.CompleteRelays[Round - 1].size() == I.VB->Border.size()) {
-    ++Stats.EarlyTerminations;
-    SendScratch.Round = Round + 1;
-    SendScratch.setView(*I.VB);
-    SendScratch.Final = true;
-    SendScratch.Opinions = I.Opinions[Round - 1];
-    multicast(I.VB->Border, SendScratch);
-    emitEvent(EventKind::EarlyTerminate, I.VB->View, Round);
-    finishInstance(I, Round);
+  if (Ctx->Cfg.EarlyTermination && T->Round >= 2 && T->Round < I.NumRounds &&
+      I.CompleteRelays[T->Round - 1].size() == I.VB->Border.size()) {
+    ++T->Stats.EarlyTerminations;
+    Message &Out = Ctx->SendScratch;
+    Out.Round = T->Round + 1;
+    Out.setView(*I.VB);
+    Out.Final = true;
+    Out.Opinions = I.Opinions[T->Round - 1];
+    multicast(I.VB->Border, Out);
+    emitEvent(EventKind::EarlyTerminate, I.VB->View, T->Round);
+    finishInstance(I, T->Round);
     return true;
   }
 
-  if (Round == I.NumRounds) {
+  if (T->Round == I.NumRounds) {
     // Lines 33-37: consensus instance completed.
-    finishInstance(I, Round);
+    finishInstance(I, T->Round);
     return true;
   }
 
   // Lines 38-40: start the next round, relaying last round's vector. The
   // scratch message reuses its opinion storage, so steady-state relays
   // allocate nothing.
-  ++Round;
-  ++Stats.RoundsStarted;
-  SendScratch.Round = Round;
-  SendScratch.setView(*I.VB);
-  SendScratch.Final = false;
-  SendScratch.Opinions = I.Opinions[Round - 2];
-  multicast(I.VB->Border, SendScratch);
-  emitEvent(EventKind::RoundAdvance, I.VB->View, Round);
+  ++T->Round;
+  ++T->Stats.RoundsStarted;
+  Message &Out = Ctx->SendScratch;
+  Out.Round = T->Round;
+  Out.setView(*I.VB);
+  Out.Final = false;
+  Out.Opinions = I.Opinions[T->Round - 2];
+  multicast(I.VB->Border, Out);
+  emitEvent(EventKind::RoundAdvance, I.VB->View, T->Round);
   return true;
 }
 
-void CliffEdgeNode::finishInstance(Instance &I, uint32_t FinalRound) {
+void CliffEdgeNode::finishInstance(NodeTables::Instance &I,
+                                   uint32_t FinalRound) {
   const OpinionVec &Vec = I.Opinions[FinalRound - 1];
   if (Vec.allAccept()) {
     // Lines 34-36. deterministicPick: every completer holds the identical
     // vector (Lemma 3), so "value of the smallest border id" is a shared
     // deterministic choice.
-    Decided = true;
-    DecidedV = Vp->View;
-    DecidedVal = Vec[0].Val;
-    emitEvent(EventKind::Decide, Vp->View, FinalRound);
-    CBs.Decide(DecidedV, DecidedVal);
+    T->Decided = true;
+    T->DecidedV = T->Vp->View;
+    T->DecidedVal = Vec[0].Val;
+    emitEvent(EventKind::Decide, T->Vp->View, FinalRound);
+    Ctx->Host.decide(Self, T->DecidedV, T->DecidedVal);
     return;
   }
   // Line 37: the attempt failed (a reject or a crash hole in the vector);
   // reset and wait for the view construction to produce a better candidate.
-  HasProposal = false;
-  ++Stats.InstancesFailed;
-  emitEvent(EventKind::InstanceFailed, Vp->View, FinalRound);
+  T->HasProposal = false;
+  ++T->Stats.InstancesFailed;
+  emitEvent(EventKind::InstanceFailed, T->Vp->View, FinalRound);
 }
 
-CliffEdgeNode::Instance *CliffEdgeNode::findInstance(ViewId Id) {
-  const uint32_t *SlotPlus1 = ReceivedSlot.find(Id);
+NodeTables::Instance *CliffEdgeNode::findInstance(ViewId Id) {
+  const uint32_t *SlotPlus1 = T->ReceivedSlot.find(Id);
   if (!SlotPlus1 || *SlotPlus1 == 0)
     return nullptr;
-  Instance &I = Instances[*SlotPlus1 - 1];
+  NodeTables::Instance &I = T->Instances[*SlotPlus1 - 1];
   // A stale mapping (its instance was rejected and the slot recycled)
   // never matches the queried id.
   if (!I.Live || !I.VB || I.VB->Id != Id)
@@ -284,10 +384,10 @@ CliffEdgeNode::Instance *CliffEdgeNode::findInstance(ViewId Id) {
   return &I;
 }
 
-CliffEdgeNode::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
-  uint32_t &SlotPlus1 = ReceivedSlot[VB.Id];
+NodeTables::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
+  uint32_t &SlotPlus1 = T->ReceivedSlot[VB.Id];
   if (SlotPlus1 != 0) {
-    Instance &I = Instances[SlotPlus1 - 1];
+    NodeTables::Instance &I = T->Instances[SlotPlus1 - 1];
     if (I.Live && I.VB == &VB)
       return I;
   }
@@ -295,17 +395,17 @@ CliffEdgeNode::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
   // Lines 19-22: first contact with this view — allocate every round's
   // opinion vector and waiting set up front (this is the view-construction
   // path, not the steady state).
-  assert(VB.Border == G.border(VB.View) &&
+  assert(VB.Border == Ctx->G.border(VB.View) &&
          "border must match the topology");
   uint32_t Slot;
-  if (!FreeSlots.empty()) {
-    Slot = FreeSlots.back();
-    FreeSlots.pop_back();
+  if (!T->FreeSlots.empty()) {
+    Slot = T->FreeSlots.back();
+    T->FreeSlots.pop_back();
   } else {
-    Slot = static_cast<uint32_t>(Instances.size());
-    Instances.emplace_back();
+    Slot = static_cast<uint32_t>(T->Instances.size());
+    T->Instances.emplace_back();
   }
-  Instance &I = Instances[Slot];
+  NodeTables::Instance &I = T->Instances[Slot];
   I.VB = &VB;
   I.Live = true;
   I.NumRounds =
@@ -313,7 +413,7 @@ CliffEdgeNode::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
   I.SelfIdx = static_cast<uint32_t>(memberIndex(VB.Border, Self));
   I.Opinions.assign(I.NumRounds, OpinionVec(VB.Border.size()));
   I.Waiting.assign(I.NumRounds, VB.Border);
-  if (Cfg.EarlyTermination) {
+  if (Ctx->Cfg.EarlyTermination) {
     // Seed each tracking region with the border's capacity so the
     // per-round inserts never reallocate mid-instance.
     I.CompleteRelays.assign(I.NumRounds, VB.Border);
@@ -322,13 +422,13 @@ CliffEdgeNode::Instance &CliffEdgeNode::ensureInstance(const ViewEntry &VB) {
   } else {
     I.CompleteRelays.clear(); // Unused without the footnote-6 guard.
   }
-  LiveSlots.push_back(Slot);
+  T->LiveSlots.push_back(Slot);
   SlotPlus1 = Slot + 1;
-  RejectScanNeeded = true; // A fresh view may rank below the proposal.
+  T->RejectScanNeeded = true; // A fresh view may rank below the proposal.
   return I;
 }
 
-void CliffEdgeNode::mergeIntoRound(Instance &I, uint32_t MsgRound,
+void CliffEdgeNode::mergeIntoRound(NodeTables::Instance &I, uint32_t MsgRound,
                                    NodeId From, const OpinionVec &Op,
                                    bool RelayComplete) {
   assert(MsgRound >= 1 && MsgRound <= I.NumRounds && "round out of bounds");
@@ -359,11 +459,11 @@ void CliffEdgeNode::multicast(const graph::Region &To, const Message &M) {
   // The paper's best-effort multicast (§3.1): point-to-point sends to each
   // recipient. The sender is in border(V), so this includes a self-send,
   // which is what later makes "Vp in received" true.
-  CBs.Multicast(To, M);
+  Ctx->Host.multicast(Self, To, M);
 }
 
 void CliffEdgeNode::emitEvent(EventKind Kind, const graph::Region &View,
                               uint32_t EventRound) {
-  if (CBs.OnEvent)
-    CBs.OnEvent(ProtocolEvent{Kind, View, EventRound});
+  if (Ctx->Host.wantsEvents())
+    Ctx->Host.onEvent(Self, ProtocolEvent{Kind, View, EventRound});
 }

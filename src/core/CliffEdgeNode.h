@@ -10,10 +10,10 @@
 /// detection of crashed regions executed by node p"). The class is
 /// transport-agnostic: inputs are the paper's events (<crash|q> from the
 /// failure detector, <mDeliver|p,[m]> from the network) and outputs flow
-/// through a Callbacks bundle (send, monitorCrash, decide, value
-/// selection). The event-handler guards of the pseudo-code (lines 12, 26
-/// and 32) are re-evaluated to fixpoint after every input, mirroring the
-/// paper's mono-threaded event model (§2.3).
+/// through a NodeHost (send, monitorCrash, decide, value selection). The
+/// event-handler guards of the pseudo-code (lines 12, 26 and 32) are
+/// re-evaluated to fixpoint after every input, mirroring the paper's
+/// mono-threaded event model (§2.3).
 ///
 /// Pseudo-code mapping (line numbers refer to Algorithm 1 in the paper):
 ///   lines 1-4   -> start()
@@ -40,6 +40,21 @@
 /// the outgoing message is a reused scratch whose opinion vector recycles
 /// its capacity, and views travel as interned handles.
 ///
+/// Memory layout: the paper's detection is border-local (§2.1) — in a
+/// large world almost every node only ever runs line 4 — so a node is
+/// split into a pointer-sized shell and its protocol tables. The shell
+/// (CliffEdgeNode itself, stored by value in the engines' node arrays) is
+/// ~32 bytes: id, flags and two pointers. The tables (NodeTables) hold
+/// everything Algorithm 1 mutates and are slab-allocated from the shared
+/// NodeContext on the node's *first* crash observation or delivery; a node
+/// the failure wave never reaches costs its shell and nothing else. All
+/// per-domain scratch (outgoing message, monitor set, reject scan) lives
+/// once in the NodeContext instead of once per node. Engines share one
+/// context per single-threaded execution domain (the whole DES run; one
+/// per shard in the sharded engine). The legacy Callbacks constructor
+/// keeps working by allocating a private single-node context behind the
+/// scenes — existing harnesses and examples compile unchanged.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CLIFFEDGE_CORE_CLIFFEDGENODE_H
@@ -55,6 +70,7 @@
 #include "support/FlatHash.h"
 
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace cliffedge {
@@ -84,97 +100,80 @@ enum class EventKind : uint8_t {
   Decide,         ///< Line 36.
 };
 
-/// One observability event (see Callbacks::OnEvent).
+/// One observability event (see NodeHost::onEvent).
 struct ProtocolEvent {
   EventKind Kind;
   graph::Region View;
   uint32_t Round = 0;
 };
 
-/// Outgoing effects of a protocol node. All callbacks must be set except
-/// OnEvent, which is optional.
-struct Callbacks {
+/// Per-node protocol counters, consumed by benches and tests.
+struct NodeCounters {
+  uint64_t CrashesObserved = 0;
+  uint64_t Proposals = 0;
+  uint64_t Rejections = 0;
+  uint64_t RoundsStarted = 0;
+  uint64_t InstancesFailed = 0;
+  uint64_t EarlyTerminations = 0;
+  uint64_t MessagesIgnored = 0; ///< Deliveries for rejected views.
+};
+
+/// Outgoing effects of a protocol node, implemented once per execution
+/// domain (engine, cluster, daemon). Every method receives the acting
+/// node's id, so one host object serves every node of its domain — the
+/// per-node layout carries no callback state at all.
+class NodeHost {
+public:
+  virtual ~NodeHost() = default;
+
   /// The paper's best-effort multicast (§3.1): delivers \p M to every node
   /// of \p To over point-to-point channels, including the sender itself
   /// (the sender is always in border(V)). Handing the whole recipient set
   /// to the transport lets it encode the payload once. \p M is a reused
   /// scratch — transports must not retain the reference past the call.
-  std::function<void(const graph::Region &To, const Message &M)> Multicast;
+  virtual void multicast(NodeId From, const graph::Region &To,
+                         const Message &M) = 0;
 
-  /// The paper's <monitorCrash | S>: subscribe to crash notifications.
-  std::function<void(const graph::Region &Targets)> MonitorCrash;
+  /// The paper's <monitorCrash | S>: subscribe \p From to crash
+  /// notifications for \p Targets.
+  virtual void monitorCrash(NodeId From, const graph::Region &Targets) = 0;
 
   /// The paper's <decide | S, d> output event.
-  std::function<void(const graph::Region &View, Value Chosen)> Decide;
+  virtual void decide(NodeId From, const graph::Region &View,
+                      Value Chosen) = 0;
 
-  /// The paper's selectValueForView(V) (line 14): the value this node
+  /// The paper's selectValueForView(V) (line 14): the value node \p From
   /// proposes for a view (e.g. a repair-plan id).
-  std::function<Value(const graph::Region &View)> SelectValue;
+  virtual Value selectValue(NodeId From, const graph::Region &View) = 0;
 
   /// Optional observability hook; invoked synchronously on protocol
-  /// transitions. Must not re-enter the node.
+  /// transitions when wantsEvents() is true. Must not re-enter the node.
+  virtual void onEvent(NodeId From, const ProtocolEvent &E);
+
+  /// Gates onEvent: hosts that do not record transitions keep the
+  /// default false and the emit sites stay branch-only.
+  virtual bool wantsEvents() const { return false; }
+};
+
+/// Legacy per-node callback bundle. New engine code implements NodeHost;
+/// this remains the convenient wiring for tests, examples and single-node
+/// deployments (the daemon), adapted internally by the compatibility
+/// constructor. All callbacks must be set except OnEvent, which is
+/// optional.
+struct Callbacks {
+  std::function<void(const graph::Region &To, const Message &M)> Multicast;
+  std::function<void(const graph::Region &Targets)> MonitorCrash;
+  std::function<void(const graph::Region &View, Value Chosen)> Decide;
+  std::function<Value(const graph::Region &View)> SelectValue;
   std::function<void(const ProtocolEvent &E)> OnEvent;
 };
 
-/// One node's instance of the cliff-edge consensus protocol.
-class CliffEdgeNode {
-public:
-  /// Per-node protocol counters, consumed by benches and tests.
-  struct Counters {
-    uint64_t CrashesObserved = 0;
-    uint64_t Proposals = 0;
-    uint64_t Rejections = 0;
-    uint64_t RoundsStarted = 0;
-    uint64_t InstancesFailed = 0;
-    uint64_t EarlyTerminations = 0;
-    uint64_t MessagesIgnored = 0; ///< Deliveries for rejected views.
-  };
+/// The protocol tables of one node: everything Algorithm 1 mutates.
+/// Slab-allocated from the owning NodeContext the first time the failure
+/// wave touches the node (first onCrash/onDeliver) — never at rest.
+struct NodeTables {
+  explicit NodeTables(const graph::Graph &G) : CrashedComponents(G) {}
 
-  CliffEdgeNode(NodeId Self, const graph::Graph &G, ViewTable &Views,
-                Config Cfg, Callbacks CBs);
-
-  /// The paper's <init> (lines 1-4): subscribes to the crashes of the
-  /// node's own neighbours. Must be called exactly once before any event.
-  void start();
-
-  /// The paper's <crash | q> handler (lines 5-11) plus guard dispatch.
-  void onCrash(NodeId Q);
-
-  /// The paper's <mDeliver | From, M> handler (lines 18-25) plus guard
-  /// dispatch.
-  void onDeliver(NodeId From, const Message &M);
-
-  // -- Introspection (checkers, tests, benches) ---------------------------
-
-  NodeId id() const { return Self; }
-  bool hasDecided() const { return Decided; }
-  const graph::Region &decidedView() const { return DecidedV; }
-  Value decidedValue() const { return DecidedVal; }
-
-  /// Nodes this node has detected as crashed so far.
-  const graph::Region &locallyCrashed() const { return LocallyCrashed; }
-
-  /// The paper's max_view (line 3): the highest-ranked crashed region this
-  /// node currently tracks. At quiescence every correct node's max_view has
-  /// converged — the cross-backend differential tests compare exactly this.
-  const graph::Region &maxView() const { return MaxView; }
-
-  /// True while a proposal is live (the paper's proposed != bottom, until
-  /// instance failure).
-  bool hasActiveProposal() const { return HasProposal; }
-
-  /// The last proposed view Vp (empty if the node never proposed).
-  const graph::Region &lastProposedView() const;
-
-  /// Current round of the active instance.
-  uint32_t currentRound() const { return Round; }
-
-  /// Number of conflicting views this node currently tracks.
-  size_t trackedViews() const { return LiveSlots.size(); }
-
-  const Counters &counters() const { return Stats; }
-
-private:
   /// Per-view consensus instance bookkeeping (the paper's opinions[V][.][.]
   /// and waiting[V][.], lines 21-22), stored in a recycled slot vector and
   /// looked up by ViewId through a flat hash — no per-message hashing of
@@ -192,6 +191,153 @@ private:
     std::vector<graph::Region> CompleteRelays; ///< [round-1].
   };
 
+  // Protocol state (names follow Algorithm 1, lines 2-3).
+  bool Decided = false;
+  bool HasProposal = false; ///< proposed != bottom.
+  /// Line-26 scan gate: set when a new instance appears or Vp changes;
+  /// steady-state round traffic leaves it down and skips the scan.
+  bool RejectScanNeeded = false;
+  graph::Region DecidedV;
+  Value DecidedVal = 0;
+  Value ProposedValue = 0;
+  graph::Region LocallyCrashed;
+  /// Incremental connectedComponents(LocallyCrashed): each crash merges
+  /// into its component in near-O(alpha) instead of a full graph rescan.
+  graph::IncrementalComponents CrashedComponents;
+  /// |border(MaxView)| at adoption time, so rank ties against the next
+  /// candidate need no border recomputation (SizeBorderLex only).
+  size_t MaxViewBorder = graph::IncrementalComponents::UnknownBorder;
+  graph::Region MaxView;
+  graph::Region CandidateView;
+  /// The live proposal Vp as an interned handle (null before the first
+  /// proposal). Persists across instance failures, like the paper's Vp.
+  const ViewEntry *Vp = nullptr;
+  uint32_t Round = 1;
+
+  /// ViewId -> instance slot + 1 (0 = absent; the flat map's default).
+  U64FlatMap<uint32_t> ReceivedSlot;
+  std::vector<Instance> Instances; ///< Slot storage, recycled.
+  std::vector<uint32_t> FreeSlots; ///< Dead slots awaiting reuse.
+  std::vector<uint32_t> LiveSlots; ///< Live slots, for line-26 scans.
+  std::vector<uint8_t> Rejected;   ///< Indexed by ViewId.
+
+  NodeCounters Stats;
+};
+
+/// Everything a single-threaded execution domain shares across its nodes:
+/// the topology, the intern table, the node configuration, the host, the
+/// domain-wide scratch buffers, and the slab the protocol tables are
+/// carved from. The DES runner owns one; the sharded engine owns one per
+/// shard (nodes of one shard only ever run on that shard's thread).
+class NodeContext {
+public:
+  NodeContext(const graph::Graph &G, ViewTable &Views, Config Cfg,
+              NodeHost &Host);
+  NodeContext(const NodeContext &) = delete;
+  NodeContext &operator=(const NodeContext &) = delete;
+  ~NodeContext();
+
+  /// Carves one NodeTables out of the slab. Chunked placement
+  /// construction: tables land back to back in ~44 KB chunks instead of
+  /// one heap object per touched node, and the whole arena frees at
+  /// domain teardown.
+  NodeTables &allocateTables();
+
+  const graph::Graph &G;
+  ViewTable &Views;
+  Config Cfg;
+  NodeHost &Host;
+
+  // Domain-wide scratch, reused by every node of the domain (the domain is
+  // single-threaded, and no scratch survives across a node's event).
+  graph::Region MonitorScratch; ///< onCrash/start monitor set.
+  Message SendScratch;          ///< Reused outgoing message.
+  std::vector<uint32_t> LowerScratch; ///< tryRejectLower scratch.
+
+private:
+  static constexpr size_t TablesPerChunk = 64;
+  struct Chunk;
+  std::vector<std::unique_ptr<Chunk>> Chunks;
+};
+
+/// One node's instance of the cliff-edge consensus protocol: a ~32-byte
+/// shell over slab-allocated NodeTables (see the memory-layout note in the
+/// file header). Movable, not copyable; engines store nodes by value.
+class CliffEdgeNode {
+public:
+  /// Counters type, kept nested for source compatibility.
+  using Counters = NodeCounters;
+
+  /// Engine wiring: a node of a shared execution domain. The context must
+  /// outlive the node.
+  CliffEdgeNode(NodeId Self, NodeContext &Ctx);
+
+  /// Legacy wiring: a self-contained node with per-node callbacks. Builds
+  /// a private context around an adapter host; costs one heap allocation
+  /// per node, which is fine for the tests, examples and the single-node
+  /// daemon that use it.
+  CliffEdgeNode(NodeId Self, const graph::Graph &G, ViewTable &Views,
+                Config Cfg, Callbacks CBs);
+
+  // Out of line: the defaulted members need the private CompatBundle
+  // complete.
+  CliffEdgeNode(CliffEdgeNode &&) noexcept;
+  CliffEdgeNode &operator=(CliffEdgeNode &&) noexcept;
+  ~CliffEdgeNode();
+
+  /// The paper's <init> (lines 1-4): subscribes to the crashes of the
+  /// node's own neighbours. Must be called exactly once before any event.
+  /// Deliberately does NOT allocate the node's tables.
+  void start();
+
+  /// The paper's <crash | q> handler (lines 5-11) plus guard dispatch.
+  void onCrash(NodeId Q);
+
+  /// The paper's <mDeliver | From, M> handler (lines 18-25) plus guard
+  /// dispatch.
+  void onDeliver(NodeId From, const Message &M);
+
+  // -- Introspection (checkers, tests, benches) ---------------------------
+  // All accessors tolerate a node the failure wave never touched (no
+  // tables): they report the pristine start()-state.
+
+  NodeId id() const { return Self; }
+  bool hasDecided() const { return T && T->Decided; }
+  const graph::Region &decidedView() const {
+    return T ? T->DecidedV : emptyRegion();
+  }
+  Value decidedValue() const { return T ? T->DecidedVal : 0; }
+
+  /// Nodes this node has detected as crashed so far.
+  const graph::Region &locallyCrashed() const {
+    return T ? T->LocallyCrashed : emptyRegion();
+  }
+
+  /// The paper's max_view (line 3): the highest-ranked crashed region this
+  /// node currently tracks. At quiescence every correct node's max_view has
+  /// converged — the cross-backend differential tests compare exactly this.
+  const graph::Region &maxView() const {
+    return T ? T->MaxView : emptyRegion();
+  }
+
+  /// True while a proposal is live (the paper's proposed != bottom, until
+  /// instance failure).
+  bool hasActiveProposal() const { return T && T->HasProposal; }
+
+  /// The last proposed view Vp (empty if the node never proposed).
+  const graph::Region &lastProposedView() const {
+    return T && T->Vp ? T->Vp->View : emptyRegion();
+  }
+
+  /// Current round of the active instance.
+  uint32_t currentRound() const { return T ? T->Round : 1; }
+
+  /// Number of conflicting views this node currently tracks.
+  size_t trackedViews() const { return T ? T->LiveSlots.size() : 0; }
+
+  const Counters &counters() const;
+
+private:
   // -- Event-guard evaluation ---------------------------------------------
 
   /// Re-evaluates the guarded handlers (lines 12, 26, 32) until none fires.
@@ -212,63 +358,37 @@ private:
 
   /// Completes the active instance using the round-\p RoundIdx vector:
   /// decide on all-accept, otherwise mark the attempt failed.
-  void finishInstance(Instance &I, uint32_t FinalRound);
+  void finishInstance(NodeTables::Instance &I, uint32_t FinalRound);
 
   // -- Helpers -------------------------------------------------------------
 
-  Instance &ensureInstance(const ViewEntry &VB);
-  Instance *findInstance(ViewId Id);
-  bool isRejected(ViewId Id) const {
-    return Id < Rejected.size() && Rejected[Id];
+  static const graph::Region &emptyRegion();
+  /// First-touch slab allocation of the protocol tables.
+  NodeTables &tables() {
+    if (!T)
+      T = &Ctx->allocateTables();
+    return *T;
   }
-  void mergeIntoRound(Instance &I, uint32_t MsgRound, NodeId From,
-                      const OpinionVec &Op, bool RelayComplete);
+  NodeTables::Instance &ensureInstance(const ViewEntry &VB);
+  NodeTables::Instance *findInstance(ViewId Id);
+  bool isRejected(ViewId Id) const {
+    return T && Id < T->Rejected.size() && T->Rejected[Id];
+  }
+  void mergeIntoRound(NodeTables::Instance &I, uint32_t MsgRound,
+                      NodeId From, const OpinionVec &Op, bool RelayComplete);
   void multicast(const graph::Region &To, const Message &M);
   void emitEvent(EventKind Kind, const graph::Region &View,
                  uint32_t EventRound);
 
+  struct CompatBundle;
+
   NodeId Self;
-  const graph::Graph &G;
-  ViewTable &Views;
-  Config Cfg;
-  Callbacks CBs;
-
-  // Protocol state (names follow Algorithm 1, line 2-3).
   bool Started = false;
-  bool Decided = false;
-  graph::Region DecidedV;
-  Value DecidedVal = 0;
-  bool HasProposal = false; ///< proposed != bottom.
-  Value ProposedValue = 0;
-  graph::Region LocallyCrashed;
-  /// Incremental connectedComponents(LocallyCrashed): each crash merges
-  /// into its component in near-O(alpha) instead of a full graph rescan.
-  graph::IncrementalComponents CrashedComponents;
-  /// |border(MaxView)| at adoption time, so rank ties against the next
-  /// candidate need no border recomputation (SizeBorderLex only).
-  size_t MaxViewBorder = graph::IncrementalComponents::UnknownBorder;
-  /// Reused per-crash scratch for the monitor set (border(Q) \ crashed).
-  graph::Region MonitorScratch;
-  graph::Region MaxView;
-  graph::Region CandidateView;
-  /// The live proposal Vp as an interned handle (null before the first
-  /// proposal). Persists across instance failures, like the paper's Vp.
-  const ViewEntry *Vp = nullptr;
-  uint32_t Round = 1;
-
-  /// ViewId -> instance slot + 1 (0 = absent; the flat map's default).
-  U64FlatMap<uint32_t> ReceivedSlot;
-  std::vector<Instance> Instances;  ///< Slot storage, recycled.
-  std::vector<uint32_t> FreeSlots;  ///< Dead slots awaiting reuse.
-  std::vector<uint32_t> LiveSlots;  ///< Live slots, for line-26 scans.
-  std::vector<uint8_t> Rejected;    ///< Indexed by ViewId.
-  std::vector<uint32_t> LowerScratch; ///< tryRejectLower scratch.
-  /// Line-26 scan gate: set when a new instance appears or Vp changes;
-  /// steady-state round traffic leaves it down and skips the scan.
-  bool RejectScanNeeded = false;
-  Message SendScratch;              ///< Reused outgoing message.
-
-  Counters Stats;
+  NodeContext *Ctx;         ///< The shared execution-domain context.
+  NodeTables *T = nullptr;  ///< Lazily slab-allocated protocol tables.
+  /// Set only by the legacy constructor: the private context kept alive
+  /// for this node.
+  std::unique_ptr<CompatBundle> Owned;
 };
 
 } // namespace core

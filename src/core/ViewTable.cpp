@@ -52,10 +52,15 @@ const ViewEntry &ViewTable::publish(const graph::Region &V,
   E.Border = std::move(B);
   E.Id = static_cast<ViewId>(N);
   E.RankKey = rankKeyFor(E.View, E.Border);
-  // Precompute the hashes while the entry is still writer-private, so the
-  // lazily-cached Region::hash() is never first computed by a reader.
+  // Precompute the hashes and the dense rep's sorted mirrors while the
+  // entry is still writer-private, so neither the lazily-cached
+  // Region::hash() nor the lazily-materialized Region::ids() is ever first
+  // computed by a reader (both are cached in mutable fields and unsafe to
+  // race with themselves on a shared Region).
   (void)E.View.hash();
   (void)E.Border.hash();
+  (void)E.View.ids();
+  (void)E.Border.ids();
 
   Index.emplace(E.View, E.Id);
   Count.store(N + 1, std::memory_order_release);

@@ -20,7 +20,14 @@ PerfectFailureDetector::PerfectFailureDetector(sim::Simulator &InSim,
                                                DetectionDelayModel InDelay,
                                                NotifyFn InOnCrash)
     : Sim(InSim), Delay(std::move(InDelay)), OnCrash(std::move(InOnCrash)),
-      Crashed(NumNodes, false), Watchers(NumNodes), Subscribed(NumNodes) {}
+      Crashed(NumNodes, false), Regs(NumNodes) {}
+
+PerfectFailureDetector::PerfectFailureDetector(sim::Simulator &InSim,
+                                               const graph::Graph &G,
+                                               DetectionDelayModel InDelay,
+                                               NotifyFn InOnCrash)
+    : Sim(InSim), Delay(std::move(InDelay)), OnCrash(std::move(InOnCrash)),
+      Crashed(G.numNodes(), false), Regs(G) {}
 
 void PerfectFailureDetector::monitor(NodeId Watcher,
                                      const graph::Region &Targets) {
@@ -29,19 +36,8 @@ void PerfectFailureDetector::monitor(NodeId Watcher,
     assert(Target < Crashed.size() && "target out of range");
     if (Target == Watcher)
       continue; // A node does not monitor itself.
-    std::vector<NodeId> &Subs = Subscribed[Watcher];
-    // Registry vectors grow in steps of 1-2 entries; jumping straight to a
-    // neighbourhood's worth of capacity halves the fleet-wide realloc
-    // churn of the initial <init> wave (every node subscribes to ~degree
-    // targets at start-up).
-    if (Subs.capacity() == 0)
-      Subs.reserve(8);
-    if (!insertSortedUnique(Subs, Target))
+    if (!Regs.subscribe(Watcher, Target))
       continue; // Already subscribed: at-most-once semantics.
-    std::vector<NodeId> &Back = Watchers[Target];
-    if (Back.capacity() == 0)
-      Back.reserve(8);
-    insertSortedUnique(Back, Watcher);
     // Strong completeness for late subscriptions: the target may already be
     // down; notify after the usual detection delay.
     if (Crashed[Target])
@@ -53,8 +49,8 @@ void PerfectFailureDetector::nodeCrashed(NodeId Node) {
   assert(Node < Crashed.size() && "node out of range");
   assert(!Crashed[Node] && "node crashed twice");
   Crashed[Node] = true;
-  for (NodeId Watcher : Watchers[Node])
-    scheduleNotification(Watcher, Node);
+  Regs.forEachWatcher(
+      Node, [&](NodeId Watcher) { scheduleNotification(Watcher, Node); });
 }
 
 void PerfectFailureDetector::scheduleNotification(NodeId Watcher,

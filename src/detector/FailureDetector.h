@@ -24,6 +24,7 @@
 #ifndef CLIFFEDGE_DETECTOR_FAILUREDETECTOR_H
 #define CLIFFEDGE_DETECTOR_FAILUREDETECTOR_H
 
+#include "detector/SubscriptionRegistry.h"
 #include "graph/Region.h"
 #include "sim/Simulator.h"
 #include "support/Ids.h"
@@ -53,6 +54,15 @@ public:
   PerfectFailureDetector(sim::Simulator &Sim, uint32_t NumNodes,
                          DetectionDelayModel Delay, NotifyFn OnCrash);
 
+  /// Graph-backed subscriptions: adjacent (watcher, target) pairs are
+  /// implicit and only non-adjacent extras are stored, cutting the
+  /// registry from O(E) to O(crash activity) — see SubscriptionRegistry
+  /// for the start-discipline contract this assumes (the scenario runner
+  /// satisfies it: every node's <init> subscription precedes any crash).
+  /// Notification order is identical to the explicit-mode detector.
+  PerfectFailureDetector(sim::Simulator &Sim, const graph::Graph &G,
+                         DetectionDelayModel Delay, NotifyFn OnCrash);
+
   /// The paper's <monitorCrash | S> issued by \p Watcher. Idempotent per
   /// (watcher, target) pair. If a target is already crashed the
   /// notification is scheduled immediately (strong completeness).
@@ -73,10 +83,8 @@ private:
   DetectionDelayModel Delay;
   NotifyFn OnCrash;
   std::vector<bool> Crashed;
-  /// Watchers[target] = sorted list of subscribed watchers.
-  std::vector<std::vector<NodeId>> Watchers;
-  /// Subscribed[watcher] = sorted list of targets, for idempotence.
-  std::vector<std::vector<NodeId>> Subscribed;
+  /// Who watches whom (explicit or graph-backed, per the constructor).
+  SubscriptionRegistry Regs;
   uint64_t Delivered = 0;
 
   void scheduleNotification(NodeId Watcher, NodeId Target);

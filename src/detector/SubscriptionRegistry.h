@@ -1,0 +1,141 @@
+//===- detector/SubscriptionRegistry.h - Watcher bookkeeping ----*- C++ -*-===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tracks which nodes subscribed to which targets' crashes, shared by the
+/// DES failure detector and the sharded engine's merge. Two modes:
+///
+///  * Explicit (legacy): per-node sorted watcher and subscription lists.
+///    Exact and assumption-free, but O(subscriptions) memory — and the
+///    <init> wave of Algorithm 1 (line 4) subscribes every node to its
+///    whole border, so for the engines this is an O(E) copy of the
+///    topology (~150 MB of vectors at a million nodes).
+///
+///  * Graph-backed: every adjacent (watcher, target) pair counts as
+///    implicitly subscribed from construction — the topology itself is
+///    the table — and only the sparse *non-adjacent* extras (monitoring
+///    extended across a growing crashed region, line 7) are stored.
+///    O(crash activity) memory. Correct only under the engines' start
+///    discipline: every node subscribes to all its neighbours before any
+///    crash executes, so an implicit pair never owes the late "target
+///    already crashed" notification that subscribe() reports for new
+///    pairs.
+///
+/// Both modes enumerate a target's watchers in ascending id order (the
+/// explicit lists are sorted; graph-backed merges the sorted adjacency
+/// row with the sorted extras, which are disjoint by construction), so a
+/// caller's notification sequence — and with it a seeded engine's
+/// tie-break stream — is byte-identical across modes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CLIFFEDGE_DETECTOR_SUBSCRIPTIONREGISTRY_H
+#define CLIFFEDGE_DETECTOR_SUBSCRIPTIONREGISTRY_H
+
+#include "graph/Graph.h"
+#include "support/FlatHash.h"
+#include "support/Ids.h"
+#include "support/Sorted.h"
+
+#include <cassert>
+#include <vector>
+
+namespace cliffedge {
+namespace detector {
+
+class SubscriptionRegistry {
+public:
+  /// Explicit mode: assumption-free per-node tables.
+  explicit SubscriptionRegistry(uint32_t NumNodes)
+      : Subscribed(NumNodes), Watchers(NumNodes) {}
+
+  /// Graph-backed mode (see file header for the start-discipline
+  /// contract). \p G must outlive the registry.
+  explicit SubscriptionRegistry(const graph::Graph &G) : Topo(&G) {}
+
+  /// Records (Watcher -> Target). Returns true when the pair is new —
+  /// the caller owes a late notification if the target already crashed.
+  /// The caller filters Watcher == Target.
+  bool subscribe(NodeId Watcher, NodeId Target) {
+    assert(Watcher != Target && "a node does not monitor itself");
+    if (Topo) {
+      if (Topo->hasEdge(Watcher, Target))
+        return false; // Implicitly subscribed by the start wave.
+      return insertSortedUnique(extrasFor(Target), Watcher);
+    }
+    std::vector<NodeId> &Subs = Subscribed[Watcher];
+    // Registry vectors grow in steps of 1-2 entries; jumping straight to
+    // a neighbourhood's worth of capacity halves the fleet-wide realloc
+    // churn of the initial <init> wave (every node subscribes to ~degree
+    // targets at start-up).
+    if (Subs.capacity() == 0)
+      Subs.reserve(8);
+    if (!insertSortedUnique(Subs, Target))
+      return false; // Already subscribed: at-most-once semantics.
+    std::vector<NodeId> &Back = Watchers[Target];
+    if (Back.capacity() == 0)
+      Back.reserve(8);
+    insertSortedUnique(Back, Watcher);
+    return true;
+  }
+
+  /// Invokes F(Watcher) for every subscribed watcher of \p Target, in
+  /// ascending id order.
+  template <typename Fn> void forEachWatcher(NodeId Target, Fn &&F) const {
+    if (!Topo) {
+      for (NodeId W : Watchers[Target])
+        F(W);
+      return;
+    }
+    graph::AdjRange Adj = Topo->adj(Target);
+    const NodeId *A = Adj.begin(), *AEnd = Adj.end();
+    const uint32_t *Idx = ExtraIndex.find(Target);
+    const std::vector<NodeId> *Extras =
+        Idx && *Idx ? &ExtraPool[*Idx - 1] : nullptr;
+    const NodeId *E = Extras ? Extras->data() : nullptr;
+    const NodeId *EEnd = Extras ? E + Extras->size() : nullptr;
+    // Ascending two-pointer merge; the lists are disjoint (extras are
+    // never adjacent), so no equal-key case exists.
+    while (A != AEnd && E != EEnd) {
+      if (*A < *E)
+        F(*A++);
+      else
+        F(*E++);
+    }
+    while (A != AEnd)
+      F(*A++);
+    while (E != EEnd)
+      F(*E++);
+  }
+
+private:
+  std::vector<NodeId> &extrasFor(NodeId Target) {
+    uint32_t &IdxPlus1 = ExtraIndex[Target];
+    if (IdxPlus1 == 0) {
+      ExtraPool.emplace_back();
+      IdxPlus1 = static_cast<uint32_t>(ExtraPool.size());
+    }
+    return ExtraPool[IdxPlus1 - 1];
+  }
+
+  /// Non-null selects graph-backed mode.
+  const graph::Graph *Topo = nullptr;
+  /// Graph-backed: target -> pool index + 1 of its non-adjacent watchers.
+  U64FlatMap<uint32_t> ExtraIndex;
+  std::vector<std::vector<NodeId>> ExtraPool;
+
+  // Explicit mode only.
+  /// Subscribed[watcher] = sorted list of targets, for idempotence.
+  std::vector<std::vector<NodeId>> Subscribed;
+  /// Watchers[target] = sorted list of subscribed watchers.
+  std::vector<std::vector<NodeId>> Watchers;
+};
+
+} // namespace detector
+} // namespace cliffedge
+
+#endif // CLIFFEDGE_DETECTOR_SUBSCRIPTIONREGISTRY_H

@@ -58,6 +58,7 @@
 #include "core/CliffEdgeNode.h"
 #include "core/ViewTable.h"
 #include "core/Wire.h"
+#include "detector/SubscriptionRegistry.h"
 #include "engine/EventQueue.h"
 #include "net/Channel.h"
 #include "net/Link.h"
@@ -156,6 +157,24 @@ struct Shard {
   uint64_t Dropped = 0;
 };
 
+struct RunState;
+
+/// The engine's core::NodeHost: one stateless object serves every node of
+/// every shard. Each effect arrives tagged with the acting node's id and
+/// lands in that node's *own* shard's outbox, and a node's events only
+/// ever run on its owning shard's worker — so concurrent workers never
+/// touch the same outbox through this host.
+struct ShardHost final : core::NodeHost {
+  explicit ShardHost(RunState &R) : R(R) {}
+  void multicast(NodeId From, const graph::Region &To,
+                 const core::Message &M) override;
+  void monitorCrash(NodeId From, const graph::Region &Targets) override;
+  void decide(NodeId From, const graph::Region &View,
+              core::Value Chosen) override;
+  core::Value selectValue(NodeId From, const graph::Region &View) override;
+  RunState &R;
+};
+
 /// Whole-run state shared by the coordinator and the shard workers.
 struct RunState {
   const graph::Graph &G;
@@ -166,7 +185,14 @@ struct RunState {
   /// ids lock-free.
   core::ViewTable Views;
   std::vector<Shard> Shards;
-  std::vector<std::unique_ptr<core::CliffEdgeNode>> Nodes;
+  ShardHost Host;
+  /// One execution domain per shard: a NodeContext's scratch buffers and
+  /// NodeTables slab are single-threaded state, and a shard's nodes all
+  /// run on one worker. unique_ptr because contexts are pinned (no moves).
+  std::vector<std::unique_ptr<core::NodeContext>> Ctxs;
+  /// By-value node shells (~32 bytes each); protocol tables are carved
+  /// from the owning shard's slab on first failure contact.
+  std::vector<core::CliffEdgeNode> Nodes;
   /// Per-sender wire encoders (announce-once state). A node's multicasts
   /// all happen on its owning shard's thread, so entries are never
   /// touched concurrently.
@@ -181,8 +207,12 @@ struct RunState {
   uint64_t TieSeed; ///< Channel tie-key seed, fixed for the whole run.
   uint64_t NextSeq = 0;
   U64FlatMap<SimTime> LastDelivery; ///< FIFO clamp, as in sim::Network.
-  std::vector<std::vector<NodeId>> Watchers;
-  std::vector<std::vector<NodeId>> Subscribed;
+  /// Graph-backed (the start merge subscribes every node to its border
+  /// before any crash executes): adjacency is the implicit table, only
+  /// non-adjacent extras are stored. Watcher enumeration stays in the
+  /// same ascending order as the old explicit lists, so the merge's
+  /// tie-break RNG stream — and with it the whole replay — is unchanged.
+  detector::SubscriptionRegistry Regs;
   EngineResult Result;
 
   // Fault plane (merge-side except the per-shard receive halves above).
@@ -198,11 +228,12 @@ struct RunState {
            uint32_t InShards, uint64_t Seed)
       : G(InG), Opts(InOpts), NumShards(InShards),
         Views(InG, InOpts.NodeConfig.Ranking), Shards(InShards),
+        Host(*this),
         Encoders(InG.numNodes(), core::WireEncoder(InOpts.WireVersion)),
         Dead(InG.numNodes(), 0), CrashTimes(InG.numNodes(), TimeNever),
         MergeRng(Seed ^ 0x5368617264456e67ULL /* "ShardEng" */),
         TieSeed(SplitMix64(Seed ^ 0x4669666f54696523ULL).next()),
-        Watchers(InG.numNodes()), Subscribed(InG.numNodes()),
+        Regs(InG),
         PlaneOn(InOpts.Link.active()), Arq(InOpts.Link.lossy()),
         Rto(InOpts.Link.Rto) {
     // The adversarial tie-break bias (search plane) re-derives both merge
@@ -331,6 +362,31 @@ struct RunState {
   }
 };
 
+void ShardHost::multicast(NodeId From, const graph::Region &To,
+                          const core::Message &M) {
+  // Encode once into a pooled shard-local buffer; recipients share the
+  // frame (and, after the merge's single decode, the parsed message).
+  Shard &Sh = R.Shards[R.shardOf(From)];
+  support::FrameRef Frame = Sh.Frames.acquire();
+  R.Encoders[From].encode(M, Frame.mutableBytes());
+  for (NodeId Recipient : To)
+    Sh.OutMsgs.push_back(OutMsg{From, Recipient, Frame});
+}
+
+void ShardHost::monitorCrash(NodeId From, const graph::Region &Targets) {
+  R.Shards[R.shardOf(From)].OutSubs.push_back(OutSub{From, Targets});
+}
+
+void ShardHost::decide(NodeId From, const graph::Region &View,
+                       core::Value Chosen) {
+  Shard &Sh = R.Shards[R.shardOf(From)];
+  Sh.OutDecisions.push_back(trace::DecisionRecord{From, View, Chosen, Sh.Now});
+}
+
+core::Value ShardHost::selectValue(NodeId From, const graph::Region &View) {
+  return R.Opts.SelectValue(From, View);
+}
+
 void RunState::processShard(uint32_t S, SimTime T) {
   Shard &Sh = Shards[S];
   if (Sh.Heap.nextTime() != T)
@@ -349,7 +405,7 @@ void RunState::processShard(uint32_t S, SimTime T) {
         // Zero-loss path, or the link-shaping-only configuration: the
         // frame carries no channel stamp.
         ++Sh.Delivered;
-        Nodes[E.To]->onDeliver(E.From, *E.Msg);
+        Nodes[E.To].onDeliver(E.From, *E.Msg);
         break;
       }
       if (!Arq) {
@@ -361,7 +417,7 @@ void RunState::processShard(uint32_t S, SimTime T) {
                "perfect link delivered out of sequence");
         RH.CumSeq = E.ChanSeq;
         ++Sh.Delivered;
-        Nodes[E.To]->onDeliver(E.From, *E.Msg);
+        Nodes[E.To].onDeliver(E.From, *E.Msg);
         break;
       }
       {
@@ -380,7 +436,7 @@ void RunState::processShard(uint32_t S, SimTime T) {
         case net::RecvVerdict::Deliver:
           for (MsgPtr &M : Sh.Released) {
             ++Sh.Delivered;
-            Nodes[E.To]->onDeliver(E.From, *M);
+            Nodes[E.To].onDeliver(E.From, *M);
           }
           break;
         }
@@ -405,7 +461,7 @@ void RunState::processShard(uint32_t S, SimTime T) {
       // Crashed watchers receive nothing (strong accuracy is structural:
       // notices are only ever scheduled for real crashes).
       if (!Dead[E.To])
-        Nodes[E.To]->onCrash(E.From);
+        Nodes[E.To].onCrash(E.From);
       break;
     case Event::CrashExec:
       Dead[E.To] = 1;
@@ -438,8 +494,8 @@ void RunState::merge(SimTime T, bool IsStart) {
   // path runs before the watcher is registered), never by both.
   for (uint32_t S = 0; S < NumShards; ++S)
     for (NodeId Crashed : Shards[S].OutCrashed) {
-      for (NodeId W : Watchers[Crashed])
-        scheduleNotice(W, Crashed, T);
+      Regs.forEachWatcher(
+          Crashed, [&](NodeId W) { scheduleNotice(W, Crashed, T); });
       if (PlaneOn && Arq)
         purgeChannels(Crashed);
     }
@@ -449,9 +505,8 @@ void RunState::merge(SimTime T, bool IsStart) {
       for (NodeId Target : Sub.Targets) {
         if (Target == Sub.Watcher)
           continue; // A node does not monitor itself.
-        if (!insertSortedUnique(Subscribed[Sub.Watcher], Target))
+        if (!Regs.subscribe(Sub.Watcher, Target))
           continue; // Already subscribed: at-most-once semantics.
-        insertSortedUnique(Watchers[Target], Sub.Watcher);
         if (CrashExecuted(Target))
           scheduleNotice(Sub.Watcher, Target, T);
       }
@@ -604,34 +659,16 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
   RunState Run(G, Options, NumShards, Job.Seed);
   Run.Result.Stats.SentByNode.assign(G.numNodes(), 0);
 
-  // Protocol nodes with shard-local-outbox callbacks.
+  // Protocol nodes over per-shard execution domains, effects routed
+  // through the engine's shared ShardHost into shard-local outboxes.
+  Run.Ctxs.reserve(NumShards);
+  for (uint32_t S = 0; S < NumShards; ++S)
+    Run.Ctxs.emplace_back(new core::NodeContext(G, Run.Views,
+                                                Options.NodeConfig,
+                                                Run.Host));
   Run.Nodes.reserve(G.numNodes());
-  for (NodeId N = 0; N < G.numNodes(); ++N) {
-    core::Callbacks CBs;
-    RunState *R = &Run;
-    CBs.Multicast = [R, N](const graph::Region &To, const core::Message &M) {
-      // Encode once into a pooled shard-local buffer; recipients share the
-      // frame (and, after the merge's single decode, the parsed message).
-      Shard &Sh = R->Shards[R->shardOf(N)];
-      support::FrameRef Frame = Sh.Frames.acquire();
-      R->Encoders[N].encode(M, Frame.mutableBytes());
-      for (NodeId Recipient : To)
-        Sh.OutMsgs.push_back(OutMsg{N, Recipient, Frame});
-    };
-    CBs.MonitorCrash = [R, N](const graph::Region &Targets) {
-      R->Shards[R->shardOf(N)].OutSubs.push_back(OutSub{N, Targets});
-    };
-    CBs.Decide = [R, N](const graph::Region &View, core::Value Chosen) {
-      Shard &Sh = R->Shards[R->shardOf(N)];
-      Sh.OutDecisions.push_back(
-          trace::DecisionRecord{N, View, Chosen, Sh.Now});
-    };
-    CBs.SelectValue = [R, N](const graph::Region &View) {
-      return R->Opts.SelectValue(N, View);
-    };
-    Run.Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
-        N, G, Run.Views, Options.NodeConfig, std::move(CBs)));
-  }
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Run.Nodes.emplace_back(N, *Run.Ctxs[Run.shardOf(N)]);
 
   // Crash plan: known up front, scheduled before anything runs.
   for (const workload::TimedCrash &C : Job.Plan->Crashes) {
@@ -653,7 +690,7 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
   // <init> for every node, then a start merge (before any round: even a
   // t=0 crash has not executed yet).
   for (NodeId N = 0; N < G.numNodes(); ++N)
-    Run.Nodes[N]->start();
+    Run.Nodes[N].start();
   Run.merge(0, /*IsStart=*/true);
 
   // Round loop: process the earliest timestamp everywhere, then merge.
@@ -777,6 +814,6 @@ EngineResult ShardedEngine::run(const EngineJob &Job) {
   }
   R.FinalMaxViews.reserve(G.numNodes());
   for (NodeId N = 0; N < G.numNodes(); ++N)
-    R.FinalMaxViews.push_back(Run.Nodes[N]->maxView());
+    R.FinalMaxViews.push_back(Run.Nodes[N].maxView());
   return R;
 }

@@ -14,70 +14,91 @@
 using namespace cliffedge;
 using namespace cliffedge::graph;
 
+namespace {
+
+/// Runs the deterministic edge enumeration \p Edges twice through
+/// Graph::CsrBuilder — once counting degrees, once placing endpoints — so
+/// regular lattices stream straight into their final CSR arrays. A
+/// million-node torus built this way costs exactly offsets + edges; the
+/// build-mode path would first materialize a million per-node vectors
+/// (hundreds of MB of allocator churn) only for compact() to throw them
+/// away. \p Edges receives an emit(A, B) callback; duplicate emissions
+/// collapse in build(), matching addEdge()'s duplicate tolerance.
+template <typename EdgeEnum>
+Graph buildStreaming(uint32_t N, EdgeEnum &&Edges) {
+  Graph::CsrBuilder Builder(N);
+  Edges([&Builder](NodeId A, NodeId B) { Builder.countEdge(A, B); });
+  Builder.beginEdges();
+  Edges([&Builder](NodeId A, NodeId B) { Builder.placeEdge(A, B); });
+  return Builder.build();
+}
+
+} // namespace
+
 Graph graph::makeLine(uint32_t N) {
-  Graph G(N);
-  for (uint32_t I = 0; I + 1 < N; ++I)
-    G.addEdge(I, I + 1);
-  return G;
+  return buildStreaming(N, [N](auto Emit) {
+    for (uint32_t I = 0; I + 1 < N; ++I)
+      Emit(I, I + 1);
+  });
 }
 
 Graph graph::makeRing(uint32_t N) {
   assert(N >= 3 && "a ring needs at least three nodes");
-  Graph G(N);
-  for (uint32_t I = 0; I < N; ++I)
-    G.addEdge(I, (I + 1) % N);
-  return G;
+  return buildStreaming(N, [N](auto Emit) {
+    for (uint32_t I = 0; I < N; ++I)
+      Emit(I, (I + 1) % N);
+  });
 }
 
 Graph graph::makeGrid(uint32_t Width, uint32_t Height) {
-  Graph G(Width * Height);
-  for (uint32_t Y = 0; Y < Height; ++Y) {
-    for (uint32_t X = 0; X < Width; ++X) {
-      NodeId Here = gridId(Width, X, Y);
-      if (X + 1 < Width)
-        G.addEdge(Here, gridId(Width, X + 1, Y));
-      if (Y + 1 < Height)
-        G.addEdge(Here, gridId(Width, X, Y + 1));
+  return buildStreaming(Width * Height, [Width, Height](auto Emit) {
+    for (uint32_t Y = 0; Y < Height; ++Y) {
+      for (uint32_t X = 0; X < Width; ++X) {
+        NodeId Here = gridId(Width, X, Y);
+        if (X + 1 < Width)
+          Emit(Here, gridId(Width, X + 1, Y));
+        if (Y + 1 < Height)
+          Emit(Here, gridId(Width, X, Y + 1));
+      }
     }
-  }
-  return G;
+  });
 }
 
 Graph graph::makeTorus(uint32_t Width, uint32_t Height) {
   assert(Width >= 3 && Height >= 3 && "torus needs 3x3 minimum");
-  Graph G(Width * Height);
-  for (uint32_t Y = 0; Y < Height; ++Y) {
-    for (uint32_t X = 0; X < Width; ++X) {
-      NodeId Here = gridId(Width, X, Y);
-      G.addEdge(Here, gridId(Width, (X + 1) % Width, Y));
-      G.addEdge(Here, gridId(Width, X, (Y + 1) % Height));
+  return buildStreaming(Width * Height, [Width, Height](auto Emit) {
+    for (uint32_t Y = 0; Y < Height; ++Y) {
+      for (uint32_t X = 0; X < Width; ++X) {
+        NodeId Here = gridId(Width, X, Y);
+        Emit(Here, gridId(Width, (X + 1) % Width, Y));
+        Emit(Here, gridId(Width, X, (Y + 1) % Height));
+      }
     }
-  }
-  return G;
+  });
 }
 
 Graph graph::makeComplete(uint32_t N) {
-  Graph G(N);
-  for (uint32_t I = 0; I < N; ++I)
-    for (uint32_t J = I + 1; J < N; ++J)
-      G.addEdge(I, J);
-  return G;
+  return buildStreaming(N, [N](auto Emit) {
+    for (uint32_t I = 0; I < N; ++I)
+      for (uint32_t J = I + 1; J < N; ++J)
+        Emit(I, J);
+  });
 }
 
 Graph graph::makeStar(uint32_t N) {
   assert(N >= 2 && "a star needs a hub and at least one leaf");
-  Graph G(N);
-  for (uint32_t I = 1; I < N; ++I)
-    G.addEdge(0, I);
-  return G;
+  return buildStreaming(N, [N](auto Emit) {
+    for (uint32_t I = 1; I < N; ++I)
+      Emit(0, I);
+  });
 }
 
 Graph graph::makeTree(uint32_t N, uint32_t Arity) {
   assert(Arity >= 1 && "tree arity must be positive");
-  Graph G(N);
-  for (uint32_t I = 1; I < N; ++I)
-    G.addEdge(I, (I - 1) / Arity);
-  return G;
+  return buildStreaming(N, [N, Arity](auto Emit) {
+    for (uint32_t I = 1; I < N; ++I)
+      Emit(I, (I - 1) / Arity);
+  });
 }
 
 Graph graph::makeErdosRenyi(uint32_t N, double P, Rng &Rand,
@@ -153,12 +174,12 @@ Graph graph::makeRandomGeometric(uint32_t N, double Radius, Rng &Rand,
 Graph graph::makeHypercube(uint32_t Dim) {
   assert(Dim >= 1 && Dim < 31 && "hypercube dimension out of range");
   uint32_t N = 1u << Dim;
-  Graph G(N);
-  for (uint32_t I = 0; I < N; ++I)
-    for (uint32_t Bit = 0; Bit < Dim; ++Bit)
-      if (I < (I ^ (1u << Bit)))
-        G.addEdge(I, I ^ (1u << Bit));
-  return G;
+  return buildStreaming(N, [N, Dim](auto Emit) {
+    for (uint32_t I = 0; I < N; ++I)
+      for (uint32_t Bit = 0; Bit < Dim; ++Bit)
+        if (I < (I ^ (1u << Bit)))
+          Emit(I, I ^ (1u << Bit));
+  });
 }
 
 Graph graph::makeBarabasiAlbert(uint32_t N, uint32_t M, Rng &Rand) {
@@ -195,17 +216,17 @@ Graph graph::makeBarabasiAlbert(uint32_t N, uint32_t M, Rng &Rand) {
 
 Graph graph::makeChordRing(uint32_t N, uint32_t Fingers) {
   assert(N >= 3 && "chord ring needs at least three nodes");
-  Graph G(N);
-  for (uint32_t I = 0; I < N; ++I) {
-    G.addEdge(I, (I + 1) % N); // Successor links.
-    for (uint32_t K = 1; K <= Fingers; ++K) {
-      uint32_t Jump = 1u << K;
-      if (Jump >= N)
-        break;
-      G.addEdge(I, (I + Jump) % N);
+  return buildStreaming(N, [N, Fingers](auto Emit) {
+    for (uint32_t I = 0; I < N; ++I) {
+      Emit(I, (I + 1) % N); // Successor links.
+      for (uint32_t K = 1; K <= Fingers; ++K) {
+        uint32_t Jump = 1u << K;
+        if (Jump >= N)
+          break;
+        Emit(I, (I + Jump) % N);
+      }
     }
-  }
-  return G;
+  });
 }
 
 Fig1World graph::makeFig1World() {

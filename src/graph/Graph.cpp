@@ -16,13 +16,17 @@
 using namespace cliffedge;
 using namespace cliffedge::graph;
 
-Graph::Graph(uint32_t InNumNodes)
-    : Adj(InNumNodes), NumNodes(InNumNodes), Names(InNumNodes) {}
+// Names stay lazy: bulk-constructed nodes are unnamed, and a vector of a
+// million empty std::strings is 32 MB of pure overhead, so Names only grows
+// once a node is actually named (addNode). name() treats ids past the end of
+// Names as unnamed.
+Graph::Graph(uint32_t InNumNodes) : Adj(InNumNodes), NumNodes(InNumNodes) {}
 
 NodeId Graph::addNode(std::string Name) {
   assert(!compacted() && "addNode on a compacted graph");
   Adj.emplace_back();
   ++NumNodes;
+  Names.resize(NumNodes - size_t(1));
   Names.push_back(std::move(Name));
   NameIndexValid = false;
   return static_cast<NodeId>(Adj.size() - 1);
@@ -65,8 +69,9 @@ const std::vector<NodeId> &Graph::neighbors(NodeId Node) const {
 }
 
 const std::string &Graph::name(NodeId Node) const {
-  assert(Node < Names.size() && "node out of range");
-  return Names[Node];
+  assert(Node < NumNodes && "node out of range");
+  static const std::string Unnamed;
+  return Node < Names.size() ? Names[Node] : Unnamed;
 }
 
 NodeId Graph::findByName(const std::string &Name) const {
@@ -142,4 +147,72 @@ bool Graph::isConnectedRegion(const Region &S) const {
   if (S.empty())
     return false;
   return connectedComponents(S).size() == 1;
+}
+
+//===----------------------------------------------------------------------===//
+// CsrBuilder
+//===----------------------------------------------------------------------===//
+
+Graph::CsrBuilder::CsrBuilder(uint32_t InNumNodes)
+    : NumNodes(InNumNodes), Offsets(size_t(InNumNodes) + 1, 0) {}
+
+void Graph::CsrBuilder::countEdge(NodeId A, NodeId B) {
+  assert(!Placing && "countEdge after beginEdges()");
+  assert(A < NumNodes && B < NumNodes && "edge endpoint out of range");
+  assert(A != B && "self-loops are not part of the system model");
+  ++Offsets[size_t(A) + 1];
+  ++Offsets[size_t(B) + 1];
+}
+
+void Graph::CsrBuilder::beginEdges() {
+  assert(!Placing && "beginEdges() called twice");
+  Placing = true;
+  for (size_t I = 1; I <= NumNodes; ++I)
+    Offsets[I] += Offsets[I - 1];
+  Edges.resize(Offsets[NumNodes]);
+  // Row i fills [Offsets[i], Offsets[i+1]); the cursors track the fill.
+  Cursor.assign(Offsets.begin(), Offsets.end() - 1);
+}
+
+void Graph::CsrBuilder::placeEdge(NodeId A, NodeId B) {
+  assert(Placing && "placeEdge before beginEdges()");
+  assert(A < NumNodes && B < NumNodes && "edge endpoint out of range");
+  assert(A != B && "self-loops are not part of the system model");
+  assert(Cursor[A] < Offsets[size_t(A) + 1] && Cursor[B] < Offsets[size_t(B) + 1] &&
+         "pass 2 emitted an edge pass 1 did not count");
+  Edges[Cursor[A]++] = B;
+  Edges[Cursor[B]++] = A;
+}
+
+Graph Graph::CsrBuilder::build() {
+  assert(Placing && "build() before beginEdges()");
+#ifndef NDEBUG
+  for (NodeId N = 0; N < NumNodes; ++N)
+    assert(Cursor[N] == Offsets[size_t(N) + 1] &&
+           "pass 1 counted an edge pass 2 did not place");
+#endif
+  std::vector<uint64_t>().swap(Cursor);
+  // Sort and de-duplicate each row, compacting the edge array in place.
+  // The write position never passes the read position, so rows shift left
+  // over the duplicates they shed.
+  uint64_t Write = 0;
+  uint64_t Begin = 0;
+  for (NodeId N = 0; N < NumNodes; ++N) {
+    const uint64_t End = Offsets[size_t(N) + 1];
+    std::sort(Edges.begin() + Begin, Edges.begin() + End);
+    uint64_t RowWrite = Write;
+    for (uint64_t I = Begin; I < End; ++I)
+      if (I == Begin || Edges[I] != Edges[I - 1])
+        Edges[RowWrite++] = Edges[I];
+    Begin = End;
+    Write = RowWrite;
+    Offsets[size_t(N) + 1] = Write;
+  }
+  Edges.resize(Write);
+  Graph G;
+  G.NumNodes = NumNodes;
+  G.CsrOffsets = std::move(Offsets);
+  G.CsrEdges = std::move(Edges);
+  G.EdgeCount = static_cast<size_t>(Write / 2);
+  return G;
 }

@@ -135,6 +135,42 @@ public:
   /// *region* in the paper's sense (§2.2).
   bool isConnectedRegion(const Region &S) const;
 
+  /// Two-pass streaming CSR construction: enumerate edges once to count
+  /// degrees, prefix-sum into offsets, enumerate again to place endpoints,
+  /// then sort/dedup each row in place. Unlike build mode + compact(),
+  /// nothing ever materializes per-node adjacency vectors, so a
+  /// million-node lattice costs exactly its final flat arrays. The two
+  /// enumerations must emit the identical multiset of undirected edges
+  /// (duplicates and both orientations are tolerated — rows dedup in
+  /// build()); self-loops are forbidden as everywhere else.
+  class CsrBuilder {
+  public:
+    explicit CsrBuilder(uint32_t NumNodes);
+
+    /// Pass 1: declare the undirected edge {A, B}.
+    void countEdge(NodeId A, NodeId B);
+
+    /// Seals pass 1: prefix-sums degrees and sizes the edge array.
+    void beginEdges();
+
+    /// Pass 2: place the undirected edge {A, B}.
+    void placeEdge(NodeId A, NodeId B);
+
+    /// Sorts and de-duplicates every row and returns the compacted graph.
+    /// The builder is consumed.
+    Graph build();
+
+  private:
+    uint32_t NumNodes = 0;
+    /// During pass 1: Offsets[i+1] holds degree(i); after beginEdges(),
+    /// Offsets[i+1] is the end of row i; after build(), the deduped ends.
+    std::vector<uint64_t> Offsets;
+    /// Per-row write cursors during pass 2.
+    std::vector<uint64_t> Cursor;
+    std::vector<NodeId> Edges;
+    bool Placing = false;
+  };
+
 private:
   /// Build-mode adjacency; emptied by compact().
   std::vector<std::vector<NodeId>> Adj;

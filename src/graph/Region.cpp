@@ -1,4 +1,4 @@
-//===- graph/Region.cpp - Sorted node-set value type ----------------------===//
+//===- graph/Region.cpp - Hybrid sparse/dense node-set value type ---------===//
 //
 // Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
 // Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
@@ -16,83 +16,434 @@
 using namespace cliffedge;
 using namespace cliffedge::graph;
 
+namespace {
+
+constexpr uint64_t kOne = 1;
+
+size_t wordFor(NodeId Node) { return static_cast<size_t>(Node) >> 6; }
+uint64_t bitFor(NodeId Node) { return kOne << (Node & 63); }
+
+/// Ascending-id cursor over either representation: a pointer walk on a
+/// sorted vector, a set-bit scan on a bitmap. The mixed-rep set algebra
+/// below merges two of these, so no path ever materializes a mirror.
+struct Cursor {
+  const NodeId *S = nullptr, *SEnd = nullptr;
+  const uint64_t *W = nullptr;
+  size_t NW = 0, WI = 0;
+  uint64_t Bits = 0;
+  bool Dense = false;
+
+  bool valid() const { return Dense ? Bits != 0 : S != SEnd; }
+  NodeId value() const {
+    return Dense ? static_cast<NodeId>(WI * 64 +
+                                       static_cast<unsigned>(
+                                           __builtin_ctzll(Bits)))
+                 : *S;
+  }
+  void advance() {
+    if (!Dense) {
+      ++S;
+      return;
+    }
+    Bits &= Bits - 1;
+    while (Bits == 0 && ++WI < NW)
+      Bits = W[WI];
+  }
+};
+
+Cursor makeCursor(const std::vector<NodeId> &Ids,
+                  const std::vector<uint64_t> &Words, bool Dense) {
+  Cursor C;
+  if (Dense) {
+    C.Dense = true;
+    C.W = Words.data();
+    C.NW = Words.size();
+    C.Bits = C.NW ? C.W[0] : 0;
+    while (C.Bits == 0 && ++C.WI < C.NW)
+      C.Bits = C.W[C.WI];
+    return C;
+  }
+  C.S = Ids.data();
+  C.SEnd = Ids.data() + Ids.size();
+  return C;
+}
+
+#ifndef NDEBUG
+/// True if the bitmap holds any id >= Node (the appendAscending contract
+/// check for the dense rep).
+bool hasBitAtOrAbove(const std::vector<uint64_t> &Words, NodeId Node) {
+  size_t WI = wordFor(Node);
+  if (WI >= Words.size())
+    return false;
+  if (Words[WI] >> (Node & 63))
+    return true;
+  for (size_t I = WI + 1; I < Words.size(); ++I)
+    if (Words[I])
+      return true;
+  return false;
+}
+#endif
+
+} // namespace
+
+// -- Representation management ------------------------------------------------
+
+bool Region::denseWorthy(size_t N, NodeId MaxId) {
+  // Flip to the bitmap when it is no bigger than the sorted vector (ids
+  // packed within 32x the count: span/8 bytes <= 4*N bytes), or — for big
+  // sets where O(1) insert matters more than bytes — when it costs at most
+  // 8x the vector. Reverting happens far below (count < 32 in
+  // maybeSparsify), so a set oscillating near a threshold never thrashes.
+  const uint64_t Span = static_cast<uint64_t>(MaxId) + 1;
+  if (N >= 64 && Span <= 32 * static_cast<uint64_t>(N))
+    return true;
+  return N >= 8192 && Span <= 256 * static_cast<uint64_t>(N);
+}
+
+void Region::convertToDense() {
+  if (Ids.empty()) {
+    Words.clear();
+    DenseCount = 0;
+    Flags |= kDense | kMirrorValid;
+    return;
+  }
+  Words.assign(wordFor(Ids.back()) + 1, 0);
+  for (NodeId N : Ids)
+    Words[wordFor(N)] |= bitFor(N);
+  DenseCount = static_cast<uint32_t>(Ids.size());
+  // Ids already is the sorted mirror; the cached hash (if any) is still
+  // valid because the contents did not change.
+  Flags |= kDense | kMirrorValid;
+}
+
+void Region::convertToSparse() {
+  materializeMirror();
+  Words.clear(); // Keep capacity: a reused scratch may re-densify.
+  DenseCount = 0;
+  Flags &= static_cast<uint8_t>(~(kDense | kMirrorValid));
+}
+
+void Region::maybeDensify() {
+  if (!isDense() && !Ids.empty() && denseWorthy(Ids.size(), Ids.back()))
+    convertToDense();
+}
+
+void Region::maybeSparsify() {
+  if (isDense() && DenseCount < 32)
+    convertToSparse();
+}
+
+void Region::materializeMirror() const {
+  if (!isDense() || hasFlag(kMirrorValid))
+    return;
+  Ids.clear();
+  Ids.reserve(DenseCount);
+  for (size_t WI = 0; WI < Words.size(); ++WI) {
+    uint64_t B = Words[WI];
+    while (B) {
+      Ids.push_back(static_cast<NodeId>(
+          WI * 64 + static_cast<unsigned>(__builtin_ctzll(B))));
+      B &= B - 1;
+    }
+  }
+  Flags |= kMirrorValid;
+}
+
+void Region::recountDense() {
+  uint64_t Count = 0;
+  for (uint64_t W : Words)
+    Count += static_cast<uint64_t>(__builtin_popcountll(W));
+  DenseCount = static_cast<uint32_t>(Count);
+}
+
+// -- Construction and special members -----------------------------------------
+
 Region::Region(std::vector<NodeId> InIds) : Ids(std::move(InIds)) {
   std::sort(Ids.begin(), Ids.end());
   Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  maybeDensify();
 }
 
 Region::Region(std::initializer_list<NodeId> InIds)
     : Region(std::vector<NodeId>(InIds)) {}
 
+Region::Region(const Region &Other)
+    : HashCache(Other.HashCache), DenseCount(Other.DenseCount),
+      Flags(Other.Flags & static_cast<uint8_t>(~kMirrorValid)) {
+  if (Other.isDense())
+    Words = Other.Words;
+  else
+    Ids = Other.Ids;
+}
+
+Region &Region::operator=(const Region &Other) {
+  if (this == &Other)
+    return *this;
+  if (Other.isDense()) {
+    Ids.clear();
+    Words = Other.Words;
+  } else {
+    Words.clear();
+    Ids = Other.Ids; // Element-wise copy reuses existing capacity.
+  }
+  HashCache = Other.HashCache;
+  DenseCount = Other.DenseCount;
+  Flags = Other.Flags & static_cast<uint8_t>(~kMirrorValid);
+  return *this;
+}
+
+Region::Region(Region &&Other) noexcept
+    : Ids(std::move(Other.Ids)), Words(std::move(Other.Words)),
+      HashCache(Other.HashCache), DenseCount(Other.DenseCount),
+      Flags(Other.Flags) {
+  Other.DenseCount = 0;
+  Other.Flags = 0;
+}
+
+Region &Region::operator=(Region &&Other) noexcept {
+  if (this == &Other)
+    return *this;
+  Ids = std::move(Other.Ids);
+  Words = std::move(Other.Words);
+  HashCache = Other.HashCache;
+  DenseCount = Other.DenseCount;
+  Flags = Other.Flags;
+  Other.DenseCount = 0;
+  Other.Flags = 0;
+  return *this;
+}
+
+// -- Element access ------------------------------------------------------------
+
+const std::vector<NodeId> &Region::ids() const {
+  materializeMirror();
+  return Ids;
+}
+
 bool Region::contains(NodeId Node) const {
+  if (isDense()) {
+    const size_t WI = wordFor(Node);
+    return WI < Words.size() && (Words[WI] & bitFor(Node)) != 0;
+  }
   return std::binary_search(Ids.begin(), Ids.end(), Node);
 }
 
 void Region::insert(NodeId Node) {
+  if (isDense()) {
+    const size_t WI = wordFor(Node);
+    if (WI >= Words.size())
+      Words.resize(WI + 1, 0);
+    if (Words[WI] & bitFor(Node))
+      return;
+    Words[WI] |= bitFor(Node);
+    ++DenseCount;
+    touch();
+    return;
+  }
   auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
   if (It != Ids.end() && *It == Node)
     return;
   Ids.insert(It, Node);
-  HashValid = false;
+  touch();
+  maybeDensify();
 }
 
 void Region::erase(NodeId Node) {
+  if (isDense()) {
+    const size_t WI = wordFor(Node);
+    if (WI >= Words.size() || !(Words[WI] & bitFor(Node)))
+      return;
+    Words[WI] &= ~bitFor(Node);
+    --DenseCount;
+    touch();
+    maybeSparsify();
+    return;
+  }
   auto It = std::lower_bound(Ids.begin(), Ids.end(), Node);
   if (It != Ids.end() && *It == Node) {
     Ids.erase(It);
-    HashValid = false;
+    touch();
   }
 }
 
 void Region::appendAscending(NodeId Node) {
+  if (isDense()) {
+    assert(!hasBitAtOrAbove(Words, Node) &&
+           "appendAscending() requires strictly ascending ids");
+    const size_t WI = wordFor(Node);
+    if (WI >= Words.size())
+      Words.resize(WI + 1, 0);
+    Words[WI] |= bitFor(Node);
+    ++DenseCount;
+    touch();
+    return;
+  }
   assert((Ids.empty() || Ids.back() < Node) &&
          "appendAscending() requires strictly ascending ids");
   Ids.push_back(Node);
-  HashValid = false;
+  touch();
+  maybeDensify();
 }
 
+// -- Set algebra ---------------------------------------------------------------
+
 Region Region::unionWith(const Region &Other) const {
-  std::vector<NodeId> Out;
-  Out.reserve(Ids.size() + Other.Ids.size());
-  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
-                 std::back_inserter(Out));
+  if (!isDense() && !Other.isDense()) {
+    std::vector<NodeId> Out;
+    Out.reserve(Ids.size() + Other.Ids.size());
+    std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
+                   std::back_inserter(Out));
+    Region Result;
+    Result.Ids = std::move(Out);
+    Result.maybeDensify();
+    return Result;
+  }
+  // At least one dense operand: the union is at least as dense, so build
+  // it as a bitmap straight away.
+  const Region &DenseSide = isDense() ? *this : Other;
+  const Region &OtherSide = isDense() ? Other : *this;
   Region Result;
-  Result.Ids = std::move(Out);
+  Result.Words = DenseSide.Words;
+  Result.DenseCount = DenseSide.DenseCount;
+  Result.Flags = kDense;
+  if (OtherSide.isDense()) {
+    if (OtherSide.Words.size() > Result.Words.size())
+      Result.Words.resize(OtherSide.Words.size(), 0);
+    for (size_t I = 0; I < OtherSide.Words.size(); ++I)
+      Result.Words[I] |= OtherSide.Words[I];
+    Result.recountDense();
+    return Result;
+  }
+  for (NodeId N : OtherSide.Ids) {
+    const size_t WI = wordFor(N);
+    if (WI >= Result.Words.size())
+      Result.Words.resize(WI + 1, 0);
+    if (!(Result.Words[WI] & bitFor(N))) {
+      Result.Words[WI] |= bitFor(N);
+      ++Result.DenseCount;
+    }
+  }
   return Result;
 }
 
 Region Region::intersectWith(const Region &Other) const {
-  std::vector<NodeId> Out;
-  std::set_intersection(Ids.begin(), Ids.end(), Other.Ids.begin(),
-                        Other.Ids.end(), std::back_inserter(Out));
   Region Result;
-  Result.Ids = std::move(Out);
+  if (isDense() && Other.isDense()) {
+    const size_t NW = std::min(Words.size(), Other.Words.size());
+    Result.Words.resize(NW);
+    for (size_t I = 0; I < NW; ++I)
+      Result.Words[I] = Words[I] & Other.Words[I];
+    Result.Flags = kDense;
+    Result.recountDense();
+    Result.maybeSparsify();
+    return Result;
+  }
+  if (!isDense() && !Other.isDense()) {
+    std::vector<NodeId> Out;
+    std::set_intersection(Ids.begin(), Ids.end(), Other.Ids.begin(),
+                          Other.Ids.end(), std::back_inserter(Out));
+    Result.Ids = std::move(Out);
+    Result.maybeDensify();
+    return Result;
+  }
+  // Mixed: walk the sparse side, probe the bitmap.
+  const Region &Sparse = isDense() ? Other : *this;
+  const Region &Dense = isDense() ? *this : Other;
+  for (NodeId N : Sparse.Ids)
+    if (Dense.contains(N))
+      Result.appendAscending(N);
   return Result;
 }
 
 Region Region::differenceWith(const Region &Other) const {
-  std::vector<NodeId> Out;
-  std::set_difference(Ids.begin(), Ids.end(), Other.Ids.begin(),
-                      Other.Ids.end(), std::back_inserter(Out));
-  Region Result;
-  Result.Ids = std::move(Out);
+  if (!isDense()) {
+    Region Result;
+    if (Other.isDense()) {
+      for (NodeId N : Ids)
+        if (!Other.contains(N))
+          Result.appendAscending(N);
+      return Result;
+    }
+    std::vector<NodeId> Out;
+    std::set_difference(Ids.begin(), Ids.end(), Other.Ids.begin(),
+                        Other.Ids.end(), std::back_inserter(Out));
+    Result.Ids = std::move(Out);
+    Result.maybeDensify();
+    return Result;
+  }
+  Region Result = *this;
+  Result.differenceInPlace(Other);
+  Result.maybeSparsify();
   return Result;
 }
 
 void Region::unionInPlace(const Region &Other, std::vector<NodeId> &Scratch) {
-  if (Other.Ids.empty())
+  if (Other.empty())
     return;
-  Scratch.clear();
-  Scratch.reserve(Ids.size() + Other.Ids.size());
-  std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
-                 std::back_inserter(Scratch));
-  Ids.swap(Scratch);
-  HashValid = false;
+  if (!isDense() && !Other.isDense()) {
+    Scratch.clear();
+    Scratch.reserve(Ids.size() + Other.Ids.size());
+    std::set_union(Ids.begin(), Ids.end(), Other.Ids.begin(), Other.Ids.end(),
+                   std::back_inserter(Scratch));
+    Ids.swap(Scratch);
+    touch();
+    maybeDensify();
+    return;
+  }
+  if (!isDense())
+    convertToDense();
+  touch();
+  if (Other.isDense()) {
+    if (Other.Words.size() > Words.size())
+      Words.resize(Other.Words.size(), 0);
+    for (size_t I = 0; I < Other.Words.size(); ++I)
+      Words[I] |= Other.Words[I];
+    recountDense();
+    return;
+  }
+  for (NodeId N : Other.Ids) {
+    const size_t WI = wordFor(N);
+    if (WI >= Words.size())
+      Words.resize(WI + 1, 0);
+    if (!(Words[WI] & bitFor(N))) {
+      Words[WI] |= bitFor(N);
+      ++DenseCount;
+    }
+  }
 }
 
 void Region::differenceInPlace(const Region &Other) {
-  if (Ids.empty() || Other.Ids.empty())
+  if (empty() || Other.empty())
     return;
+  if (isDense()) {
+    touch();
+    if (Other.isDense()) {
+      const size_t NW = std::min(Words.size(), Other.Words.size());
+      for (size_t I = 0; I < NW; ++I)
+        Words[I] &= ~Other.Words[I];
+      recountDense();
+      return;
+    }
+    for (NodeId N : Other.Ids) {
+      const size_t WI = wordFor(N);
+      if (WI < Words.size() && (Words[WI] & bitFor(N))) {
+        Words[WI] &= ~bitFor(N);
+        --DenseCount;
+      }
+    }
+    return;
+  }
+  if (Other.isDense()) {
+    size_t Write = 0;
+    for (size_t Read = 0; Read < Ids.size(); ++Read)
+      if (!Other.contains(Ids[Read]))
+        Ids[Write++] = Ids[Read];
+    if (Write != Ids.size()) {
+      Ids.resize(Write);
+      touch();
+    }
+    return;
+  }
   size_t Write = 0;
   auto It = Other.Ids.begin();
   for (size_t Read = 0; Read < Ids.size(); ++Read) {
@@ -105,11 +456,26 @@ void Region::differenceInPlace(const Region &Other) {
   }
   if (Write != Ids.size()) {
     Ids.resize(Write);
-    HashValid = false;
+    touch();
   }
 }
 
 bool Region::intersects(const Region &Other) const {
+  if (isDense() && Other.isDense()) {
+    const size_t NW = std::min(Words.size(), Other.Words.size());
+    for (size_t I = 0; I < NW; ++I)
+      if (Words[I] & Other.Words[I])
+        return true;
+    return false;
+  }
+  if (isDense() || Other.isDense()) {
+    const Region &Sparse = isDense() ? Other : *this;
+    const Region &Dense = isDense() ? *this : Other;
+    for (NodeId N : Sparse.Ids)
+      if (Dense.contains(N))
+        return true;
+    return false;
+  }
   auto I = Ids.begin(), J = Other.Ids.begin();
   while (I != Ids.end() && J != Other.Ids.end()) {
     if (*I == *J)
@@ -123,29 +489,143 @@ bool Region::intersects(const Region &Other) const {
 }
 
 bool Region::isSubsetOf(const Region &Other) const {
+  if (size() > Other.size())
+    return false;
+  if (isDense()) {
+    if (Other.isDense()) {
+      for (size_t I = 0; I < Words.size(); ++I) {
+        const uint64_t O = I < Other.Words.size() ? Other.Words[I] : 0;
+        if (Words[I] & ~O)
+          return false;
+      }
+      return true;
+    }
+    // Dense ⊆ sparse: walk the set bits against the sorted vector.
+    Cursor A = makeCursor(Ids, Words, true);
+    auto It = Other.Ids.begin();
+    while (A.valid()) {
+      It = std::lower_bound(It, Other.Ids.end(), A.value());
+      if (It == Other.Ids.end() || *It != A.value())
+        return false;
+      A.advance();
+    }
+    return true;
+  }
+  if (Other.isDense()) {
+    for (NodeId N : Ids)
+      if (!Other.contains(N))
+        return false;
+    return true;
+  }
   return std::includes(Other.Ids.begin(), Other.Ids.end(), Ids.begin(),
                        Ids.end());
 }
 
+// -- Orderings, equality, hashing ---------------------------------------------
+
+bool Region::operator==(const Region &Other) const {
+  if (size() != Other.size())
+    return false;
+  if (!isDense() && !Other.isDense())
+    return Ids == Other.Ids;
+  if (isDense() && Other.isDense()) {
+    const size_t NW = std::max(Words.size(), Other.Words.size());
+    for (size_t I = 0; I < NW; ++I) {
+      const uint64_t A = I < Words.size() ? Words[I] : 0;
+      const uint64_t B = I < Other.Words.size() ? Other.Words[I] : 0;
+      if (A != B)
+        return false;
+    }
+    return true;
+  }
+  Cursor A = makeCursor(Ids, Words, isDense());
+  Cursor B = makeCursor(Other.Ids, Other.Words, Other.isDense());
+  while (A.valid() && B.valid()) {
+    if (A.value() != B.value())
+      return false;
+    A.advance();
+    B.advance();
+  }
+  return !A.valid() && !B.valid();
+}
+
+bool Region::lexLess(const Region &Other) const {
+  if (!isDense() && !Other.isDense())
+    return Ids < Other.Ids;
+  if (isDense() && Other.isDense()) {
+    // Find the lowest differing bit m. Everything below m is common to
+    // both sets, so the sorted sequences share their first Cnt elements
+    // and position Cnt decides the comparison: the set owning m has the
+    // smaller element there unless the other set already ran out.
+    const size_t NW = std::max(Words.size(), Other.Words.size());
+    uint64_t Below = 0; // Common elements below the current word.
+    for (size_t I = 0; I < NW; ++I) {
+      const uint64_t A = I < Words.size() ? Words[I] : 0;
+      const uint64_t B = I < Other.Words.size() ? Other.Words[I] : 0;
+      if (A == B) {
+        Below += static_cast<uint64_t>(__builtin_popcountll(A));
+        continue;
+      }
+      const int Bit = __builtin_ctzll(A ^ B);
+      const uint64_t Mask = Bit ? (kOne << Bit) - 1 : 0;
+      const uint64_t Cnt =
+          Below + static_cast<uint64_t>(__builtin_popcountll(A & Mask));
+      if (A & (kOne << Bit)) {
+        // m ∈ this: this < Other iff Other still has an element at
+        // sequence index Cnt (necessarily > m); else Other is a proper
+        // prefix of this and orders first.
+        return static_cast<uint64_t>(Other.DenseCount) > Cnt;
+      }
+      // m ∈ Other: this < Other iff this ran out exactly at index Cnt
+      // (this is a proper prefix); else this has an element > m there.
+      return static_cast<uint64_t>(DenseCount) == Cnt;
+    }
+    return false; // Identical contents.
+  }
+  Cursor A = makeCursor(Ids, Words, isDense());
+  Cursor B = makeCursor(Other.Ids, Other.Words, Other.isDense());
+  while (A.valid() && B.valid()) {
+    if (A.value() != B.value())
+      return A.value() < B.value();
+    A.advance();
+    B.advance();
+  }
+  return !A.valid() && B.valid();
+}
+
 std::string Region::str() const {
   return "{" +
-         joinMapped(Ids, ",",
+         joinMapped(ids(), ",",
                     [](NodeId N) { return std::to_string(N); }) +
          "}";
 }
 
 size_t Region::hash() const {
-  if (HashValid)
+  if (hasFlag(kHashValid))
     return HashCache;
-  // FNV-1a over the id bytes; stable across runs for identical contents.
+  // FNV-1a over the id bytes; stable across runs — and representations —
+  // for identical contents.
   size_t H = 1469598103934665603ULL;
-  for (NodeId N : Ids) {
+  auto Mix = [&H](NodeId N) {
     for (int Byte = 0; Byte < 4; ++Byte) {
       H ^= (N >> (8 * Byte)) & 0xffU;
       H *= 1099511628211ULL;
     }
+  };
+  if (isDense()) {
+    for (size_t WI = 0; WI < Words.size(); ++WI) {
+      uint64_t B = Words[WI];
+      while (B) {
+        Mix(static_cast<NodeId>(WI * 64 +
+                                static_cast<unsigned>(__builtin_ctzll(B))));
+        B &= B - 1;
+      }
+    }
+  } else {
+    for (NodeId N : Ids)
+      Mix(N);
   }
   HashCache = H;
-  HashValid = true;
+  Flags |= kHashValid;
   return H;
 }

@@ -1,4 +1,4 @@
-//===- graph/Region.h - Sorted node-set value type --------------*- C++ -*-===//
+//===- graph/Region.h - Hybrid sparse/dense node-set value type -*- C++ -*-===//
 //
 // Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
 // Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
@@ -6,12 +6,20 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A Region is a set of node ids, stored as a sorted unique vector. The paper
-/// uses regions both for crashed regions (connected subgraphs, §2.2) and for
-/// borders; connectivity is a property checked against a Graph, not enforced
-/// by this type. Sorted storage gives deterministic iteration, O(log n)
-/// membership and linear-time set algebra, and makes the lexicographic order
-/// required by the ranking relation (§3.1) trivial.
+/// A Region is a set of node ids with deterministic ascending iteration. The
+/// paper uses regions both for crashed regions (connected subgraphs, §2.2)
+/// and for borders; connectivity is a property checked against a Graph, not
+/// enforced by this type.
+///
+/// Storage is hybrid: small or scattered sets live in a sorted unique vector
+/// (cheap iteration, O(log n) membership, linear set algebra); large sets
+/// whose ids pack densely flip to a bitmap (O(1) membership and insert,
+/// O(words) set algebra — a million-node view costs word ops, not
+/// element-wise walks). The representation is invisible through the public
+/// API: iteration order, lexicographic order, equality and the FNV hash are
+/// defined on the id *sequence* and are byte-identical across reps, so
+/// interning, ranking (§3.1) and golden traces never see the switch. The
+/// rep rules are documented in docs/ARCHITECTURE.md (memory layout).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -21,6 +29,7 @@
 #include "support/Ids.h"
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -38,22 +47,36 @@ public:
   /// Builds a region from an initializer list (test convenience).
   Region(std::initializer_list<NodeId> Ids);
 
-  bool empty() const { return Ids.empty(); }
-  size_t size() const { return Ids.size(); }
+  /// Copies transfer the active representation but not the dense rep's
+  /// lazily materialized mirror (the copy re-materializes on demand), so a
+  /// copied million-node view costs its words, not words + mirror.
+  Region(const Region &Other);
+  Region &operator=(const Region &Other);
+  /// Moves reset the source to the empty sparse rep.
+  Region(Region &&Other) noexcept;
+  Region &operator=(Region &&Other) noexcept;
+  ~Region() = default;
 
-  /// O(log n) membership test.
+  bool empty() const { return size() == 0; }
+  size_t size() const { return isDense() ? DenseCount : Ids.size(); }
+
+  /// O(log n) membership test (O(1) on the dense rep).
   bool contains(NodeId Node) const;
 
-  /// Inserts \p Node, keeping the storage sorted. No-op if present.
+  /// Inserts \p Node, keeping the set semantics. No-op if present.
   void insert(NodeId Node);
 
   /// Removes \p Node if present.
   void erase(NodeId Node);
 
-  /// Removes every node, keeping the allocated storage for reuse.
+  /// Removes every node, keeping the allocated storage for reuse. Always
+  /// reverts to the sparse rep (a reused scratch region re-densifies on
+  /// demand, reusing the word buffer).
   void clear() {
     Ids.clear();
-    HashValid = false;
+    Words.clear();
+    DenseCount = 0;
+    Flags = 0;
   }
 
   /// Appends \p Node, which must be strictly greater than every current
@@ -61,11 +84,16 @@ public:
   /// (e.g. from an already-sorted neighbour list).
   void appendAscending(NodeId Node);
 
-  std::vector<NodeId>::const_iterator begin() const { return Ids.begin(); }
-  std::vector<NodeId>::const_iterator end() const { return Ids.end(); }
+  std::vector<NodeId>::const_iterator begin() const { return ids().begin(); }
+  std::vector<NodeId>::const_iterator end() const { return ids().end(); }
 
-  /// Direct access to the sorted id vector.
-  const std::vector<NodeId> &ids() const { return Ids; }
+  /// Direct access to the sorted id vector. On the dense rep this
+  /// materializes (and caches) a sorted mirror — a correctness fallback for
+  /// cold paths; the hot set algebra below never takes it. Shares hash()'s
+  /// thread contract: not safe to race with itself on a shared Region;
+  /// shared immutable regions (ViewTable entries) are pre-materialized by
+  /// their single writer before publication.
+  const std::vector<NodeId> &ids() const;
 
   /// Set union.
   Region unionWith(const Region &Other) const;
@@ -77,11 +105,14 @@ public:
   Region differenceWith(const Region &Other) const;
 
   /// this = this ∪ Other. \p Scratch is swap space owned by the caller;
-  /// after warm-up neither the region nor the scratch allocates, which is
-  /// what the onCrash-path helpers rely on.
+  /// after warm-up neither the region nor the scratch allocates on the
+  /// sparse-sparse path, which is what the onCrash-path helpers rely on
+  /// (dense operands use word ops and may grow the word buffer).
   void unionInPlace(const Region &Other, std::vector<NodeId> &Scratch);
 
-  /// this = this \ Other, in place. Never allocates.
+  /// this = this \ Other, in place. Never allocates and never switches
+  /// representation (a dense region that shrinks stays dense until a
+  /// later erase()/clear() revisits the density rule).
   void differenceInPlace(const Region &Other);
 
   /// True if the two regions share at least one node.
@@ -90,14 +121,15 @@ public:
   /// True if every node of this region belongs to \p Other.
   bool isSubsetOf(const Region &Other) const;
 
-  bool operator==(const Region &Other) const { return Ids == Other.Ids; }
-  bool operator!=(const Region &Other) const { return Ids != Other.Ids; }
+  bool operator==(const Region &Other) const;
+  bool operator!=(const Region &Other) const { return !(*this == Other); }
 
   /// Lexicographic order on the sorted id sequences. This is the strict
   /// total order the paper plugs into the ranking relation as the final
   /// tie-break ("one possibility is to use a lexicographic order on node
-  /// IDs", §3.1).
-  bool lexLess(const Region &Other) const { return Ids < Other.Ids; }
+  /// IDs", §3.1). Identical across representations; dense-dense pairs
+  /// compare in O(words) via the lowest differing bit.
+  bool lexLess(const Region &Other) const;
 
   /// Renders as "{a,b,c}" for logs and test failure messages.
   std::string str() const;
@@ -105,15 +137,42 @@ public:
   /// FNV-1a hash of the id sequence, for use as an unordered_map key.
   /// Cached: the first call after a mutation walks the ids, later calls
   /// are a field read (the ViewTable intern path hashes hot regions that
-  /// rarely change). Not safe to race with itself on a shared Region —
-  /// immutable shared regions (ViewTable entries) are pre-hashed by their
-  /// single writer before publication.
+  /// rarely change). Content-defined: a dense and a sparse region with the
+  /// same members hash identically. Not safe to race with itself on a
+  /// shared Region — immutable shared regions (ViewTable entries) are
+  /// pre-hashed by their single writer before publication.
   size_t hash() const;
 
+  /// True when the bitmap representation is active (introspection for
+  /// tests and benches; behaviour never depends on it).
+  bool isDense() const { return (Flags & kDense) != 0; }
+
 private:
-  std::vector<NodeId> Ids;
+  enum : uint8_t { kDense = 1, kHashValid = 2, kMirrorValid = 4 };
+
+  bool hasFlag(uint8_t F) const { return (Flags & F) != 0; }
+  /// Any mutation invalidates the cached hash and (dense) sorted mirror.
+  void touch() { Flags &= static_cast<uint8_t>(~(kHashValid | kMirrorValid)); }
+
+  void convertToDense();
+  void convertToSparse();
+  void maybeDensify();
+  void maybeSparsify();
+  void materializeMirror() const;
+  void recountDense();
+
+  static bool denseWorthy(size_t N, NodeId MaxId);
+
+  /// Sparse rep: the sorted unique id vector (primary storage). Dense rep:
+  /// a lazily materialized sorted mirror of the bitmap (mutable cache).
+  mutable std::vector<NodeId> Ids;
+  /// Dense rep only: one bit per id, bit i of Words[i/64] = membership of
+  /// id i. Empty on the sparse rep.
+  std::vector<uint64_t> Words;
   mutable size_t HashCache = 0;
-  mutable bool HashValid = false;
+  /// Dense rep only: number of set bits.
+  uint32_t DenseCount = 0;
+  mutable uint8_t Flags = 0;
 };
 
 /// Hash functor so Region can key std::unordered_map.

@@ -20,6 +20,7 @@
 #include <netinet/in.h>
 #include <poll.h>
 #include <sstream>
+#include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -84,6 +85,11 @@ struct Child {
   bool Eof = false;
   bool Reaped = false;
   int WaitStatus = 0;
+  /// Kernel accounting from the reap (wait4): peak RSS and CPU burned by
+  /// this daemon. Valid only when HaveUsage — ECHILD races (the atexit
+  /// reaper got there first) leave it unset rather than zero-filled.
+  struct rusage Usage = {};
+  bool HaveUsage = false;
   bool BadLine = false;
   report::ProcEventStream Stream;
   bool HaveStats = false;
@@ -142,6 +148,7 @@ private:
   void killChild(Child &C);
   void reapChild(Child &C, uint64_t DeadlineMs);
   void killEverything();
+  void accountUsage(ProcResult &Out);
   bool infraFail(ProcResult &Out, FailureClass Why, const std::string &Msg);
 };
 
@@ -366,8 +373,16 @@ void WorldRun::reapChild(Child &C, uint64_t DeadlineMs) {
   }
   bool Escalated = false;
   while (true) {
-    pid_t R = waitpid(C.Pid, &C.WaitStatus, WNOHANG);
-    if (R == C.Pid || (R < 0 && errno == ECHILD))
+    // wait4 rather than waitpid: the reap is the one moment the kernel
+    // hands over the child's lifetime accounting (peak RSS, CPU), and it
+    // is equally valid for SIGKILLed daemons — usage accrues up to the
+    // kill, so doomed shards report real numbers too.
+    pid_t R = wait4(C.Pid, &C.WaitStatus, WNOHANG, &C.Usage);
+    if (R == C.Pid) {
+      C.HaveUsage = true;
+      break;
+    }
+    if (R < 0 && errno == ECHILD)
       break;
     if (nowMs() >= DeadlineMs && !Escalated) {
       kill(C.Pid, SIGKILL);
@@ -399,9 +414,37 @@ void WorldRun::killEverything() {
       reapChild(C, Deadline);
 }
 
+/// Folds every reaped child's wait4 accounting into the result: max peak
+/// RSS (the interesting number — daemons run concurrently, but each has
+/// its own address space, so the max bounds any one shard's footprint)
+/// and summed CPU (the world's total compute bill).
+void WorldRun::accountUsage(ProcResult &Out) {
+  // Recomputed from scratch: run() accounts after the STOP reap and
+  // infraFail accounts again on late failures — += without the reset
+  // would double-bill the CPU column on that path.
+  Out.DaemonPeakRssKb = 0;
+  Out.DaemonCpuMs = 0;
+  for (const Child &C : Children) {
+    if (!C.HaveUsage)
+      continue;
+    // Linux ru_maxrss is already in kilobytes.
+    Out.DaemonPeakRssKb = std::max(
+        Out.DaemonPeakRssKb, static_cast<uint64_t>(C.Usage.ru_maxrss));
+    uint64_t CpuUs =
+        static_cast<uint64_t>(C.Usage.ru_utime.tv_sec) * 1000000 +
+        static_cast<uint64_t>(C.Usage.ru_utime.tv_usec) +
+        static_cast<uint64_t>(C.Usage.ru_stime.tv_sec) * 1000000 +
+        static_cast<uint64_t>(C.Usage.ru_stime.tv_usec);
+    Out.DaemonCpuMs += CpuUs / 1000;
+  }
+}
+
 bool WorldRun::infraFail(ProcResult &Out, FailureClass Why,
                          const std::string &Msg) {
   killEverything();
+  // Even a failed world reports what its daemons cost — useful when the
+  // failure *is* resource-related (an OOM-killed shard shows up here).
+  accountUsage(Out);
   Out.Infra = Why;
   Out.Error = Msg;
   return true;
@@ -613,6 +656,7 @@ bool WorldRun::run(ProcResult &Out, std::string &Err) {
   }
   for (Child &C : Children)
     reapChild(C, nowMs() + 2000);
+  accountUsage(Out);
   for (Child &C : Children) {
     if (C.Doomed)
       continue;

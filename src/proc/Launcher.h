@@ -70,6 +70,13 @@ struct ProcResult {
   uint16_t NumShards = 0;
   uint16_t KilledShards = 0;
   uint64_t WallMs = 0;             ///< GO -> quiescence.
+  /// Kernel-side resource accounting, captured at each child's reap via
+  /// wait4. SIGKILLed daemons count too (usage accrues up to the kill).
+  /// These are host-load and allocator dependent — evidence columns, not
+  /// determinism metrics; they deliberately stay out of the bundle
+  /// comparator's gated set.
+  uint64_t DaemonPeakRssKb = 0;    ///< Max ru_maxrss across daemons (KB).
+  uint64_t DaemonCpuMs = 0;        ///< Summed user+system CPU (ms).
 };
 
 /// Structural eligibility of a spec for the process transport: exactly

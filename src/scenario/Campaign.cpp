@@ -99,6 +99,8 @@ static JobOutcome runOneProcJob(const Spec &V, uint64_t Seed) {
   Out.DupSuppressed = R.Stats.DupSuppressed;
   Out.AckBytes = R.Stats.AckBytes;
   Out.Crashes = R.Faulty.size();
+  Out.DaemonPeakRssKb = R.DaemonPeakRssKb;
+  Out.DaemonCpuMs = R.DaemonCpuMs;
   for (const trace::DecisionRecord &D : R.Trace.Decisions) {
     Out.FirstDecision = std::min(Out.FirstDecision, D.When);
     Out.LastDecision = Out.LastDecision == TimeNever
@@ -371,7 +373,8 @@ std::string CampaignSummary::toJson() const {
         "\"last_decision\": %s, \"crashes\": %llu, "
         "\"lat_p50\": %llu, \"lat_p90\": %llu, \"lat_p99\": %llu, "
         "\"lat_max\": %llu, \"msgs_per_decision\": %.3f, "
-        "\"open_waves_hw\": %llu, \"error\": \"%s\", \"violations\": [",
+        "\"open_waves_hw\": %llu, \"daemon_peak_rss_kb\": %llu, "
+        "\"daemon_cpu_ms\": %llu, \"error\": \"%s\", \"violations\": [",
         R.Index, (unsigned long long)R.Seed, jsonEscape(R.Variant).c_str(),
         R.Ran ? "true" : "false", R.SpecOk ? "true" : "false", R.Epochs,
         R.Decisions, R.DistinctViews, (unsigned long long)R.Events,
@@ -385,6 +388,8 @@ std::string CampaignSummary::toJson() const {
         (unsigned long long)R.LatP50, (unsigned long long)R.LatP90,
         (unsigned long long)R.LatP99, (unsigned long long)R.LatMax,
         R.MsgsPerDecision, (unsigned long long)R.OpenWavesHw,
+        (unsigned long long)R.DaemonPeakRssKb,
+        (unsigned long long)R.DaemonCpuMs,
         jsonEscape(R.Error).c_str());
     Out += joinMapped(R.Violations, ", ", [](const std::string &V) {
       return "\"" + jsonEscape(V) + "\"";
@@ -401,14 +406,15 @@ std::string CampaignSummary::toCsv() const {
                     "events,messages,bytes,retransmits,dup_suppressed,"
                     "ack_bytes,first_decision,last_decision,crashes,"
                     "lat_p50,lat_p90,lat_p99,lat_max,msgs_per_decision,"
-                    "open_waves_hw,error\n";
+                    "open_waves_hw,daemon_peak_rss_kb,daemon_cpu_ms,"
+                    "error\n";
   for (const JobOutcome &R : Results)
     // variant and error pass through csvField (RFC 4180: always quoted,
     // embedded quotes doubled) so hostile sweep values and parse
     // diagnostics — quotes, commas, newlines — can never corrupt a row.
     Out += formatStr("%zu,%llu,%s,%d,%d,%zu,%zu,%zu,%llu,%llu,%llu,"
                      "%llu,%llu,%llu,%s,%s,%llu,%llu,%llu,%llu,%llu,"
-                     "%.3f,%llu,%s\n",
+                     "%.3f,%llu,%llu,%llu,%s\n",
                      R.Index, (unsigned long long)R.Seed,
                      csvField(R.Variant).c_str(),
                      R.Ran ? 1 : 0, R.SpecOk ? 1 : 0, R.Epochs, R.Decisions,
@@ -426,6 +432,8 @@ std::string CampaignSummary::toCsv() const {
                      (unsigned long long)R.LatP99,
                      (unsigned long long)R.LatMax, R.MsgsPerDecision,
                      (unsigned long long)R.OpenWavesHw,
+                     (unsigned long long)R.DaemonPeakRssKb,
+                     (unsigned long long)R.DaemonCpuMs,
                      csvField(R.Error).c_str());
   return Out;
 }

@@ -69,6 +69,12 @@ struct JobOutcome {
   SimTime LatMax = 0;
   double MsgsPerDecision = 0.0;
   uint64_t OpenWavesHw = 0; ///< Most agreement waves open at once.
+  /// Real-process transport only (zero on the simulated backends):
+  /// kernel accounting reaped from the daemons via wait4. Max peak RSS
+  /// across daemons and summed user+system CPU. Host-dependent evidence
+  /// columns — the bundle comparator deliberately does not gate on them.
+  uint64_t DaemonPeakRssKb = 0;
+  uint64_t DaemonCpuMs = 0;
 };
 
 /// Fleet-level aggregation over every job of a campaign.

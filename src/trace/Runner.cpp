@@ -10,6 +10,7 @@
 #include "core/Wire.h"
 #include "trace/StreamingChecker.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
@@ -35,10 +36,13 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
     : G(InG), Opts(withRunnerDefaults(std::move(InOpts))),
       Views(InG, Opts.NodeConfig.Ranking), Net(Sim, G.numNodes(),
                                                Opts.Latency),
-      Detector(Sim, G.numNodes(), Opts.DetectionDelay,
+      // Graph-backed: the <init> wave's neighbour subscriptions stay
+      // implicit in the topology instead of an O(E) table copy.
+      Detector(Sim, G, Opts.DetectionDelay,
                [this](NodeId Watcher, NodeId Target) {
-                 Nodes[Watcher]->onCrash(Target);
+                 Nodes[Watcher].onCrash(Target);
                }),
+      HostObj(*this), Ctx(G, Views, Opts.NodeConfig, HostObj),
       Encoders(G.numNodes(), core::WireEncoder(Opts.WireVersion)),
       CrashTimes(G.numNodes(), TimeNever) {
   Net.setRecording(Opts.RecordSends);
@@ -65,7 +69,10 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
   Sim.setTieBias(Opts.TieBreakBias);
   // Steady state keeps roughly a border's worth of frames per node in
   // flight; pre-sizing the event heap avoids reallocation churn early on.
-  Sim.reserve(G.numNodes() * 4);
+  // Capped: detection is border-local, so a million-node world never has
+  // anywhere near 4M concurrent events — an uncapped reserve would be
+  // ~100 MB of permanently-idle heap at that scale.
+  Sim.reserve(std::min<size_t>(size_t(G.numNodes()) * 4, size_t(1) << 18));
   Net.setDeliver(
       [this](NodeId From, NodeId To, const sim::Network::Frame &Bytes) {
         // The legs of one multicast share a frame and arrive back to
@@ -79,41 +86,50 @@ ScenarioRunner::ScenarioRunner(const graph::Graph &InG, RunnerOptions InOpts)
           LastFrame = Bytes.get();
           LastFrameGen = Bytes.generation();
         }
-        Nodes[To]->onDeliver(From, RecvScratch);
+        Nodes[To].onDeliver(From, RecvScratch);
       });
 
   Nodes.reserve(G.numNodes());
-  for (NodeId N = 0; N < G.numNodes(); ++N) {
-    core::Callbacks CBs;
-    CBs.Multicast = [this, N](const graph::Region &To,
-                              const core::Message &M) {
-      // Encode once into a pooled buffer; every recipient shares the same
-      // immutable refcounted frame.
-      support::FrameRef Frame = Pool.acquire();
-      Encoders[N].encode(M, Frame.mutableBytes());
-      for (NodeId Recipient : To)
-        Net.send(N, Recipient, Frame);
-    };
-    CBs.MonitorCrash = [this, N](const graph::Region &Targets) {
-      Detector.monitor(N, Targets);
-    };
-    CBs.Decide = [this, N](const graph::Region &View, core::Value Chosen) {
-      Decisions.push_back(DecisionRecord{N, View, Chosen, Sim.now()});
-      if (Opts.StreamingCheck)
-        Opts.StreamingCheck->onDecision(N, View, Chosen, Sim.now());
-    };
-    CBs.SelectValue = [this, N](const graph::Region &View) {
-      return Opts.SelectValue(N, View);
-    };
-    if (Opts.RecordProtocolEvents)
-      CBs.OnEvent = [this, N](const core::ProtocolEvent &E) {
-        ProtoEvents.push_back(TimedProtocolEvent{N, E, Sim.now()});
-      };
-    Nodes.push_back(std::make_unique<core::CliffEdgeNode>(
-        N, G, Views, Opts.NodeConfig, std::move(CBs)));
-  }
-  for (auto &Node : Nodes)
-    Node->start();
+  for (NodeId N = 0; N < G.numNodes(); ++N)
+    Nodes.emplace_back(N, Ctx);
+  for (core::CliffEdgeNode &Node : Nodes)
+    Node.start();
+}
+
+void ScenarioRunner::Host::multicast(NodeId From, const graph::Region &To,
+                                     const core::Message &M) {
+  // Encode once into a pooled buffer; every recipient shares the same
+  // immutable refcounted frame.
+  support::FrameRef Frame = R.Pool.acquire();
+  R.Encoders[From].encode(M, Frame.mutableBytes());
+  for (NodeId Recipient : To)
+    R.Net.send(From, Recipient, Frame);
+}
+
+void ScenarioRunner::Host::monitorCrash(NodeId From,
+                                        const graph::Region &Targets) {
+  R.Detector.monitor(From, Targets);
+}
+
+void ScenarioRunner::Host::decide(NodeId From, const graph::Region &View,
+                                  core::Value Chosen) {
+  R.Decisions.push_back(DecisionRecord{From, View, Chosen, R.Sim.now()});
+  if (R.Opts.StreamingCheck)
+    R.Opts.StreamingCheck->onDecision(From, View, Chosen, R.Sim.now());
+}
+
+core::Value ScenarioRunner::Host::selectValue(NodeId From,
+                                              const graph::Region &View) {
+  return R.Opts.SelectValue(From, View);
+}
+
+void ScenarioRunner::Host::onEvent(NodeId From,
+                                   const core::ProtocolEvent &E) {
+  R.ProtoEvents.push_back(TimedProtocolEvent{From, E, R.Sim.now()});
+}
+
+bool ScenarioRunner::Host::wantsEvents() const {
+  return R.Opts.RecordProtocolEvents;
 }
 
 void ScenarioRunner::scheduleCrash(NodeId Node, SimTime When) {
@@ -146,8 +162,8 @@ std::optional<SimTime> ScenarioRunner::crashTime(NodeId Node) const {
 
 core::CliffEdgeNode::Counters ScenarioRunner::totalCounters() const {
   core::CliffEdgeNode::Counters Total;
-  for (const auto &Node : Nodes) {
-    const core::CliffEdgeNode::Counters &C = Node->counters();
+  for (const core::CliffEdgeNode &Node : Nodes) {
+    const core::CliffEdgeNode::Counters &C = Node.counters();
     Total.CrashesObserved += C.CrashesObserved;
     Total.Proposals += C.Proposals;
     Total.Rejections += C.Rejections;

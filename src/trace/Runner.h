@@ -167,7 +167,7 @@ public:
   /// Crash time of \p Node, if it was scheduled to crash.
   std::optional<SimTime> crashTime(NodeId Node) const;
 
-  const core::CliffEdgeNode &node(NodeId Node) const { return *Nodes[Node]; }
+  const core::CliffEdgeNode &node(NodeId Node) const { return Nodes[Node]; }
   const graph::Graph &topology() const { return G; }
   sim::Simulator &simulator() { return Sim; }
   core::ViewTable &viewTable() { return Views; }
@@ -179,6 +179,23 @@ public:
   SimTime lastDecisionTime() const;
 
 private:
+  /// The runner's core::NodeHost: one object serves every node — effects
+  /// arrive tagged with the acting node's id, so there is no per-node
+  /// callback state at all (the old wiring carried five std::functions
+  /// per node, 160 bytes each across a million-node world).
+  struct Host final : core::NodeHost {
+    explicit Host(ScenarioRunner &R) : R(R) {}
+    void multicast(NodeId From, const graph::Region &To,
+                   const core::Message &M) override;
+    void monitorCrash(NodeId From, const graph::Region &Targets) override;
+    void decide(NodeId From, const graph::Region &View,
+                core::Value Chosen) override;
+    core::Value selectValue(NodeId From, const graph::Region &View) override;
+    void onEvent(NodeId From, const core::ProtocolEvent &E) override;
+    bool wantsEvents() const override;
+    ScenarioRunner &R;
+  };
+
   const graph::Graph &G;
   RunnerOptions Opts;
   /// Run-wide view intern table, shared by every node and the wire codec.
@@ -191,7 +208,15 @@ private:
   sim::Simulator Sim;
   sim::Network Net;
   detector::PerfectFailureDetector Detector;
-  std::vector<std::unique_ptr<core::CliffEdgeNode>> Nodes;
+  Host HostObj;
+  /// The run's single execution domain: shared scratch and the NodeTables
+  /// slab (the DES run is single-threaded, so one context serves all
+  /// nodes). Must be declared before Nodes and after everything Host
+  /// effects touch.
+  core::NodeContext Ctx;
+  /// By-value node shells (~32 bytes each); protocol tables live in Ctx's
+  /// slab and only exist for nodes the failure wave touched.
+  std::vector<core::CliffEdgeNode> Nodes;
   /// Per-sender announce state for the wire encoder.
   std::vector<core::WireEncoder> Encoders;
   /// Decode-side: one decode per frame, shared by all recipients of the

@@ -149,7 +149,7 @@ TEST(BuildersTest, HypercubeShape) {
   EXPECT_EQ(G.numEdges(), 32u); // n * d / 2.
   for (NodeId N = 0; N < G.numNodes(); ++N) {
     EXPECT_EQ(G.degree(N), 4u);
-    for (NodeId M : G.neighbors(N)) {
+    for (NodeId M : G.adj(N)) {
       uint32_t Diff = N ^ M;
       EXPECT_EQ(Diff & (Diff - 1), 0u) << "edge differs in >1 bit";
     }
@@ -187,7 +187,7 @@ TEST(BuildersTest, ChordRingShape) {
   EXPECT_TRUE(graph::isConnected(G));
   // Node 0 links to 1 (successor) and 2, 4, 8, 16 (fingers), plus
   // incoming links from 31, 30, 28, 24, 16.
-  const std::vector<NodeId> &N0 = G.neighbors(0);
+  graph::AdjRange N0 = G.adj(0);
   for (NodeId Expected : {1u, 2u, 4u, 8u, 16u, 24u, 28u, 30u, 31u})
     EXPECT_TRUE(std::find(N0.begin(), N0.end(), Expected) != N0.end())
         << "missing neighbour " << Expected;
@@ -200,6 +200,173 @@ TEST(BuildersTest, ChordRingFingersCappedByN) {
   EXPECT_TRUE(graph::isConnected(G));
   for (NodeId N = 0; N < 6; ++N)
     EXPECT_LE(G.degree(N), 5u);
+}
+
+// The deterministic builders stream straight into CSR via Graph::CsrBuilder;
+// these tests pin that path against an independent build-mode construction
+// of the same edge set (addEdge + compact — the pre-streaming code path).
+namespace {
+
+void expectSameGraph(const Graph &Streamed, const Graph &Reference) {
+  ASSERT_EQ(Streamed.numNodes(), Reference.numNodes());
+  EXPECT_EQ(Streamed.numEdges(), Reference.numEdges());
+  for (NodeId N = 0; N < Streamed.numNodes(); ++N) {
+    graph::AdjRange A = Streamed.adj(N);
+    graph::AdjRange B = Reference.adj(N);
+    ASSERT_EQ(A.size(), B.size()) << "degree mismatch at node " << N;
+    EXPECT_TRUE(std::equal(A.begin(), A.end(), B.begin()))
+        << "row mismatch at node " << N;
+    // Rows must come out sorted and duplicate-free.
+    EXPECT_TRUE(std::is_sorted(A.begin(), A.end()));
+    EXPECT_TRUE(std::adjacent_find(A.begin(), A.end()) == A.end());
+  }
+}
+
+} // namespace
+
+TEST(BuildersTest, StreamingBuildersAreCompacted) {
+  EXPECT_TRUE(graph::makeLine(5).compacted());
+  EXPECT_TRUE(graph::makeRing(5).compacted());
+  EXPECT_TRUE(graph::makeGrid(4, 3).compacted());
+  EXPECT_TRUE(graph::makeTorus(3, 4).compacted());
+  EXPECT_TRUE(graph::makeComplete(6).compacted());
+  EXPECT_TRUE(graph::makeStar(4).compacted());
+  EXPECT_TRUE(graph::makeTree(9, 2).compacted());
+  EXPECT_TRUE(graph::makeHypercube(3).compacted());
+  EXPECT_TRUE(graph::makeChordRing(12, 3).compacted());
+}
+
+TEST(BuildersTest, StreamingMatchesBuildModeReference) {
+  struct Family {
+    const char *Name;
+    Graph Streamed;
+    uint32_t N;
+    std::vector<std::pair<NodeId, NodeId>> Edges;
+  };
+  std::vector<Family> Families;
+  // Each reference edge list re-derives the family's shape directly from
+  // its definition, independent of the builder's enumeration order.
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 0; I + 1 < 9; ++I)
+      E.push_back({I, I + 1});
+    Families.push_back({"line", graph::makeLine(9), 9, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 0; I < 9; ++I)
+      E.push_back({I, (I + 1) % 9});
+    Families.push_back({"ring", graph::makeRing(9), 9, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    const uint32_t W = 5, H = 4;
+    for (uint32_t Y = 0; Y < H; ++Y)
+      for (uint32_t X = 0; X < W; ++X) {
+        if (X + 1 < W)
+          E.push_back({graph::gridId(W, X, Y), graph::gridId(W, X + 1, Y)});
+        if (Y + 1 < H)
+          E.push_back({graph::gridId(W, X, Y), graph::gridId(W, X, Y + 1)});
+      }
+    Families.push_back({"grid", graph::makeGrid(W, H), W * H, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    const uint32_t W = 5, H = 3;
+    for (uint32_t Y = 0; Y < H; ++Y)
+      for (uint32_t X = 0; X < W; ++X) {
+        E.push_back(
+            {graph::gridId(W, X, Y), graph::gridId(W, (X + 1) % W, Y)});
+        E.push_back(
+            {graph::gridId(W, X, Y), graph::gridId(W, X, (Y + 1) % H)});
+      }
+    Families.push_back({"torus", graph::makeTorus(W, H), W * H, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 0; I < 7; ++I)
+      for (uint32_t J = I + 1; J < 7; ++J)
+        E.push_back({I, J});
+    Families.push_back({"complete", graph::makeComplete(7), 7, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 1; I < 8; ++I)
+      E.push_back({0, I});
+    Families.push_back({"star", graph::makeStar(8), 8, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 1; I < 13; ++I)
+      E.push_back({I, (I - 1) / 3});
+    Families.push_back({"tree", graph::makeTree(13, 3), 13, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    for (uint32_t I = 0; I < 16; ++I)
+      for (uint32_t Bit = 0; Bit < 4; ++Bit)
+        if (I < (I ^ (1u << Bit)))
+          E.push_back({I, I ^ (1u << Bit)});
+    Families.push_back({"hypercube", graph::makeHypercube(4), 16, std::move(E)});
+  }
+  {
+    std::vector<std::pair<NodeId, NodeId>> E;
+    const uint32_t N = 20;
+    for (uint32_t I = 0; I < N; ++I) {
+      E.push_back({I, (I + 1) % N});
+      for (uint32_t K = 1; K <= 3; ++K) {
+        uint32_t Jump = 1u << K;
+        if (Jump >= N)
+          break;
+        E.push_back({I, (I + Jump) % N});
+      }
+    }
+    Families.push_back({"chord", graph::makeChordRing(N, 3), N, std::move(E)});
+  }
+  for (Family &F : Families) {
+    SCOPED_TRACE(F.Name);
+    Graph Reference(F.N);
+    for (auto [A, B] : F.Edges)
+      Reference.addEdge(A, B);
+    Reference.compact();
+    expectSameGraph(F.Streamed, Reference);
+  }
+}
+
+TEST(BuildersTest, CsrBuilderDedupsAndSorts) {
+  // The builder contract tolerates duplicate emissions and both
+  // orientations, matching addEdge()'s duplicate tolerance.
+  Graph::CsrBuilder B(4);
+  B.countEdge(2, 1);
+  B.countEdge(1, 2);
+  B.countEdge(0, 3);
+  B.countEdge(3, 0);
+  B.countEdge(1, 3);
+  B.beginEdges();
+  B.placeEdge(2, 1);
+  B.placeEdge(1, 2);
+  B.placeEdge(0, 3);
+  B.placeEdge(3, 0);
+  B.placeEdge(1, 3);
+  Graph G = B.build();
+  EXPECT_TRUE(G.compacted());
+  EXPECT_EQ(G.numEdges(), 3u);
+  EXPECT_TRUE(G.hasEdge(1, 2));
+  EXPECT_TRUE(G.hasEdge(0, 3));
+  EXPECT_TRUE(G.hasEdge(1, 3));
+  EXPECT_FALSE(G.hasEdge(0, 1));
+  graph::AdjRange Row1 = G.adj(1);
+  EXPECT_TRUE(std::is_sorted(Row1.begin(), Row1.end()));
+  EXPECT_EQ(Row1.size(), 2u);
+}
+
+TEST(BuildersTest, BuilderGraphsHaveUnnamedNodes) {
+  // Bulk-built graphs keep Names lazy; every node reads as unnamed and
+  // label() falls back to the "nK" form.
+  Graph G = graph::makeRing(5);
+  EXPECT_TRUE(G.name(3).empty());
+  EXPECT_EQ(G.label(3), "n3");
+  EXPECT_EQ(G.findByName("anything"), InvalidNode);
 }
 
 TEST(BuildersTest, DotOutputContainsNodesAndHighlights) {

@@ -1,0 +1,442 @@
+//===- tests/RegionHybridPropertyTest.cpp - Hybrid rep ≡ sorted-vector ---------===//
+//
+// Part of the cliffedge project: a reproduction of "Cliff-Edge Consensus:
+// Agreeing on the Precipice" (Taiani, Porter, Coulson, Raynal, PaCT 2013).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Differential property tests pinning graph::Region's hybrid sparse/dense
+/// representation to a plain sorted-unique-vector reference across the full
+/// set-algebra API. Every op runs twice — once through Region (which flips
+/// between the vector and bitmap reps by its density rule), once through
+/// std:: algorithms on reference vectors — and the results must agree
+/// element-for-element, including iteration order, lexicographic order, the
+/// FNV hash, and all three RankingKinds. Rep transitions themselves
+/// (sparse→dense mid-mutation, dense→sparse on shrink, clear, moves) are
+/// exercised both randomly and as targeted edge cases, because interning,
+/// golden traces and cross-backend parity all assume the representation is
+/// bit-invisible to results.
+///
+//===----------------------------------------------------------------------===//
+
+#include "graph/Builders.h"
+#include "graph/Graph.h"
+#include "graph/Ranking.h"
+#include "graph/Region.h"
+
+#include "support/Random.h"
+
+#include "gtest/gtest.h"
+
+#include <algorithm>
+#include <iterator>
+#include <set>
+#include <vector>
+
+using namespace cliffedge;
+using graph::Region;
+
+namespace {
+
+using Ref = std::vector<NodeId>; // Sorted, unique: the reference model.
+
+Ref sortedUnique(std::vector<NodeId> Ids) {
+  std::sort(Ids.begin(), Ids.end());
+  Ids.erase(std::unique(Ids.begin(), Ids.end()), Ids.end());
+  return Ids;
+}
+
+/// Reference FNV-1a, independently re-implemented so a hash change in either
+/// rep (or a rep-dependent hash) fails loudly.
+size_t refHash(const Ref &Ids) {
+  size_t H = 1469598103934665603ULL;
+  for (NodeId N : Ids)
+    for (int Byte = 0; Byte < 4; ++Byte) {
+      H ^= (N >> (8 * Byte)) & 0xffU;
+      H *= 1099511628211ULL;
+    }
+  return H;
+}
+
+/// Draws a random id list whose density profile depends on \p Mode:
+/// 0 = sparse (wide universe, few ids), 1 = dense (narrow universe, many
+/// ids), 2 = threshold-straddling (counts near the 64-id density flip).
+std::vector<NodeId> randomIds(Rng &Rand, int Mode) {
+  uint32_t Universe;
+  size_t Count;
+  switch (Mode) {
+  case 0:
+    Universe = 1u << 20;
+    Count = Rand.nextBelow(40);
+    break;
+  case 1:
+    Universe = 512 + static_cast<uint32_t>(Rand.nextBelow(1536));
+    Count = 64 + Rand.nextBelow(Universe / 2);
+    break;
+  default:
+    Universe = 1024;
+    Count = 48 + Rand.nextBelow(40); // Straddles the n>=64 flip.
+    break;
+  }
+  std::vector<NodeId> Ids;
+  Ids.reserve(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Ids.push_back(static_cast<NodeId>(Rand.nextBelow(Universe)));
+  return Ids;
+}
+
+/// Checks every read-side accessor of \p R against the reference \p Model.
+void expectMatchesModel(const Region &R, const Ref &Model) {
+  ASSERT_EQ(R.size(), Model.size());
+  EXPECT_EQ(R.empty(), Model.empty());
+  EXPECT_EQ(R.ids(), Model);
+  EXPECT_EQ(R.hash(), refHash(Model));
+  // Iteration must agree with ids() (the mirror path).
+  Ref Walked(R.begin(), R.end());
+  EXPECT_EQ(Walked, Model);
+  // Membership, both for members and a probe beyond the max id.
+  for (size_t I = 0; I < Model.size(); I += 1 + Model.size() / 16)
+    EXPECT_TRUE(R.contains(Model[I]));
+  NodeId Probe = Model.empty() ? 7 : Model.back() + 3;
+  EXPECT_EQ(R.contains(Probe),
+            std::binary_search(Model.begin(), Model.end(), Probe));
+}
+
+class RegionHybrid : public ::testing::TestWithParam<uint64_t> {};
+
+} // namespace
+
+// Random mutation walks: insert/erase/clear/appendAscending against the
+// model, crossing the density thresholds both ways mid-walk.
+TEST_P(RegionHybrid, MutationWalkMatchesReference) {
+  Rng Rand(GetParam() * 7919 + 1);
+  for (int Mode = 0; Mode < 3; ++Mode) {
+    Region R;
+    std::set<NodeId> Model;
+    const uint32_t Universe = Mode == 0 ? (1u << 20) : 2048;
+    for (int Step = 0; Step < 400; ++Step) {
+      const uint64_t Op = Rand.nextBelow(100);
+      const NodeId N = static_cast<NodeId>(Rand.nextBelow(Universe));
+      if (Op < 55) {
+        R.insert(N);
+        Model.insert(N);
+      } else if (Op < 90) {
+        // Erase a likely-present id so dense sets actually shrink back
+        // across the revert threshold.
+        NodeId Victim = N;
+        if (!Model.empty() && Rand.nextBelow(2)) {
+          auto It = Model.lower_bound(N);
+          Victim = It == Model.end() ? *Model.begin() : *It;
+        }
+        R.erase(Victim);
+        Model.erase(Victim);
+      } else if (Op < 95) {
+        R.clear();
+        Model.clear();
+      } else {
+        // appendAscending: only legal past the current max.
+        NodeId Base = Model.empty() ? 0 : *Model.rbegin() + 1;
+        NodeId Next = Base + static_cast<NodeId>(Rand.nextBelow(64));
+        if (Next < Universe * 2) {
+          R.appendAscending(Next);
+          Model.insert(Next);
+        }
+      }
+      if (Step % 16 == 0) {
+        Ref Flat(Model.begin(), Model.end());
+        ASSERT_NO_FATAL_FAILURE(expectMatchesModel(R, Flat))
+            << "mode " << Mode << " step " << Step;
+      }
+    }
+    Ref Flat(Model.begin(), Model.end());
+    expectMatchesModel(R, Flat);
+  }
+}
+
+// The full binary set algebra over every density pairing, against std::set_*
+// on the reference vectors.
+TEST_P(RegionHybrid, SetAlgebraMatchesReference) {
+  Rng Rand(GetParam() * 104729 + 2);
+  for (int ModeA = 0; ModeA < 3; ++ModeA)
+    for (int ModeB = 0; ModeB < 3; ++ModeB) {
+      Ref RefA = sortedUnique(randomIds(Rand, ModeA));
+      Ref RefB = sortedUnique(randomIds(Rand, ModeB));
+      Region A{Ref(RefA)}, B{Ref(RefB)};
+
+      Ref U, I, D, DR;
+      std::set_union(RefA.begin(), RefA.end(), RefB.begin(), RefB.end(),
+                     std::back_inserter(U));
+      std::set_intersection(RefA.begin(), RefA.end(), RefB.begin(),
+                            RefB.end(), std::back_inserter(I));
+      std::set_difference(RefA.begin(), RefA.end(), RefB.begin(), RefB.end(),
+                          std::back_inserter(D));
+      std::set_difference(RefB.begin(), RefB.end(), RefA.begin(), RefA.end(),
+                          std::back_inserter(DR));
+
+      expectMatchesModel(A.unionWith(B), U);
+      expectMatchesModel(B.unionWith(A), U);
+      expectMatchesModel(A.intersectWith(B), I);
+      expectMatchesModel(B.intersectWith(A), I);
+      expectMatchesModel(A.differenceWith(B), D);
+      expectMatchesModel(B.differenceWith(A), DR);
+
+      std::vector<NodeId> Scratch;
+      Region AU = A;
+      AU.unionInPlace(B, Scratch);
+      expectMatchesModel(AU, U);
+      Region AD = A;
+      AD.differenceInPlace(B);
+      expectMatchesModel(AD, D);
+
+      EXPECT_EQ(A.intersects(B), !I.empty());
+      EXPECT_EQ(B.intersects(A), !I.empty());
+      EXPECT_EQ(A.isSubsetOf(B),
+                std::includes(RefB.begin(), RefB.end(), RefA.begin(),
+                              RefA.end()));
+      EXPECT_EQ(Region(Ref(I)).isSubsetOf(A), true);
+      EXPECT_EQ(A.isSubsetOf(A.unionWith(B)), true);
+
+      EXPECT_EQ(A == B, RefA == RefB);
+      EXPECT_EQ(A.lexLess(B), RefA < RefB);
+      EXPECT_EQ(B.lexLess(A), RefB < RefA);
+      EXPECT_EQ(A.hash() == B.hash(), refHash(RefA) == refHash(RefB));
+    }
+}
+
+// Lexicographic order is the §3.1 tie-break; hammer the dense-dense
+// lowest-differing-bit fast path with near-identical bitmaps (shared long
+// prefixes, word-boundary differences, proper-prefix pairs).
+TEST_P(RegionHybrid, LexOrderDenseFastPathMatchesReference) {
+  Rng Rand(GetParam() * 15485863 + 3);
+  for (int Iter = 0; Iter < 60; ++Iter) {
+    Ref RefA = sortedUnique(randomIds(Rand, 1));
+    Ref RefB = RefA;
+    // Mutate B a little so the pair shares a long common prefix.
+    for (int K = 0; K < 3 && !RefB.empty(); ++K) {
+      const uint64_t Kind = Rand.nextBelow(3);
+      const size_t At = Rand.nextBelow(RefB.size());
+      if (Kind == 0)
+        RefB.erase(RefB.begin() + static_cast<ptrdiff_t>(At));
+      else if (Kind == 1)
+        RefB = Ref(RefB.begin(),
+                   RefB.begin() + static_cast<ptrdiff_t>(At)); // Prefix.
+      else
+        RefB.push_back(RefB.back() + 1 + static_cast<NodeId>(
+                                             Rand.nextBelow(70)));
+    }
+    RefB = sortedUnique(std::move(RefB));
+    Region A{Ref(RefA)}, B{Ref(RefB)};
+    EXPECT_EQ(A.lexLess(B), RefA < RefB) << A.str() << " vs " << B.str();
+    EXPECT_EQ(B.lexLess(A), RefB < RefA);
+    EXPECT_EQ(A == B, RefA == RefB);
+    EXPECT_FALSE(A.lexLess(A));
+  }
+}
+
+// All three RankingKinds agree with a reference ranking computed from plain
+// vectors + a brute-force border, over dense, sparse and mixed regions of a
+// real graph.
+TEST_P(RegionHybrid, RankingKindsMatchReference) {
+  graph::Graph G = graph::makeGrid(24, 24);
+  Rng Rand(GetParam() * 32452843 + 4);
+
+  auto RefBorder = [&](const Ref &Ids) {
+    Ref Border;
+    for (NodeId N = 0; N < G.numNodes(); ++N) {
+      if (std::binary_search(Ids.begin(), Ids.end(), N))
+        continue;
+      for (NodeId Nb : G.adj(N))
+        if (std::binary_search(Ids.begin(), Ids.end(), Nb)) {
+          Border.push_back(N);
+          break;
+        }
+    }
+    return Border;
+  };
+
+  for (int Iter = 0; Iter < 24; ++Iter) {
+    // One compact patch (dense-worthy), one scattered set (sparse).
+    const uint32_t Side = 4 + static_cast<uint32_t>(Rand.nextBelow(12));
+    const uint32_t X = Rand.nextBelow(24 - Side), Y = Rand.nextBelow(24 - Side);
+    Ref RefA;
+    for (uint32_t Dy = 0; Dy < Side; ++Dy)
+      for (uint32_t Dx = 0; Dx < Side; ++Dx)
+        RefA.push_back((Y + Dy) * 24 + (X + Dx));
+    RefA = sortedUnique(std::move(RefA));
+    std::vector<NodeId> Loose;
+    for (size_t I = 0; I < RefA.size(); ++I)
+      Loose.push_back(static_cast<NodeId>(Rand.nextBelow(G.numNodes())));
+    Ref RefB = sortedUnique(std::move(Loose));
+
+    Region A{Ref(RefA)}, B{Ref(RefB)};
+    const Ref BorderA = RefBorder(RefA), BorderB = RefBorder(RefB);
+    EXPECT_EQ(G.border(A).ids(), BorderA);
+    EXPECT_EQ(G.border(B).ids(), BorderB);
+
+    for (graph::RankingKind Kind :
+         {graph::RankingKind::SizeBorderLex, graph::RankingKind::SizeLex,
+          graph::RankingKind::PureLex}) {
+      int RefCmp = 0;
+      auto Lex = [&] {
+        return RefA < RefB ? -1 : (RefB < RefA ? 1 : 0);
+      };
+      switch (Kind) {
+      case graph::RankingKind::SizeBorderLex:
+        if (RefA.size() != RefB.size())
+          RefCmp = RefA.size() < RefB.size() ? -1 : 1;
+        else if (BorderA.size() != BorderB.size())
+          RefCmp = BorderA.size() < BorderB.size() ? -1 : 1;
+        else
+          RefCmp = Lex();
+        break;
+      case graph::RankingKind::SizeLex:
+        if (RefA.size() != RefB.size())
+          RefCmp = RefA.size() < RefB.size() ? -1 : 1;
+        else
+          RefCmp = Lex();
+        break;
+      case graph::RankingKind::PureLex:
+        RefCmp = Lex();
+        break;
+      }
+      const int Got = graph::compareRegions(G, A, B, Kind);
+      EXPECT_EQ(Got < 0, RefCmp < 0) << "kind " << static_cast<int>(Kind);
+      EXPECT_EQ(Got == 0, RefCmp == 0) << "kind " << static_cast<int>(Kind);
+      EXPECT_EQ(graph::rankedLess(G, A, B, Kind), RefCmp < 0);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RegionHybrid,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// -- Deterministic rep-transition edge cases ----------------------------------
+
+TEST(RegionHybridEdge, CrossesDensityThresholdMidMutation) {
+  Region R;
+  // 63 tightly packed ids: still sparse (n >= 64 required).
+  for (NodeId N = 0; N < 63; ++N)
+    R.insert(N * 2);
+  EXPECT_FALSE(R.isDense());
+  R.insert(126);
+  EXPECT_TRUE(R.isDense()); // n=64, span 127 <= 32*64.
+  EXPECT_EQ(R.size(), 64u);
+  // Shrink: stays dense until the revert threshold, then flips back with
+  // identical contents.
+  Ref Before = R.ids();
+  while (R.size() >= 32)
+    R.erase(*R.ids().begin());
+  EXPECT_FALSE(R.isDense());
+  EXPECT_EQ(R.size(), 31u);
+  Before.erase(Before.begin(), Before.begin() + (64 - 31));
+  EXPECT_EQ(R.ids(), Before);
+}
+
+TEST(RegionHybridEdge, ScatteredSetsStaySparse) {
+  Region R;
+  for (NodeId N = 0; N < 100; ++N)
+    R.insert(N * 100000); // Span far beyond 32x count.
+  EXPECT_FALSE(R.isDense());
+  EXPECT_EQ(R.size(), 100u);
+}
+
+TEST(RegionHybridEdge, MixedRepEqualityAndHash) {
+  // Same contents, different reps: sparse-built 40 ids vs a dense region
+  // erased down to the same 40 (dense persists until count < 32).
+  Ref Target;
+  for (NodeId N = 0; N < 40; ++N)
+    Target.push_back(N * 3);
+  Region Sparse{Ref(Target)};
+  Region Dense;
+  for (NodeId N = 0; N < 120; ++N)
+    Dense.insert(N);
+  ASSERT_TRUE(Dense.isDense());
+  for (NodeId N = 0; N < 120; ++N)
+    if (!std::binary_search(Target.begin(), Target.end(), N))
+      Dense.erase(N);
+  ASSERT_TRUE(Dense.isDense()); // 40 >= revert threshold.
+  ASSERT_FALSE(Sparse.isDense());
+  EXPECT_TRUE(Sparse == Dense);
+  EXPECT_TRUE(Dense == Sparse);
+  EXPECT_EQ(Sparse.hash(), Dense.hash());
+  EXPECT_FALSE(Sparse.lexLess(Dense));
+  EXPECT_FALSE(Dense.lexLess(Sparse));
+  EXPECT_TRUE(Sparse.isSubsetOf(Dense));
+  EXPECT_TRUE(Dense.isSubsetOf(Sparse));
+  EXPECT_EQ(Sparse.ids(), Dense.ids());
+}
+
+TEST(RegionHybridEdge, ClearRevertsAndReuses) {
+  Region R;
+  for (NodeId N = 0; N < 256; ++N)
+    R.appendAscending(N);
+  EXPECT_TRUE(R.isDense());
+  R.clear();
+  EXPECT_FALSE(R.isDense());
+  EXPECT_TRUE(R.empty());
+  EXPECT_EQ(R.ids(), Ref{});
+  R.insert(5);
+  EXPECT_EQ(R.ids(), Ref{5});
+}
+
+TEST(RegionHybridEdge, MirrorInvalidatedByMutation) {
+  Region R;
+  for (NodeId N = 0; N < 200; ++N)
+    R.insert(N);
+  ASSERT_TRUE(R.isDense());
+  EXPECT_EQ(R.ids().size(), 200u); // Materializes the mirror.
+  R.insert(300);
+  R.erase(100);
+  Ref Expect;
+  for (NodeId N = 0; N < 200; ++N)
+    if (N != 100)
+      Expect.push_back(N);
+  Expect.push_back(300);
+  EXPECT_EQ(R.ids(), Expect); // Mirror must re-materialize.
+  EXPECT_EQ(R.hash(), refHash(Expect));
+}
+
+TEST(RegionHybridEdge, MovedFromIsReusableEmpty) {
+  Region R;
+  for (NodeId N = 0; N < 128; ++N)
+    R.insert(N);
+  ASSERT_TRUE(R.isDense());
+  Region Taken = std::move(R);
+  EXPECT_EQ(Taken.size(), 128u);
+  EXPECT_TRUE(R.empty()); // NOLINT: deliberate use-after-move check.
+  R.insert(9);
+  EXPECT_EQ(R.ids(), Ref{9});
+}
+
+TEST(RegionHybridEdge, CopyDropsMirrorButKeepsContents) {
+  Region R;
+  for (NodeId N = 0; N < 150; ++N)
+    R.insert(N * 2);
+  ASSERT_TRUE(R.isDense());
+  (void)R.ids(); // Materialize the source mirror.
+  Region Copy = R;
+  EXPECT_TRUE(Copy == R);
+  EXPECT_EQ(Copy.ids(), R.ids());
+  Region Assigned;
+  Assigned.insert(1);
+  Assigned = R;
+  EXPECT_TRUE(Assigned == R);
+  EXPECT_EQ(Assigned.hash(), R.hash());
+}
+
+TEST(RegionHybridEdge, DifferenceInPlaceKeepsRepAsDocumented) {
+  Region R, Everything;
+  for (NodeId N = 0; N < 256; ++N) {
+    R.insert(N);
+    Everything.insert(N);
+  }
+  ASSERT_TRUE(R.isDense());
+  R.differenceInPlace(Everything);
+  EXPECT_TRUE(R.empty());
+  EXPECT_TRUE(R.isDense()); // Documented: no rep switch in-place.
+  EXPECT_EQ(R.ids(), Ref{});
+  EXPECT_EQ(R.hash(), refHash({}));
+  R.insert(3);
+  EXPECT_EQ(R.ids(), Ref{3});
+}

@@ -249,4 +249,39 @@ TEST(ScenarioFuzzTest, CuratedSpecsSurviveRandomMutation) {
   }
 }
 
+/// bench/Micro.cpp carries an inline duplicate of
+/// scenarios/million_torus_quake.scn (so bench_micro runs from any
+/// directory); this pin keeps the two from drifting apart. The only
+/// sanctioned differences are the campaign seed range (the bench always
+/// runs seed 1) and directives that parse to their defaults — both
+/// normalized away here, so any real divergence (topology, crash plan,
+/// latency, detect, check) fails the canonical-form comparison. When the
+/// bench's spec string changes, change the .scn and this duplicate
+/// together.
+TEST(ScenarioGoldenTest, MillionBenchInlineSpecMatchesScnFile) {
+  // Verbatim copy of millionTorusSpec() in bench/Micro.cpp.
+  scenario::ParseResult Inline = scenario::parseSpec(
+      "scenario million-torus-quake\n"
+      "topology torus:1000x1000\n"
+      "latency fixed 10\n"
+      "detect 5\n"
+      "check off\n"
+      "crash random 120 8 at 100 spread 300\n");
+  ASSERT_TRUE(Inline.Ok) << Inline.diagText();
+
+  std::filesystem::path Path = std::filesystem::path(CLIFFEDGE_SCENARIO_DIR) /
+                               "million_torus_quake.scn";
+  std::ifstream In(Path);
+  ASSERT_TRUE(In.good()) << Path;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  scenario::ParseResult File = scenario::parseSpec(Buf.str());
+  ASSERT_TRUE(File.Ok) << Path << ":\n" << File.diagText();
+
+  scenario::Spec A = Inline.S, B = File.S;
+  A.SeedLo = A.SeedHi = B.SeedLo = B.SeedHi = 1;
+  EXPECT_EQ(scenario::writeSpec(A), scenario::writeSpec(B))
+      << "bench/Micro.cpp's inline million spec diverged from " << Path;
+}
+
 } // namespace

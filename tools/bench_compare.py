@@ -39,12 +39,15 @@ import subprocess
 import sys
 
 
-def run_bench(build_dir):
+def run_bench(build_dir, bench_filter=None):
     exe = os.path.join(build_dir, "bench_micro")
     if not os.path.exists(exe):
         sys.exit(f"error: {exe} not found — build the 'bench_micro' target first")
+    cmd = [exe, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
     out = subprocess.run(
-        [exe, "--benchmark_format=json"],
+        cmd,
         check=True,
         capture_output=True,
         text=True,
@@ -140,7 +143,7 @@ def distill(gbench):
             continue
         benchmarks[entry["name"]] = {"ns": round(to_ns(entry), 3)}
         for key in ("allocs_per_msg", "steady_msgs", "state_highwater",
-                    "open_waves_hw"):
+                    "open_waves_hw", "peak_rss_mb"):
             if key in entry:
                 counters[(entry["name"], key)] = entry[key]
 
@@ -242,6 +245,17 @@ def distill(gbench):
         value = counters.get(("BM_StreamingCheckerChurn", key))
         if value is not None:
             derived[out] = round(value, 1)
+    # The million-node world's memory ceiling: process peak RSS (MB) after
+    # the end-to-end DES run, from getrusage. Near-deterministic on one
+    # host (allocator layout, not wall clock), so it carries a --require
+    # ceiling; its wall-clock twin is informational like every absolute
+    # time.
+    rss = counters.get(("BM_EngineMillion_Des/iterations:1", "peak_rss_mb"))
+    if rss is not None:
+        derived["engine_million_peak_rss_mb"] = round(rss, 1)
+    million = benchmarks.get("BM_EngineMillion_Des/iterations:1")
+    if million and million["ns"] > 0:
+        derived["engine_million_des_ms"] = round(million["ns"] / 1e6, 1)
     return {"schema": 1, "benchmarks": benchmarks, "derived": derived}
 
 
@@ -250,6 +264,13 @@ def distill(gbench):
 # with the code, so compare() never gates on them — they are tracked for
 # the history only (the distill() comments say the same).
 WALL_CLOCK_DERIVED = {"engine_quake_des_speedup_vs_pr3"}
+
+# Derived metrics where *lower* is better (sizes, times), unlike the
+# speedup ratios above: baseline comparison flags a rise past the
+# threshold and treats any drop as an improvement. engine_million_des_ms
+# is wall-clock on a 1M-node working set, so like the per-benchmark
+# absolute times it never gates — the RSS ceiling is the committed bound.
+LOWER_IS_BETTER = {"engine_million_peak_rss_mb", "engine_million_des_ms"}
 
 
 def compare(baseline, fresh, threshold, absolute="gate"):
@@ -296,6 +317,18 @@ def compare(baseline, fresh, threshold, absolute="gate"):
             continue
         if old <= 0:
             continue
+        if name in LOWER_IS_BETTER:
+            rise = (new - old) / old * 100.0
+            marker = ""
+            if rise > threshold:
+                if name == "engine_million_des_ms":
+                    marker = "  <-- higher (informational: wall clock)"
+                else:
+                    marker = "  <-- REGRESSION"
+                    regressions.append(
+                        f"{name}: {old} -> {new} (+{rise:.1f}%)")
+            print(f"  {name}: {old} -> {new} ({rise:+.1f}%){marker}")
+            continue
         drop = (old - new) / old * 100.0
         marker = ""
         if drop > threshold:
@@ -322,6 +355,13 @@ def main():
                         help="rewrite the baseline with this run")
     parser.add_argument("--input", default=None,
                         help="pre-recorded google-benchmark JSON instead of running")
+    parser.add_argument("--filter", default=None, metavar="REGEX",
+                        help="--benchmark_filter passed to bench_micro; "
+                             "distill() tolerates the partial result (every "
+                             "derived metric guards on the benchmarks it "
+                             "needs), so a filtered run plus --require gives "
+                             "a fast targeted gate (the ctest 'mem_smoke' "
+                             "test runs only BM_EngineMillion_Des this way)")
     parser.add_argument("--require", action="append", default=[],
                         metavar="NAME>=VALUE",
                         help="absolute bound on a derived metric: a floor "
@@ -375,7 +415,7 @@ def main():
             gbench = json.load(fh)
         fresh = distill(gbench)
     else:
-        fresh = distill(run_bench(args.build_dir))
+        fresh = distill(run_bench(args.build_dir, args.filter))
 
     with open(args.out, "w") as fh:
         json.dump(fresh, fh, indent=2, sort_keys=True)
@@ -383,8 +423,10 @@ def main():
     print(f"wrote {args.out} ({len(fresh['benchmarks'])} benchmarks)")
 
     for name, value in sorted(fresh["derived"].items()):
-        # campaign: metrics are counts/ticks, not speedup ratios.
-        suffix = "" if name.startswith("campaign:") else "x"
+        # campaign: metrics are counts/ticks and the LOWER_IS_BETTER set
+        # carries absolute units (MB, ms) — neither is a speedup ratio.
+        plain = name.startswith("campaign:") or name in LOWER_IS_BETTER
+        suffix = "" if plain else "x"
         print(f"  {name}: {value}{suffix}")
 
     floor_failures = []

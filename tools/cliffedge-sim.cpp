@@ -862,6 +862,9 @@ int main(int argc, char **argv) {
     std::printf("transport: proc (%u shards, %u killed, %llu ms "
                 "wall)\n",
                 R.NumShards, R.KilledShards, (unsigned long long)R.WallMs);
+    std::printf("daemons:  peak_rss=%llu KB cpu=%llu ms\n",
+                (unsigned long long)R.DaemonPeakRssKb,
+                (unsigned long long)R.DaemonCpuMs);
     std::printf("faulty:   %s\n", R.Faulty.str().c_str());
     if (Variant.Link.active())
       std::printf("link:     %s\n", Variant.Link.compact().c_str());
